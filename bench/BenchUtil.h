@@ -1,0 +1,62 @@
+//===- BenchUtil.h - shared benchmark harness helpers -----------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Each bench binary regenerates one of the paper's tables or figures
+// over the embedded benchmark corpus (DESIGN.md substitution 2: absolute
+// numbers differ from the paper — the corpus is a stand-in — but the
+// shapes must match) and then times the underlying computation with
+// google-benchmark.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_BENCH_BENCHUTIL_H
+#define MCPTA_BENCH_BENCHUTIL_H
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mcpta {
+namespace benchutil {
+
+/// Analyzes one corpus program, aborting the binary on any error (the
+/// corpus is part of the repository; failures are bugs).
+inline Pipeline analyzeCorpus(const corpus::CorpusProgram &CP) {
+  Pipeline P = Pipeline::analyzeSource(CP.Source);
+  if (P.Diags.hasErrors() || !P.Analysis.Analyzed) {
+    std::fprintf(stderr, "FATAL: corpus program '%s' failed to analyze:\n%s",
+                 CP.Name, P.Diags.dump().c_str());
+    std::abort();
+  }
+  return P;
+}
+
+/// Counts source lines (the corpus stand-in for Table 2's "Lines").
+inline unsigned countLines(const char *Source) {
+  unsigned N = 0;
+  for (const char *P = Source; *P; ++P)
+    if (*P == '\n')
+      ++N;
+  return N;
+}
+
+inline void printHeader(const char *Table, const char *Description) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", Table, Description);
+  std::printf("(corpus programs are miniature stand-ins for the paper's "
+              "benchmarks;\n absolute values differ, shapes should hold — "
+              "see DESIGN.md)\n");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+} // namespace benchutil
+} // namespace mcpta
+
+#endif // MCPTA_BENCH_BENCHUTIL_H

@@ -1,0 +1,110 @@
+//===- bench_ablation_flow.cpp - flow-sensitivity ablation ---------------------===//
+//
+// Ablation B (DESIGN.md): the paper's flow-sensitive kill/gen analysis
+// with definite information vs. a classic Andersen-style
+// flow-insensitive inclusion analysis. Metric: average number of
+// targets of the dereferenced pointer over all indirect references
+// (Table 3's headline number).
+//
+// Expected shape: the flow-sensitive analysis reports strictly fewer
+// targets wherever strong updates or branch ordering matter; Andersen
+// is cheaper but keeps every stale target.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "baselines/Andersen.h"
+#include "clients/IndirectRefStats.h"
+
+using namespace mcpta;
+using namespace mcpta::baselines;
+using namespace mcpta::benchutil;
+
+namespace {
+
+void printComparison() {
+  printHeader("Ablation B",
+              "Flow-sensitive (paper) vs. Andersen flow-insensitive");
+  std::printf("%-10s | %12s %12s | %10s\n", "Benchmark", "flow-sens avg",
+              "andersen avg", "solver-its");
+  unsigned Wins = 0, Total = 0;
+  for (const auto &CP : corpus::corpus()) {
+    Pipeline P = analyzeCorpus(CP);
+    auto A = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+    auto R = AndersenAnalysis::run(*P.Prog);
+    std::printf("%-10s | %12.2f %12.2f | %10u\n", CP.Name,
+                A.Stats.average(), R.AvgIndirectTargets,
+                R.SolverIterations);
+    ++Total;
+    if (A.Stats.average() <= R.AvgIndirectTargets + 1e-9)
+      ++Wins;
+  }
+  std::printf("\nFlow-sensitive average is <= Andersen's in %u/%u "
+              "programs.\nCaveat: the two averages are not perfectly "
+              "comparable — Andersen collapses\narrays and fields onto "
+              "their root variable, which *undercounts* its target\nsets "
+              "on array-heavy programs (clinpack, msc, lws). The "
+              "apples-to-apples\ncomparison is the strong-update "
+              "microbenchmark below.\n\n",
+              Wins, Total);
+}
+
+/// Strong-update chains: p is reassigned K times, then dereferenced.
+/// The flow-sensitive analysis kills stale targets at every step and
+/// reports exactly 1; Andersen accumulates all K.
+void printStrongUpdateMicro() {
+  std::printf("Strong-update microbenchmark (p reassigned K times, then "
+              "*p):\n");
+  std::printf("%6s %18s %15s\n", "K", "flow-sens targets",
+              "andersen targets");
+  for (unsigned K : {2u, 4u, 8u, 16u}) {
+    std::string Src = "int main(void) {\n";
+    for (unsigned I = 0; I < K; ++I)
+      Src += "  int x" + std::to_string(I) + ";\n";
+    Src += "  int *p;\n";
+    for (unsigned I = 0; I < K; ++I)
+      Src += "  p = &x" + std::to_string(I) + ";\n";
+    Src += "  return *p;\n}\n";
+
+    Pipeline P = Pipeline::analyzeSource(Src);
+    auto A = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+    auto R = AndersenAnalysis::run(*P.Prog);
+    std::printf("%6u %18.0f %15.0f\n", K, A.Stats.average(),
+                R.AvgIndirectTargets);
+  }
+  std::printf("\n(the factor grows linearly in K: kills are what the "
+              "paper's flow-sensitive\nrules buy over inclusion-based "
+              "analysis)\n\n");
+}
+
+void BM_FlowSensitive(benchmark::State &State) {
+  const auto &CP = corpus::corpus()[State.range(0)];
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(CP.Source);
+    benchmark::DoNotOptimize(P.Analysis.Analyzed);
+  }
+  State.SetLabel(CP.Name);
+}
+BENCHMARK(BM_FlowSensitive)->DenseRange(0, 16);
+
+void BM_Andersen(benchmark::State &State) {
+  const auto &CP = corpus::corpus()[State.range(0)];
+  Pipeline P = Pipeline::frontend(CP.Source);
+  for (auto _ : State) {
+    auto R = AndersenAnalysis::run(*P.Prog);
+    benchmark::DoNotOptimize(R.TotalPairs);
+  }
+  State.SetLabel(CP.Name);
+}
+BENCHMARK(BM_Andersen)->DenseRange(0, 16);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printComparison();
+  printStrongUpdateMicro();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- bench_livc.cpp - the Sec. 6 'livc' function-pointer study ---------------===//
+//
+// Regenerates the paper's 'livc' experiment: a Livermore-loops-style
+// program with 82 functions, three global arrays of 24 function
+// pointers each (72 address-taken functions), and three indirect call
+// sites inside loops. The paper reports invocation graph sizes of
+//
+//     precise (Figure 5 algorithm): 203 nodes
+//     all-functions baseline:       619 nodes
+//     address-taken baseline:       589 nodes
+//
+// Our generated livc matches those proportions by construction and the
+// exact direct-call structure determines the absolute counts; the
+// ordering precise < address-taken < all-functions is the result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "clients/CallGraphBaselines.h"
+#include "wlgen/WorkloadGen.h"
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+
+namespace {
+
+void printStudy() {
+  printHeader("'livc' study (Sec. 6)",
+              "Function-pointer call graph instantiation strategies");
+
+  std::string Src = wlgen::livcSource(82, 3, 24);
+  Pipeline P = Pipeline::frontend(Src);
+  if (!P.Prog) {
+    std::fprintf(stderr, "FATAL: livc source failed to lower\n");
+    std::abort();
+  }
+  auto Cmp = clients::CallGraphComparison::compute(*P.Prog);
+
+  std::printf("%-28s %10s %10s\n", "strategy", "IG nodes", "paper");
+  std::printf("%-28s %10u %10s\n", "precise (points-to, Fig. 5)",
+              Cmp.PreciseNodes, "203");
+  std::printf("%-28s %10u %10s\n", "address-taken baseline",
+              Cmp.AddressTakenNodes, "589");
+  std::printf("%-28s %10u %10s\n", "all-functions baseline",
+              Cmp.AllFunctionsNodes, "619");
+  std::printf("\nratios vs precise: address-taken %.2fx, all-functions "
+              "%.2fx\n(paper: 2.90x and 3.05x — the naive strategies "
+              "yield very imprecise graphs)\n\n",
+              static_cast<double>(Cmp.AddressTakenNodes) / Cmp.PreciseNodes,
+              static_cast<double>(Cmp.AllFunctionsNodes) / Cmp.PreciseNodes);
+}
+
+void BM_LivcPrecise(benchmark::State &State) {
+  std::string Src = wlgen::livcSource(82, 3, 24);
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(Src);
+    benchmark::DoNotOptimize(P.Analysis.IG);
+  }
+}
+BENCHMARK(BM_LivcPrecise)->Unit(benchmark::kMillisecond);
+
+void BM_LivcAllFunctions(benchmark::State &State) {
+  std::string Src = wlgen::livcSource(82, 3, 24);
+  pta::Analyzer::Options Opts;
+  Opts.FnPtr = pta::FnPtrMode::AllFunctions;
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(Src, Opts);
+    benchmark::DoNotOptimize(P.Analysis.IG);
+  }
+}
+BENCHMARK(BM_LivcAllFunctions)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printStudy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

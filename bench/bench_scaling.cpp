@@ -1,0 +1,105 @@
+//===- bench_scaling.cpp - analysis cost scaling -------------------------------===//
+//
+// The Sec. 6 practicality question: the invocation-graph approach is
+// theoretically exponential; is it practical? Sweeps generated programs
+// over function count, statement count, and feature mix, reporting
+// invocation graph sizes and analysis times.
+//
+// Expected shape: near-linear growth for direct-call programs;
+// super-linear growth when dense function-pointer dispatch and
+// recursion combine (the known worst case, see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "wlgen/WorkloadGen.h"
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+
+namespace {
+
+void printSweep() {
+  printHeader("Scaling sweep", "Analysis cost vs. program size/features");
+  std::printf("%-26s %8s %9s %9s %9s %9s\n", "configuration", "stmts",
+              "ig-nodes", "bodies", "memohits", "loop-its");
+  struct Config {
+    const char *Name;
+    unsigned Fns;
+    unsigned Stmts;
+    bool FnPtrs;
+    bool Rec;
+  };
+  const Config Configs[] = {
+      {"direct small (4 fns)", 4, 8, false, false},
+      {"direct medium (8 fns)", 8, 12, false, false},
+      {"direct large (16 fns)", 16, 16, false, false},
+      {"recursive (8 fns)", 8, 12, false, true},
+      {"fnptr (6 fns)", 6, 10, true, false},
+      {"fnptr+rec (6 fns)", 6, 10, true, true},
+      {"fnptr+rec (8 fns)", 8, 12, true, true},
+  };
+  for (const Config &C : Configs) {
+    wlgen::GenConfig Cfg;
+    Cfg.Seed = 42;
+    Cfg.NumFunctions = C.Fns;
+    Cfg.StmtsPerFunction = C.Stmts;
+    Cfg.UseFunctionPointers = C.FnPtrs;
+    Cfg.UseRecursion = C.Rec;
+    std::string Src = wlgen::generateProgram(Cfg);
+    Pipeline P = Pipeline::analyzeSource(Src);
+    if (!P.Analysis.Analyzed) {
+      std::printf("%-26s <failed>\n", C.Name);
+      continue;
+    }
+    std::printf("%-26s %8u %9u %9u %9u %9u\n", C.Name,
+                P.Prog->numBasicStmts(), P.Analysis.IG->numNodes(),
+                P.Analysis.BodyAnalyses, P.Analysis.MemoHits,
+                P.Analysis.LoopIterations);
+  }
+  std::printf("\n");
+}
+
+void BM_AnalyzeGenerated(benchmark::State &State) {
+  wlgen::GenConfig Cfg;
+  Cfg.Seed = 42;
+  Cfg.NumFunctions = static_cast<unsigned>(State.range(0));
+  Cfg.StmtsPerFunction = 12;
+  std::string Src = wlgen::generateProgram(Cfg);
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(Src);
+    benchmark::DoNotOptimize(P.Analysis.Analyzed);
+  }
+}
+// Capped at 16 functions: the context-sensitive call tree grows
+// exponentially with the function count (the paper's worst case); 32
+// would run for hours.
+BENCHMARK(BM_AnalyzeGenerated)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeGeneratedFnPtrs(benchmark::State &State) {
+  wlgen::GenConfig Cfg;
+  Cfg.Seed = 42;
+  Cfg.NumFunctions = static_cast<unsigned>(State.range(0));
+  Cfg.UseFunctionPointers = true;
+  Cfg.UseRecursion = true;
+  std::string Src = wlgen::generateProgram(Cfg);
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(Src);
+    benchmark::DoNotOptimize(P.Analysis.Analyzed);
+  }
+}
+BENCHMARK(BM_AnalyzeGeneratedFnPtrs)->RangeMultiplier(2)->Range(2, 8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- bench_table4.cpp - Table 4: from/to categorization ----------------------===//
+//
+// Regenerates Table 4: the points-to pairs used by indirect references,
+// categorized by the kind of the source (the dereferenced pointer) and
+// the kind of the stack target: local, global, formal parameter, or
+// symbolic name.
+//
+// Paper shape: most relationships arise FROM formal parameters and are
+// directed TO globals or symbolic names — the observation motivating
+// context-sensitive interprocedural analysis (Sec. 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "clients/IndirectRefStats.h"
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+using namespace mcpta::clients;
+
+namespace {
+
+void printTable() {
+  printHeader("Table 4",
+              "Categorization of Points-to Information Used by Indirect "
+              "References");
+  std::printf("%-10s | %6s %6s %6s %6s | %6s %6s %6s %6s\n", "Benchmark",
+              "Fr:lo", "Fr:gl", "Fr:fp", "Fr:sy", "To:lo", "To:gl",
+              "To:fp", "To:sy");
+  unsigned long long FromFormal = 0, FromOther = 0;
+  for (const auto &CP : corpus::corpus()) {
+    Pipeline P = analyzeCorpus(CP);
+    auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+    const IndirectRefCategories &C = A.Categories;
+    std::printf("%-10s | %6u %6u %6u %6u | %6u %6u %6u %6u\n", CP.Name,
+                C.FromLocal, C.FromGlobal, C.FromFormal, C.FromSymbolic,
+                C.ToLocal, C.ToGlobal, C.ToFormal, C.ToSymbolic);
+    FromFormal += C.FromFormal;
+    FromOther += C.FromLocal + C.FromGlobal + C.FromSymbolic;
+  }
+  std::printf("\nOverall: %.1f%% of used pairs originate at formal "
+              "parameters (the paper's\nheadline: procedure calls "
+              "generate the majority of points-to relationships,\nhence "
+              "context-sensitive interprocedural analysis).\n\n",
+              FromFormal + FromOther
+                  ? 100.0 * FromFormal / (FromFormal + FromOther)
+                  : 0);
+}
+
+void BM_Categorization(benchmark::State &State) {
+  const auto &CP = corpus::corpus()[State.range(0)];
+  Pipeline P = analyzeCorpus(CP);
+  for (auto _ : State) {
+    auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+    benchmark::DoNotOptimize(A.Categories.FromFormal);
+  }
+  State.SetLabel(CP.Name);
+}
+BENCHMARK(BM_Categorization)->DenseRange(0, 16);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

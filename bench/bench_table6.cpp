@@ -1,0 +1,60 @@
+//===- bench_table6.cpp - Table 6: invocation graph statistics -----------------===//
+//
+// Regenerates Table 6: per benchmark, the invocation graph node count,
+// static call sites, functions actually called, Recursive and
+// Approximate node counts, and the node-per-call-site and
+// node-per-function averages.
+//
+// Paper shape: the average number of invocation graph nodes per call
+// site stays small (paper overall: 1.45, max 2.53) — explicit
+// invocation chains are practical despite the theoretical exponential.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "clients/IGStats.h"
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+using namespace mcpta::clients;
+
+namespace {
+
+void printTable() {
+  printHeader("Table 6", "Invocation Graph Statistics");
+  std::printf("%-10s %8s %9s %6s %4s %4s %7s %7s\n", "Benchmark",
+              "ig-nodes", "callsites", "#fns", "R", "A", "Avgc", "Avgf");
+  double MaxAvgc = 0;
+  for (const auto &CP : corpus::corpus()) {
+    Pipeline P = analyzeCorpus(CP);
+    auto S = IGStats::compute(*P.Prog, P.Analysis);
+    std::printf("%-10s %8u %9u %6u %4u %4u %7.2f %7.2f\n", CP.Name,
+                S.Nodes, S.CallSites, S.Functions, S.Recursive,
+                S.Approximate, S.avgPerCallSite(), S.avgPerFunction());
+    MaxAvgc = std::max(MaxAvgc, S.avgPerCallSite());
+  }
+  std::printf("\nMax avg nodes/call-site: %.2f (paper max: 2.53; small "
+              "values mean the\nexplicit invocation graph stays practical)"
+              "\n\n",
+              MaxAvgc);
+}
+
+void BM_FullAnalysis(benchmark::State &State) {
+  const auto &CP = corpus::corpus()[State.range(0)];
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(CP.Source);
+    benchmark::DoNotOptimize(P.Analysis.Analyzed);
+  }
+  State.SetLabel(CP.Name);
+}
+BENCHMARK(BM_FullAnalysis)->DenseRange(0, 16);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+//===- alias_oracle.cpp - answering alias queries over a C program -------------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Uses the analysis as a downstream tool would (the paper's Sec. 6.1
+// applications): ask "may these two expressions alias?" and "what may
+// this pointer point to?" over a linked-list workload, and generate the
+// traditional alias pairs (Sec. 7.1) from the points-to abstraction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/AliasPairs.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+static const char *const Source = R"C(
+void *malloc(int n);
+
+struct Node {
+  int value;
+  struct Node *next;
+};
+
+struct Node *freeList;
+
+struct Node *newNode(int v) {
+  struct Node *n;
+  if (freeList != NULL) {
+    n = freeList;
+    freeList = n->next;
+  } else {
+    n = (struct Node *)malloc(16);
+  }
+  n->value = v;
+  n->next = NULL;
+  return n;
+}
+
+int main(void) {
+  struct Node *head;
+  struct Node *tail;
+  struct Node *cursor;
+  int sum;
+  int i;
+
+  freeList = NULL;
+  head = newNode(0);
+  tail = head;
+  for (i = 1; i < 5; i++) {
+    tail->next = newNode(i);
+    tail = tail->next;
+  }
+
+  sum = 0;
+  cursor = head;
+  while (cursor != NULL) {
+    sum = sum + cursor->value;
+    cursor = cursor->next;
+  }
+  return sum;
+}
+)C";
+
+int main() {
+  using namespace mcpta;
+
+  Pipeline P = Pipeline::analyzeSource(Source);
+  if (!P.ok()) {
+    std::fputs(P.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+  const pta::PointsToSet &Final = *P.Analysis.MainOut;
+  pta::LocationTable &Locs = *P.Analysis.Locs;
+
+  std::puts("=== Points-to set at end of main ===");
+  std::printf("%s\n", Final.str(Locs).c_str());
+
+  // "What may this pointer point to?" — the direct query downstream
+  // analyses (dependence testing, read/write sets) ask constantly.
+  std::puts("\n=== Pointer target queries ===");
+  for (const char *Var : {"head", "tail", "cursor", "freeList"}) {
+    const cfront::VarDecl *Found = nullptr;
+    for (const auto &F : P.Prog->functions())
+      for (const auto *L : F.Locals)
+        if (L->name() == Var)
+          Found = L;
+    for (const auto *G : P.Prog->globals())
+      if (G->name() == Var)
+        Found = G;
+    if (!Found)
+      continue;
+    std::printf("%-9s -> {", Var);
+    bool First = true;
+    for (const auto &T : Final.targetsOf(Locs.varLoc(Found), Locs)) {
+      std::printf("%s%s:%c", First ? "" : ", ", T.Loc->str().c_str(),
+                  T.D == pta::Def::D ? 'D' : 'P');
+      First = false;
+    }
+    std::puts("}");
+  }
+
+  // Traditional alias pairs generated from the points-to abstraction.
+  auto Pairs = clients::aliasPairs(Final, Locs, 2);
+  std::printf("\n=== Alias pairs implied (depth 2): %zu ===\n",
+              Pairs.size());
+  for (const auto &[A, B] : Pairs)
+    std::printf("  (%s, %s)\n", A.c_str(), B.c_str());
+
+  std::puts("\n=== Sample may-alias queries ===");
+  auto Query = [&](const char *A, const char *B) {
+    std::printf("may-alias(%-8s, %-8s) = %s\n", A, B,
+                clients::hasAlias(Pairs, A, B) ? "yes" : "no");
+  };
+  Query("*head", "*tail");
+  Query("*head", "*cursor");
+  Query("*head", "sum");
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- callgraph_explorer.cpp - function pointers & invocation graphs ----------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Demonstrates the Sec. 5 algorithm on an interpreter-style dispatch
+// loop (the kind of code where naive call-graph construction drowns):
+// an opcode table of function pointers, resolved precisely from the
+// points-to analysis, compared against the two naive instantiation
+// strategies the paper discusses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/CallGraphBaselines.h"
+#include "clients/ReadWriteSets.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+static const char *const Source = R"C(
+int stack[64];
+int sp;
+
+void opPush(int v) { stack[sp] = v; sp = sp + 1; }
+void opAdd(int v)  { sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; }
+void opMul(int v)  { sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp]; }
+void opNeg(int v)  { stack[sp - 1] = -stack[sp - 1]; }
+
+/* helpers whose addresses are never taken */
+void reset(void) { sp = 0; }
+int top(void) { return stack[sp - 1]; }
+
+void (*optable[4])(int) = {opPush, opAdd, opMul, opNeg};
+
+int program[7] = {0, 0, 1, 0, 2, 3, -1};
+int operands[7] = {2, 3, 0, 4, 0, 0, 0};
+
+int main(void) {
+  int pc;
+  void (*op)(int);
+  reset();
+  for (pc = 0; pc < 7; pc++) {
+    if (program[pc] < 0)
+      break;
+    op = optable[program[pc]];
+    op(operands[pc]);
+  }
+  return top();
+}
+)C";
+
+int main() {
+  using namespace mcpta;
+
+  Pipeline P = Pipeline::analyzeSource(Source);
+  if (!P.ok()) {
+    std::fputs(P.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+
+  std::puts("=== Invocation graph (function pointers resolved by "
+            "points-to analysis) ===");
+  std::fputs(P.Analysis.IG->str().c_str(), stdout);
+
+  auto Cmp = clients::CallGraphComparison::compute(*P.Prog);
+  std::puts("\n=== Instantiation strategy comparison (Sec. 5) ===");
+  std::printf("precise (Figure 5):      %u nodes\n", Cmp.PreciseNodes);
+  std::printf("address-taken baseline:  %u nodes\n",
+              Cmp.AddressTakenNodes);
+  std::printf("all-functions baseline:  %u nodes\n",
+              Cmp.AllFunctionsNodes);
+
+  std::puts("\n=== Per-function side-effect sets (Sec. 6.1 application) "
+            "===");
+  auto RW = clients::ReadWriteSets::compute(*P.Prog, P.Analysis);
+  for (const auto &[Fn, Writes] : RW.Writes) {
+    std::printf("%-8s writes {", Fn.c_str());
+    bool First = true;
+    for (const std::string &W : Writes) {
+      std::printf("%s%s", First ? "" : ", ", W.c_str());
+      First = false;
+    }
+    std::puts("}");
+  }
+  return 0;
+}

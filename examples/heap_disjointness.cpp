@@ -1,0 +1,95 @@
+//===- heap_disjointness.cpp - proving heap structures disjoint ----------------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Demonstrates the Sec. 8 future-work extension implemented in
+// src/heap/: connection matrices over heap-directed pointers. The
+// points-to analysis collapses all heap storage into one summary
+// location (its deliberate stack/heap decoupling); the connection
+// analysis recovers structure-level disjointness — here, that two
+// independently built lists can be processed in parallel while a third
+// pointer aliases into the first.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "heap/ConnectionAnalysis.h"
+
+#include <cstdio>
+
+static const char *const Source = R"C(
+void *malloc(int n);
+
+struct Node { struct Node *next; int v; };
+
+int main(void) {
+  struct Node *inbox;
+  struct Node *outbox;
+  struct Node *scan;
+  struct Node *t;
+  int i;
+
+  inbox = NULL;
+  for (i = 0; i < 4; i++) {
+    t = (struct Node *)malloc(16);
+    t->v = i;
+    t->next = inbox;
+    inbox = t;
+  }
+
+  outbox = NULL;
+  for (i = 0; i < 4; i++) {
+    t = (struct Node *)malloc(16);
+    t->v = -i;
+    t->next = outbox;
+    outbox = t;
+  }
+
+  scan = inbox; /* aliases into the first structure */
+  while (scan != NULL)
+    scan = scan->next;
+  return 0;
+}
+)C";
+
+int main() {
+  using namespace mcpta;
+
+  Pipeline P = Pipeline::analyzeSource(Source);
+  if (!P.ok()) {
+    std::fputs(P.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+
+  std::puts("=== Points-to view (one heap summary; Sec. 7.1) ===");
+  std::printf("%s\n", P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
+
+  auto Conn = heap::runConnectionAnalysis(*P.Prog, P.Analysis);
+  const cfront::FunctionDecl *Main = P.Unit->findFunction("main");
+  const heap::ConnectionMatrix *M = Conn.matrixOf(Main);
+
+  std::puts("\n=== Connection matrix at end of main (Sec. 8 extension) "
+            "===");
+  std::printf("%s\n", M->str().c_str());
+
+  auto Var = [&](const char *Name) -> const cfront::VarDecl * {
+    for (const auto &F : P.Prog->functions())
+      if (F.Decl == Main)
+        for (const auto *L : F.Locals)
+          if (L->name() == Name)
+            return L;
+    return nullptr;
+  };
+  auto Query = [&](const char *A, const char *B) {
+    std::printf("connected(%-7s, %-7s) = %s\n", A, B,
+                M->connected(Var(A), Var(B)) ? "maybe" : "no");
+  };
+  std::puts("\n=== Disjointness queries ===");
+  Query("inbox", "outbox");
+  Query("inbox", "scan");
+  Query("outbox", "scan");
+  std::puts("\ninbox and outbox are provably disjoint structures: a "
+            "parallelizing\ntransformation may process them "
+            "concurrently.");
+  return 0;
+}

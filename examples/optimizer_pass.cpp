@@ -1,0 +1,75 @@
+//===- optimizer_pass.cpp - pointer replacement as a compiler pass -------------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Demonstrates the paper's Sec. 1 motivating transformation: using
+// definite points-to information to replace indirect references with
+// direct ones ("given x = *q and q definitely points-to y, replace the
+// statement with x = y"), the enabling step for load/store reduction in
+// a compiler back end [12].
+//
+// The example program funnels all stores through pointer indirections
+// that are nevertheless definite; the pass rewrites them and the
+// concrete interpreter verifies behavior is preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/PointerReplace.h"
+#include "driver/Pipeline.h"
+#include "interp/Interpreter.h"
+
+#include <cstdio>
+
+static const char *const Source = R"C(
+int total;
+
+void accumulate(int *sum, int *value) {
+  *sum = *sum + *value;
+}
+
+int main(void) {
+  int item;
+  int *cursor;
+  int i;
+  cursor = &item;
+  total = 0;
+  for (i = 1; i <= 5; i++) {
+    *cursor = i * i;
+    accumulate(&total, cursor);
+  }
+  return total;
+}
+)C";
+
+int main() {
+  using namespace mcpta;
+
+  Pipeline P = Pipeline::analyzeSource(Source);
+  if (!P.ok()) {
+    std::fputs(P.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+
+  std::puts("=== SIMPLE before pointer replacement ===");
+  std::fputs(P.Prog->str().c_str(), stdout);
+
+  // Baseline behavior.
+  interp::RunResult Before = interp::run(*P.Prog);
+  std::printf("\nprogram result before pass: %lld\n", Before.ExitValue);
+
+  // The pass: rewrite indirect references with a definite single
+  // visible target.
+  auto R = clients::replacePointers(*P.Prog, P.Analysis);
+  std::printf("\npointer replacement: %u of %u indirect references "
+              "rewritten\n",
+              R.Replaced, R.Candidates);
+
+  std::puts("\n=== SIMPLE after pointer replacement ===");
+  std::fputs(P.Prog->str().c_str(), stdout);
+
+  interp::RunResult After = interp::run(*P.Prog);
+  std::printf("\nprogram result after pass:  %lld (%s)\n", After.ExitValue,
+              After.ExitValue == Before.ExitValue ? "behavior preserved"
+                                                  : "MISCOMPILED!");
+  return After.ExitValue == Before.ExitValue ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+//===- quickstart.cpp - smallest end-to-end mcpta example ----------------------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Analyzes a small C program and prints:
+//   - the SIMPLE lowering,
+//   - the invocation graph,
+//   - the points-to set at the end of main,
+//   - the per-indirect-reference statistics (Table 3 style).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/IndirectRefStats.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+
+static const char *const Source = R"C(
+int g;
+int *gp;
+
+void set(int **out, int *value) {
+  *out = value;
+}
+
+int main(void) {
+  int x;
+  int *p;
+  p = &x;
+  set(&gp, &g);
+  set(&p, gp);
+  *p = 7;
+  return *gp;
+}
+)C";
+
+int main() {
+  using namespace mcpta;
+
+  Pipeline P = Pipeline::analyzeSource(Source);
+  if (!P.ok()) {
+    std::fputs(P.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+
+  std::puts("=== SIMPLE ===");
+  std::fputs(P.Prog->str().c_str(), stdout);
+
+  std::puts("\n=== Invocation graph ===");
+  std::fputs(P.Analysis.IG->str().c_str(), stdout);
+
+  std::puts("\n=== Points-to set at end of main ===");
+  std::printf("%s\n", P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
+
+  auto Stats = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  std::puts("\n=== Indirect reference statistics ===");
+  std::printf("indirect refs: %u, definite single: %u, avg targets: %.2f\n",
+              Stats.Stats.IndirectRefs, Stats.Stats.OneD.total(),
+              Stats.Stats.average());
+  return 0;
+}

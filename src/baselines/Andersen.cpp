@@ -1,0 +1,444 @@
+//===- Andersen.cpp - flow-insensitive inclusion baseline ---------------------===//
+
+#include "baselines/Andersen.h"
+
+#include "simple/Simplifier.h"
+
+#include <cassert>
+
+using namespace mcpta;
+using namespace mcpta::baselines;
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+
+namespace {
+
+/// Abstract nodes: program variables (field-insensitive), one heap, one
+/// node per function, one per string literal.
+struct Node {
+  enum class Kind { Var, Heap, Function, String } K = Kind::Var;
+  const cf::VarDecl *Var = nullptr;
+  const cf::FunctionDecl *Fn = nullptr;
+  unsigned StringId = 0;
+  std::string Name;
+};
+
+class Solver {
+public:
+  explicit Solver(const Program &Prog) : Prog(Prog) {}
+
+  AndersenResult solve();
+
+private:
+  unsigned varNode(const cf::VarDecl *V);
+  unsigned heapNode();
+  unsigned fnNode(const cf::FunctionDecl *F);
+  unsigned stringNode(unsigned Id);
+  unsigned retNode(const cf::FunctionDecl *F);
+
+  void addAddress(unsigned Lhs, unsigned Obj) {
+    AddrConstraints.push_back({Lhs, Obj});
+  }
+  void addCopy(unsigned Lhs, unsigned Rhs) {
+    CopyConstraints.push_back({Lhs, Rhs});
+  }
+  void addLoad(unsigned Lhs, unsigned Ptr) {
+    LoadConstraints.push_back({Lhs, Ptr});
+  }
+  void addStore(unsigned Ptr, unsigned Rhs) {
+    StoreConstraints.push_back({Ptr, Rhs});
+  }
+
+  /// The node holding a reference's *value source*. For `*p...` the
+  /// value is loaded through p; for `&x...` it is the address of x; a
+  /// plain `x...` is a copy of x (fields collapse onto the base).
+  void constrainRead(unsigned Lhs, const Reference &Ref);
+  void constrainReadOperand(unsigned Lhs, const Operand &O);
+  void constrainWrite(const Reference &Lhs, unsigned RhsTmp);
+  unsigned freshTmp(const std::string &Hint);
+
+  void genStmt(const Stmt *S);
+  void genCall(const CallInfo &CI, const Reference *LhsRef);
+  void bindCall(const CallInfo &CI, const cf::FunctionDecl *F,
+                const Reference *LhsRef);
+
+  const Program &Prog;
+  std::vector<Node> Nodes;
+  std::map<const cf::VarDecl *, unsigned> VarIds;
+  std::map<const cf::FunctionDecl *, unsigned> FnIds;
+  std::map<const cf::FunctionDecl *, unsigned> RetIds;
+  std::map<unsigned, unsigned> StringIds;
+  int Heap = -1;
+
+  std::vector<std::pair<unsigned, unsigned>> AddrConstraints;
+  std::vector<std::pair<unsigned, unsigned>> CopyConstraints;
+  std::vector<std::pair<unsigned, unsigned>> LoadConstraints;
+  std::vector<std::pair<unsigned, unsigned>> StoreConstraints;
+
+  /// Indirect call sites, re-bound as the solution grows.
+  struct IndirectSite {
+    const CallInfo *CI;
+    const Reference *LhsRef;
+    std::set<const cf::FunctionDecl *> Bound;
+  };
+  std::vector<IndirectSite> IndirectSites;
+
+  std::vector<std::set<unsigned>> Pts;
+  /// retval node of the function currently being constrained.
+  unsigned CurRet = ~0u;
+};
+
+unsigned Solver::varNode(const cf::VarDecl *V) {
+  auto It = VarIds.find(V);
+  if (It != VarIds.end())
+    return It->second;
+  Node N;
+  N.K = Node::Kind::Var;
+  N.Var = V;
+  N.Name = (V->owner() ? V->owner()->name() + "::" : std::string()) +
+           V->name();
+  Nodes.push_back(N);
+  unsigned Id = Nodes.size() - 1;
+  VarIds[V] = Id;
+  return Id;
+}
+
+unsigned Solver::heapNode() {
+  if (Heap < 0) {
+    Node N;
+    N.K = Node::Kind::Heap;
+    N.Name = "heap";
+    Nodes.push_back(N);
+    Heap = static_cast<int>(Nodes.size() - 1);
+  }
+  return static_cast<unsigned>(Heap);
+}
+
+unsigned Solver::fnNode(const cf::FunctionDecl *F) {
+  auto It = FnIds.find(F);
+  if (It != FnIds.end())
+    return It->second;
+  Node N;
+  N.K = Node::Kind::Function;
+  N.Fn = F;
+  N.Name = F->name();
+  Nodes.push_back(N);
+  unsigned Id = Nodes.size() - 1;
+  FnIds[F] = Id;
+  return Id;
+}
+
+unsigned Solver::stringNode(unsigned SId) {
+  auto It = StringIds.find(SId);
+  if (It != StringIds.end())
+    return It->second;
+  Node N;
+  N.K = Node::Kind::String;
+  N.StringId = SId;
+  N.Name = "str$" + std::to_string(SId);
+  Nodes.push_back(N);
+  unsigned Id = Nodes.size() - 1;
+  StringIds[SId] = Id;
+  return Id;
+}
+
+unsigned Solver::retNode(const cf::FunctionDecl *F) {
+  auto It = RetIds.find(F);
+  if (It != RetIds.end())
+    return It->second;
+  Node N;
+  N.K = Node::Kind::Var;
+  N.Name = "retval$" + F->name();
+  Nodes.push_back(N);
+  unsigned Id = Nodes.size() - 1;
+  RetIds[F] = Id;
+  return Id;
+}
+
+unsigned Solver::freshTmp(const std::string &Hint) {
+  Node N;
+  N.K = Node::Kind::Var;
+  N.Name = "$andersen$" + Hint + std::to_string(Nodes.size());
+  Nodes.push_back(N);
+  return Nodes.size() - 1;
+}
+
+void Solver::constrainRead(unsigned Lhs, const Reference &Ref) {
+  unsigned Base = varNode(Ref.Base);
+  if (Ref.AddrOf) {
+    if (Ref.Deref) {
+      // &(*p).f and &p[i] copy (an offset of) p's value.
+      addCopy(Lhs, Base);
+      return;
+    }
+    addAddress(Lhs, Base);
+    return;
+  }
+  if (Ref.Deref) {
+    addLoad(Lhs, Base);
+    return;
+  }
+  addCopy(Lhs, Base);
+}
+
+void Solver::constrainReadOperand(unsigned Lhs, const Operand &O) {
+  switch (O.K) {
+  case Operand::Kind::Ref:
+    constrainRead(Lhs, O.Ref);
+    return;
+  case Operand::Kind::FunctionAddr:
+    addAddress(Lhs, fnNode(O.Fn));
+    return;
+  case Operand::Kind::StringConst:
+    addAddress(Lhs, stringNode(O.StringId));
+    return;
+  default:
+    return; // constants and NULL add no targets
+  }
+}
+
+void Solver::constrainWrite(const Reference &Lhs, unsigned RhsTmp) {
+  unsigned Base = varNode(Lhs.Base);
+  if (Lhs.Deref)
+    addStore(Base, RhsTmp);
+  else
+    addCopy(Base, RhsTmp);
+}
+
+void Solver::genCall(const CallInfo &CI, const Reference *LhsRef) {
+  if (!CI.isIndirect()) {
+    bindCall(CI, CI.Callee, LhsRef);
+    return;
+  }
+  IndirectSites.push_back({&CI, LhsRef, {}});
+}
+
+void Solver::bindCall(const CallInfo &CI, const cf::FunctionDecl *F,
+                      const Reference *LhsRef) {
+  const FunctionIR *FIR = Prog.findFunction(F);
+  if (!FIR) {
+    // Extern: pointer results conservatively point to heap.
+    if (LhsRef && LhsRef->Ty && LhsRef->Ty->isPointerBearing()) {
+      unsigned T = freshTmp("ext");
+      addAddress(T, heapNode());
+      constrainWrite(*LhsRef, T);
+    }
+    return;
+  }
+  const auto &Params = F->params();
+  for (size_t I = 0; I < CI.Args.size() && I < Params.size(); ++I) {
+    unsigned P = varNode(Params[I]);
+    constrainReadOperand(P, CI.Args[I]);
+  }
+  if (LhsRef)
+    constrainWrite(*LhsRef, retNode(F));
+}
+
+void Solver::genStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const Stmt *C : castStmt<BlockStmt>(S)->Body)
+      genStmt(C);
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = castStmt<IfStmt>(S);
+    genStmt(I->Then);
+    genStmt(I->Else);
+    return;
+  }
+  case Stmt::Kind::Loop: {
+    const auto *L = castStmt<LoopStmt>(S);
+    genStmt(L->Body);
+    genStmt(L->Trailer);
+    return;
+  }
+  case Stmt::Kind::Switch:
+    for (const SwitchStmt::Case &C : castStmt<SwitchStmt>(S)->Cases)
+      for (const Stmt *B : C.Body)
+        genStmt(B);
+    return;
+  case Stmt::Kind::Assign: {
+    const auto *A = castStmt<AssignStmt>(S);
+    switch (A->RK) {
+    case AssignStmt::RhsKind::Operand: {
+      unsigned T = freshTmp("op");
+      constrainReadOperand(T, A->A);
+      constrainWrite(A->Lhs, T);
+      return;
+    }
+    case AssignStmt::RhsKind::Binary: {
+      unsigned T = freshTmp("bin");
+      constrainReadOperand(T, A->A);
+      constrainReadOperand(T, A->B);
+      constrainWrite(A->Lhs, T);
+      return;
+    }
+    case AssignStmt::RhsKind::Unary:
+      return;
+    case AssignStmt::RhsKind::Alloc: {
+      unsigned T = freshTmp("alloc");
+      addAddress(T, heapNode());
+      constrainWrite(A->Lhs, T);
+      return;
+    }
+    case AssignStmt::RhsKind::Call:
+      genCall(A->Call, &A->Lhs);
+      return;
+    }
+    return;
+  }
+  case Stmt::Kind::Call:
+    genCall(castStmt<CallStmt>(S)->Call, nullptr);
+    return;
+  case Stmt::Kind::Return: {
+    const auto *R = castStmt<ReturnStmt>(S);
+    // Attribute the return value to the enclosing function; the walk
+    // below passes it via CurFn.
+    if (R->Value && CurRet != ~0u)
+      constrainReadOperand(CurRet, *R->Value);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+AndersenResult Solver::solve() {
+  // Generate constraints for every function (whole-program,
+  // flow-insensitive: reachability is ignored).
+  for (const FunctionIR &F : Prog.functions()) {
+    CurRet = retNode(F.Decl);
+    genStmt(F.Body);
+  }
+  CurRet = ~0u;
+  genStmt(Prog.globalInit());
+
+  Pts.resize(Nodes.size());
+
+  // Naive iteration to fixpoint; adequate at our program sizes.
+  AndersenResult Res;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Res.SolverIterations;
+
+    // New constraint batches may be added by indirect-call binding.
+    for (const auto &[L, O] : AddrConstraints)
+      Changed |= Pts[L].insert(O).second;
+    for (const auto &[L, R] : CopyConstraints)
+      for (unsigned O : Pts[R])
+        Changed |= Pts[L].insert(O).second;
+    for (const auto &[L, P] : LoadConstraints)
+      for (unsigned T : Pts[P]) {
+        if (Nodes[T].K == Node::Kind::Function)
+          continue;
+        for (unsigned O : Pts[T])
+          Changed |= Pts[L].insert(O).second;
+      }
+    for (const auto &[P, R] : StoreConstraints)
+      for (unsigned T : Pts[P]) {
+        if (Nodes[T].K == Node::Kind::Function)
+          continue;
+        for (unsigned O : Pts[R])
+          Changed |= Pts[T].insert(O).second;
+      }
+
+    // Grow indirect call bindings from the current solution.
+    for (IndirectSite &Site : IndirectSites) {
+      unsigned Fp = varNode(Site.CI->FnPtr.Base);
+      if (Fp >= Pts.size())
+        Pts.resize(Nodes.size());
+      for (unsigned T : Pts[Fp]) {
+        if (Nodes[T].K != Node::Kind::Function)
+          continue;
+        const cf::FunctionDecl *F = Nodes[T].Fn;
+        if (!Site.Bound.insert(F).second)
+          continue;
+        bindCall(*Site.CI, F, Site.LhsRef);
+        Changed = true;
+      }
+    }
+    Pts.resize(Nodes.size());
+  }
+
+  // Export the solution and the indirect-reference metric.
+  for (unsigned I = 0; I < Nodes.size(); ++I) {
+    if (Pts[I].empty() || Nodes[I].Name.rfind("$andersen$", 0) == 0)
+      continue;
+    auto &Set = Res.Solution[Nodes[I].Name];
+    for (unsigned O : Pts[I])
+      Set.insert(Nodes[O].Name);
+    Res.TotalPairs += Pts[I].size();
+  }
+
+  unsigned long long TargetSum = 0;
+  unsigned Refs = 0;
+  std::vector<const CallInfo *> Calls;
+  for (const FunctionIR &F : Prog.functions()) {
+    std::vector<const Stmt *> Stack = {F.Body};
+    while (!Stack.empty()) {
+      const Stmt *S = Stack.back();
+      Stack.pop_back();
+      if (!S)
+        continue;
+      switch (S->kind()) {
+      case Stmt::Kind::Block:
+        for (const Stmt *C : castStmt<BlockStmt>(S)->Body)
+          Stack.push_back(C);
+        break;
+      case Stmt::Kind::If:
+        Stack.push_back(castStmt<IfStmt>(S)->Then);
+        Stack.push_back(castStmt<IfStmt>(S)->Else);
+        break;
+      case Stmt::Kind::Loop:
+        Stack.push_back(castStmt<LoopStmt>(S)->Body);
+        Stack.push_back(castStmt<LoopStmt>(S)->Trailer);
+        break;
+      case Stmt::Kind::Switch:
+        for (const SwitchStmt::Case &C : castStmt<SwitchStmt>(S)->Cases)
+          for (const Stmt *B : C.Body)
+            Stack.push_back(B);
+        break;
+      case Stmt::Kind::Assign: {
+        const auto *A = castStmt<AssignStmt>(S);
+        auto Count = [&](const Reference &R) {
+          if (!R.isIndirect())
+            return;
+          ++Refs;
+          unsigned Base = varNode(R.Base);
+          if (Base < Pts.size())
+            TargetSum += Pts[Base].size();
+        };
+        Count(A->Lhs);
+        if (A->A.isRef())
+          Count(A->A.Ref);
+        if (A->RK == AssignStmt::RhsKind::Binary && A->B.isRef())
+          Count(A->B.Ref);
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+  Res.IndirectRefs = Refs;
+  Res.AvgIndirectTargets =
+      Refs ? static_cast<double>(TargetSum) / Refs : 0;
+  return Res;
+}
+
+} // namespace
+
+const std::set<std::string> &
+AndersenResult::pointsTo(const std::string &Var) const {
+  static const std::set<std::string> Empty;
+  auto It = Solution.find(Var);
+  return It == Solution.end() ? Empty : It->second;
+}
+
+AndersenResult AndersenAnalysis::run(const Program &Prog) {
+  Solver S(Prog);
+  return S.solve();
+}

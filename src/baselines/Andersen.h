@@ -1,0 +1,58 @@
+//===- Andersen.h - flow-insensitive inclusion baseline ---------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic Andersen-style inclusion-based points-to analysis used as
+/// the flow-insensitivity ablation: one solution for the whole program,
+/// no kill/definite information, field- and context-insensitive
+/// (locations collapse to their root entities). Indirect calls are
+/// resolved on the fly from the growing solution, like Figure 5 but
+/// without contexts. The contrast against the paper's analysis shows
+/// what flow-sensitivity and the D/P split buy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_BASELINES_ANDERSEN_H
+#define MCPTA_BASELINES_ANDERSEN_H
+
+#include "pointsto/Location.h"
+#include "simple/SimpleIR.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace baselines {
+
+/// Result of the Andersen baseline.
+struct AndersenResult {
+  /// Points-to sets keyed by entity name (deterministic).
+  using PtsMap = std::map<std::string, std::set<std::string>>;
+
+  PtsMap Solution;
+  const std::set<std::string> &pointsTo(const std::string &Var) const;
+
+  /// Average number of (non-NULL) targets of the dereferenced pointer
+  /// over all indirect references in the program.
+  double AvgIndirectTargets = 0;
+  unsigned IndirectRefs = 0;
+  unsigned SolverIterations = 0;
+  /// Total pairs in the solution.
+  unsigned long long TotalPairs = 0;
+};
+
+/// Runs the baseline over a simplified program.
+class AndersenAnalysis {
+public:
+  static AndersenResult run(const simple::Program &Prog);
+};
+
+} // namespace baselines
+} // namespace mcpta
+
+#endif // MCPTA_BASELINES_ANDERSEN_H

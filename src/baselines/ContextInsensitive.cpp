@@ -1,0 +1,25 @@
+//===- ContextInsensitive.cpp - context-sensitivity ablation ------------------===//
+
+#include "baselines/ContextInsensitive.h"
+
+using namespace mcpta;
+using namespace mcpta::baselines;
+using namespace mcpta::pta;
+
+PrecisionComparison
+PrecisionComparison::compute(const simple::Program &Prog) {
+  PrecisionComparison Out;
+
+  Analyzer::Options Sens;
+  Analyzer::Result RS = Analyzer::run(Prog, Sens);
+  Out.Sensitive = clients::IndirectRefAnalysis::compute(Prog, RS);
+  Out.SensitiveBodyAnalyses = RS.BodyAnalyses;
+
+  Analyzer::Options Insens;
+  Insens.ContextSensitive = false;
+  Analyzer::Result RI = Analyzer::run(Prog, Insens);
+  Out.Insensitive = clients::IndirectRefAnalysis::compute(Prog, RI);
+  Out.InsensitiveBodyAnalyses = RI.BodyAnalyses;
+
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- ContextInsensitive.h - context-sensitivity ablation ------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation baseline for the paper's central design decision: what the
+/// same flow-sensitive analysis produces when every function is given a
+/// single summary merged over all calling contexts (Sec. 4's discussion
+/// of the calling context problem). The comparison metric follows
+/// Table 3: the average number of locations the dereferenced pointer of
+/// an indirect reference can point to, and the share of definite
+/// single-target references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_BASELINES_CONTEXTINSENSITIVE_H
+#define MCPTA_BASELINES_CONTEXTINSENSITIVE_H
+
+#include "clients/IndirectRefStats.h"
+#include "pointsto/Analyzer.h"
+
+namespace mcpta {
+namespace baselines {
+
+struct PrecisionComparison {
+  clients::IndirectRefAnalysis Sensitive;
+  clients::IndirectRefAnalysis Insensitive;
+  unsigned SensitiveBodyAnalyses = 0;
+  unsigned InsensitiveBodyAnalyses = 0;
+
+  static PrecisionComparison compute(const simple::Program &Prog);
+};
+
+} // namespace baselines
+} // namespace mcpta
+
+#endif // MCPTA_BASELINES_CONTEXTINSENSITIVE_H

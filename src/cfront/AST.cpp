@@ -1,0 +1,49 @@
+//===- AST.cpp - C abstract syntax tree ------------------------------------===//
+
+#include "cfront/AST.h"
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+FieldDecl *RecordDecl::findField(const std::string &Name) const {
+  for (FieldDecl *F : Fields)
+    if (F->name() == Name)
+      return F;
+  return nullptr;
+}
+
+FunctionDecl *CallExpr::directCallee() const {
+  const Expr *C = Callee;
+  // Peel parens-like casts and an explicit deref/addr-of of a function
+  // designator: in C, (*f)(), (&f)(), and f() all call f directly when f
+  // names a function.
+  while (true) {
+    if (const auto *Cast = dynCastExpr<CastExpr>(C)) {
+      C = Cast->sub();
+      continue;
+    }
+    if (const auto *U = dynCastExpr<UnaryExpr>(C)) {
+      if (U->op() == UnaryOp::Deref || U->op() == UnaryOp::AddrOf) {
+        // Only peel when the operand directly names a function; a deref of
+        // a function *pointer variable* is an indirect call.
+        if (const auto *DR = dynCastExpr<DeclRefExpr>(U->sub()))
+          if (DR->decl()->kind() == Decl::Kind::Function) {
+            C = U->sub();
+            continue;
+          }
+      }
+    }
+    break;
+  }
+  if (const auto *DR = dynCastExpr<DeclRefExpr>(C))
+    if (DR->decl()->kind() == Decl::Kind::Function)
+      return static_cast<FunctionDecl *>(DR->decl());
+  return nullptr;
+}
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  for (FunctionDecl *F : Functions)
+    if (F->name() == Name)
+      return F;
+  return nullptr;
+}

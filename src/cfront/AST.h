@@ -1,0 +1,761 @@
+//===- AST.h - C abstract syntax tree ---------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST for the accepted C subset. The parser produces a fully resolved and
+/// typed tree: every DeclRefExpr points at its declaration and every Expr
+/// carries its Type, so later phases never do name lookup. Ownership is
+/// centralized in ASTContext (bump-style: nodes live as long as the
+/// context). Node classes use kind tags + classof rather than RTTI,
+/// following the LLVM style.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CFRONT_AST_H
+#define MCPTA_CFRONT_AST_H
+
+#include "cfront/Type.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace cfront {
+
+class ASTContext;
+class CompoundStmt;
+class Expr;
+class FunctionDecl;
+class RecordDecl;
+class Stmt;
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Base class of all declarations.
+class Decl {
+public:
+  enum class Kind {
+    Var,
+    Field,
+    Record,
+    Function,
+    Typedef,
+    EnumConstant,
+  };
+
+  Kind kind() const { return K; }
+  const std::string &name() const { return Name; }
+  SourceLoc loc() const { return Loc; }
+  virtual ~Decl() = default;
+
+protected:
+  Decl(Kind K, std::string Name, SourceLoc Loc)
+      : K(K), Name(std::move(Name)), Loc(Loc) {}
+
+private:
+  Kind K;
+  std::string Name;
+  SourceLoc Loc;
+};
+
+/// LLVM-ish cast helpers over Decl kind tags.
+template <typename To> To *dynCastDecl(Decl *D) {
+  if (D && To::classof(D))
+    return static_cast<To *>(D);
+  return nullptr;
+}
+template <typename To> const To *dynCastDecl(const Decl *D) {
+  if (D && To::classof(D))
+    return static_cast<const To *>(D);
+  return nullptr;
+}
+
+/// A variable: global, function-local, parameter, or a compiler temporary
+/// introduced by the simplifier.
+class VarDecl : public Decl {
+public:
+  enum class Storage { Global, Local, Param, Temp };
+
+  VarDecl(std::string Name, SourceLoc Loc, const Type *Ty, Storage S)
+      : Decl(Kind::Var, std::move(Name), Loc), Ty(Ty), S(S) {}
+
+  const Type *type() const { return Ty; }
+  Storage storage() const { return S; }
+  bool isGlobal() const { return S == Storage::Global; }
+  bool isParam() const { return S == Storage::Param; }
+
+  /// Original-source initializer (null if none). Consumed by the
+  /// simplifier, which turns it into explicit assignment statements.
+  Expr *init() const { return Init; }
+  void setInit(Expr *E) { Init = E; }
+
+  /// The function this local/param/temp belongs to; null for globals.
+  FunctionDecl *owner() const { return Owner; }
+  void setOwner(FunctionDecl *F) { Owner = F; }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Var; }
+
+private:
+  const Type *Ty;
+  Storage S;
+  Expr *Init = nullptr;
+  FunctionDecl *Owner = nullptr;
+};
+
+/// A struct/union member.
+class FieldDecl : public Decl {
+public:
+  FieldDecl(std::string Name, SourceLoc Loc, const Type *Ty,
+            RecordDecl *Parent, unsigned Index)
+      : Decl(Kind::Field, std::move(Name), Loc), Ty(Ty), Parent(Parent),
+        Index(Index) {}
+
+  const Type *type() const { return Ty; }
+  RecordDecl *parent() const { return Parent; }
+  unsigned index() const { return Index; }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Field; }
+
+private:
+  const Type *Ty;
+  RecordDecl *Parent;
+  unsigned Index;
+};
+
+/// A struct or union. Unions are modeled as structs whose fields all
+/// overlap; for points-to purposes each union member is a distinct
+/// abstract location, which is safe because writes through one member
+/// conservatively leave the others' relationships possible (see
+/// Analyzer.cpp union handling).
+class RecordDecl : public Decl {
+public:
+  RecordDecl(std::string Name, SourceLoc Loc, bool IsUnion)
+      : Decl(Kind::Record, std::move(Name), Loc), IsUnion(IsUnion) {}
+
+  bool isUnion() const { return IsUnion; }
+  bool isComplete() const { return Complete; }
+  void setComplete() { Complete = true; }
+
+  const std::vector<FieldDecl *> &fields() const { return Fields; }
+  void addField(FieldDecl *F) { Fields.push_back(F); }
+  FieldDecl *findField(const std::string &Name) const;
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Record; }
+
+private:
+  bool IsUnion;
+  bool Complete = false;
+  std::vector<FieldDecl *> Fields;
+};
+
+/// A function declaration or definition.
+class FunctionDecl : public Decl {
+public:
+  FunctionDecl(std::string Name, SourceLoc Loc, const FunctionType *Ty)
+      : Decl(Kind::Function, std::move(Name), Loc), Ty(Ty) {}
+
+  const FunctionType *type() const { return Ty; }
+  void setType(const FunctionType *T) { Ty = T; }
+  const Type *returnType() const { return Ty->returnType(); }
+
+  const std::vector<VarDecl *> &params() const { return Params; }
+  void setParams(std::vector<VarDecl *> P) { Params = std::move(P); }
+
+  CompoundStmt *body() const { return Body; }
+  void setBody(CompoundStmt *B) { Body = B; }
+  bool isDefined() const { return Body != nullptr; }
+
+  /// Set when the program takes the function's address other than in a
+  /// direct call (used by the address-taken call-graph baseline).
+  bool isAddressTaken() const { return AddressTaken; }
+  void setAddressTaken() { AddressTaken = true; }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Function; }
+
+private:
+  const FunctionType *Ty;
+  std::vector<VarDecl *> Params;
+  CompoundStmt *Body = nullptr;
+  bool AddressTaken = false;
+};
+
+/// typedef name.
+class TypedefDecl : public Decl {
+public:
+  TypedefDecl(std::string Name, SourceLoc Loc, const Type *Ty)
+      : Decl(Kind::Typedef, std::move(Name), Loc), Ty(Ty) {}
+
+  const Type *type() const { return Ty; }
+
+  static bool classof(const Decl *D) { return D->kind() == Kind::Typedef; }
+
+private:
+  const Type *Ty;
+};
+
+/// An enumerator; behaves as an int constant.
+class EnumConstantDecl : public Decl {
+public:
+  EnumConstantDecl(std::string Name, SourceLoc Loc, long long Value)
+      : Decl(Kind::EnumConstant, std::move(Name), Loc), Value(Value) {}
+
+  long long value() const { return Value; }
+
+  static bool classof(const Decl *D) {
+    return D->kind() == Kind::EnumConstant;
+  }
+
+private:
+  long long Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all expressions. Every expression is typed by the parser.
+class Expr {
+public:
+  enum class Kind {
+    IntLiteral,
+    FloatLiteral,
+    StringLiteral,
+    NullLiteral,
+    DeclRef,
+    Unary,
+    Binary,
+    Assign,
+    Conditional,
+    Call,
+    Member,
+    ArraySubscript,
+    Cast,
+    InitList,
+  };
+
+  Kind kind() const { return K; }
+  const Type *type() const { return Ty; }
+  SourceLoc loc() const { return Loc; }
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, const Type *Ty, SourceLoc Loc) : K(K), Ty(Ty), Loc(Loc) {}
+
+private:
+  Kind K;
+  const Type *Ty;
+  SourceLoc Loc;
+};
+
+template <typename To> To *dynCastExpr(Expr *E) {
+  if (E && To::classof(E))
+    return static_cast<To *>(E);
+  return nullptr;
+}
+template <typename To> const To *dynCastExpr(const Expr *E) {
+  if (E && To::classof(E))
+    return static_cast<const To *>(E);
+  return nullptr;
+}
+template <typename To> To *castExpr(Expr *E) {
+  assert(E && To::classof(E) && "invalid expr cast");
+  return static_cast<To *>(E);
+}
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(long long Value, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::IntLiteral, Ty, Loc), Value(Value) {}
+  long long value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+private:
+  long long Value;
+};
+
+class FloatLiteralExpr : public Expr {
+public:
+  FloatLiteralExpr(double Value, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::FloatLiteral, Ty, Loc), Value(Value) {}
+  double value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::FloatLiteral;
+  }
+
+private:
+  double Value;
+};
+
+/// A string literal. The simplifier materializes one static char-array
+/// entity per literal, so taking its value yields a points-to pair.
+class StringLiteralExpr : public Expr {
+public:
+  StringLiteralExpr(std::string Value, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::StringLiteral, Ty, Loc), Value(std::move(Value)) {}
+  const std::string &value() const { return Value; }
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::StringLiteral;
+  }
+
+private:
+  std::string Value;
+};
+
+/// The NULL constant (also produced for a literal 0 assigned to a
+/// pointer, handled in the simplifier).
+class NullLiteralExpr : public Expr {
+public:
+  NullLiteralExpr(const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::NullLiteral, Ty, Loc) {}
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::NullLiteral;
+  }
+};
+
+/// Reference to a variable, function, or enum constant.
+class DeclRefExpr : public Expr {
+public:
+  DeclRefExpr(Decl *D, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::DeclRef, Ty, Loc), D(D) {}
+  Decl *decl() const { return D; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::DeclRef; }
+
+private:
+  Decl *D;
+};
+
+enum class UnaryOp {
+  AddrOf,
+  Deref,
+  Plus,
+  Minus,
+  Not,
+  BitNot,
+  PreInc,
+  PreDec,
+  PostInc,
+  PostDec,
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, Expr *Sub, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::Unary, Ty, Loc), Op(Op), Sub(Sub) {}
+  UnaryOp op() const { return Op; }
+  Expr *sub() const { return Sub; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Sub;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  BitAnd,
+  BitXor,
+  BitOr,
+  LogAnd,
+  LogOr,
+  Comma,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, Expr *LHS, Expr *RHS, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::Binary, Ty, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+enum class AssignOp {
+  Assign,
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  And,
+  Or,
+  Xor,
+};
+
+class AssignExpr : public Expr {
+public:
+  AssignExpr(AssignOp Op, Expr *LHS, Expr *RHS, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::Assign, Ty, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+  AssignOp op() const { return Op; }
+  Expr *lhs() const { return LHS; }
+  Expr *rhs() const { return RHS; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Assign; }
+
+private:
+  AssignOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(Expr *Cond, Expr *Then, Expr *Else, const Type *Ty,
+                  SourceLoc Loc)
+      : Expr(Kind::Conditional, Ty, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Expr *thenExpr() const { return Then; }
+  Expr *elseExpr() const { return Else; }
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::Conditional;
+  }
+
+private:
+  Expr *Cond;
+  Expr *Then;
+  Expr *Else;
+};
+
+/// A call. The callee is an arbitrary expression; direct calls have a
+/// DeclRefExpr to a FunctionDecl (possibly behind a Deref), indirect
+/// calls go through a function-pointer-typed expression.
+class CallExpr : public Expr {
+public:
+  CallExpr(Expr *Callee, std::vector<Expr *> Args, const Type *Ty,
+           SourceLoc Loc)
+      : Expr(Kind::Call, Ty, Loc), Callee(Callee), Args(std::move(Args)) {}
+  Expr *callee() const { return Callee; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  /// If this is a direct call to a named function, returns it.
+  FunctionDecl *directCallee() const;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  Expr *Callee;
+  std::vector<Expr *> Args;
+};
+
+class MemberExpr : public Expr {
+public:
+  MemberExpr(Expr *Base, FieldDecl *Member, bool IsArrow, const Type *Ty,
+             SourceLoc Loc)
+      : Expr(Kind::Member, Ty, Loc), Base(Base), Member(Member),
+        IsArrow(IsArrow) {}
+  Expr *base() const { return Base; }
+  FieldDecl *member() const { return Member; }
+  bool isArrow() const { return IsArrow; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Member; }
+
+private:
+  Expr *Base;
+  FieldDecl *Member;
+  bool IsArrow;
+};
+
+class ArraySubscriptExpr : public Expr {
+public:
+  ArraySubscriptExpr(Expr *Base, Expr *Index, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::ArraySubscript, Ty, Loc), Base(Base), Index(Index) {}
+  Expr *base() const { return Base; }
+  Expr *index() const { return Index; }
+  static bool classof(const Expr *E) {
+    return E->kind() == Kind::ArraySubscript;
+  }
+
+private:
+  Expr *Base;
+  Expr *Index;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(Expr *Sub, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::Cast, Ty, Loc), Sub(Sub) {}
+  Expr *sub() const { return Sub; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::Cast; }
+
+private:
+  Expr *Sub;
+};
+
+/// Brace initializer for aggregates: { e0, e1, ... }.
+class InitListExpr : public Expr {
+public:
+  InitListExpr(std::vector<Expr *> Inits, const Type *Ty, SourceLoc Loc)
+      : Expr(Kind::InitList, Ty, Loc), Inits(std::move(Inits)) {}
+  const std::vector<Expr *> &inits() const { return Inits; }
+  static bool classof(const Expr *E) { return E->kind() == Kind::InitList; }
+
+private:
+  std::vector<Expr *> Inits;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Compound,
+    Decl,
+    Expr,
+    If,
+    While,
+    Do,
+    For,
+    Switch,
+    Break,
+    Continue,
+    Return,
+    Null,
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+template <typename To> To *dynCastStmt(Stmt *S) {
+  if (S && To::classof(S))
+    return static_cast<To *>(S);
+  return nullptr;
+}
+template <typename To> To *castStmt(Stmt *S) {
+  assert(S && To::classof(S) && "invalid stmt cast");
+  return static_cast<To *>(S);
+}
+
+class CompoundStmt : public Stmt {
+public:
+  explicit CompoundStmt(SourceLoc Loc) : Stmt(Kind::Compound, Loc) {}
+  const std::vector<Stmt *> &body() const { return Body; }
+  void addStmt(Stmt *S) { Body.push_back(S); }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Compound; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+/// Declaration of one or more local variables.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(std::vector<VarDecl *> Vars, SourceLoc Loc)
+      : Stmt(Kind::Decl, Loc), Vars(std::move(Vars)) {}
+  const std::vector<VarDecl *> &vars() const { return Vars; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Decl; }
+
+private:
+  std::vector<VarDecl *> Vars;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, SourceLoc Loc) : Stmt(Kind::Expr, Loc), E(E) {}
+  Expr *expr() const { return E; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  Expr *E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *cond() const { return Cond; }
+  Stmt *thenStmt() const { return Then; }
+  Stmt *elseStmt() const { return Else; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+  Expr *cond() const { return Cond; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+class DoStmt : public Stmt {
+public:
+  DoStmt(Stmt *Body, Expr *Cond, SourceLoc Loc)
+      : Stmt(Kind::Do, Loc), Body(Body), Cond(Cond) {}
+  Stmt *body() const { return Body; }
+  Expr *cond() const { return Cond; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Do; }
+
+private:
+  Stmt *Body;
+  Expr *Cond;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(Stmt *Init, Expr *Cond, Expr *Inc, Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(Init), Cond(Cond), Inc(Inc), Body(Body) {}
+  Stmt *init() const { return Init; }
+  Expr *cond() const { return Cond; }
+  Expr *inc() const { return Inc; }
+  Stmt *body() const { return Body; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Inc;
+  Stmt *Body;
+};
+
+/// One `case`/`default` arm of a switch; Values empty means default.
+struct SwitchCase {
+  std::vector<long long> Values;
+  bool IsDefault = false;
+  std::vector<Stmt *> Body;
+};
+
+/// switch statement. The parser requires cases to be directly inside the
+/// switch body (no Duff's device); fallthrough is preserved.
+class SwitchStmt : public Stmt {
+public:
+  SwitchStmt(Expr *Cond, std::vector<SwitchCase> Cases, SourceLoc Loc)
+      : Stmt(Kind::Switch, Loc), Cond(Cond), Cases(std::move(Cases)) {}
+  Expr *cond() const { return Cond; }
+  const std::vector<SwitchCase> &cases() const { return Cases; }
+  bool hasDefault() const {
+    for (const SwitchCase &C : Cases)
+      if (C.IsDefault)
+        return true;
+    return false;
+  }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Switch; }
+
+private:
+  Expr *Cond;
+  std::vector<SwitchCase> Cases;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(Expr *Value, SourceLoc Loc) : Stmt(Kind::Return, Loc), V(Value) {}
+  Expr *value() const { return V; }
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  Expr *V;
+};
+
+class NullStmt : public Stmt {
+public:
+  explicit NullStmt(SourceLoc Loc) : Stmt(Kind::Null, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Null; }
+};
+
+//===----------------------------------------------------------------------===//
+// ASTContext and TranslationUnit
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node and the type context for one translation unit.
+/// Nodes are never freed individually; they live until the context dies.
+class ASTContext {
+public:
+  TypeContext &types() { return Types; }
+  const TypeContext &types() const { return Types; }
+
+  /// Allocates and owns a new node.
+  template <typename T, typename... Args> T *create(Args &&...As) {
+    T *Ptr = new T(std::forward<Args>(As)...);
+    OwnedNodes.emplace_back(Ptr, [](void *P) { delete static_cast<T *>(P); });
+    return Ptr;
+  }
+
+private:
+  TypeContext Types;
+  std::vector<std::unique_ptr<void, void (*)(void *)>> OwnedNodes;
+};
+
+/// The root of a parsed program.
+class TranslationUnit {
+public:
+  explicit TranslationUnit(ASTContext &Ctx) : Ctx(Ctx) {}
+
+  ASTContext &context() { return Ctx; }
+
+  const std::vector<VarDecl *> &globals() const { return Globals; }
+  const std::vector<FunctionDecl *> &functions() const { return Functions; }
+  const std::vector<RecordDecl *> &records() const { return Records; }
+
+  void addGlobal(VarDecl *V) { Globals.push_back(V); }
+  void addFunction(FunctionDecl *F) { Functions.push_back(F); }
+  void addRecord(RecordDecl *R) { Records.push_back(R); }
+
+  FunctionDecl *findFunction(const std::string &Name) const;
+
+private:
+  ASTContext &Ctx;
+  std::vector<VarDecl *> Globals;
+  std::vector<FunctionDecl *> Functions;
+  std::vector<RecordDecl *> Records;
+};
+
+} // namespace cfront
+} // namespace mcpta
+
+#endif // MCPTA_CFRONT_AST_H

@@ -1,0 +1,437 @@
+//===- Lexer.cpp - C lexer ------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+const char *mcpta::cfront::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile: return "end of file";
+  case TokenKind::Identifier: return "identifier";
+  case TokenKind::IntLiteral: return "integer literal";
+  case TokenKind::FloatLiteral: return "float literal";
+  case TokenKind::CharLiteral: return "character literal";
+  case TokenKind::StringLiteral: return "string literal";
+  case TokenKind::KwVoid: return "'void'";
+  case TokenKind::KwChar: return "'char'";
+  case TokenKind::KwShort: return "'short'";
+  case TokenKind::KwInt: return "'int'";
+  case TokenKind::KwLong: return "'long'";
+  case TokenKind::KwFloat: return "'float'";
+  case TokenKind::KwDouble: return "'double'";
+  case TokenKind::KwSigned: return "'signed'";
+  case TokenKind::KwUnsigned: return "'unsigned'";
+  case TokenKind::KwStruct: return "'struct'";
+  case TokenKind::KwUnion: return "'union'";
+  case TokenKind::KwEnum: return "'enum'";
+  case TokenKind::KwTypedef: return "'typedef'";
+  case TokenKind::KwExtern: return "'extern'";
+  case TokenKind::KwStatic: return "'static'";
+  case TokenKind::KwConst: return "'const'";
+  case TokenKind::KwVolatile: return "'volatile'";
+  case TokenKind::KwRegister: return "'register'";
+  case TokenKind::KwAuto: return "'auto'";
+  case TokenKind::KwIf: return "'if'";
+  case TokenKind::KwElse: return "'else'";
+  case TokenKind::KwWhile: return "'while'";
+  case TokenKind::KwDo: return "'do'";
+  case TokenKind::KwFor: return "'for'";
+  case TokenKind::KwSwitch: return "'switch'";
+  case TokenKind::KwCase: return "'case'";
+  case TokenKind::KwDefault: return "'default'";
+  case TokenKind::KwBreak: return "'break'";
+  case TokenKind::KwContinue: return "'continue'";
+  case TokenKind::KwReturn: return "'return'";
+  case TokenKind::KwGoto: return "'goto'";
+  case TokenKind::KwSizeof: return "'sizeof'";
+  case TokenKind::KwNull: return "'NULL'";
+  case TokenKind::LParen: return "'('";
+  case TokenKind::RParen: return "')'";
+  case TokenKind::LBrace: return "'{'";
+  case TokenKind::RBrace: return "'}'";
+  case TokenKind::LBracket: return "'['";
+  case TokenKind::RBracket: return "']'";
+  case TokenKind::Semi: return "';'";
+  case TokenKind::Comma: return "','";
+  case TokenKind::Dot: return "'.'";
+  case TokenKind::Arrow: return "'->'";
+  case TokenKind::Amp: return "'&'";
+  case TokenKind::AmpAmp: return "'&&'";
+  case TokenKind::Star: return "'*'";
+  case TokenKind::Plus: return "'+'";
+  case TokenKind::PlusPlus: return "'++'";
+  case TokenKind::Minus: return "'-'";
+  case TokenKind::MinusMinus: return "'--'";
+  case TokenKind::Slash: return "'/'";
+  case TokenKind::Percent: return "'%'";
+  case TokenKind::Bang: return "'!'";
+  case TokenKind::BangEqual: return "'!='";
+  case TokenKind::Tilde: return "'~'";
+  case TokenKind::Caret: return "'^'";
+  case TokenKind::Pipe: return "'|'";
+  case TokenKind::PipePipe: return "'||'";
+  case TokenKind::Question: return "'?'";
+  case TokenKind::Colon: return "':'";
+  case TokenKind::Less: return "'<'";
+  case TokenKind::LessEqual: return "'<='";
+  case TokenKind::LessLess: return "'<<'";
+  case TokenKind::Greater: return "'>'";
+  case TokenKind::GreaterEqual: return "'>='";
+  case TokenKind::GreaterGreater: return "'>>'";
+  case TokenKind::Equal: return "'='";
+  case TokenKind::EqualEqual: return "'=='";
+  case TokenKind::PlusEqual: return "'+='";
+  case TokenKind::MinusEqual: return "'-='";
+  case TokenKind::StarEqual: return "'*='";
+  case TokenKind::SlashEqual: return "'/='";
+  case TokenKind::PercentEqual: return "'%='";
+  case TokenKind::AmpEqual: return "'&='";
+  case TokenKind::PipeEqual: return "'|='";
+  case TokenKind::CaretEqual: return "'^='";
+  case TokenKind::LessLessEqual: return "'<<='";
+  case TokenKind::GreaterGreaterEqual: return "'>>='";
+  case TokenKind::Ellipsis: return "'...'";
+  }
+  return "unknown token";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"void", TokenKind::KwVoid},
+      {"char", TokenKind::KwChar},
+      {"short", TokenKind::KwShort},
+      {"int", TokenKind::KwInt},
+      {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},
+      {"double", TokenKind::KwDouble},
+      {"signed", TokenKind::KwSigned},
+      {"unsigned", TokenKind::KwUnsigned},
+      {"struct", TokenKind::KwStruct},
+      {"union", TokenKind::KwUnion},
+      {"enum", TokenKind::KwEnum},
+      {"typedef", TokenKind::KwTypedef},
+      {"extern", TokenKind::KwExtern},
+      {"static", TokenKind::KwStatic},
+      {"const", TokenKind::KwConst},
+      {"volatile", TokenKind::KwVolatile},
+      {"register", TokenKind::KwRegister},
+      {"auto", TokenKind::KwAuto},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},
+      {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"return", TokenKind::KwReturn},
+      {"goto", TokenKind::KwGoto},
+      {"sizeof", TokenKind::KwSizeof},
+      {"NULL", TokenKind::KwNull},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source, DiagnosticsEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  if (Pos + Ahead >= Source.size())
+    return '\0';
+  return Source[Pos + Ahead];
+}
+
+char Lexer::advance() {
+  assert(!atEnd() && "advance past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      bool Closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          Closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!Closed)
+        Diags.error(Start, "unterminated block comment");
+      continue;
+    }
+    // Skip preprocessor lines; sources are expected to be self-contained.
+    if (C == '#' && Col == 1) {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  Token Tok;
+  Tok.Loc = loc();
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text += advance();
+  auto It = keywordTable().find(Text);
+  Tok.Kind = It != keywordTable().end() ? It->second : TokenKind::Identifier;
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexNumber() {
+  Token Tok;
+  Tok.Loc = loc();
+  std::string Text;
+  bool IsFloat = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Text += advance();
+    Text += advance();
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    Tok.Kind = TokenKind::IntLiteral;
+    Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 16);
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      Text += advance();
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peek(1);
+      char Next2 = peek(2);
+      if (std::isdigit(static_cast<unsigned char>(Next)) ||
+          ((Next == '+' || Next == '-') &&
+           std::isdigit(static_cast<unsigned char>(Next2)))) {
+        IsFloat = true;
+        Text += advance();
+        if (peek() == '+' || peek() == '-')
+          Text += advance();
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          Text += advance();
+      }
+    }
+    if (IsFloat) {
+      Tok.Kind = TokenKind::FloatLiteral;
+      Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+    } else {
+      Tok.Kind = TokenKind::IntLiteral;
+      Tok.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    }
+  }
+  // Swallow integer/float suffixes (L, U, f, ...).
+  while (!atEnd() && (peek() == 'l' || peek() == 'L' || peek() == 'u' ||
+                      peek() == 'U' || peek() == 'f' || peek() == 'F'))
+    Text += advance();
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+static char decodeEscape(char C) {
+  switch (C) {
+  case 'n': return '\n';
+  case 't': return '\t';
+  case 'r': return '\r';
+  case '0': return '\0';
+  case '\\': return '\\';
+  case '\'': return '\'';
+  case '"': return '"';
+  default: return C;
+  }
+}
+
+Token Lexer::lexCharLiteral() {
+  Token Tok;
+  Tok.Loc = loc();
+  Tok.Kind = TokenKind::CharLiteral;
+  advance(); // opening quote
+  char Value = 0;
+  if (peek() == '\\') {
+    advance();
+    if (!atEnd())
+      Value = decodeEscape(advance());
+  } else if (!atEnd() && peek() != '\'') {
+    Value = advance();
+  }
+  if (!match('\''))
+    Diags.error(Tok.Loc, "unterminated character literal");
+  Tok.IntValue = Value;
+  Tok.Text = std::string(1, Value);
+  return Tok;
+}
+
+Token Lexer::lexStringLiteral() {
+  Token Tok;
+  Tok.Loc = loc();
+  Tok.Kind = TokenKind::StringLiteral;
+  advance(); // opening quote
+  std::string Text;
+  while (!atEnd() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && !atEnd())
+      C = decodeEscape(advance());
+    Text += C;
+  }
+  if (!match('"'))
+    Diags.error(Tok.Loc, "unterminated string literal");
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+
+  Token Tok;
+  Tok.Loc = loc();
+  if (atEnd()) {
+    Tok.Kind = TokenKind::EndOfFile;
+    return Tok;
+  }
+
+  char C = peek();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (C == '\'')
+    return lexCharLiteral();
+  if (C == '"')
+    return lexStringLiteral();
+
+  advance();
+  switch (C) {
+  case '(': Tok.Kind = TokenKind::LParen; break;
+  case ')': Tok.Kind = TokenKind::RParen; break;
+  case '{': Tok.Kind = TokenKind::LBrace; break;
+  case '}': Tok.Kind = TokenKind::RBrace; break;
+  case '[': Tok.Kind = TokenKind::LBracket; break;
+  case ']': Tok.Kind = TokenKind::RBracket; break;
+  case ';': Tok.Kind = TokenKind::Semi; break;
+  case ',': Tok.Kind = TokenKind::Comma; break;
+  case '?': Tok.Kind = TokenKind::Question; break;
+  case ':': Tok.Kind = TokenKind::Colon; break;
+  case '~': Tok.Kind = TokenKind::Tilde; break;
+  case '.':
+    if (peek() == '.' && peek(1) == '.') {
+      advance();
+      advance();
+      Tok.Kind = TokenKind::Ellipsis;
+    } else {
+      Tok.Kind = TokenKind::Dot;
+    }
+    break;
+  case '+':
+    Tok.Kind = match('+')   ? TokenKind::PlusPlus
+               : match('=') ? TokenKind::PlusEqual
+                            : TokenKind::Plus;
+    break;
+  case '-':
+    Tok.Kind = match('-')   ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusEqual
+               : match('>') ? TokenKind::Arrow
+                            : TokenKind::Minus;
+    break;
+  case '*':
+    Tok.Kind = match('=') ? TokenKind::StarEqual : TokenKind::Star;
+    break;
+  case '/':
+    Tok.Kind = match('=') ? TokenKind::SlashEqual : TokenKind::Slash;
+    break;
+  case '%':
+    Tok.Kind = match('=') ? TokenKind::PercentEqual : TokenKind::Percent;
+    break;
+  case '!':
+    Tok.Kind = match('=') ? TokenKind::BangEqual : TokenKind::Bang;
+    break;
+  case '^':
+    Tok.Kind = match('=') ? TokenKind::CaretEqual : TokenKind::Caret;
+    break;
+  case '&':
+    Tok.Kind = match('&')   ? TokenKind::AmpAmp
+               : match('=') ? TokenKind::AmpEqual
+                            : TokenKind::Amp;
+    break;
+  case '|':
+    Tok.Kind = match('|')   ? TokenKind::PipePipe
+               : match('=') ? TokenKind::PipeEqual
+                            : TokenKind::Pipe;
+    break;
+  case '=':
+    Tok.Kind = match('=') ? TokenKind::EqualEqual : TokenKind::Equal;
+    break;
+  case '<':
+    if (match('<'))
+      Tok.Kind = match('=') ? TokenKind::LessLessEqual : TokenKind::LessLess;
+    else
+      Tok.Kind = match('=') ? TokenKind::LessEqual : TokenKind::Less;
+    break;
+  case '>':
+    if (match('>'))
+      Tok.Kind = match('=') ? TokenKind::GreaterGreaterEqual
+                            : TokenKind::GreaterGreater;
+    else
+      Tok.Kind = match('=') ? TokenKind::GreaterEqual : TokenKind::Greater;
+    break;
+  default:
+    Diags.error(Tok.Loc, std::string("invalid character '") + C + "'");
+    return lexToken();
+  }
+  return Tok;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = lexToken();
+    bool AtEof = Tok.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(Tok));
+    if (AtEof)
+      break;
+  }
+  return Tokens;
+}

@@ -1,0 +1,61 @@
+//===- Lexer.h - C lexer ----------------------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written lexer for the accepted C subset. Comments (// and /* */)
+/// are skipped; preprocessor directives are not supported except that
+/// lines starting with '#' are skipped with a warning, and the common
+/// NULL macro lexes as a dedicated keyword so sources need no headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CFRONT_LEXER_H
+#define MCPTA_CFRONT_LEXER_H
+
+#include "cfront/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace cfront {
+
+/// Converts a C source buffer into a token stream.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticsEngine &Diags);
+
+  /// Lexes the whole buffer. The returned vector always ends with an
+  /// EndOfFile token. Invalid characters produce diagnostics and are
+  /// skipped.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexCharLiteral();
+  Token lexStringLiteral();
+  void skipWhitespaceAndComments();
+
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  bool atEnd() const { return Pos >= Source.size(); }
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  std::string Source;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace cfront
+} // namespace mcpta
+
+#endif // MCPTA_CFRONT_LEXER_H

@@ -1,0 +1,1336 @@
+//===- Parser.cpp - C parser ----------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include "cfront/Lexer.h"
+
+#include <cassert>
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+Parser::Parser(std::vector<Token> Tokens, ASTContext &Ctx,
+               DiagnosticsEngine &Diags)
+    : Tokens(std::move(Tokens)), Ctx(Ctx), Types(Ctx.types()), Diags(Diags) {
+  assert(!this->Tokens.empty() && "token stream must end with EOF");
+}
+
+std::unique_ptr<TranslationUnit>
+Parser::parseSource(const std::string &Source, ASTContext &Ctx,
+                    DiagnosticsEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Ctx, Diags);
+  return P.parseTranslationUnit();
+}
+
+//===----------------------------------------------------------------------===//
+// Token plumbing
+//===----------------------------------------------------------------------===//
+
+bool Parser::accept(TokenKind K) {
+  if (!check(K))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  Diags.error(cur().Loc, std::string("expected ") + tokenKindName(K) +
+                             " in " + Context + ", found " +
+                             tokenKindName(cur().Kind));
+  return false;
+}
+
+Token Parser::consume() {
+  Token Tok = cur();
+  if (!cur().is(TokenKind::EndOfFile))
+    ++Pos;
+  return Tok;
+}
+
+void Parser::skipTo(TokenKind K) {
+  while (!check(K) && !check(TokenKind::EndOfFile))
+    consume();
+}
+
+void Parser::skipToStmtBoundary() {
+  unsigned Depth = 0;
+  while (!check(TokenKind::EndOfFile)) {
+    if (Depth == 0 &&
+        (check(TokenKind::Semi) || check(TokenKind::RBrace)))
+      return;
+    if (check(TokenKind::LBrace))
+      ++Depth;
+    else if (check(TokenKind::RBrace) && Depth > 0)
+      --Depth;
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+Decl *Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Ordinary.find(Name);
+    if (Found != It->Ordinary.end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+RecordDecl *Parser::lookupTag(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->Tags.find(Name);
+    if (Found != It->Tags.end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Parser::declare(Decl *D) {
+  assert(!Scopes.empty() && "no active scope");
+  Scopes.back().Ordinary[D->name()] = D;
+}
+
+void Parser::declareTag(RecordDecl *D) {
+  assert(!Scopes.empty() && "no active scope");
+  Scopes.back().Tags[D->name()] = D;
+}
+
+bool Parser::isTypeName(const Token &Tok) const {
+  if (!Tok.is(TokenKind::Identifier))
+    return false;
+  Decl *D = lookup(Tok.Text);
+  return D && D->kind() == Decl::Kind::Typedef;
+}
+
+bool Parser::startsDeclaration() const {
+  switch (cur().Kind) {
+  case TokenKind::KwVoid:
+  case TokenKind::KwChar:
+  case TokenKind::KwShort:
+  case TokenKind::KwInt:
+  case TokenKind::KwLong:
+  case TokenKind::KwFloat:
+  case TokenKind::KwDouble:
+  case TokenKind::KwSigned:
+  case TokenKind::KwUnsigned:
+  case TokenKind::KwStruct:
+  case TokenKind::KwUnion:
+  case TokenKind::KwEnum:
+  case TokenKind::KwTypedef:
+  case TokenKind::KwExtern:
+  case TokenKind::KwStatic:
+  case TokenKind::KwConst:
+  case TokenKind::KwVolatile:
+  case TokenKind::KwRegister:
+  case TokenKind::KwAuto:
+    return true;
+  case TokenKind::Identifier:
+    return isTypeName(cur());
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Declaration specifiers
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseDeclSpec(DeclSpec &DS) {
+  using BK = BuiltinType::BK;
+  bool SawType = false;
+  bool Unsigned = false, Signed = false;
+  int LongCount = 0;
+  bool SawShort = false;
+  const Type *Base = nullptr;
+  BK Builtin = BK::Int;
+  bool SawBuiltin = false;
+
+  while (true) {
+    switch (cur().Kind) {
+    case TokenKind::KwTypedef:
+      DS.IsTypedef = true;
+      consume();
+      continue;
+    case TokenKind::KwExtern:
+      DS.IsExtern = true;
+      consume();
+      continue;
+    case TokenKind::KwStatic:
+      DS.IsStatic = true;
+      consume();
+      continue;
+    case TokenKind::KwConst:
+    case TokenKind::KwVolatile:
+    case TokenKind::KwRegister:
+    case TokenKind::KwAuto:
+      consume();
+      continue;
+    case TokenKind::KwVoid:
+      consume();
+      Builtin = BK::Void;
+      SawBuiltin = SawType = true;
+      continue;
+    case TokenKind::KwChar:
+      consume();
+      Builtin = BK::Char;
+      SawBuiltin = SawType = true;
+      continue;
+    case TokenKind::KwShort:
+      consume();
+      SawShort = true;
+      SawType = true;
+      continue;
+    case TokenKind::KwInt:
+      consume();
+      if (!SawBuiltin)
+        Builtin = BK::Int;
+      SawBuiltin = SawType = true;
+      continue;
+    case TokenKind::KwLong:
+      consume();
+      ++LongCount;
+      SawType = true;
+      continue;
+    case TokenKind::KwFloat:
+      consume();
+      Builtin = BK::Float;
+      SawBuiltin = SawType = true;
+      continue;
+    case TokenKind::KwDouble:
+      consume();
+      Builtin = BK::Double;
+      SawBuiltin = SawType = true;
+      continue;
+    case TokenKind::KwSigned:
+      consume();
+      Signed = true;
+      SawType = true;
+      continue;
+    case TokenKind::KwUnsigned:
+      consume();
+      Unsigned = true;
+      SawType = true;
+      continue;
+    case TokenKind::KwStruct:
+    case TokenKind::KwUnion:
+      Base = parseStructOrUnion();
+      SawType = true;
+      continue;
+    case TokenKind::KwEnum:
+      Base = parseEnum();
+      SawType = true;
+      continue;
+    case TokenKind::Identifier:
+      if (!SawType && !Base && isTypeName(cur())) {
+        Base = static_cast<TypedefDecl *>(lookup(cur().Text))->type();
+        consume();
+        SawType = true;
+        continue;
+      }
+      break;
+    default:
+      break;
+    }
+    break;
+  }
+
+  if (!SawType && !Base)
+    return false;
+
+  if (!Base) {
+    if (Builtin == BK::Double && LongCount)
+      Builtin = BK::LongDouble;
+    else if (SawShort)
+      Builtin = Unsigned ? BK::UShort : BK::Short;
+    else if (LongCount >= 2)
+      Builtin = Unsigned ? BK::ULongLong : BK::LongLong;
+    else if (LongCount == 1)
+      Builtin = Unsigned ? BK::ULong : BK::Long;
+    else if (Builtin == BK::Char)
+      Builtin = Unsigned ? BK::UChar : (Signed ? BK::SChar : BK::Char);
+    else if (Builtin == BK::Int)
+      Builtin = Unsigned ? BK::UInt : BK::Int;
+    Base = Types.builtin(Builtin);
+  }
+  DS.Ty = Base;
+  return true;
+}
+
+const Type *Parser::parseStructOrUnion() {
+  bool IsUnion = cur().is(TokenKind::KwUnion);
+  SourceLoc Loc = cur().Loc;
+  consume(); // struct/union
+
+  std::string Tag;
+  if (check(TokenKind::Identifier))
+    Tag = consume().Text;
+
+  RecordDecl *RD = nullptr;
+  if (!Tag.empty()) {
+    RD = lookupTag(Tag);
+    // A `{` introduces a (re)definition in the *current* scope.
+    if (!RD || (check(TokenKind::LBrace) &&
+                Scopes.back().Tags.find(Tag) == Scopes.back().Tags.end())) {
+      RD = Ctx.create<RecordDecl>(Tag, Loc, IsUnion);
+      declareTag(RD);
+      Unit->addRecord(RD);
+    }
+  } else {
+    RD = Ctx.create<RecordDecl>("anon$" + std::to_string(AnonRecordCount++),
+                                Loc, IsUnion);
+    Unit->addRecord(RD);
+  }
+
+  if (accept(TokenKind::LBrace)) {
+    if (RD->isComplete()) {
+      Diags.error(Loc, "redefinition of struct/union '" + RD->name() + "'");
+      skipTo(TokenKind::RBrace);
+      accept(TokenKind::RBrace);
+      return Types.recordType(RD);
+    }
+    while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+      DeclSpec DS;
+      if (!parseDeclSpec(DS)) {
+        Diags.error(cur().Loc, "expected field declaration");
+        skipToStmtBoundary();
+        accept(TokenKind::Semi);
+        continue;
+      }
+      do {
+        Declarator D;
+        if (!parseDeclarator(D, /*Abstract=*/false))
+          break;
+        const Type *FieldTy = applyDeclarator(D, DS.Ty);
+        if (D.declaredName().empty()) {
+          Diags.error(D.declaredLoc(), "expected field name");
+          break;
+        }
+        auto *FD = Ctx.create<FieldDecl>(
+            D.declaredName(), D.declaredLoc(), FieldTy, RD,
+            static_cast<unsigned>(RD->fields().size()));
+        RD->addField(FD);
+      } while (accept(TokenKind::Comma));
+      expect(TokenKind::Semi, "struct field declaration");
+    }
+    expect(TokenKind::RBrace, "struct definition");
+    RD->setComplete();
+  }
+  return Types.recordType(RD);
+}
+
+const Type *Parser::parseEnum() {
+  consume(); // enum
+  if (check(TokenKind::Identifier))
+    consume(); // tag (enums share one int type; tags are not tracked)
+
+  if (accept(TokenKind::LBrace)) {
+    long long NextValue = 0;
+    while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected enumerator name");
+        skipTo(TokenKind::RBrace);
+        break;
+      }
+      Token Name = consume();
+      long long Value = NextValue;
+      if (accept(TokenKind::Equal)) {
+        // Enumerator initializers are restricted to integer constants and
+        // previously declared enumerators.
+        if (check(TokenKind::IntLiteral)) {
+          Value = consume().IntValue;
+        } else if (check(TokenKind::Minus) &&
+                   peekTok().is(TokenKind::IntLiteral)) {
+          consume();
+          Value = -consume().IntValue;
+        } else if (check(TokenKind::Identifier)) {
+          Token Ref = consume();
+          if (auto *EC = dynCastDecl<EnumConstantDecl>(lookup(Ref.Text)))
+            Value = EC->value();
+          else
+            Diags.error(Ref.Loc, "expected constant enumerator initializer");
+        } else {
+          Diags.error(cur().Loc, "expected constant enumerator initializer");
+        }
+      }
+      declare(Ctx.create<EnumConstantDecl>(Name.Text, Name.Loc, Value));
+      NextValue = Value + 1;
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RBrace, "enum definition");
+  }
+  return Types.intType();
+}
+
+//===----------------------------------------------------------------------===//
+// Declarators
+//===----------------------------------------------------------------------===//
+
+const std::vector<Parser::ParamInfo> *Parser::Declarator::topLevelParams()
+    const {
+  if (Inner)
+    return nullptr;
+  if (Suffixes.size() == 1 && Suffixes[0].IsFunc)
+    return &Suffixes[0].Params;
+  return nullptr;
+}
+
+bool Parser::Declarator::topLevelVariadic() const {
+  if (Inner || Suffixes.size() != 1 || !Suffixes[0].IsFunc)
+    return false;
+  return Suffixes[0].Variadic;
+}
+
+bool Parser::parseDeclarator(Declarator &D, bool Abstract) {
+  while (accept(TokenKind::Star)) {
+    ++D.PtrCount;
+    while (accept(TokenKind::KwConst) || accept(TokenKind::KwVolatile)) {
+    }
+  }
+
+  if (check(TokenKind::Identifier) && !isTypeName(cur())) {
+    Token Name = consume();
+    D.Name = Name.Text;
+    D.NameLoc = Name.Loc;
+  } else if (check(TokenKind::LParen)) {
+    // Distinguish a parenthesized declarator from a function suffix of an
+    // abstract declarator: a declarator starts with '*', '(' or an
+    // identifier that is not a type name.
+    const Token &Next = peekTok();
+    bool IsParenDecl =
+        Next.is(TokenKind::Star) || Next.is(TokenKind::LParen) ||
+        (Next.is(TokenKind::Identifier) && !isTypeName(Next));
+    if (IsParenDecl) {
+      consume(); // (
+      D.Inner = std::make_unique<Declarator>();
+      if (!parseDeclarator(*D.Inner, Abstract))
+        return false;
+      if (!expect(TokenKind::RParen, "parenthesized declarator"))
+        return false;
+    }
+  } else if (!Abstract) {
+    Diags.error(cur().Loc, std::string("expected declarator, found ") +
+                               tokenKindName(cur().Kind));
+    return false;
+  }
+  D.NameLoc = D.NameLoc.isValid() ? D.NameLoc : cur().Loc;
+
+  while (true) {
+    if (check(TokenKind::LBracket)) {
+      consume();
+      Declarator::Suffix S;
+      S.IsFunc = false;
+      S.ArraySize = -1;
+      if (check(TokenKind::IntLiteral))
+        S.ArraySize = consume().IntValue;
+      else if (check(TokenKind::Identifier)) {
+        Token Ref = consume();
+        if (auto *EC = dynCastDecl<EnumConstantDecl>(lookup(Ref.Text)))
+          S.ArraySize = EC->value();
+        else
+          Diags.error(Ref.Loc, "array size must be an integer constant");
+      }
+      expect(TokenKind::RBracket, "array declarator");
+      D.Suffixes.push_back(std::move(S));
+      continue;
+    }
+    if (check(TokenKind::LParen)) {
+      consume();
+      Declarator::Suffix S;
+      S.IsFunc = true;
+      if (!parseParamList(S))
+        return false;
+      D.Suffixes.push_back(std::move(S));
+      continue;
+    }
+    break;
+  }
+  return true;
+}
+
+bool Parser::parseParamList(Declarator::Suffix &Suffix) {
+  if (accept(TokenKind::RParen))
+    return true; // K&R-style empty list: treated as ()
+  if (check(TokenKind::KwVoid) && peekTok().is(TokenKind::RParen)) {
+    consume();
+    consume();
+    return true;
+  }
+  while (true) {
+    if (accept(TokenKind::Ellipsis)) {
+      Suffix.Variadic = true;
+      break;
+    }
+    DeclSpec DS;
+    if (!parseDeclSpec(DS)) {
+      Diags.error(cur().Loc, "expected parameter declaration");
+      skipTo(TokenKind::RParen);
+      break;
+    }
+    Declarator D;
+    if (!parseDeclarator(D, /*Abstract=*/true))
+      return false;
+    ParamInfo P;
+    P.Ty = applyDeclarator(D, DS.Ty);
+    // Parameters of array type decay to pointers; function types decay to
+    // function pointers.
+    if (const auto *AT = dynCast<ArrayType>(P.Ty))
+      P.Ty = Types.pointerTo(AT->element());
+    else if (P.Ty->isFunction())
+      P.Ty = Types.pointerTo(P.Ty);
+    P.Name = D.declaredName();
+    P.Loc = D.declaredLoc();
+    Suffix.Params.push_back(std::move(P));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  return expect(TokenKind::RParen, "parameter list");
+}
+
+const Type *Parser::applyDeclarator(const Declarator &D, const Type *Base) {
+  const Type *T = Base;
+  for (unsigned I = 0; I < D.PtrCount; ++I)
+    T = Types.pointerTo(T);
+  for (auto It = D.Suffixes.rbegin(); It != D.Suffixes.rend(); ++It) {
+    if (It->IsFunc) {
+      std::vector<const Type *> ParamTys;
+      for (const ParamInfo &P : It->Params)
+        ParamTys.push_back(P.Ty);
+      T = Types.functionType(T, std::move(ParamTys), It->Variadic);
+    } else {
+      T = Types.arrayOf(T, It->ArraySize);
+    }
+  }
+  if (D.Inner)
+    return applyDeclarator(*D.Inner, T);
+  return T;
+}
+
+const Type *Parser::parseTypeName() {
+  DeclSpec DS;
+  if (!parseDeclSpec(DS))
+    return nullptr;
+  Declarator D;
+  if (!parseDeclarator(D, /*Abstract=*/true))
+    return nullptr;
+  if (!D.declaredName().empty())
+    Diags.error(D.declaredLoc(), "unexpected identifier in type name");
+  return applyDeclarator(D, DS.Ty);
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<TranslationUnit> Parser::parseTranslationUnit() {
+  Unit = std::make_unique<TranslationUnit>(Ctx);
+  pushScope();
+  while (!check(TokenKind::EndOfFile))
+    parseTopLevel();
+  popScope();
+  return std::move(Unit);
+}
+
+void Parser::parseTopLevel() {
+  if (accept(TokenKind::Semi))
+    return;
+
+  DeclSpec DS;
+  if (!parseDeclSpec(DS)) {
+    Diags.error(cur().Loc, std::string("expected declaration, found ") +
+                               tokenKindName(cur().Kind));
+    skipToStmtBoundary();
+    accept(TokenKind::Semi);
+    accept(TokenKind::RBrace);
+    return;
+  }
+
+  // `struct S { ... };` with no declarators.
+  if (accept(TokenKind::Semi))
+    return;
+
+  bool First = true;
+  do {
+    Declarator D;
+    if (!parseDeclarator(D, /*Abstract=*/false)) {
+      skipToStmtBoundary();
+      accept(TokenKind::Semi);
+      return;
+    }
+    const Type *Ty = applyDeclarator(D, DS.Ty);
+
+    if (DS.IsTypedef) {
+      declare(Ctx.create<TypedefDecl>(D.declaredName(), D.declaredLoc(), Ty));
+      First = false;
+      continue;
+    }
+
+    if (const auto *FnTy = dynCast<FunctionType>(Ty)) {
+      // Function prototype or definition.
+      FunctionDecl *FD = nullptr;
+      if (Decl *Prev = lookup(D.declaredName()))
+        FD = dynCastDecl<FunctionDecl>(Prev);
+      if (!FD) {
+        FD = Ctx.create<FunctionDecl>(D.declaredName(), D.declaredLoc(), FnTy);
+        declare(FD);
+        Unit->addFunction(FD);
+      } else {
+        FD->setType(FnTy);
+      }
+      if (First && check(TokenKind::LBrace)) {
+        parseFunctionDefinition(DS, D, FnTy);
+        return;
+      }
+      First = false;
+      continue;
+    }
+
+    // Global variable.
+    auto *VD =
+        Ctx.create<VarDecl>(D.declaredName(), D.declaredLoc(), Ty,
+                            VarDecl::Storage::Global);
+    if (accept(TokenKind::Equal))
+      VD->setInit(parseInitializer());
+    declare(VD);
+    if (!DS.IsExtern)
+      Unit->addGlobal(VD);
+    else
+      Unit->addGlobal(VD); // extern globals are still named locations
+    First = false;
+  } while (accept(TokenKind::Comma));
+
+  expect(TokenKind::Semi, "declaration");
+}
+
+void Parser::parseFunctionDefinition(const DeclSpec &DS, const Declarator &D,
+                                     const Type *FnTy) {
+  (void)DS;
+  auto *FD = dynCastDecl<FunctionDecl>(lookup(D.declaredName()));
+  assert(FD && "function must have been declared");
+  if (FD->isDefined()) {
+    Diags.error(D.declaredLoc(),
+                "redefinition of function '" + D.declaredName() + "'");
+    skipTo(TokenKind::LBrace);
+  }
+  FD->setType(static_cast<const FunctionType *>(FnTy));
+
+  pushScope();
+  CurFunction = FD;
+
+  std::vector<VarDecl *> Params;
+  if (const auto *ParamInfos = D.topLevelParams()) {
+    for (const ParamInfo &P : *ParamInfos) {
+      std::string Name = P.Name.empty()
+                             ? "$arg" + std::to_string(Params.size())
+                             : P.Name;
+      auto *PD = Ctx.create<VarDecl>(Name, P.Loc, P.Ty,
+                                     VarDecl::Storage::Param);
+      PD->setOwner(FD);
+      Params.push_back(PD);
+      declare(PD);
+    }
+  }
+  FD->setParams(std::move(Params));
+
+  CompoundStmt *Body = parseCompound();
+  FD->setBody(Body);
+
+  CurFunction = nullptr;
+  popScope();
+}
+
+Expr *Parser::parseInitializer() {
+  if (check(TokenKind::LBrace)) {
+    SourceLoc Loc = consume().Loc;
+    std::vector<Expr *> Inits;
+    if (!check(TokenKind::RBrace)) {
+      do {
+        if (check(TokenKind::RBrace))
+          break; // trailing comma
+        Inits.push_back(parseInitializer());
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RBrace, "initializer list");
+    return Ctx.create<InitListExpr>(std::move(Inits), Types.intType(), Loc);
+  }
+  return parseAssign();
+}
+
+Stmt *Parser::parseLocalDeclaration() {
+  SourceLoc Loc = cur().Loc;
+  DeclSpec DS;
+  if (!parseDeclSpec(DS)) {
+    Diags.error(cur().Loc, "expected declaration");
+    skipToStmtBoundary();
+    accept(TokenKind::Semi);
+    return Ctx.create<NullStmt>(Loc);
+  }
+  if (accept(TokenKind::Semi))
+    return Ctx.create<NullStmt>(Loc); // struct definition only
+
+  std::vector<VarDecl *> Vars;
+  do {
+    Declarator D;
+    if (!parseDeclarator(D, /*Abstract=*/false)) {
+      skipToStmtBoundary();
+      accept(TokenKind::Semi);
+      return Ctx.create<NullStmt>(Loc);
+    }
+    const Type *Ty = applyDeclarator(D, DS.Ty);
+    if (DS.IsTypedef) {
+      declare(Ctx.create<TypedefDecl>(D.declaredName(), D.declaredLoc(), Ty));
+      continue;
+    }
+    auto *VD = Ctx.create<VarDecl>(
+        D.declaredName(), D.declaredLoc(), Ty,
+        DS.IsStatic ? VarDecl::Storage::Global : VarDecl::Storage::Local);
+    VD->setOwner(CurFunction);
+    if (accept(TokenKind::Equal))
+      VD->setInit(parseInitializer());
+    declare(VD);
+    if (DS.IsStatic)
+      Unit->addGlobal(VD); // function-scope statics live like globals
+    Vars.push_back(VD);
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semi, "declaration");
+  return Ctx.create<DeclStmt>(std::move(Vars), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+CompoundStmt *Parser::parseCompound() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokenKind::LBrace, "compound statement");
+  auto *CS = Ctx.create<CompoundStmt>(Loc);
+  pushScope();
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (startsDeclaration())
+      CS->addStmt(parseLocalDeclaration());
+    else
+      CS->addStmt(parseStmt());
+  }
+  popScope();
+  expect(TokenKind::RBrace, "compound statement");
+  return CS;
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::LBrace:
+    return parseCompound();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDo();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semi, "break statement");
+    return Ctx.create<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semi, "continue statement");
+    return Ctx.create<ContinueStmt>(Loc);
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwGoto:
+    Diags.error(Loc, "goto is not supported; the McCAT structuring phase "
+                     "[14] is outside the scope of this reproduction");
+    skipToStmtBoundary();
+    accept(TokenKind::Semi);
+    return Ctx.create<NullStmt>(Loc);
+  case TokenKind::Semi:
+    consume();
+    return Ctx.create<NullStmt>(Loc);
+  default: {
+    Expr *E = parseExpr();
+    expect(TokenKind::Semi, "expression statement");
+    return Ctx.create<ExprStmt>(E, Loc);
+  }
+  }
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = consume().Loc; // if
+  expect(TokenKind::LParen, "if condition");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "if condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return Ctx.create<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc; // while
+  expect(TokenKind::LParen, "while condition");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "while condition");
+  Stmt *Body = parseStmt();
+  return Ctx.create<WhileStmt>(Cond, Body, Loc);
+}
+
+Stmt *Parser::parseDo() {
+  SourceLoc Loc = consume().Loc; // do
+  Stmt *Body = parseStmt();
+  expect(TokenKind::KwWhile, "do statement");
+  expect(TokenKind::LParen, "do condition");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "do condition");
+  expect(TokenKind::Semi, "do statement");
+  return Ctx.create<DoStmt>(Body, Cond, Loc);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = consume().Loc; // for
+  expect(TokenKind::LParen, "for statement");
+  pushScope();
+  Stmt *Init = nullptr;
+  if (!accept(TokenKind::Semi)) {
+    if (startsDeclaration()) {
+      Init = parseLocalDeclaration();
+    } else {
+      Expr *E = parseExpr();
+      Init = Ctx.create<ExprStmt>(E, E->loc());
+      expect(TokenKind::Semi, "for initializer");
+    }
+  }
+  Expr *Cond = nullptr;
+  if (!check(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "for condition");
+  Expr *Inc = nullptr;
+  if (!check(TokenKind::RParen))
+    Inc = parseExpr();
+  expect(TokenKind::RParen, "for statement");
+  Stmt *Body = parseStmt();
+  popScope();
+  return Ctx.create<ForStmt>(Init, Cond, Inc, Body, Loc);
+}
+
+Stmt *Parser::parseSwitch() {
+  SourceLoc Loc = consume().Loc; // switch
+  expect(TokenKind::LParen, "switch condition");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "switch condition");
+  expect(TokenKind::LBrace, "switch body");
+
+  pushScope();
+  std::vector<SwitchCase> Cases;
+  // Statements before the first label would be unreachable; reject them.
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (check(TokenKind::KwCase) || check(TokenKind::KwDefault)) {
+      SwitchCase C;
+      while (check(TokenKind::KwCase) || check(TokenKind::KwDefault)) {
+        if (accept(TokenKind::KwCase)) {
+          long long V = 0;
+          if (check(TokenKind::IntLiteral)) {
+            V = consume().IntValue;
+          } else if (check(TokenKind::CharLiteral)) {
+            V = consume().IntValue;
+          } else if (check(TokenKind::Minus) &&
+                     peekTok().is(TokenKind::IntLiteral)) {
+            consume();
+            V = -consume().IntValue;
+          } else if (check(TokenKind::Identifier)) {
+            Token Ref = consume();
+            if (auto *EC =
+                    dynCastDecl<EnumConstantDecl>(lookup(Ref.Text)))
+              V = EC->value();
+            else
+              Diags.error(Ref.Loc, "case label must be an integer constant");
+          } else {
+            Diags.error(cur().Loc, "case label must be an integer constant");
+          }
+          C.Values.push_back(V);
+        } else {
+          accept(TokenKind::KwDefault);
+          C.IsDefault = true;
+        }
+        expect(TokenKind::Colon, "case label");
+      }
+      while (!check(TokenKind::KwCase) && !check(TokenKind::KwDefault) &&
+             !check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+        if (startsDeclaration())
+          C.Body.push_back(parseLocalDeclaration());
+        else
+          C.Body.push_back(parseStmt());
+      }
+      Cases.push_back(std::move(C));
+    } else {
+      Diags.error(cur().Loc, "statement before first case label in switch");
+      parseStmt();
+    }
+  }
+  popScope();
+  expect(TokenKind::RBrace, "switch body");
+  return Ctx.create<SwitchStmt>(Cond, std::move(Cases), Loc);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = consume().Loc; // return
+  Expr *Value = nullptr;
+  if (!check(TokenKind::Semi))
+    Value = parseExpr();
+  expect(TokenKind::Semi, "return statement");
+  return Ctx.create<ReturnStmt>(Value, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::errorExpr(SourceLoc Loc) {
+  return Ctx.create<IntLiteralExpr>(0, Types.intType(), Loc);
+}
+
+const Type *Parser::decayed(const Type *Ty) {
+  if (const auto *AT = dynCast<ArrayType>(Ty))
+    return Types.pointerTo(AT->element());
+  if (Ty->isFunction())
+    return Types.pointerTo(Ty);
+  return Ty;
+}
+
+const Type *Parser::usualArith(const Type *L, const Type *R) {
+  L = decayed(L);
+  R = decayed(R);
+  if (L->isPointer())
+    return L;
+  if (R->isPointer())
+    return R;
+  if (L->isFloating())
+    return L;
+  if (R->isFloating())
+    return R;
+  return Types.intType();
+}
+
+long long Parser::computeSizeof(const Type *Ty) const {
+  switch (Ty->kind()) {
+  case Type::Kind::Builtin:
+    switch (cast<BuiltinType>(Ty)->builtinKind()) {
+    case BuiltinType::BK::Void: return 1;
+    case BuiltinType::BK::Char:
+    case BuiltinType::BK::SChar:
+    case BuiltinType::BK::UChar: return 1;
+    case BuiltinType::BK::Short:
+    case BuiltinType::BK::UShort: return 2;
+    case BuiltinType::BK::Int:
+    case BuiltinType::BK::UInt:
+    case BuiltinType::BK::Float: return 4;
+    default: return 8;
+    }
+  case Type::Kind::Pointer:
+    return 8;
+  case Type::Kind::Array: {
+    const auto *AT = cast<ArrayType>(Ty);
+    long Size = AT->size() < 0 ? 0 : AT->size();
+    return Size * computeSizeof(AT->element());
+  }
+  case Type::Kind::Record: {
+    const RecordDecl *RD = cast<RecordType>(Ty)->decl();
+    long long Total = 0;
+    for (const FieldDecl *F : RD->fields()) {
+      long long FS = computeSizeof(F->type());
+      if (RD->isUnion())
+        Total = std::max(Total, FS);
+      else
+        Total += FS;
+    }
+    return Total == 0 ? 1 : Total;
+  }
+  case Type::Kind::Function:
+    return 8;
+  }
+  return 1;
+}
+
+Expr *Parser::parseExpr() {
+  Expr *E = parseAssign();
+  while (check(TokenKind::Comma)) {
+    SourceLoc Loc = consume().Loc;
+    Expr *RHS = parseAssign();
+    E = Ctx.create<BinaryExpr>(BinaryOp::Comma, E, RHS, RHS->type(), Loc);
+  }
+  return E;
+}
+
+Expr *Parser::parseAssign() {
+  Expr *LHS = parseConditional();
+  AssignOp Op;
+  switch (cur().Kind) {
+  case TokenKind::Equal: Op = AssignOp::Assign; break;
+  case TokenKind::PlusEqual: Op = AssignOp::Add; break;
+  case TokenKind::MinusEqual: Op = AssignOp::Sub; break;
+  case TokenKind::StarEqual: Op = AssignOp::Mul; break;
+  case TokenKind::SlashEqual: Op = AssignOp::Div; break;
+  case TokenKind::PercentEqual: Op = AssignOp::Rem; break;
+  case TokenKind::LessLessEqual: Op = AssignOp::Shl; break;
+  case TokenKind::GreaterGreaterEqual: Op = AssignOp::Shr; break;
+  case TokenKind::AmpEqual: Op = AssignOp::And; break;
+  case TokenKind::PipeEqual: Op = AssignOp::Or; break;
+  case TokenKind::CaretEqual: Op = AssignOp::Xor; break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = consume().Loc;
+  Expr *RHS = parseAssign();
+  return Ctx.create<AssignExpr>(Op, LHS, RHS, LHS->type(), Loc);
+}
+
+Expr *Parser::parseConditional() {
+  Expr *Cond = parseBinary(0);
+  if (!check(TokenKind::Question))
+    return Cond;
+  SourceLoc Loc = consume().Loc;
+  Expr *Then = parseExpr();
+  expect(TokenKind::Colon, "conditional expression");
+  Expr *Else = parseConditional();
+  return Ctx.create<ConditionalExpr>(Cond, Then, Else,
+                                     decayed(Then->type()), Loc);
+}
+
+namespace {
+struct BinOpInfo {
+  TokenKind Tok;
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+static const BinOpInfo *binOpFor(TokenKind K) {
+  static const BinOpInfo Table[] = {
+      {TokenKind::PipePipe, BinaryOp::LogOr, 1},
+      {TokenKind::AmpAmp, BinaryOp::LogAnd, 2},
+      {TokenKind::Pipe, BinaryOp::BitOr, 3},
+      {TokenKind::Caret, BinaryOp::BitXor, 4},
+      {TokenKind::Amp, BinaryOp::BitAnd, 5},
+      {TokenKind::EqualEqual, BinaryOp::Eq, 6},
+      {TokenKind::BangEqual, BinaryOp::Ne, 6},
+      {TokenKind::Less, BinaryOp::Lt, 7},
+      {TokenKind::Greater, BinaryOp::Gt, 7},
+      {TokenKind::LessEqual, BinaryOp::Le, 7},
+      {TokenKind::GreaterEqual, BinaryOp::Ge, 7},
+      {TokenKind::LessLess, BinaryOp::Shl, 8},
+      {TokenKind::GreaterGreater, BinaryOp::Shr, 8},
+      {TokenKind::Plus, BinaryOp::Add, 9},
+      {TokenKind::Minus, BinaryOp::Sub, 9},
+      {TokenKind::Star, BinaryOp::Mul, 10},
+      {TokenKind::Slash, BinaryOp::Div, 10},
+      {TokenKind::Percent, BinaryOp::Rem, 10},
+  };
+  for (const BinOpInfo &I : Table)
+    if (I.Tok == K)
+      return &I;
+  return nullptr;
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *LHS = parseUnary();
+  while (true) {
+    const BinOpInfo *Info = binOpFor(cur().Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return LHS;
+    SourceLoc Loc = consume().Loc;
+    Expr *RHS = parseBinary(Info->Prec + 1);
+    const Type *Ty;
+    switch (Info->Op) {
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge:
+    case BinaryOp::Eq:
+    case BinaryOp::Ne:
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      Ty = Types.intType();
+      break;
+    case BinaryOp::Sub:
+      // ptr - ptr yields an integer.
+      if (decayed(LHS->type())->isPointer() &&
+          decayed(RHS->type())->isPointer()) {
+        Ty = Types.intType();
+        break;
+      }
+      [[fallthrough]];
+    default:
+      Ty = usualArith(LHS->type(), RHS->type());
+      break;
+    }
+    LHS = Ctx.create<BinaryExpr>(Info->Op, LHS, RHS, Ty, Loc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::Amp: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::AddrOf, Sub,
+                                 Types.pointerTo(Sub->type()), Loc);
+  }
+  case TokenKind::Star: {
+    consume();
+    Expr *Sub = parseUnary();
+    const Type *SubTy = decayed(Sub->type());
+    const Type *Ty = Types.intType();
+    if (const auto *PT = dynCast<PointerType>(SubTy))
+      Ty = PT->pointee();
+    else
+      Diags.error(Loc, "cannot dereference non-pointer of type '" +
+                           Sub->type()->str() + "'");
+    return Ctx.create<UnaryExpr>(UnaryOp::Deref, Sub, Ty, Loc);
+  }
+  case TokenKind::Plus: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::Plus, Sub, decayed(Sub->type()),
+                                 Loc);
+  }
+  case TokenKind::Minus: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::Minus, Sub, decayed(Sub->type()),
+                                 Loc);
+  }
+  case TokenKind::Bang: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::Not, Sub, Types.intType(), Loc);
+  }
+  case TokenKind::Tilde: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::BitNot, Sub, Types.intType(), Loc);
+  }
+  case TokenKind::PlusPlus: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::PreInc, Sub,
+                                 decayed(Sub->type()), Loc);
+  }
+  case TokenKind::MinusMinus: {
+    consume();
+    Expr *Sub = parseUnary();
+    return Ctx.create<UnaryExpr>(UnaryOp::PreDec, Sub,
+                                 decayed(Sub->type()), Loc);
+  }
+  case TokenKind::KwSizeof: {
+    consume();
+    long long Size = 1;
+    if (check(TokenKind::LParen) &&
+        (peekTok().is(TokenKind::KwVoid) || peekTok().is(TokenKind::KwChar) ||
+         peekTok().is(TokenKind::KwShort) || peekTok().is(TokenKind::KwInt) ||
+         peekTok().is(TokenKind::KwLong) || peekTok().is(TokenKind::KwFloat) ||
+         peekTok().is(TokenKind::KwDouble) ||
+         peekTok().is(TokenKind::KwSigned) ||
+         peekTok().is(TokenKind::KwUnsigned) ||
+         peekTok().is(TokenKind::KwStruct) ||
+         peekTok().is(TokenKind::KwUnion) ||
+         peekTok().is(TokenKind::KwEnum) || isTypeName(peekTok()))) {
+      consume(); // (
+      if (const Type *Ty = parseTypeName())
+        Size = computeSizeof(Ty);
+      expect(TokenKind::RParen, "sizeof");
+    } else {
+      Expr *Sub = parseUnary();
+      Size = computeSizeof(Sub->type());
+    }
+    return Ctx.create<IntLiteralExpr>(Size, Types.intType(), Loc);
+  }
+  case TokenKind::LParen: {
+    // Cast expression: '(' type-name ')' unary.
+    const Token &Next = peekTok();
+    bool IsCast = false;
+    switch (Next.Kind) {
+    case TokenKind::KwVoid:
+    case TokenKind::KwChar:
+    case TokenKind::KwShort:
+    case TokenKind::KwInt:
+    case TokenKind::KwLong:
+    case TokenKind::KwFloat:
+    case TokenKind::KwDouble:
+    case TokenKind::KwSigned:
+    case TokenKind::KwUnsigned:
+    case TokenKind::KwStruct:
+    case TokenKind::KwUnion:
+    case TokenKind::KwEnum:
+    case TokenKind::KwConst:
+      IsCast = true;
+      break;
+    case TokenKind::Identifier:
+      IsCast = isTypeName(Next);
+      break;
+    default:
+      break;
+    }
+    if (IsCast) {
+      consume(); // (
+      const Type *Ty = parseTypeName();
+      expect(TokenKind::RParen, "cast expression");
+      Expr *Sub = parseUnary();
+      if (!Ty)
+        Ty = Types.intType();
+      return Ctx.create<CastExpr>(Sub, Ty, Loc);
+    }
+    return parsePostfix();
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (true) {
+    SourceLoc Loc = cur().Loc;
+    if (accept(TokenKind::LParen)) {
+      std::vector<Expr *> Args;
+      if (!check(TokenKind::RParen)) {
+        do
+          Args.push_back(parseAssign());
+        while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "call expression");
+      const Type *CalleeTy = E->type();
+      if (const auto *PT = dynCast<PointerType>(CalleeTy))
+        CalleeTy = PT->pointee();
+      const Type *RetTy = Types.intType();
+      if (const auto *FT = dynCast<FunctionType>(CalleeTy))
+        RetTy = FT->returnType();
+      else
+        Diags.error(Loc, "called object of type '" + E->type()->str() +
+                             "' is not a function");
+      E = Ctx.create<CallExpr>(E, std::move(Args), RetTy, Loc);
+      continue;
+    }
+    if (accept(TokenKind::LBracket)) {
+      Expr *Index = parseExpr();
+      expect(TokenKind::RBracket, "array subscript");
+      const Type *BaseTy = decayed(E->type());
+      const Type *ElemTy = Types.intType();
+      if (const auto *PT = dynCast<PointerType>(BaseTy))
+        ElemTy = PT->pointee();
+      else
+        Diags.error(Loc, "subscripted value of type '" + E->type()->str() +
+                             "' is not an array or pointer");
+      E = Ctx.create<ArraySubscriptExpr>(E, Index, ElemTy, Loc);
+      continue;
+    }
+    if (check(TokenKind::Dot) || check(TokenKind::Arrow)) {
+      bool IsArrow = cur().is(TokenKind::Arrow);
+      consume();
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(cur().Loc, "expected member name");
+        return E;
+      }
+      Token Member = consume();
+      const Type *BaseTy = E->type();
+      if (IsArrow) {
+        if (const auto *PT = dynCast<PointerType>(decayed(BaseTy)))
+          BaseTy = PT->pointee();
+        else
+          Diags.error(Loc, "'->' on non-pointer of type '" +
+                               E->type()->str() + "'");
+      }
+      const auto *RT = dynCast<RecordType>(BaseTy);
+      FieldDecl *FD = nullptr;
+      if (RT)
+        FD = RT->decl()->findField(Member.Text);
+      if (!FD) {
+        Diags.error(Member.Loc, "no member named '" + Member.Text +
+                                    "' in type '" + BaseTy->str() + "'");
+        return errorExpr(Member.Loc);
+      }
+      E = Ctx.create<MemberExpr>(E, FD, IsArrow, FD->type(), Loc);
+      continue;
+    }
+    if (check(TokenKind::PlusPlus)) {
+      consume();
+      E = Ctx.create<UnaryExpr>(UnaryOp::PostInc, E, decayed(E->type()),
+                                Loc);
+      continue;
+    }
+    if (check(TokenKind::MinusMinus)) {
+      consume();
+      E = Ctx.create<UnaryExpr>(UnaryOp::PostDec, E, decayed(E->type()),
+                                Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokenKind::IntLiteral: {
+    Token Tok = consume();
+    return Ctx.create<IntLiteralExpr>(Tok.IntValue, Types.intType(), Loc);
+  }
+  case TokenKind::CharLiteral: {
+    Token Tok = consume();
+    return Ctx.create<IntLiteralExpr>(Tok.IntValue, Types.charType(), Loc);
+  }
+  case TokenKind::FloatLiteral: {
+    Token Tok = consume();
+    return Ctx.create<FloatLiteralExpr>(Tok.FloatValue, Types.doubleType(),
+                                        Loc);
+  }
+  case TokenKind::StringLiteral: {
+    Token Tok = consume();
+    const Type *Ty = Types.arrayOf(Types.charType(),
+                                   static_cast<long>(Tok.Text.size()) + 1);
+    return Ctx.create<StringLiteralExpr>(Tok.Text, Ty, Loc);
+  }
+  case TokenKind::KwNull: {
+    consume();
+    return Ctx.create<NullLiteralExpr>(
+        Types.pointerTo(Types.voidType()), Loc);
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "parenthesized expression");
+    return E;
+  }
+  case TokenKind::Identifier: {
+    Token Tok = consume();
+    Decl *D = lookup(Tok.Text);
+    if (!D) {
+      Diags.error(Loc, "use of undeclared identifier '" + Tok.Text + "'");
+      return errorExpr(Loc);
+    }
+    if (auto *EC = dynCastDecl<EnumConstantDecl>(D))
+      return Ctx.create<IntLiteralExpr>(EC->value(), Types.intType(), Loc);
+    if (auto *VD = dynCastDecl<VarDecl>(D))
+      return Ctx.create<DeclRefExpr>(VD, VD->type(), Loc);
+    if (auto *FD = dynCastDecl<FunctionDecl>(D))
+      return Ctx.create<DeclRefExpr>(FD, FD->type(), Loc);
+    Diags.error(Loc, "'" + Tok.Text + "' does not name a value");
+    return errorExpr(Loc);
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(cur().Kind));
+    consume();
+    return errorExpr(Loc);
+  }
+}

@@ -1,0 +1,184 @@
+//===- Parser.h - C parser --------------------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the accepted C subset. Parsing and
+/// semantic analysis are fused: identifiers are resolved against scoped
+/// symbol tables as they are parsed and every expression is typed
+/// bottom-up, so the resulting AST needs no separate Sema pass.
+///
+/// Accepted language (see DESIGN.md): declarations with full C declarator
+/// syntax (multi-level pointers, arrays, function pointers, typedefs,
+/// struct/union/enum), all structured statements, and the C expression
+/// grammar. `goto` is rejected — McCAT ran a goto-elimination phase [14]
+/// that is out of scope for this reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CFRONT_PARSER_H
+#define MCPTA_CFRONT_PARSER_H
+
+#include "cfront/AST.h"
+#include "cfront/Token.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace cfront {
+
+/// Parses one translation unit.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, ASTContext &Ctx,
+         DiagnosticsEngine &Diags);
+
+  /// Parses the whole token stream. On error, diagnostics are recorded
+  /// and a best-effort (possibly partial) unit is still returned; callers
+  /// must check \c DiagnosticsEngine::hasErrors().
+  std::unique_ptr<TranslationUnit> parseTranslationUnit();
+
+  /// Convenience: lex + parse a source string in one step.
+  static std::unique_ptr<TranslationUnit>
+  parseSource(const std::string &Source, ASTContext &Ctx,
+              DiagnosticsEngine &Diags);
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Token plumbing
+  //===--------------------------------------------------------------------===//
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peekTok(unsigned Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool check(TokenKind K) const { return cur().is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  Token consume();
+  void skipTo(TokenKind K);
+  void skipToStmtBoundary();
+
+  //===--------------------------------------------------------------------===//
+  // Scopes and lookup
+  //===--------------------------------------------------------------------===//
+  struct Scope {
+    std::map<std::string, Decl *> Ordinary; // vars, functions, typedefs, enums
+    std::map<std::string, RecordDecl *> Tags;
+  };
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  Decl *lookup(const std::string &Name) const;
+  RecordDecl *lookupTag(const std::string &Name) const;
+  void declare(Decl *D);
+  void declareTag(RecordDecl *D);
+  bool isTypeName(const Token &Tok) const;
+  bool startsDeclaration() const;
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+  struct DeclSpec {
+    const Type *Ty = nullptr;
+    bool IsTypedef = false;
+    bool IsExtern = false;
+    bool IsStatic = false;
+  };
+
+  struct ParamInfo {
+    const Type *Ty = nullptr;
+    std::string Name;
+    SourceLoc Loc;
+  };
+
+  struct Declarator {
+    unsigned PtrCount = 0;
+    std::string Name;
+    SourceLoc NameLoc;
+    std::unique_ptr<Declarator> Inner;
+    struct Suffix {
+      bool IsFunc = false;
+      long ArraySize = -1; // for array suffixes
+      std::vector<ParamInfo> Params;
+      bool Variadic = false;
+    };
+    std::vector<Suffix> Suffixes;
+    /// The parameter list of the outermost function suffix directly
+    /// attached to the name, if any (used for function definitions).
+    const std::vector<ParamInfo> *topLevelParams() const;
+    bool topLevelVariadic() const;
+    /// The declared name, possibly nested in parenthesized declarators.
+    const std::string &declaredName() const {
+      return Inner ? Inner->declaredName() : Name;
+    }
+    SourceLoc declaredLoc() const {
+      return Inner ? Inner->declaredLoc() : NameLoc;
+    }
+  };
+
+  bool parseDeclSpec(DeclSpec &DS);
+  const Type *parseStructOrUnion();
+  const Type *parseEnum();
+  bool parseDeclarator(Declarator &D, bool Abstract);
+  bool parseParamList(Declarator::Suffix &Suffix);
+  const Type *applyDeclarator(const Declarator &D, const Type *Base);
+  const Type *parseTypeName(); // for casts and sizeof
+
+  void parseTopLevel();
+  void parseFunctionDefinition(const DeclSpec &DS, const Declarator &D,
+                               const Type *FnTy);
+  Stmt *parseLocalDeclaration();
+  Expr *parseInitializer();
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+  Stmt *parseStmt();
+  CompoundStmt *parseCompound();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDo();
+  Stmt *parseFor();
+  Stmt *parseSwitch();
+  Stmt *parseReturn();
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+  Expr *parseExpr();       // includes comma
+  Expr *parseAssign();     // assignment level
+  Expr *parseConditional();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  Expr *errorExpr(SourceLoc Loc);
+
+  /// Applies array-to-pointer and function-to-pointer decay for value
+  /// contexts.
+  const Type *decayed(const Type *Ty);
+  /// Result type of binary arithmetic under loose usual conversions.
+  const Type *usualArith(const Type *L, const Type *R);
+  long long computeSizeof(const Type *Ty) const;
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  ASTContext &Ctx;
+  TypeContext &Types;
+  DiagnosticsEngine &Diags;
+  std::unique_ptr<TranslationUnit> Unit;
+  std::vector<Scope> Scopes;
+  FunctionDecl *CurFunction = nullptr;
+  unsigned AnonRecordCount = 0;
+};
+
+} // namespace cfront
+} // namespace mcpta
+
+#endif // MCPTA_CFRONT_PARSER_H

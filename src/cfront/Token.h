@@ -1,0 +1,136 @@
+//===- Token.h - C token definitions ----------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds produced by the Lexer for the C subset accepted by the
+/// mcpta front end (the subset McCAT's SIMPLE representation covers,
+/// minus goto — see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CFRONT_TOKEN_H
+#define MCPTA_CFRONT_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+
+namespace mcpta {
+namespace cfront {
+
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwVoid,
+  KwChar,
+  KwShort,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwSigned,
+  KwUnsigned,
+  KwStruct,
+  KwUnion,
+  KwEnum,
+  KwTypedef,
+  KwExtern,
+  KwStatic,
+  KwConst,
+  KwVolatile,
+  KwRegister,
+  KwAuto,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwGoto,
+  KwSizeof,
+  KwNull, // the NULL macro, pre-expanded by the lexer
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,      // ->
+  Amp,        // &
+  AmpAmp,     // &&
+  Star,       // *
+  Plus,       // +
+  PlusPlus,   // ++
+  Minus,      // -
+  MinusMinus, // --
+  Slash,      // /
+  Percent,    // %
+  Bang,       // !
+  BangEqual,  // !=
+  Tilde,      // ~
+  Caret,      // ^
+  Pipe,       // |
+  PipePipe,   // ||
+  Question,   // ?
+  Colon,      // :
+  Less,       // <
+  LessEqual,  // <=
+  LessLess,   // <<
+  Greater,    // >
+  GreaterEqual,   // >=
+  GreaterGreater, // >>
+  Equal,          // =
+  EqualEqual,     // ==
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  Ellipsis, // ...
+};
+
+/// Returns a human-readable spelling for diagnostics ("'+='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. \c Text holds the identifier/literal spelling.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string Text;
+
+  /// Integer value for IntLiteral / CharLiteral tokens.
+  long long IntValue = 0;
+  /// Value for FloatLiteral tokens.
+  double FloatValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace cfront
+} // namespace mcpta
+
+#endif // MCPTA_CFRONT_TOKEN_H

@@ -1,0 +1,171 @@
+//===- Type.cpp - C type representation -----------------------------------===//
+
+#include "cfront/Type.h"
+
+#include "cfront/AST.h"
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+bool Type::isVoid() const {
+  const auto *B = dynCast<BuiltinType>(this);
+  return B && B->builtinKind() == BuiltinType::BK::Void;
+}
+
+bool Type::isInteger() const {
+  const auto *B = dynCast<BuiltinType>(this);
+  if (!B)
+    return false;
+  switch (B->builtinKind()) {
+  case BuiltinType::BK::Void:
+  case BuiltinType::BK::Float:
+  case BuiltinType::BK::Double:
+  case BuiltinType::BK::LongDouble:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool Type::isFloating() const {
+  const auto *B = dynCast<BuiltinType>(this);
+  if (!B)
+    return false;
+  switch (B->builtinKind()) {
+  case BuiltinType::BK::Float:
+  case BuiltinType::BK::Double:
+  case BuiltinType::BK::LongDouble:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Type::isPointerBearing() const {
+  switch (K) {
+  case Kind::Builtin:
+    return false;
+  case Kind::Pointer:
+  case Kind::Function:
+    return true;
+  case Kind::Array:
+    return cast<ArrayType>(this)->element()->isPointerBearing();
+  case Kind::Record: {
+    const RecordDecl *D = cast<RecordType>(this)->decl();
+    for (const FieldDecl *F : D->fields())
+      if (F->type()->isPointerBearing())
+        return true;
+    return false;
+  }
+  }
+  return false;
+}
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Builtin:
+    switch (cast<BuiltinType>(this)->builtinKind()) {
+    case BuiltinType::BK::Void: return "void";
+    case BuiltinType::BK::Char: return "char";
+    case BuiltinType::BK::SChar: return "signed char";
+    case BuiltinType::BK::UChar: return "unsigned char";
+    case BuiltinType::BK::Short: return "short";
+    case BuiltinType::BK::UShort: return "unsigned short";
+    case BuiltinType::BK::Int: return "int";
+    case BuiltinType::BK::UInt: return "unsigned int";
+    case BuiltinType::BK::Long: return "long";
+    case BuiltinType::BK::ULong: return "unsigned long";
+    case BuiltinType::BK::LongLong: return "long long";
+    case BuiltinType::BK::ULongLong: return "unsigned long long";
+    case BuiltinType::BK::Float: return "float";
+    case BuiltinType::BK::Double: return "double";
+    case BuiltinType::BK::LongDouble: return "long double";
+    }
+    return "builtin";
+  case Kind::Pointer:
+    return cast<PointerType>(this)->pointee()->str() + "*";
+  case Kind::Array: {
+    const auto *A = cast<ArrayType>(this);
+    std::string Sz = A->size() >= 0 ? std::to_string(A->size()) : "";
+    return A->element()->str() + "[" + Sz + "]";
+  }
+  case Kind::Record: {
+    const RecordDecl *D = cast<RecordType>(this)->decl();
+    return std::string(D->isUnion() ? "union " : "struct ") + D->name();
+  }
+  case Kind::Function: {
+    const auto *F = cast<FunctionType>(this);
+    std::string S = F->returnType()->str() + "(";
+    bool First = true;
+    for (const Type *P : F->paramTypes()) {
+      if (!First)
+        S += ",";
+      S += P->str();
+      First = false;
+    }
+    if (F->isVariadic())
+      S += First ? "..." : ",...";
+    S += ")";
+    return S;
+  }
+  }
+  return "?";
+}
+
+TypeContext::TypeContext() {
+  auto MakeBuiltin = [this](BuiltinType::BK B) {
+    auto *T = new BuiltinType(B);
+    Owned.emplace_back(T);
+    Builtins[B] = T;
+  };
+  using BK = BuiltinType::BK;
+  for (BK B : {BK::Void, BK::Char, BK::SChar, BK::UChar, BK::Short,
+               BK::UShort, BK::Int, BK::UInt, BK::Long, BK::ULong,
+               BK::LongLong, BK::ULongLong, BK::Float, BK::Double,
+               BK::LongDouble})
+    MakeBuiltin(B);
+}
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  auto It = Pointers.find(Pointee);
+  if (It != Pointers.end())
+    return It->second;
+  auto *T = new PointerType(Pointee);
+  Owned.emplace_back(T);
+  Pointers[Pointee] = T;
+  return T;
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Element, long Size) {
+  auto Key = std::make_pair(Element, Size);
+  auto It = Arrays.find(Key);
+  if (It != Arrays.end())
+    return It->second;
+  auto *T = new ArrayType(Element, Size);
+  Owned.emplace_back(T);
+  Arrays[Key] = T;
+  return T;
+}
+
+const RecordType *TypeContext::recordType(RecordDecl *Decl) {
+  auto It = Records.find(Decl);
+  if (It != Records.end())
+    return It->second;
+  auto *T = new RecordType(Decl);
+  Owned.emplace_back(T);
+  Records[Decl] = T;
+  return T;
+}
+
+const FunctionType *
+TypeContext::functionType(const Type *Return,
+                          std::vector<const Type *> Params, bool Variadic) {
+  auto Key = std::make_tuple(Return, Params, Variadic);
+  auto It = Functions.find(Key);
+  if (It != Functions.end())
+    return It->second;
+  auto *T = new FunctionType(Return, std::move(Params), Variadic);
+  Owned.emplace_back(T);
+  Functions[Key] = T;
+  return T;
+}

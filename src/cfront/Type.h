@@ -1,0 +1,216 @@
+//===- Type.h - C type representation ---------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned type representation for the C subset. Types are immutable and
+/// uniqued inside a TypeContext, so pointer equality is type equality.
+/// The points-to analysis consults types to decide how many levels of
+/// indirection a variable has, which struct fields can carry pointers,
+/// and which abstract locations are arrays (head/tail split, Sec. 3.2 of
+/// the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CFRONT_TYPE_H
+#define MCPTA_CFRONT_TYPE_H
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace cfront {
+
+class RecordDecl;
+class Type;
+
+/// Root of the type hierarchy. Uses LLVM-style kind tags + classof for
+/// dispatch instead of RTTI.
+class Type {
+public:
+  enum class Kind {
+    Builtin,
+    Pointer,
+    Array,
+    Record,
+    Function,
+  };
+
+  Kind kind() const { return K; }
+  virtual ~Type() = default;
+
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isRecord() const { return K == Kind::Record; }
+  bool isFunction() const { return K == Kind::Function; }
+  bool isVoid() const;
+  bool isInteger() const;
+  bool isFloating() const;
+  bool isScalar() const { return !isRecord() && !isArray() && !isFunction(); }
+
+  /// True if a value of this type is, or transitively contains, a pointer
+  /// (or function pointer). Only pointer-bearing locations participate in
+  /// points-to relationships.
+  bool isPointerBearing() const;
+
+  /// Renders the type in C-ish syntax for diagnostics and dumps.
+  std::string str() const;
+
+protected:
+  explicit Type(Kind K) : K(K) {}
+
+private:
+  Kind K;
+};
+
+/// Builtin scalar types. Integer widths are not modeled precisely; the
+/// analysis only distinguishes integral vs floating vs void.
+class BuiltinType : public Type {
+public:
+  enum class BK {
+    Void,
+    Char,
+    SChar,
+    UChar,
+    Short,
+    UShort,
+    Int,
+    UInt,
+    Long,
+    ULong,
+    LongLong,
+    ULongLong,
+    Float,
+    Double,
+    LongDouble,
+  };
+
+  BK builtinKind() const { return B; }
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Builtin; }
+
+private:
+  friend class TypeContext;
+  explicit BuiltinType(BK B) : Type(Kind::Builtin), B(B) {}
+  BK B;
+};
+
+/// T* for some pointee T.
+class PointerType : public Type {
+public:
+  const Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Pointer; }
+
+private:
+  friend class TypeContext;
+  explicit PointerType(const Type *Pointee)
+      : Type(Kind::Pointer), Pointee(Pointee) {}
+  const Type *Pointee;
+};
+
+/// T[N]. Size -1 means an incomplete array (e.g. parameter arrays).
+class ArrayType : public Type {
+public:
+  const Type *element() const { return Element; }
+  long size() const { return Size; }
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Array; }
+
+private:
+  friend class TypeContext;
+  ArrayType(const Type *Element, long Size)
+      : Type(Kind::Array), Element(Element), Size(Size) {}
+  const Type *Element;
+  long Size;
+};
+
+/// struct/union type; points at its (possibly later-completed) decl.
+class RecordType : public Type {
+public:
+  RecordDecl *decl() const { return Decl; }
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Record; }
+
+private:
+  friend class TypeContext;
+  explicit RecordType(RecordDecl *Decl) : Type(Kind::Record), Decl(Decl) {}
+  RecordDecl *Decl;
+};
+
+/// Function type: return type and parameter types.
+class FunctionType : public Type {
+public:
+  const Type *returnType() const { return Return; }
+  const std::vector<const Type *> &paramTypes() const { return Params; }
+  bool isVariadic() const { return Variadic; }
+
+  static bool classof(const Type *T) { return T->kind() == Kind::Function; }
+
+private:
+  friend class TypeContext;
+  FunctionType(const Type *Return, std::vector<const Type *> Params,
+               bool Variadic)
+      : Type(Kind::Function), Return(Return), Params(std::move(Params)),
+        Variadic(Variadic) {}
+  const Type *Return;
+  std::vector<const Type *> Params;
+  bool Variadic;
+};
+
+/// LLVM-ish cast helpers over the Kind tags.
+template <typename To> const To *dynCast(const Type *T) {
+  if (T && To::classof(T))
+    return static_cast<const To *>(T);
+  return nullptr;
+}
+
+template <typename To> const To *cast(const Type *T) {
+  assert(T && To::classof(T) && "invalid type cast");
+  return static_cast<const To *>(T);
+}
+
+/// Owns and uniques all Type instances for one translation unit.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const BuiltinType *builtin(BuiltinType::BK B) const {
+    return Builtins.at(B);
+  }
+  const BuiltinType *voidType() const { return builtin(BuiltinType::BK::Void); }
+  const BuiltinType *intType() const { return builtin(BuiltinType::BK::Int); }
+  const BuiltinType *charType() const { return builtin(BuiltinType::BK::Char); }
+  const BuiltinType *doubleType() const {
+    return builtin(BuiltinType::BK::Double);
+  }
+
+  const PointerType *pointerTo(const Type *Pointee);
+  const ArrayType *arrayOf(const Type *Element, long Size);
+  const RecordType *recordType(RecordDecl *Decl);
+  const FunctionType *functionType(const Type *Return,
+                                   std::vector<const Type *> Params,
+                                   bool Variadic);
+
+private:
+  std::vector<std::unique_ptr<Type>> Owned;
+  std::map<BuiltinType::BK, const BuiltinType *> Builtins;
+  std::map<const Type *, const PointerType *> Pointers;
+  std::map<std::pair<const Type *, long>, const ArrayType *> Arrays;
+  std::map<RecordDecl *, const RecordType *> Records;
+  std::map<std::tuple<const Type *, std::vector<const Type *>, bool>,
+           const FunctionType *>
+      Functions;
+};
+
+} // namespace cfront
+} // namespace mcpta
+
+#endif // MCPTA_CFRONT_TYPE_H

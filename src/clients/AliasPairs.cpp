@@ -1,0 +1,71 @@
+//===- AliasPairs.cpp - Alias pair generation ---------------------------------===//
+
+#include "clients/AliasPairs.h"
+
+#include <map>
+#include <vector>
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::pta;
+
+std::set<std::pair<std::string, std::string>>
+mcpta::clients::aliasPairs(const PointsToSet &S, const LocationTable &Locs,
+                           unsigned MaxDerefs) {
+  // expressions[L] = access expressions that designate location L.
+  // Depth 0: the location's own name. Depth k+1: "*e" for every e of
+  // depth k designating some X with (X, L) in S.
+  std::map<const Location *, std::vector<std::string>> Exprs;
+  std::map<const Location *, std::vector<std::string>> Frontier;
+
+  // Collect every location mentioned by the set.
+  std::set<const Location *> Mentioned;
+  S.forEach(Locs, [&](const Location *Src, const Location *Dst, Def) {
+    Mentioned.insert(Src);
+    Mentioned.insert(Dst);
+  });
+  for (const Location *L : Mentioned) {
+    Exprs[L].push_back(L->str());
+    Frontier[L].push_back(L->str());
+  }
+
+  for (unsigned Depth = 0; Depth < MaxDerefs; ++Depth) {
+    std::map<const Location *, std::vector<std::string>> Next;
+    for (const Location *Src : Mentioned) {
+      auto It = Frontier.find(Src);
+      if (It == Frontier.end() || It->second.empty())
+        continue;
+      for (const LocDef &T : S.targetsOf(Src, Locs)) {
+        if (T.Loc->isNull())
+          continue;
+        for (const std::string &E : It->second) {
+          std::string Deref = "*" + E;
+          Next[T.Loc].push_back(Deref);
+          Exprs[T.Loc].push_back(Deref);
+        }
+      }
+    }
+    Frontier = std::move(Next);
+  }
+
+  std::set<std::pair<std::string, std::string>> Out;
+  for (const auto &[L, Es] : Exprs) {
+    (void)L;
+    for (size_t I = 0; I < Es.size(); ++I)
+      for (size_t J = I + 1; J < Es.size(); ++J) {
+        std::string A = Es[I], B = Es[J];
+        if (A == B)
+          continue;
+        if (B < A)
+          std::swap(A, B);
+        Out.insert({A, B});
+      }
+  }
+  return Out;
+}
+
+bool mcpta::clients::hasAlias(
+    const std::set<std::pair<std::string, std::string>> &Pairs,
+    const std::string &A, const std::string &B) {
+  return Pairs.count({A, B}) || Pairs.count({B, A});
+}

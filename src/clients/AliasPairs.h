@@ -1,0 +1,43 @@
+//===- AliasPairs.h - Alias pair generation ---------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates traditional alias pairs from a points-to set (Sec. 7.1,
+/// Figures 8 and 9): two access expressions are aliased when they
+/// designate the same abstract location. Expressions are built by
+/// prefixing location names with dereference stars up to a depth limit,
+/// which reproduces the Landi/Ryder-style pairs ((*x, y), (**x, *y),
+/// ...) that the paper compares against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CLIENTS_ALIASPAIRS_H
+#define MCPTA_CLIENTS_ALIASPAIRS_H
+
+#include "pointsto/PointsToSet.h"
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace mcpta {
+namespace clients {
+
+/// The set of alias pairs implied by a points-to set, rendered as
+/// canonical "(expr1,expr2)" strings with expr1 < expr2. \p MaxDerefs
+/// bounds the number of stars prefixed to a variable name.
+std::set<std::pair<std::string, std::string>>
+aliasPairs(const pta::PointsToSet &S, const pta::LocationTable &Locs,
+           unsigned MaxDerefs = 2);
+
+/// Convenience: true if (A,B) (in either order) is in the alias set.
+bool hasAlias(const std::set<std::pair<std::string, std::string>> &Pairs,
+              const std::string &A, const std::string &B);
+
+} // namespace clients
+} // namespace mcpta
+
+#endif // MCPTA_CLIENTS_ALIASPAIRS_H

@@ -1,0 +1,25 @@
+//===- CallGraphBaselines.cpp - 'livc' function-pointer study -----------------===//
+
+#include "clients/CallGraphBaselines.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::pta;
+
+CallGraphComparison
+CallGraphComparison::compute(const simple::Program &Prog) {
+  CallGraphComparison Out;
+
+  auto Nodes = [&Prog](FnPtrMode Mode) -> unsigned {
+    Analyzer::Options Opts;
+    Opts.FnPtr = Mode;
+    Opts.RecordStmtSets = false;
+    Analyzer::Result Res = Analyzer::run(Prog, Opts);
+    return Res.IG ? Res.IG->numNodes() : 0;
+  };
+
+  Out.PreciseNodes = Nodes(FnPtrMode::Precise);
+  Out.AllFunctionsNodes = Nodes(FnPtrMode::AllFunctions);
+  Out.AddressTakenNodes = Nodes(FnPtrMode::AddressTaken);
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- GeneralStats.cpp - Table 5 statistics ---------------------------------===//
+
+#include "clients/GeneralStats.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+
+GeneralStats GeneralStats::compute(const simple::Program &Prog,
+                                   const pta::Analyzer::Result &Res) {
+  GeneralStats Out;
+  if (!Res.Analyzed || !Res.Locs)
+    return Out;
+  LocationTable &Locs = *Res.Locs;
+
+  for (const Stmt *S : Prog.allStmts()) {
+    if (!S->isBasic())
+      continue;
+    ++Out.BasicStmts;
+    if (S->id() >= Res.StmtIn.size() || !Res.StmtIn[S->id()])
+      continue;
+    const PointsToSet &In = *Res.StmtIn[S->id()];
+
+    unsigned AtStmt = 0;
+    In.forEach(Locs, [&](const Location *Src, const Location *Dst, Def) {
+      if (Dst->isNull())
+        return; // automatic NULL initialization is not counted
+      ++AtStmt;
+      if (Dst->isFunction() ||
+          Dst->root()->kind() == Entity::Kind::String) {
+        ++Out.ToStatic;
+        return;
+      }
+      bool SrcHeap = Src->isHeap();
+      bool DstHeap = Dst->isHeap();
+      if (!SrcHeap && !DstHeap)
+        ++Out.StackToStack;
+      else if (!SrcHeap && DstHeap)
+        ++Out.StackToHeap;
+      else if (SrcHeap && DstHeap)
+        ++Out.HeapToHeap;
+      else
+        ++Out.HeapToStack;
+    });
+    Out.MaxPerStmt = std::max(Out.MaxPerStmt, AtStmt);
+  }
+  return Out;
+}

@@ -1,0 +1,26 @@
+//===- IGStats.cpp - Table 6 statistics ---------------------------------------===//
+
+#include "clients/IGStats.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+
+IGStats IGStats::compute(const simple::Program &Prog,
+                         const pta::Analyzer::Result &Res) {
+  IGStats Out;
+  if (!Res.IG)
+    return Out;
+  Out.Nodes = Res.IG->numNodes();
+  Out.Recursive = Res.IG->numRecursive();
+  Out.Approximate = Res.IG->numApproximate();
+  Out.Functions = Res.IG->numFunctionsCovered();
+
+  // Static call sites in the simplified program (reachable or not).
+  std::vector<const CallInfo *> Calls;
+  for (const FunctionIR &F : Prog.functions())
+    collectCallInfos(F.Body, Calls);
+  Out.CallSites = static_cast<unsigned>(Calls.size());
+  return Out;
+}

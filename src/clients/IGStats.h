@@ -1,0 +1,44 @@
+//===- IGStats.h - Table 6 statistics ---------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Invocation graph statistics (paper Table 6): node count, static call
+/// sites, functions actually called, Recursive and Approximate node
+/// counts, and the averages of nodes per call-site and per called
+/// function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CLIENTS_IGSTATS_H
+#define MCPTA_CLIENTS_IGSTATS_H
+
+#include "pointsto/Analyzer.h"
+
+namespace mcpta {
+namespace clients {
+
+struct IGStats {
+  unsigned Nodes = 0;
+  unsigned CallSites = 0;
+  unsigned Functions = 0; // functions actually called (incl. main)
+  unsigned Recursive = 0;
+  unsigned Approximate = 0;
+
+  double avgPerCallSite() const {
+    return CallSites ? static_cast<double>(Nodes) / CallSites : 0;
+  }
+  double avgPerFunction() const {
+    return Functions ? static_cast<double>(Nodes) / Functions : 0;
+  }
+
+  static IGStats compute(const simple::Program &Prog,
+                         const pta::Analyzer::Result &Res);
+};
+
+} // namespace clients
+} // namespace mcpta
+
+#endif // MCPTA_CLIENTS_IGSTATS_H

@@ -1,0 +1,196 @@
+//===- IndirectRefStats.cpp - Tables 3 & 4 statistics ------------------------===//
+
+#include "clients/IndirectRefStats.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+
+namespace {
+
+/// Collects the references appearing in one basic statement.
+void collectRefs(const Stmt *S, std::vector<const Reference *> &Out) {
+  auto AddOperand = [&Out](const Operand &O) {
+    if (O.isRef())
+      Out.push_back(&O.Ref);
+  };
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castStmt<AssignStmt>(S);
+    Out.push_back(&A->Lhs);
+    switch (A->RK) {
+    case AssignStmt::RhsKind::Operand:
+    case AssignStmt::RhsKind::Unary:
+      AddOperand(A->A);
+      break;
+    case AssignStmt::RhsKind::Binary:
+      AddOperand(A->A);
+      AddOperand(A->B);
+      break;
+    case AssignStmt::RhsKind::Alloc:
+      break;
+    case AssignStmt::RhsKind::Call:
+      for (const Operand &Arg : A->Call.Args)
+        AddOperand(Arg);
+      if (A->Call.isIndirect())
+        Out.push_back(&A->Call.FnPtr);
+      break;
+    }
+    return;
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = castStmt<CallStmt>(S);
+    for (const Operand &Arg : C->Call.Args)
+      AddOperand(Arg);
+    if (C->Call.isIndirect())
+      Out.push_back(&C->Call.FnPtr);
+    return;
+  }
+  case Stmt::Kind::Return: {
+    const auto *R = castStmt<ReturnStmt>(S);
+    if (R->Value)
+      AddOperand(*R->Value);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+/// True when the indirect reference is of the paper's x[i][j] style: the
+/// dereference is combined with array indexing.
+bool isArrayStyle(const Reference &Ref) {
+  for (const Accessor &A : Ref.Path)
+    if (A.K == Accessor::Kind::Index)
+      return true;
+  return false;
+}
+
+void bump(SplitCount &C, bool Array) {
+  if (Array)
+    ++C.Array;
+  else
+    ++C.Scalar;
+}
+
+/// Table 4's From/To kind of a location.
+enum class LocKind { Local, Global, Formal, Symbolic, Other };
+
+LocKind kindOf(const Location *L) {
+  switch (L->root()->kind()) {
+  case Entity::Kind::Variable: {
+    const cf::VarDecl *V = L->root()->var();
+    if (V->isGlobal())
+      return LocKind::Global;
+    if (V->isParam())
+      return LocKind::Formal;
+    return LocKind::Local;
+  }
+  case Entity::Kind::Symbolic:
+    return LocKind::Symbolic;
+  case Entity::Kind::String:
+    return LocKind::Global;
+  case Entity::Kind::Retval:
+    return LocKind::Local;
+  default:
+    return LocKind::Other;
+  }
+}
+
+} // namespace
+
+double IndirectRefStats::average() const {
+  unsigned Resolved = OneD.total() + OneP.total() + TwoP.total() +
+                      ThreeP.total() + FourPlusP.total();
+  if (Resolved == 0)
+    return 0;
+  return static_cast<double>(totalPairs()) / Resolved;
+}
+
+IndirectRefAnalysis
+IndirectRefAnalysis::compute(const simple::Program &Prog,
+                             const pta::Analyzer::Result &Res) {
+  IndirectRefAnalysis Out;
+  if (!Res.Analyzed || !Res.Locs)
+    return Out;
+  LocationTable &Locs = *Res.Locs;
+
+  for (const Stmt *S : Prog.allStmts()) {
+    if (!S->isBasic())
+      continue;
+    if (S->id() >= Res.StmtIn.size() || !Res.StmtIn[S->id()])
+      continue; // statement never reached
+    const PointsToSet &In = *Res.StmtIn[S->id()];
+
+    std::vector<const Reference *> Refs;
+    collectRefs(S, Refs);
+    for (const Reference *Ref : Refs) {
+      if (!Ref->isIndirect())
+        continue;
+      ++Out.Stats.IndirectRefs;
+
+      const Location *Ptr = Locs.varLoc(Ref->Base);
+      bool Array = isArrayStyle(*Ref);
+
+      // Resolve the dereferenced pointer; NULL does not count as a
+      // target (the paper's "should not be NULL when dereferenced").
+      std::vector<LocDef> Targets;
+      bool HadNull = false;
+      for (const LocDef &T : In.targetsOf(Ptr, Locs)) {
+        if (T.Loc->isNull()) {
+          HadNull = true;
+          continue;
+        }
+        Targets.push_back(T);
+      }
+      (void)HadNull;
+      if (Targets.empty())
+        continue; // unreachable dereference; not classified
+
+      if (Targets.size() == 1) {
+        if (Targets[0].D == Def::D) {
+          bump(Out.Stats.OneD, Array);
+          // Replaceable by a direct reference unless the target is an
+          // invisible (symbolic) variable or a summary location.
+          if (!Targets[0].Loc->root()->isSymbolic() &&
+              !Targets[0].Loc->isSummary() && !Targets[0].Loc->isHeap())
+            ++Out.Stats.ScalarReplaceable;
+        } else {
+          bump(Out.Stats.OneP, Array);
+        }
+      } else if (Targets.size() == 2) {
+        bump(Out.Stats.TwoP, Array);
+      } else if (Targets.size() == 3) {
+        bump(Out.Stats.ThreeP, Array);
+      } else {
+        bump(Out.Stats.FourPlusP, Array);
+      }
+
+      LocKind From = kindOf(Ptr);
+      for (const LocDef &T : Targets) {
+        if (T.Loc->isHeap()) {
+          ++Out.Stats.PairsToHeap;
+          continue;
+        }
+        ++Out.Stats.PairsToStack;
+        switch (From) {
+        case LocKind::Local: ++Out.Categories.FromLocal; break;
+        case LocKind::Global: ++Out.Categories.FromGlobal; break;
+        case LocKind::Formal: ++Out.Categories.FromFormal; break;
+        case LocKind::Symbolic: ++Out.Categories.FromSymbolic; break;
+        case LocKind::Other: break;
+        }
+        switch (kindOf(T.Loc)) {
+        case LocKind::Local: ++Out.Categories.ToLocal; break;
+        case LocKind::Global: ++Out.Categories.ToGlobal; break;
+        case LocKind::Formal: ++Out.Categories.ToFormal; break;
+        case LocKind::Symbolic: ++Out.Categories.ToSymbolic; break;
+        case LocKind::Other: break;
+        }
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- IndirectRefStats.h - Tables 3 & 4 statistics -------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Points-to statistics for indirect references (paper Tables 3 and 4).
+/// For every indirect reference (a reference that consults a dereferenced
+/// pointer: *x, (*x).f, and x[i][j] through a pointer) the dereferenced
+/// pointer's resolved target set is classified:
+///   - definitely one stack location / possibly one (the other being
+///     NULL) / two / three / four-or-more targets;
+///   - replaceable by a direct reference (definite single non-invisible
+///     target);
+///   - pairs used, split by target on stack vs heap;
+///   - From/To categorization by source kind: local, global, formal
+///     parameter, symbolic (Table 4).
+/// Following the paper, relationships contributed only by the automatic
+/// NULL initialization are not counted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CLIENTS_INDIRECTREFSTATS_H
+#define MCPTA_CLIENTS_INDIRECTREFSTATS_H
+
+#include "pointsto/Analyzer.h"
+
+#include <string>
+
+namespace mcpta {
+namespace clients {
+
+/// One paired count: the paper reports scalar-style (*x, (*x).y.z) and
+/// array-style (x[i][j]) indirect references separately.
+struct SplitCount {
+  unsigned Scalar = 0;
+  unsigned Array = 0;
+  unsigned total() const { return Scalar + Array; }
+};
+
+/// Table 3 row.
+struct IndirectRefStats {
+  SplitCount OneD;      // definitely one target
+  SplitCount OneP;      // possibly one target (other NULL)
+  SplitCount TwoP;      // two targets
+  SplitCount ThreeP;    // three targets
+  SplitCount FourPlusP; // >= four targets
+  unsigned IndirectRefs = 0;
+  unsigned ScalarReplaceable = 0;
+  unsigned PairsToStack = 0;
+  unsigned PairsToHeap = 0;
+  unsigned totalPairs() const { return PairsToStack + PairsToHeap; }
+  /// Average points-to pairs used per resolved indirect reference.
+  double average() const;
+};
+
+/// Table 4 row: classification of pairs used by indirect references.
+struct IndirectRefCategories {
+  // From: kind of the dereferenced pointer's location.
+  unsigned FromLocal = 0, FromGlobal = 0, FromFormal = 0, FromSymbolic = 0;
+  // To: kind of the (stack) target location.
+  unsigned ToLocal = 0, ToGlobal = 0, ToFormal = 0, ToSymbolic = 0;
+};
+
+/// Computes Tables 3 and 4 from an analysis result.
+struct IndirectRefAnalysis {
+  IndirectRefStats Stats;
+  IndirectRefCategories Categories;
+
+  static IndirectRefAnalysis compute(const simple::Program &Prog,
+                                     const pta::Analyzer::Result &Res);
+};
+
+} // namespace clients
+} // namespace mcpta
+
+#endif // MCPTA_CLIENTS_INDIRECTREFSTATS_H

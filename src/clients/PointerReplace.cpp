@@ -1,0 +1,120 @@
+//===- PointerReplace.cpp - Pointer replacement transformation ----------------===//
+
+#include "clients/PointerReplace.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+
+namespace {
+
+/// Rewrites Ref in place if its dereferenced pointer definitely points
+/// to a single plain variable. Returns true on success.
+bool tryReplace(Reference &Ref, const PointsToSet &In, LocationTable &Locs,
+                PointerReplaceResult &R) {
+  if (!Ref.isIndirect())
+    return false;
+  ++R.Candidates;
+
+  const Location *Ptr = Locs.varLoc(Ref.Base);
+  const Location *Target = nullptr;
+  for (const LocDef &T : In.targetsOf(Ptr, Locs)) {
+    if (T.Loc->isNull())
+      continue;
+    if (T.D != Def::D || Target)
+      return false; // not a unique definite target
+    Target = T.Loc;
+  }
+  if (!Target)
+    return false;
+  // The replacement needs a directly nameable variable: a plain,
+  // path-free, non-summary program variable.
+  if (Target->root()->kind() != Entity::Kind::Variable ||
+      !Target->path().empty() || Target->isSummary())
+    return false;
+
+  Ref.Base = Target->root()->var();
+  Ref.Deref = false;
+  ++R.Replaced;
+  return true;
+}
+
+void replaceInStmt(Stmt *S, const pta::Analyzer::Result &Res,
+                   PointerReplaceResult &R) {
+  if (S->id() >= Res.StmtIn.size() || !Res.StmtIn[S->id()])
+    return;
+  const PointsToSet &In = *Res.StmtIn[S->id()];
+  LocationTable &Locs = *Res.Locs;
+
+  auto TryOperand = [&](Operand &O) {
+    if (O.isRef())
+      tryReplace(O.Ref, In, Locs, R);
+  };
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    auto *A = castStmt<AssignStmt>(S);
+    tryReplace(A->Lhs, In, Locs, R);
+    switch (A->RK) {
+    case AssignStmt::RhsKind::Operand:
+    case AssignStmt::RhsKind::Unary:
+      TryOperand(A->A);
+      break;
+    case AssignStmt::RhsKind::Binary:
+      TryOperand(A->A);
+      TryOperand(A->B);
+      break;
+    default:
+      break;
+    }
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void walk(Stmt *S, const pta::Analyzer::Result &Res,
+          PointerReplaceResult &R) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (Stmt *C : castStmt<BlockStmt>(S)->Body)
+      walk(C, Res, R);
+    return;
+  case Stmt::Kind::If: {
+    auto *I = castStmt<IfStmt>(S);
+    walk(I->Then, Res, R);
+    walk(I->Else, Res, R);
+    return;
+  }
+  case Stmt::Kind::Loop: {
+    auto *L = castStmt<LoopStmt>(S);
+    walk(L->Body, Res, R);
+    walk(L->Trailer, Res, R);
+    return;
+  }
+  case Stmt::Kind::Switch:
+    for (SwitchStmt::Case &C : castStmt<SwitchStmt>(S)->Cases)
+      for (Stmt *B : C.Body)
+        walk(B, Res, R);
+    return;
+  default:
+    replaceInStmt(S, Res, R);
+    return;
+  }
+}
+
+} // namespace
+
+PointerReplaceResult
+mcpta::clients::replacePointers(Program &Prog,
+                                const pta::Analyzer::Result &Res) {
+  PointerReplaceResult R;
+  if (!Res.Analyzed)
+    return R;
+  for (FunctionIR &F : Prog.functions())
+    walk(F.Body, Res, R);
+  return R;
+}

@@ -1,0 +1,38 @@
+//===- PointerReplace.h - Pointer replacement transformation ----*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pointer-replacement transformation motivated in Sec. 1: given
+/// `x = *q` and the information that q definitely points to y, rewrite
+/// the access as `x = y`. Replacement requires the target to be a plain,
+/// visible, non-summary variable (a definite pointer to an invisible
+/// variable cannot be replaced — footnote 7 of the paper). The
+/// transformation mutates the SIMPLE IR in place and reports how many
+/// references it rewrote, feeding the Table 3 "Scalar Rep" column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CLIENTS_POINTERREPLACE_H
+#define MCPTA_CLIENTS_POINTERREPLACE_H
+
+#include "pointsto/Analyzer.h"
+
+namespace mcpta {
+namespace clients {
+
+struct PointerReplaceResult {
+  unsigned Candidates = 0; ///< indirect references examined
+  unsigned Replaced = 0;   ///< rewritten to direct references
+};
+
+/// Applies pointer replacement to the whole program (in place).
+PointerReplaceResult replacePointers(simple::Program &Prog,
+                                     const pta::Analyzer::Result &Res);
+
+} // namespace clients
+} // namespace mcpta
+
+#endif // MCPTA_CLIENTS_POINTERREPLACE_H

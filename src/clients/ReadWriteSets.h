@@ -1,0 +1,53 @@
+//===- ReadWriteSets.h - Read/write set computation -------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function read/write sets over abstract stack locations, the
+/// building block the paper's Sec. 6.1 describes for the ALPHA
+/// intermediate representation and interprocedural side-effect analysis.
+/// A location is *written* when it appears in an L-location set of an
+/// assignment in the function, and *read* when a reference's value is
+/// consumed. Locations are reported by their context-free names
+/// (including symbolic names); callers combine them with the invocation
+/// graph's map information for context-specific views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CLIENTS_READWRITESETS_H
+#define MCPTA_CLIENTS_READWRITESETS_H
+
+#include "pointsto/Analyzer.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace mcpta {
+namespace clients {
+
+struct ReadWriteSets {
+  /// Function name -> sorted location names.
+  std::map<std::string, std::set<std::string>> Reads;
+  std::map<std::string, std::set<std::string>> Writes;
+
+  static ReadWriteSets compute(const simple::Program &Prog,
+                               const pta::Analyzer::Result &Res);
+};
+
+/// The context-specific view the paper describes in Sec. 6.1: the
+/// context-free sets name invisible variables by their symbolic names;
+/// combining them with one invocation-graph node's deposited map
+/// information substitutes the caller locations those symbols stand for
+/// in that context. Symbolic names without a binding in this context
+/// are dropped (they belong to other call chains).
+std::set<std::string>
+contextualize(const std::set<std::string> &ContextFree,
+              const pta::IGNode &Node);
+
+} // namespace clients
+} // namespace mcpta
+
+#endif // MCPTA_CLIENTS_READWRITESETS_H

@@ -1,0 +1,2479 @@
+//===- Corpus.cpp - Embedded benchmark programs -------------------------------===//
+
+#include "corpus/Corpus.h"
+
+using namespace mcpta;
+using namespace mcpta::corpus;
+
+// Every program is self-contained C in the accepted subset: no headers,
+// library functions declared explicitly, structured control flow only.
+
+static const char *const GeneticSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+int rand(void);
+
+/* Genetic algorithm for sorting networks: tournament selection,
+ * one-point crossover, mutation, and elitism over a heap-allocated
+ * population of genomes accessed through row pointers. */
+
+int POP = 16;
+int GENES = 8;
+int *population;
+int *scratch;
+int *fitness;
+
+int *genome(int *pool, int idx) { return &pool[idx * 8]; }
+
+void randomize(int *genes, int n, int seed) {
+  int i;
+  for (i = 0; i < n; i++)
+    genes[i] = (seed * 31 + i * 17) % 32;
+}
+
+/* Fitness: how close to sorted the genome is. */
+void eval(int *genes, int *fit, int n) {
+  int i;
+  int score;
+  score = 0;
+  for (i = 1; i < n; i++)
+    if (genes[i - 1] <= genes[i])
+      score = score + 1;
+  *fit = score;
+}
+
+int tournament(int *fit, int n) {
+  int a;
+  int b;
+  a = rand() % n;
+  b = rand() % n;
+  if (fit[a] >= fit[b])
+    return a;
+  return b;
+}
+
+void crossover(int *child, int *mom, int *dad, int n) {
+  int cut;
+  int i;
+  cut = rand() % n;
+  for (i = 0; i < n; i++) {
+    if (i < cut)
+      child[i] = mom[i];
+    else
+      child[i] = dad[i];
+  }
+}
+
+void mutate(int *genes, int n) {
+  int i;
+  if (rand() % 4 != 0)
+    return;
+  i = rand() % n;
+  genes[i] = rand() % 32;
+}
+
+int best(int *fit, int n) {
+  int i;
+  int bi;
+  bi = 0;
+  for (i = 1; i < n; i++)
+    if (fit[i] > fit[bi])
+      bi = i;
+  return bi;
+}
+
+void copyGenome(int *dst, int *src, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    dst[i] = src[i];
+}
+
+int main(void) {
+  int gen;
+  int i;
+  int elite;
+  int *mom;
+  int *dad;
+  int *child;
+  int *tmp;
+
+  population = (int *)malloc(POP * GENES * 4);
+  scratch = (int *)malloc(POP * GENES * 4);
+  fitness = (int *)malloc(POP * 4);
+
+  for (i = 0; i < POP; i++)
+    randomize(genome(population, i), GENES, i + 1);
+
+  for (gen = 0; gen < 12; gen++) {
+    for (i = 0; i < POP; i++)
+      eval(genome(population, i), &fitness[i], GENES);
+    elite = best(fitness, POP);
+    copyGenome(genome(scratch, 0), genome(population, elite), GENES);
+    for (i = 1; i < POP; i++) {
+      mom = genome(population, tournament(fitness, POP));
+      dad = genome(population, tournament(fitness, POP));
+      child = genome(scratch, i);
+      crossover(child, mom, dad, GENES);
+      mutate(child, GENES);
+    }
+    tmp = population;
+    population = scratch;
+    scratch = tmp;
+  }
+
+  for (i = 0; i < POP; i++)
+    eval(genome(population, i), &fitness[i], GENES);
+  printf("best fitness %d\n", fitness[best(fitness, POP)]);
+  return 0;
+}
+)C";
+
+static const char *const DrySrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+int strcmp(char *a, char *b);
+char *strcpy(char *dst, char *src);
+
+/* Dhrystone-style synthetic systems benchmark: records linked through
+ * pointer components, by-value record assignment, enumerations, string
+ * comparison, and a web of small procedures passing pointers. */
+
+enum Enumeration { Ident1, Ident2, Ident3, Ident4, Ident5 };
+
+struct Record {
+  struct Record *PtrComp;
+  int Discr;
+  int EnumComp;
+  int IntComp;
+  char StringComp[31];
+};
+
+typedef struct Record *RecordPtr;
+
+RecordPtr PtrGlb;
+RecordPtr PtrGlbNext;
+int IntGlob;
+int BoolGlob;
+char Char1Glob;
+char Char2Glob;
+int Array1Glob[32];
+int Array2Glob[32][32];
+
+int Func1(char ch1, char ch2) {
+  char chLoc1;
+  char chLoc2;
+  chLoc1 = ch1;
+  chLoc2 = chLoc1;
+  if (chLoc2 != ch2)
+    return Ident1;
+  return Ident2;
+}
+
+int Func2(char *str1, char *str2) {
+  int intLoc;
+  char chLoc;
+  intLoc = 1;
+  chLoc = 'A';
+  while (intLoc <= 1) {
+    if (Func1(str1[intLoc], str2[intLoc + 1]) == Ident1) {
+      chLoc = 'A';
+      intLoc = intLoc + 1;
+    } else {
+      intLoc = intLoc + 1;
+    }
+  }
+  if (chLoc >= 'W' && chLoc <= 'Z')
+    intLoc = 7;
+  if (chLoc == 'X')
+    return 1;
+  if (strcmp(str1, str2) > 0) {
+    intLoc = intLoc + 7;
+    return 1;
+  }
+  return 0;
+}
+
+int Func3(int enumParIn) {
+  int enumLoc;
+  enumLoc = enumParIn;
+  if (enumLoc == Ident3)
+    return 1;
+  return 0;
+}
+
+void Proc8(int *array1Par, int (*array2Par)[32], int intParI1,
+           int intParI2) {
+  int intLoc;
+  int intIndex;
+  intLoc = intParI1 + 5;
+  array1Par[intLoc] = intParI2;
+  array1Par[intLoc + 1] = array1Par[intLoc];
+  array1Par[intLoc + 30] = intLoc;
+  for (intIndex = intLoc; intIndex <= intLoc + 1; intIndex++)
+    array2Par[intLoc][intIndex] = intLoc;
+  array2Par[intLoc][intLoc - 1] = array2Par[intLoc][intLoc - 1] + 1;
+  array2Par[intLoc + 20][intLoc] = array1Par[intLoc];
+  IntGlob = 5;
+}
+
+void Proc7(int intParI1, int intParI2, int *intParOut) {
+  int intLoc;
+  intLoc = intParI1 + 2;
+  *intParOut = intParI2 + intLoc;
+}
+
+void Proc6(int enumParIn, int *enumParOut) {
+  *enumParOut = enumParIn;
+  if (!Func3(enumParIn))
+    *enumParOut = Ident4;
+  switch (enumParIn) {
+  case Ident1:
+    *enumParOut = Ident1;
+    break;
+  case Ident2:
+    if (IntGlob > 100)
+      *enumParOut = Ident1;
+    else
+      *enumParOut = Ident4;
+    break;
+  case Ident3:
+    *enumParOut = Ident2;
+    break;
+  case Ident4:
+    break;
+  default:
+    *enumParOut = Ident5;
+    break;
+  }
+}
+
+void Proc5(void) {
+  Char1Glob = 'A';
+  BoolGlob = 0;
+}
+
+void Proc4(void) {
+  int boolLoc;
+  boolLoc = Char1Glob == 'A';
+  boolLoc = boolLoc | BoolGlob;
+  Char2Glob = 'B';
+}
+
+void Proc3(RecordPtr *ptrParOut) {
+  if (PtrGlb != NULL)
+    *ptrParOut = PtrGlb->PtrComp;
+  else
+    IntGlob = 100;
+  Proc7(10, IntGlob, &PtrGlb->IntComp);
+}
+
+void Proc2(int *intParIO) {
+  int intLoc;
+  int enumLoc;
+  intLoc = *intParIO + 10;
+  enumLoc = Ident2;
+  while (1) {
+    if (Char1Glob == 'A') {
+      intLoc = intLoc - 1;
+      *intParIO = intLoc - IntGlob;
+      enumLoc = Ident1;
+    }
+    if (enumLoc == Ident1)
+      break;
+  }
+}
+
+void Proc1(RecordPtr ptrParIn) {
+  RecordPtr nextRecord;
+  nextRecord = ptrParIn->PtrComp;
+  *nextRecord = *PtrGlb; /* whole-record assignment */
+  ptrParIn->IntComp = 5;
+  nextRecord->IntComp = ptrParIn->IntComp;
+  nextRecord->PtrComp = ptrParIn->PtrComp;
+  Proc3(&nextRecord->PtrComp);
+  if (nextRecord->Discr == Ident1) {
+    nextRecord->IntComp = 6;
+    Proc6(ptrParIn->EnumComp, &nextRecord->EnumComp);
+    nextRecord->PtrComp = PtrGlb->PtrComp;
+    Proc7(nextRecord->IntComp, 10, &nextRecord->IntComp);
+  } else {
+    *ptrParIn = *nextRecord;
+  }
+}
+
+int main(void) {
+  int i;
+  int intLoc1;
+  int intLoc2;
+  int intLoc3;
+  char string1Loc[31];
+  char string2Loc[31];
+
+  PtrGlbNext = (RecordPtr)malloc(56);
+  PtrGlb = (RecordPtr)malloc(56);
+  PtrGlb->PtrComp = PtrGlbNext;
+  PtrGlb->Discr = Ident1;
+  PtrGlb->EnumComp = Ident3;
+  PtrGlb->IntComp = 40;
+  strcpy(PtrGlb->StringComp, "DHRYSTONE PROGRAM");
+  strcpy(string1Loc, "DHRYSTONE PROGRAM, 1ST");
+  Array2Glob[8][7] = 10;
+
+  for (i = 0; i < 20; i++) {
+    Proc5();
+    Proc4();
+    intLoc1 = 2;
+    intLoc2 = 3;
+    strcpy(string2Loc, "DHRYSTONE PROGRAM, 2ND");
+    BoolGlob = !Func2(string1Loc, string2Loc);
+    while (intLoc1 < intLoc2) {
+      intLoc3 = 5 * intLoc1 - intLoc2;
+      Proc7(intLoc1, intLoc2, &intLoc3);
+      intLoc1 = intLoc1 + 1;
+    }
+    Proc8(Array1Glob, Array2Glob, intLoc1, intLoc3);
+    Proc1(PtrGlb);
+    if (Char2Glob == 'B')
+      Proc2(&intLoc1);
+  }
+  printf("%d %d\n", IntGlob, intLoc1 + intLoc2);
+  return 0;
+}
+)C";
+
+static const char *const ClinpackSrc = R"C(
+int printf(char *fmt, ...);
+
+/* The C Linpack kernel: matgen / dgefa / dgesl with pivoting, built on
+ * the BLAS-style daxpy/ddot/dscal/idamax primitives, all traversing
+ * rows through pointers into a 2-D array. */
+
+double aa[10][10];
+double bb[10];
+double xx[10];
+int ipvt[10];
+
+void daxpy(int n, double da, double *dx, double *dy) {
+  int i;
+  if (n <= 0)
+    return;
+  if (da == 0.0)
+    return;
+  for (i = 0; i < n; i++)
+    dy[i] = dy[i] + da * dx[i];
+}
+
+double ddot(int n, double *dx, double *dy) {
+  int i;
+  double t;
+  t = 0.0;
+  for (i = 0; i < n; i++)
+    t = t + dx[i] * dy[i];
+  return t;
+}
+
+void dscal(int n, double da, double *dx) {
+  int i;
+  for (i = 0; i < n; i++)
+    dx[i] = da * dx[i];
+}
+
+int idamax(int n, double *dx) {
+  int i;
+  int im;
+  double dmax;
+  double v;
+  im = 0;
+  dmax = dx[0] < 0.0 ? -dx[0] : dx[0];
+  for (i = 1; i < n; i++) {
+    v = dx[i] < 0.0 ? -dx[i] : dx[i];
+    if (v > dmax) {
+      dmax = v;
+      im = i;
+    }
+  }
+  return im;
+}
+
+double matgen(double a[10][10], int n, double *b) {
+  int i;
+  int j;
+  int init;
+  double norma;
+  init = 1325;
+  norma = 0.0;
+  for (j = 0; j < n; j++)
+    for (i = 0; i < n; i++) {
+      init = (3125 * init) % 65536;
+      a[j][i] = (init - 32768.0) / 16384.0;
+      if (a[j][i] > norma)
+        norma = a[j][i];
+    }
+  for (i = 0; i < n; i++)
+    b[i] = 0.0;
+  for (j = 0; j < n; j++)
+    for (i = 0; i < n; i++)
+      b[i] = b[i] + a[j][i];
+  return norma;
+}
+
+int dgefa(double a[10][10], int n) {
+  int info;
+  int j;
+  int k;
+  int l;
+  double t;
+  info = 0;
+  for (k = 0; k < n - 1; k++) {
+    l = idamax(n - k, &a[k][k]) + k;
+    ipvt[k] = l;
+    if (a[k][l] == 0.0) {
+      info = k;
+      continue;
+    }
+    if (l != k) {
+      t = a[k][l];
+      a[k][l] = a[k][k];
+      a[k][k] = t;
+    }
+    t = -1.0 / a[k][k];
+    dscal(n - k - 1, t, &a[k][k + 1]);
+    for (j = k + 1; j < n; j++) {
+      t = a[j][l];
+      if (l != k) {
+        a[j][l] = a[j][k];
+        a[j][k] = t;
+      }
+      daxpy(n - k - 1, t, &a[k][k + 1], &a[j][k + 1]);
+    }
+  }
+  ipvt[n - 1] = n - 1;
+  return info;
+}
+
+void dgesl(double a[10][10], int n, double *b) {
+  int k;
+  int l;
+  double t;
+  for (k = 0; k < n - 1; k++) {
+    l = ipvt[k];
+    t = b[l];
+    if (l != k) {
+      b[l] = b[k];
+      b[k] = t;
+    }
+    daxpy(n - k - 1, t, &a[k][k + 1], &b[k + 1]);
+  }
+  for (k = n - 1; k >= 0; k--) {
+    if (a[k][k] != 0.0)
+      b[k] = b[k] / a[k][k];
+    t = -b[k];
+    daxpy(k, t, &a[k][0], &b[0]);
+  }
+}
+
+double epslon(double x) {
+  double a;
+  double b;
+  double c;
+  double eps;
+  a = 4.0 / 3.0;
+  eps = 0.0;
+  while (eps == 0.0) {
+    b = a - 1.0;
+    c = b + b + b;
+    eps = c - 1.0;
+    if (eps < 0.0)
+      eps = -eps;
+    a = a + eps; /* force progress under exact arithmetic */
+  }
+  return eps * (x < 0.0 ? -x : x);
+}
+
+int main(void) {
+  int n;
+  int i;
+  double norma;
+  double residn;
+  n = 10;
+  norma = matgen(aa, n, bb);
+  dgefa(aa, n);
+  dgesl(aa, n, bb);
+  for (i = 0; i < n; i++)
+    xx[i] = bb[i];
+  residn = 0.0;
+  for (i = 0; i < n; i++)
+    residn = residn + xx[i];
+  printf("norm %f resid %f eps %f\n", norma, residn, epslon(1.0));
+  return 0;
+}
+)C";
+
+static const char *const ConfigSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+
+/* A language-feature checker in the spirit of the original config
+ * benchmark: one small routine per C feature, each recording a pass or
+ * fail into a results table that the driver walks at the end. */
+
+int results[24];
+int nextSlot;
+
+void record(int ok) {
+  results[nextSlot] = ok;
+  nextSlot = nextSlot + 1;
+}
+
+int checkArith(int a, int b) { return a + b * 2 - (a % (b + 1)); }
+int checkShift(int a) { return (a << 2) | (a >> 1); }
+int checkLogic(int a, int b) { return (a && b) || (!a && !b); }
+int checkBits(int a, int b) { return (a & b) ^ (a | b); }
+int checkCompare(int a, int b) {
+  return (a < b) + (a <= b) + (a > b) + (a >= b) + (a == b) + (a != b);
+}
+
+int checkPtr(int *p) {
+  if (p == NULL)
+    return 0;
+  return *p;
+}
+
+int checkPtrPtr(int **pp) {
+  if (pp == NULL)
+    return 0;
+  return checkPtr(*pp);
+}
+
+int checkPtrPtrPtr(int ***ppp) {
+  if (ppp == NULL)
+    return 0;
+  return checkPtrPtr(*ppp);
+}
+
+void bump(int *c) { *c = *c + 1; }
+
+int checkArray(int *a, int n) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < n; i++)
+    s = s + a[i];
+  return s;
+}
+
+int check2DArray(void) {
+  int m[3][3];
+  int i;
+  int j;
+  int s;
+  for (i = 0; i < 3; i++)
+    for (j = 0; j < 3; j++)
+      m[i][j] = i * 3 + j;
+  s = 0;
+  for (i = 0; i < 3; i++)
+    s = s + m[i][i];
+  return s == 12;
+}
+
+struct Widget {
+  int id;
+  int *owner;
+  struct Widget *peer;
+};
+
+int checkStruct(void) {
+  int boss;
+  struct Widget w1;
+  struct Widget w2;
+  boss = 9;
+  w1.id = 1;
+  w1.owner = &boss;
+  w1.peer = &w2;
+  w2 = w1;            /* struct assignment */
+  w2.id = 2;
+  return w1.peer->id == 2 && *w2.owner == 9;
+}
+
+union Cell {
+  int asInt;
+  char asChar;
+};
+
+int checkUnion(void) {
+  union Cell c;
+  c.asInt = 65;
+  return c.asInt == 65;
+}
+
+typedef int (*BinOp)(int, int);
+
+int opAdd(int a, int b) { return a + b; }
+int opSub(int a, int b) { return a - b; }
+
+int checkFnPtr(void) {
+  BinOp ops[2];
+  BinOp f;
+  ops[0] = opAdd;
+  ops[1] = opSub;
+  f = ops[1];
+  return f(10, 4) == 6 && ops[0](1, 2) == 3;
+}
+
+int checkSwitch(int x) {
+  switch (x % 5) {
+  case 0:
+    return 1;
+  case 1:
+  case 2:
+    return 2;
+  case 3:
+    return 4;
+  default:
+    return 8;
+  }
+}
+
+int checkLoop(int n) {
+  int i;
+  int s;
+  s = 0;
+  i = 0;
+  while (i < n) {
+    s = s + i;
+    i++;
+    if (s > 100)
+      break;
+  }
+  do {
+    s = s - 1;
+  } while (s > 50);
+  for (i = n; i > 0; i--)
+    if (i % 2 == 0)
+      continue;
+    else
+      s = s + 1;
+  return s;
+}
+
+int checkHeap(void) {
+  int *cell;
+  int **holder;
+  cell = (int *)malloc(4);
+  holder = (int **)malloc(8);
+  *cell = 5;
+  *holder = cell;
+  return **holder == 5;
+}
+
+int checkRecursion(int n) {
+  if (n <= 1)
+    return 1;
+  return n * checkRecursion(n - 1);
+}
+
+int checkString(void) {
+  char *s;
+  s = "config";
+  return s[0] == 'c' && s[5] == 'g';
+}
+
+int main(void) {
+  int x;
+  int *p;
+  int **pp;
+  int ***ppp;
+  int i;
+  int passed;
+
+  nextSlot = 0;
+  x = 5;
+  p = &x;
+  pp = &p;
+  ppp = &pp;
+
+  record(checkArith(3, 4) == 10);
+  record(checkShift(9) == 40);
+  record(checkLogic(1, 1) == 1);
+  record(checkBits(12, 10) == 6);
+  record(checkCompare(1, 2) == 3);
+  record(checkPtr(p) == 5);
+  record(checkPtrPtr(pp) == 5);
+  record(checkPtrPtrPtr(ppp) == 5);
+  record(check2DArray());
+  record(checkStruct());
+  record(checkUnion());
+  record(checkFnPtr());
+  record(checkSwitch(x) == 1);
+  record(checkLoop(20) > 0);
+  record(checkHeap());
+  record(checkRecursion(5) == 120);
+  record(checkString());
+  bump(&results[0]);
+
+  passed = checkArray(results, nextSlot);
+  printf("%d/%d features\n", passed, nextSlot);
+  return passed;
+}
+)C";
+
+static const char *const ToplevSrc = R"C(
+int printf(char *fmt, ...);
+char *strcpy(char *dst, char *src);
+int strcmp(char *a, char *b);
+int strlen(char *s);
+
+/* Compiler-driver top level: option parsing through a table of handler
+ * function pointers (the paper's array-of-pointers-initialization
+ * case), a pass pipeline also dispatched through pointers, and a fake
+ * file queue. */
+
+int flagO;
+int flagG;
+int flagW;
+int flagS;
+int errorCount;
+char currentFile[64];
+
+int setO(char *arg) { flagO = arg[2] ? arg[2] - '0' : 1; return 0; }
+int setG(char *arg) { flagG = 1; return 0; }
+int setW(char *arg) { flagW = flagW + 1; return 0; }
+int setS(char *arg) { flagS = 1; return 0; }
+int setNone(char *arg) { errorCount = errorCount + 1; return 1; }
+
+int (*handlers[5])(char *) = {setO, setG, setW, setS, setNone};
+char *optNames[5] = {"-O", "-g", "-W", "-S", ""};
+
+int dispatch(char *arg) {
+  int i;
+  int (*h)(char *);
+  for (i = 0; i < 4; i++) {
+    if (strcmp(arg, optNames[i]) == 0) {
+      h = handlers[i];
+      return h(arg);
+    }
+  }
+  h = handlers[4];
+  return h(arg);
+}
+
+/* The pass pipeline, also table-driven. */
+int passCount;
+
+int parsePass(char *file) { passCount = passCount + 1; return strlen(file); }
+int simplifyPass(char *file) { passCount = passCount + 1; return 0; }
+int analyzePass(char *file) { passCount = passCount + 1; return flagO; }
+int emitPass(char *file) { passCount = passCount + 1; return flagS; }
+
+int (*pipeline[4])(char *) = {parsePass, simplifyPass, analyzePass,
+                              emitPass};
+
+int compileFile(char *name) {
+  int i;
+  int rc;
+  int (*pass)(char *);
+  char *p;
+  p = currentFile;
+  strcpy(p, name);
+  rc = 0;
+  for (i = 0; i < 4; i++) {
+    pass = pipeline[i];
+    rc = rc + pass(p);
+    if (errorCount > 3)
+      break;
+  }
+  return rc;
+}
+
+char *queue[3] = {"main.c", "util.c", "tab.c"};
+char *argvec[5] = {"-O", "-g", "-W", "-W", "-x"};
+
+int main(void) {
+  int i;
+  int rc;
+  for (i = 0; i < 5; i++)
+    dispatch(argvec[i]); /* "-x" is unknown: handled by setNone */
+  rc = 0;
+  for (i = 0; i < 3; i++)
+    rc = rc + compileFile(queue[i]);
+  printf("O%d g%d W%d passes %d errors %d\n", flagO, flagG, flagW,
+         passCount, errorCount);
+  return rc > 0;
+}
+)C";
+
+static const char *const CompressSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+
+/* LZW-flavoured compressor: open-addressed code table over heap
+ * buffers, bit-oriented output through a cursor pointer, plus a
+ * decompressor to verify the round trip. */
+
+int HSIZE = 257;
+long *htab;
+int *codetab;
+char *inbuf;
+char *outbuf;
+char *verify;
+int inpos;
+int inlen;
+int outpos;
+int freeCode;
+
+void putCode(int code) {
+  char *p;
+  p = &outbuf[outpos];
+  *p = (char)(code & 127);
+  outpos = outpos + 1;
+  p = &outbuf[outpos];
+  *p = (char)((code >> 7) & 127);
+  outpos = outpos + 1;
+}
+
+int getByte(void) {
+  char *p;
+  int c;
+  if (inpos >= inlen)
+    return -1;
+  p = &inbuf[inpos];
+  c = *p;
+  inpos = inpos + 1;
+  return c;
+}
+
+void clearTable(void) {
+  int i;
+  for (i = 0; i < HSIZE; i++) {
+    htab[i] = -1;
+    codetab[i] = 0;
+  }
+  freeCode = 256;
+}
+
+int probe(long key) {
+  int h;
+  int start;
+  h = (int)((key * 31) % HSIZE);
+  if (h < 0)
+    h = -h;
+  start = h;
+  while (htab[h] != -1 && htab[h] != key) {
+    h = h + 1;
+    if (h >= HSIZE)
+      h = 0;
+    if (h == start)
+      return -1;
+  }
+  return h;
+}
+
+int compress(void) {
+  int c;
+  long fcode;
+  int ent;
+  int slot;
+  int emitted;
+  emitted = 0;
+  clearTable();
+  ent = getByte();
+  while (1) {
+    c = getByte();
+    if (c < 0)
+      break;
+    fcode = ((long)c << 16) + ent;
+    slot = probe(fcode);
+    if (slot >= 0 && htab[slot] == fcode) {
+      ent = codetab[slot];
+      continue;
+    }
+    putCode(ent);
+    emitted = emitted + 1;
+    if (slot >= 0 && freeCode < 4096) {
+      htab[slot] = fcode;
+      codetab[slot] = freeCode;
+      freeCode = freeCode + 1;
+    }
+    ent = c;
+  }
+  putCode(ent);
+  return emitted + 1;
+}
+
+void fill(char *buf, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    buf[i] = (char)('a' + (i * 7) % 6); /* abcabc-ish, compressible */
+}
+
+int main(void) {
+  int codes;
+  htab = (long *)malloc(HSIZE * 8);
+  codetab = (int *)malloc(HSIZE * 4);
+  inbuf = (char *)malloc(256);
+  outbuf = (char *)malloc(1024);
+  verify = (char *)malloc(256);
+  inlen = 96;
+  fill(inbuf, inlen);
+  inpos = 0;
+  outpos = 0;
+  codes = compress();
+  printf("in %d codes %d out %d\n", inlen, codes, outpos);
+  return 0;
+}
+)C";
+
+static const char *const MwaySrc = R"C(
+int printf(char *fmt, ...);
+
+/* m-way graph partitioning: a Kernighan-Lin-flavoured pass over an
+ * adjacency matrix, gain computation per node, greedy moves with a
+ * tabu array, and a cut-size metric. */
+
+int adj[24][24];
+int weights[24];
+int parts[24];
+int gains[24];
+int locked[24];
+int N = 24;
+int K = 4;
+
+void buildGraph(void) {
+  int i;
+  int j;
+  for (i = 0; i < N; i++) {
+    weights[i] = (i * 7) % 13 + 1;
+    for (j = 0; j < N; j++)
+      adj[i][j] = 0;
+  }
+  for (i = 0; i < N; i++) {
+    adj[i][(i + 1) % N] = 1;
+    adj[(i + 1) % N][i] = 1;
+    adj[i][(i + 5) % N] = 1;
+    adj[(i + 5) % N][i] = 1;
+  }
+}
+
+void initParts(int *part, int n, int k) {
+  int i;
+  for (i = 0; i < n; i++)
+    part[i] = i % k;
+}
+
+/* External minus internal connectivity of a node. */
+int computeGain(int *part, int node) {
+  int j;
+  int g;
+  g = 0;
+  for (j = 0; j < N; j++) {
+    if (!adj[node][j])
+      continue;
+    if (part[j] != part[node])
+      g = g + 1;
+    else
+      g = g - 1;
+  }
+  return g;
+}
+
+int bestUnlocked(int *gain, int *lock, int n) {
+  int i;
+  int bi;
+  bi = -1;
+  for (i = 0; i < n; i++) {
+    if (lock[i])
+      continue;
+    if (bi < 0 || gain[i] > gain[bi])
+      bi = i;
+  }
+  return bi;
+}
+
+int targetPart(int *part, int node, int k) {
+  int counts[8];
+  int p;
+  int j;
+  int bestP;
+  for (p = 0; p < k; p++)
+    counts[p] = 0;
+  for (j = 0; j < N; j++)
+    if (adj[node][j])
+      counts[part[j]] = counts[part[j]] + 1;
+  bestP = part[node];
+  for (p = 0; p < k; p++)
+    if (p != part[node] && counts[p] > counts[bestP])
+      bestP = p;
+  return bestP;
+}
+
+void pass(int *part, int *gain, int *lock) {
+  int moves;
+  int node;
+  for (node = 0; node < N; node++)
+    lock[node] = 0;
+  for (moves = 0; moves < N / 2; moves++) {
+    for (node = 0; node < N; node++)
+      gain[node] = computeGain(part, node);
+    node = bestUnlocked(gain, lock, N);
+    if (node < 0 || gain[node] <= 0)
+      break;
+    part[node] = targetPart(part, node, K);
+    lock[node] = 1;
+  }
+}
+
+int cutSize(int *part) {
+  int i;
+  int j;
+  int cut;
+  cut = 0;
+  for (i = 0; i < N; i++)
+    for (j = i + 1; j < N; j++)
+      if (adj[i][j] && part[i] != part[j])
+        cut = cut + 1;
+  return cut;
+}
+
+int main(void) {
+  int p;
+  int before;
+  int after;
+  buildGraph();
+  initParts(parts, N, K);
+  before = cutSize(parts);
+  for (p = 0; p < 6; p++)
+    pass(parts, gains, locked);
+  after = cutSize(parts);
+  printf("cut %d -> %d\n", before, after);
+  return after <= before ? 0 : 1;
+}
+)C";
+
+static const char *const HashSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+int strcmp(char *a, char *b);
+int strlen(char *s);
+
+/* Chained hash table with insert / lookup / remove / iterate, a
+ * resize-like rehash into a second bucket array, and collision
+ * statistics — the classic heap-pointer workload. */
+
+struct Entry {
+  char *key;
+  int value;
+  struct Entry *next;
+};
+
+struct Entry *table[16];
+struct Entry *big[32];
+int population;
+
+int hash(char *key, int buckets) {
+  int h;
+  char *p;
+  h = 0;
+  p = key;
+  while (*p != '\0') {
+    h = h * 31 + *p;
+    p = p + 1;
+  }
+  if (h < 0)
+    h = -h;
+  return h % buckets;
+}
+
+struct Entry *lookup(char *key) {
+  struct Entry *e;
+  e = table[hash(key, 16)];
+  while (e != NULL) {
+    if (strcmp(e->key, key) == 0)
+      return e;
+    e = e->next;
+  }
+  return NULL;
+}
+
+void insert(char *key, int value) {
+  struct Entry *e;
+  int h;
+  e = lookup(key);
+  if (e != NULL) {
+    e->value = value;
+    return;
+  }
+  e = (struct Entry *)malloc(24);
+  h = hash(key, 16);
+  e->key = key;
+  e->value = value;
+  e->next = table[h];
+  table[h] = e;
+  population = population + 1;
+}
+
+int removeKey(char *key) {
+  struct Entry *e;
+  struct Entry *prev;
+  int h;
+  h = hash(key, 16);
+  e = table[h];
+  prev = NULL;
+  while (e != NULL) {
+    if (strcmp(e->key, key) == 0) {
+      if (prev == NULL)
+        table[h] = e->next;
+      else
+        prev->next = e->next;
+      population = population - 1;
+      return 1;
+    }
+    prev = e;
+    e = e->next;
+  }
+  return 0;
+}
+
+int sumValues(void) {
+  int h;
+  int s;
+  struct Entry *e;
+  s = 0;
+  for (h = 0; h < 16; h++) {
+    e = table[h];
+    while (e != NULL) {
+      s = s + e->value;
+      e = e->next;
+    }
+  }
+  return s;
+}
+
+int longestChain(void) {
+  int h;
+  int len;
+  int maxLen;
+  struct Entry *e;
+  maxLen = 0;
+  for (h = 0; h < 16; h++) {
+    len = 0;
+    e = table[h];
+    while (e != NULL) {
+      len = len + 1;
+      e = e->next;
+    }
+    if (len > maxLen)
+      maxLen = len;
+  }
+  return maxLen;
+}
+
+/* Rehash everything into the wider bucket array. */
+void rehash(void) {
+  int h;
+  int nh;
+  struct Entry *e;
+  struct Entry *next;
+  for (h = 0; h < 32; h++)
+    big[h] = NULL;
+  for (h = 0; h < 16; h++) {
+    e = table[h];
+    while (e != NULL) {
+      next = e->next;
+      nh = hash(e->key, 32);
+      e->next = big[nh];
+      big[nh] = e;
+      e = next;
+    }
+    table[h] = NULL;
+  }
+}
+
+char *words[10] = {"alpha", "beta", "gamma", "delta", "epsilon",
+                   "zeta",  "eta",  "theta", "iota",  "kappa"};
+
+int main(void) {
+  int i;
+  struct Entry *e;
+  population = 0;
+  for (i = 0; i < 10; i++)
+    insert(words[i], i + 1);
+  insert("alpha", 100); /* update in place */
+  removeKey("zeta");
+  e = lookup("gamma");
+  if (e == NULL)
+    return 1;
+  printf("pop %d sum %d chain %d gamma %d\n", population, sumValues(),
+         longestChain(), e->value);
+  rehash();
+  return 0;
+}
+)C";
+
+static const char *const MisrSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+
+/* Multiple-input signature registers: two linked shift registers fed
+ * the same bit stream with injected faults in one; their signatures are
+ * compared to see whether the errors cancelled (the aliasing question
+ * the original benchmark poses). */
+
+struct Cell {
+  int bit;
+  struct Cell *next;
+};
+
+struct Cell *misr1;
+struct Cell *misr2;
+int faultsInjected;
+
+struct Cell *makeMisr(int n) {
+  struct Cell *head;
+  struct Cell *c;
+  int i;
+  head = NULL;
+  for (i = 0; i < n; i++) {
+    c = (struct Cell *)malloc(16);
+    c->bit = 0;
+    c->next = head;
+    head = c;
+  }
+  return head;
+}
+
+void shift(struct Cell *m, int in) {
+  struct Cell *c;
+  int carry;
+  int t;
+  c = m;
+  carry = in;
+  while (c != NULL) {
+    t = c->bit;
+    c->bit = carry ^ t;
+    carry = t;
+    c = c->next;
+  }
+}
+
+/* Feedback tap: xor the last bit back into the first. */
+void feedback(struct Cell *m) {
+  struct Cell *c;
+  struct Cell *last;
+  c = m;
+  last = m;
+  while (c != NULL) {
+    last = c;
+    c = c->next;
+  }
+  if (last != NULL && m != NULL)
+    m->bit = m->bit ^ last->bit;
+}
+
+void inject(struct Cell *m, int pos) {
+  struct Cell *c;
+  int i;
+  c = m;
+  for (i = 0; i < pos && c != NULL; i++)
+    c = c->next;
+  if (c != NULL) {
+    c->bit = c->bit ^ 1;
+    faultsInjected = faultsInjected + 1;
+  }
+}
+
+int signature(struct Cell *m) {
+  struct Cell *c;
+  int sig;
+  c = m;
+  sig = 0;
+  while (c != NULL) {
+    sig = sig * 2 + c->bit;
+    c = c->next;
+  }
+  return sig;
+}
+
+int compare(struct Cell *a, struct Cell *b) {
+  while (a != NULL && b != NULL) {
+    if (a->bit != b->bit)
+      return 0;
+    a = a->next;
+    b = b->next;
+  }
+  return a == NULL && b == NULL;
+}
+
+int main(void) {
+  int i;
+  misr1 = makeMisr(16);
+  misr2 = makeMisr(16);
+  faultsInjected = 0;
+  for (i = 0; i < 48; i++) {
+    shift(misr1, i & 1);
+    shift(misr2, i & 1);
+    feedback(misr1);
+    feedback(misr2);
+    if (i % 12 == 5) {
+      inject(misr2, i % 16);       /* fault... */
+      inject(misr2, (i + 6) % 16); /* ...and a second that may cancel */
+    }
+  }
+  printf("faults %d sig1 %d sig2 %d equal %d\n", faultsInjected,
+         signature(misr1), signature(misr2), compare(misr1, misr2));
+  return 0;
+}
+)C";
+
+static const char *const XrefSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+int strcmp(char *a, char *b);
+
+/* Cross-reference builder: a binary search tree of words, each node
+ * carrying a linked list of line numbers; recursive insertion, an
+ * in-order walk, depth measurement, and a lookup path. */
+
+struct LineRef {
+  int line;
+  struct LineRef *next;
+};
+
+struct Node {
+  char *word;
+  int count;
+  struct LineRef *lines;
+  struct Node *left;
+  struct Node *right;
+};
+
+struct Node *root;
+int distinctWords;
+
+struct LineRef *newLine(int line, struct LineRef *next) {
+  struct LineRef *l;
+  l = (struct LineRef *)malloc(16);
+  l->line = line;
+  l->next = next;
+  return l;
+}
+
+struct Node *addTree(struct Node *p, char *w, int line) {
+  int cond;
+  if (p == NULL) {
+    p = (struct Node *)malloc(48);
+    p->word = w;
+    p->count = 1;
+    p->lines = newLine(line, NULL);
+    p->left = NULL;
+    p->right = NULL;
+    distinctWords = distinctWords + 1;
+    return p;
+  }
+  cond = strcmp(w, p->word);
+  if (cond == 0) {
+    p->count = p->count + 1;
+    p->lines = newLine(line, p->lines);
+  } else if (cond < 0) {
+    p->left = addTree(p->left, w, line);
+  } else {
+    p->right = addTree(p->right, w, line);
+  }
+  return p;
+}
+
+int treeDepth(struct Node *p) {
+  int l;
+  int r;
+  if (p == NULL)
+    return 0;
+  l = treeDepth(p->left);
+  r = treeDepth(p->right);
+  if (l > r)
+    return l + 1;
+  return r + 1;
+}
+
+int countRefs(struct Node *p) {
+  int n;
+  struct LineRef *l;
+  if (p == NULL)
+    return 0;
+  n = countRefs(p->left) + countRefs(p->right);
+  l = p->lines;
+  while (l != NULL) {
+    n = n + 1;
+    l = l->next;
+  }
+  return n;
+}
+
+struct Node *find(struct Node *p, char *w) {
+  int cond;
+  while (p != NULL) {
+    cond = strcmp(w, p->word);
+    if (cond == 0)
+      return p;
+    if (cond < 0)
+      p = p->left;
+    else
+      p = p->right;
+  }
+  return NULL;
+}
+
+void treePrint(struct Node *p) {
+  if (p != NULL) {
+    treePrint(p->left);
+    printf("%4d %s\n", p->count, p->word);
+    treePrint(p->right);
+  }
+}
+
+char *text[12] = {"the",  "quick", "brown", "fox", "jumps", "over",
+                  "the",  "lazy",  "dog",   "the", "quick", "fox"};
+
+int main(void) {
+  int i;
+  struct Node *hit;
+  root = NULL;
+  distinctWords = 0;
+  for (i = 0; i < 12; i++)
+    root = addTree(root, text[i], i + 1);
+  treePrint(root);
+  hit = find(root, "fox");
+  if (hit == NULL)
+    return 1;
+  printf("words %d depth %d refs %d fox %d\n", distinctWords,
+         treeDepth(root), countRefs(root), hit->count);
+  return 0;
+}
+)C";
+
+static const char *const StanfordSrc = R"C(
+int printf(char *fmt, ...);
+
+/* The Stanford "baby benchmarks": perm, towers, queens, intmm, bubble,
+ * quicksort and a tree walk, sharing global state like the original. */
+
+int permArray[11];
+int permCount;
+int towersMoves;
+int queensCount;
+int sortList[32];
+int sortSize;
+int imA[8][8];
+int imB[8][8];
+int imR[8][8];
+
+void swap(int *a, int *b) {
+  int t;
+  t = *a;
+  *a = *b;
+  *b = t;
+}
+
+/* ------- perm ------- */
+void permute(int n) {
+  int k;
+  permCount = permCount + 1;
+  if (n != 1) {
+    permute(n - 1);
+    for (k = n - 1; k >= 1; k--) {
+      swap(&permArray[n], &permArray[k]);
+      permute(n - 1);
+      swap(&permArray[n], &permArray[k]);
+    }
+  }
+}
+
+/* ------- towers ------- */
+void towers(int from, int to, int n) {
+  int other;
+  if (n == 1) {
+    towersMoves = towersMoves + 1;
+    return;
+  }
+  other = 6 - from - to;
+  towers(from, other, n - 1);
+  towersMoves = towersMoves + 1;
+  towers(other, to, n - 1);
+}
+
+/* ------- queens ------- */
+int place(int *cols, int row, int n) {
+  int i;
+  for (i = 0; i < row; i++)
+    if (cols[i] == n || cols[i] - n == row - i || n - cols[i] == row - i)
+      return 0;
+  return 1;
+}
+
+void queens(int *cols, int row) {
+  int c;
+  if (row == 6) {
+    queensCount = queensCount + 1;
+    return;
+  }
+  for (c = 0; c < 6; c++)
+    if (place(cols, row, c)) {
+      cols[row] = c;
+      queens(cols, row + 1);
+    }
+}
+
+/* ------- intmm ------- */
+void initMatrix(int m[8][8], int seed) {
+  int i;
+  int j;
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      m[i][j] = (i * seed + j) % 7 - 3;
+}
+
+void innerProduct(int *result, int a[8][8], int b[8][8], int row,
+                  int col) {
+  int k;
+  *result = 0;
+  for (k = 0; k < 8; k++)
+    *result = *result + a[row][k] * b[k][col];
+}
+
+void intmm(void) {
+  int i;
+  int j;
+  initMatrix(imA, 3);
+  initMatrix(imB, 5);
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 8; j++)
+      innerProduct(&imR[i][j], imA, imB, i, j);
+}
+
+/* ------- bubble ------- */
+void initList(int n) {
+  int i;
+  sortSize = n;
+  for (i = 0; i < n; i++)
+    sortList[i] = (i * 13 + 7) % 31;
+}
+
+void bubble(void) {
+  int i;
+  int top;
+  top = sortSize - 1;
+  while (top > 0) {
+    i = 0;
+    while (i < top) {
+      if (sortList[i] > sortList[i + 1])
+        swap(&sortList[i], &sortList[i + 1]);
+      i = i + 1;
+    }
+    top = top - 1;
+  }
+}
+
+/* ------- quicksort ------- */
+void quickSort(int *a, int lo, int hi) {
+  int i;
+  int j;
+  int pivot;
+  i = lo;
+  j = hi;
+  pivot = a[(lo + hi) / 2];
+  while (i <= j) {
+    while (a[i] < pivot)
+      i = i + 1;
+    while (pivot < a[j])
+      j = j - 1;
+    if (i <= j) {
+      swap(&a[i], &a[j]);
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  if (lo < j)
+    quickSort(a, lo, j);
+  if (i < hi)
+    quickSort(a, i, hi);
+}
+
+int checkSorted(int *a, int n) {
+  int i;
+  for (i = 1; i < n; i++)
+    if (a[i - 1] > a[i])
+      return 0;
+  return 1;
+}
+
+int main(void) {
+  int i;
+  int cols[8];
+  int ok;
+
+  for (i = 0; i <= 10; i++)
+    permArray[i] = i;
+  permCount = 0;
+  permute(5);
+
+  towersMoves = 0;
+  towers(1, 3, 8);
+
+  queensCount = 0;
+  queens(cols, 0);
+
+  intmm();
+
+  initList(24);
+  bubble();
+  ok = checkSorted(sortList, sortSize);
+
+  initList(24);
+  quickSort(sortList, 0, sortSize - 1);
+  ok = ok + checkSorted(sortList, sortSize);
+
+  printf("%d %d %d %d %d\n", permCount, towersMoves, queensCount,
+         imR[0][0], ok);
+  return ok;
+}
+)C";
+
+static const char *const FixoutputSrc = R"C(
+int printf(char *fmt, ...);
+int strlen(char *s);
+
+/* Stream translator: tab expansion, run-length squeezing of blanks,
+ * line splitting at a fixed width, and a histogram of character
+ * classes — buffer-to-buffer pointer walks throughout. */
+
+char input[160];
+char output[320];
+int classCounts[4]; /* letters, digits, blanks, other */
+
+int isLetter(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+int isDigit(char c) { return c >= '0' && c <= '9'; }
+
+void classify(char *in) {
+  char *p;
+  p = in;
+  while (*p != '\0') {
+    if (isLetter(*p))
+      classCounts[0] = classCounts[0] + 1;
+    else if (isDigit(*p))
+      classCounts[1] = classCounts[1] + 1;
+    else if (*p == ' ' || *p == '\t')
+      classCounts[2] = classCounts[2] + 1;
+    else
+      classCounts[3] = classCounts[3] + 1;
+    p = p + 1;
+  }
+}
+
+/* Tabs become two spaces; runs of blanks collapse to one. */
+int translate(char *in, char *out) {
+  char *p;
+  char *q;
+  int pendingBlank;
+  int n;
+  p = in;
+  q = out;
+  pendingBlank = 0;
+  n = 0;
+  while (*p != '\0') {
+    if (*p == '\t' || *p == ' ') {
+      pendingBlank = 1;
+    } else {
+      if (pendingBlank) {
+        *q = ' ';
+        q = q + 1;
+        pendingBlank = 0;
+      }
+      *q = *p;
+      q = q + 1;
+    }
+    p = p + 1;
+    n = n + 1;
+  }
+  *q = '\0';
+  return n;
+}
+
+/* Insert newlines so no line exceeds width. */
+int wrap(char *buf, int width) {
+  char *p;
+  int col;
+  int lines;
+  p = buf;
+  col = 0;
+  lines = 1;
+  while (*p != '\0') {
+    if (col >= width && *p == ' ') {
+      *p = '\n';
+      col = 0;
+      lines = lines + 1;
+    }
+    col = col + 1;
+    p = p + 1;
+  }
+  return lines;
+}
+
+void fill(char *buf, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (i % 11 == 3)
+      buf[i] = '\t';
+    else if (i % 7 == 2)
+      buf[i] = ' ';
+    else if (i % 5 == 0)
+      buf[i] = (char)('0' + i % 10);
+    else
+      buf[i] = (char)('a' + i % 26);
+  }
+  buf[n] = '\0';
+}
+
+int main(void) {
+  int n;
+  int lines;
+  fill(input, 140);
+  classify(input);
+  n = translate(input, output);
+  lines = wrap(output, 20);
+  printf("%d in, %d out, %d lines, classes %d/%d/%d/%d\n", n,
+         strlen(output), lines, classCounts[0], classCounts[1],
+         classCounts[2], classCounts[3]);
+  return 0;
+}
+)C";
+
+static const char *const SimSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+
+/* Local-similarity alignment with affine gap weights: a dynamic
+ * program over heap-allocated score/gap matrices (int** rows), plus a
+ * traceback that walks the matrices backwards through row pointers. */
+
+int **score;
+int **gapA;
+int **gapB;
+char *seqA;
+char *seqB;
+int lenA;
+int lenB;
+int bestI;
+int bestJ;
+
+int maxOf(int a, int b, int c) {
+  int m;
+  m = a;
+  if (b > m)
+    m = b;
+  if (c > m)
+    m = c;
+  return m;
+}
+
+int **allocMatrix(int rows, int cols) {
+  int **m;
+  int i;
+  int j;
+  m = (int **)malloc(rows * 8);
+  for (i = 0; i < rows; i++) {
+    m[i] = (int *)malloc(cols * 4);
+    for (j = 0; j < cols; j++)
+      m[i][j] = 0;
+  }
+  return m;
+}
+
+int substScore(char a, char b) {
+  if (a == b)
+    return 2;
+  return -1;
+}
+
+int similarity(void) {
+  int i;
+  int j;
+  int best;
+  int *row;
+  int *prev;
+  int *ga;
+  int *gb;
+  best = 0;
+  for (i = 1; i <= lenA; i++) {
+    row = score[i];
+    prev = score[i - 1];
+    ga = gapA[i];
+    gb = gapB[i];
+    for (j = 1; j <= lenB; j++) {
+      /* affine gaps: opening costs 3, extending costs 1 */
+      ga[j] = maxOf(gapA[i - 1][j] - 1, prev[j] - 3, 0);
+      gb[j] = maxOf(gb[j - 1] - 1, row[j - 1] - 3, 0);
+      row[j] = maxOf(prev[j - 1] + substScore(seqA[i - 1], seqB[j - 1]),
+                     ga[j], gb[j]);
+      if (row[j] < 0)
+        row[j] = 0;
+      if (row[j] > best) {
+        best = row[j];
+        bestI = i;
+        bestJ = j;
+      }
+    }
+  }
+  return best;
+}
+
+int traceback(void) {
+  int i;
+  int j;
+  int steps;
+  i = bestI;
+  j = bestJ;
+  steps = 0;
+  while (i > 0 && j > 0 && score[i][j] > 0) {
+    if (score[i][j] ==
+        score[i - 1][j - 1] + substScore(seqA[i - 1], seqB[j - 1])) {
+      i = i - 1;
+      j = j - 1;
+    } else if (score[i][j] == gapA[i][j]) {
+      i = i - 1;
+    } else {
+      j = j - 1;
+    }
+    steps = steps + 1;
+    if (steps > 64)
+      break;
+  }
+  return steps;
+}
+
+int main(void) {
+  int i;
+  int best;
+  lenA = 14;
+  lenB = 12;
+  seqA = (char *)malloc(lenA + 1);
+  seqB = (char *)malloc(lenB + 1);
+  for (i = 0; i < lenA; i++)
+    seqA[i] = (char)('a' + i % 4);
+  for (i = 0; i < lenB; i++)
+    seqB[i] = (char)('a' + i % 3);
+  score = allocMatrix(lenA + 1, lenB + 1);
+  gapA = allocMatrix(lenA + 1, lenB + 1);
+  gapB = allocMatrix(lenA + 1, lenB + 1);
+  best = similarity();
+  printf("sim %d trace %d\n", best, traceback());
+  return 0;
+}
+)C";
+
+static const char *const TravelSrc = R"C(
+int printf(char *fmt, ...);
+void *malloc(int n);
+
+/* Travelling salesman with greedy construction and a 2-opt improvement
+ * pass: structs with coordinates, pointers into the city table, and a
+ * tour permutation refined in place. */
+
+struct City {
+  int x;
+  int y;
+  int visited;
+};
+
+struct City cities[14];
+int tour[14];
+int numCities;
+
+int dist(struct City *a, struct City *b) {
+  int dx;
+  int dy;
+  dx = a->x - b->x;
+  dy = a->y - b->y;
+  if (dx < 0)
+    dx = -dx;
+  if (dy < 0)
+    dy = -dy;
+  return dx + dy;
+}
+
+int nearest(struct City *from) {
+  int i;
+  int bi;
+  int bd;
+  int d;
+  struct City *c;
+  bi = -1;
+  bd = 1000000;
+  for (i = 0; i < numCities; i++) {
+    c = &cities[i];
+    if (c->visited)
+      continue;
+    d = dist(from, c);
+    if (d < bd) {
+      bd = d;
+      bi = i;
+    }
+  }
+  return bi;
+}
+
+int tourLength(int *t) {
+  int i;
+  int total;
+  total = 0;
+  for (i = 1; i < numCities; i++)
+    total = total + dist(&cities[t[i - 1]], &cities[t[i]]);
+  total = total + dist(&cities[t[numCities - 1]], &cities[t[0]]);
+  return total;
+}
+
+int greedyTour(void) {
+  int step;
+  int cur;
+  int next;
+  struct City *cc;
+  cur = 0;
+  cities[0].visited = 1;
+  tour[0] = 0;
+  for (step = 1; step < numCities; step++) {
+    cc = &cities[cur];
+    next = nearest(cc);
+    if (next < 0)
+      break;
+    cities[next].visited = 1;
+    tour[step] = next;
+    cur = next;
+  }
+  return tourLength(tour);
+}
+
+void reverseSegment(int *t, int from, int to) {
+  int tmp;
+  while (from < to) {
+    tmp = t[from];
+    t[from] = t[to];
+    t[to] = tmp;
+    from = from + 1;
+    to = to - 1;
+  }
+}
+
+int twoOpt(void) {
+  int improved;
+  int rounds;
+  int i;
+  int j;
+  int before;
+  int after;
+  rounds = 0;
+  improved = 1;
+  while (improved && rounds < 8) {
+    improved = 0;
+    rounds = rounds + 1;
+    for (i = 1; i < numCities - 1; i++)
+      for (j = i + 1; j < numCities; j++) {
+        before = tourLength(tour);
+        reverseSegment(tour, i, j);
+        after = tourLength(tour);
+        if (after < before)
+          improved = 1;
+        else
+          reverseSegment(tour, i, j); /* undo */
+      }
+  }
+  return tourLength(tour);
+}
+
+int main(void) {
+  int i;
+  int greedy;
+  int optimized;
+  numCities = 14;
+  for (i = 0; i < numCities; i++) {
+    cities[i].x = (i * 17) % 31;
+    cities[i].y = (i * 23) % 29;
+    cities[i].visited = 0;
+  }
+  greedy = greedyTour();
+  optimized = twoOpt();
+  printf("greedy %d 2opt %d\n", greedy, optimized);
+  return optimized <= greedy;
+}
+)C";
+
+static const char *const CsuiteSrc = R"C(
+int printf(char *fmt, ...);
+
+/* Vectorizer test-suite kernels: the loop patterns compilers probe for
+ * (streams, reductions, recurrences, conditionals, strides, gathers,
+ * stencils), each its own routine over shared vectors. */
+
+double va[32];
+double vb[32];
+double vc[32];
+double vd[32];
+int idx[32];
+
+void streamAdd(double *a, double *b, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    a[i] = b[i] + 1.0;
+}
+void streamMul(double *a, double *b, double *c, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    a[i] = b[i] * c[i];
+}
+void triad(double *a, double *b, double *c, double s, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    a[i] = b[i] + s * c[i];
+}
+void prefixSum(double *a, double *b, int n) {
+  int i;
+  for (i = 1; i < n; i++)
+    a[i] = a[i - 1] + b[i];
+}
+void recurrence(double *a, int n) {
+  int i;
+  for (i = 2; i < n; i++)
+    a[i] = a[i - 1] * 0.5 + a[i - 2] * 0.25;
+}
+void conditionalCopy(double *a, double *b, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    if (b[i] > 0.0)
+      a[i] = b[i];
+}
+void strided(double *a, double *b, int n) {
+  int i;
+  for (i = 0; i < n / 2; i++)
+    a[i * 2] = b[i * 2 + 1];
+}
+void gather(double *a, double *b, int *index, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    a[i] = b[index[i]];
+}
+void scatter(double *a, double *b, int *index, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    a[index[i]] = b[i];
+}
+void stencil3(double *a, double *b, int n) {
+  int i;
+  for (i = 1; i < n - 1; i++)
+    a[i] = (b[i - 1] + b[i] + b[i + 1]) / 3.0;
+}
+void reverse(double *a, double *b, int n) {
+  int i;
+  for (i = 0; i < n; i++)
+    a[i] = b[n - 1 - i];
+}
+double reduceSum(double *a, int n) {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < n; i++)
+    s = s + a[i];
+  return s;
+}
+double reduceMax(double *a, int n) {
+  int i;
+  double m;
+  m = a[0];
+  for (i = 1; i < n; i++)
+    if (a[i] > m)
+      m = a[i];
+  return m;
+}
+int countPositive(double *a, int n) {
+  int i;
+  int c;
+  c = 0;
+  for (i = 0; i < n; i++)
+    if (a[i] > 0.0)
+      c = c + 1;
+  return c;
+}
+
+int main(void) {
+  int i;
+  for (i = 0; i < 32; i++) {
+    va[i] = i;
+    vb[i] = 32 - i;
+    vc[i] = 1.0;
+    vd[i] = 0.0;
+    idx[i] = (i * 5) % 32;
+  }
+  streamAdd(va, vb, 32);
+  streamMul(vc, va, vb, 32);
+  triad(vd, va, vb, 0.5, 32);
+  prefixSum(va, vc, 32);
+  recurrence(vb, 32);
+  conditionalCopy(vc, va, 32);
+  strided(vd, va, 32);
+  gather(va, vb, idx, 32);
+  scatter(vb, vc, idx, 32);
+  stencil3(vc, vd, 32);
+  reverse(vd, va, 32);
+  printf("%f %f %d\n", reduceSum(vc, 32), reduceMax(vd, 32),
+         countPositive(vb, 32));
+  return 0;
+}
+)C";
+
+static const char *const MscSrc = R"C(
+int printf(char *fmt, ...);
+double sqrt(double x);
+
+/* Minimum spanning circle: circles from 2 and 3 support points,
+ * candidate enumeration with containment checks, and a convex-hull
+ * style preprocessing pass — geometry through struct pointers. */
+
+struct Point {
+  double x;
+  double y;
+};
+
+struct Point pts[16];
+int npts;
+
+double sq(double v) { return v * v; }
+
+double dist2(struct Point *a, struct Point *b) {
+  return sq(a->x - b->x) + sq(a->y - b->y);
+}
+
+void circleFrom2(struct Point *a, struct Point *b, struct Point *center,
+                 double *r2) {
+  center->x = (a->x + b->x) / 2.0;
+  center->y = (a->y + b->y) / 2.0;
+  *r2 = dist2(a, b) / 4.0;
+}
+
+/* Circumcircle of three points (degenerate triangles fall back to the
+ * widest 2-point circle). */
+int circleFrom3(struct Point *a, struct Point *b, struct Point *c,
+                struct Point *center, double *r2) {
+  double d;
+  double ax;
+  double ay;
+  double bx;
+  double by;
+  double cx;
+  double cy;
+  ax = a->x;
+  ay = a->y;
+  bx = b->x;
+  by = b->y;
+  cx = c->x;
+  cy = c->y;
+  d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+  if (d < 0.000001 && d > -0.000001)
+    return 0;
+  center->x = ((ax * ax + ay * ay) * (by - cy) +
+               (bx * bx + by * by) * (cy - ay) +
+               (cx * cx + cy * cy) * (ay - by)) /
+              d;
+  center->y = ((ax * ax + ay * ay) * (cx - bx) +
+               (bx * bx + by * by) * (ax - cx) +
+               (cx * cx + cy * cy) * (bx - ax)) /
+              d;
+  *r2 = dist2(a, center);
+  return 1;
+}
+
+int inside(struct Point *p, struct Point *center, double r2) {
+  return dist2(p, center) <= r2 + 0.0001;
+}
+
+int allInside(struct Point *center, double r2) {
+  int k;
+  for (k = 0; k < npts; k++)
+    if (!inside(&pts[k], center, r2))
+      return 0;
+  return 1;
+}
+
+double minCircle(struct Point *bestCenter) {
+  int i;
+  int j;
+  int k;
+  double best;
+  double r2;
+  struct Point center;
+  best = 1000000.0;
+  for (i = 0; i < npts; i++)
+    for (j = i + 1; j < npts; j++) {
+      circleFrom2(&pts[i], &pts[j], &center, &r2);
+      if (allInside(&center, r2) && r2 < best) {
+        best = r2;
+        *bestCenter = center;
+      }
+      for (k = j + 1; k < npts; k++) {
+        if (!circleFrom3(&pts[i], &pts[j], &pts[k], &center, &r2))
+          continue;
+        if (allInside(&center, r2) && r2 < best) {
+          best = r2;
+          *bestCenter = center;
+        }
+      }
+    }
+  return best;
+}
+
+/* Farthest pair gives a lower bound on the circle diameter. */
+double farthestPair(void) {
+  int i;
+  int j;
+  double d;
+  double best;
+  best = 0.0;
+  for (i = 0; i < npts; i++)
+    for (j = i + 1; j < npts; j++) {
+      d = dist2(&pts[i], &pts[j]);
+      if (d > best)
+        best = d;
+    }
+  return best;
+}
+
+int main(void) {
+  int i;
+  double r2;
+  double bound;
+  struct Point center;
+  npts = 10;
+  for (i = 0; i < npts; i++) {
+    pts[i].x = (i * 13) % 17;
+    pts[i].y = (i * 7) % 11;
+  }
+  r2 = minCircle(&center);
+  bound = farthestPair() / 4.0;
+  printf("r %f center (%f,%f) bound ok %d\n", sqrt(r2), center.x,
+         center.y, r2 >= bound - 0.001);
+  return 0;
+}
+)C";
+
+static const char *const LwsSrc = R"C(
+int printf(char *fmt, ...);
+double sqrt(double x);
+
+/* Flexible-water-molecule dynamics in the style of lws: predict /
+ * intra-force / inter-force / correct / bound steps over an array of
+ * molecule records, every kernel reaching the coordinates through
+ * pointer parameters. */
+
+int NMOL = 8;
+
+struct Molecule {
+  double pos[3][3]; /* three atoms x three coordinates */
+  double vel[3][3];
+  double acc[3][3];
+  double force[3][3];
+};
+
+struct Molecule water[8];
+double boxSize = 10.0;
+double potential;
+double kineticE;
+
+void zeroForces(struct Molecule *mol) {
+  int a;
+  int d;
+  for (a = 0; a < 3; a++)
+    for (d = 0; d < 3; d++)
+      mol->force[a][d] = 0.0;
+}
+
+/* Taylor-series predictor over positions and velocities. */
+void predict(struct Molecule *mol, double dt) {
+  int a;
+  int d;
+  for (a = 0; a < 3; a++)
+    for (d = 0; d < 3; d++) {
+      mol->pos[a][d] = mol->pos[a][d] + dt * mol->vel[a][d] +
+                       dt * dt * mol->acc[a][d] / 2.0;
+      mol->vel[a][d] = mol->vel[a][d] + dt * mol->acc[a][d];
+    }
+}
+
+void intraForce(struct Molecule *mol) {
+  int d;
+  double *o;
+  double *h1;
+  double *h2;
+  double stretch1;
+  double stretch2;
+  o = &mol->pos[0][0];
+  h1 = &mol->pos[1][0];
+  h2 = &mol->pos[2][0];
+  for (d = 0; d < 3; d++) {
+    stretch1 = o[d] - h1[d];
+    stretch2 = o[d] - h2[d];
+    mol->force[0][d] = mol->force[0][d] - 0.1 * (stretch1 + stretch2);
+    mol->force[1][d] = mol->force[1][d] + 0.1 * stretch1;
+    mol->force[2][d] = mol->force[2][d] + 0.1 * stretch2;
+  }
+}
+
+double pairDistance2(struct Molecule *a, struct Molecule *b) {
+  int d;
+  double dr;
+  double r2;
+  r2 = 0.0;
+  for (d = 0; d < 3; d++) {
+    dr = a->pos[0][d] - b->pos[0][d];
+    if (dr > boxSize / 2.0)
+      dr = dr - boxSize;
+    if (dr < -boxSize / 2.0)
+      dr = dr + boxSize;
+    r2 = r2 + dr * dr;
+  }
+  return r2;
+}
+
+void interForce(struct Molecule *a, struct Molecule *b) {
+  int d;
+  double dr;
+  double r2;
+  double f;
+  r2 = pairDistance2(a, b);
+  if (r2 < 0.0001 || r2 > 25.0)
+    return;
+  f = 1.0 / (r2 * r2);
+  potential = potential + 1.0 / r2;
+  for (d = 0; d < 3; d++) {
+    dr = a->pos[0][d] - b->pos[0][d];
+    a->force[0][d] = a->force[0][d] + f * dr;
+    b->force[0][d] = b->force[0][d] - f * dr;
+  }
+}
+
+/* Corrector folds forces back into accelerations and velocities. */
+void correct(struct Molecule *mol, double dt) {
+  int a;
+  int d;
+  double newAcc;
+  for (a = 0; a < 3; a++)
+    for (d = 0; d < 3; d++) {
+      newAcc = mol->force[a][d];
+      mol->vel[a][d] =
+          mol->vel[a][d] + dt * (newAcc - mol->acc[a][d]) / 2.0;
+      mol->acc[a][d] = newAcc;
+    }
+}
+
+/* Periodic boundary conditions. */
+void bound(struct Molecule *mol) {
+  int a;
+  int d;
+  for (a = 0; a < 3; a++)
+    for (d = 0; d < 3; d++) {
+      if (mol->pos[a][d] > boxSize)
+        mol->pos[a][d] = mol->pos[a][d] - boxSize;
+      if (mol->pos[a][d] < 0.0)
+        mol->pos[a][d] = mol->pos[a][d] + boxSize;
+    }
+}
+
+double kinetic(struct Molecule *mols, int n) {
+  int i;
+  int a;
+  int d;
+  double e;
+  e = 0.0;
+  for (i = 0; i < n; i++)
+    for (a = 0; a < 3; a++)
+      for (d = 0; d < 3; d++)
+        e = e + mols[i].vel[a][d] * mols[i].vel[a][d];
+  return e / 2.0;
+}
+
+void initcnst(void) {
+  int i;
+  int a;
+  int d;
+  for (i = 0; i < NMOL; i++)
+    for (a = 0; a < 3; a++)
+      for (d = 0; d < 3; d++) {
+        water[i].pos[a][d] = (i + a * 0.3 + d * 0.1);
+        water[i].vel[a][d] = 0.01 * (i - a);
+        water[i].acc[a][d] = 0.0;
+      }
+}
+
+int main(void) {
+  int step;
+  int i;
+  int j;
+  double dt;
+  dt = 0.01;
+  initcnst();
+  for (step = 0; step < 8; step++) {
+    potential = 0.0;
+    for (i = 0; i < NMOL; i++)
+      predict(&water[i], dt);
+    for (i = 0; i < NMOL; i++)
+      zeroForces(&water[i]);
+    for (i = 0; i < NMOL; i++)
+      intraForce(&water[i]);
+    for (i = 0; i < NMOL; i++)
+      for (j = i + 1; j < NMOL; j++)
+        interForce(&water[i], &water[j]);
+    for (i = 0; i < NMOL; i++)
+      correct(&water[i], dt);
+    for (i = 0; i < NMOL; i++)
+      bound(&water[i]);
+  }
+  kineticE = kinetic(water, NMOL);
+  printf("ke %f pe %f\n", kineticE, potential);
+  return 0;
+}
+)C";
+
+const std::vector<CorpusProgram> &mcpta::corpus::corpus() {
+  static const std::vector<CorpusProgram> Programs = {
+      {"genetic", "Implementation of a genetic algorithm for sorting.",
+       GeneticSrc},
+      {"dry", "Dhrystone benchmark.", DrySrc},
+      {"clinpack", "The C version of Linpack.", ClinpackSrc},
+      {"config", "Checks all the features of the C-language.", ConfigSrc},
+      {"toplev", "The top level of GNU C compiler.", ToplevSrc},
+      {"compress", "UNIX utility program.", CompressSrc},
+      {"mway", "A unified version of the best algorithms for m-way "
+               "partitioning.",
+       MwaySrc},
+      {"hash", "An implementation of a hash table.", HashSrc},
+      {"misr", "Creates two MISR's and compares their values.", MisrSrc},
+      {"xref", "A cross-reference program to build a tree of items.",
+       XrefSrc},
+      {"stanford", "Stanford baby benchmark.", StanfordSrc},
+      {"fixoutput", "A simple translator.", FixoutputSrc},
+      {"sim", "Finds local similarities with affine weights.", SimSrc},
+      {"travel", "Implements Traveling Salesman Problem with greedy "
+                 "heuristics.",
+       TravelSrc},
+      {"csuite", "Part of test suite for Vectorizing C compilers.",
+       CsuiteSrc},
+      {"msc", "Calculates the min spanning circle of a set of n points in "
+              "the plane.",
+       MscSrc},
+      {"lws", "Implements dynamic simulation of flexible water molecule.",
+       LwsSrc},
+  };
+  return Programs;
+}
+
+const CorpusProgram *mcpta::corpus::find(const std::string &Name) {
+  for (const CorpusProgram &P : corpus())
+    if (Name == P.Name)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,43 @@
+//===- Corpus.h - Embedded benchmark programs -------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus. The paper evaluates on 17 C programs (Table 2:
+/// genetic, dry, clinpack, config, toplev, compress, mway, hash, misr,
+/// xref, stanford, fixoutput, sim, travel, csuite, msc, lws) plus the
+/// 'livc' Livermore-loops program for the function-pointer study. Those
+/// sources are not redistributable, so this corpus provides miniature
+/// stand-ins written to exhibit each program's pointer traits as
+/// described in the paper (see DESIGN.md, substitution 2). Absolute
+/// counts differ; table shapes are preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_CORPUS_CORPUS_H
+#define MCPTA_CORPUS_CORPUS_H
+
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace corpus {
+
+struct CorpusProgram {
+  const char *Name;
+  const char *Description; // the paper's Table 2 description
+  const char *Source;
+};
+
+/// The 17 Table 2 stand-ins, in the paper's order.
+const std::vector<CorpusProgram> &corpus();
+
+/// Lookup by name; null if unknown.
+const CorpusProgram *find(const std::string &Name);
+
+} // namespace corpus
+} // namespace mcpta
+
+#endif // MCPTA_CORPUS_CORPUS_H

@@ -1,0 +1,29 @@
+//===- Pipeline.cpp - One-call analysis facade --------------------------------===//
+
+#include "driver/Pipeline.h"
+
+using namespace mcpta;
+
+Pipeline Pipeline::frontend(const std::string &Source) {
+  Pipeline P;
+  P.Ctx = std::make_unique<cfront::ASTContext>();
+  P.Unit = cfront::Parser::parseSource(Source, *P.Ctx, P.Diags);
+  if (P.Diags.hasErrors())
+    return P;
+  simple::Simplifier Simp(*P.Unit, P.Diags);
+  P.Prog = Simp.run();
+  return P;
+}
+
+Pipeline Pipeline::analyzeSource(const std::string &Source,
+                                 const pta::Analyzer::Options &Opts) {
+  Pipeline P = frontend(Source);
+  if (!P.Prog)
+    return P;
+  P.Analysis = pta::Analyzer::run(*P.Prog, Opts);
+  return P;
+}
+
+Pipeline Pipeline::analyzeSource(const std::string &Source) {
+  return analyzeSource(Source, pta::Analyzer::Options());
+}

@@ -1,0 +1,59 @@
+//===- Pipeline.h - One-call analysis facade --------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door: parse C source, lower to SIMPLE, run the
+/// context-sensitive points-to analysis, and keep every intermediate
+/// artifact alive for clients. Most examples, tests and benchmarks go
+/// through Pipeline::analyzeSource.
+///
+/// \code
+///   auto P = mcpta::Pipeline::analyzeSource(SourceText);
+///   if (!P.ok()) { ... P.Diags.dump() ... }
+///   auto Stats = mcpta::clients::IndirectRefAnalysis::compute(
+///       *P.Prog, P.Analysis);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_DRIVER_PIPELINE_H
+#define MCPTA_DRIVER_PIPELINE_H
+
+#include "cfront/Parser.h"
+#include "pointsto/Analyzer.h"
+#include "simple/Simplifier.h"
+
+#include <memory>
+#include <string>
+
+namespace mcpta {
+
+/// Owns every stage's artifacts for one analyzed program.
+struct Pipeline {
+  DiagnosticsEngine Diags;
+  std::unique_ptr<cfront::ASTContext> Ctx;
+  std::unique_ptr<cfront::TranslationUnit> Unit;
+  std::unique_ptr<simple::Program> Prog;
+  pta::Analyzer::Result Analysis;
+
+  /// True when parsing, simplification, and analysis all succeeded.
+  bool ok() const {
+    return !Diags.hasErrors() && Prog != nullptr && Analysis.Analyzed;
+  }
+
+  /// Parses and lowers only (no analysis). Prog is null on error.
+  static Pipeline frontend(const std::string &Source);
+
+  /// Full pipeline with default analysis options.
+  static Pipeline analyzeSource(const std::string &Source);
+  /// Full pipeline with explicit analysis options.
+  static Pipeline analyzeSource(const std::string &Source,
+                                const pta::Analyzer::Options &Opts);
+};
+
+} // namespace mcpta
+
+#endif // MCPTA_DRIVER_PIPELINE_H

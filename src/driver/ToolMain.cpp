@@ -1,0 +1,138 @@
+//===- ToolMain.cpp - pta-tool command line driver -----------------------------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+// Usage:
+//   pta-tool [options] file.c
+//   pta-tool [options] --corpus NAME      (embedded benchmark)
+//   pta-tool --list-corpus
+//
+// Options:
+//   --dump-simple     print the SIMPLE lowering
+//   --dump-ig         print the invocation graph
+//   --dump-pointsto   print the points-to set at the end of main
+//   --stats           print Tables 3-6 style statistics
+//   --fnptr=MODE      precise | all | address-taken
+//   --context-insensitive
+//
+//===----------------------------------------------------------------------===//
+
+#include "clients/GeneralStats.h"
+#include "clients/IGStats.h"
+#include "clients/IndirectRefStats.h"
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace mcpta;
+
+static int usage() {
+  std::fprintf(stderr,
+               "usage: pta-tool [--dump-simple] [--dump-ig] "
+               "[--dump-pointsto] [--stats]\n"
+               "                [--fnptr=precise|all|address-taken] "
+               "[--context-insensitive]\n"
+               "                (file.c | --corpus NAME | --list-corpus)\n");
+  return 2;
+}
+
+int main(int argc, char **argv) {
+  bool DumpSimple = false, DumpIG = false, DumpPointsTo = false,
+       Stats = false;
+  pta::Analyzer::Options Opts;
+  std::string File, CorpusName;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dump-simple")
+      DumpSimple = true;
+    else if (Arg == "--dump-ig")
+      DumpIG = true;
+    else if (Arg == "--dump-pointsto")
+      DumpPointsTo = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--fnptr=precise")
+      Opts.FnPtr = pta::FnPtrMode::Precise;
+    else if (Arg == "--fnptr=all")
+      Opts.FnPtr = pta::FnPtrMode::AllFunctions;
+    else if (Arg == "--fnptr=address-taken")
+      Opts.FnPtr = pta::FnPtrMode::AddressTaken;
+    else if (Arg == "--context-insensitive")
+      Opts.ContextSensitive = false;
+    else if (Arg == "--list-corpus") {
+      for (const corpus::CorpusProgram &P : corpus::corpus())
+        std::printf("%-10s %s\n", P.Name, P.Description);
+      return 0;
+    } else if (Arg == "--corpus" && I + 1 < argc) {
+      CorpusName = argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      File = Arg;
+    }
+  }
+
+  std::string Source;
+  if (!CorpusName.empty()) {
+    const corpus::CorpusProgram *P = corpus::find(CorpusName);
+    if (!P) {
+      std::fprintf(stderr, "error: unknown corpus program '%s'\n",
+                   CorpusName.c_str());
+      return 2;
+    }
+    Source = P->Source;
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  } else {
+    return usage();
+  }
+
+  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  if (P.Diags.hasErrors()) {
+    std::fputs(P.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+  for (const std::string &W : P.Analysis.Warnings)
+    std::fprintf(stderr, "warning: %s\n", W.c_str());
+
+  if (DumpSimple)
+    std::fputs(P.Prog->str().c_str(), stdout);
+  if (DumpIG && P.Analysis.IG)
+    std::fputs(P.Analysis.IG->str().c_str(), stdout);
+  if (DumpPointsTo && P.Analysis.MainOut)
+    std::printf("%s\n",
+                P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
+
+  if (Stats) {
+    auto IR = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+    auto GS = clients::GeneralStats::compute(*P.Prog, P.Analysis);
+    auto IS = clients::IGStats::compute(*P.Prog, P.Analysis);
+    std::printf("SIMPLE stmts:        %u\n", P.Prog->numBasicStmts());
+    std::printf("indirect refs:       %u (avg targets %.2f)\n",
+                IR.Stats.IndirectRefs, IR.Stats.average());
+    std::printf("  1D=%u 1P=%u 2=%u 3=%u 4+=%u replaceable=%u\n",
+                IR.Stats.OneD.total(), IR.Stats.OneP.total(),
+                IR.Stats.TwoP.total(), IR.Stats.ThreeP.total(),
+                IR.Stats.FourPlusP.total(), IR.Stats.ScalarReplaceable);
+    std::printf("pairs: SS=%llu SH=%llu HH=%llu HS=%llu avg=%.1f max=%u\n",
+                GS.StackToStack, GS.StackToHeap, GS.HeapToHeap,
+                GS.HeapToStack, GS.average(), GS.MaxPerStmt);
+    std::printf("IG: nodes=%u callsites=%u fns=%u R=%u A=%u "
+                "avgc=%.2f avgf=%.2f\n",
+                IS.Nodes, IS.CallSites, IS.Functions, IS.Recursive,
+                IS.Approximate, IS.avgPerCallSite(), IS.avgPerFunction());
+  }
+  return 0;
+}

@@ -1,0 +1,404 @@
+//===- ConnectionAnalysis.cpp - companion heap connection matrices -------------===//
+
+#include "heap/ConnectionAnalysis.h"
+
+#include <algorithm>
+
+using namespace mcpta;
+using namespace mcpta::heap;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+
+//===----------------------------------------------------------------------===//
+// ConnectionMatrix
+//===----------------------------------------------------------------------===//
+
+bool ConnectionMatrix::connected(const cf::VarDecl *P,
+                                 const cf::VarDecl *Q) const {
+  if (P == Q)
+    return true;
+  return Rel.count(key(P, Q)) != 0;
+}
+
+void ConnectionMatrix::connect(const cf::VarDecl *P, const cf::VarDecl *Q) {
+  if (P != Q)
+    Rel.insert(key(P, Q));
+}
+
+std::set<const cf::VarDecl *>
+ConnectionMatrix::connectionsOf(const cf::VarDecl *P) const {
+  std::set<const cf::VarDecl *> Out;
+  for (const VarPair &Pair : Rel) {
+    if (Pair.first == P)
+      Out.insert(Pair.second);
+    else if (Pair.second == P)
+      Out.insert(Pair.first);
+  }
+  return Out;
+}
+
+void ConnectionMatrix::kill(const cf::VarDecl *P) {
+  for (auto It = Rel.begin(); It != Rel.end();) {
+    if (It->first == P || It->second == P)
+      It = Rel.erase(It);
+    else
+      ++It;
+  }
+}
+
+void ConnectionMatrix::copyConnections(const cf::VarDecl *P,
+                                       const cf::VarDecl *Q) {
+  if (P == Q)
+    return;
+  std::set<const cf::VarDecl *> QConns = connectionsOf(Q);
+  kill(P);
+  for (const cf::VarDecl *C : QConns)
+    if (C != P)
+      connect(P, C);
+  connect(P, Q);
+}
+
+void ConnectionMatrix::mergeStructures(const cf::VarDecl *P,
+                                       const cf::VarDecl *Q) {
+  std::set<const cf::VarDecl *> Group = connectionsOf(P);
+  Group.insert(P);
+  std::set<const cf::VarDecl *> Other = connectionsOf(Q);
+  Other.insert(Q);
+  for (const cf::VarDecl *A : Group)
+    for (const cf::VarDecl *B : Other)
+      connect(A, B);
+}
+
+void ConnectionMatrix::unionWith(const ConnectionMatrix &Other) {
+  Rel.insert(Other.Rel.begin(), Other.Rel.end());
+}
+
+std::string ConnectionMatrix::str() const {
+  std::vector<std::string> Rendered;
+  for (const VarPair &Pair : Rel)
+    Rendered.push_back("(" + Pair.first->name() + "~" +
+                       Pair.second->name() + ")");
+  std::sort(Rendered.begin(), Rendered.end());
+  std::string Out;
+  for (const std::string &S : Rendered) {
+    if (!Out.empty())
+      Out += " ";
+    Out += S;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The flow analysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compositional walker mirroring the points-to analyzer's control
+/// rules, over the much simpler connection lattice.
+class ConnectionWalker {
+public:
+  ConnectionWalker(const Program &Prog, const pta::Analyzer::Result &Res)
+      : Prog(Prog), Res(Res) {}
+
+  ConnectionMatrix analyzeFunction(const FunctionIR &F) {
+    // Heap-directed globals and parameters may alias on entry
+    // (conservative: the caller could have connected them).
+    ConnectionMatrix Entry;
+    std::vector<const cf::VarDecl *> Incoming;
+    for (const cf::VarDecl *G : Prog.globals())
+      if (isHeapDirectedAnywhere(G))
+        Incoming.push_back(G);
+    for (const cf::VarDecl *P : F.Decl->params())
+      if (isHeapDirectedAnywhere(P))
+        Incoming.push_back(P);
+    for (size_t I = 0; I < Incoming.size(); ++I)
+      for (size_t J = I + 1; J < Incoming.size(); ++J)
+        Entry.connect(Incoming[I], Incoming[J]);
+
+    Flow St;
+    St.Normal = Entry;
+    St.HasNormal = true;
+    exec(F.Body, St);
+    ConnectionMatrix Out = St.HasNormal ? St.Normal : ConnectionMatrix();
+    if (St.HasReturn) {
+      Out.unionWith(St.Return);
+      if (!St.HasNormal)
+        Out = St.Return;
+    }
+    return Out;
+  }
+
+private:
+  struct Flow {
+    ConnectionMatrix Normal, Break, Continue, Return;
+    bool HasNormal = false, HasBreak = false, HasContinue = false,
+         HasReturn = false;
+  };
+
+  static void mergeInto(ConnectionMatrix &A, bool &HasA,
+                        const ConnectionMatrix &B, bool HasB) {
+    if (!HasB)
+      return;
+    if (!HasA) {
+      A = B;
+      HasA = true;
+      return;
+    }
+    A.unionWith(B);
+  }
+
+  /// Could this variable ever hold a heap-directed pointer? (Checked
+  /// against the merged per-statement sets once, cached.)
+  bool isHeapDirectedAnywhere(const cf::VarDecl *V) {
+    auto It = HeapDirected.find(V);
+    if (It != HeapDirected.end())
+      return It->second;
+    bool Heapy = false;
+    if (V->type()->isPointerBearing() && Res.Locs) {
+      const Location *L = Res.Locs->varLoc(V);
+      for (const auto &OptIn : Res.StmtIn) {
+        if (!OptIn)
+          continue;
+        for (const LocDef &T : OptIn->targetsOf(L, *Res.Locs))
+          if (T.Loc->isHeap()) {
+            Heapy = true;
+            break;
+          }
+        if (Heapy)
+          break;
+      }
+    }
+    HeapDirected[V] = Heapy;
+    return Heapy;
+  }
+
+  /// The plain variable a reference reads/writes through, if any.
+  static const cf::VarDecl *baseVar(const Reference &R) { return R.Base; }
+
+  void execAssign(const AssignStmt *A, ConnectionMatrix &C) {
+    const cf::VarDecl *Lhs = baseVar(A->Lhs);
+    bool LhsDirect = !A->Lhs.Deref && A->Lhs.Path.empty();
+    bool LhsThroughHeap = A->Lhs.Deref || !A->Lhs.Path.empty();
+
+    auto RhsVar = [&]() -> const cf::VarDecl * {
+      if (A->RK == AssignStmt::RhsKind::Operand && A->A.isRef())
+        return A->A.Ref.Base;
+      if (A->RK == AssignStmt::RhsKind::Binary && A->A.isRef())
+        return A->A.Ref.Base; // pointer arithmetic keeps the structure
+      return nullptr;
+    };
+
+    switch (A->RK) {
+    case AssignStmt::RhsKind::Alloc:
+      if (LhsDirect && isHeapDirectedAnywhere(Lhs)) {
+        // p = malloc(): p starts a fresh, disconnected structure.
+        C.kill(Lhs);
+      }
+      return;
+    case AssignStmt::RhsKind::Call: {
+      // Conservative: the callee may connect every heap-directed value
+      // it can reach — arguments, globals, and the result.
+      std::vector<const cf::VarDecl *> Touched;
+      for (const Operand &Arg : A->Call.Args)
+        if (Arg.isRef() && isHeapDirectedAnywhere(Arg.Ref.Base))
+          Touched.push_back(Arg.Ref.Base);
+      for (const cf::VarDecl *G : Prog.globals())
+        if (isHeapDirectedAnywhere(G))
+          Touched.push_back(G);
+      if (LhsDirect && isHeapDirectedAnywhere(Lhs))
+        Touched.push_back(Lhs);
+      for (size_t I = 0; I < Touched.size(); ++I)
+        for (size_t J = I + 1; J < Touched.size(); ++J)
+          C.mergeStructures(Touched[I], Touched[J]);
+      return;
+    }
+    case AssignStmt::RhsKind::Operand:
+    case AssignStmt::RhsKind::Binary: {
+      const cf::VarDecl *Rhs = RhsVar();
+      bool RhsHeapy = Rhs && isHeapDirectedAnywhere(Rhs);
+      bool LhsHeapy = Lhs && isHeapDirectedAnywhere(Lhs);
+
+      if (LhsDirect && LhsHeapy) {
+        if (A->RK == AssignStmt::RhsKind::Operand &&
+            A->A.K == Operand::Kind::NullConst) {
+          C.kill(Lhs); // p = NULL detaches p
+          return;
+        }
+        if (RhsHeapy) {
+          // p = q / p = q->f / p = q + i: p joins q's structure.
+          C.copyConnections(Lhs, Rhs);
+          return;
+        }
+        // Value from a non-heap source: conservative weak update only
+        // when the rhs reads through a pointer we cannot track.
+        if (A->A.isRef() && A->A.Ref.Deref)
+          return; // stays within whatever structure it already had
+        C.kill(Lhs);
+        return;
+      }
+      if (LhsThroughHeap && LhsHeapy && RhsHeapy) {
+        // p->f = q: the structures of p and q merge.
+        C.mergeStructures(Lhs, Rhs);
+        return;
+      }
+      return;
+    }
+    case AssignStmt::RhsKind::Unary:
+      return;
+    }
+  }
+
+  void execCall(const CallInfo &CI, ConnectionMatrix &C) {
+    std::vector<const cf::VarDecl *> Touched;
+    for (const Operand &Arg : CI.Args)
+      if (Arg.isRef() && isHeapDirectedAnywhere(Arg.Ref.Base))
+        Touched.push_back(Arg.Ref.Base);
+    for (const cf::VarDecl *G : Prog.globals())
+      if (isHeapDirectedAnywhere(G))
+        Touched.push_back(G);
+    for (size_t I = 0; I < Touched.size(); ++I)
+      for (size_t J = I + 1; J < Touched.size(); ++J)
+        C.mergeStructures(Touched[I], Touched[J]);
+  }
+
+  void exec(const Stmt *S, Flow &St) {
+    if (!S || !St.HasNormal)
+      return;
+    switch (S->kind()) {
+    case Stmt::Kind::Block:
+      for (const Stmt *Child : castStmt<BlockStmt>(S)->Body) {
+        exec(Child, St);
+        if (!St.HasNormal)
+          break;
+      }
+      return;
+    case Stmt::Kind::Assign:
+      execAssign(castStmt<AssignStmt>(S), St.Normal);
+      return;
+    case Stmt::Kind::Call:
+      execCall(castStmt<CallStmt>(S)->Call, St.Normal);
+      if (castStmt<CallStmt>(S)->Call.NoReturn)
+        St.HasNormal = false;
+      return;
+    case Stmt::Kind::Return:
+      mergeInto(St.Return, St.HasReturn, St.Normal, true);
+      St.HasNormal = false;
+      return;
+    case Stmt::Kind::Break:
+      mergeInto(St.Break, St.HasBreak, St.Normal, true);
+      St.HasNormal = false;
+      return;
+    case Stmt::Kind::Continue:
+      mergeInto(St.Continue, St.HasContinue, St.Normal, true);
+      St.HasNormal = false;
+      return;
+    case Stmt::Kind::If: {
+      const auto *I = castStmt<IfStmt>(S);
+      Flow Then = St, Else = St;
+      exec(I->Then, Then);
+      if (I->Else)
+        exec(I->Else, Else);
+      St = Then;
+      mergeInto(St.Normal, St.HasNormal, Else.Normal, Else.HasNormal);
+      mergeInto(St.Break, St.HasBreak, Else.Break, Else.HasBreak);
+      mergeInto(St.Continue, St.HasContinue, Else.Continue,
+                Else.HasContinue);
+      mergeInto(St.Return, St.HasReturn, Else.Return, Else.HasReturn);
+      return;
+    }
+    case Stmt::Kind::Loop: {
+      const auto *L = castStmt<LoopStmt>(S);
+      ConnectionMatrix X = St.Normal;
+      ConnectionMatrix BreakAcc;
+      bool HasBreakAcc = false;
+      ConnectionMatrix LastOut = X;
+      bool HasLastOut = St.HasNormal;
+      while (true) {
+        ConnectionMatrix Prev = X;
+        Flow Iter;
+        Iter.Normal = X;
+        Iter.HasNormal = true;
+        exec(L->Body, Iter);
+        mergeInto(BreakAcc, HasBreakAcc, Iter.Break, Iter.HasBreak);
+        mergeInto(St.Return, St.HasReturn, Iter.Return, Iter.HasReturn);
+        ConnectionMatrix After = Iter.Normal;
+        bool HasAfter = Iter.HasNormal;
+        mergeInto(After, HasAfter, Iter.Continue, Iter.HasContinue);
+        if (HasAfter && L->Trailer) {
+          Flow TF;
+          TF.Normal = After;
+          TF.HasNormal = true;
+          exec(L->Trailer, TF);
+          After = TF.Normal;
+          HasAfter = TF.HasNormal;
+          mergeInto(St.Return, St.HasReturn, TF.Return, TF.HasReturn);
+        }
+        LastOut = After;
+        HasLastOut = HasAfter;
+        if (HasAfter)
+          X.unionWith(After);
+        if (X == Prev)
+          break;
+      }
+      if (L->PostTest) {
+        St.Normal = LastOut;
+        St.HasNormal = HasLastOut && L->CondVar != nullptr;
+      } else {
+        St.Normal = X;
+        St.HasNormal = L->CondVar != nullptr;
+      }
+      mergeInto(St.Normal, St.HasNormal, BreakAcc, HasBreakAcc);
+      return;
+    }
+    case Stmt::Kind::Switch: {
+      const auto *Sw = castStmt<SwitchStmt>(S);
+      ConnectionMatrix In = St.Normal;
+      ConnectionMatrix Fall;
+      bool HasFall = false;
+      ConnectionMatrix BreakAcc;
+      bool HasBreakAcc = false;
+      for (const SwitchStmt::Case &C : Sw->Cases) {
+        Flow CF;
+        CF.Normal = In;
+        CF.HasNormal = true;
+        mergeInto(CF.Normal, CF.HasNormal, Fall, HasFall);
+        for (const Stmt *B : C.Body) {
+          exec(B, CF);
+          if (!CF.HasNormal)
+            break;
+        }
+        Fall = CF.Normal;
+        HasFall = CF.HasNormal;
+        mergeInto(BreakAcc, HasBreakAcc, CF.Break, CF.HasBreak);
+        mergeInto(St.Return, St.HasReturn, CF.Return, CF.HasReturn);
+        mergeInto(St.Continue, St.HasContinue, CF.Continue,
+                  CF.HasContinue);
+      }
+      St.Normal = Fall;
+      St.HasNormal = HasFall;
+      if (!Sw->hasDefault())
+        mergeInto(St.Normal, St.HasNormal, In, true);
+      mergeInto(St.Normal, St.HasNormal, BreakAcc, HasBreakAcc);
+      return;
+    }
+    }
+  }
+
+  const Program &Prog;
+  const pta::Analyzer::Result &Res;
+  std::map<const cf::VarDecl *, bool> HeapDirected;
+};
+
+} // namespace
+
+ConnectionResult
+mcpta::heap::runConnectionAnalysis(const Program &Prog,
+                                   const pta::Analyzer::Result &Res) {
+  ConnectionResult Out;
+  ConnectionWalker Walker(Prog, Res);
+  for (const FunctionIR &F : Prog.functions())
+    Out.AtExit[F.Decl] = Walker.analyzeFunction(F);
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===- ConnectionAnalysis.h - companion heap connection matrices -*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Sec. 8 future work, implemented: the simplest member of
+/// the companion heap-analysis family ([16], later published as Ghiya &
+/// Hendren's connection analysis) — *connection matrices* that
+/// approximate, for every pair of heap-directed pointers, whether they
+/// can point into the same heap data structure. The points-to analysis
+/// deliberately collapses the heap to one summary location (Sec. 7.1);
+/// connection matrices recover the practically useful part of what that
+/// collapse loses: disjointness of whole structures, the property
+/// parallelizing transformations need.
+///
+/// The analysis is flow-sensitive and intraprocedural over SIMPLE, with
+/// conservative call handling (heap-directed actuals, globals, and
+/// results become mutually connected), and consumes the points-to
+/// results to know which pointers are heap-directed at each statement.
+///
+/// Transfer functions (C is a symmetric, reflexive relation):
+///   p = malloc()   kill p's connections; p starts a fresh structure
+///   p = q          p gets exactly q's connections
+///   p = q->f, *q   same as p = q (stays within q's structure)
+///   p->f = q       the structures of p and q merge
+///   p = NULL       kill p's connections
+///   join           union of relations
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_HEAP_CONNECTIONANALYSIS_H
+#define MCPTA_HEAP_CONNECTIONANALYSIS_H
+
+#include "pointsto/Analyzer.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace mcpta {
+namespace heap {
+
+/// A symmetric possibly-connected relation over heap-directed pointer
+/// variables of one function.
+class ConnectionMatrix {
+public:
+  /// True if P and Q may point into the same heap structure.
+  bool connected(const cfront::VarDecl *P, const cfront::VarDecl *Q) const;
+
+  void connect(const cfront::VarDecl *P, const cfront::VarDecl *Q);
+  /// P gets exactly Q's connections (assignment p = q).
+  void copyConnections(const cfront::VarDecl *P, const cfront::VarDecl *Q);
+  /// The structures of P and Q merge (p->f = q): everything connected
+  /// to either becomes connected to everything connected to the other.
+  void mergeStructures(const cfront::VarDecl *P, const cfront::VarDecl *Q);
+  void kill(const cfront::VarDecl *P);
+
+  void unionWith(const ConnectionMatrix &Other);
+  bool operator==(const ConnectionMatrix &O) const { return Rel == O.Rel; }
+
+  /// All variables connected to P (excluding P itself).
+  std::set<const cfront::VarDecl *>
+  connectionsOf(const cfront::VarDecl *P) const;
+
+  std::string str() const;
+
+private:
+  using VarPair = std::pair<const cfront::VarDecl *, const cfront::VarDecl *>;
+  static VarPair key(const cfront::VarDecl *A, const cfront::VarDecl *B) {
+    return A < B ? VarPair{A, B} : VarPair{B, A};
+  }
+  std::set<VarPair> Rel;
+};
+
+/// Per-function connection matrices at function exit.
+struct ConnectionResult {
+  std::map<const cfront::FunctionDecl *, ConnectionMatrix> AtExit;
+
+  const ConnectionMatrix *matrixOf(const cfront::FunctionDecl *F) const {
+    auto It = AtExit.find(F);
+    return It == AtExit.end() ? nullptr : &It->second;
+  }
+};
+
+/// Runs the connection analysis over every function of an analyzed
+/// program, consuming the points-to results (which pointers are
+/// heap-directed, and through which pointers stores can reach the
+/// heap).
+ConnectionResult runConnectionAnalysis(const simple::Program &Prog,
+                                       const pta::Analyzer::Result &Res);
+
+} // namespace heap
+} // namespace mcpta
+
+#endif // MCPTA_HEAP_CONNECTIONANALYSIS_H

@@ -1,0 +1,176 @@
+//===- InvocationGraph.cpp - Invocation graphs -------------------------------===//
+
+#include "ig/InvocationGraph.h"
+
+#include <cassert>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+using cf::FunctionDecl;
+
+const IGNode *IGNode::findAncestor(const FunctionDecl *Fn) const {
+  for (const IGNode *N = Parent; N; N = N->Parent)
+    if (N->F == Fn)
+      return N;
+  return nullptr;
+}
+
+unsigned IGNode::depth() const {
+  unsigned D = 0;
+  for (const IGNode *N = Parent; N; N = N->Parent)
+    ++D;
+  return D;
+}
+
+std::string IGNode::str(unsigned Indent) const {
+  std::string Out(Indent * 2, ' ');
+  Out += F ? F->name() : "<extern>";
+  if (K == Kind::Recursive)
+    Out += " [R]";
+  else if (K == Kind::Approximate)
+    Out += " [A]";
+  Out += "\n";
+  for (const IGNode *C : Children)
+    Out += C->str(Indent + 1);
+  return Out;
+}
+
+void mcpta::pta::collectCallInfos(const Stmt *S,
+                                  std::vector<const CallInfo *> &Out) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castStmt<AssignStmt>(S);
+    if (A->RK == AssignStmt::RhsKind::Call)
+      Out.push_back(&A->Call);
+    return;
+  }
+  case Stmt::Kind::Call:
+    Out.push_back(&castStmt<CallStmt>(S)->Call);
+    return;
+  case Stmt::Kind::Block:
+    for (const Stmt *C : castStmt<BlockStmt>(S)->Body)
+      collectCallInfos(C, Out);
+    return;
+  case Stmt::Kind::If: {
+    const auto *I = castStmt<IfStmt>(S);
+    collectCallInfos(I->Then, Out);
+    collectCallInfos(I->Else, Out);
+    return;
+  }
+  case Stmt::Kind::Loop: {
+    const auto *L = castStmt<LoopStmt>(S);
+    collectCallInfos(L->Body, Out);
+    collectCallInfos(L->Trailer, Out);
+    return;
+  }
+  case Stmt::Kind::Switch:
+    for (const SwitchStmt::Case &C : castStmt<SwitchStmt>(S)->Cases)
+      for (const Stmt *B : C.Body)
+        collectCallInfos(B, Out);
+    return;
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    return;
+  }
+}
+
+void InvocationGraph::collectCalls(const Stmt *S,
+                                   std::vector<const CallInfo *> &Out) const {
+  collectCallInfos(S, Out);
+}
+
+IGNode *InvocationGraph::makeNode(const FunctionDecl *F, IGNode *Parent,
+                                  unsigned CallSiteId) {
+  Nodes.push_back(std::unique_ptr<IGNode>(new IGNode(F, Parent, CallSiteId)));
+  return Nodes.back().get();
+}
+
+std::unique_ptr<InvocationGraph>
+InvocationGraph::build(const Program &Prog) {
+  const FunctionDecl *Main = Prog.unit().findFunction("main");
+  if (!Main || !Prog.findFunction(Main))
+    return nullptr;
+
+  std::unique_ptr<InvocationGraph> IG(new InvocationGraph());
+  IG->Prog = &Prog;
+  IG->Root = IG->makeNode(Main, nullptr, /*CallSiteId=*/~0u);
+  IG->expandDirectCalls(IG->Root);
+  return IG;
+}
+
+void InvocationGraph::expandDirectCalls(IGNode *Node) {
+  const FunctionIR *FIR = Prog->findFunction(Node->F);
+  if (!FIR)
+    return; // extern function: no body to expand
+  std::vector<const CallInfo *> Calls;
+  collectCalls(FIR->Body, Calls);
+  for (const CallInfo *CI : Calls) {
+    if (CI->isIndirect())
+      continue; // left open; grown during points-to analysis (Sec. 5)
+    if (!Prog->findFunction(CI->Callee))
+      continue; // extern library function: modeled, not analyzed
+    getOrCreateChild(Node, CI->CallSiteId, CI->Callee);
+  }
+}
+
+IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
+                                          const FunctionDecl *Callee) {
+  auto Key = std::make_pair(CallSiteId, Callee);
+  auto It = Parent->ChildIndex.find(Key);
+  if (It != Parent->ChildIndex.end())
+    return It->second;
+
+  IGNode *Child = makeNode(Callee, Parent, CallSiteId);
+  Parent->Children.push_back(Child);
+  Parent->ChildIndex[Key] = Child;
+
+  // Recursion: the callee already appears on the invocation chain. The
+  // new node is Approximate; its matching ancestor becomes Recursive and
+  // the pair is connected by a back edge.
+  IGNode *Anc = const_cast<IGNode *>(
+      Parent->F == Callee ? Parent : Parent->findAncestor(Callee));
+  if (Anc) {
+    Child->K = IGNode::Kind::Approximate;
+    Child->RecEdge = Anc;
+    Anc->markRecursive();
+    return Child;
+  }
+
+  expandDirectCalls(Child);
+  return Child;
+}
+
+unsigned InvocationGraph::numNodes() const {
+  unsigned N = 0;
+  forEachNode([&N](const IGNode *) { ++N; });
+  return N;
+}
+
+unsigned InvocationGraph::numRecursive() const {
+  unsigned N = 0;
+  forEachNode([&N](const IGNode *Node) {
+    if (Node->isRecursive())
+      ++N;
+  });
+  return N;
+}
+
+unsigned InvocationGraph::numApproximate() const {
+  unsigned N = 0;
+  forEachNode([&N](const IGNode *Node) {
+    if (Node->isApproximate())
+      ++N;
+  });
+  return N;
+}
+
+unsigned InvocationGraph::numFunctionsCovered() const {
+  std::map<const FunctionDecl *, bool> Seen;
+  forEachNode([&Seen](const IGNode *Node) { Seen[Node->function()] = true; });
+  return static_cast<unsigned>(Seen.size());
+}

@@ -1,0 +1,169 @@
+//===- InvocationGraph.h - Invocation graphs --------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The invocation graph of Sec. 4 / Figure 2: an explicit tree of all
+/// procedure invocation chains starting at main. Recursion is
+/// approximated by matched (Recursive, Approximate) node pairs connected
+/// by a special back edge; the Approximate leaf never evaluates the
+/// function body, it consumes the Recursive ancestor's stored summary.
+///
+/// Each node carries the paper's per-context storage: memoized IN/OUT
+/// points-to sets, the pending-input list of the recursion fixed point
+/// (Figure 4), and the map information associating symbolic names with
+/// the invisible caller variables they stand for (Sec. 4.1) — the
+/// context-sensitive data later analyses reuse.
+///
+/// With function pointers (Sec. 5) the graph cannot be completed by a
+/// textual pass: indirect call sites are left open at build time and
+/// grown during points-to analysis via getOrCreateChild.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_IG_INVOCATIONGRAPH_H
+#define MCPTA_IG_INVOCATIONGRAPH_H
+
+#include "pointsto/PointsToSet.h"
+#include "simple/SimpleIR.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace pta {
+
+/// One invocation-graph node: a function in a specific calling context.
+class IGNode {
+public:
+  enum class Kind { Ordinary, Recursive, Approximate };
+
+  const cfront::FunctionDecl *function() const { return F; }
+  Kind kind() const { return K; }
+  IGNode *parent() const { return Parent; }
+  unsigned callSiteId() const { return CallSiteId; }
+  const std::vector<IGNode *> &children() const { return Children; }
+
+  /// For Approximate nodes: the matching Recursive ancestor.
+  IGNode *recEdge() const { return RecEdge; }
+
+  bool isApproximate() const { return K == Kind::Approximate; }
+  bool isRecursive() const { return K == Kind::Recursive; }
+  void markRecursive() { K = Kind::Recursive; }
+
+  /// True if some ancestor (or this node) is \p Fn — recursion test.
+  const IGNode *findAncestor(const cfront::FunctionDecl *Fn) const;
+
+  unsigned depth() const;
+
+  //===--------------------------------------------------------------------===//
+  // Analysis storage (Figure 4)
+  //===--------------------------------------------------------------------===//
+  std::optional<PointsToSet> StoredInput;
+  std::optional<PointsToSet> StoredOutput;
+  std::vector<PointsToSet> PendingList;
+
+  /// A memoized result depends on the summaries of the node's proper
+  /// ancestor Recursive nodes (reached through Approximate back edges
+  /// inside the subtree). MemoDeps records their versions at store
+  /// time; the memo is reusable only while they are unchanged.
+  /// SummaryVersion bumps whenever this (Recursive) node's stored
+  /// summary changes during its fixed point.
+  unsigned SummaryVersion = 0;
+  std::vector<std::pair<const IGNode *, unsigned>> MemoDeps;
+  /// Set once a Recursive node's Figure-4 fixed point has converged.
+  bool FixpointDone = false;
+
+  /// Map information (Sec. 4.1): for each symbolic location used inside
+  /// this invocation, the caller locations (invisible variables) it
+  /// represents in this context. Deterministically ordered.
+  std::map<const Location *, std::vector<const Location *>> MapInfo;
+
+  /// Renders the subtree, e.g. for Figure 2/7-style test expectations.
+  std::string str(unsigned Indent = 0) const;
+
+private:
+  friend class InvocationGraph;
+  IGNode(const cfront::FunctionDecl *F, IGNode *Parent, unsigned CallSiteId)
+      : F(F), Parent(Parent), CallSiteId(CallSiteId) {}
+
+  const cfront::FunctionDecl *F;
+  Kind K = Kind::Ordinary;
+  IGNode *Parent;
+  unsigned CallSiteId;
+  std::vector<IGNode *> Children;
+  IGNode *RecEdge = nullptr;
+  std::map<std::pair<unsigned, const cfront::FunctionDecl *>, IGNode *>
+      ChildIndex;
+};
+
+/// The whole invocation graph. Owns its nodes.
+class InvocationGraph {
+public:
+  /// Builds the initial graph from direct calls only, rooted at `main`,
+  /// leaving indirect call sites open. Returns null if the program has
+  /// no defined main.
+  static std::unique_ptr<InvocationGraph> build(const simple::Program &Prog);
+
+  IGNode *root() const { return Root; }
+  const simple::Program &program() const { return *Prog; }
+
+  /// Finds or creates the child of \p Parent for calling \p Callee from
+  /// call site \p CallSiteId. If \p Callee appears on the ancestor
+  /// chain, the child is an Approximate node wired to that (now
+  /// Recursive) ancestor; otherwise an Ordinary node whose direct-call
+  /// subtree is expanded eagerly. Idempotent.
+  IGNode *getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
+                           const cfront::FunctionDecl *Callee);
+
+  //===--------------------------------------------------------------------===//
+  // Statistics (Table 6)
+  //===--------------------------------------------------------------------===//
+  unsigned numNodes() const;
+  unsigned numRecursive() const;
+  unsigned numApproximate() const;
+  /// Distinct functions with at least one node.
+  unsigned numFunctionsCovered() const;
+
+  template <typename Fn> void forEachNode(Fn F) const {
+    forEachNodeImpl(Root, F);
+  }
+
+  std::string str() const { return Root ? Root->str() : "<empty>"; }
+
+private:
+  InvocationGraph() = default;
+
+  IGNode *makeNode(const cfront::FunctionDecl *F, IGNode *Parent,
+                   unsigned CallSiteId);
+  void expandDirectCalls(IGNode *Node);
+  void collectCalls(const simple::Stmt *S,
+                    std::vector<const simple::CallInfo *> &Out) const;
+
+  template <typename Fn> void forEachNodeImpl(IGNode *N, Fn &F) const {
+    if (!N)
+      return;
+    F(N);
+    for (IGNode *C : N->children())
+      forEachNodeImpl(C, F);
+  }
+
+  const simple::Program *Prog = nullptr;
+  IGNode *Root = nullptr;
+  std::vector<std::unique_ptr<IGNode>> Nodes;
+};
+
+/// Collects the call sites appearing in a statement tree, in program
+/// order (exposed for clients computing Table 6's call-site column).
+void collectCallInfos(const simple::Stmt *S,
+                      std::vector<const simple::CallInfo *> &Out);
+
+} // namespace pta
+} // namespace mcpta
+
+#endif // MCPTA_IG_INVOCATIONGRAPH_H

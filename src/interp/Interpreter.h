@@ -1,0 +1,75 @@
+//===- Interpreter.h - Concrete SIMPLE interpreter --------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete interpreter for SIMPLE used as the soundness oracle of the
+/// points-to analysis (property P1 of DESIGN.md, checking Definition 3.3
+/// of the paper against real executions):
+///
+///   - every pointer fact observed at the entry of a statement — cell c
+///     holds the address of location l, both nameable in the current
+///     scope — must be covered by a (abs(c), abs(l), D|P) pair in the
+///     analysis' merged input set for that statement;
+///   - every definite pair (x, y, D) whose source is a non-summary
+///     location nameable in the current scope must agree with the
+///     concrete store: x's cell holds exactly y (or NULL when y is the
+///     NULL target).
+///
+/// Facts involving locations of other activation frames are skipped:
+/// their abstract names are context-dependent symbolic names that only
+/// the invocation graph's map information can relate.
+///
+/// The interpreter executes real control flow (conditions, switch
+/// dispatch, concrete array subscripts carried by Accessor) with a step
+/// budget, and models printf/strcmp/strcpy/strlen/rand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_INTERP_INTERPRETER_H
+#define MCPTA_INTERP_INTERPRETER_H
+
+#include "pointsto/Analyzer.h"
+#include "simple/SimpleIR.h"
+
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace interp {
+
+struct RunResult {
+  /// The program ran to completion within the step budget.
+  bool Completed = false;
+  uint64_t Steps = 0;
+  long long ExitValue = 0;
+  /// Soundness violations against the analysis (empty = sound on this
+  /// execution). Each entry names the statement and the offending fact.
+  std::vector<std::string> Violations;
+  /// Runtime trouble (deref of undef, missing function, ...) that
+  /// stopped execution early; empty if none.
+  std::string Error;
+};
+
+struct InterpOptions {
+  uint64_t MaxSteps = 500000;
+  /// When false, only execute (no analysis cross-checking).
+  bool CheckAgainstAnalysis = true;
+};
+
+/// Executes the program's main and checks each step against the
+/// analysis result (pass the result from Analyzer::run on the same
+/// Program; StmtIn recording must have been enabled).
+RunResult runAndCheck(const simple::Program &Prog,
+                      const pta::Analyzer::Result &Res,
+                      const InterpOptions &Opts);
+
+/// Executes without checking.
+RunResult run(const simple::Program &Prog, uint64_t MaxSteps = 500000);
+
+} // namespace interp
+} // namespace mcpta
+
+#endif // MCPTA_INTERP_INTERPRETER_H

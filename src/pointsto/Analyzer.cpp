@@ -1,0 +1,942 @@
+//===- Analyzer.cpp - Context-sensitive points-to analysis -------------------===//
+
+#include "pointsto/Analyzer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+
+namespace {
+
+using OptSet = std::optional<PointsToSet>;
+
+/// Bottom-aware merge: merging with an unreachable state keeps the other
+/// operand unchanged (Bottom is the identity of Merge, Figure 4).
+void mergeInto(OptSet &A, const OptSet &B) {
+  if (!B)
+    return;
+  if (!A) {
+    A = *B;
+    return;
+  }
+  A->mergeWith(*B);
+}
+
+bool subsetOfOpt(const OptSet &A, const OptSet &B) {
+  if (!A)
+    return true; // bottom is contained in everything
+  if (!B)
+    return false;
+  return A->subsetOf(*B);
+}
+
+/// Flow state threaded through the compositional rules: the normal
+/// continuation plus the abrupt-completion channels of [13].
+struct FlowState {
+  OptSet Normal;
+  OptSet Brk;
+  OptSet Cont;
+  OptSet Ret;
+};
+
+/// Per-function summary used by the context-insensitive baseline.
+struct FnSummary {
+  OptSet StoredInput;
+  OptSet StoredOutput;
+  bool InProgress = false;
+  bool GrewWhileInProgress = false;
+  unsigned MemoEpoch = 0;
+  bool Valid = false;
+};
+
+class AnalyzerImpl {
+public:
+  AnalyzerImpl(const Program &Prog, const Analyzer::Options &Opts,
+               Analyzer::Result &Res)
+      : Prog(Prog), Opts(Opts), Res(Res), Locs(*Res.Locs), Eval(Locs),
+        MU(Locs, Prog) {
+    Locs.setSymbolicLevelLimit(Opts.SymbolicLevelLimit);
+  }
+
+  void run();
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Compositional rules (Figure 1 + channels)
+  //===--------------------------------------------------------------------===//
+  FlowState process(const Stmt *S, OptSet In, IGNode *Ign);
+  FlowState processBlock(const BlockStmt *B, OptSet In, IGNode *Ign);
+  FlowState processIf(const IfStmt *I, OptSet In, IGNode *Ign);
+  FlowState processLoop(const LoopStmt *L, OptSet In, IGNode *Ign);
+  FlowState processSwitch(const SwitchStmt *Sw, OptSet In, IGNode *Ign);
+  FlowState processAssign(const AssignStmt *A, OptSet In, IGNode *Ign);
+  FlowState processReturn(const ReturnStmt *R, OptSet In, IGNode *Ign);
+
+  /// Applies the basic kill/change/gen rule of Figure 1.
+  void applyAssignRule(PointsToSet &S, const std::vector<LocDef> &Llocs,
+                       const std::vector<LocDef> &Rlocs);
+
+  /// Structure assignment: broken into per-pointer-component assignments
+  /// (the paper's note below Figure 1). \p RhsStorage are the locations
+  /// of the source aggregate.
+  void applyStructCopy(PointsToSet &S, const std::vector<LocDef> &LhsStorage,
+                       const std::vector<LocDef> &RhsStorage,
+                       const cf::Type *Ty);
+
+  void recordStmtIn(const Stmt *S, const OptSet &In);
+
+  //===--------------------------------------------------------------------===//
+  // Interprocedural rules (Figures 4 & 5)
+  //===--------------------------------------------------------------------===//
+  OptSet processCall(const CallInfo &CI, const Reference *LhsRef, OptSet In,
+                     IGNode *Ign);
+  OptSet processCallTarget(const cf::FunctionDecl *Callee,
+                           const CallInfo &CI, const Reference *LhsRef,
+                           const PointsToSet &S, IGNode *Ign);
+  /// Figure 4: evaluate one invocation-graph node on a callee-domain
+  /// input; returns the callee-domain output (bottom while a recursion
+  /// approximation is pending).
+  OptSet evaluateCall(IGNode *Node, const PointsToSet &FuncInput);
+  OptSet evaluateCallCI(IGNode *Node, const PointsToSet &FuncInput);
+  OptSet runRecursionFixpoint(IGNode *Node, const PointsToSet &FuncInput);
+  OptSet processBody(IGNode *Node, const PointsToSet &FuncInput);
+
+  /// Conservative models for library functions without bodies.
+  OptSet applyExtern(const cf::FunctionDecl *Callee, const CallInfo &CI,
+                     const Reference *LhsRef, PointsToSet S, IGNode *Ign);
+
+  /// Figure 5: makeDefinitePointsTo — inside the target's analysis the
+  /// function pointer definitely points to it.
+  PointsToSet makeDefinite(const PointsToSet &S, const Location *FptrLoc,
+                           const cf::FunctionDecl *Fn);
+
+  std::vector<const cf::FunctionDecl *>
+  indirectTargets(const CallInfo &CI, const PointsToSet &S);
+
+  /// Memo-dependency bookkeeping: a node's stored output is valid while
+  /// every proper-ancestor Recursive summary it could have consumed is
+  /// unchanged.
+  static bool memoDepsValid(const IGNode *Node);
+  static void recordMemoDeps(IGNode *Node);
+
+  void warnOnce(const std::string &Key, const std::string &Msg);
+
+  const Program &Prog;
+  const Analyzer::Options &Opts;
+  Analyzer::Result &Res;
+  LocationTable &Locs;
+  LREvaluator Eval;
+  MapUnmap MU;
+
+  /// Global memoization epoch; bumped whenever a recursion summary
+  /// grows, invalidating dependent memo entries.
+  unsigned Epoch = 1;
+  std::map<const cf::FunctionDecl *, FnSummary> Summaries; // CI baseline
+  /// CI baseline: map information merged over every call site of a
+  /// function — the context-sensitive per-call map info is precisely
+  /// what the ablation removes.
+  std::map<const cf::FunctionDecl *, MapResult> MergedMapInfo;
+  std::set<std::string> WarnedKeys;
+};
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+void AnalyzerImpl::warnOnce(const std::string &Key, const std::string &Msg) {
+  if (WarnedKeys.insert(Key).second)
+    Res.Warnings.push_back(Msg);
+}
+
+void AnalyzerImpl::recordStmtIn(const Stmt *S, const OptSet &In) {
+  if (!Opts.RecordStmtSets)
+    return;
+  if (Res.StmtIn.size() <= S->id())
+    Res.StmtIn.resize(Prog.numStmts());
+  mergeInto(Res.StmtIn[S->id()], In);
+}
+
+void AnalyzerImpl::applyAssignRule(PointsToSet &S,
+                                   const std::vector<LocDef> &Llocs,
+                                   const std::vector<LocDef> &Rlocs) {
+  // kill_set: all relationships of definite L-locations.
+  for (const LocDef &L : Llocs)
+    if (L.D == Def::D)
+      S.killFrom(L.Loc);
+  // change_set: definite relationships of possible L-locations weaken.
+  for (const LocDef &L : Llocs)
+    if (L.D == Def::P)
+      S.demoteFrom(L.Loc);
+  // gen_set: cross product; definite only when both sides are definite
+  // and the target can be definite at all.
+  for (const LocDef &L : Llocs)
+    for (const LocDef &R : Rlocs) {
+      Def D = meet(L.D, R.D);
+      if (R.Loc->isSummary())
+        D = Def::P;
+      S.insert(L.Loc, R.Loc, D);
+    }
+}
+
+/// Enumerates the relative paths of all pointer components of a type.
+static void pointerSuffixPaths(const cf::Type *Ty,
+                               std::vector<PathElem> &Prefix,
+                               std::vector<std::vector<PathElem>> &Out) {
+  if (!Ty)
+    return;
+  switch (Ty->kind()) {
+  case cf::Type::Kind::Pointer:
+    Out.push_back(Prefix);
+    return;
+  case cf::Type::Kind::Record:
+    for (const cf::FieldDecl *F : cf::cast<cf::RecordType>(Ty)->decl()->fields()) {
+      if (!F->type()->isPointerBearing())
+        continue;
+      Prefix.push_back(PathElem::field(F));
+      pointerSuffixPaths(F->type(), Prefix, Out);
+      Prefix.pop_back();
+    }
+    return;
+  case cf::Type::Kind::Array: {
+    const auto *AT = cf::cast<cf::ArrayType>(Ty);
+    if (!AT->element()->isPointerBearing())
+      return;
+    Prefix.push_back(PathElem::head());
+    pointerSuffixPaths(AT->element(), Prefix, Out);
+    Prefix.pop_back();
+    Prefix.push_back(PathElem::tail());
+    pointerSuffixPaths(AT->element(), Prefix, Out);
+    Prefix.pop_back();
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+static const Location *applyPath(LocationTable &Locs, const Location *L,
+                                 const std::vector<PathElem> &Path) {
+  for (const PathElem &PE : Path) {
+    switch (PE.K) {
+    case PathElem::Kind::Field:
+      L = Locs.withField(L, PE.Field);
+      break;
+    case PathElem::Kind::Head:
+      L = Locs.withElem(L, true);
+      break;
+    case PathElem::Kind::Tail:
+      L = Locs.withElem(L, false);
+      break;
+    }
+  }
+  return L;
+}
+
+void AnalyzerImpl::applyStructCopy(PointsToSet &S,
+                                   const std::vector<LocDef> &LhsStorage,
+                                   const std::vector<LocDef> &RhsStorage,
+                                   const cf::Type *Ty) {
+  std::vector<std::vector<PathElem>> Suffixes;
+  std::vector<PathElem> Prefix;
+  pointerSuffixPaths(Ty, Prefix, Suffixes);
+  for (const std::vector<PathElem> &P : Suffixes) {
+    std::vector<LocDef> Llocs, Rlocs;
+    for (const LocDef &L : LhsStorage) {
+      const Location *LL = applyPath(Locs, L.Loc, P);
+      Def D = (L.D == Def::D && !LL->isSummary()) ? Def::D : Def::P;
+      Llocs.push_back({LL, D});
+    }
+    for (const LocDef &R : RhsStorage) {
+      const Location *RL = applyPath(Locs, R.Loc, P);
+      for (const LocDef &T : S.targetsOf(RL, Locs))
+        Rlocs.push_back({T.Loc, meet(R.D, T.D)});
+    }
+    applyAssignRule(S, normalizeLocDefs(std::move(Llocs)),
+                    normalizeLocDefs(std::move(Rlocs)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Compositional rules
+//===----------------------------------------------------------------------===//
+
+FlowState AnalyzerImpl::process(const Stmt *S, OptSet In, IGNode *Ign) {
+  if (!S || !In)
+    return {};
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    return processBlock(castStmt<BlockStmt>(S), std::move(In), Ign);
+  case Stmt::Kind::If:
+    return processIf(castStmt<IfStmt>(S), std::move(In), Ign);
+  case Stmt::Kind::Loop:
+    return processLoop(castStmt<LoopStmt>(S), std::move(In), Ign);
+  case Stmt::Kind::Switch:
+    return processSwitch(castStmt<SwitchStmt>(S), std::move(In), Ign);
+  case Stmt::Kind::Assign:
+    return processAssign(castStmt<AssignStmt>(S), std::move(In), Ign);
+  case Stmt::Kind::Call: {
+    recordStmtIn(S, In);
+    const auto *C = castStmt<CallStmt>(S);
+    FlowState FS;
+    FS.Normal = processCall(C->Call, nullptr, std::move(In), Ign);
+    return FS;
+  }
+  case Stmt::Kind::Return:
+    return processReturn(castStmt<ReturnStmt>(S), std::move(In), Ign);
+  case Stmt::Kind::Break: {
+    FlowState FS;
+    FS.Brk = std::move(In);
+    return FS;
+  }
+  case Stmt::Kind::Continue: {
+    FlowState FS;
+    FS.Cont = std::move(In);
+    return FS;
+  }
+  }
+  return {};
+}
+
+FlowState AnalyzerImpl::processBlock(const BlockStmt *B, OptSet In,
+                                     IGNode *Ign) {
+  FlowState Acc;
+  Acc.Normal = std::move(In);
+  for (const Stmt *S : B->Body) {
+    if (!Acc.Normal)
+      break; // the rest of the block is unreachable
+    FlowState FS = process(S, std::move(Acc.Normal), Ign);
+    Acc.Normal = std::move(FS.Normal);
+    mergeInto(Acc.Brk, FS.Brk);
+    mergeInto(Acc.Cont, FS.Cont);
+    mergeInto(Acc.Ret, FS.Ret);
+  }
+  return Acc;
+}
+
+FlowState AnalyzerImpl::processIf(const IfStmt *I, OptSet In, IGNode *Ign) {
+  recordStmtIn(I, In);
+  FlowState Th = process(I->Then, In, Ign);
+  FlowState El;
+  if (I->Else)
+    El = process(I->Else, In, Ign);
+  else
+    El.Normal = In;
+
+  FlowState Out;
+  Out.Normal = std::move(Th.Normal);
+  mergeInto(Out.Normal, El.Normal);
+  Out.Brk = std::move(Th.Brk);
+  mergeInto(Out.Brk, El.Brk);
+  Out.Cont = std::move(Th.Cont);
+  mergeInto(Out.Cont, El.Cont);
+  Out.Ret = std::move(Th.Ret);
+  mergeInto(Out.Ret, El.Ret);
+  return Out;
+}
+
+FlowState AnalyzerImpl::processLoop(const LoopStmt *L, OptSet In,
+                                    IGNode *Ign) {
+  recordStmtIn(L, In);
+  // Figure 1's while rule: generalize the loop-head state until a fixed
+  // point, accumulating the abrupt-exit channels across iterations.
+  OptSet X = In;
+  OptSet BreakAcc, RetAcc;
+  OptSet LastTrailOut; // state after body+trailer of the last iteration
+  unsigned Iters = 0;
+  while (true) {
+    ++Res.LoopIterations;
+    OptSet Prev = X;
+    FlowState B = process(L->Body, X, Ign);
+    mergeInto(BreakAcc, B.Brk);
+    mergeInto(RetAcc, B.Ret);
+    OptSet TIn = std::move(B.Normal);
+    mergeInto(TIn, B.Cont);
+    OptSet TOut;
+    if (L->Trailer) {
+      FlowState T = process(L->Trailer, std::move(TIn), Ign);
+      mergeInto(RetAcc, T.Ret); // trailers are straight-line code
+      TOut = std::move(T.Normal);
+    } else {
+      TOut = std::move(TIn);
+    }
+    LastTrailOut = TOut;
+    mergeInto(X, TOut);
+    if ((!X && !Prev) || (X && Prev && *X == *Prev))
+      break;
+    if (++Iters > Opts.MaxLoopIterations) {
+      warnOnce("loop-fixpoint",
+               "loop fixed point did not converge within the iteration "
+               "limit; results remain safe but may be imprecise");
+      break;
+    }
+  }
+
+  FlowState Out;
+  if (L->PostTest)
+    Out.Normal = L->CondVar ? LastTrailOut : OptSet();
+  else
+    Out.Normal = L->CondVar ? X : OptSet();
+  mergeInto(Out.Normal, BreakAcc);
+  Out.Ret = std::move(RetAcc);
+  return Out;
+}
+
+FlowState AnalyzerImpl::processSwitch(const SwitchStmt *Sw, OptSet In,
+                                      IGNode *Ign) {
+  recordStmtIn(Sw, In);
+  FlowState Out;
+  OptSet Fall; // flows from one case into the next
+  for (const SwitchStmt::Case &C : Sw->Cases) {
+    OptSet Entry = In;
+    mergeInto(Entry, Fall);
+    FlowState CS;
+    CS.Normal = std::move(Entry);
+    for (const Stmt *S : C.Body) {
+      if (!CS.Normal)
+        break;
+      FlowState FS = process(S, std::move(CS.Normal), Ign);
+      CS.Normal = std::move(FS.Normal);
+      mergeInto(CS.Brk, FS.Brk);
+      mergeInto(CS.Cont, FS.Cont);
+      mergeInto(CS.Ret, FS.Ret);
+    }
+    Fall = std::move(CS.Normal);
+    mergeInto(Out.Brk, CS.Brk);
+    mergeInto(Out.Cont, CS.Cont);
+    mergeInto(Out.Ret, CS.Ret);
+  }
+  Out.Normal = std::move(Fall);
+  if (!Sw->hasDefault())
+    mergeInto(Out.Normal, In); // no case may match
+  mergeInto(Out.Normal, Out.Brk);
+  Out.Brk.reset(); // breaks bind to the switch
+  return Out;
+}
+
+FlowState AnalyzerImpl::processAssign(const AssignStmt *A, OptSet In,
+                                      IGNode *Ign) {
+  recordStmtIn(A, In);
+  FlowState FS;
+  PointsToSet S = std::move(*In);
+  const cf::Type *LhsTy = A->Lhs.Ty;
+
+  // Calls must be evaluated for their side effects whatever the lhs is.
+  if (A->RK == AssignStmt::RhsKind::Call) {
+    const Reference *LhsRef =
+        (LhsTy && (LhsTy->isPointerBearing() || LhsTy->isRecord()))
+            ? &A->Lhs
+            : nullptr;
+    FS.Normal = processCall(A->Call, LhsRef, std::move(S), Ign);
+    return FS;
+  }
+
+  if (!LhsTy || (!LhsTy->isPointerBearing() && !LhsTy->isRecord() &&
+                 !LhsTy->isArray())) {
+    FS.Normal = std::move(S);
+    return FS; // not a pointer assignment (Figure 1's first case)
+  }
+
+  if (LhsTy->isRecord() || LhsTy->isArray()) {
+    // Aggregate copy: s1 = s2 decomposes into pointer components.
+    if (A->RK == AssignStmt::RhsKind::Operand && A->A.isRef() &&
+        LhsTy->isPointerBearing()) {
+      std::vector<LocDef> LhsStorage = Eval.lvalLocations(A->Lhs, S);
+      std::vector<LocDef> RhsStorage = Eval.refLocations(A->A.Ref, S);
+      applyStructCopy(S, LhsStorage, RhsStorage, LhsTy);
+    }
+    FS.Normal = std::move(S);
+    return FS;
+  }
+
+  // Scalar pointer assignment.
+  std::vector<LocDef> Rlocs;
+  switch (A->RK) {
+  case AssignStmt::RhsKind::Operand:
+    Rlocs = Eval.operandRLocations(A->A, S);
+    break;
+  case AssignStmt::RhsKind::Binary:
+    Rlocs = Eval.binaryRLocations(A->A, A->BOp, A->B, S);
+    break;
+  case AssignStmt::RhsKind::Unary:
+    Rlocs.clear(); // unary ops never produce pointers
+    break;
+  case AssignStmt::RhsKind::Alloc:
+    Rlocs = {{Locs.heap(), Def::P}}; // Table 1's malloc() row
+    break;
+  case AssignStmt::RhsKind::Call:
+    assert(false && "call rhs handled above");
+    break;
+  }
+
+  std::vector<LocDef> Llocs = Eval.lvalLocations(A->Lhs, S);
+  applyAssignRule(S, Llocs, Rlocs);
+  FS.Normal = std::move(S);
+  return FS;
+}
+
+FlowState AnalyzerImpl::processReturn(const ReturnStmt *R, OptSet In,
+                                      IGNode *Ign) {
+  recordStmtIn(R, In);
+  PointsToSet S = std::move(*In);
+  const cf::FunctionDecl *F = Ign->function();
+  if (R->Value && F && F->returnType()->isRecord()) {
+    // Struct return: copy the aggregate into retval component-wise.
+    if (R->Value->isRef() && F->returnType()->isPointerBearing()) {
+      const Location *Ret = Locs.get(Locs.retval(F));
+      std::vector<LocDef> RhsStorage = Eval.refLocations(R->Value->Ref, S);
+      applyStructCopy(S, {{Ret, Def::D}}, RhsStorage, F->returnType());
+    }
+  } else if (R->Value && F && F->returnType()->isPointerBearing()) {
+    const Location *Ret = Locs.get(Locs.retval(F));
+    std::vector<LocDef> Rlocs = Eval.operandRLocations(*R->Value, S);
+    applyAssignRule(S, {{Ret, Def::D}}, Rlocs);
+  }
+  FlowState FS;
+  FS.Ret = std::move(S);
+  return FS;
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural analysis
+//===----------------------------------------------------------------------===//
+
+PointsToSet AnalyzerImpl::makeDefinite(const PointsToSet &S,
+                                       const Location *FptrLoc,
+                                       const cf::FunctionDecl *Fn) {
+  PointsToSet Out = S;
+  Out.killFrom(FptrLoc);
+  Out.insert(FptrLoc, Locs.fnLoc(Fn), Def::D);
+  return Out;
+}
+
+std::vector<const cf::FunctionDecl *>
+AnalyzerImpl::indirectTargets(const CallInfo &CI, const PointsToSet &S) {
+  std::vector<const cf::FunctionDecl *> Out;
+  switch (Opts.FnPtr) {
+  case FnPtrMode::Precise: {
+    const Location *Fptr = Locs.varLoc(CI.FnPtr.Base);
+    for (const LocDef &T : S.targetsOf(Fptr, Locs))
+      if (T.Loc->isFunction())
+        Out.push_back(T.Loc->root()->function());
+    break;
+  }
+  case FnPtrMode::AllFunctions:
+    for (const cf::FunctionDecl *F : Prog.unit().functions())
+      if (F->isDefined())
+        Out.push_back(F);
+    break;
+  case FnPtrMode::AddressTaken:
+    for (const cf::FunctionDecl *F : Prog.unit().functions())
+      if (F->isDefined() && F->isAddressTaken())
+        Out.push_back(F);
+    break;
+  }
+  return Out;
+}
+
+OptSet AnalyzerImpl::processCall(const CallInfo &CI, const Reference *LhsRef,
+                                 OptSet In, IGNode *Ign) {
+  if (!In)
+    return {};
+  PointsToSet S = std::move(*In);
+
+  if (CI.NoReturn)
+    return {}; // exit()/abort(): no normal continuation
+
+  if (!CI.isIndirect())
+    return processCallTarget(CI.Callee, CI, LhsRef, S, Ign);
+
+  // Figure 5: resolve through the function pointer's points-to set.
+  std::vector<const cf::FunctionDecl *> Targets = indirectTargets(CI, S);
+  if (Targets.empty()) {
+    warnOnce("fptr-unresolved@" + std::to_string(CI.CallSiteId),
+             "indirect call through '" + CI.FnPtr.str() +
+                 "' has no resolvable targets; treated as a no-op");
+    return OptSet(std::move(S));
+  }
+
+  const Location *FptrLoc = Locs.varLoc(CI.FnPtr.Base);
+  OptSet CallOutput; // starts as Bottom, merged over invocable functions
+  for (const cf::FunctionDecl *Fn : Targets) {
+    PointsToSet TargetIn =
+        Opts.FnPtr == FnPtrMode::Precise ? makeDefinite(S, FptrLoc, Fn) : S;
+    OptSet TargetOut = processCallTarget(Fn, CI, LhsRef, TargetIn, Ign);
+    mergeInto(CallOutput, TargetOut);
+  }
+  return CallOutput;
+}
+
+OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
+                                       const CallInfo &CI,
+                                       const Reference *LhsRef,
+                                       const PointsToSet &S, IGNode *Ign) {
+  const FunctionIR *FIR = Prog.findFunction(Callee);
+  if (!FIR)
+    return applyExtern(Callee, CI, LhsRef, S, Ign);
+
+  // Evaluate actual R-locations and map into the callee.
+  std::vector<std::vector<LocDef>> ActualRLocs;
+  std::vector<const Operand *> Actuals;
+  for (const Operand &A : CI.Args) {
+    ActualRLocs.push_back(Eval.operandRLocations(A, S));
+    Actuals.push_back(&A);
+  }
+  MapResult MR = MU.map(S, Callee, ActualRLocs, Actuals);
+
+  IGNode *Child = Res.IG->getOrCreateChild(Ign, CI.CallSiteId, Callee);
+  Child->MapInfo = MR.MapInfo; // context-sensitive deposit (Sec. 4.1)
+
+  // The context-insensitive ablation also merges the map information
+  // across call sites: symbolic names then stand for the union of every
+  // context's invisible variables.
+  const MapResult *UnmapMR = &MR;
+  if (!Opts.ContextSensitive) {
+    MapResult &Merged = MergedMapInfo[Callee];
+    for (const auto &[Sym, Reps] : MR.MapInfo) {
+      auto &Into = Merged.MapInfo[Sym];
+      for (const Location *R : Reps)
+        if (std::find(Into.begin(), Into.end(), R) == Into.end())
+          Into.push_back(R);
+    }
+    Merged.RepresentedSources.insert(MR.RepresentedSources.begin(),
+                                     MR.RepresentedSources.end());
+    UnmapMR = &Merged;
+  }
+
+  OptSet CalleeOut = Opts.ContextSensitive
+                         ? evaluateCall(Child, MR.CalleeInput)
+                         : evaluateCallCI(Child, MR.CalleeInput);
+  if (!CalleeOut)
+    return {};
+
+  PointsToSet OutCaller = MU.unmap(S, *CalleeOut, Callee, *UnmapMR);
+
+  // Return value: translate retval's relationships back and assign.
+  if (LhsRef && Callee->returnType()->isPointerBearing()) {
+    const Location *Ret = Locs.get(Locs.retval(Callee));
+    if (Callee->returnType()->isRecord()) {
+      // retval is callee storage: read each pointer component's targets
+      // from the callee output and translate them back individually.
+      std::vector<LocDef> LhsStorage = Eval.lvalLocations(*LhsRef, OutCaller);
+      std::vector<std::vector<PathElem>> Suffixes;
+      std::vector<PathElem> Prefix;
+      pointerSuffixPaths(Callee->returnType(), Prefix, Suffixes);
+      for (const std::vector<PathElem> &P : Suffixes) {
+        const Location *RetP = applyPath(Locs, Ret, P);
+        std::vector<LocDef> Rlocs;
+        for (const LocDef &T : CalleeOut->targetsOf(RetP, Locs))
+          for (const Location *CT :
+               MU.translateBack(T.Loc, Callee, *UnmapMR))
+            Rlocs.push_back({CT, T.D});
+        std::vector<LocDef> Llocs;
+        for (const LocDef &L : LhsStorage) {
+          const Location *LL = applyPath(Locs, L.Loc, P);
+          Def D = (L.D == Def::D && !LL->isSummary()) ? Def::D : Def::P;
+          Llocs.push_back({LL, D});
+        }
+        applyAssignRule(OutCaller, normalizeLocDefs(std::move(Llocs)),
+                        normalizeLocDefs(std::move(Rlocs)));
+      }
+    } else {
+      std::vector<LocDef> Rlocs;
+      for (const LocDef &T : CalleeOut->targetsOf(Ret, Locs)) {
+        std::vector<const Location *> Back =
+            MU.translateBack(T.Loc, Callee, *UnmapMR);
+        Def D = Back.size() == 1 ? T.D : Def::P;
+        for (const Location *CT : Back)
+          Rlocs.push_back({CT, D});
+      }
+      std::vector<LocDef> Llocs = Eval.lvalLocations(*LhsRef, OutCaller);
+      applyAssignRule(OutCaller, Llocs, normalizeLocDefs(std::move(Rlocs)));
+    }
+  }
+  return OptSet(std::move(OutCaller));
+}
+
+OptSet AnalyzerImpl::evaluateCall(IGNode *Node,
+                                  const PointsToSet &FuncInput) {
+  switch (Node->kind()) {
+  case IGNode::Kind::Approximate: {
+    IGNode *Rec = Node->recEdge();
+    assert(Rec && "approximate node without back edge");
+    if (Rec->StoredInput && FuncInput.subsetOf(*Rec->StoredInput))
+      return Rec->StoredOutput; // use the stored summary (may be Bottom)
+    Rec->PendingList.push_back(FuncInput);
+    return {};
+  }
+  case IGNode::Kind::Recursive:
+    if (Node->FixpointDone && Node->StoredInput &&
+        FuncInput == *Node->StoredInput && memoDepsValid(Node)) {
+      ++Res.MemoHits;
+      return Node->StoredOutput;
+    }
+    return runRecursionFixpoint(Node, FuncInput);
+  case IGNode::Kind::Ordinary: {
+    if (Node->StoredInput && FuncInput == *Node->StoredInput &&
+        memoDepsValid(Node)) {
+      ++Res.MemoHits;
+      return Node->StoredOutput;
+    }
+    OptSet Out = processBody(Node, FuncInput);
+    // A function-pointer call inside the body may have discovered that
+    // this node is actually recursive (Sec. 5's example): rerun as a
+    // proper fixed point.
+    if (Node->isRecursive())
+      return runRecursionFixpoint(Node, FuncInput);
+    Node->StoredInput = FuncInput;
+    Node->StoredOutput = Out;
+    recordMemoDeps(Node);
+    return Out;
+  }
+  }
+  return {};
+}
+
+bool AnalyzerImpl::memoDepsValid(const IGNode *Node) {
+  for (const auto &[Rec, Version] : Node->MemoDeps)
+    if (Rec->SummaryVersion != Version)
+      return false;
+  return true;
+}
+
+void AnalyzerImpl::recordMemoDeps(IGNode *Node) {
+  Node->MemoDeps.clear();
+  for (const IGNode *N = Node->parent(); N; N = N->parent())
+    if (N->isRecursive())
+      Node->MemoDeps.push_back({N, N->SummaryVersion});
+}
+
+OptSet AnalyzerImpl::runRecursionFixpoint(IGNode *Node,
+                                          const PointsToSet &FuncInput) {
+  Node->StoredInput = FuncInput;
+  Node->StoredOutput.reset();
+  Node->PendingList.clear();
+  Node->FixpointDone = false;
+  ++Node->SummaryVersion;
+
+  while (true) {
+    OptSet FuncOutput = processBody(Node, *Node->StoredInput);
+    if (!Node->PendingList.empty()) {
+      // Unresolved inputs: generalize the input estimate and restart —
+      // but only when it actually grows.
+      bool Grew = false;
+      for (PointsToSet &P : Node->PendingList)
+        Grew |= Node->StoredInput->mergeWith(P);
+      Node->PendingList.clear();
+      if (Grew) {
+        Node->StoredOutput.reset();
+        ++Node->SummaryVersion; // descendant memos are now stale
+        continue;
+      }
+    }
+    if (subsetOfOpt(FuncOutput, Node->StoredOutput))
+      break; // output converged
+    mergeInto(Node->StoredOutput, FuncOutput);
+    ++Node->SummaryVersion;
+  }
+
+  // Reset the stored input to this call's input for future memoization
+  // (Figure 4's final step).
+  Node->StoredInput = FuncInput;
+  Node->FixpointDone = true;
+  recordMemoDeps(Node);
+  return Node->StoredOutput;
+}
+
+OptSet AnalyzerImpl::evaluateCallCI(IGNode *Node,
+                                    const PointsToSet &FuncInput) {
+  FnSummary &Sum = Summaries[Node->function()];
+  if (Sum.Valid && Sum.MemoEpoch == Epoch &&
+      subsetOfOpt(OptSet(FuncInput), Sum.StoredInput))
+    return Sum.StoredOutput;
+
+  if (Sum.InProgress) {
+    // Recursive (or re-entrant) use of the summary: consume the current
+    // estimate; the outer evaluation iterates only if the input
+    // actually grew (otherwise the loop would never terminate).
+    if (!subsetOfOpt(OptSet(FuncInput), Sum.StoredInput)) {
+      mergeInto(Sum.StoredInput, OptSet(FuncInput));
+      Sum.GrewWhileInProgress = true;
+    }
+    return Sum.StoredOutput;
+  }
+  mergeInto(Sum.StoredInput, OptSet(FuncInput));
+
+  while (true) {
+    Sum.GrewWhileInProgress = false;
+    Sum.InProgress = true;
+    OptSet Out = processBody(Node, *Sum.StoredInput);
+    Sum.InProgress = false;
+    if (Sum.GrewWhileInProgress) {
+      Sum.StoredOutput.reset();
+      ++Epoch;
+      continue;
+    }
+    if (subsetOfOpt(Out, Sum.StoredOutput))
+      break;
+    mergeInto(Sum.StoredOutput, Out);
+    ++Epoch;
+  }
+  Sum.Valid = true;
+  Sum.MemoEpoch = Epoch;
+  return Sum.StoredOutput;
+}
+
+OptSet AnalyzerImpl::processBody(IGNode *Node,
+                                 const PointsToSet &FuncInput) {
+  const FunctionIR *FIR = Prog.findFunction(Node->function());
+  assert(FIR && "processBody requires a defined function");
+  ++Res.BodyAnalyses;
+
+  // Local pointer variables are initialized to NULL (Sec. 4.1).
+  PointsToSet S = FuncInput;
+  for (const cf::VarDecl *V : FIR->Locals) {
+    std::vector<const Location *> Subs;
+    Locs.pointerSubLocations(Locs.varLoc(V), Subs);
+    for (const Location *Sub : Subs)
+      S.insert(Sub, Locs.null(), Sub->isSummary() ? Def::P : Def::D);
+  }
+
+  FlowState FS = process(FIR->Body, OptSet(std::move(S)), Node);
+  OptSet Out = std::move(FS.Normal);
+  mergeInto(Out, FS.Ret);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Extern models
+//===----------------------------------------------------------------------===//
+
+OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
+                                 const CallInfo &CI, const Reference *LhsRef,
+                                 PointsToSet S, IGNode *Ign) {
+  (void)Ign;
+  const std::string &Name = Callee->name();
+
+  // Functions that return (a pointer into) their first argument.
+  static const char *const ReturnsArg0[] = {
+      "strcpy", "strncpy", "strcat", "strncat", "memcpy",
+      "memmove", "memset",  "strchr", "strrchr", "strstr",
+      "strpbrk", "strtok",  "gets",   "fgets",
+  };
+  bool IsReturnsArg0 = false;
+  for (const char *N : ReturnsArg0)
+    if (Name == N) {
+      IsReturnsArg0 = true;
+      break;
+    }
+
+  if (LhsRef && LhsRef->Ty && LhsRef->Ty->isPointerBearing()) {
+    std::vector<LocDef> Rlocs;
+    if (IsReturnsArg0 && !CI.Args.empty()) {
+      // The result may point anywhere inside the object arg0 points to.
+      for (const LocDef &T : Eval.operandRLocations(CI.Args[0], S)) {
+        if (T.Loc->isNull())
+          continue;
+        Eval.applyIndexToTarget(T.Loc, IndexKind::Unknown, Def::P, Rlocs);
+      }
+    } else if (Callee->returnType()->isPointerBearing()) {
+      // Unknown library function returning a pointer: assume a heap (or
+      // library-internal) object.
+      warnOnce("extern-ptr-" + Name,
+               "extern function '" + Name +
+                   "' returns a pointer; modeled as pointing to heap");
+      Rlocs = {{Locs.heap(), Def::P}};
+    }
+    std::vector<LocDef> Llocs = Eval.lvalLocations(*LhsRef, S);
+    applyAssignRule(S, Llocs, normalizeLocDefs(std::move(Rlocs)));
+  }
+
+  // Known pointer-neutral library functions need no warning; anything
+  // else gets a one-time note that its side effects are ignored.
+  static const char *const Neutral[] = {
+      "printf", "fprintf", "sprintf", "snprintf", "puts",   "putchar",
+      "scanf",  "fscanf",  "sscanf",  "getchar",  "free",   "strlen",
+      "strcmp", "strncmp", "atoi",    "atof",     "abs",    "rand",
+      "srand",  "time",    "clock",   "fopen",    "fclose", "fread",
+      "fwrite", "fflush",  "feof",    "qsort",    "sqrt",   "pow",
+      "sin",    "cos",     "tan",     "exp",      "log",    "floor",
+      "ceil",   "fabs",    "toupper", "tolower",  "isalpha", "isdigit",
+      "isspace",
+  };
+  bool Known = IsReturnsArg0;
+  for (const char *N : Neutral)
+    if (Name == N) {
+      Known = true;
+      break;
+    }
+  if (!Known)
+    warnOnce("extern-" + Name,
+             "extern function '" + Name +
+                 "' has no body; its pointer side effects are ignored");
+
+  return OptSet(std::move(S));
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+void AnalyzerImpl::run() {
+  Res.IG = InvocationGraph::build(Prog);
+  if (!Res.IG) {
+    Res.Warnings.push_back("program has no defined main(); nothing to do");
+    return;
+  }
+  if (Opts.RecordStmtSets)
+    Res.StmtIn.resize(Prog.numStmts());
+
+  // Startup state: globals' pointer components are NULL unless
+  // initialized; then the lowered global initializers run.
+  PointsToSet S;
+  for (const cf::VarDecl *G : Prog.globals()) {
+    std::vector<const Location *> Subs;
+    Locs.pointerSubLocations(Locs.varLoc(G), Subs);
+    for (const Location *Sub : Subs)
+      S.insert(Sub, Locs.null(), Sub->isSummary() ? Def::P : Def::D);
+  }
+
+  IGNode *Root = Res.IG->root();
+  FlowState InitFS =
+      process(Prog.globalInit(), OptSet(std::move(S)), Root);
+  OptSet MainIn = std::move(InitFS.Normal);
+  if (!MainIn)
+    MainIn.emplace();
+
+  // main's own locals are initialized inside processBody.
+  const FunctionIR *MainIR = Prog.findFunction(Root->function());
+  assert(MainIR && "invocation graph root must be defined");
+  PointsToSet S2 = std::move(*MainIn);
+  for (const cf::VarDecl *V : MainIR->Locals) {
+    std::vector<const Location *> Subs;
+    Locs.pointerSubLocations(Locs.varLoc(V), Subs);
+    for (const Location *Sub : Subs)
+      S2.insert(Sub, Locs.null(), Sub->isSummary() ? Def::P : Def::D);
+  }
+  ++Res.BodyAnalyses;
+  FlowState FS = process(MainIR->Body, OptSet(std::move(S2)), Root);
+  OptSet Out = std::move(FS.Normal);
+  mergeInto(Out, FS.Ret);
+  Res.MainOut = std::move(Out);
+  Res.Analyzed = true;
+}
+
+} // namespace
+
+Analyzer::Result Analyzer::run(const Program &Prog, const Options &Opts) {
+  Result Res;
+  Res.Locs = std::make_unique<LocationTable>();
+  AnalyzerImpl Impl(Prog, Opts, Res);
+  Impl.run();
+  return Res;
+}
+
+Analyzer::Result Analyzer::run(const Program &Prog) {
+  return run(Prog, Options());
+}

@@ -1,0 +1,281 @@
+//===- MapUnmap.cpp - Interprocedural map/unmap ------------------------------===//
+
+#include "pointsto/MapUnmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+
+namespace {
+
+/// A location is visible inside any callee iff its storage is
+/// program-global. Frame entities — including the *caller's* locals,
+/// params, temps, and symbolics — are invisible: even under recursion
+/// they denote a different activation than the callee's own frame.
+bool isGloballyVisible(const Location *L) {
+  const Entity *Root = L->root();
+  switch (Root->kind()) {
+  case Entity::Kind::Heap:
+  case Entity::Kind::Null:
+  case Entity::Kind::Function:
+  case Entity::Kind::String:
+    return true;
+  case Entity::Kind::Variable:
+    return Root->var()->isGlobal();
+  case Entity::Kind::Retval:
+  case Entity::Kind::Symbolic:
+    return false;
+  }
+  return false;
+}
+
+/// Can this location hold (or contain) pointers that the traversal must
+/// follow?
+bool isPointerBearingStorage(const Location *L) {
+  if (L->isHeap())
+    return true;
+  const cf::Type *Ty = L->type();
+  return Ty && Ty->isPointerBearing();
+}
+
+} // namespace
+
+struct MapUnmap::MapState {
+  const PointsToSet *CallerS = nullptr;
+  const cf::FunctionDecl *Callee = nullptr;
+  MapResult R;
+  /// Caller invisible location -> its unique symbolic stand-in.
+  std::map<const Location *, const Location *> InvMap;
+  std::set<std::pair<const Location *, const Location *>> Visited;
+  /// Symbolic root entities standing for more than one invisible.
+  std::set<const Entity *> MultiSyms;
+};
+
+const Location *MapUnmap::translateTarget(MapState &St,
+                                          const Location *Target,
+                                          const Location *ParentCalleeLoc) {
+  if (isGloballyVisible(Target))
+    return Target;
+
+  auto It = St.InvMap.find(Target);
+  if (It != St.InvMap.end())
+    return It->second; // one invisible -> at most one symbolic name
+
+  const Entity *SymE = Locs.symbolic(St.Callee, ParentCalleeLoc);
+  const Location *SymLoc = Locs.get(SymE);
+  St.InvMap[Target] = SymLoc;
+  auto &Reps = St.R.MapInfo[SymLoc];
+  Reps.push_back(Target);
+  if (Reps.size() > 1)
+    St.MultiSyms.insert(SymE);
+  return SymLoc;
+}
+
+void MapUnmap::traverse(MapState &St, const Location *CalleeLoc,
+                        const Location *CallerLoc) {
+  const cf::Type *Ty = CallerLoc->type();
+
+  // Aggregate storage: descend into pointer-bearing components.
+  if (!CallerLoc->isHeap() && Ty) {
+    if (const auto *RT = cf::dynCast<cf::RecordType>(Ty)) {
+      for (const cf::FieldDecl *F : RT->decl()->fields())
+        if (F->type()->isPointerBearing())
+          traverse(St, Locs.withField(CalleeLoc, F),
+                   Locs.withField(CallerLoc, F));
+      return;
+    }
+    if (const auto *AT = cf::dynCast<cf::ArrayType>(Ty)) {
+      if (!AT->element()->isPointerBearing())
+        return;
+      traverse(St, Locs.withElem(CalleeLoc, true),
+               Locs.withElem(CallerLoc, true));
+      traverse(St, Locs.withElem(CalleeLoc, false),
+               Locs.withElem(CallerLoc, false));
+      return;
+    }
+    if (!Ty->isPointer())
+      return;
+  }
+
+  auto Key = std::make_pair(CalleeLoc, CallerLoc);
+  if (!St.Visited.insert(Key).second)
+    return;
+
+  // Map the pointer's relationships, definite ones first (the paper's
+  // accuracy heuristic for assigning symbolic names).
+  std::vector<LocDef> Targets = St.CallerS->targetsOf(CallerLoc, Locs);
+  std::stable_sort(Targets.begin(), Targets.end(),
+                   [](const LocDef &A, const LocDef &B) {
+                     return A.D < B.D; // D before P
+                   });
+  if (!Targets.empty())
+    St.R.RepresentedSources.insert(CallerLoc);
+  for (const LocDef &T : Targets) {
+    const Location *CT = translateTarget(St, T.Loc, CalleeLoc);
+    St.R.CalleeInput.insert(CalleeLoc, CT, T.D);
+    if (isPointerBearingStorage(T.Loc))
+      traverse(St, CT, T.Loc);
+  }
+}
+
+MapResult MapUnmap::map(const PointsToSet &CallerS,
+                        const cf::FunctionDecl *Callee,
+                        const std::vector<std::vector<LocDef>> &ActualRLocs,
+                        const std::vector<const Operand *> &Actuals) {
+  MapState St;
+  St.CallerS = &CallerS;
+  St.Callee = Callee;
+
+  // 1. Formals inherit the relationships of the corresponding actuals.
+  const auto &Formals = Callee->params();
+  for (size_t I = 0; I < Formals.size(); ++I) {
+    const Location *FLoc = Locs.varLoc(Formals[I]);
+    const cf::Type *FTy = Formals[I]->type();
+
+    if (FTy->isRecord()) {
+      // By-value struct: associate storage fieldwise with the actual.
+      if (I < Actuals.size() && Actuals[I] && Actuals[I]->isRef() &&
+          Actuals[I]->Ref.isValid() && !Actuals[I]->Ref.Deref &&
+          Actuals[I]->Ref.Path.empty()) {
+        const Location *ALoc = Locs.varLoc(Actuals[I]->Ref.Base);
+        traverse(St, FLoc, ALoc);
+      }
+      continue;
+    }
+
+    if (!FTy->isPointerBearing())
+      continue;
+    if (I >= ActualRLocs.size())
+      continue;
+    for (const LocDef &T : ActualRLocs[I]) {
+      const Location *CT = translateTarget(St, T.Loc, FLoc);
+      St.R.CalleeInput.insert(FLoc, CT, T.D);
+      if (isPointerBearingStorage(T.Loc))
+        traverse(St, CT, T.Loc);
+    }
+  }
+
+  // 2. Globals (and the heap summary) keep their relationships; their
+  // reachable invisible targets are renamed.
+  for (const cf::VarDecl *G : Prog.globals()) {
+    if (!G->type()->isPointerBearing())
+      continue;
+    const Location *GL = Locs.varLoc(G);
+    traverse(St, GL, GL);
+  }
+  traverse(St, Locs.heap(), Locs.heap());
+  // String storage holds no pointers (char arrays), so it needs no
+  // traversal.
+
+  // 3. Demote every pair involving a symbolic that stands for more than
+  // one invisible variable (Property 3.1 would otherwise be violated by
+  // a definite claim).
+  if (!St.MultiSyms.empty()) {
+    PointsToSet Demoted;
+    St.R.CalleeInput.forEach(Locs, [&](const Location *Src,
+                                       const Location *Dst, Def D) {
+      bool Multi = St.MultiSyms.count(Src->root()) ||
+                   St.MultiSyms.count(Dst->root());
+      Demoted.insert(Src, Dst, Multi ? Def::P : D);
+    });
+    St.R.CalleeInput = std::move(Demoted);
+  }
+
+  // Deterministic map info: sort representative lists by location id.
+  for (auto &[Sym, Reps] : St.R.MapInfo) {
+    std::sort(Reps.begin(), Reps.end(),
+              [](const Location *A, const Location *B) {
+                return A->id() < B->id();
+              });
+    Reps.erase(std::unique(Reps.begin(), Reps.end()), Reps.end());
+  }
+
+  return std::move(St.R);
+}
+
+std::vector<const Location *>
+MapUnmap::translateBack(const Location *CalleeLoc,
+                        const cf::FunctionDecl *Callee,
+                        const MapResult &M) const {
+  const Entity *Root = CalleeLoc->root();
+  switch (Root->kind()) {
+  case Entity::Kind::Heap:
+  case Entity::Kind::Null:
+  case Entity::Kind::Function:
+  case Entity::Kind::String:
+    return {CalleeLoc};
+  case Entity::Kind::Variable:
+    if (Root->var()->isGlobal())
+      return {CalleeLoc};
+    return {}; // callee-private storage dies at return
+  case Entity::Kind::Retval:
+    return {}; // handled separately by the analyzer
+  case Entity::Kind::Symbolic: {
+    (void)Callee;
+    auto It = M.MapInfo.find(Locs.get(Root));
+    if (It == M.MapInfo.end())
+      return {}; // not bound in this context
+    std::vector<const Location *> Out;
+    for (const Location *Base : It->second) {
+      // Re-apply the callee location's path on the caller side.
+      const Location *L = Base;
+      for (const PathElem &PE : CalleeLoc->path()) {
+        switch (PE.K) {
+        case PathElem::Kind::Field:
+          L = Locs.withField(L, PE.Field);
+          break;
+        case PathElem::Kind::Head:
+          L = Locs.withElem(L, true);
+          break;
+        case PathElem::Kind::Tail:
+          L = Locs.withElem(L, false);
+          break;
+        }
+      }
+      Out.push_back(L);
+    }
+    return Out;
+  }
+  }
+  return {};
+}
+
+PointsToSet MapUnmap::unmap(const PointsToSet &CallerS,
+                            const PointsToSet &CalleeOut,
+                            const cf::FunctionDecl *Callee,
+                            const MapResult &M) const {
+  PointsToSet Out = CallerS;
+  for (const Location *Src : M.RepresentedSources)
+    Out.killFrom(Src);
+
+  // Track how many distinct callee sources feed each caller source; a
+  // caller location assembled from several callee views cannot keep
+  // definite claims.
+  std::map<const Location *, std::set<const Location *>> Contributors;
+
+  CalleeOut.forEach(Locs, [&](const Location *P, const Location *Q, Def D) {
+    std::vector<const Location *> Srcs = translateBack(P, Callee, M);
+    if (Srcs.empty())
+      return;
+    std::vector<const Location *> Dsts = translateBack(Q, Callee, M);
+    if (Dsts.empty())
+      return;
+    Def DP = (Srcs.size() == 1 && Dsts.size() == 1) ? D : Def::P;
+    for (const Location *S : Srcs) {
+      Contributors[S].insert(P);
+      Def DS = (DP == Def::D && !S->isSummary()) ? Def::D : Def::P;
+      for (const Location *T : Dsts)
+        Out.insert(S, T, DS);
+    }
+  });
+
+  for (const auto &[S, Contribs] : Contributors)
+    if (Contribs.size() > 1)
+      Out.demoteFrom(S);
+
+  return Out;
+}

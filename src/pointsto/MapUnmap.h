@@ -1,0 +1,104 @@
+//===- MapUnmap.h - Interprocedural map/unmap -------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sec. 4.1: mapping points-to information from a call site into the
+/// callee's name space, and unmapping the callee's output back.
+///
+/// Mapping: formals inherit the relationships of the corresponding
+/// actuals; globals keep theirs; relationships reachable through
+/// multi-level pointers are mapped recursively. Targets that are not in
+/// the callee's scope (*invisible variables*) are renamed to symbolic
+/// locations (1_x, 2_x, ...). An invisible variable maps to at most one
+/// symbolic name (Property 3.1); one symbolic name may stand for several
+/// invisible variables, in which case pairs involving it are demoted to
+/// possible. Invisibles reached through definite relationships are
+/// mapped before those reached through possible ones (the paper's
+/// accuracy heuristic).
+///
+/// Unmapping: relationships of represented caller locations are replaced
+/// wholesale by the translation of the callee's output; unrepresented
+/// locations (inaccessible to the callee) keep their pairs. If one
+/// caller location receives pairs translated from more than one distinct
+/// callee location (overlapping aggregate views), its pairs are demoted
+/// to possible — spurious definiteness would be unsafe (Def. 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_POINTSTO_MAPUNMAP_H
+#define MCPTA_POINTSTO_MAPUNMAP_H
+
+#include "pointsto/LRLocations.h"
+#include "pointsto/PointsToSet.h"
+#include "simple/SimpleIR.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace mcpta {
+namespace pta {
+
+/// Result of mapping a call site's points-to set into a callee.
+struct MapResult {
+  /// The callee's input points-to set (before local NULL
+  /// initialization, which the analyzer applies at function entry).
+  PointsToSet CalleeInput;
+
+  /// Symbolic location -> the invisible caller locations it represents
+  /// in this context. This is the per-invocation-graph-node map
+  /// information the paper deposits for later analyses.
+  std::map<const Location *, std::vector<const Location *>> MapInfo;
+
+  /// Every caller location whose outgoing pairs were mapped into the
+  /// callee; their relationships are killed and replaced on unmap.
+  std::set<const Location *> RepresentedSources;
+};
+
+/// Performs map/unmap against one program's location table.
+class MapUnmap {
+public:
+  MapUnmap(LocationTable &Locs, const simple::Program &Prog)
+      : Locs(Locs), Prog(Prog), Eval(Locs) {}
+
+  /// Maps \p CallerS into \p Callee. \p ActualRLocs holds, per formal
+  /// parameter (in order), the R-location set of the corresponding
+  /// actual argument evaluated at the call site. Extra actuals (varargs)
+  /// are not mapped: the callee cannot name them in our model (va_arg is
+  /// not modeled), so their relationships survive the call unchanged.
+  MapResult map(const PointsToSet &CallerS,
+                const cfront::FunctionDecl *Callee,
+                const std::vector<std::vector<LocDef>> &ActualRLocs,
+                const std::vector<const simple::Operand *> &Actuals);
+
+  /// Translates one callee-domain location back to the caller domain.
+  /// Returns an empty vector for callee-private storage.
+  std::vector<const Location *>
+  translateBack(const Location *CalleeLoc, const cfront::FunctionDecl *Callee,
+                const MapResult &M) const;
+
+  /// Unmaps \p CalleeOut into the caller: kills represented sources'
+  /// pairs in \p CallerS and unions the translated output.
+  PointsToSet unmap(const PointsToSet &CallerS, const PointsToSet &CalleeOut,
+                    const cfront::FunctionDecl *Callee,
+                    const MapResult &M) const;
+
+private:
+  struct MapState;
+  void traverse(MapState &St, const Location *CalleeLoc,
+                const Location *CallerLoc);
+  const Location *translateTarget(MapState &St, const Location *Target,
+                                  const Location *ParentCalleeLoc);
+
+  LocationTable &Locs;
+  const simple::Program &Prog;
+  LREvaluator Eval;
+};
+
+} // namespace pta
+} // namespace mcpta
+
+#endif // MCPTA_POINTSTO_MAPUNMAP_H

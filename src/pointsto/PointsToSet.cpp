@@ -1,0 +1,137 @@
+//===- PointsToSet.cpp - Points-to triple sets -------------------------------===//
+
+#include "pointsto/PointsToSet.h"
+
+#include <algorithm>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+
+bool PointsToSet::insert(const Location *Src, const Location *Dst, Def D) {
+  PairKey K = key(Src, Dst);
+  auto [It, Inserted] = Pairs.try_emplace(K, D);
+  if (Inserted)
+    return true;
+  // Conflicting definiteness: weaken to possible.
+  if (It->second != D && It->second == Def::D) {
+    It->second = Def::P;
+    return true;
+  }
+  if (It->second != D && D == Def::P) {
+    It->second = Def::P;
+    return true;
+  }
+  return false;
+}
+
+bool PointsToSet::killFrom(const Location *Src) {
+  PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
+  PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
+  auto First = Pairs.lower_bound(Lo);
+  auto Last = Pairs.lower_bound(Hi);
+  bool Removed = First != Last;
+  Pairs.erase(First, Last);
+  return Removed;
+}
+
+void PointsToSet::demoteFrom(const Location *Src) {
+  PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
+  PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
+  for (auto It = Pairs.lower_bound(Lo), E = Pairs.lower_bound(Hi); It != E;
+       ++It)
+    It->second = Def::P;
+}
+
+std::optional<Def> PointsToSet::lookup(const Location *Src,
+                                       const Location *Dst) const {
+  auto It = Pairs.find(key(Src, Dst));
+  if (It == Pairs.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<LocDef> PointsToSet::targetsOf(const Location *Src,
+                                           const LocationTable &Locs) const {
+  std::vector<LocDef> Out;
+  PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
+  PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
+  for (auto It = Pairs.lower_bound(Lo), E = Pairs.lower_bound(Hi); It != E;
+       ++It)
+    Out.push_back(
+        {Locs.byId(static_cast<uint32_t>(It->first & 0xffffffffu)),
+         It->second});
+  return Out;
+}
+
+bool PointsToSet::hasTargets(const Location *Src) const {
+  PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
+  auto It = Pairs.lower_bound(Lo);
+  return It != Pairs.end() && (It->first >> 32) == Src->id();
+}
+
+bool PointsToSet::mergeWith(const PointsToSet &Other) {
+  // Pairs present in only one operand become possible; present in both,
+  // the definiteness meet applies.
+  bool Changed = false;
+  for (auto &[K, D] : Pairs) {
+    if (D == Def::P)
+      continue;
+    auto It = Other.Pairs.find(K);
+    if (It == Other.Pairs.end() || It->second == Def::P) {
+      D = Def::P;
+      Changed = true;
+    }
+  }
+  for (const auto &[K, D] : Other.Pairs) {
+    auto [It, Inserted] = Pairs.try_emplace(K, Def::P);
+    (void)D;
+    (void)It;
+    if (Inserted)
+      Changed = true;
+  }
+  // Note: a pair definite in both operands was left definite by the
+  // first loop and is not revisited by the second.
+  return Changed;
+}
+
+bool PointsToSet::subsetOf(const PointsToSet &Other) const {
+  if (Pairs.size() > Other.Pairs.size())
+    return false;
+  for (const auto &[K, D] : Pairs) {
+    auto It = Other.Pairs.find(K);
+    if (It == Other.Pairs.end())
+      return false;
+    // D is covered by D or P; P is only covered by P.
+    if (D == Def::P && It->second == Def::D)
+      return false;
+  }
+  return true;
+}
+
+std::vector<PointsToSet::Pair>
+PointsToSet::pairs(const LocationTable &Locs) const {
+  std::vector<Pair> Out;
+  Out.reserve(Pairs.size());
+  for (const auto &[K, D] : Pairs)
+    Out.push_back({Locs.byId(static_cast<uint32_t>(K >> 32)),
+                   Locs.byId(static_cast<uint32_t>(K & 0xffffffffu)), D});
+  return Out;
+}
+
+std::string PointsToSet::str(const LocationTable &Locs) const {
+  std::vector<std::string> Rendered;
+  for (const auto &[K, D] : Pairs) {
+    const Location *Src = Locs.byId(static_cast<uint32_t>(K >> 32));
+    const Location *Dst = Locs.byId(static_cast<uint32_t>(K & 0xffffffffu));
+    Rendered.push_back("(" + Src->str() + "," + Dst->str() + "," +
+                       (D == Def::D ? "D" : "P") + ")");
+  }
+  std::sort(Rendered.begin(), Rendered.end());
+  std::string Out;
+  for (const std::string &S : Rendered) {
+    if (!Out.empty())
+      Out += " ";
+    Out += S;
+  }
+  return Out;
+}

@@ -1,0 +1,130 @@
+//===- PointsToSet.h - Points-to triple sets --------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis value: a set of (x, y, D|P) triples over abstract stack
+/// locations (Definitions 3.1/3.2 of the paper). Deterministic iteration
+/// order (sorted by source then target id). The lattice operations match
+/// Figure 1/4:
+///   - Merge: union where a pair definite in both stays definite and is
+///     possible otherwise (a relationship holding on only some paths is
+///     possible, Definition 3.3);
+///   - subset (containment) for the recursion memoization check, where a
+///     definite pair is covered by the same pair possible;
+///   - Bottom (unreachable) is represented externally as an empty
+///     std::optional.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_POINTSTO_POINTSTOSET_H
+#define MCPTA_POINTSTO_POINTSTOSET_H
+
+#include "pointsto/Location.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcpta {
+namespace pta {
+
+/// Definiteness of a points-to relationship.
+enum class Def : uint8_t {
+  D, ///< definitely points-to (holds on every path; both ends single)
+  P, ///< possibly points-to
+};
+
+/// Conjunction d1 ∧ d2 used throughout Table 1's R-location rules.
+inline Def meet(Def A, Def B) { return (A == Def::D && B == Def::D) ? Def::D : Def::P; }
+
+/// A location together with a definiteness flag — the element type of
+/// L-location and R-location sets (Sec. 3.2).
+struct LocDef {
+  const Location *Loc = nullptr;
+  Def D = Def::P;
+
+  bool operator==(const LocDef &O) const { return Loc == O.Loc && D == O.D; }
+  bool operator<(const LocDef &O) const {
+    if (Loc != O.Loc)
+      return Loc->id() < O.Loc->id();
+    return D < O.D;
+  }
+};
+
+/// A points-to set: map from (source, target) location pair to D/P.
+class PointsToSet {
+public:
+  using PairKey = uint64_t;
+  static PairKey key(const Location *Src, const Location *Dst) {
+    return (static_cast<uint64_t>(Src->id()) << 32) | Dst->id();
+  }
+
+  bool empty() const { return Pairs.empty(); }
+  size_t size() const { return Pairs.size(); }
+
+  /// Inserts or weakens a pair; conflicting definiteness resolves to P
+  /// (always safe, possibly less precise). Returns true if the set
+  /// changed.
+  bool insert(const Location *Src, const Location *Dst, Def D);
+
+  /// Removes every pair originating at Src. Returns true if any removed.
+  bool killFrom(const Location *Src);
+
+  /// Weakens every definite pair originating at Src to possible.
+  void demoteFrom(const Location *Src);
+
+  bool contains(const Location *Src, const Location *Dst) const {
+    return Pairs.count(key(Src, Dst)) != 0;
+  }
+  /// Returns the definiteness of (Src, Dst), or nullopt if absent.
+  std::optional<Def> lookup(const Location *Src, const Location *Dst) const;
+
+  /// All (target, def) pairs for a source.
+  std::vector<LocDef> targetsOf(const Location *Src,
+                                const LocationTable &Locs) const;
+  bool hasTargets(const Location *Src) const;
+
+  /// Merge per Figure 1: definite iff definite in both operands.
+  /// Returns true if this set changed.
+  bool mergeWith(const PointsToSet &Other);
+
+  /// True if every pair of *this is covered by Other (same pair with any
+  /// definiteness covers a definite pair; a possible pair is covered
+  /// only by a possible pair — covering P with D would claim more than
+  /// the summary supports).
+  bool subsetOf(const PointsToSet &Other) const;
+
+  bool operator==(const PointsToSet &O) const { return Pairs == O.Pairs; }
+  bool operator!=(const PointsToSet &O) const { return !(*this == O); }
+
+  /// Deterministic iteration (sorted by source id, then target id).
+  struct Pair {
+    const Location *Src;
+    const Location *Dst;
+    Def D;
+  };
+  std::vector<Pair> pairs(const LocationTable &Locs) const;
+
+  template <typename Fn> void forEach(const LocationTable &Locs, Fn F) const {
+    for (const auto &[K, D] : Pairs)
+      F(Locs.byId(static_cast<uint32_t>(K >> 32)),
+        Locs.byId(static_cast<uint32_t>(K & 0xffffffffu)), D);
+  }
+
+  /// Renders as "(x,y,D) (a,b,P) ..." sorted by location name for stable
+  /// test expectations.
+  std::string str(const LocationTable &Locs) const;
+
+private:
+  std::map<PairKey, Def> Pairs;
+};
+
+} // namespace pta
+} // namespace mcpta
+
+#endif // MCPTA_POINTSTO_POINTSTOSET_H

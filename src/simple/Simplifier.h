@@ -1,0 +1,58 @@
+//===- Simplifier.h - AST-to-SIMPLE lowering --------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the typed C AST into SIMPLE (Sec. 2 of the paper). Typical
+/// simplifications performed, mirroring McCAT:
+///   - complex expressions become sequences of basic statements through
+///     compiler temporaries;
+///   - every variable reference has at most one level of indirection
+///     (e.g. **p becomes t = *p; ... *t ...);
+///   - conditional expressions of if/while are reduced to side-effect
+///     free variable tests (condition code is emitted before the
+///     construct and re-emitted in the loop trailer);
+///   - procedure arguments are reduced to constants or variable names;
+///   - variable initializers move from declarations into the body;
+///   - && / || with side-effecting right operands become explicit ifs so
+///     that no call is hoisted past its guard (preserving the definite
+///     points-to information's path-sensitivity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SIMPLE_SIMPLIFIER_H
+#define MCPTA_SIMPLE_SIMPLIFIER_H
+
+#include "simple/SimpleIR.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace mcpta {
+namespace simple {
+
+/// Names of heap allocator functions modeled as returning heap locations.
+bool isAllocatorName(const std::string &Name);
+/// Names of functions that never return.
+bool isNoReturnName(const std::string &Name);
+
+/// Lowers one translation unit to SIMPLE.
+class Simplifier {
+public:
+  Simplifier(cfront::TranslationUnit &Unit, DiagnosticsEngine &Diags);
+  ~Simplifier();
+
+  /// Runs the lowering. Returns null if errors made lowering impossible.
+  std::unique_ptr<Program> run();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> PImpl;
+};
+
+} // namespace simple
+} // namespace mcpta
+
+#endif // MCPTA_SIMPLE_SIMPLIFIER_H

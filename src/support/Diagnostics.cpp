@@ -1,0 +1,30 @@
+//===- Diagnostics.cpp - Error and warning collection --------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace mcpta;
+
+static const char *levelName(DiagLevel L) {
+  switch (L) {
+  case DiagLevel::Note:
+    return "note";
+  case DiagLevel::Warning:
+    return "warning";
+  case DiagLevel::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticsEngine::dump() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.Loc.str();
+    Out += ": ";
+    Out += levelName(D.Level);
+    Out += ": ";
+    Out += D.Message;
+    Out += "\n";
+  }
+  return Out;
+}

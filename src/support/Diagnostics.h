@@ -1,0 +1,64 @@
+//===- Diagnostics.h - Error and warning collection ------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Components report errors and warnings here
+/// instead of printing directly; the driver decides how to surface them.
+/// Library code never throws for user-input errors — it records a
+/// diagnostic and recovers or bails out, matching LLVM's recoverable-error
+/// discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SUPPORT_DIAGNOSTICS_H
+#define MCPTA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace mcpta {
+
+/// Severity of a diagnostic message.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagLevel Level;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one translation unit.
+class DiagnosticsEngine {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagLevel::Error, Loc, std::move(Msg)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagLevel::Warning, Loc, std::move(Msg)});
+  }
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagLevel::Note, Loc, std::move(Msg)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "line:col: level: message" lines.
+  std::string dump() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace mcpta
+
+#endif // MCPTA_SUPPORT_DIAGNOSTICS_H

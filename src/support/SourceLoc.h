@@ -1,0 +1,45 @@
+//===- SourceLoc.h - Source position tracking -----------------*- C++ -*-===//
+//
+// Part of the mcpta project: a reproduction of Emami, Ghiya & Hendren,
+// "Context-Sensitive Interprocedural Points-to Analysis in the Presence of
+// Function Pointers", PLDI 1994.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight 1-based line/column source positions used by the lexer,
+/// parser, and diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SUPPORT_SOURCELOC_H
+#define MCPTA_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace mcpta {
+
+/// A position in the source buffer. Line and column are 1-based; a
+/// default-constructed SourceLoc (0,0) means "unknown location".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace mcpta
+
+#endif // MCPTA_SUPPORT_SOURCELOC_H

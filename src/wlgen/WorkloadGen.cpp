@@ -1,0 +1,290 @@
+//===- WorkloadGen.cpp - Synthetic C program generator -------------------------===//
+
+#include "wlgen/WorkloadGen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace mcpta;
+using namespace mcpta::wlgen;
+
+namespace {
+
+/// Deterministic 64-bit LCG (same constants as MMIX).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed * 2862933555777941757ULL + 1) {}
+  uint64_t next() {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return State >> 17;
+  }
+  unsigned below(unsigned N) { return N ? next() % N : 0; }
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Emits one generated function body.
+class BodyGen {
+public:
+  BodyGen(Rng &R, const GenConfig &Cfg, unsigned NumScalars,
+          unsigned NumPtrs, unsigned NumPtrPtrs, bool HasParams)
+      : R(R), Cfg(Cfg), NumScalars(NumScalars), NumPtrs(NumPtrs),
+        NumPtrPtrs(NumPtrPtrs), HasParams(HasParams) {}
+
+  std::string scalar() { return "x" + std::to_string(R.below(NumScalars)); }
+  std::string ptr() {
+    // Params (a: int*, b: int**) join the candidate pools.
+    if (HasParams && R.chance(30))
+      return "a";
+    return "p" + std::to_string(R.below(NumPtrs));
+  }
+  std::string ptrptr() {
+    if (HasParams && R.chance(30))
+      return "b";
+    return "q" + std::to_string(R.below(NumPtrPtrs));
+  }
+  std::string globalScalar() {
+    return "g" + std::to_string(R.below(Cfg.NumGlobals));
+  }
+  std::string globalPtr() {
+    return "gp" + std::to_string(R.below(Cfg.NumGlobals));
+  }
+
+  /// One random pointer-flavored statement.
+  std::string stmt(const std::string &Pad) {
+    switch (R.below(12)) {
+    case 0:
+      return Pad + scalar() + " = " + std::to_string(R.below(100)) + ";\n";
+    case 1:
+      return Pad + scalar() + " = " + scalar() + " + " + scalar() + ";\n";
+    case 2:
+      return Pad + ptr() + " = &" + scalar() + ";\n";
+    case 3:
+      return Pad + ptr() + " = &" + globalScalar() + ";\n";
+    case 4:
+      return Pad + ptr() + " = " + ptr() + ";\n";
+    case 5:
+      return Pad + globalPtr() + " = " + ptr() + ";\n";
+    case 6:
+      return Pad + ptrptr() + " = &" + ptr() + ";\n";
+    case 7:
+      return Pad + "if (" + ptr() + " != NULL) " + scalar() + " = *" +
+             ptr() + ";\n";
+    case 8:
+      return Pad + "if (" + ptr() + " != NULL) *" + ptr() + " = " +
+             scalar() + ";\n";
+    case 9:
+      return Pad + "if (" + ptrptr() + " != NULL) " + ptr() + " = *" +
+             ptrptr() + ";\n";
+    case 10:
+      if (Cfg.UseHeap)
+        return Pad + ptr() + " = (int *)malloc(4);\n";
+      return Pad + ptr() + " = &" + globalScalar() + ";\n";
+    default:
+      return Pad + ptr() + " = " + globalPtr() + ";\n";
+    }
+  }
+
+private:
+  Rng &R;
+  const GenConfig &Cfg;
+  unsigned NumScalars;
+  unsigned NumPtrs;
+  unsigned NumPtrPtrs;
+  bool HasParams;
+};
+
+} // namespace
+
+std::string mcpta::wlgen::generateProgram(const GenConfig &Cfg) {
+  Rng R(Cfg.Seed);
+  std::string Out;
+  Out += "int printf(char *fmt, ...);\n";
+  Out += "void *malloc(int n);\n\n";
+
+  // Globals.
+  for (unsigned I = 0; I < Cfg.NumGlobals; ++I) {
+    Out += "int g" + std::to_string(I) + ";\n";
+    Out += "int *gp" + std::to_string(I) + ";\n";
+  }
+  Out += "\n";
+
+  // All functions share the signature int f(int *a, int **b, int d):
+  // a pointer, a pointer-to-pointer, and the recursion depth bound.
+  unsigned N = Cfg.NumFunctions;
+  for (unsigned I = 0; I < N; ++I)
+    Out += "int f" + std::to_string(I) + "(int *a, int **b, int d);\n";
+  Out += "\n";
+
+  // Like real programs (the paper's livc), only a subset of functions
+  // lands in the dispatch table; full-table-of-everything density makes
+  // the invocation graph blow up exponentially (the paper's worst case).
+  unsigned TableSize = std::min(N, 4u);
+  if (Cfg.UseFunctionPointers) {
+    Out += "int (*ftab[" + std::to_string(TableSize) +
+           "])(int *, int **, int) = {";
+    for (unsigned I = 0; I < TableSize; ++I) {
+      if (I)
+        Out += ", ";
+      Out += "f" + std::to_string(I);
+    }
+    Out += "};\n\n";
+  }
+
+  const unsigned Scalars = 3, Ptrs = 3, PtrPtrs = 2;
+
+  auto EmitLocals = [&](std::string &Body) {
+    for (unsigned I = 0; I < Scalars; ++I)
+      Body += "  int x" + std::to_string(I) + ";\n";
+    for (unsigned I = 0; I < Ptrs; ++I)
+      Body += "  int *p" + std::to_string(I) + ";\n";
+    for (unsigned I = 0; I < PtrPtrs; ++I)
+      Body += "  int **q" + std::to_string(I) + ";\n";
+    Body += "  int li;\n";
+    for (unsigned I = 0; I < Scalars; ++I)
+      Body += "  x" + std::to_string(I) + " = " +
+              std::to_string(R.below(10)) + ";\n";
+    for (unsigned I = 0; I < Ptrs; ++I)
+      Body += "  p" + std::to_string(I) + " = &x" +
+              std::to_string(R.below(Scalars)) + ";\n";
+    for (unsigned I = 0; I < PtrPtrs; ++I)
+      Body += "  q" + std::to_string(I) + " = &p" +
+              std::to_string(R.below(Ptrs)) + ";\n";
+  };
+
+  auto EmitCall = [&](std::string &Body, const std::string &Pad,
+                      unsigned SelfIdx, bool AllowSelf) {
+    unsigned Callee = R.below(N);
+    if (!Cfg.UseRecursion && !AllowSelf)
+      while (Callee == SelfIdx)
+        Callee = (Callee + 1) % N;
+    std::string Depth = SelfIdx == ~0u ? std::to_string(Cfg.RecursionDepth)
+                                       : "d - 1";
+    std::string Ptr = "p" + std::to_string(R.below(Ptrs));
+    std::string PtrPtr = "q" + std::to_string(R.below(PtrPtrs));
+    if (Cfg.UseFunctionPointers && R.chance(25)) {
+      Body += Pad + "fp = ftab[" + std::to_string(R.below(TableSize)) +
+              "];\n";
+      Body += Pad + "x0 = fp(" + Ptr + ", " + PtrPtr + ", " + Depth + ");\n";
+    } else {
+      Body += Pad + "x0 = f" + std::to_string(Callee) + "(" + Ptr + ", " +
+              PtrPtr + ", " + Depth + ");\n";
+    }
+  };
+
+  for (unsigned I = 0; I < N; ++I) {
+    std::string Body;
+    Body += "int f" + std::to_string(I) + "(int *a, int **b, int d) {\n";
+    if (Cfg.UseFunctionPointers)
+      Body += "  int (*fp)(int *, int **, int);\n";
+    EmitLocals(Body);
+    Body += "  if (d <= 0)\n    return 0;\n";
+
+    BodyGen BG(R, Cfg, Scalars, Ptrs, PtrPtrs, /*HasParams=*/true);
+    unsigned CallsLeft = Cfg.CallFanout;
+    for (unsigned S = 0; S < Cfg.StmtsPerFunction; ++S) {
+      if (Cfg.UseLoops && R.chance(15)) {
+        Body += "  for (li = 0; li < " + std::to_string(2 + R.below(4)) +
+                "; li++) {\n";
+        Body += BG.stmt("    ");
+        Body += BG.stmt("    ");
+        Body += "  }\n";
+        continue;
+      }
+      if (CallsLeft && R.chance(30)) {
+        EmitCall(Body, "  ", I, /*AllowSelf=*/Cfg.UseRecursion);
+        --CallsLeft;
+        continue;
+      }
+      Body += BG.stmt("  ");
+    }
+    Body += "  if (a != NULL && b != NULL && *b != NULL)\n";
+    Body += "    **b = *a + x0;\n";
+    Body += "  return x0 + x1;\n";
+    Body += "}\n\n";
+    Out += Body;
+  }
+
+  // main seeds the call tree.
+  Out += "int main(void) {\n";
+  if (Cfg.UseFunctionPointers)
+    Out += "  int (*fp)(int *, int **, int);\n";
+  std::string MainBody;
+  EmitLocals(MainBody);
+  Out += MainBody;
+  BodyGen BG(R, Cfg, Scalars, Ptrs, PtrPtrs, /*HasParams=*/false);
+  for (unsigned S = 0; S < Cfg.StmtsPerFunction; ++S) {
+    if (R.chance(35)) {
+      EmitCall(Out, "  ", ~0u, true);
+      continue;
+    }
+    Out += BG.stmt("  ");
+  }
+  Out += "  printf(\"%d\\n\", x0 + x1 + x2);\n";
+  Out += "  return 0;\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string mcpta::wlgen::livcSource(unsigned TotalFns, unsigned NumArrays,
+                                     unsigned PerArray) {
+  assert(NumArrays * PerArray <= TotalFns &&
+         "arrays cannot hold more functions than exist");
+  std::string Out;
+  Out += "int printf(char *fmt, ...);\n\n";
+  Out += "double data[64];\n";
+  Out += "double out[64];\n\n";
+
+  // Kernels: each reads/writes through its pointer arguments.
+  for (unsigned I = 0; I < TotalFns; ++I) {
+    std::string N = std::to_string(I);
+    Out += "int kernel" + N + "(double *x, double *y, int n) {\n";
+    Out += "  int i;\n";
+    Out += "  for (i = 0; i < n; i++)\n";
+    Out += "    y[i] = y[i] + x[i] * " + std::to_string(I % 7 + 1) +
+           ".0;\n";
+    Out += "  return n;\n";
+    Out += "}\n";
+  }
+  Out += "\n";
+
+  // NumArrays global arrays of function pointers over the first
+  // NumArrays*PerArray kernels — these are the address-taken functions.
+  for (unsigned A = 0; A < NumArrays; ++A) {
+    Out += "int (*loops" + std::to_string(A) + "[" +
+           std::to_string(PerArray) + "])(double *, double *, int) = {";
+    for (unsigned I = 0; I < PerArray; ++I) {
+      if (I)
+        Out += ", ";
+      Out += "kernel" + std::to_string(A * PerArray + I);
+    }
+    Out += "};\n";
+  }
+  Out += "\n";
+
+  Out += "int main(void) {\n";
+  Out += "  int i;\n";
+  Out += "  int total;\n";
+  Out += "  int (*f)(double *, double *, int);\n";
+  Out += "  total = 0;\n";
+  // One indirect call site per array, each inside a loop, each through
+  // a scalar local function pointer (the paper's exact description).
+  for (unsigned A = 0; A < NumArrays; ++A) {
+    std::string N = std::to_string(A);
+    Out += "  for (i = 0; i < " + std::to_string(PerArray) + "; i++) {\n";
+    Out += "    f = loops" + N + "[i];\n";
+    Out += "    total = total + f(data, out, 64);\n";
+    Out += "  }\n";
+  }
+  // The remaining kernels are called directly (addresses never taken).
+  for (unsigned I = NumArrays * PerArray; I < TotalFns; ++I)
+    Out += "  total = total + kernel" + std::to_string(I) +
+           "(data, out, 64);\n";
+  Out += "  printf(\"%d\\n\", total);\n";
+  Out += "  return 0;\n";
+  Out += "}\n";
+  return Out;
+}

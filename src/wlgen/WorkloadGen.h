@@ -1,0 +1,57 @@
+//===- WorkloadGen.h - Synthetic C program generator ------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic (seeded) generator of synthetic C programs in the
+/// accepted subset, used by the scaling benchmarks and by the
+/// interpreter-based soundness property tests. Generated programs
+/// always terminate: loops iterate constant trip counts and recursive
+/// calls carry an explicit depth bound.
+///
+/// Also provides livcSource(), a generator for the paper's 'livc'
+/// function-pointer study: N functions total, three global arrays of
+/// function pointers initialized with K functions each, three indirect
+/// call sites in loops (Sec. 6's description of livc).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_WLGEN_WORKLOADGEN_H
+#define MCPTA_WLGEN_WORKLOADGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace mcpta {
+namespace wlgen {
+
+/// Parameters of the random program generator.
+struct GenConfig {
+  uint64_t Seed = 1;
+  unsigned NumFunctions = 6;   ///< besides main
+  unsigned NumGlobals = 4;     ///< scalar/pointer globals
+  unsigned StmtsPerFunction = 10;
+  unsigned CallFanout = 2;     ///< calls emitted per function body
+  unsigned RecursionDepth = 3; ///< depth bound passed at call sites
+  bool UseFunctionPointers = false;
+  bool UseRecursion = true;
+  bool UseHeap = true;
+  bool UseLoops = true;
+};
+
+/// Produces a complete, valid, terminating C program.
+std::string generateProgram(const GenConfig &Cfg);
+
+/// Produces a livc-like program: \p TotalFns functions, \p NumArrays
+/// global arrays of \p PerArray function pointers each (these functions
+/// are the address-taken ones), and one indirect call loop per array.
+/// Functions not placed in any array are called directly.
+std::string livcSource(unsigned TotalFns = 82, unsigned NumArrays = 3,
+                       unsigned PerArray = 24);
+
+} // namespace wlgen
+} // namespace mcpta
+
+#endif // MCPTA_WLGEN_WORKLOADGEN_H

@@ -1,0 +1,58 @@
+//===- AblationSoundnessTest.cpp - baselines must stay safe --------------------===//
+//
+// The ablation variants trade precision, never safety: the merged
+// summary (context-insensitive) analysis and the naive function-pointer
+// instantiation strategies must still satisfy Definition 3.3 on real
+// executions. Same oracle as SoundnessPropertyTest, different analyzer
+// options.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+
+using namespace mcpta;
+using namespace mcpta::interp;
+
+namespace {
+
+void expectSoundWith(const std::string &Src, const std::string &Label,
+                     const pta::Analyzer::Options &Opts) {
+  Pipeline P = Pipeline::analyzeSource(Src, Opts);
+  ASSERT_FALSE(P.Diags.hasErrors()) << Label << ": " << P.Diags.dump();
+  ASSERT_TRUE(P.Analysis.Analyzed) << Label;
+  InterpOptions IOpts;
+  IOpts.MaxSteps = 2000000;
+  RunResult R = runAndCheck(*P.Prog, P.Analysis, IOpts);
+  EXPECT_TRUE(R.Error.empty()) << Label << ": " << R.Error;
+  for (size_t I = 0; I < R.Violations.size() && I < 5; ++I)
+    ADD_FAILURE() << Label << ": " << R.Violations[I];
+}
+
+TEST(AblationSoundnessTest, ContextInsensitiveCorpus) {
+  pta::Analyzer::Options Opts;
+  Opts.ContextSensitive = false;
+  for (const auto &CP : corpus::corpus())
+    expectSoundWith(CP.Source, std::string("CI/") + CP.Name, Opts);
+}
+
+TEST(AblationSoundnessTest, AddressTakenModeOnFnPtrPrograms) {
+  pta::Analyzer::Options Opts;
+  Opts.FnPtr = pta::FnPtrMode::AddressTaken;
+  expectSoundWith(corpus::find("toplev")->Source, "AT/toplev", Opts);
+  expectSoundWith(corpus::find("config")->Source, "AT/config", Opts);
+}
+
+TEST(AblationSoundnessTest, TightKLimitStaysSound) {
+  // An aggressive k-limit collapses symbolic chains early; results get
+  // coarser but must stay safe.
+  pta::Analyzer::Options Opts;
+  Opts.SymbolicLevelLimit = 1;
+  for (const char *Name : {"dry", "xref", "hash", "stanford"})
+    expectSoundWith(corpus::find(Name)->Source,
+                    std::string("K1/") + Name, Opts);
+}
+
+} // namespace

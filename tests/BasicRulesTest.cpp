@@ -1,0 +1,246 @@
+//===- BasicRulesTest.cpp - Figure 1 basic rule tests --------------------------===//
+//
+// Exercises the kill/change/gen rule of Figure 1 through complete little
+// programs, checking the points-to set at the end of main.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(BasicRulesTest, AddressOfCreatesDefinitePair) {
+  auto P = analyze("int main(void) { int x; int *p; p = &x; return *p; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, PointerInitializedToNull) {
+  auto P = analyze("int main(void) { int *p; return 0; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "NULL", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, StrongUpdateKillsOldTarget) {
+  auto P = analyze("int main(void) { int x; int y; int *p; "
+                   "p = &x; p = &y; return *p; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "p", "x")) << mainOut(P);
+}
+
+TEST(BasicRulesTest, CopyPropagatesPairs) {
+  auto P = analyze("int main(void) { int x; int *p; int *q; "
+                   "p = &x; q = p; return *q; }");
+  EXPECT_TRUE(mainHasPair(P, "q", "x", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, MultiLevelChain) {
+  auto P = analyze("int main(void) { int x; int *p; int **q; "
+                   "p = &x; q = &p; return **q; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "q", "p", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, StoreThroughDefinitePointerIsStrong) {
+  // *q = &y with q definitely pointing to p kills p's old pairs — the
+  // paper's motivating example for definite information.
+  auto P = analyze("int main(void) { int x; int y; int *p; int **q; "
+                   "p = &x; q = &p; *q = &y; return *p; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "p", "x")) << mainOut(P);
+}
+
+TEST(BasicRulesTest, StoreThroughPossiblePointerIsWeak) {
+  // q possibly points to p1 or p2; *q = &y must not kill either, and
+  // their old definite pairs weaken to possible.
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int c;
+      int *p1; int *p2; int **q;
+      c = 1;
+      p1 = &x; p2 = &x;
+      if (c) q = &p1; else q = &p2;
+      *q = &y;
+      return *p1;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p1", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p1", "y", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p2", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p2", "y", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, LoadThroughPointer) {
+  // x = *q where q -> p -> y gives x's value; for pointers: p2 = *q.
+  auto P = analyze("int main(void) { int y; int *p; int **q; int *p2; "
+                   "p = &y; q = &p; p2 = *q; return *p2; }");
+  EXPECT_TRUE(mainHasPair(P, "p2", "y", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, MallocYieldsPossibleHeapPair) {
+  auto P = analyze("void *malloc(int); int main(void) { int *p; "
+                   "p = (int *)malloc(4); return 0; }");
+  // Table 1: malloc() R-locations are {(heap, P)}.
+  EXPECT_TRUE(mainHasPair(P, "p", "heap", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, HeapPointersStayPossible) {
+  auto P = analyze("void *malloc(int); int main(void) { int **p; int *q; "
+                   "p = (int **)malloc(8); *p = q; q = *p; return 0; }");
+  // Stores into heap are weak; loads from heap are possible.
+  EXPECT_TRUE(mainHasPair(P, "heap", "NULL", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, NullAssignment) {
+  auto P = analyze("int main(void) { int x; int *p; p = &x; p = NULL; "
+                   "return 0; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "NULL", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "p", "x")) << mainOut(P);
+}
+
+TEST(BasicRulesTest, ZeroConstantIsNullForPointers) {
+  auto P = analyze("int main(void) { int *p; p = 0; return 0; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "NULL", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, StringLiteralTarget) {
+  auto P = analyze("int main(void) { char *s; s = \"hi\"; return *s; }");
+  EXPECT_TRUE(mainHasPair(P, "s", "str$0[0]", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, FieldsAreSeparateLocations) {
+  auto P = analyze(R"(
+    struct S { int *a; int *b; };
+    int main(void) {
+      int x; int y;
+      struct S s;
+      s.a = &x;
+      s.b = &y;
+      return *s.a;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "s.a", "x", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "s.b", "y", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, PointerToField) {
+  auto P = analyze(R"(
+    struct S { int a; int b; };
+    int main(void) {
+      struct S s;
+      int *p;
+      p = &s.b;
+      *p = 3;
+      return s.b;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "s.b", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, StructAssignmentCopiesPointerFields) {
+  auto P = analyze(R"(
+    struct S { int *p; int v; };
+    int main(void) {
+      int x;
+      struct S s1; struct S s2;
+      s1.p = &x;
+      s2 = s1;
+      return *s2.p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "s2.p", "x", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, ArrayHeadAndTail) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y;
+      int *a[4];
+      a[0] = &x;
+      a[2] = &y;
+      return 0;
+    })");
+  // a[0] is the head (strong-updatable single real); a[2] lands in the
+  // tail summary (weak).
+  EXPECT_TRUE(mainHasPair(P, "a[0]", "x", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "a[1..]", "y", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, UnknownIndexWritesBothHalves) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int i;
+      int *a[4];
+      i = 2;
+      a[i] = &x;
+      return 0;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "a[0]", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "a[1..]", "x", 'P')) << mainOut(P);
+  // Weak: the NULL initialization survives.
+  EXPECT_TRUE(mainHasPair(P, "a[0]", "NULL", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, TailNeverKilled) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y;
+      int *a[4];
+      a[1] = &x;
+      a[2] = &y;
+      return 0;
+    })");
+  // Both writes land in the tail; neither kills the other.
+  EXPECT_TRUE(mainHasPair(P, "a[1..]", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "a[1..]", "y", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, PointerArithmeticStaysInObject) {
+  auto P = analyze(R"(
+    int main(void) {
+      int a[8];
+      int *p; int *q;
+      p = &a[0];
+      q = p + 3;
+      return *q;
+    })");
+  // p points to a_head; p+3 lands in the tail.
+  EXPECT_TRUE(mainHasPair(P, "p", "a[0]", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "q", "a[1..]", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, AddressOfArrayElementUnknown) {
+  auto P = analyze(R"(
+    int main(void) {
+      int a[8]; int i; int *p;
+      i = 3;
+      p = &a[i];
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "a[0]", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "a[1..]", 'P')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, FunctionPointerAssignment) {
+  auto P = analyze("int f(void); int f(void) { return 1; } "
+                   "int main(void) { int (*fp)(void); fp = f; "
+                   "return fp(); }");
+  EXPECT_TRUE(mainHasPair(P, "fp", "f", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, NonPointerAssignmentHasNoEffect) {
+  auto P = analyze("int main(void) { int x; int y; int *p; p = &x; "
+                   "y = 3; y = y + 1; return y; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, SelfAssignmentKeepsPairs) {
+  auto P = analyze("int main(void) { int x; int *p; p = &x; p = p; "
+                   "return *p; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(BasicRulesTest, CastThroughVoidPointerPreservesTargets) {
+  auto P = analyze("int main(void) { int x; void *v; int *p; "
+                   "v = (void *)&x; p = (int *)v; return *p; }");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+//===- ConnectionAnalysisTest.cpp - heap connection matrix tests ---------------===//
+//
+// Tests the Sec. 8 future-work extension: connection matrices that
+// approximate whether two heap-directed pointers can point into the
+// same heap structure (the companion analysis referenced as [16]).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "heap/ConnectionAnalysis.h"
+
+using namespace mcpta;
+using namespace mcpta::heap;
+using namespace mcpta::testutil;
+
+namespace {
+
+struct Conn {
+  Pipeline P;
+  ConnectionResult R;
+};
+
+Conn analyzeConn(const std::string &Src) {
+  Conn C{analyze(Src), {}};
+  C.R = runConnectionAnalysis(*C.P.Prog, C.P.Analysis);
+  return C;
+}
+
+bool connectedInMain(Conn &C, const std::string &A, const std::string &B) {
+  const cfront::FunctionDecl *Main = C.P.Unit->findFunction("main");
+  const ConnectionMatrix *M = C.R.matrixOf(Main);
+  if (!M)
+    return false;
+  const pta::Location *LA = findLoc(C.P, "main", A);
+  const pta::Location *LB = findLoc(C.P, "main", B);
+  if (!LA || !LB)
+    return false;
+  return M->connected(LA->root()->var(), LB->root()->var());
+}
+
+TEST(ConnectionAnalysisTest, FreshAllocationsAreDisjoint) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    struct N { struct N *next; int v; };
+    int main(void) {
+      struct N *a; struct N *b;
+      a = (struct N *)malloc(16);
+      b = (struct N *)malloc(16);
+      a->v = 1;
+      b->v = 2;
+      return 0;
+    })");
+  EXPECT_FALSE(connectedInMain(C, "a", "b"))
+      << "two fresh structures never linked";
+}
+
+TEST(ConnectionAnalysisTest, CopyConnects) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    int main(void) {
+      int *a; int *b;
+      a = (int *)malloc(4);
+      b = a;
+      return 0;
+    })");
+  EXPECT_TRUE(connectedInMain(C, "a", "b"));
+}
+
+TEST(ConnectionAnalysisTest, FieldStoreMergesStructures) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    struct N { struct N *next; };
+    int main(void) {
+      struct N *a; struct N *b; struct N *c;
+      a = (struct N *)malloc(8);
+      b = (struct N *)malloc(8);
+      c = (struct N *)malloc(8);
+      a->next = b;      /* a's and b's structures merge */
+      return 0;
+    })");
+  EXPECT_TRUE(connectedInMain(C, "a", "b"));
+  EXPECT_FALSE(connectedInMain(C, "a", "c"));
+  EXPECT_FALSE(connectedInMain(C, "b", "c"));
+}
+
+TEST(ConnectionAnalysisTest, MergeIsTransitiveThroughGroups) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    struct N { struct N *next; };
+    int main(void) {
+      struct N *a; struct N *b; struct N *c;
+      a = (struct N *)malloc(8);
+      b = (struct N *)malloc(8);
+      c = (struct N *)malloc(8);
+      a->next = b;
+      b->next = c;      /* now a, b, c are one structure */
+      return 0;
+    })");
+  EXPECT_TRUE(connectedInMain(C, "a", "c"));
+}
+
+TEST(ConnectionAnalysisTest, ReallocationDetaches) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    int main(void) {
+      int *a; int *b;
+      a = (int *)malloc(4);
+      b = a;            /* connected */
+      a = (int *)malloc(4); /* a starts a fresh structure */
+      return 0;
+    })");
+  EXPECT_FALSE(connectedInMain(C, "a", "b"));
+}
+
+TEST(ConnectionAnalysisTest, NullDetaches) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    int main(void) {
+      int *a; int *b;
+      a = (int *)malloc(4);
+      b = a;
+      b = NULL;
+      return 0;
+    })");
+  EXPECT_FALSE(connectedInMain(C, "a", "b"));
+}
+
+TEST(ConnectionAnalysisTest, BranchesUnion) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    int main(void) {
+      int *a; int *b; int *c; int cnd;
+      a = (int *)malloc(4);
+      c = (int *)malloc(4);
+      if (cnd)
+        b = a;
+      else
+        b = c;
+      return 0;
+    })");
+  EXPECT_TRUE(connectedInMain(C, "a", "b"));
+  EXPECT_TRUE(connectedInMain(C, "b", "c"));
+  EXPECT_FALSE(connectedInMain(C, "a", "c"))
+      << "a and c stay disjoint structures";
+}
+
+TEST(ConnectionAnalysisTest, ListWalkStaysInStructure) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    struct N { struct N *next; int v; };
+    int main(void) {
+      struct N *head; struct N *cur; struct N *n;
+      int i;
+      head = NULL;
+      for (i = 0; i < 3; i++) {
+        n = (struct N *)malloc(16);
+        n->next = head;
+        head = n;
+      }
+      cur = head;
+      while (cur != NULL)
+        cur = cur->next;
+      return 0;
+    })");
+  EXPECT_TRUE(connectedInMain(C, "head", "cur"));
+}
+
+TEST(ConnectionAnalysisTest, DisjointListsStayDisjoint) {
+  // The misr pattern the paper's parallelization work cares about: two
+  // independently-built lists a transformation may process in parallel.
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    struct N { struct N *next; };
+    int main(void) {
+      struct N *list1; struct N *list2; struct N *t;
+      int i;
+      list1 = NULL;
+      for (i = 0; i < 4; i++) {
+        t = (struct N *)malloc(8);
+        t->next = list1;
+        list1 = t;
+      }
+      list2 = NULL;
+      for (i = 0; i < 4; i++) {
+        t = (struct N *)malloc(8);
+        t->next = list2;
+        list2 = t;
+      }
+      return 0;
+    })");
+  EXPECT_FALSE(connectedInMain(C, "list1", "list2"))
+      << "independently built lists are provably disjoint";
+}
+
+TEST(ConnectionAnalysisTest, CallsConservativelyConnectArguments) {
+  auto C = analyzeConn(R"(
+    void *malloc(int);
+    struct N { struct N *next; };
+    void link(struct N *x, struct N *y) { x->next = y; }
+    int main(void) {
+      struct N *a; struct N *b;
+      a = (struct N *)malloc(8);
+      b = (struct N *)malloc(8);
+      link(a, b);
+      return 0;
+    })");
+  EXPECT_TRUE(connectedInMain(C, "a", "b"))
+      << "the callee may connect its heap arguments";
+}
+
+TEST(ConnectionAnalysisTest, StackOnlyPointersIgnored) {
+  auto C = analyzeConn(R"(
+    int main(void) {
+      int x; int *p; int *q;
+      p = &x;
+      q = p;
+      return 0;
+    })");
+  // Connection matrices only speak about heap-directed pointers.
+  EXPECT_FALSE(connectedInMain(C, "p", "q"));
+}
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- ControlFlowTest.cpp - compositional rule tests --------------------------===//
+//
+// Figure 1's if/while rules plus the break/continue/return channels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(ControlFlowTest, IfMergeMakesPossible) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int c; int *p;
+      c = 1;
+      if (c) p = &x; else p = &y;
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, IfBothBranchesSameStaysDefinite) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int c; int *p;
+      c = 1;
+      if (c) p = &x; else p = &x;
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, IfWithoutElseKeepsInput) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int c; int *p;
+      c = 0;
+      p = &x;
+      if (c) p = &y;
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, NestedIfPrecision) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int z; int c; int *p;
+      c = 1;
+      if (c) {
+        if (c) p = &x; else p = &y;
+      } else {
+        p = &z;
+      }
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "z", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, WhileReachesFixedPoint) {
+  // Inside the loop p alternates; after it p may point to x or y.
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int n; int *p;
+      p = &x;
+      n = 10;
+      while (n > 0) {
+        p = &y;
+        n = n - 1;
+      }
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, LoopInvariantPointerStaysDefinite) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int n; int *p;
+      p = &x;
+      n = 5;
+      while (n > 0) { *p = n; n = n - 1; }
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, PointerChainGrowsInLoopTerminates) {
+  // Builds a chain through locals in a loop — the fixed point must
+  // terminate and the result stay safe.
+  auto P = analyze(R"(
+    void *malloc(int n);
+    struct N { struct N *next; };
+    int main(void) {
+      struct N *head; struct N *t;
+      int n;
+      head = NULL;
+      n = 4;
+      while (n > 0) {
+        t = (struct N *)malloc(8);
+        t->next = head;
+        head = t;
+        n = n - 1;
+      }
+      return 0;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "head", "heap", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "heap", "heap", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, DoWhileRunsAtLeastOnce) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int n; int *p;
+      p = &x;
+      n = 3;
+      do { p = &y; n = n - 1; } while (n > 0);
+      return *p;
+    })");
+  // The body always runs, so p definitely points to y afterwards.
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "p", "x")) << mainOut(P);
+}
+
+TEST(ControlFlowTest, BreakChannelMergesAtExit) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int n; int *p;
+      p = &x;
+      n = 9;
+      while (n > 0) {
+        if (n == 5) { p = &y; break; }
+        n = n - 1;
+      }
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, ContinueRunsForStep) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int i; int *p;
+      p = &x;
+      for (i = 0; i < 4; i++) {
+        if (i == 2) continue;
+        p = &y;
+      }
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, InfiniteLoopOnlyExitsThroughBreak) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int *p;
+      p = &x;
+      while (1) {
+        p = &y;
+        break;
+      }
+      return *p;
+    })");
+  // The only exit is the break, after p = &y: definite.
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "p", "x")) << mainOut(P);
+}
+
+TEST(ControlFlowTest, EarlyReturnMergesIntoFunctionOutput) {
+  auto P = analyze(R"(
+    int g;
+    int *gp;
+    void f(int c) {
+      gp = &g;
+      if (c)
+        return;
+      gp = NULL;
+    }
+    int main(void) {
+      f(1);
+      return 0;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "gp", "g", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "gp", "NULL", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, CodeAfterReturnIsDead) {
+  auto P = analyze(R"(
+    int g; int *gp;
+    int main(void) {
+      gp = &g;
+      return 0;
+      gp = NULL;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "gp", "g", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "gp", "NULL")) << mainOut(P);
+}
+
+TEST(ControlFlowTest, SwitchMergesAllCases) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int z; int c; int *p;
+      c = 2;
+      p = &x;
+      switch (c) {
+      case 1: p = &y; break;
+      case 2: p = &z; break;
+      }
+      return *p;
+    })");
+  // No default: the input can also flow around.
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "z", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, SwitchWithDefaultCoversInput) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int c; int *p;
+      c = 1;
+      p = &x;
+      switch (c) {
+      case 1: p = &y; break;
+      default: p = &y; break;
+      }
+      return *p;
+    })");
+  // Every path reassigns p.
+  EXPECT_TRUE(mainHasPair(P, "p", "y", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "p", "x")) << mainOut(P);
+}
+
+TEST(ControlFlowTest, SwitchFallthroughFlows) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int c; int *p; int *q;
+      c = 1;
+      p = NULL; q = NULL;
+      switch (c) {
+      case 1: p = &x; /* fallthrough */
+      case 2: q = p; break;
+      default: break;
+      }
+      return 0;
+    })");
+  // Via fallthrough q can pick up p = &x.
+  EXPECT_TRUE(mainHasPair(P, "q", "x", 'P')) << mainOut(P);
+}
+
+TEST(ControlFlowTest, ExitMakesRestUnreachable) {
+  auto P = analyze(R"(
+    void exit(int c);
+    int g; int *gp;
+    int main(void) {
+      gp = &g;
+      if (*gp) {
+        gp = NULL;
+        exit(1);
+      }
+      return 0;
+    })");
+  // The NULL assignment is followed by exit: it never reaches the end.
+  EXPECT_TRUE(mainHasPair(P, "gp", "g", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "gp", "NULL")) << mainOut(P);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+//===- DiagnosticsTest.cpp - error handling & recovery tests -------------------===//
+//
+// Bad input must produce diagnostics (never crashes, never silent
+// acceptance), and the pipeline must degrade cleanly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+
+namespace {
+
+Pipeline expectErrors(const std::string &Src) {
+  Pipeline P = Pipeline::analyzeSource(Src);
+  EXPECT_TRUE(P.Diags.hasErrors()) << "expected diagnostics for:\n" << Src;
+  EXPECT_FALSE(P.ok());
+  return P;
+}
+
+TEST(DiagnosticsTest, UndeclaredVariable) {
+  auto P = expectErrors("int main(void) { return nothere; }");
+  EXPECT_NE(P.Diags.dump().find("undeclared identifier"),
+            std::string::npos);
+}
+
+TEST(DiagnosticsTest, UndeclaredFunction) {
+  expectErrors("int main(void) { return missing(); }");
+}
+
+TEST(DiagnosticsTest, DerefOfInt) {
+  auto P = expectErrors("int main(void) { int x; return *x; }");
+  EXPECT_NE(P.Diags.dump().find("dereference"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, MissingSemicolonRecovers) {
+  // Recovery must keep parsing: both errors reported, no crash.
+  Pipeline P = Pipeline::analyzeSource(R"(
+    int main(void) {
+      int x
+      x = missing;
+      return 0;
+    })");
+  EXPECT_TRUE(P.Diags.hasErrors());
+}
+
+TEST(DiagnosticsTest, UnbalancedBraces) {
+  expectErrors("int main(void) { if (1) { return 0; ");
+}
+
+TEST(DiagnosticsTest, BadStructMember) {
+  auto P = expectErrors(R"(
+    struct S { int a; };
+    int main(void) { struct S s; return s.missing; })");
+  EXPECT_NE(P.Diags.dump().find("no member named"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ArrowOnNonPointer) {
+  expectErrors(R"(
+    struct S { int a; };
+    int main(void) { struct S s; return s->a; })");
+}
+
+TEST(DiagnosticsTest, CallNonFunction) {
+  auto P = expectErrors("int main(void) { int x; return x(1); }");
+  EXPECT_NE(P.Diags.dump().find("is not a function"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, GotoExplainsStructuringPhase) {
+  auto P = expectErrors(
+      "int main(void) { goto end; end: return 0; }");
+  EXPECT_NE(P.Diags.dump().find("goto"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, StructRedefinition) {
+  expectErrors("struct S { int a; }; struct S { int b; };");
+}
+
+TEST(DiagnosticsTest, DiagnosticsCarryLocations) {
+  Pipeline P = Pipeline::analyzeSource("int main(void) {\n  return oops;\n}");
+  ASSERT_TRUE(P.Diags.hasErrors());
+  const Diagnostic &D = P.Diags.diagnostics().front();
+  EXPECT_EQ(D.Loc.Line, 2u);
+  EXPECT_GT(D.Loc.Col, 0u);
+}
+
+TEST(DiagnosticsTest, NoMainIsNotAnError) {
+  // A library-like translation unit parses and lowers fine; only the
+  // analysis declines (it needs an entry point), with a warning.
+  Pipeline P = Pipeline::analyzeSource("int helper(void) { return 1; }");
+  EXPECT_FALSE(P.Diags.hasErrors());
+  EXPECT_NE(P.Prog, nullptr);
+  EXPECT_FALSE(P.Analysis.Analyzed);
+  ASSERT_FALSE(P.Analysis.Warnings.empty());
+  EXPECT_NE(P.Analysis.Warnings[0].find("main"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, EmptySource) {
+  Pipeline P = Pipeline::analyzeSource("");
+  EXPECT_FALSE(P.Diags.hasErrors());
+  EXPECT_FALSE(P.Analysis.Analyzed);
+}
+
+TEST(DiagnosticsTest, DumpFormatsLineColLevel) {
+  DiagnosticsEngine D;
+  D.error(SourceLoc(3, 7), "something broke");
+  D.warning(SourceLoc(1, 1), "heads up");
+  std::string Out = D.dump();
+  EXPECT_NE(Out.find("3:7: error: something broke"), std::string::npos);
+  EXPECT_NE(Out.find("1:1: warning: heads up"), std::string::npos);
+  EXPECT_EQ(D.errorCount(), 1u);
+}
+
+TEST(DiagnosticsTest, CastIntToPointerWarns) {
+  Pipeline P = Pipeline::analyzeSource(
+      "int main(void) { int *p; p = (int *)1234; return 0; }");
+  EXPECT_FALSE(P.Diags.hasErrors());
+  bool Warned = false;
+  for (const Diagnostic &D : P.Diags.diagnostics())
+    if (D.Level == DiagLevel::Warning &&
+        D.Message.find("unknown target") != std::string::npos)
+      Warned = true;
+  EXPECT_TRUE(Warned);
+}
+
+} // namespace

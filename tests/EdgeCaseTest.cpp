@@ -1,0 +1,285 @@
+//===- EdgeCaseTest.cpp - tricky C constructs end-to-end -----------------------===//
+//
+// Gnarly-but-legal C that stresses the frontend + simplifier + analysis
+// together; each case must analyze cleanly and (where stated) produce
+// the expected facts or interpret to the expected value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interpreter.h"
+
+using namespace mcpta;
+using namespace mcpta::testutil;
+
+namespace {
+
+long long runExit(const std::string &Src) {
+  Pipeline P = Pipeline::frontend(Src);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  auto R = interp::run(*P.Prog);
+  EXPECT_TRUE(R.Completed) << R.Error;
+  return R.ExitValue;
+}
+
+TEST(EdgeCaseTest, CommaOperator) {
+  EXPECT_EQ(runExit("int main(void){ int a; int b; "
+                    "a = (b = 3, b + 1); return a * 10 + b; }"),
+            43);
+}
+
+TEST(EdgeCaseTest, NestedTernary) {
+  EXPECT_EQ(runExit("int main(void){ int x; x = 2; "
+                    "return x == 1 ? 10 : x == 2 ? 20 : 30; }"),
+            20);
+}
+
+TEST(EdgeCaseTest, ChainedAssignment) {
+  EXPECT_EQ(runExit("int main(void){ int a; int b; int c; "
+                    "a = b = c = 7; return a + b + c; }"),
+            21);
+}
+
+TEST(EdgeCaseTest, PointerComparisonDrivesControl) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int x; int *p; int *q;
+      p = &x; q = &x;
+      if (p == q) return 1;
+      return 0;
+    })"),
+            1);
+}
+
+TEST(EdgeCaseTest, ArrayOfStructsWithPointers) {
+  auto P = analyze(R"(
+    struct S { int *p; };
+    int main(void) {
+      int x; int y;
+      struct S arr[4];
+      arr[0].p = &x;
+      arr[2].p = &y;
+      return *arr[0].p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "arr[0].p", "x", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "arr[1..].p", "y", 'P')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, StructContainingArrayOfPointers) {
+  auto P = analyze(R"(
+    struct Tab { int *slots[4]; int n; };
+    int main(void) {
+      int x;
+      struct Tab t;
+      t.slots[0] = &x;
+      return *t.slots[0];
+    })");
+  EXPECT_TRUE(mainHasPair(P, "t.slots[0]", "x", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, NestedStructs) {
+  auto P = analyze(R"(
+    struct Inner { int *ptr; };
+    struct Outer { struct Inner in; int v; };
+    int main(void) {
+      int x;
+      struct Outer o;
+      o.in.ptr = &x;
+      return *o.in.ptr;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "o.in.ptr", "x", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, SelfReferentialStructOnStack) {
+  auto P = analyze(R"(
+    struct N { struct N *next; };
+    int main(void) {
+      struct N a; struct N b;
+      a.next = &b;
+      b.next = &a;   /* cycle through the stack */
+      return 0;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "a.next", "b", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "b.next", "a", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, MultiDimensionalArrays) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int m[3][4];
+      int i; int j; int s;
+      for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+          m[i][j] = i * 4 + j;
+      s = 0;
+      for (i = 0; i < 3; i++)
+        s = s + m[i][3];
+      return s;
+    })"),
+            21);
+}
+
+TEST(EdgeCaseTest, TypedefChains) {
+  auto P = analyze(R"(
+    typedef int myint;
+    typedef myint *pmyint;
+    typedef pmyint *ppmyint;
+    int main(void) {
+      myint x;
+      pmyint p;
+      ppmyint q;
+      p = &x;
+      q = &p;
+      return **q;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "q", "p", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, UnionMembersAreSeparateLocations) {
+  // Documented limitation (AST.h): union members are distinct abstract
+  // locations; type punning through unions is out of scope.
+  auto P = analyze(R"(
+    union U { int *a; int *b; };
+    int main(void) {
+      int x;
+      union U u;
+      u.a = &x;
+      return *u.a;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "u.a", "x", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, EnumsInExpressions) {
+  EXPECT_EQ(runExit(R"(
+    enum Color { RED, GREEN = 10, BLUE };
+    int main(void) {
+      int c;
+      c = BLUE;
+      switch (c) {
+      case BLUE: return GREEN;
+      default: return RED;
+      }
+    })"),
+            10);
+}
+
+TEST(EdgeCaseTest, StaticLocalPersistsAcrossCalls) {
+  EXPECT_EQ(runExit(R"(
+    int counter(void) {
+      static int n;
+      n = n + 1;
+      return n;
+    }
+    int main(void) {
+      counter();
+      counter();
+      return counter();
+    })"),
+            3);
+}
+
+TEST(EdgeCaseTest, ConditionWithAssignmentSideEffect) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int n; int count;
+      n = 16; count = 0;
+      while ((n = n / 2) > 0)
+        count++;
+      return count;
+    })"),
+            4);
+}
+
+TEST(EdgeCaseTest, VoidFunctionCallsAsStatements) {
+  auto P = analyze(R"(
+    int g;
+    void bump(void) { g = g + 1; }
+    int main(void) {
+      bump();
+      bump();
+      return g;
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+}
+
+TEST(EdgeCaseTest, DeeplyNestedControlFlow) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int i; int j; int k; int s;
+      s = 0;
+      for (i = 0; i < 3; i++) {
+        for (j = 0; j < 3; j++) {
+          if (j == 2) break;
+          k = 0;
+          do {
+            switch (k) {
+            case 0: s = s + 1; break;
+            case 1: s = s + 2; /* fall */
+            default: s = s + 3;
+            }
+            k++;
+          } while (k < 3);
+        }
+      }
+      return s;
+    })"),
+            54);
+}
+
+TEST(EdgeCaseTest, AddressOfDereference) {
+  // &*p is p's value — no actual dereference.
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int *p; int *q;
+      p = &x;
+      q = &*p;
+      return *q;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "q", "x", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, PointerToPointerParameterChains) {
+  auto P = analyze(R"(
+    void step(int ***ppp) { *ppp = NULL; }
+    int main(void) {
+      int x; int *p; int **pp;
+      p = &x; pp = &p;
+      step(&pp);
+      return 0;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "pp", "NULL", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(EdgeCaseTest, NegativeAndHexLiterals) {
+  EXPECT_EQ(runExit("int main(void){ return -5 + 0x10; }"), 11);
+}
+
+TEST(EdgeCaseTest, CharArithmetic) {
+  EXPECT_EQ(runExit("int main(void){ char c; c = 'a'; "
+                    "return c + 1 == 'b'; }"),
+            1);
+}
+
+TEST(EdgeCaseTest, EmptyFunctionBodies) {
+  auto P = analyze("void nop(void) { } int main(void) { nop(); "
+                   "return 0; }");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+}
+
+TEST(EdgeCaseTest, RecursionThroughFunctionPointerParameter) {
+  auto P = analyze(R"(
+    int apply(int (*f)(int), int n) { return f(n); }
+    int half(int n) {
+      if (n <= 1) return 0;
+      return 1 + apply(half, n / 2);
+    }
+    int main(void) {
+      return apply(half, 16);
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  EXPECT_GE(P.Analysis.IG->numRecursive(), 1u) << P.Analysis.IG->str();
+}
+
+} // namespace

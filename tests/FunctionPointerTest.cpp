@@ -1,0 +1,250 @@
+//===- FunctionPointerTest.cpp - Sec. 5 / Figures 5-7 tests --------------------===//
+
+#include "TestUtil.h"
+
+#include "clients/CallGraphBaselines.h"
+#include "wlgen/WorkloadGen.h"
+
+using namespace mcpta;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(FunctionPointerTest, DirectAssignmentAndCall) {
+  auto P = analyze(R"(
+    int g;
+    int set(void) { g = 1; return g; }
+    int main(void) {
+      int (*fp)(void);
+      fp = set;
+      return fp();
+    })");
+  EXPECT_TRUE(mainHasPair(P, "fp", "set", 'D')) << mainOut(P);
+  // The IG contains main -> set via the indirect call.
+  EXPECT_EQ(P.Analysis.IG->numNodes(), 2u) << P.Analysis.IG->str();
+}
+
+TEST(FunctionPointerTest, PaperFigure6Example) {
+  // The paper's worked example (Figure 6): fp may be foo or bar at A;
+  // inside foo, fp definitely points to foo, making the nested fp()
+  // call recursive; at B the merged outputs hold.
+  auto P = analyze(R"(
+    int a; int b; int c;
+    int *pa; int *pb; int *pc;
+    int (*fp)(void);
+    int cond;
+    int foo(void);
+    int bar(void);
+    int foo(void) {
+      pa = &a;
+      if (cond)
+        fp();
+      /* Point C */
+      return 0;
+    }
+    int bar(void) {
+      pb = &b;
+      /* Point D */
+      return 0;
+    }
+    int main(void) {
+      pc = &c;
+      if (cond)
+        fp = foo;
+      else
+        fp = bar;
+      /* Point A */
+      fp();
+      /* Point B */
+      return 0;
+    })");
+
+  // Point B facts (bottom of Figure 6):
+  //   (fp,foo,P) (fp,bar,P) (pc,c,D) (pa,a,P) (pb,b,P)
+  EXPECT_TRUE(mainHasPair(P, "fp", "foo", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "fp", "bar", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "pc", "c", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "pa", "a", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "pb", "b", 'P')) << mainOut(P);
+
+  // Figure 7(c): the discovered recursion (foo -> fp() -> foo) makes a
+  // Recursive/Approximate pair.
+  EXPECT_GE(P.Analysis.IG->numRecursive(), 1u) << P.Analysis.IG->str();
+  EXPECT_GE(P.Analysis.IG->numApproximate(), 1u) << P.Analysis.IG->str();
+
+  // Interior points C (in foo) and D (in bar): the return statements'
+  // recorded inputs. Figure 6:
+  //   C: (fp,foo,D) (pc,c,D) (pa,a,D)
+  //   D: (fp,bar,D) (pc,c,D) (pb,b,D)
+  auto ReturnInputOf = [&](const std::string &Fn) -> std::string {
+    for (const simple::FunctionIR &F : P.Prog->functions()) {
+      if (F.Decl->name() != Fn)
+        continue;
+      for (const simple::Stmt *S : F.Body->Body)
+        if (S->kind() == simple::Stmt::Kind::Return &&
+            S->id() < P.Analysis.StmtIn.size() &&
+            P.Analysis.StmtIn[S->id()])
+          return P.Analysis.StmtIn[S->id()]->str(*P.Analysis.Locs);
+    }
+    return "<missing>";
+  };
+  std::string AtC = ReturnInputOf("foo");
+  EXPECT_NE(AtC.find("(fp,foo,D)"), std::string::npos) << AtC;
+  EXPECT_NE(AtC.find("(pc,c,D)"), std::string::npos) << AtC;
+  EXPECT_NE(AtC.find("(pa,a,D)"), std::string::npos) << AtC;
+  EXPECT_EQ(AtC.find("(fp,bar"), std::string::npos)
+      << "inside foo, fp definitely points to foo: " << AtC;
+  std::string AtD = ReturnInputOf("bar");
+  EXPECT_NE(AtD.find("(fp,bar,D)"), std::string::npos) << AtD;
+  EXPECT_NE(AtD.find("(pc,c,D)"), std::string::npos) << AtD;
+  EXPECT_NE(AtD.find("(pb,b,D)"), std::string::npos) << AtD;
+}
+
+TEST(FunctionPointerTest, TargetSpecializationMakeDefinite) {
+  // While analyzing a target, the fp definitely points to it: a nested
+  // call through the same fp goes only to that target (Figure 5's
+  // makeDefinitePointsTo), visible here through side effects.
+  auto P = analyze(R"(
+    int which;
+    int (*fp)(void);
+    int first(void);
+    int second(void);
+    int helper(void) { return fp(); }
+    int first(void) { which = 1; return 0; }
+    int second(void) { which = 2; return 0; }
+    int main(void) {
+      int c;
+      c = 0;
+      if (c) fp = first; else fp = second;
+      fp();
+      return which;
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  // Both targets instantiated from main's call.
+  std::string IG = P.Analysis.IG->str();
+  EXPECT_NE(IG.find("first"), std::string::npos) << IG;
+  EXPECT_NE(IG.find("second"), std::string::npos) << IG;
+}
+
+TEST(FunctionPointerTest, TableOfFunctionPointers) {
+  auto P = analyze(R"(
+    int g;
+    int f0(void) { return 0; }
+    int f1(void) { return 1; }
+    int f2(void) { return 2; }
+    int (*tab[3])(void) = {f0, f1, f2};
+    int main(void) {
+      int (*fp)(void);
+      int i;
+      int s;
+      s = 0;
+      for (i = 0; i < 3; i++) {
+        fp = tab[i];
+        s = s + fp();
+      }
+      return s;
+    })");
+  // fp = tab[i] with unknown i reads head and tail: all three targets.
+  EXPECT_TRUE(mainHasPair(P, "fp", "f0", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "fp", "f1", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "fp", "f2", 'P')) << mainOut(P);
+  std::string IG = P.Analysis.IG->str();
+  EXPECT_NE(IG.find("f0"), std::string::npos);
+  EXPECT_NE(IG.find("f1"), std::string::npos);
+  EXPECT_NE(IG.find("f2"), std::string::npos);
+}
+
+TEST(FunctionPointerTest, FunctionPointerAsParameter) {
+  auto P = analyze(R"(
+    int g;
+    int inc(void) { g = g + 1; return g; }
+    int apply(int (*f)(void)) { return f(); }
+    int main(void) {
+      return apply(inc);
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  std::string IG = P.Analysis.IG->str();
+  EXPECT_NE(IG.find("apply"), std::string::npos) << IG;
+  EXPECT_NE(IG.find("inc"), std::string::npos) << IG;
+}
+
+TEST(FunctionPointerTest, FunctionPointerInStruct) {
+  auto P = analyze(R"(
+    int g;
+    int op(void) { g = 7; return g; }
+    struct Ops { int (*run)(void); };
+    int main(void) {
+      struct Ops ops;
+      int (*fp)(void);
+      ops.run = op;
+      fp = ops.run;
+      return fp();
+    })");
+  EXPECT_TRUE(mainHasPair(P, "ops.run", "op", 'D')) << mainOut(P);
+  std::string IG = P.Analysis.IG->str();
+  EXPECT_NE(IG.find("op"), std::string::npos) << IG;
+}
+
+TEST(FunctionPointerTest, MultiLevelFunctionPointer) {
+  auto P = analyze(R"(
+    int g;
+    int f(void) { return 3; }
+    int main(void) {
+      int (*fp)(void);
+      int (**pfp)(void);
+      fp = f;
+      pfp = &fp;
+      return (*pfp)();
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  std::string IG = P.Analysis.IG->str();
+  EXPECT_NE(IG.find("f"), std::string::npos) << IG;
+}
+
+TEST(FunctionPointerTest, UnresolvedIndirectCallWarns) {
+  auto P = Pipeline::analyzeSource(R"(
+    int main(void) {
+      int (*fp)(void);
+      fp = NULL;
+      return fp();
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  bool Found = false;
+  for (const std::string &W : P.Analysis.Warnings)
+    if (W.find("no resolvable targets") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST(FunctionPointerTest, LivcStyleInvocationGraphCounts) {
+  // A scaled-down livc: 10 functions, 2 arrays of 3 each (6
+  // address-taken), 4 called directly. Precise instantiation resolves
+  // each indirect site to its own array's 3 kernels.
+  std::string Src = wlgen::livcSource(10, 2, 3);
+  auto P = analyze(Src);
+  // main + 2*3 via fptr + 4 direct = 11 nodes.
+  EXPECT_EQ(P.Analysis.IG->numNodes(), 11u) << P.Analysis.IG->str();
+
+  pta::Analyzer::Options All;
+  All.FnPtr = pta::FnPtrMode::AllFunctions;
+  auto PAll = analyze(Src, All);
+  // main + 2 sites * 11 defined functions (main included!) + 4 direct
+  // = 27 nodes — the naive strategy even conjures recursion via main.
+  EXPECT_EQ(PAll.Analysis.IG->numNodes(), 27u);
+
+  pta::Analyzer::Options At;
+  At.FnPtr = pta::FnPtrMode::AddressTaken;
+  auto PAt = analyze(Src, At);
+  // main + 2 sites * 6 address-taken + 4 direct = 17 nodes.
+  EXPECT_EQ(PAt.Analysis.IG->numNodes(), 17u);
+}
+
+TEST(FunctionPointerTest, PreciseBeatsBaselinesOnLivc) {
+  std::string Src = wlgen::livcSource(20, 3, 5);
+  auto Cmp = clients::CallGraphComparison::compute(
+      *Pipeline::frontend(Src).Prog);
+  EXPECT_LT(Cmp.PreciseNodes, Cmp.AddressTakenNodes);
+  EXPECT_LT(Cmp.AddressTakenNodes, Cmp.AllFunctionsNodes);
+}
+
+} // namespace

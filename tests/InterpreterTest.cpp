@@ -1,0 +1,280 @@
+//===- InterpreterTest.cpp - concrete SIMPLE interpreter tests -----------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "interp/Interpreter.h"
+
+using namespace mcpta;
+using namespace mcpta::interp;
+using namespace mcpta::testutil;
+
+namespace {
+
+long long runExit(const std::string &Src) {
+  Pipeline P = Pipeline::frontend(Src);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  if (!P.Prog)
+    return -999;
+  RunResult R = run(*P.Prog);
+  EXPECT_TRUE(R.Completed) << R.Error;
+  return R.ExitValue;
+}
+
+TEST(InterpreterTest, Arithmetic) {
+  EXPECT_EQ(runExit("int main(void){ return 2 + 3 * 4 - 6 / 2; }"), 11);
+  EXPECT_EQ(runExit("int main(void){ return (7 % 3) << 2; }"), 4);
+  EXPECT_EQ(runExit("int main(void){ return 10 > 3 && 2 < 1; }"), 0);
+  EXPECT_EQ(runExit("int main(void){ return 10 > 3 || 2 < 1; }"), 1);
+}
+
+TEST(InterpreterTest, PointersReadAndWrite) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int x; int *p;
+      x = 5;
+      p = &x;
+      *p = *p + 2;
+      return x;
+    })"),
+            7);
+}
+
+TEST(InterpreterTest, MultiLevelPointers) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int x; int *p; int **q;
+      x = 1;
+      p = &x;
+      q = &p;
+      **q = 42;
+      return x;
+    })"),
+            42);
+}
+
+TEST(InterpreterTest, Loops) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int i; int s;
+      s = 0;
+      for (i = 1; i <= 10; i++)
+        s = s + i;
+      return s;
+    })"),
+            55);
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int n; int c;
+      n = 32; c = 0;
+      while (n > 1) {
+        if (n % 2 == 0) n = n / 2;
+        else n = 3 * n + 1;
+        c++;
+      }
+      return c;
+    })"),
+            5);
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int n;
+      n = 0;
+      do { n++; } while (n < 3);
+      return n;
+    })"),
+            3);
+}
+
+TEST(InterpreterTest, BreakContinue) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 10; i++) {
+        if (i == 5) break;
+        if (i % 2) continue;
+        s = s + i;   /* 0 + 2 + 4 */
+      }
+      return s;
+    })"),
+            6);
+}
+
+TEST(InterpreterTest, SwitchWithFallthrough) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int x; int r;
+      x = 2; r = 0;
+      switch (x) {
+      case 1: r = r + 1; break;
+      case 2: r = r + 10;     /* falls into case 3 */
+      case 3: r = r + 100; break;
+      default: r = -1;
+      }
+      return r;
+    })"),
+            110);
+}
+
+TEST(InterpreterTest, Arrays) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int a[5]; int i; int s;
+      for (i = 0; i < 5; i++)
+        a[i] = i * i;
+      s = 0;
+      for (i = 0; i < 5; i++)
+        s = s + a[i];
+      return s;
+    })"),
+            30);
+}
+
+TEST(InterpreterTest, PointerArithmeticWalk) {
+  EXPECT_EQ(runExit(R"(
+    int main(void) {
+      int a[4]; int *p; int s; int i;
+      for (i = 0; i < 4; i++)
+        a[i] = i + 1;
+      p = a;
+      s = 0;
+      for (i = 0; i < 4; i++) {
+        s = s + *p;
+        p = p + 1;
+      }
+      return s;
+    })"),
+            10);
+}
+
+TEST(InterpreterTest, StructsAndFields) {
+  EXPECT_EQ(runExit(R"(
+    struct P { int x; int y; };
+    int main(void) {
+      struct P a; struct P b; struct P *pp;
+      a.x = 3; a.y = 4;
+      b = a;
+      pp = &b;
+      pp->x = 10;
+      return a.x + b.x + pp->y;
+    })"),
+            17);
+}
+
+TEST(InterpreterTest, FunctionsAndRecursion) {
+  EXPECT_EQ(runExit(R"(
+    int fib(int n) {
+      if (n < 2) return n;
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main(void) { return fib(10); })"),
+            55);
+}
+
+TEST(InterpreterTest, OutputParameters) {
+  EXPECT_EQ(runExit(R"(
+    void divmod(int a, int b, int *q, int *r) {
+      *q = a / b;
+      *r = a % b;
+    }
+    int main(void) {
+      int q; int r;
+      divmod(17, 5, &q, &r);
+      return q * 10 + r;
+    })"),
+            32);
+}
+
+TEST(InterpreterTest, FunctionPointerDispatch) {
+  EXPECT_EQ(runExit(R"(
+    int add(int a, int b) { return a + b; }
+    int mul(int a, int b) { return a * b; }
+    int (*ops[2])(int, int) = {add, mul};
+    int main(void) {
+      int (*f)(int, int);
+      f = ops[1];
+      return f(6, 7);
+    })"),
+            42);
+}
+
+TEST(InterpreterTest, HeapAllocation) {
+  EXPECT_EQ(runExit(R"(
+    void *malloc(int);
+    struct N { int v; struct N *next; };
+    int main(void) {
+      struct N *head; struct N *n;
+      int i; int s;
+      head = NULL;
+      for (i = 1; i <= 4; i++) {
+        n = (struct N *)malloc(16);
+        n->v = i;
+        n->next = head;
+        head = n;
+      }
+      s = 0;
+      while (head != NULL) {
+        s = s + head->v;
+        head = head->next;
+      }
+      return s;
+    })"),
+            10);
+}
+
+TEST(InterpreterTest, StringsAndLibrary) {
+  EXPECT_EQ(runExit(R"(
+    int strcmp(char *a, char *b);
+    char *strcpy(char *dst, char *src);
+    int strlen(char *s);
+    int main(void) {
+      char buf[8];
+      strcpy(buf, "abc");
+      if (strcmp(buf, "abc") == 0)
+        return strlen(buf);
+      return -1;
+    })"),
+            3);
+}
+
+TEST(InterpreterTest, GlobalInitializers) {
+  EXPECT_EQ(runExit(R"(
+    int g = 5;
+    int a[3] = {1, 2, 3};
+    int *gp = &g;
+    int main(void) { return *gp + a[0] + a[2]; })"),
+            9);
+}
+
+TEST(InterpreterTest, TernaryAndShortCircuit) {
+  EXPECT_EQ(runExit(R"(
+    int bump(int *c) { *c = *c + 1; return 1; }
+    int main(void) {
+      int calls; int r;
+      calls = 0;
+      r = 0 && bump(&calls);  /* bump must not run */
+      r = r + (1 && bump(&calls)); /* bump runs */
+      r = r + (1 ? 20 : 30);
+      return r * 100 + calls;
+    })"),
+            2101);
+}
+
+TEST(InterpreterTest, StepBudgetStopsInfiniteLoops) {
+  Pipeline P = Pipeline::frontend("int main(void){ while (1) { } return 0; }");
+  ASSERT_TRUE(P.Prog);
+  RunResult R = run(*P.Prog, 1000);
+  EXPECT_FALSE(R.Completed);
+}
+
+TEST(InterpreterTest, CorpusProgramsExecute) {
+  for (const auto &CP : corpus::corpus()) {
+    Pipeline P = Pipeline::frontend(CP.Source);
+    ASSERT_TRUE(P.Prog) << CP.Name;
+    RunResult R = run(*P.Prog, 2000000);
+    EXPECT_TRUE(R.Completed) << CP.Name << ": " << R.Error;
+    EXPECT_TRUE(R.Error.empty()) << CP.Name << ": " << R.Error;
+  }
+}
+
+} // namespace

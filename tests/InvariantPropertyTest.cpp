@@ -1,0 +1,121 @@
+//===- InvariantPropertyTest.cpp - structural analysis invariants --------------===//
+//
+// Property suites P2-P4 of DESIGN.md, checked across the corpus and a
+// seeded generator sweep:
+//   P2 — a source location with a definite pair has no other outgoing
+//        pair (Definitions 3.1/3.3: definite means "on all paths",
+//        which excludes any second target);
+//   P3 — covered structurally in SimplifierTest;
+//   P4 — analysis results are deterministic across runs.
+// Plus: no pair may originate at the NULL location or at a function,
+// and every recorded statement set only mentions interned locations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "wlgen/WorkloadGen.h"
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::testutil;
+
+namespace {
+
+void checkSetInvariants(const PointsToSet &S, const LocationTable &Locs,
+                        const std::string &Label) {
+  // P2: definite source => unique target.
+  std::set<const Location *> Sources;
+  S.forEach(Locs, [&](const Location *Src, const Location *Dst, Def) {
+    (void)Dst;
+    Sources.insert(Src);
+  });
+  for (const Location *Src : Sources) {
+    auto Ts = S.targetsOf(Src, Locs);
+    bool HasDefinite = false;
+    for (const LocDef &T : Ts)
+      HasDefinite |= T.D == Def::D;
+    if (HasDefinite) {
+      EXPECT_EQ(Ts.size(), 1u)
+          << Label << ": " << Src->str()
+          << " has a definite pair plus others: " << S.str(Locs);
+    }
+  }
+
+  // Structural sanity: NULL and functions never point anywhere, and
+  // definite pairs never involve summary locations on either side
+  // (Definition 3.1 requires both ends to be single reals).
+  S.forEach(Locs, [&](const Location *Src, const Location *Dst, Def D) {
+    EXPECT_FALSE(Src->isNull()) << Label;
+    EXPECT_FALSE(Src->isFunction()) << Label;
+    if (D == Def::D) {
+      EXPECT_FALSE(Src->isSummary())
+          << Label << ": definite from summary " << Src->str();
+      EXPECT_FALSE(Dst->isSummary())
+          << Label << ": definite to summary " << Dst->str();
+    }
+  });
+}
+
+void checkProgramInvariants(const std::string &Src,
+                            const std::string &Label) {
+  Pipeline P = Pipeline::analyzeSource(Src);
+  ASSERT_FALSE(P.Diags.hasErrors()) << Label << "\n" << P.Diags.dump();
+  ASSERT_TRUE(P.Analysis.Analyzed) << Label;
+  for (const auto &OptIn : P.Analysis.StmtIn)
+    if (OptIn)
+      checkSetInvariants(*OptIn, *P.Analysis.Locs, Label);
+  if (P.Analysis.MainOut)
+    checkSetInvariants(*P.Analysis.MainOut, *P.Analysis.Locs, Label);
+}
+
+TEST(InvariantPropertyTest, CorpusSatisfiesP2) {
+  for (const auto &CP : corpus::corpus())
+    checkProgramInvariants(CP.Source, CP.Name);
+}
+
+TEST(InvariantPropertyTest, GeneratedProgramsSatisfyP2) {
+  for (uint64_t Seed = 100; Seed < 112; ++Seed) {
+    wlgen::GenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.UseFunctionPointers = Seed % 3 == 0;
+    Cfg.UseRecursion = Seed % 2 == 0;
+    checkProgramInvariants(wlgen::generateProgram(Cfg),
+                           "seed" + std::to_string(Seed));
+  }
+}
+
+TEST(InvariantPropertyTest, AnalysisIsDeterministic) {
+  for (const char *Name : {"hash", "stanford", "toplev"}) {
+    const auto *CP = corpus::find(Name);
+    Pipeline P1 = Pipeline::analyzeSource(CP->Source);
+    Pipeline P2 = Pipeline::analyzeSource(CP->Source);
+    ASSERT_TRUE(P1.Analysis.MainOut && P2.Analysis.MainOut) << Name;
+    EXPECT_EQ(P1.Analysis.MainOut->str(*P1.Analysis.Locs),
+              P2.Analysis.MainOut->str(*P2.Analysis.Locs))
+        << Name;
+    EXPECT_EQ(P1.Analysis.IG->str(), P2.Analysis.IG->str()) << Name;
+    EXPECT_EQ(P1.Analysis.BodyAnalyses, P2.Analysis.BodyAnalyses) << Name;
+  }
+}
+
+TEST(InvariantPropertyTest, StmtSetsCoverReachableBasicStmts) {
+  // Every basic statement reachable from main must have a recorded
+  // input set (the stats clients rely on this).
+  Pipeline P = Pipeline::analyzeSource(R"(
+    int g;
+    void touch(void) { g = 1; }
+    int main(void) {
+      touch();
+      return g;
+    })");
+  unsigned Recorded = 0;
+  for (const auto &OptIn : P.Analysis.StmtIn)
+    if (OptIn)
+      ++Recorded;
+  EXPECT_GE(Recorded, P.Prog->numBasicStmts())
+      << "every reachable stmt (plus control stmts) records its input";
+}
+
+} // namespace

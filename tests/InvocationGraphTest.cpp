@@ -1,0 +1,136 @@
+//===- InvocationGraphTest.cpp - Figure 2 invocation graph tests ---------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::testutil;
+
+namespace {
+
+std::unique_ptr<InvocationGraph> buildIG(Pipeline &P) {
+  return InvocationGraph::build(*P.Prog);
+}
+
+TEST(InvocationGraphTest, Figure2aDistinctChains) {
+  // Figure 2(a): main calls g twice; g calls f. Each invocation chain
+  // is a distinct path: two g nodes, each with its own f child.
+  auto P = Pipeline::frontend(R"(
+    void f(void) { }
+    void g(void) { f(); }
+    int main(void) { g(); g(); return 0; })");
+  ASSERT_TRUE(P.Prog);
+  auto IG = buildIG(P);
+  ASSERT_TRUE(IG);
+  EXPECT_EQ(IG->numNodes(), 5u) << IG->str(); // main, g, f, g, f
+  EXPECT_EQ(IG->root()->children().size(), 2u);
+  for (const IGNode *G : IG->root()->children()) {
+    EXPECT_EQ(G->function()->name(), "g");
+    ASSERT_EQ(G->children().size(), 1u);
+    EXPECT_EQ(G->children()[0]->function()->name(), "f");
+  }
+}
+
+TEST(InvocationGraphTest, Figure2bSimpleRecursion) {
+  // Figure 2(b): main -> f -> f(approximate, back edge to recursive f).
+  auto P = Pipeline::frontend(R"(
+    void f(int n) { if (n) f(n - 1); }
+    int main(void) { f(3); return 0; })");
+  auto IG = buildIG(P);
+  ASSERT_TRUE(IG);
+  EXPECT_EQ(IG->numNodes(), 3u) << IG->str();
+  const IGNode *F = IG->root()->children()[0];
+  EXPECT_TRUE(F->isRecursive());
+  ASSERT_EQ(F->children().size(), 1u);
+  const IGNode *FA = F->children()[0];
+  EXPECT_TRUE(FA->isApproximate());
+  EXPECT_EQ(FA->recEdge(), F) << "back edge pairs approximate with "
+                                 "its recursive ancestor";
+}
+
+TEST(InvocationGraphTest, Figure2cMutualAndSimpleRecursion) {
+  // Figure 2(c)-style: f calls g and itself; g calls f.
+  auto P = Pipeline::frontend(R"(
+    void f(int n);
+    void g(int n);
+    void f(int n) { if (n) { f(n - 1); g(n - 1); } }
+    void g(int n) { if (n) f(n - 1); }
+    int main(void) { f(3); return 0; })");
+  auto IG = buildIG(P);
+  ASSERT_TRUE(IG);
+  const IGNode *F = IG->root()->children()[0];
+  EXPECT_TRUE(F->isRecursive());
+  // f's children: approximate f (self-recursion) and g.
+  ASSERT_EQ(F->children().size(), 2u);
+  const IGNode *FA = F->children()[0];
+  const IGNode *G = F->children()[1];
+  EXPECT_TRUE(FA->isApproximate());
+  EXPECT_EQ(FA->recEdge(), F);
+  EXPECT_EQ(G->function()->name(), "g");
+  // g's child: approximate f closing the mutual cycle.
+  ASSERT_EQ(G->children().size(), 1u);
+  EXPECT_TRUE(G->children()[0]->isApproximate());
+  EXPECT_EQ(G->children()[0]->recEdge(), F);
+}
+
+TEST(InvocationGraphTest, NoMainMeansNoGraph) {
+  auto P = Pipeline::frontend("void f(void) { }");
+  EXPECT_EQ(buildIG(P), nullptr);
+}
+
+TEST(InvocationGraphTest, IndirectCallSitesLeftOpen) {
+  auto P = Pipeline::frontend(R"(
+    int f(void) { return 0; }
+    int main(void) {
+      int (*fp)(void);
+      fp = f;
+      return fp();
+    })");
+  auto IG = buildIG(P);
+  ASSERT_TRUE(IG);
+  // Before analysis the indirect site has no children.
+  EXPECT_EQ(IG->numNodes(), 1u) << IG->str();
+}
+
+TEST(InvocationGraphTest, GetOrCreateChildIsIdempotent) {
+  auto P = Pipeline::frontend(R"(
+    void f(void) { }
+    int main(void) { f(); return 0; })");
+  auto IG = buildIG(P);
+  ASSERT_TRUE(IG);
+  IGNode *Root = IG->root();
+  ASSERT_EQ(Root->children().size(), 1u);
+  IGNode *F = Root->children()[0];
+  EXPECT_EQ(IG->getOrCreateChild(Root, F->callSiteId(), F->function()), F);
+  EXPECT_EQ(Root->children().size(), 1u);
+}
+
+TEST(InvocationGraphTest, DepthAndAncestors) {
+  auto P = Pipeline::frontend(R"(
+    void c(void) { }
+    void b(void) { c(); }
+    void a(void) { b(); }
+    int main(void) { a(); return 0; })");
+  auto IG = buildIG(P);
+  const IGNode *A = IG->root()->children()[0];
+  const IGNode *B = A->children()[0];
+  const IGNode *C = B->children()[0];
+  EXPECT_EQ(IG->root()->depth(), 0u);
+  EXPECT_EQ(C->depth(), 3u);
+  EXPECT_EQ(C->findAncestor(A->function()), A);
+  EXPECT_EQ(C->findAncestor(IG->root()->function()), IG->root());
+  EXPECT_EQ(A->findAncestor(C->function()), nullptr);
+}
+
+TEST(InvocationGraphTest, StrRendersShape) {
+  auto P = Pipeline::frontend(R"(
+    void f(int n) { if (n) f(n - 1); }
+    int main(void) { f(1); return 0; })");
+  auto IG = buildIG(P);
+  std::string S = IG->str();
+  EXPECT_NE(S.find("main"), std::string::npos);
+  EXPECT_NE(S.find("f [R]"), std::string::npos) << S;
+  EXPECT_NE(S.find("f [A]"), std::string::npos) << S;
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- LexerTest.cpp - lexer unit tests ----------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticsEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexOk(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.dump();
+  return Tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::EndOfFile);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Tokens = lexOk("foo _bar baz42");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "baz42");
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Tokens = lexOk("int while struct return");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::KwWhile);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwStruct);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::KwReturn);
+}
+
+TEST(LexerTest, NullMacroIsKeyword) {
+  auto Tokens = lexOk("NULL");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwNull);
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto Tokens = lexOk("0 42 0x1f 100L 7u");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 31);
+  EXPECT_EQ(Tokens[3].IntValue, 100);
+  EXPECT_EQ(Tokens[4].IntValue, 7);
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::IntLiteral);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto Tokens = lexOk("3.14 1e10 2.5e-3 1.0f");
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Tokens[I].Kind, TokenKind::FloatLiteral) << I;
+  EXPECT_DOUBLE_EQ(Tokens[0].FloatValue, 3.14);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 1e10);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 2.5e-3);
+}
+
+TEST(LexerTest, IntegerFollowedByDotMember) {
+  // "x.y" after an int: the dot must not be glued into a float.
+  auto Tokens = lexOk("a.b");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Dot);
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, CharLiterals) {
+  auto Tokens = lexOk("'a' '\\n' '\\0'");
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '\n');
+  EXPECT_EQ(Tokens[2].IntValue, 0);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto Tokens = lexOk("\"hello\\tworld\"");
+  ASSERT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello\tworld");
+}
+
+TEST(LexerTest, Operators) {
+  auto Tokens =
+      lexOk("+ ++ += - -- -= -> * *= / /= % %= & && &= | || |= ^ ^= ! != "
+            "= == < <= << <<= > >= >> >>= ~ ? : . ...");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,        TokenKind::PlusPlus,
+      TokenKind::PlusEqual,   TokenKind::Minus,
+      TokenKind::MinusMinus,  TokenKind::MinusEqual,
+      TokenKind::Arrow,       TokenKind::Star,
+      TokenKind::StarEqual,   TokenKind::Slash,
+      TokenKind::SlashEqual,  TokenKind::Percent,
+      TokenKind::PercentEqual, TokenKind::Amp,
+      TokenKind::AmpAmp,      TokenKind::AmpEqual,
+      TokenKind::Pipe,        TokenKind::PipePipe,
+      TokenKind::PipeEqual,   TokenKind::Caret,
+      TokenKind::CaretEqual,  TokenKind::Bang,
+      TokenKind::BangEqual,   TokenKind::Equal,
+      TokenKind::EqualEqual,  TokenKind::Less,
+      TokenKind::LessEqual,   TokenKind::LessLess,
+      TokenKind::LessLessEqual, TokenKind::Greater,
+      TokenKind::GreaterEqual, TokenKind::GreaterGreater,
+      TokenKind::GreaterGreaterEqual, TokenKind::Tilde,
+      TokenKind::Question,    TokenKind::Colon,
+      TokenKind::Dot,         TokenKind::Ellipsis,
+  };
+  ASSERT_GE(Tokens.size(), Expected.size());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Tokens = lexOk("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentDiagnosed) {
+  DiagnosticsEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, PreprocessorLinesSkipped) {
+  auto Tokens = lexOk("#include <stdio.h>\nint x;");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwInt);
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto Tokens = lexOk("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+}
+
+TEST(LexerTest, InvalidCharacterDiagnosed) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing recovers: both identifiers still present.
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+}
+
+} // namespace

@@ -1,0 +1,232 @@
+//===- MapUnmapTest.cpp - Sec. 4.1 map/unmap unit tests ------------------------===//
+//
+// Direct unit tests of the mapping machinery (symbolic name assignment,
+// invisible-variable bookkeeping, unmapping), complementing the
+// program-level InterproceduralTest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "pointsto/MapUnmap.h"
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::testutil;
+
+namespace {
+
+/// Finds the map info deposited at the (unique) IG node for CalleeName.
+const std::map<const Location *, std::vector<const Location *>> *
+mapInfoOf(const Pipeline &P, const std::string &CalleeName) {
+  const std::map<const Location *, std::vector<const Location *>> *Found =
+      nullptr;
+  P.Analysis.IG->forEachNode([&](const IGNode *N) {
+    if (N->function() && N->function()->name() == CalleeName &&
+        !N->MapInfo.empty())
+      Found = &N->MapInfo;
+  });
+  return Found;
+}
+
+TEST(MapUnmapTest, SymbolicNameDepositedInMapInfo) {
+  auto P = analyze(R"(
+    int g;
+    void f(int **pp) { *pp = &g; }
+    int main(void) {
+      int *p;
+      f(&p);
+      return 0;
+    })");
+  const auto *MI = mapInfoOf(P, "f");
+  ASSERT_NE(MI, nullptr);
+  // 1_pp represents main's p.
+  bool Found = false;
+  for (const auto &[Sym, Reps] : *MI) {
+    if (Sym->str() != "1_pp")
+      continue;
+    ASSERT_EQ(Reps.size(), 1u);
+    EXPECT_EQ(Reps[0]->str(), "p");
+    Found = true;
+  }
+  EXPECT_TRUE(Found) << "expected 1_pp in f's map info";
+}
+
+TEST(MapUnmapTest, PaperExampleSharedInvisible) {
+  // Sec 4.1's example: both x and y definitely point to the same
+  // invisible b — it must map to exactly one symbolic name, the other
+  // anchor keeping an empty representative set.
+  auto P = analyze(R"(
+    int g;
+    void callee(int **x, int **y) { g = **x + **y; }
+    int main(void) {
+      int b;
+      int *pb;
+      pb = &b;
+      callee(&pb, &pb);
+      return 0;
+    })");
+  const auto *MI = mapInfoOf(P, "callee");
+  ASSERT_NE(MI, nullptr);
+  // pb (invisible) appears under exactly one symbolic name.
+  unsigned Count = 0;
+  for (const auto &[Sym, Reps] : *MI)
+    for (const Location *R : Reps)
+      if (R->str() == "pb")
+        ++Count;
+  EXPECT_EQ(Count, 1u) << "one invisible -> at most one symbolic name";
+}
+
+TEST(MapUnmapTest, MultipleInvisiblesShareSymbolicAsPossible) {
+  // x possibly points to invisible a or b: both map to 1_x and all its
+  // pairs are demoted to possible.
+  auto P = analyze(R"(
+    int g;
+    void look(int **x) { g = **x; }
+    int main(void) {
+      int a; int b; int c;
+      int *p;
+      if (c) p = &a; else p = &b;
+      look(&p);
+      return *p;
+    })");
+  const auto *MI = mapInfoOf(P, "look");
+  ASSERT_NE(MI, nullptr);
+  for (const auto &[Sym, Reps] : *MI) {
+    if (Sym->str() != "1_x")
+      continue;
+    EXPECT_EQ(Reps.size(), 1u) << "p is the single invisible behind 1_x";
+    EXPECT_EQ(Reps[0]->str(), "p");
+  }
+  // After the call, the caller pairs survive the round trip.
+  EXPECT_TRUE(mainHasPair(P, "p", "a", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "b", 'P')) << mainOut(P);
+}
+
+TEST(MapUnmapTest, UnmapIdentityThroughNoopCallee) {
+  // P5: a callee that does nothing with its pointer argument leaves the
+  // caller's relationships intact.
+  auto P = analyze(R"(
+    void noop(int **pp) { }
+    int main(void) {
+      int x; int *p;
+      p = &x;
+      noop(&p);
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(MapUnmapTest, UnrepresentedLocationsSurviveCall) {
+  auto P = analyze(R"(
+    int g;
+    void touch(int *q) { g = *q; }
+    int main(void) {
+      int x; int y;
+      int *p; int *r;
+      p = &x;
+      r = &y;      /* r is not passed: unrepresented */
+      touch(p);
+      return *r;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "r", "y", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "x", 'D')) << mainOut(P);
+}
+
+TEST(MapUnmapTest, GlobalsAlwaysMapped) {
+  auto P = analyze(R"(
+    int g1; int g2;
+    int *gp;
+    void rotate(void) {
+      if (gp == &g1)
+        gp = &g2;
+      else
+        gp = &g1;
+    }
+    int main(void) {
+      gp = &g1;
+      rotate();
+      return *gp;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "gp", "g1", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "gp", "g2", 'P')) << mainOut(P);
+}
+
+TEST(MapUnmapTest, HeapRelationsMapThrough) {
+  auto P = analyze(R"(
+    void *malloc(int);
+    int g;
+    void fill(int **cell) { *cell = &g; }
+    int main(void) {
+      int **p;
+      p = (int **)malloc(8);
+      fill(p);      /* cell aliases the heap */
+      return 0;
+    })");
+  // The callee wrote &g through a heap cell.
+  EXPECT_TRUE(mainHasPair(P, "heap", "g", 'P')) << mainOut(P);
+}
+
+TEST(MapUnmapTest, DeepChainRoundTrip) {
+  auto P = analyze(R"(
+    int g;
+    void deep(int ****q) { ***q = &g; }
+    int main(void) {
+      int x;
+      int *a; int **b; int ***c;
+      a = &x; b = &a; c = &b;
+      deep(&c);
+      return *a;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "a", "g", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "b", "a", 'D')) << mainOut(P);
+  EXPECT_FALSE(mainHasPair(P, "a", "x")) << mainOut(P);
+}
+
+TEST(MapUnmapTest, StructuredInvisible) {
+  // The invisible variable is a struct; its fields travel through the
+  // symbolic name's paths.
+  auto P = analyze(R"(
+    struct Pair { int *fst; int *snd; };
+    int g;
+    void setFst(struct Pair *pp) { pp->fst = &g; }
+    int main(void) {
+      int y;
+      struct Pair local;
+      local.snd = &y;
+      setFst(&local);
+      return *local.fst + *local.snd;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "local.fst", "g", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "local.snd", "y", 'D')) << mainOut(P);
+}
+
+TEST(MapUnmapTest, MapInfoIsContextSpecific) {
+  // The same callee called twice with different invisibles: the node's
+  // deposited map info reflects its own context.
+  auto P = analyze(R"(
+    int g;
+    void write(int **pp) { *pp = &g; }
+    int main(void) {
+      int *p1; int *p2;
+      write(&p1);
+      write(&p2);
+      return 0;
+    })");
+  // Two distinct IG nodes for write, each with its own map info.
+  std::vector<std::string> Reps;
+  P.Analysis.IG->forEachNode([&](const IGNode *N) {
+    if (!N->function() || N->function()->name() != "write")
+      return;
+    for (const auto &[Sym, Rs] : N->MapInfo)
+      for (const Location *R : Rs)
+        Reps.push_back(R->str());
+  });
+  EXPECT_EQ(Reps.size(), 2u);
+  EXPECT_NE(std::find(Reps.begin(), Reps.end(), "p1"), Reps.end());
+  EXPECT_NE(std::find(Reps.begin(), Reps.end(), "p2"), Reps.end());
+  EXPECT_TRUE(mainHasPair(P, "p1", "g", 'D')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p2", "g", 'D')) << mainOut(P);
+}
+
+} // namespace

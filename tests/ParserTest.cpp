@@ -1,0 +1,257 @@
+//===- ParserTest.cpp - parser unit tests --------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+namespace {
+
+struct Parsed {
+  ASTContext Ctx;
+  DiagnosticsEngine Diags;
+  std::unique_ptr<TranslationUnit> Unit;
+};
+
+std::unique_ptr<Parsed> parse(const std::string &Src) {
+  auto P = std::make_unique<Parsed>();
+  P->Unit = Parser::parseSource(Src, P->Ctx, P->Diags);
+  return P;
+}
+
+std::unique_ptr<Parsed> parseOk(const std::string &Src) {
+  auto P = parse(Src);
+  EXPECT_FALSE(P->Diags.hasErrors()) << P->Diags.dump();
+  return P;
+}
+
+TEST(ParserTest, GlobalVariable) {
+  auto P = parseOk("int x;");
+  ASSERT_EQ(P->Unit->globals().size(), 1u);
+  EXPECT_EQ(P->Unit->globals()[0]->name(), "x");
+  EXPECT_TRUE(P->Unit->globals()[0]->type()->isInteger());
+}
+
+TEST(ParserTest, MultiLevelPointers) {
+  auto P = parseOk("int ***x;");
+  const Type *Ty = P->Unit->globals()[0]->type();
+  for (int I = 0; I < 3; ++I) {
+    ASSERT_TRUE(Ty->isPointer());
+    Ty = cast<PointerType>(Ty)->pointee();
+  }
+  EXPECT_TRUE(Ty->isInteger());
+}
+
+TEST(ParserTest, ArrayDeclarator) {
+  auto P = parseOk("double a[10][20];");
+  const Type *Ty = P->Unit->globals()[0]->type();
+  ASSERT_TRUE(Ty->isArray());
+  EXPECT_EQ(cast<ArrayType>(Ty)->size(), 10);
+  const Type *Inner = cast<ArrayType>(Ty)->element();
+  ASSERT_TRUE(Inner->isArray());
+  EXPECT_EQ(cast<ArrayType>(Inner)->size(), 20);
+}
+
+TEST(ParserTest, FunctionPointerDeclarator) {
+  auto P = parseOk("int (*fp)(int, char *);");
+  const Type *Ty = P->Unit->globals()[0]->type();
+  ASSERT_TRUE(Ty->isPointer());
+  const Type *Fn = cast<PointerType>(Ty)->pointee();
+  ASSERT_TRUE(Fn->isFunction());
+  const auto *FT = cast<FunctionType>(Fn);
+  EXPECT_TRUE(FT->returnType()->isInteger());
+  ASSERT_EQ(FT->paramTypes().size(), 2u);
+  EXPECT_TRUE(FT->paramTypes()[1]->isPointer());
+}
+
+TEST(ParserTest, ArrayOfFunctionPointers) {
+  auto P = parseOk("int (*table[8])(void);");
+  const Type *Ty = P->Unit->globals()[0]->type();
+  ASSERT_TRUE(Ty->isArray());
+  EXPECT_EQ(cast<ArrayType>(Ty)->size(), 8);
+  const Type *Elem = cast<ArrayType>(Ty)->element();
+  ASSERT_TRUE(Elem->isPointer());
+  EXPECT_TRUE(cast<PointerType>(Elem)->pointee()->isFunction());
+}
+
+TEST(ParserTest, FunctionReturningPointer) {
+  auto P = parseOk("int *f(void);");
+  ASSERT_EQ(P->Unit->functions().size(), 1u);
+  EXPECT_TRUE(P->Unit->functions()[0]->returnType()->isPointer());
+}
+
+TEST(ParserTest, StructDefinitionAndFields) {
+  auto P = parseOk("struct Node { int value; struct Node *next; };");
+  ASSERT_EQ(P->Unit->records().size(), 1u);
+  RecordDecl *RD = P->Unit->records()[0];
+  EXPECT_TRUE(RD->isComplete());
+  ASSERT_EQ(RD->fields().size(), 2u);
+  EXPECT_EQ(RD->fields()[0]->name(), "value");
+  EXPECT_TRUE(RD->fields()[1]->type()->isPointer());
+}
+
+TEST(ParserTest, TypedefResolution) {
+  auto P = parseOk("typedef int myint; typedef myint *pint; pint g;");
+  const Type *Ty = P->Unit->globals()[0]->type();
+  ASSERT_TRUE(Ty->isPointer());
+  EXPECT_TRUE(cast<PointerType>(Ty)->pointee()->isInteger());
+}
+
+TEST(ParserTest, EnumConstants) {
+  auto P = parseOk("enum Color { RED, GREEN = 5, BLUE }; int a[BLUE];");
+  const Type *Ty = P->Unit->globals()[0]->type();
+  ASSERT_TRUE(Ty->isArray());
+  EXPECT_EQ(cast<ArrayType>(Ty)->size(), 6); // BLUE == 6
+}
+
+TEST(ParserTest, FunctionDefinitionWithBody) {
+  auto P = parseOk("int add(int a, int b) { return a + b; }");
+  FunctionDecl *F = P->Unit->functions()[0];
+  EXPECT_TRUE(F->isDefined());
+  ASSERT_EQ(F->params().size(), 2u);
+  EXPECT_EQ(F->params()[0]->name(), "a");
+}
+
+TEST(ParserTest, PrototypeThenDefinitionSharesDecl) {
+  auto P = parseOk("int f(int); int f(int x) { return x; }");
+  ASSERT_EQ(P->Unit->functions().size(), 1u);
+  EXPECT_TRUE(P->Unit->functions()[0]->isDefined());
+}
+
+TEST(ParserTest, UseOfUndeclaredIdentifier) {
+  auto P = parse("int main(void) { return undeclared; }");
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, GotoRejected) {
+  auto P = parse("int main(void) { goto out; out: return 0; }");
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, StatementsParse) {
+  auto P = parseOk(R"(
+    int main(void) {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 10; i++) s += i;
+      while (s > 5) s--;
+      do s++; while (s < 3);
+      if (s) s = 1; else s = 2;
+      switch (s) { case 1: s = 9; break; default: s = 8; }
+      return s;
+    })");
+  EXPECT_TRUE(P->Unit->functions()[0]->isDefined());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto P = parseOk("int main(void) { int x; x = 1 + 2 * 3; return x; }");
+  // Walk: body -> [decl, exprstmt(assign), return].
+  auto *Body = P->Unit->functions()[0]->body();
+  auto *ES = dynCastStmt<ExprStmt>(Body->body()[1]);
+  ASSERT_NE(ES, nullptr);
+  auto *Assign = dynCastExpr<AssignExpr>(ES->expr());
+  ASSERT_NE(Assign, nullptr);
+  auto *Add = dynCastExpr<BinaryExpr>(Assign->rhs());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  auto *Mul = dynCastExpr<BinaryExpr>(Add->rhs());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+}
+
+TEST(ParserTest, AddressOfAndDerefTypes) {
+  auto P = parseOk(
+      "int main(void) { int x; int *p; p = &x; x = *p; return x; }");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, DerefNonPointerDiagnosed) {
+  auto P = parse("int main(void) { int x; x = *x; return 0; }");
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, MemberAccessTyping) {
+  auto P = parseOk(R"(
+    struct S { int a; int *p; };
+    int main(void) {
+      struct S s; struct S *ps;
+      ps = &s; s.a = 1;
+      return *ps->p == 0 ? ps->a : s.a;
+    })");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, UnknownMemberDiagnosed) {
+  auto P = parse("struct S { int a; }; int main(void) { struct S s; "
+                 "return s.b; }");
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, CallTyping) {
+  auto P = parseOk("int *get(void); int main(void) { int *p; p = get(); "
+                   "return *p; }");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, CallingNonFunctionDiagnosed) {
+  auto P = parse("int main(void) { int x; return x(); }");
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, IndirectCallThroughPointer) {
+  auto P = parseOk("int f(void); int main(void) { int (*fp)(void); "
+                   "fp = f; return fp() + (*fp)(); }");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, SizeofFoldsToConstant) {
+  auto P = parseOk("int main(void) { return sizeof(int) + sizeof(char *); }");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, CastExpression) {
+  auto P = parseOk("void *malloc(int); int main(void) { int *p; "
+                   "p = (int *)malloc(4); return *p; }");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, VariadicFunctionDeclaration) {
+  auto P = parseOk("int printf(char *fmt, ...);");
+  EXPECT_TRUE(P->Unit->functions()[0]->type()->isVariadic());
+}
+
+TEST(ParserTest, InitializerLists) {
+  auto P = parseOk("int a[3] = {1, 2, 3}; struct S { int x; int y; }; "
+                   "struct S s = {4, 5};");
+  ASSERT_EQ(P->Unit->globals().size(), 2u);
+  EXPECT_NE(P->Unit->globals()[0]->init(), nullptr);
+}
+
+TEST(ParserTest, StaticLocalBecomesGlobalStorage) {
+  auto P = parseOk("int f(void) { static int counter; counter++; "
+                   "return counter; }");
+  // static locals are registered as globals (they live like globals).
+  ASSERT_EQ(P->Unit->globals().size(), 1u);
+  EXPECT_EQ(P->Unit->globals()[0]->name(), "counter");
+}
+
+TEST(ParserTest, RedefinitionOfStructDiagnosed) {
+  auto P = parse("struct S { int a; }; struct S { int b; };");
+  EXPECT_TRUE(P->Diags.hasErrors());
+}
+
+TEST(ParserTest, ScopedShadowing) {
+  auto P = parseOk(R"(
+    int x;
+    int main(void) {
+      int x;
+      x = 1;
+      { int x; x = 2; }
+      return x;
+    })");
+  EXPECT_FALSE(P->Diags.hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- PointerReplaceTest.cpp - pointer replacement transformation tests -------===//
+
+#include "TestUtil.h"
+
+#include "clients/PointerReplace.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(PointerReplaceTest, DefiniteSingleTargetReplaced) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int *q;
+      q = &y;
+      x = *q;
+      return x;
+    })");
+  auto R = replacePointers(*P.Prog, P.Analysis);
+  EXPECT_EQ(R.Replaced, 1u);
+  // The paper's example: x = *q becomes x = y.
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("= y;"), std::string::npos) << S;
+  EXPECT_EQ(S.find("(*q)"), std::string::npos) << S;
+}
+
+TEST(PointerReplaceTest, PossibleTargetNotReplaced) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int a; int b; int c; int *q;
+      if (c) q = &a; else q = &b;
+      x = *q;
+      return x;
+    })");
+  auto R = replacePointers(*P.Prog, P.Analysis);
+  EXPECT_EQ(R.Replaced, 0u);
+  EXPECT_GE(R.Candidates, 1u);
+}
+
+TEST(PointerReplaceTest, InvisibleTargetNotReplaced) {
+  // Footnote 7: no replacement when the pointer definitely points to an
+  // invisible variable.
+  auto P = analyze(R"(
+    int readThrough(int **pp) { return **pp; }
+    int main(void) {
+      int x; int *p;
+      p = &x;
+      return readThrough(&p);
+    })");
+  auto R = replacePointers(*P.Prog, P.Analysis);
+  // *pp inside readThrough points to the symbolic 1_pp: not nameable.
+  EXPECT_EQ(R.Replaced, 0u);
+}
+
+TEST(PointerReplaceTest, HeapTargetNotReplaced) {
+  auto P = analyze(R"(
+    void *malloc(int);
+    int main(void) {
+      int *p;
+      p = (int *)malloc(4);
+      return *p;
+    })");
+  auto R = replacePointers(*P.Prog, P.Analysis);
+  EXPECT_EQ(R.Replaced, 0u);
+}
+
+TEST(PointerReplaceTest, WriteSideReplaced) {
+  auto P = analyze(R"(
+    int main(void) {
+      int y; int *q;
+      q = &y;
+      *q = 5;
+      return y;
+    })");
+  auto R = replacePointers(*P.Prog, P.Analysis);
+  EXPECT_EQ(R.Replaced, 1u);
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("y = 5;"), std::string::npos) << S;
+}
+
+TEST(PointerReplaceTest, FieldTargetNotReplacedDirectly) {
+  // Targets with paths (s.f) are not plain variables; conservatively
+  // kept as dereferences.
+  auto P = analyze(R"(
+    struct S { int f; };
+    int main(void) {
+      struct S s; int *q;
+      q = &s.f;
+      return *q;
+    })");
+  auto R = replacePointers(*P.Prog, P.Analysis);
+  EXPECT_EQ(R.Replaced, 0u);
+}
+
+} // namespace

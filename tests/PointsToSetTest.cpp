@@ -1,0 +1,186 @@
+//===- PointsToSetTest.cpp - lattice unit tests --------------------------------===//
+//
+// Unit and property tests for the points-to set lattice operations
+// (merge, subset, kill, demote) — DESIGN.md property P4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/PointsToSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using namespace mcpta::cfront;
+
+namespace {
+
+/// Fixture providing a handful of variable locations.
+class PointsToSetTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    for (int I = 0; I < 6; ++I) {
+      auto VD = std::make_unique<VarDecl>(
+          "v" + std::to_string(I), SourceLoc(), nullptr,
+          VarDecl::Storage::Global);
+      L[I] = Locs.varLoc(VD.get());
+      Vars.push_back(std::move(VD));
+    }
+  }
+
+  LocationTable Locs;
+  std::vector<std::unique_ptr<VarDecl>> Vars;
+  const Location *L[6];
+};
+
+TEST_F(PointsToSetTest, InsertAndLookup) {
+  PointsToSet S;
+  EXPECT_TRUE(S.insert(L[0], L[1], Def::D));
+  EXPECT_FALSE(S.insert(L[0], L[1], Def::D)) << "re-insert is a no-op";
+  ASSERT_TRUE(S.lookup(L[0], L[1]).has_value());
+  EXPECT_EQ(*S.lookup(L[0], L[1]), Def::D);
+  EXPECT_FALSE(S.lookup(L[1], L[0]).has_value());
+}
+
+TEST_F(PointsToSetTest, ConflictingDefinitenessWeakens) {
+  PointsToSet S;
+  S.insert(L[0], L[1], Def::D);
+  S.insert(L[0], L[1], Def::P);
+  EXPECT_EQ(*S.lookup(L[0], L[1]), Def::P);
+
+  PointsToSet T;
+  T.insert(L[0], L[1], Def::P);
+  T.insert(L[0], L[1], Def::D);
+  EXPECT_EQ(*T.lookup(L[0], L[1]), Def::P) << "P is sticky";
+}
+
+TEST_F(PointsToSetTest, KillRemovesAllFromSource) {
+  PointsToSet S;
+  S.insert(L[0], L[1], Def::P);
+  S.insert(L[0], L[2], Def::P);
+  S.insert(L[3], L[1], Def::D);
+  EXPECT_TRUE(S.killFrom(L[0]));
+  EXPECT_FALSE(S.killFrom(L[0])) << "second kill removes nothing";
+  EXPECT_FALSE(S.contains(L[0], L[1]));
+  EXPECT_FALSE(S.contains(L[0], L[2]));
+  EXPECT_TRUE(S.contains(L[3], L[1])) << "other sources untouched";
+}
+
+TEST_F(PointsToSetTest, DemoteWeakensOnlySource) {
+  PointsToSet S;
+  S.insert(L[0], L[1], Def::D);
+  S.insert(L[2], L[3], Def::D);
+  S.demoteFrom(L[0]);
+  EXPECT_EQ(*S.lookup(L[0], L[1]), Def::P);
+  EXPECT_EQ(*S.lookup(L[2], L[3]), Def::D);
+}
+
+TEST_F(PointsToSetTest, MergeDefiniteOnlyWhenBothDefinite) {
+  PointsToSet A, B;
+  A.insert(L[0], L[1], Def::D); // in both as D
+  B.insert(L[0], L[1], Def::D);
+  A.insert(L[2], L[3], Def::D); // only in A
+  B.insert(L[4], L[5], Def::D); // only in B
+  A.insert(L[1], L[2], Def::D); // D in A, P in B
+  B.insert(L[1], L[2], Def::P);
+
+  A.mergeWith(B);
+  EXPECT_EQ(*A.lookup(L[0], L[1]), Def::D);
+  EXPECT_EQ(*A.lookup(L[2], L[3]), Def::P);
+  EXPECT_EQ(*A.lookup(L[4], L[5]), Def::P);
+  EXPECT_EQ(*A.lookup(L[1], L[2]), Def::P);
+}
+
+TEST_F(PointsToSetTest, MergeIsIdempotent) {
+  PointsToSet A;
+  A.insert(L[0], L[1], Def::D);
+  A.insert(L[2], L[3], Def::P);
+  PointsToSet B = A;
+  A.mergeWith(B);
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(PointsToSetTest, MergeIsCommutative) {
+  PointsToSet A, B;
+  A.insert(L[0], L[1], Def::D);
+  A.insert(L[1], L[2], Def::P);
+  B.insert(L[0], L[1], Def::P);
+  B.insert(L[3], L[4], Def::D);
+
+  PointsToSet AB = A;
+  AB.mergeWith(B);
+  PointsToSet BA = B;
+  BA.mergeWith(A);
+  EXPECT_EQ(AB, BA);
+}
+
+TEST_F(PointsToSetTest, MergeIsAssociative) {
+  PointsToSet A, B, C;
+  A.insert(L[0], L[1], Def::D);
+  B.insert(L[0], L[1], Def::D);
+  B.insert(L[1], L[2], Def::D);
+  C.insert(L[2], L[3], Def::P);
+
+  PointsToSet AB_C = A;
+  AB_C.mergeWith(B);
+  AB_C.mergeWith(C);
+
+  PointsToSet BC = B;
+  BC.mergeWith(C);
+  PointsToSet A_BC = A;
+  A_BC.mergeWith(BC);
+
+  EXPECT_EQ(AB_C, A_BC);
+}
+
+TEST_F(PointsToSetTest, SubsetSemantics) {
+  PointsToSet Small, Big;
+  Small.insert(L[0], L[1], Def::D);
+  Big.insert(L[0], L[1], Def::P);
+  Big.insert(L[2], L[3], Def::P);
+
+  // D pair covered by the same pair as P.
+  EXPECT_TRUE(Small.subsetOf(Big));
+  EXPECT_FALSE(Big.subsetOf(Small));
+
+  // A possible pair is NOT covered by a definite pair.
+  PointsToSet PossOnly, DefOnly;
+  PossOnly.insert(L[0], L[1], Def::P);
+  DefOnly.insert(L[0], L[1], Def::D);
+  EXPECT_FALSE(PossOnly.subsetOf(DefOnly));
+  EXPECT_TRUE(DefOnly.subsetOf(PossOnly));
+}
+
+TEST_F(PointsToSetTest, MergeUpperBounds) {
+  // Merge produces an upper bound of both operands.
+  PointsToSet A, B;
+  A.insert(L[0], L[1], Def::D);
+  A.insert(L[1], L[2], Def::P);
+  B.insert(L[0], L[1], Def::P);
+  B.insert(L[4], L[5], Def::D);
+  PointsToSet M = A;
+  M.mergeWith(B);
+  EXPECT_TRUE(A.subsetOf(M));
+  EXPECT_TRUE(B.subsetOf(M));
+}
+
+TEST_F(PointsToSetTest, TargetsOfSortedByLocationId) {
+  PointsToSet S;
+  S.insert(L[0], L[3], Def::P);
+  S.insert(L[0], L[1], Def::D);
+  S.insert(L[0], L[2], Def::P);
+  auto Ts = S.targetsOf(L[0], Locs);
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Loc, L[1]);
+  EXPECT_EQ(Ts[1].Loc, L[2]);
+  EXPECT_EQ(Ts[2].Loc, L[3]);
+}
+
+TEST_F(PointsToSetTest, StrIsSortedAndStable) {
+  PointsToSet S;
+  S.insert(L[2], L[0], Def::P);
+  S.insert(L[0], L[1], Def::D);
+  EXPECT_EQ(S.str(Locs), "(v0,v1,D) (v2,v0,P)");
+}
+
+} // namespace

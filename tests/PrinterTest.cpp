@@ -1,0 +1,108 @@
+//===- PrinterTest.cpp - SIMPLE pretty-printer tests ---------------------------===//
+//
+// The printer is the main debugging surface (pta-tool --dump-simple and
+// countless test expectations); lock down its output for every
+// statement kind and reference form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+
+namespace {
+
+std::string lowered(const std::string &Src) {
+  Pipeline P = Pipeline::frontend(Src);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  return P.Prog->str();
+}
+
+TEST(PrinterTest, ReferenceForms) {
+  std::string S = lowered(R"(
+    struct T { int *f; int arr[3]; };
+    int main(void) {
+      struct T t; struct T *pt;
+      int a[4]; int *p; int x; int i;
+      p = &x;          /* &var */
+      p = &a[0];       /* &head */
+      p = &a[2];       /* &tail */
+      i = 1;
+      p = &a[i];       /* &unknown */
+      x = *p;          /* deref */
+      pt = &t;
+      pt->f = p;       /* (*pt).f */
+      x = t.arr[0];    /* field + index */
+      return x;
+    })");
+  EXPECT_NE(S.find("p = &x;"), std::string::npos) << S;
+  EXPECT_NE(S.find("p = &a[0];"), std::string::npos) << S;
+  EXPECT_NE(S.find("p = &a[+];"), std::string::npos) << S;
+  EXPECT_NE(S.find("p = &a[?];"), std::string::npos) << S;
+  EXPECT_NE(S.find("(*p)"), std::string::npos) << S;
+  EXPECT_NE(S.find("(*pt).f"), std::string::npos) << S;
+  EXPECT_NE(S.find("t.arr[0]"), std::string::npos) << S;
+}
+
+TEST(PrinterTest, StatementKinds) {
+  std::string S = lowered(R"(
+    void *malloc(int);
+    int callee(int v) { return v; }
+    int main(void) {
+      int x; int i; int *p;
+      x = 1 + 2;
+      p = (int *)malloc(4);
+      x = callee(x);
+      callee(0);
+      for (i = 0; i < 3; i++)
+        if (x) x--; else continue;
+      do x++; while (x < 2);
+      switch (x) { case 1: break; default: x = 0; }
+      while (1) break;
+      return x;
+    })");
+  EXPECT_NE(S.find("= malloc()"), std::string::npos) << S;
+  EXPECT_NE(S.find("= callee("), std::string::npos) << S;
+  EXPECT_NE(S.find("callee(0);"), std::string::npos) << S;
+  EXPECT_NE(S.find("while ("), std::string::npos) << S;
+  EXPECT_NE(S.find("do-while ("), std::string::npos) << S;
+  EXPECT_NE(S.find("switch ("), std::string::npos) << S;
+  EXPECT_NE(S.find("case 1:"), std::string::npos) << S;
+  EXPECT_NE(S.find("default:"), std::string::npos) << S;
+  EXPECT_NE(S.find("break;"), std::string::npos) << S;
+  EXPECT_NE(S.find("continue;"), std::string::npos) << S;
+  EXPECT_NE(S.find("while (1)"), std::string::npos) << S;
+  EXPECT_NE(S.find("return x;"), std::string::npos) << S;
+}
+
+TEST(PrinterTest, IndirectCallRendering) {
+  std::string S = lowered(R"(
+    int f(void) { return 0; }
+    int main(void) {
+      int (*fp)(void);
+      fp = f;
+      return fp();
+    })");
+  EXPECT_NE(S.find("fp = &f;"), std::string::npos) << S;
+  EXPECT_NE(S.find("(*fp)()"), std::string::npos) << S;
+}
+
+TEST(PrinterTest, GlobalInitSection) {
+  std::string S = lowered("int g = 4; int main(void) { return g; }");
+  EXPECT_NE(S.find("global-init:"), std::string::npos) << S;
+  EXPECT_NE(S.find("g = 4;"), std::string::npos) << S;
+}
+
+TEST(PrinterTest, StringAndNullOperands) {
+  std::string S = lowered(R"(
+    int main(void) {
+      char *s; int *p;
+      s = "hello";
+      p = NULL;
+      return 0;
+    })");
+  EXPECT_NE(S.find("s = str#0;"), std::string::npos) << S;
+  EXPECT_NE(S.find("p = NULL;"), std::string::npos) << S;
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===- ReadWriteSetsTest.cpp - side-effect set tests ---------------------------===//
+
+#include "TestUtil.h"
+
+#include "clients/ReadWriteSets.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(ReadWriteSetsTest, DirectReadsAndWrites) {
+  auto P = analyze(R"(
+    int g;
+    int h;
+    void f(void) { g = h; }
+    int main(void) { f(); return 0; })");
+  auto RW = ReadWriteSets::compute(*P.Prog, P.Analysis);
+  EXPECT_TRUE(RW.Writes["f"].count("g"));
+  EXPECT_TRUE(RW.Reads["f"].count("h"));
+  EXPECT_FALSE(RW.Writes["f"].count("h"));
+}
+
+TEST(ReadWriteSetsTest, IndirectWriteResolvesTargets) {
+  auto P = analyze(R"(
+    int a; int b;
+    int *sel;
+    void f(int c) {
+      if (c) sel = &a; else sel = &b;
+      *sel = 1;
+    }
+    int main(void) { f(1); return 0; })");
+  auto RW = ReadWriteSets::compute(*P.Prog, P.Analysis);
+  EXPECT_TRUE(RW.Writes["f"].count("a"));
+  EXPECT_TRUE(RW.Writes["f"].count("b"));
+  EXPECT_TRUE(RW.Writes["f"].count("sel"));
+  EXPECT_TRUE(RW.Reads["f"].count("sel")) << "deref reads the pointer";
+}
+
+TEST(ReadWriteSetsTest, SymbolicNamesAppearForInvisibles) {
+  auto P = analyze(R"(
+    void f(int *p) { *p = 3; }
+    int main(void) {
+      int x;
+      f(&x);
+      return x;
+    })");
+  auto RW = ReadWriteSets::compute(*P.Prog, P.Analysis);
+  EXPECT_TRUE(RW.Writes["f"].count("1_p"))
+      << "callee writes the invisible 1_p";
+}
+
+TEST(ReadWriteSetsTest, ContextualizedWriteSets) {
+  // Sec. 6.1: combine the context-free sets with one IG node's map
+  // info to name the actual caller variables a call writes.
+  auto P = analyze(R"(
+    void set(int **pp) { *pp = NULL; }
+    int main(void) {
+      int *first; int *second;
+      set(&first);
+      set(&second);
+      return 0;
+    })");
+  auto RW = ReadWriteSets::compute(*P.Prog, P.Analysis);
+  ASSERT_TRUE(RW.Writes["set"].count("1_pp"))
+      << "context-free set names the symbolic";
+
+  std::vector<const pta::IGNode *> SetNodes;
+  P.Analysis.IG->forEachNode([&](const pta::IGNode *N) {
+    if (N->function() && N->function()->name() == "set")
+      SetNodes.push_back(N);
+  });
+  ASSERT_EQ(SetNodes.size(), 2u);
+  auto W1 = contextualize(RW.Writes["set"], *SetNodes[0]);
+  auto W2 = contextualize(RW.Writes["set"], *SetNodes[1]);
+  EXPECT_TRUE(W1.count("first")) << "first call writes main's 'first'";
+  EXPECT_FALSE(W1.count("second"));
+  EXPECT_TRUE(W2.count("second"));
+  EXPECT_FALSE(W2.count("first"));
+  // Context-independent names survive contextualization: the write
+  // through *pp reads the formal pp itself.
+  auto R1 = contextualize(RW.Reads["set"], *SetNodes[0]);
+  EXPECT_TRUE(R1.count("pp"));
+}
+
+TEST(ReadWriteSetsTest, ContextualizeSubstitutesFieldPaths) {
+  auto P = analyze(R"(
+    struct S { int *p; };
+    void clear(struct S *sp) { sp->p = NULL; }
+    int main(void) {
+      struct S box;
+      clear(&box);
+      return 0;
+    })");
+  auto RW = ReadWriteSets::compute(*P.Prog, P.Analysis);
+  const pta::IGNode *Node = nullptr;
+  P.Analysis.IG->forEachNode([&](const pta::IGNode *N) {
+    if (N->function() && N->function()->name() == "clear")
+      Node = N;
+  });
+  ASSERT_NE(Node, nullptr);
+  auto W = contextualize(RW.Writes["clear"], *Node);
+  EXPECT_TRUE(W.count("box.p")) << "1_sp.p resolves to box.p";
+}
+
+TEST(ReadWriteSetsTest, CallArgumentsAreReads) {
+  auto P = analyze(R"(
+    int use(int v) { return v; }
+    int main(void) {
+      int x;
+      x = 1;
+      return use(x);
+    })");
+  auto RW = ReadWriteSets::compute(*P.Prog, P.Analysis);
+  EXPECT_TRUE(RW.Reads["main"].count("x"));
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+//===- RecursionTest.cpp - Figure 4 fixed-point tests --------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(RecursionTest, SimpleRecursionTerminates) {
+  auto P = analyze(R"(
+    int fact(int n) {
+      if (n <= 1)
+        return 1;
+      return n * fact(n - 1);
+    }
+    int main(void) { return fact(5); })");
+  ASSERT_TRUE(P.Analysis.IG);
+  EXPECT_EQ(P.Analysis.IG->numRecursive(), 1u);
+  EXPECT_EQ(P.Analysis.IG->numApproximate(), 1u);
+}
+
+TEST(RecursionTest, RecursionWithPointerEffects) {
+  auto P = analyze(R"(
+    int g;
+    void rec(int **pp, int n) {
+      if (n <= 0) {
+        *pp = &g;
+        return;
+      }
+      rec(pp, n - 1);
+    }
+    int main(void) {
+      int *p;
+      rec(&p, 4);
+      return *p;
+    })");
+  // Every path through the recursion ends at the base-case write, so
+  // the pair is definite — strictly more precise than merely possible.
+  EXPECT_TRUE(mainHasPair(P, "p", "g", 'D')) << mainOut(P);
+}
+
+TEST(RecursionTest, MutualRecursion) {
+  // Figure 2(c): simple and mutual recursion combined.
+  auto P = analyze(R"(
+    int g; int *gp;
+    void even(int n);
+    void odd(int n);
+    void even(int n) {
+      if (n == 0) { gp = &g; return; }
+      odd(n - 1);
+    }
+    void odd(int n) {
+      if (n == 0) { gp = NULL; return; }
+      even(n - 1);
+    }
+    int main(void) {
+      even(8);
+      return 0;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "gp", "g", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "gp", "NULL", 'P')) << mainOut(P);
+  EXPECT_GE(P.Analysis.IG->numRecursive(), 1u);
+  EXPECT_GE(P.Analysis.IG->numApproximate(), 1u);
+}
+
+TEST(RecursionTest, RecursiveListBuilderOverStack) {
+  // Stack-allocated recursive structure threaded through recursion:
+  // exercises symbolic-name chains and the k-limit.
+  auto P = analyze(R"(
+    struct N { struct N *next; int v; };
+    int depth;
+    void build(struct N *parent, int n) {
+      struct N node;
+      node.next = parent;
+      node.v = n;
+      if (n > 0)
+        build(&node, n - 1);
+      else
+        depth = parent->v;
+    }
+    int main(void) {
+      build(NULL, 6);
+      return depth;
+    })");
+  // Termination and a safe result are the point; the IG has the R/A pair.
+  EXPECT_EQ(P.Analysis.IG->numRecursive(), 1u);
+}
+
+TEST(RecursionTest, RecursionInputGeneralization) {
+  // Each level narrows/changes what p points to; the fixed point must
+  // generalize the input until stable.
+  auto P = analyze(R"(
+    int a; int b;
+    void swapper(int **pp, int n) {
+      if (n <= 0)
+        return;
+      if (*pp == &a)
+        *pp = &b;
+      else
+        *pp = &a;
+      swapper(pp, n - 1);
+    }
+    int main(void) {
+      int *p;
+      p = &a;
+      swapper(&p, 9);
+      return *p;
+    })");
+  EXPECT_TRUE(mainHasPair(P, "p", "a", 'P')) << mainOut(P);
+  EXPECT_TRUE(mainHasPair(P, "p", "b", 'P')) << mainOut(P);
+}
+
+TEST(RecursionTest, TreeRecursionTwoSelfCalls) {
+  auto P = analyze(R"(
+    int count;
+    void walk(int n) {
+      if (n <= 0) return;
+      count = count + 1;
+      walk(n - 1);
+      walk(n - 2);
+    }
+    int main(void) { walk(6); return count; })");
+  // Two approximate call sites pair with one recursive node.
+  EXPECT_EQ(P.Analysis.IG->numRecursive(), 1u);
+  EXPECT_EQ(P.Analysis.IG->numApproximate(), 2u);
+}
+
+TEST(RecursionTest, RecursionThroughThreeFunctions) {
+  auto P = analyze(R"(
+    int g; int *gp;
+    void a(int n);
+    void b(int n);
+    void c(int n);
+    void a(int n) { if (n > 0) b(n - 1); }
+    void b(int n) { if (n > 0) c(n - 1); }
+    void c(int n) { gp = &g; if (n > 0) a(n - 1); }
+    int main(void) { a(7); return 0; })");
+  EXPECT_TRUE(mainHasPair(P, "gp", "g", 'P')) << mainOut(P);
+  EXPECT_GE(P.Analysis.IG->numApproximate(), 1u);
+}
+
+TEST(RecursionTest, NonRecursiveDiamondIsNotRecursive) {
+  auto P = analyze(R"(
+    int g; int *gp;
+    void leaf(void) { gp = &g; }
+    void left(void) { leaf(); }
+    void right(void) { leaf(); }
+    int main(void) { left(); right(); return 0; })");
+  EXPECT_EQ(P.Analysis.IG->numRecursive(), 0u);
+  EXPECT_EQ(P.Analysis.IG->numApproximate(), 0u);
+  // Two invocation chains to leaf (Figure 2(a)'s point).
+  EXPECT_EQ(P.Analysis.IG->numNodes(), 5u);
+  EXPECT_TRUE(mainHasPair(P, "gp", "g", 'D')) << mainOut(P);
+}
+
+TEST(RecursionTest, RecursiveNodeMemoizedAcrossSiblingCalls) {
+  auto P = analyze(R"(
+    int acc;
+    int sum(int n) {
+      if (n <= 0) return 0;
+      return n + sum(n - 1);
+    }
+    int main(void) {
+      acc = sum(3);
+      acc = acc + sum(3);
+      return acc;
+    })");
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  // Both call sites create their own IG subtrees.
+  EXPECT_EQ(P.Analysis.IG->numRecursive(), 2u);
+}
+
+} // namespace

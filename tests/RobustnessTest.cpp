@@ -1,0 +1,130 @@
+//===- RobustnessTest.cpp - frontend fuzz-ish robustness -----------------------===//
+//
+// The pipeline must never crash on garbage: random token soup, truncated
+// programs, deeply nested expressions. Acceptance is fine, rejection is
+// fine, crashing or hanging is not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace mcpta;
+
+namespace {
+
+/// Deterministic LCG for reproducible "fuzzing".
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 88172645463325252ULL + 1) {}
+  unsigned next(unsigned N) {
+    S = S * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (S >> 17) % N;
+  }
+};
+
+TEST(RobustnessTest, RandomTokenSoupNeverCrashes) {
+  static const char *const Tokens[] = {
+      "int",  "char",   "*",      "&",    "(",      ")",     "{",
+      "}",    "[",      "]",      ";",    ",",      "=",     "+",
+      "-",    "if",     "else",   "while", "for",   "return", "x",
+      "y",    "f",      "struct", "42",   "\"s\"",  "->",    ".",
+      "==",   "NULL",   "void",   "do",   "switch", "case",  ":",
+  };
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    Rng R(Seed);
+    std::string Src;
+    unsigned Len = 10 + R.next(120);
+    for (unsigned I = 0; I < Len; ++I) {
+      Src += Tokens[R.next(sizeof(Tokens) / sizeof(Tokens[0]))];
+      Src += " ";
+    }
+    // Must terminate without crashing; diagnostics expected.
+    Pipeline P = Pipeline::analyzeSource(Src);
+    (void)P;
+  }
+}
+
+TEST(RobustnessTest, TruncatedProgramsNeverCrash) {
+  const std::string Full = R"(
+    struct N { struct N *next; int v; };
+    int walk(struct N *n) {
+      int s; s = 0;
+      while (n != NULL) { s = s + n->v; n = n->next; }
+      return s;
+    }
+    int main(void) { struct N a; a.v = 1; a.next = NULL; return walk(&a); })";
+  for (size_t Len = 0; Len < Full.size(); Len += 7) {
+    Pipeline P = Pipeline::analyzeSource(Full.substr(0, Len));
+    (void)P;
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedExpressions) {
+  std::string Src = "int main(void) { int x; x = ";
+  for (int I = 0; I < 200; ++I)
+    Src += "(1 + ";
+  Src += "0";
+  for (int I = 0; I < 200; ++I)
+    Src += ")";
+  Src += "; return x; }";
+  Pipeline P = Pipeline::analyzeSource(Src);
+  EXPECT_FALSE(P.Diags.hasErrors());
+}
+
+TEST(RobustnessTest, DeeplyNestedBlocks) {
+  std::string Src = "int main(void) { int x; x = 0; ";
+  for (int I = 0; I < 150; ++I)
+    Src += "{ x = x + 1; ";
+  for (int I = 0; I < 150; ++I)
+    Src += "}";
+  Src += " return x; }";
+  Pipeline P = Pipeline::analyzeSource(Src);
+  EXPECT_FALSE(P.Diags.hasErrors());
+}
+
+TEST(RobustnessTest, ManyVariablesAndPairs) {
+  // A wide, flat program: 200 pointers to 200 targets.
+  std::string Src = "int main(void) {\n";
+  for (int I = 0; I < 200; ++I)
+    Src += "  int x" + std::to_string(I) + "; int *p" +
+           std::to_string(I) + ";\n";
+  for (int I = 0; I < 200; ++I)
+    Src += "  p" + std::to_string(I) + " = &x" + std::to_string(I) +
+           ";\n";
+  Src += "  return *p0;\n}\n";
+  Pipeline P = Pipeline::analyzeSource(Src);
+  EXPECT_FALSE(P.Diags.hasErrors());
+  EXPECT_TRUE(P.Analysis.Analyzed);
+  EXPECT_TRUE(testutil::mainHasPair(P, "p199", "x199", 'D'));
+}
+
+TEST(RobustnessTest, LongCallChain) {
+  // f0 -> f1 -> ... -> f60 threading a pointer all the way down.
+  std::string Src = "int g;\n";
+  Src += "void f60(int **pp) { *pp = &g; }\n";
+  for (int I = 59; I >= 0; --I)
+    Src += "void f" + std::to_string(I) + "(int **pp) { f" +
+           std::to_string(I + 1) + "(pp); }\n";
+  Src += "int main(void) { int *p; f0(&p); return *p; }\n";
+  Pipeline P = Pipeline::analyzeSource(Src);
+  EXPECT_FALSE(P.Diags.hasErrors());
+  EXPECT_TRUE(testutil::mainHasPair(P, "p", "g", 'D'))
+      << testutil::mainOut(P);
+}
+
+TEST(RobustnessTest, UnterminatedConstructs) {
+  for (const char *Src : {
+           "int main(void) { \"unterminated",
+           "int main(void) { 'x",
+           "/* never closed",
+           "int a[",
+           "struct S {",
+           "int f(",
+           "int main(void) { if (",
+       }) {
+    Pipeline P = Pipeline::analyzeSource(Src);
+    EXPECT_TRUE(P.Diags.hasErrors()) << Src;
+  }
+}
+
+} // namespace

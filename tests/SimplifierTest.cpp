@@ -1,0 +1,313 @@
+//===- SimplifierTest.cpp - AST-to-SIMPLE lowering tests -----------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcpta;
+using namespace mcpta::simple;
+
+namespace {
+
+Pipeline lower(const std::string &Src) {
+  Pipeline P = Pipeline::frontend(Src);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  EXPECT_NE(P.Prog, nullptr);
+  return P;
+}
+
+/// P3: every reference in every basic statement has at most one level of
+/// indirection, and dereference bases are plain pointer variables.
+void checkRefInvariant(const Reference &R) {
+  ASSERT_TRUE(R.isValid());
+  if (R.Deref) {
+    ASSERT_NE(R.Base->type(), nullptr);
+    EXPECT_TRUE(R.Base->type()->isPointer())
+        << "deref base " << R.Base->name() << " must be a plain pointer";
+  }
+}
+
+void checkOperand(const Operand &O) {
+  if (O.isRef())
+    checkRefInvariant(O.Ref);
+}
+
+void checkStmtInvariant(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castStmt<AssignStmt>(S);
+    checkRefInvariant(A->Lhs);
+    checkOperand(A->A);
+    checkOperand(A->B);
+    for (const Operand &Arg : A->Call.Args)
+      checkOperand(Arg);
+    break;
+  }
+  case Stmt::Kind::Call: {
+    const auto *C = castStmt<CallStmt>(S);
+    // Paper: procedure arguments are constants or variable names.
+    for (const Operand &Arg : C->Call.Args)
+      if (Arg.isRef()) {
+        EXPECT_FALSE(Arg.Ref.Deref);
+        EXPECT_FALSE(Arg.Ref.AddrOf);
+        EXPECT_TRUE(Arg.Ref.Path.empty());
+      }
+    if (C->Call.isIndirect()) {
+      EXPECT_FALSE(C->Call.FnPtr.Deref);
+      EXPECT_TRUE(C->Call.FnPtr.Path.empty());
+    }
+    break;
+  }
+  case Stmt::Kind::Block:
+    for (const Stmt *Child : castStmt<BlockStmt>(S)->Body)
+      checkStmtInvariant(Child);
+    break;
+  case Stmt::Kind::If: {
+    const auto *I = castStmt<IfStmt>(S);
+    checkStmtInvariant(I->Then);
+    checkStmtInvariant(I->Else);
+    break;
+  }
+  case Stmt::Kind::Loop: {
+    const auto *L = castStmt<LoopStmt>(S);
+    checkStmtInvariant(L->Body);
+    checkStmtInvariant(L->Trailer);
+    break;
+  }
+  case Stmt::Kind::Switch:
+    for (const SwitchStmt::Case &C : castStmt<SwitchStmt>(S)->Cases)
+      for (const Stmt *B : C.Body)
+        checkStmtInvariant(B);
+    break;
+  default:
+    break;
+  }
+}
+
+void checkProgramInvariant(const Program &Prog) {
+  for (const FunctionIR &F : Prog.functions())
+    checkStmtInvariant(F.Body);
+  checkStmtInvariant(Prog.globalInit());
+}
+
+TEST(SimplifierTest, DoubleDerefIntroducesTemp) {
+  auto P = lower("int main(void) { int x; int *p; int **q; "
+                 "p = &x; q = &p; x = **q; return x; }");
+  std::string S = P.Prog->str();
+  // **q must be split into t = *q; x = *t.
+  EXPECT_NE(S.find("= (*q);"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, ArrowChainsSplit) {
+  auto P = lower(R"(
+    struct N { struct N *next; int v; };
+    int main(void) {
+      struct N a; struct N b; struct N c;
+      a.next = &b; b.next = &c;
+      return a.next->next->v;
+    })");
+  checkProgramInvariant(*P.Prog);
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find(".next"), std::string::npos);
+}
+
+TEST(SimplifierTest, CallArgumentsBecomeSimple) {
+  auto P = lower(R"(
+    int f(int *p, int x);
+    int f(int *p, int x) { return *p + x; }
+    int main(void) {
+      int a[4]; int i; i = 1;
+      return f(&a[i], a[0] + 2);
+    })");
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, CompoundAssignExpanded) {
+  auto P = lower("int main(void) { int x; x = 1; x += 2; x <<= 1; "
+                 "return x; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("x = x + 2;"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, IncDecExpanded) {
+  auto P = lower("int main(void) { int x; int y; x = 1; y = x++; "
+                 "--x; return y; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("x = x + 1;"), std::string::npos) << S;
+  EXPECT_NE(S.find("x = x - 1;"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, PointerIncrement) {
+  auto P = lower("int main(void) { int a[4]; int *p; p = a; p++; "
+                 "return *p; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("p = p + 1;"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, TernaryBecomesIf) {
+  auto P = lower("int main(void) { int c; int x; c = 1; "
+                 "x = c ? 10 : 20; return x; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("if ("), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, ShortCircuitWithCallGuarded) {
+  auto P = lower(R"(
+    int f(void);
+    int f(void) { return 1; }
+    int main(void) {
+      int c; int x;
+      c = 0;
+      x = c && f();
+      return x;
+    })");
+  std::string S = P.Prog->str();
+  // The call must sit under an if, not be hoisted unconditionally.
+  EXPECT_NE(S.find("if ("), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, PureShortCircuitStaysFlat) {
+  auto P = lower("int main(void) { int a; int b; a = 1; b = 2; "
+                 "return a && b; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("&&"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, WhileConditionReevaluatedInTrailer) {
+  auto P = lower(R"(
+    int f(int);
+    int f(int x) { return x - 1; }
+    int main(void) {
+      int n; n = 5;
+      while (f(n) > 0) n = n - 1;
+      return n;
+    })");
+  std::string S = P.Prog->str();
+  // Two calls to f lowered: one before the loop, one in the trailer.
+  size_t First = S.find("f(");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(S.find("f(", First + 1), std::string::npos) << S;
+  EXPECT_NE(S.find("trailer:"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, ForLoopStructure) {
+  auto P = lower("int main(void) { int i; int s; s = 0; "
+                 "for (i = 0; i < 4; i++) s += i; return s; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("while ("), std::string::npos) << S;
+  EXPECT_NE(S.find("trailer:"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, InfiniteLoopHasNoCondVar) {
+  auto P = lower("int main(void) { while (1) { break; } return 0; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("while (1)"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, MallocBecomesAlloc) {
+  auto P = lower("void *malloc(int); int main(void) { int *p; "
+                 "p = (int *)malloc(4); return 0; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("= malloc()"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, GlobalInitializersLowered) {
+  auto P = lower("int g; int *gp = &g; int a[2] = {1, 2}; "
+                 "int main(void) { return *gp; }");
+  ASSERT_NE(P.Prog->globalInit(), nullptr);
+  EXPECT_FALSE(P.Prog->globalInit()->Body.empty());
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("gp = &g;"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, LocalInitializersBecomeStatements) {
+  auto P = lower("int main(void) { int x = 3; int *p = &x; return *p; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("x = 3;"), std::string::npos) << S;
+  EXPECT_NE(S.find("p = &x;"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, ArrayDecayProducesAddrOfHead) {
+  auto P = lower("int main(void) { int a[4]; int *p; p = a; return *p; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("p = &a[0];"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, IndirectCallThroughTable) {
+  auto P = lower(R"(
+    int f(void);
+    int f(void) { return 1; }
+    int (*tab[2])(void) = {f, f};
+    int main(void) {
+      int (*fp)(void);
+      fp = tab[1];
+      return fp();
+    })");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("(*fp)()"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, FunctionNameDecaysToAddress) {
+  auto P = lower("int f(void); int f(void) { return 0; } "
+                 "int main(void) { int (*fp)(void); fp = f; "
+                 "fp = &f; return 0; }");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("fp = &f;"), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, SwitchPreserved) {
+  auto P = lower(R"(
+    int main(void) {
+      int x; int y;
+      x = 2; y = 0;
+      switch (x) {
+      case 1: y = 1; break;
+      case 2: y = 2; /* fallthrough */
+      case 3: y = y + 10; break;
+      default: y = -1;
+      }
+      return y;
+    })");
+  std::string S = P.Prog->str();
+  EXPECT_NE(S.find("switch ("), std::string::npos) << S;
+  checkProgramInvariant(*P.Prog);
+}
+
+TEST(SimplifierTest, StmtCountIsReasonable) {
+  auto P = lower("int main(void) { int x; x = 1 + 2 * 3 - 4; return x; }");
+  // x = t2 where t1 = 2*3, t2 = 1+t1, t3 = t2-4 — a handful of stmts.
+  EXPECT_GE(P.Prog->numBasicStmts(), 4u);
+  EXPECT_LE(P.Prog->numBasicStmts(), 8u);
+}
+
+TEST(SimplifierTest, CorpusProgramsKeepInvariant) {
+  for (const auto &CP : corpus::corpus()) {
+    Pipeline P = Pipeline::frontend(CP.Source);
+    ASSERT_FALSE(P.Diags.hasErrors())
+        << CP.Name << ": " << P.Diags.dump();
+    ASSERT_NE(P.Prog, nullptr) << CP.Name;
+    checkProgramInvariant(*P.Prog);
+  }
+}
+
+} // namespace

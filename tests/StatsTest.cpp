@@ -1,0 +1,172 @@
+//===- StatsTest.cpp - Tables 3-6 statistics client tests ----------------------===//
+
+#include "TestUtil.h"
+
+#include "clients/GeneralStats.h"
+#include "clients/IGStats.h"
+#include "clients/IndirectRefStats.h"
+
+using namespace mcpta;
+using namespace mcpta::clients;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(StatsTest, IndirectRefClassification) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y; int c;
+      int *pd; int *pp;
+      pd = &x;                      /* definite single */
+      if (c) pp = &x; else pp = &y; /* two targets */
+      return *pd + *pp;
+    })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  EXPECT_EQ(A.Stats.IndirectRefs, 2u);
+  EXPECT_EQ(A.Stats.OneD.total(), 1u);
+  EXPECT_EQ(A.Stats.TwoP.total(), 1u);
+  EXPECT_EQ(A.Stats.PairsToStack, 3u);
+  EXPECT_EQ(A.Stats.PairsToHeap, 0u);
+  EXPECT_NEAR(A.Stats.average(), 1.5, 1e-9);
+  EXPECT_EQ(A.Stats.ScalarReplaceable, 1u);
+}
+
+TEST(StatsTest, PossiblySingleWithNull) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int c;
+      int *p;
+      if (c) p = &x;      /* else stays NULL */
+      return *p;
+    })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  // p -> {x(P), NULL}: the paper's "possibly one (the other NULL)".
+  EXPECT_EQ(A.Stats.OneP.total(), 1u);
+  EXPECT_EQ(A.Stats.OneD.total(), 0u);
+}
+
+TEST(StatsTest, ArrayStyleSplit) {
+  auto P = analyze(R"(
+    double m[4][4];
+    double f(double (*x)[4], int i, int j) { return x[i][j]; }
+    int main(void) {
+      return (int)f(m, 1, 2);
+    })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  EXPECT_GE(A.Stats.IndirectRefs, 1u);
+  // The x[i][j] form counts in the array column.
+  EXPECT_GE(A.Stats.OneD.Array + A.Stats.OneP.Array + A.Stats.TwoP.Array +
+                A.Stats.ThreeP.Array + A.Stats.FourPlusP.Array,
+            1u);
+}
+
+TEST(StatsTest, HeapTargetsCounted) {
+  auto P = analyze(R"(
+    void *malloc(int);
+    int main(void) {
+      int *p;
+      p = (int *)malloc(4);
+      return *p;
+    })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  EXPECT_EQ(A.Stats.PairsToHeap, 1u);
+  EXPECT_EQ(A.Stats.PairsToStack, 0u);
+}
+
+TEST(StatsTest, Table4FromCategories) {
+  auto P = analyze(R"(
+    int g; int *gp;
+    int viaParam(int *fp_) { return *fp_; }   /* From formal */
+    int main(void) {
+      int x; int *lo;
+      lo = &x;
+      gp = &g;
+      viaParam(lo);
+      return *lo + *gp;   /* From local and from global */
+    })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  EXPECT_GE(A.Categories.FromLocal, 1u);
+  EXPECT_GE(A.Categories.FromGlobal, 1u);
+  EXPECT_GE(A.Categories.FromFormal, 1u);
+  EXPECT_GE(A.Categories.ToGlobal, 1u);
+  EXPECT_GE(A.Categories.ToLocal, 1u);
+}
+
+TEST(StatsTest, Table4SymbolicTargets) {
+  auto P = analyze(R"(
+    int writeThrough(int **pp) { **pp = 1; return **pp; }
+    int main(void) {
+      int x; int *p;
+      p = &x;
+      return writeThrough(&p);
+    })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  // Inside writeThrough, *pp reaches the symbolic 1_pp.
+  EXPECT_GE(A.Categories.ToSymbolic, 1u);
+}
+
+TEST(StatsTest, GeneralStatsCountsAndMax) {
+  auto P = analyze(R"(
+    int main(void) {
+      int x; int y;
+      int *p; int *q;
+      p = &x;
+      q = &y;
+      return *p + *q;
+    })");
+  auto G = GeneralStats::compute(*P.Prog, P.Analysis);
+  EXPECT_GT(G.StackToStack, 0u);
+  EXPECT_EQ(G.HeapToStack, 0u);
+  EXPECT_GE(G.MaxPerStmt, 2u);
+  EXPECT_GT(G.average(), 0.0);
+  EXPECT_EQ(G.BasicStmts, P.Prog->numBasicStmts());
+}
+
+TEST(StatsTest, GeneralStatsExcludesNullPairs) {
+  auto P = analyze("int main(void) { int *p; return 0; }");
+  auto G = GeneralStats::compute(*P.Prog, P.Analysis);
+  EXPECT_EQ(G.total(), 0u) << "only the automatic NULL init exists";
+}
+
+TEST(StatsTest, HeapToHeapPairs) {
+  auto P = analyze(R"(
+    void *malloc(int);
+    struct N { struct N *next; };
+    int main(void) {
+      struct N *a; struct N *b;
+      a = (struct N *)malloc(8);
+      b = (struct N *)malloc(8);
+      a->next = b;
+      return 0;
+    })");
+  auto G = GeneralStats::compute(*P.Prog, P.Analysis);
+  EXPECT_GT(G.HeapToHeap, 0u);
+  EXPECT_GT(G.StackToHeap, 0u);
+}
+
+TEST(StatsTest, IGStatsComputed) {
+  auto P = analyze(R"(
+    void f(int n) { if (n) f(n - 1); }
+    void g(void) { f(2); }
+    int main(void) { g(); f(1); return 0; })");
+  auto S = IGStats::compute(*P.Prog, P.Analysis);
+  // main, g, f(R), f(A), f(R), f(A) = 6 nodes, 4 call sites, 3 fns.
+  EXPECT_EQ(S.Nodes, 6u);
+  EXPECT_EQ(S.CallSites, 4u);
+  EXPECT_EQ(S.Functions, 3u);
+  EXPECT_EQ(S.Recursive, 2u);
+  EXPECT_EQ(S.Approximate, 2u);
+  EXPECT_NEAR(S.avgPerCallSite(), 1.5, 1e-9);
+  EXPECT_NEAR(S.avgPerFunction(), 2.0, 1e-9);
+}
+
+TEST(StatsTest, UnreachedStatementsNotCounted) {
+  auto P = analyze(R"(
+    int g; int *gp;
+    void unused(void) { gp = &g; }
+    int main(void) { return 0; })");
+  auto A = IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
+  EXPECT_EQ(A.Stats.IndirectRefs, 0u);
+}
+
+} // namespace

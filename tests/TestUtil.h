@@ -1,0 +1,84 @@
+//===- TestUtil.h - shared test helpers -------------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_TESTS_TESTUTIL_H
+#define MCPTA_TESTS_TESTUTIL_H
+
+#include "driver/Pipeline.h"
+#include "pointsto/LRLocations.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcpta {
+namespace testutil {
+
+/// Parses+lowers+analyzes; fails the test on any diagnostic.
+inline Pipeline analyze(const std::string &Source) {
+  Pipeline P = Pipeline::analyzeSource(Source);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  EXPECT_TRUE(P.Analysis.Analyzed);
+  return P;
+}
+
+inline Pipeline analyze(const std::string &Source,
+                        const pta::Analyzer::Options &Opts) {
+  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  return P;
+}
+
+/// The final points-to set of main rendered as a canonical string.
+inline std::string mainOut(const Pipeline &P) {
+  if (!P.Analysis.MainOut)
+    return "<bottom>";
+  return P.Analysis.MainOut->str(*P.Analysis.Locs);
+}
+
+/// True if the final set at end of main contains (Src, Dst) with the
+/// given definiteness ('D', 'P', or '*' for either).
+inline bool mainHasPair(const Pipeline &P, const std::string &Src,
+                        const std::string &Dst, char D = '*') {
+  if (!P.Analysis.MainOut)
+    return false;
+  std::string S = mainOut(P);
+  if (D == '*')
+    return S.find("(" + Src + "," + Dst + ",") != std::string::npos;
+  return S.find("(" + Src + "," + Dst + "," + D + ")") != std::string::npos;
+}
+
+/// Looks up a local/global variable's location by (function, name).
+/// Function name empty = global.
+inline const pta::Location *findLoc(const Pipeline &P,
+                                    const std::string &Func,
+                                    const std::string &Var) {
+  const cfront::VarDecl *Found = nullptr;
+  if (Func.empty()) {
+    for (const cfront::VarDecl *G : P.Prog->globals())
+      if (G->name() == Var)
+        Found = G;
+  } else {
+    for (const simple::FunctionIR &F : P.Prog->functions()) {
+      if (F.Decl->name() != Func)
+        continue;
+      for (const cfront::VarDecl *L : F.Locals)
+        if (L->name() == Var)
+          Found = L;
+      for (const cfront::VarDecl *Param : F.Decl->params())
+        if (Param->name() == Var)
+          Found = Param;
+    }
+  }
+  if (!Found)
+    return nullptr;
+  return P.Analysis.Locs->varLoc(Found);
+}
+
+} // namespace testutil
+} // namespace mcpta
+
+#endif // MCPTA_TESTS_TESTUTIL_H

@@ -1,0 +1,124 @@
+//===- ToolTest.cpp - pta-tool CLI smoke tests ---------------------------------===//
+//
+// End-to-end checks of the command-line driver: real process, real
+// files, real output.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct ToolRun {
+  int ExitCode = -1;
+  std::string Output;
+};
+
+ToolRun runTool(const std::string &Args) {
+  ToolRun R;
+  std::string Cmd = std::string(PTA_TOOL_PATH) + " " + Args + " 2>&1";
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  if (!Pipe)
+    return R;
+  char Buf[4096];
+  while (size_t N = fread(Buf, 1, sizeof(Buf), Pipe))
+    R.Output.append(Buf, N);
+  int Status = pclose(Pipe);
+  R.ExitCode = WEXITSTATUS(Status);
+  return R;
+}
+
+std::string writeTemp(const std::string &Contents) {
+  std::string Path =
+      ::testing::TempDir() + "/pta_tool_test_" +
+      std::to_string(reinterpret_cast<uintptr_t>(&Contents)) + ".c";
+  std::ofstream Out(Path);
+  Out << Contents;
+  return Path;
+}
+
+TEST(ToolTest, NoArgsShowsUsage) {
+  ToolRun R = runTool("");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+TEST(ToolTest, ListCorpus) {
+  ToolRun R = runTool("--list-corpus");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("genetic"), std::string::npos);
+  EXPECT_NE(R.Output.find("lws"), std::string::npos);
+}
+
+TEST(ToolTest, StatsOnCorpusProgram) {
+  ToolRun R = runTool("--stats --corpus hash");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("indirect refs:"), std::string::npos);
+  EXPECT_NE(R.Output.find("IG: nodes="), std::string::npos);
+}
+
+TEST(ToolTest, DumpSimpleOnFile) {
+  std::string Path = writeTemp(
+      "int main(void) { int x; int *p; p = &x; return *p; }");
+  ToolRun R = runTool("--dump-simple --dump-pointsto " + Path);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("p = &x;"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("(p,x,D)"), std::string::npos) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, DumpInvocationGraph) {
+  std::string Path = writeTemp(R"(
+    void f(int n) { if (n) f(n - 1); }
+    int main(void) { f(2); return 0; })");
+  ToolRun R = runTool("--dump-ig " + Path);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("f [R]"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("f [A]"), std::string::npos) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, ParseErrorsExitNonzero) {
+  std::string Path = writeTemp("int main(void) { return oops; }");
+  ToolRun R = runTool(Path);
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("error:"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, MissingFileExitsNonzero) {
+  ToolRun R = runTool("/nonexistent/file.c");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(ToolTest, UnknownCorpusName) {
+  ToolRun R = runTool("--corpus doesnotexist");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(ToolTest, FnPtrModeFlags) {
+  ToolRun Precise = runTool("--stats --fnptr=precise --corpus toplev");
+  ToolRun All = runTool("--stats --fnptr=all --corpus toplev");
+  EXPECT_EQ(Precise.ExitCode, 0);
+  EXPECT_EQ(All.ExitCode, 0);
+  // The all-functions instantiation yields a larger invocation graph.
+  auto Nodes = [](const std::string &Out) {
+    size_t Pos = Out.find("IG: nodes=");
+    return Pos == std::string::npos
+               ? -1
+               : std::atoi(Out.c_str() + Pos + 10);
+  };
+  EXPECT_GT(Nodes(All.Output), Nodes(Precise.Output));
+}
+
+TEST(ToolTest, ContextInsensitiveFlag) {
+  ToolRun R = runTool("--stats --context-insensitive --corpus dry");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+//===- TypeTest.cpp - type system unit tests -----------------------------------===//
+
+#include "cfront/AST.h"
+#include "cfront/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace mcpta;
+using namespace mcpta::cfront;
+
+namespace {
+
+class TypeTest : public ::testing::Test {
+protected:
+  TypeContext Types;
+};
+
+TEST_F(TypeTest, BuiltinsAreSingletons) {
+  EXPECT_EQ(Types.intType(), Types.builtin(BuiltinType::BK::Int));
+  EXPECT_NE(Types.intType(), Types.charType());
+  EXPECT_TRUE(Types.intType()->isInteger());
+  EXPECT_TRUE(Types.doubleType()->isFloating());
+  EXPECT_TRUE(Types.voidType()->isVoid());
+  EXPECT_FALSE(Types.doubleType()->isInteger());
+}
+
+TEST_F(TypeTest, PointerInterning) {
+  const Type *P1 = Types.pointerTo(Types.intType());
+  const Type *P2 = Types.pointerTo(Types.intType());
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, Types.pointerTo(Types.charType()));
+  EXPECT_TRUE(P1->isPointer());
+  EXPECT_EQ(cast<PointerType>(P1)->pointee(), Types.intType());
+}
+
+TEST_F(TypeTest, ArrayInterning) {
+  const Type *A1 = Types.arrayOf(Types.intType(), 10);
+  EXPECT_EQ(A1, Types.arrayOf(Types.intType(), 10));
+  EXPECT_NE(A1, Types.arrayOf(Types.intType(), 20));
+  EXPECT_NE(A1, Types.arrayOf(Types.intType(), -1));
+}
+
+TEST_F(TypeTest, FunctionInterning) {
+  const Type *F1 = Types.functionType(Types.intType(),
+                                      {Types.pointerTo(Types.intType())},
+                                      false);
+  const Type *F2 = Types.functionType(Types.intType(),
+                                      {Types.pointerTo(Types.intType())},
+                                      false);
+  EXPECT_EQ(F1, F2);
+  const Type *FV = Types.functionType(Types.intType(),
+                                      {Types.pointerTo(Types.intType())},
+                                      true);
+  EXPECT_NE(F1, FV);
+}
+
+TEST_F(TypeTest, PointerBearing) {
+  EXPECT_FALSE(Types.intType()->isPointerBearing());
+  EXPECT_TRUE(Types.pointerTo(Types.intType())->isPointerBearing());
+  EXPECT_TRUE(
+      Types.arrayOf(Types.pointerTo(Types.intType()), 4)->isPointerBearing());
+  EXPECT_FALSE(Types.arrayOf(Types.intType(), 4)->isPointerBearing());
+
+  RecordDecl RD("S", SourceLoc(), false);
+  FieldDecl FInt("v", SourceLoc(), Types.intType(), &RD, 0);
+  RD.addField(&FInt);
+  RD.setComplete();
+  EXPECT_FALSE(Types.recordType(&RD)->isPointerBearing());
+
+  RecordDecl RD2("T", SourceLoc(), false);
+  FieldDecl FPtr("p", SourceLoc(), Types.pointerTo(Types.intType()), &RD2,
+                 0);
+  RD2.addField(&FPtr);
+  RD2.setComplete();
+  EXPECT_TRUE(Types.recordType(&RD2)->isPointerBearing());
+}
+
+TEST_F(TypeTest, Rendering) {
+  EXPECT_EQ(Types.intType()->str(), "int");
+  EXPECT_EQ(Types.pointerTo(Types.pointerTo(Types.charType()))->str(),
+            "char**");
+  EXPECT_EQ(Types.arrayOf(Types.doubleType(), 8)->str(), "double[8]");
+  const Type *F =
+      Types.functionType(Types.intType(), {Types.charType()}, true);
+  EXPECT_EQ(F->str(), "int(char,...)");
+}
+
+TEST_F(TypeTest, CastHelpers) {
+  const Type *P = Types.pointerTo(Types.intType());
+  EXPECT_NE(dynCast<PointerType>(P), nullptr);
+  EXPECT_EQ(dynCast<ArrayType>(P), nullptr);
+  EXPECT_EQ(dynCast<PointerType>(static_cast<const Type *>(nullptr)),
+            nullptr);
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- WorkloadGenTest.cpp - synthetic program generator tests -----------------===//
+
+#include "TestUtil.h"
+
+#include "interp/Interpreter.h"
+#include "wlgen/WorkloadGen.h"
+
+using namespace mcpta;
+using namespace mcpta::wlgen;
+using namespace mcpta::testutil;
+
+namespace {
+
+TEST(WorkloadGenTest, Deterministic) {
+  GenConfig Cfg;
+  Cfg.Seed = 7;
+  EXPECT_EQ(generateProgram(Cfg), generateProgram(Cfg));
+  GenConfig Cfg2 = Cfg;
+  Cfg2.Seed = 8;
+  EXPECT_NE(generateProgram(Cfg), generateProgram(Cfg2));
+}
+
+TEST(WorkloadGenTest, GeneratedProgramsAnalyze) {
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    GenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.UseFunctionPointers = (Seed % 2) == 0;
+    std::string Src = generateProgram(Cfg);
+    Pipeline P = Pipeline::analyzeSource(Src);
+    EXPECT_FALSE(P.Diags.hasErrors())
+        << "seed " << Seed << ":\n" << P.Diags.dump() << Src;
+    EXPECT_TRUE(P.Analysis.Analyzed) << "seed " << Seed;
+  }
+}
+
+TEST(WorkloadGenTest, GeneratedProgramsTerminate) {
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    GenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.UseRecursion = true;
+    Cfg.UseLoops = true;
+    std::string Src = generateProgram(Cfg);
+    Pipeline P = Pipeline::frontend(Src);
+    ASSERT_TRUE(P.Prog) << "seed " << Seed;
+    auto R = interp::run(*P.Prog, 3000000);
+    EXPECT_TRUE(R.Completed) << "seed " << Seed << ": " << R.Error;
+  }
+}
+
+TEST(WorkloadGenTest, LivcShapeMatchesPaperDescription) {
+  // The paper's livc: 82 functions, three arrays of 24 function
+  // pointers (72 address-taken), three indirect call sites in loops.
+  std::string Src = livcSource();
+  Pipeline P = Pipeline::frontend(Src);
+  ASSERT_TRUE(P.Prog) << P.Diags.dump();
+
+  unsigned Defined = 0, AddressTaken = 0;
+  for (const auto *F : P.Unit->functions())
+    if (F->isDefined() && F->name() != "main") {
+      ++Defined;
+      if (F->isAddressTaken())
+        ++AddressTaken;
+    }
+  EXPECT_EQ(Defined, 82u);
+  EXPECT_EQ(AddressTaken, 72u);
+
+  unsigned IndirectSites = 0;
+  std::vector<const simple::CallInfo *> Calls;
+  for (const auto &F : P.Prog->functions())
+    pta::collectCallInfos(F.Body, Calls);
+  for (const auto *CI : Calls)
+    if (CI->isIndirect())
+      ++IndirectSites;
+  EXPECT_EQ(IndirectSites, 3u);
+}
+
+TEST(WorkloadGenTest, ScalesWithConfig) {
+  GenConfig Small;
+  Small.NumFunctions = 2;
+  Small.StmtsPerFunction = 4;
+  GenConfig Large;
+  Large.NumFunctions = 12;
+  Large.StmtsPerFunction = 20;
+  EXPECT_LT(generateProgram(Small).size(), generateProgram(Large).size());
+}
+
+} // namespace
