@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_livc.dir/bench_livc.cpp.o"
+  "CMakeFiles/bench_livc.dir/bench_livc.cpp.o.d"
+  "bench_livc"
+  "bench_livc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_livc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

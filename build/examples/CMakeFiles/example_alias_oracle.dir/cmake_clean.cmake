@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_alias_oracle.dir/alias_oracle.cpp.o"
+  "CMakeFiles/example_alias_oracle.dir/alias_oracle.cpp.o.d"
+  "alias_oracle"
+  "alias_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_alias_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_callgraph_explorer.dir/callgraph_explorer.cpp.o"
+  "CMakeFiles/example_callgraph_explorer.dir/callgraph_explorer.cpp.o.d"
+  "callgraph_explorer"
+  "callgraph_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_callgraph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

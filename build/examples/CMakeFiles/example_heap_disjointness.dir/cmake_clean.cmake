@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heap_disjointness.dir/heap_disjointness.cpp.o"
+  "CMakeFiles/example_heap_disjointness.dir/heap_disjointness.cpp.o.d"
+  "heap_disjointness"
+  "heap_disjointness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heap_disjointness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

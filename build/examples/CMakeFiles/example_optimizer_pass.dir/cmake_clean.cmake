@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_optimizer_pass.dir/optimizer_pass.cpp.o"
+  "CMakeFiles/example_optimizer_pass.dir/optimizer_pass.cpp.o.d"
+  "optimizer_pass"
+  "optimizer_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_optimizer_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

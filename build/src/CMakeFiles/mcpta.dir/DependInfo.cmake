@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/Andersen.cpp" "src/CMakeFiles/mcpta.dir/baselines/Andersen.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/baselines/Andersen.cpp.o.d"
+  "/root/repo/src/baselines/ContextInsensitive.cpp" "src/CMakeFiles/mcpta.dir/baselines/ContextInsensitive.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/baselines/ContextInsensitive.cpp.o.d"
+  "/root/repo/src/cfront/AST.cpp" "src/CMakeFiles/mcpta.dir/cfront/AST.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/cfront/AST.cpp.o.d"
+  "/root/repo/src/cfront/Lexer.cpp" "src/CMakeFiles/mcpta.dir/cfront/Lexer.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/cfront/Lexer.cpp.o.d"
+  "/root/repo/src/cfront/Parser.cpp" "src/CMakeFiles/mcpta.dir/cfront/Parser.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/cfront/Parser.cpp.o.d"
+  "/root/repo/src/cfront/Type.cpp" "src/CMakeFiles/mcpta.dir/cfront/Type.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/cfront/Type.cpp.o.d"
+  "/root/repo/src/clients/AliasPairs.cpp" "src/CMakeFiles/mcpta.dir/clients/AliasPairs.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/AliasPairs.cpp.o.d"
+  "/root/repo/src/clients/CallGraphBaselines.cpp" "src/CMakeFiles/mcpta.dir/clients/CallGraphBaselines.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/CallGraphBaselines.cpp.o.d"
+  "/root/repo/src/clients/GeneralStats.cpp" "src/CMakeFiles/mcpta.dir/clients/GeneralStats.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/GeneralStats.cpp.o.d"
+  "/root/repo/src/clients/IGStats.cpp" "src/CMakeFiles/mcpta.dir/clients/IGStats.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/IGStats.cpp.o.d"
+  "/root/repo/src/clients/IndirectRefStats.cpp" "src/CMakeFiles/mcpta.dir/clients/IndirectRefStats.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/IndirectRefStats.cpp.o.d"
+  "/root/repo/src/clients/PointerReplace.cpp" "src/CMakeFiles/mcpta.dir/clients/PointerReplace.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/PointerReplace.cpp.o.d"
+  "/root/repo/src/clients/ReadWriteSets.cpp" "src/CMakeFiles/mcpta.dir/clients/ReadWriteSets.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/clients/ReadWriteSets.cpp.o.d"
+  "/root/repo/src/corpus/Corpus.cpp" "src/CMakeFiles/mcpta.dir/corpus/Corpus.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/corpus/Corpus.cpp.o.d"
+  "/root/repo/src/driver/Pipeline.cpp" "src/CMakeFiles/mcpta.dir/driver/Pipeline.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/driver/Pipeline.cpp.o.d"
+  "/root/repo/src/heap/ConnectionAnalysis.cpp" "src/CMakeFiles/mcpta.dir/heap/ConnectionAnalysis.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/heap/ConnectionAnalysis.cpp.o.d"
+  "/root/repo/src/ig/InvocationGraph.cpp" "src/CMakeFiles/mcpta.dir/ig/InvocationGraph.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/ig/InvocationGraph.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/mcpta.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/pointsto/Analyzer.cpp" "src/CMakeFiles/mcpta.dir/pointsto/Analyzer.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/pointsto/Analyzer.cpp.o.d"
+  "/root/repo/src/pointsto/LRLocations.cpp" "src/CMakeFiles/mcpta.dir/pointsto/LRLocations.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/pointsto/LRLocations.cpp.o.d"
+  "/root/repo/src/pointsto/Location.cpp" "src/CMakeFiles/mcpta.dir/pointsto/Location.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/pointsto/Location.cpp.o.d"
+  "/root/repo/src/pointsto/MapUnmap.cpp" "src/CMakeFiles/mcpta.dir/pointsto/MapUnmap.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/pointsto/MapUnmap.cpp.o.d"
+  "/root/repo/src/pointsto/PointsToSet.cpp" "src/CMakeFiles/mcpta.dir/pointsto/PointsToSet.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/pointsto/PointsToSet.cpp.o.d"
+  "/root/repo/src/simple/SimpleIR.cpp" "src/CMakeFiles/mcpta.dir/simple/SimpleIR.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/simple/SimpleIR.cpp.o.d"
+  "/root/repo/src/simple/Simplifier.cpp" "src/CMakeFiles/mcpta.dir/simple/Simplifier.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/simple/Simplifier.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/mcpta.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/wlgen/WorkloadGen.cpp" "src/CMakeFiles/mcpta.dir/wlgen/WorkloadGen.cpp.o" "gcc" "src/CMakeFiles/mcpta.dir/wlgen/WorkloadGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta-tool.dir/driver/ToolMain.cpp.o"
+  "CMakeFiles/pta-tool.dir/driver/ToolMain.cpp.o.d"
+  "pta-tool"
+  "pta-tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta-tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

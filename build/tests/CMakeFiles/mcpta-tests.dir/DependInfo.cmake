@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AblationSoundnessTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/AblationSoundnessTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/AblationSoundnessTest.cpp.o.d"
+  "/root/repo/tests/AliasPairsTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/AliasPairsTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/AliasPairsTest.cpp.o.d"
+  "/root/repo/tests/AnalyzerOptionsTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/AnalyzerOptionsTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/AnalyzerOptionsTest.cpp.o.d"
+  "/root/repo/tests/BaselinesTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/BaselinesTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/BaselinesTest.cpp.o.d"
+  "/root/repo/tests/BasicRulesTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/BasicRulesTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/BasicRulesTest.cpp.o.d"
+  "/root/repo/tests/ConnectionAnalysisTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/ConnectionAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/ConnectionAnalysisTest.cpp.o.d"
+  "/root/repo/tests/ControlFlowTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/ControlFlowTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/ControlFlowTest.cpp.o.d"
+  "/root/repo/tests/CorpusTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/CorpusTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/CorpusTest.cpp.o.d"
+  "/root/repo/tests/DiagnosticsTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/EdgeCaseTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/EdgeCaseTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/EdgeCaseTest.cpp.o.d"
+  "/root/repo/tests/FunctionPointerTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/FunctionPointerTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/FunctionPointerTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/InterproceduralTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/InterproceduralTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/InterproceduralTest.cpp.o.d"
+  "/root/repo/tests/InvariantPropertyTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/InvariantPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/InvariantPropertyTest.cpp.o.d"
+  "/root/repo/tests/InvocationGraphTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/InvocationGraphTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/InvocationGraphTest.cpp.o.d"
+  "/root/repo/tests/LRLocationsTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/LRLocationsTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/LRLocationsTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LocationTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/LocationTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/LocationTest.cpp.o.d"
+  "/root/repo/tests/MapUnmapTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/MapUnmapTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/MapUnmapTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PointerReplaceTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/PointerReplaceTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/PointerReplaceTest.cpp.o.d"
+  "/root/repo/tests/PointsToSetTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/PointsToSetTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/PointsToSetTest.cpp.o.d"
+  "/root/repo/tests/PrinterTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/ReadWriteSetsTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/ReadWriteSetsTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/ReadWriteSetsTest.cpp.o.d"
+  "/root/repo/tests/RecursionTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/RecursionTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/RecursionTest.cpp.o.d"
+  "/root/repo/tests/RobustnessTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/SimplifierTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/SimplifierTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/SimplifierTest.cpp.o.d"
+  "/root/repo/tests/SoundnessPropertyTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/SoundnessPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/SoundnessPropertyTest.cpp.o.d"
+  "/root/repo/tests/StatsTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/StatsTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/StatsTest.cpp.o.d"
+  "/root/repo/tests/ToolTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/ToolTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/ToolTest.cpp.o.d"
+  "/root/repo/tests/TypeTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/TypeTest.cpp.o.d"
+  "/root/repo/tests/WorkloadGenTest.cpp" "tests/CMakeFiles/mcpta-tests.dir/WorkloadGenTest.cpp.o" "gcc" "tests/CMakeFiles/mcpta-tests.dir/WorkloadGenTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

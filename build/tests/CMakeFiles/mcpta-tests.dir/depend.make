@@ -1,0 +1,2 @@
+# Empty dependencies file for mcpta-tests.
+# This may be replaced when dependencies are built.
