@@ -15,10 +15,14 @@
 
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
+#include "support/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 namespace mcpta {
@@ -54,6 +58,76 @@ inline void printHeader(const char *Table, const char *Description) {
               "see DESIGN.md)\n");
   std::printf("==============================================================="
               "=================\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Machine-readable stats export (BENCH_*.json trajectories)
+//===----------------------------------------------------------------------===//
+
+/// Extracts `--stats-json=FILE` (or `--stats-json FILE`) from argv
+/// before google-benchmark sees it (it rejects unknown flags). Returns
+/// the requested path, or "" when the flag is absent. Also honors the
+/// MCPTA_STATS_JSON environment variable as a fallback, so CI can drive
+/// every bench binary uniformly.
+inline std::string statsJsonPath(int &argc, char **argv) {
+  std::string Path;
+  int W = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--stats-json=", 0) == 0) {
+      Path = Arg.substr(std::strlen("--stats-json="));
+      continue;
+    }
+    if (Arg == "--stats-json" && I + 1 < argc) {
+      Path = argv[++I];
+      continue;
+    }
+    argv[W++] = argv[I];
+  }
+  argc = W;
+  if (Path.empty())
+    if (const char *Env = std::getenv("MCPTA_STATS_JSON"))
+      Path = Env;
+  return Path;
+}
+
+/// Analyzes every corpus program with telemetry enabled and writes one
+/// JSON document keyed by program name, each entry being the run's full
+/// stats object (counters, histogram summaries, per-phase wall times):
+///
+///   {"schema":"mcpta-bench-stats-v1","bench":"table3",
+///    "programs":{"hash":{...},"misc":{...}}}
+///
+/// This is the machine-readable side of each bench binary's table — the
+/// building block for BENCH_*.json trajectory tracking. Returns false
+/// (after printing an error) if the file cannot be written.
+inline bool writeCorpusStatsJson(const std::string &Path,
+                                 const char *BenchName) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write stats JSON to '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  OS << "{\"schema\":\"mcpta-bench-stats-v1\",\"bench\":\""
+     << support::Telemetry::jsonEscape(BenchName) << "\",\"programs\":{";
+  bool First = true;
+  for (const corpus::CorpusProgram &CP : corpus::corpus()) {
+    Pipeline P = Pipeline::analyzeSourceTraced(CP.Source);
+    if (P.Diags.hasErrors() || !P.Analysis.Analyzed) {
+      std::fprintf(stderr,
+                   "FATAL: corpus program '%s' failed to analyze:\n%s",
+                   CP.Name, P.Diags.dump().c_str());
+      std::abort();
+    }
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << support::Telemetry::jsonEscape(CP.Name) << "\":";
+    P.Telem->writeStatsJson(OS);
+  }
+  OS << "}}\n";
+  return bool(OS);
 }
 
 } // namespace benchutil

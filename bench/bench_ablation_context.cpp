@@ -113,7 +113,11 @@ BENCHMARK(BM_Insensitive)->DenseRange(0, 16);
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
   printComparison();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "ablation_context"))
+    return 1;
   printSeparatorMicro();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -102,7 +102,11 @@ BENCHMARK(BM_Andersen)->DenseRange(0, 16);
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
   printComparison();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "ablation_flow"))
+    return 1;
   printStrongUpdateMicro();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -98,7 +98,11 @@ BENCHMARK(BM_AnalyzeGeneratedFnPtrs)->RangeMultiplier(2)->Range(2, 8)
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
   printSweep();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "scaling"))
+    return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

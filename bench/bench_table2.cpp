@@ -97,7 +97,11 @@ BENCHMARK(BM_FrontendAndSimplify)->DenseRange(0, 16);
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
   printTable();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "table2"))
+    return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

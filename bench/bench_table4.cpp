@@ -62,7 +62,11 @@ BENCHMARK(BM_Categorization)->DenseRange(0, 16);
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
   printTable();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "table4"))
+    return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

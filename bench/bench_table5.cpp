@@ -59,7 +59,11 @@ BENCHMARK(BM_GeneralStats)->DenseRange(0, 16);
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
   printTable();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "table5"))
+    return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

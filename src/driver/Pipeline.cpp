@@ -2,16 +2,61 @@
 
 #include "driver/Pipeline.h"
 
+#include "cfront/Lexer.h"
+
 using namespace mcpta;
+
+namespace {
+
+/// Lex + parse + simplify into \p P, recording frontend phase spans and
+/// counters when \p P.Telem is an enabled sink.
+void runFrontend(Pipeline &P, const std::string &Source) {
+  support::Telemetry *T = P.Telem.get();
+  P.Ctx = std::make_unique<cfront::ASTContext>();
+
+  std::vector<cfront::Token> Tokens;
+  {
+    support::Telemetry::Span S(T, "lex");
+    cfront::Lexer Lex(Source, P.Diags);
+    Tokens = Lex.lexAll();
+  }
+  if (T)
+    T->add("frontend.tokens", Tokens.size());
+
+  {
+    support::Telemetry::Span S(T, "parse");
+    cfront::Parser Par(std::move(Tokens), *P.Ctx, P.Diags);
+    P.Unit = Par.parseTranslationUnit();
+  }
+  if (P.Diags.hasErrors())
+    return;
+
+  {
+    support::Telemetry::Span S(T, "simplify");
+    simple::Simplifier Simp(*P.Unit, P.Diags);
+    P.Prog = Simp.run();
+  }
+  if (T && P.Prog)
+    T->add("simple.basic_stmts", P.Prog->numBasicStmts());
+}
+
+/// Runs the analyzer and mirrors its warnings into the diagnostics
+/// engine, so drivers that only look at Diags still surface them (e.g.
+/// a MaxLoopIterations safety-valve trip).
+void runAnalysis(Pipeline &P, const pta::Analyzer::Options &Opts) {
+  {
+    support::Telemetry::Span S(P.Telem.get(), "analyze");
+    P.Analysis = pta::Analyzer::run(*P.Prog, Opts);
+  }
+  for (const std::string &W : P.Analysis.Warnings)
+    P.Diags.warning(SourceLoc(), W);
+}
+
+} // namespace
 
 Pipeline Pipeline::frontend(const std::string &Source) {
   Pipeline P;
-  P.Ctx = std::make_unique<cfront::ASTContext>();
-  P.Unit = cfront::Parser::parseSource(Source, *P.Ctx, P.Diags);
-  if (P.Diags.hasErrors())
-    return P;
-  simple::Simplifier Simp(*P.Unit, P.Diags);
-  P.Prog = Simp.run();
+  runFrontend(P, Source);
   return P;
 }
 
@@ -20,10 +65,22 @@ Pipeline Pipeline::analyzeSource(const std::string &Source,
   Pipeline P = frontend(Source);
   if (!P.Prog)
     return P;
-  P.Analysis = pta::Analyzer::run(*P.Prog, Opts);
+  runAnalysis(P, Opts);
   return P;
 }
 
 Pipeline Pipeline::analyzeSource(const std::string &Source) {
   return analyzeSource(Source, pta::Analyzer::Options());
+}
+
+Pipeline Pipeline::analyzeSourceTraced(const std::string &Source,
+                                       pta::Analyzer::Options Opts) {
+  Pipeline P;
+  P.Telem = std::make_unique<support::Telemetry>(/*Enabled=*/true);
+  runFrontend(P, Source);
+  if (!P.Prog)
+    return P;
+  Opts.Telem = P.Telem.get();
+  runAnalysis(P, Opts);
+  return P;
 }

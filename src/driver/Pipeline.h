@@ -17,6 +17,17 @@
 ///       *P.Prog, P.Analysis);
 /// \endcode
 ///
+/// For observability, analyzeSourceTraced runs the same pipeline with a
+/// Pipeline-owned support::Telemetry instance attached: phase spans
+/// (lex, parse, simplify, ig-build, pointsto), hot-path counters, and
+/// histograms are recorded and can be exported as Chrome trace JSON or
+/// flat stats JSON (see docs/OBSERVABILITY.md):
+///
+/// \code
+///   auto P = mcpta::Pipeline::analyzeSourceTraced(SourceText);
+///   P.Telem->writeStatsJsonFile("stats.json");
+/// \endcode
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCPTA_DRIVER_PIPELINE_H
@@ -25,6 +36,7 @@
 #include "cfront/Parser.h"
 #include "pointsto/Analyzer.h"
 #include "simple/Simplifier.h"
+#include "support/Telemetry.h"
 
 #include <memory>
 #include <string>
@@ -38,6 +50,10 @@ struct Pipeline {
   std::unique_ptr<cfront::TranslationUnit> Unit;
   std::unique_ptr<simple::Program> Prog;
   pta::Analyzer::Result Analysis;
+  /// Instrumentation for this run. Null for the untraced entry points
+  /// (zero observability overhead); owned and populated by the *Traced
+  /// variants. Analysis warnings are mirrored into Diags either way.
+  std::unique_ptr<support::Telemetry> Telem;
 
   /// True when parsing, simplification, and analysis all succeeded.
   bool ok() const {
@@ -49,9 +65,19 @@ struct Pipeline {
 
   /// Full pipeline with default analysis options.
   static Pipeline analyzeSource(const std::string &Source);
-  /// Full pipeline with explicit analysis options.
+  /// Full pipeline with explicit analysis options. If Opts.Telem is set
+  /// the analyzer records into the caller's Telemetry (but no frontend
+  /// phase spans are produced; use analyzeSourceTraced for those).
   static Pipeline analyzeSource(const std::string &Source,
                                 const pta::Analyzer::Options &Opts);
+
+  /// Full pipeline with telemetry enabled end-to-end: the returned
+  /// Pipeline owns an enabled Telemetry (P.Telem) holding phase spans
+  /// for lex, parse, simplify, analyze (with ig-build and pointsto
+  /// children), plus every analyzer counter and histogram. Any Telem
+  /// already present in \p Opts is overridden by the owned instance.
+  static Pipeline analyzeSourceTraced(const std::string &Source,
+                                      pta::Analyzer::Options Opts = {});
 };
 
 } // namespace mcpta

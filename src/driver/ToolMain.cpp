@@ -14,6 +14,10 @@
 //   --stats           print Tables 3-6 style statistics
 //   --fnptr=MODE      precise | all | address-taken
 //   --context-insensitive
+//   --profile         print a per-phase wall-time table
+//   --json FILE       write flat stats JSON (counters/histograms/phases)
+//   --trace-json FILE write Chrome trace_event JSON (chrome://tracing,
+//                     Perfetto)
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,15 +40,17 @@ static int usage() {
                "[--dump-pointsto] [--stats]\n"
                "                [--fnptr=precise|all|address-taken] "
                "[--context-insensitive]\n"
+               "                [--profile] [--json FILE] "
+               "[--trace-json FILE]\n"
                "                (file.c | --corpus NAME | --list-corpus)\n");
   return 2;
 }
 
 int main(int argc, char **argv) {
   bool DumpSimple = false, DumpIG = false, DumpPointsTo = false,
-       Stats = false;
+       Stats = false, Profile = false;
   pta::Analyzer::Options Opts;
-  std::string File, CorpusName;
+  std::string File, CorpusName, StatsJsonPath, TraceJsonPath;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -56,6 +62,8 @@ int main(int argc, char **argv) {
       DumpPointsTo = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--profile")
+      Profile = true;
     else if (Arg == "--fnptr=precise")
       Opts.FnPtr = pta::FnPtrMode::Precise;
     else if (Arg == "--fnptr=all")
@@ -64,6 +72,10 @@ int main(int argc, char **argv) {
       Opts.FnPtr = pta::FnPtrMode::AddressTaken;
     else if (Arg == "--context-insensitive")
       Opts.ContextSensitive = false;
+    else if (Arg == "--json" && I + 1 < argc)
+      StatsJsonPath = argv[++I];
+    else if (Arg == "--trace-json" && I + 1 < argc)
+      TraceJsonPath = argv[++I];
     else if (Arg == "--list-corpus") {
       for (const corpus::CorpusProgram &P : corpus::corpus())
         std::printf("%-10s %s\n", P.Name, P.Description);
@@ -99,13 +111,22 @@ int main(int argc, char **argv) {
     return usage();
   }
 
-  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  // Any observability flag turns on the instrumented pipeline; the
+  // default path stays uninstrumented (no telemetry overhead at all).
+  bool WantTelemetry =
+      Profile || !StatsJsonPath.empty() || !TraceJsonPath.empty();
+  Pipeline P = WantTelemetry ? Pipeline::analyzeSourceTraced(Source, Opts)
+                             : Pipeline::analyzeSource(Source, Opts);
   if (P.Diags.hasErrors()) {
     std::fputs(P.Diags.dump().c_str(), stderr);
     return 1;
   }
-  for (const std::string &W : P.Analysis.Warnings)
-    std::fprintf(stderr, "warning: %s\n", W.c_str());
+  // Analysis warnings (e.g. a MaxLoopIterations safety-valve trip or an
+  // unresolved function pointer) are surfaced through the diagnostics
+  // engine; never drop them silently.
+  for (const Diagnostic &D : P.Diags.diagnostics())
+    if (D.Level == DiagLevel::Warning)
+      std::fprintf(stderr, "warning: %s\n", D.Message.c_str());
 
   if (DumpSimple)
     std::fputs(P.Prog->str().c_str(), stdout);
@@ -116,6 +137,7 @@ int main(int argc, char **argv) {
                 P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
 
   if (Stats) {
+    support::Telemetry::Span ClientsSpan(P.Telem.get(), "clients");
     auto IR = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
     auto GS = clients::GeneralStats::compute(*P.Prog, P.Analysis);
     auto IS = clients::IGStats::compute(*P.Prog, P.Analysis);
@@ -133,6 +155,21 @@ int main(int argc, char **argv) {
                 "avgc=%.2f avgf=%.2f\n",
                 IS.Nodes, IS.CallSites, IS.Functions, IS.Recursive,
                 IS.Approximate, IS.avgPerCallSite(), IS.avgPerFunction());
+  }
+
+  if (Profile && P.Telem)
+    std::fputs(P.Telem->profileTable().c_str(), stdout);
+  if (!StatsJsonPath.empty() && P.Telem &&
+      !P.Telem->writeStatsJsonFile(StatsJsonPath)) {
+    std::fprintf(stderr, "error: cannot write stats JSON to '%s'\n",
+                 StatsJsonPath.c_str());
+    return 1;
+  }
+  if (!TraceJsonPath.empty() && P.Telem &&
+      !P.Telem->writeTraceJsonFile(TraceJsonPath)) {
+    std::fprintf(stderr, "error: cannot write trace JSON to '%s'\n",
+                 TraceJsonPath.c_str());
+    return 1;
   }
   return 0;
 }

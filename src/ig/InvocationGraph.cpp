@@ -87,6 +87,7 @@ void InvocationGraph::collectCalls(const Stmt *S,
 IGNode *InvocationGraph::makeNode(const FunctionDecl *F, IGNode *Parent,
                                   unsigned CallSiteId) {
   Nodes.push_back(std::unique_ptr<IGNode>(new IGNode(F, Parent, CallSiteId)));
+  ++Ctrs.NodesCreated;
   return Nodes.back().get();
 }
 
@@ -122,8 +123,10 @@ IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
                                           const FunctionDecl *Callee) {
   auto Key = std::make_pair(CallSiteId, Callee);
   auto It = Parent->ChildIndex.find(Key);
-  if (It != Parent->ChildIndex.end())
+  if (It != Parent->ChildIndex.end()) {
+    ++Ctrs.ChildCacheHits;
     return It->second;
+  }
 
   IGNode *Child = makeNode(Callee, Parent, CallSiteId);
   Parent->Children.push_back(Child);
@@ -137,6 +140,8 @@ IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
   if (Anc) {
     Child->K = IGNode::Kind::Approximate;
     Child->RecEdge = Anc;
+    if (!Anc->isRecursive())
+      ++Ctrs.RecursivePromotions;
     Anc->markRecursive();
     return Child;
   }

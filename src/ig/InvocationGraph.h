@@ -124,6 +124,18 @@ public:
   //===--------------------------------------------------------------------===//
   // Statistics (Table 6)
   //===--------------------------------------------------------------------===//
+
+  /// Growth counters accumulated while the graph is built and grown
+  /// (telemetry: ig.nodes_created, ig.child_cache_hits). A cache hit is
+  /// a getOrCreateChild call answered from the child index — i.e. a
+  /// re-visited (call site, callee) context.
+  struct BuildCounters {
+    uint64_t NodesCreated = 0;
+    uint64_t ChildCacheHits = 0;
+    uint64_t RecursivePromotions = 0;
+  };
+  const BuildCounters &buildCounters() const { return Ctrs; }
+
   unsigned numNodes() const;
   unsigned numRecursive() const;
   unsigned numApproximate() const;
@@ -156,6 +168,7 @@ private:
   const simple::Program *Prog = nullptr;
   IGNode *Root = nullptr;
   std::vector<std::unique_ptr<IGNode>> Nodes;
+  BuildCounters Ctrs;
 };
 
 /// Collects the call sites appearing in a statement tree, in program

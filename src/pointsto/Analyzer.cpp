@@ -55,16 +55,39 @@ struct FnSummary {
   bool Valid = false;
 };
 
+/// Unified hot-path counters. One plain struct replaces the old ad-hoc
+/// ++Res.X plumbing; Result's legacy fields and the telemetry counters
+/// are both published from here once, in publishTelemetry().
+struct HotCounters {
+  uint64_t BodyAnalyses = 0;
+  uint64_t MemoHits = 0;
+  uint64_t MemoMisses = 0;
+  uint64_t LoopIterations = 0;
+  uint64_t PendingEnqueues = 0;
+  uint64_t FixpointRestarts = 0;
+  uint64_t IndirectCallsResolved = 0;
+  uint64_t IndirectTargetsTotal = 0;
+  uint64_t ExternCalls = 0;
+};
+
 class AnalyzerImpl {
 public:
   AnalyzerImpl(const Program &Prog, const Analyzer::Options &Opts,
                Analyzer::Result &Res)
       : Prog(Prog), Opts(Opts), Res(Res), Locs(*Res.Locs), Eval(Locs),
-        MU(Locs, Prog) {
+        MU(Locs, Prog),
+        Telem(Opts.Telem && Opts.Telem->enabled() ? Opts.Telem : nullptr),
+        HStmtIn(Telem ? &Telem->histogram("pta.stmt_in_size") : nullptr),
+        HLoopIters(Telem ? &Telem->histogram("pta.loop_fixpoint_iters")
+                         : nullptr) {
     Locs.setSymbolicLevelLimit(Opts.SymbolicLevelLimit);
   }
 
   void run();
+
+  /// Publishes the unified counters: fills Result's legacy fields and,
+  /// when telemetry is attached, the pta.* / mu.* / ig.* counters.
+  void publishTelemetry();
 
 private:
   //===--------------------------------------------------------------------===//
@@ -143,6 +166,14 @@ private:
   /// what the ablation removes.
   std::map<const cf::FunctionDecl *, MapResult> MergedMapInfo;
   std::set<std::string> WarnedKeys;
+
+  /// Instrumentation: null when telemetry is off, so every site costs
+  /// one branch. The histogram handles are resolved once here to keep
+  /// name lookups out of the per-statement path.
+  support::Telemetry *Telem;
+  support::Histogram *HStmtIn;
+  support::Histogram *HLoopIters;
+  HotCounters C;
 };
 
 //===----------------------------------------------------------------------===//
@@ -155,6 +186,8 @@ void AnalyzerImpl::warnOnce(const std::string &Key, const std::string &Msg) {
 }
 
 void AnalyzerImpl::recordStmtIn(const Stmt *S, const OptSet &In) {
+  if (HStmtIn && In)
+    HStmtIn->record(In->size());
   if (!Opts.RecordStmtSets)
     return;
   if (Res.StmtIn.size() <= S->id())
@@ -349,8 +382,10 @@ FlowState AnalyzerImpl::processLoop(const LoopStmt *L, OptSet In,
   OptSet BreakAcc, RetAcc;
   OptSet LastTrailOut; // state after body+trailer of the last iteration
   unsigned Iters = 0;
+  unsigned Passes = 0;
   while (true) {
-    ++Res.LoopIterations;
+    ++C.LoopIterations;
+    ++Passes;
     OptSet Prev = X;
     FlowState B = process(L->Body, X, Ign);
     mergeInto(BreakAcc, B.Brk);
@@ -376,6 +411,8 @@ FlowState AnalyzerImpl::processLoop(const LoopStmt *L, OptSet In,
       break;
     }
   }
+  if (HLoopIters)
+    HLoopIters->record(Passes);
 
   FlowState Out;
   if (L->PostTest)
@@ -554,6 +591,8 @@ OptSet AnalyzerImpl::processCall(const CallInfo &CI, const Reference *LhsRef,
 
   // Figure 5: resolve through the function pointer's points-to set.
   std::vector<const cf::FunctionDecl *> Targets = indirectTargets(CI, S);
+  ++C.IndirectCallsResolved;
+  C.IndirectTargetsTotal += Targets.size();
   if (Targets.empty()) {
     warnOnce("fptr-unresolved@" + std::to_string(CI.CallSiteId),
              "indirect call through '" + CI.FnPtr.str() +
@@ -668,21 +707,24 @@ OptSet AnalyzerImpl::evaluateCall(IGNode *Node,
     if (Rec->StoredInput && FuncInput.subsetOf(*Rec->StoredInput))
       return Rec->StoredOutput; // use the stored summary (may be Bottom)
     Rec->PendingList.push_back(FuncInput);
+    ++C.PendingEnqueues;
     return {};
   }
   case IGNode::Kind::Recursive:
     if (Node->FixpointDone && Node->StoredInput &&
         FuncInput == *Node->StoredInput && memoDepsValid(Node)) {
-      ++Res.MemoHits;
+      ++C.MemoHits;
       return Node->StoredOutput;
     }
+    ++C.MemoMisses;
     return runRecursionFixpoint(Node, FuncInput);
   case IGNode::Kind::Ordinary: {
     if (Node->StoredInput && FuncInput == *Node->StoredInput &&
         memoDepsValid(Node)) {
-      ++Res.MemoHits;
+      ++C.MemoHits;
       return Node->StoredOutput;
     }
+    ++C.MemoMisses;
     OptSet Out = processBody(Node, FuncInput);
     // A function-pointer call inside the body may have discovered that
     // this node is actually recursive (Sec. 5's example): rerun as a
@@ -732,6 +774,7 @@ OptSet AnalyzerImpl::runRecursionFixpoint(IGNode *Node,
       if (Grew) {
         Node->StoredOutput.reset();
         ++Node->SummaryVersion; // descendant memos are now stale
+        ++C.FixpointRestarts;   // pending-list wakeup reruns the body
         continue;
       }
     }
@@ -792,7 +835,7 @@ OptSet AnalyzerImpl::processBody(IGNode *Node,
                                  const PointsToSet &FuncInput) {
   const FunctionIR *FIR = Prog.findFunction(Node->function());
   assert(FIR && "processBody requires a defined function");
-  ++Res.BodyAnalyses;
+  ++C.BodyAnalyses;
 
   // Local pointer variables are initialized to NULL (Sec. 4.1).
   PointsToSet S = FuncInput;
@@ -817,6 +860,7 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
                                  const CallInfo &CI, const Reference *LhsRef,
                                  PointsToSet S, IGNode *Ign) {
   (void)Ign;
+  ++C.ExternCalls;
   const std::string &Name = Callee->name();
 
   // Functions that return (a pointer into) their first argument.
@@ -884,11 +928,15 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
 //===----------------------------------------------------------------------===//
 
 void AnalyzerImpl::run() {
-  Res.IG = InvocationGraph::build(Prog);
+  {
+    support::Telemetry::Span S(Telem, "ig-build");
+    Res.IG = InvocationGraph::build(Prog);
+  }
   if (!Res.IG) {
     Res.Warnings.push_back("program has no defined main(); nothing to do");
     return;
   }
+  support::Telemetry::Span PtaSpan(Telem, "pointsto");
   if (Opts.RecordStmtSets)
     Res.StmtIn.resize(Prog.numStmts());
 
@@ -919,12 +967,54 @@ void AnalyzerImpl::run() {
     for (const Location *Sub : Subs)
       S2.insert(Sub, Locs.null(), Sub->isSummary() ? Def::P : Def::D);
   }
-  ++Res.BodyAnalyses;
+  ++C.BodyAnalyses;
   FlowState FS = process(MainIR->Body, OptSet(std::move(S2)), Root);
   OptSet Out = std::move(FS.Normal);
   mergeInto(Out, FS.Ret);
   Res.MainOut = std::move(Out);
   Res.Analyzed = true;
+}
+
+void AnalyzerImpl::publishTelemetry() {
+  Res.BodyAnalyses = static_cast<unsigned>(C.BodyAnalyses);
+  Res.LoopIterations = static_cast<unsigned>(C.LoopIterations);
+  Res.MemoHits = static_cast<unsigned>(C.MemoHits);
+  if (!Telem)
+    return;
+
+  Telem->add("pta.body_analyses", C.BodyAnalyses);
+  Telem->add("pta.memo_hits", C.MemoHits);
+  Telem->add("pta.memo_misses", C.MemoMisses);
+  Telem->add("pta.loop_iterations", C.LoopIterations);
+  Telem->add("pta.pending_enqueues", C.PendingEnqueues);
+  Telem->add("pta.fixpoint_restarts", C.FixpointRestarts);
+  Telem->add("pta.indirect_calls_resolved", C.IndirectCallsResolved);
+  Telem->add("pta.indirect_targets", C.IndirectTargetsTotal);
+  Telem->add("pta.extern_calls", C.ExternCalls);
+  Telem->add("pta.warnings", Res.Warnings.size());
+  if (Res.MainOut)
+    Telem->add("pta.main_out_pairs", Res.MainOut->size());
+
+  const MapUnmap::Counters &MC = MU.counters();
+  Telem->add("mu.map_calls", MC.MapCalls);
+  Telem->add("mu.unmap_calls", MC.UnmapCalls);
+  Telem->add("mu.mapped_sources", MC.MappedSources);
+  Telem->add("mu.invisible_vars", MC.InvisibleVars);
+  Telem->add("mu.unmap_pairs", MC.UnmapPairs);
+
+  uint64_t Entities = 0;
+  Locs.forEachEntity([&Entities](const Entity *) { ++Entities; });
+  Telem->add("loc.entities", Entities);
+
+  if (Res.IG) {
+    Telem->add("ig.nodes", Res.IG->numNodes());
+    Telem->add("ig.recursive_nodes", Res.IG->numRecursive());
+    Telem->add("ig.approximate_nodes", Res.IG->numApproximate());
+    Telem->add("ig.functions_covered", Res.IG->numFunctionsCovered());
+    Telem->add("ig.nodes_created", Res.IG->buildCounters().NodesCreated);
+    Telem->add("ig.child_cache_hits",
+               Res.IG->buildCounters().ChildCacheHits);
+  }
 }
 
 } // namespace
@@ -934,6 +1024,7 @@ Analyzer::Result Analyzer::run(const Program &Prog, const Options &Opts) {
   Res.Locs = std::make_unique<LocationTable>();
   AnalyzerImpl Impl(Prog, Opts, Res);
   Impl.run();
+  Impl.publishTelemetry();
   return Res;
 }
 

@@ -31,6 +31,7 @@
 #include "pointsto/MapUnmap.h"
 #include "pointsto/PointsToSet.h"
 #include "simple/SimpleIR.h"
+#include "support/Telemetry.h"
 
 #include <memory>
 #include <optional>
@@ -62,6 +63,12 @@ public:
     unsigned SymbolicLevelLimit = 5;
     /// Safety valve for loop fixed points.
     unsigned MaxLoopIterations = 10000;
+    /// Optional instrumentation sink. When null (the default), the
+    /// analysis records nothing and pays only a null-pointer branch at
+    /// each instrumented site. When set, phase spans (ig-build,
+    /// pointsto), hot-path counters (pta.*, mu.*, ig.*), and size
+    /// histograms are recorded into it (see docs/OBSERVABILITY.md).
+    support::Telemetry *Telem = nullptr;
   };
 
   struct Result {
@@ -78,6 +85,10 @@ public:
     /// False when the program has no defined main.
     bool Analyzed = false;
 
+    /// Headline counters, published once at the end of the run. These
+    /// are thin reads of the unified telemetry counters (pta.*): when
+    /// Options::Telem is set, the same values appear there under
+    /// "pta.body_analyses", "pta.loop_iterations", and "pta.memo_hits".
     unsigned BodyAnalyses = 0;
     unsigned LoopIterations = 0;
     /// Calls answered from a node's memoized IN/OUT pair without

@@ -68,6 +68,7 @@ const Location *MapUnmap::translateTarget(MapState &St,
   const Entity *SymE = Locs.symbolic(St.Callee, ParentCalleeLoc);
   const Location *SymLoc = Locs.get(SymE);
   St.InvMap[Target] = SymLoc;
+  ++Ctrs.InvisibleVars;
   auto &Reps = St.R.MapInfo[SymLoc];
   Reps.push_back(Target);
   if (Reps.size() > 1)
@@ -126,6 +127,7 @@ MapResult MapUnmap::map(const PointsToSet &CallerS,
                         const cf::FunctionDecl *Callee,
                         const std::vector<std::vector<LocDef>> &ActualRLocs,
                         const std::vector<const Operand *> &Actuals) {
+  ++Ctrs.MapCalls;
   MapState St;
   St.CallerS = &CallerS;
   St.Callee = Callee;
@@ -194,6 +196,7 @@ MapResult MapUnmap::map(const PointsToSet &CallerS,
     Reps.erase(std::unique(Reps.begin(), Reps.end()), Reps.end());
   }
 
+  Ctrs.MappedSources += St.R.RepresentedSources.size();
   return std::move(St.R);
 }
 
@@ -248,6 +251,7 @@ PointsToSet MapUnmap::unmap(const PointsToSet &CallerS,
                             const PointsToSet &CalleeOut,
                             const cf::FunctionDecl *Callee,
                             const MapResult &M) const {
+  ++Ctrs.UnmapCalls;
   PointsToSet Out = CallerS;
   for (const Location *Src : M.RepresentedSources)
     Out.killFrom(Src);
@@ -268,8 +272,10 @@ PointsToSet MapUnmap::unmap(const PointsToSet &CallerS,
     for (const Location *S : Srcs) {
       Contributors[S].insert(P);
       Def DS = (DP == Def::D && !S->isSummary()) ? Def::D : Def::P;
-      for (const Location *T : Dsts)
+      for (const Location *T : Dsts) {
         Out.insert(S, T, DS);
+        ++Ctrs.UnmapPairs;
+      }
     }
   });
 

@@ -61,8 +61,21 @@ struct MapResult {
 /// Performs map/unmap against one program's location table.
 class MapUnmap {
 public:
+  /// Hot-path traffic counters, accumulated over the lifetime of this
+  /// MapUnmap (i.e. one analysis run). The analyzer publishes them as
+  /// the mu.* telemetry counters.
+  struct Counters {
+    uint64_t MapCalls = 0;       ///< map() invocations
+    uint64_t UnmapCalls = 0;     ///< unmap() invocations
+    uint64_t MappedSources = 0;  ///< caller locations mapped into callees
+    uint64_t InvisibleVars = 0;  ///< symbolic stand-ins created (Sec. 4.1)
+    uint64_t UnmapPairs = 0;     ///< pairs translated back on unmap
+  };
+
   MapUnmap(LocationTable &Locs, const simple::Program &Prog)
       : Locs(Locs), Prog(Prog), Eval(Locs) {}
+
+  const Counters &counters() const { return Ctrs; }
 
   /// Maps \p CallerS into \p Callee. \p ActualRLocs holds, per formal
   /// parameter (in order), the R-location set of the corresponding
@@ -96,6 +109,8 @@ private:
   LocationTable &Locs;
   const simple::Program &Prog;
   LREvaluator Eval;
+  /// mutable: unmap()/translateBack() are logically const queries.
+  mutable Counters Ctrs;
 };
 
 } // namespace pta

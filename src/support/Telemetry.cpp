@@ -1,0 +1,250 @@
+//===- Telemetry.cpp - Analysis instrumentation layer -------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace mcpta;
+using namespace mcpta::support;
+
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+Telemetry::Span::Span(Telemetry *T, std::string_view Name)
+    : T(T && T->Enabled ? T : nullptr) {
+  if (!this->T)
+    return;
+  this->Name = std::string(Name);
+  StartUs = this->T->nowUs();
+  Depth = this->T->ActiveDepth++;
+}
+
+Telemetry::Span::~Span() {
+  if (!T)
+    return;
+  --T->ActiveDepth;
+  T->Spans.push_back({std::move(Name), StartUs, T->nowUs() - StartUs, Depth});
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+Telemetry::Telemetry(bool Enabled)
+    : Enabled(Enabled), Epoch(std::chrono::steady_clock::now()) {}
+
+uint64_t Telemetry::nowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+Counter &Telemetry::counter(std::string_view Name) {
+  if (!Enabled)
+    return Scratch;
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), Counter()).first;
+  return It->second;
+}
+
+Histogram &Telemetry::histogram(std::string_view Name) {
+  if (!Enabled)
+    return HistScratch;
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name), Histogram()).first;
+  return It->second;
+}
+
+uint64_t Telemetry::phaseUs(std::string_view Name) const {
+  uint64_t Total = 0;
+  for (const SpanRecord &S : Spans)
+    if (S.Name == Name)
+      Total += S.DurUs;
+  return Total;
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+std::string Telemetry::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Telemetry::profileTable() const {
+  // Aggregate same-name spans, ordered by first start time so the table
+  // reads as a timeline.
+  struct Row {
+    std::string Name;
+    uint64_t FirstStart = 0;
+    uint64_t TotalUs = 0;
+    unsigned Count = 0;
+    unsigned Depth = 0;
+  };
+  std::vector<Row> Rows;
+  for (const SpanRecord &S : Spans) {
+    Row *R = nullptr;
+    for (Row &Existing : Rows)
+      if (Existing.Name == S.Name) {
+        R = &Existing;
+        break;
+      }
+    if (!R) {
+      Rows.push_back({S.Name, S.StartUs, 0, 0, S.Depth});
+      R = &Rows.back();
+    }
+    R->FirstStart = std::min(R->FirstStart, S.StartUs);
+    R->TotalUs += S.DurUs;
+    ++R->Count;
+  }
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    return A.FirstStart < B.FirstStart;
+  });
+
+  uint64_t TopLevelTotal = 0;
+  for (const SpanRecord &S : Spans)
+    if (S.Depth == 0)
+      TopLevelTotal += S.DurUs;
+
+  std::ostringstream OS;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%-24s %12s %8s %6s\n", "phase",
+                "wall(us)", "%total", "spans");
+  OS << Buf;
+  for (const Row &R : Rows) {
+    double Pct =
+        TopLevelTotal ? 100.0 * double(R.TotalUs) / double(TopLevelTotal) : 0.0;
+    std::string Indented(R.Depth * 2, ' ');
+    Indented += R.Name;
+    std::snprintf(Buf, sizeof(Buf), "%-24s %12llu %7.1f%% %6u\n",
+                  Indented.c_str(),
+                  static_cast<unsigned long long>(R.TotalUs), Pct, R.Count);
+    OS << Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%-24s %12llu %7.1f%%\n", "total",
+                static_cast<unsigned long long>(TopLevelTotal), 100.0);
+  OS << Buf;
+  return OS.str();
+}
+
+void Telemetry::writeTraceJson(std::ostream &OS) const {
+  // Chrome trace_event "JSON Array Format" wrapped in an object, which
+  // both chrome://tracing and Perfetto accept. All spans go on one
+  // (pid, tid); nesting is reconstructed from ts/dur containment.
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const SpanRecord &S : Spans) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "{\"name\":\"" << jsonEscape(S.Name)
+       << "\",\"cat\":\"mcpta\",\"ph\":\"X\",\"ts\":" << S.StartUs
+       << ",\"dur\":" << S.DurUs << ",\"pid\":1,\"tid\":1}";
+  }
+  // Counter totals as a single instant-event payload so a trace alone
+  // carries the run's headline numbers.
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "{\"name\":\"" << jsonEscape(Name)
+       << "\",\"cat\":\"mcpta.counter\",\"ph\":\"C\",\"ts\":0,\"pid\":1,"
+          "\"args\":{\"value\":"
+       << C.Value << "}}";
+  }
+  OS << "]}\n";
+}
+
+void Telemetry::writeStatsJson(std::ostream &OS) const {
+  OS << "{\"schema\":\"mcpta-stats-v1\"";
+
+  OS << ",\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << jsonEscape(Name) << "\":" << C.Value;
+  }
+  OS << "}";
+
+  OS << ",\"histograms\":{";
+  First = true;
+  char Buf[64];
+  for (const auto &[Name, H] : Histograms) {
+    if (!First)
+      OS << ",";
+    First = false;
+    std::snprintf(Buf, sizeof(Buf), "%.3f", H.mean());
+    OS << "\"" << jsonEscape(Name) << "\":{\"count\":" << H.count()
+       << ",\"sum\":" << H.sum() << ",\"min\":" << H.min()
+       << ",\"max\":" << H.max() << ",\"mean\":" << Buf << "}";
+  }
+  OS << "}";
+
+  OS << ",\"phases_us\":{";
+  First = true;
+  std::vector<std::string> Seen;
+  for (const SpanRecord &S : Spans) {
+    if (std::find(Seen.begin(), Seen.end(), S.Name) != Seen.end())
+      continue;
+    Seen.push_back(S.Name);
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << jsonEscape(S.Name) << "\":" << phaseUs(S.Name);
+  }
+  OS << "}}\n";
+}
+
+bool Telemetry::writeTraceJsonFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeTraceJson(OS);
+  return bool(OS);
+}
+
+bool Telemetry::writeStatsJsonFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  writeStatsJson(OS);
+  return bool(OS);
+}

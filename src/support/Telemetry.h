@@ -1,0 +1,209 @@
+//===- Telemetry.h - Analysis instrumentation layer -------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement substrate behind the paper's experimental section:
+/// RAII phase spans over a monotonic clock (lex -> parse -> simplify ->
+/// ig-build -> pointsto -> clients), named counters for the analysis hot
+/// paths (body re-analyses, memo hits/misses, map/unmap traffic,
+/// pending-list wakeups, loop fixed-point iterations), and size
+/// histograms (per-statement points-to set sizes, iterations per loop).
+///
+/// Two exporters turn one run into machine-readable artifacts:
+///  - writeTraceJson: Chrome `trace_event` JSON ("X" complete events),
+///    loadable by chrome://tracing and Perfetto;
+///  - writeStatsJson: a flat stats document for benchmark trajectories
+///    (the BENCH_*.json files).
+///
+/// Instrumentation is pay-for-what-you-use: hot paths hold a
+/// `Telemetry *` (or a cached `Counter *` / `Histogram *`) that is null
+/// when telemetry is off, so the disabled cost is one branch on a null
+/// pointer. A Telemetry constructed with Enabled=false is a null sink:
+/// every mutation short-circuits and the exporters emit empty documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SUPPORT_TELEMETRY_H
+#define MCPTA_SUPPORT_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcpta {
+namespace support {
+
+/// One named monotonically increasing counter.
+struct Counter {
+  uint64_t Value = 0;
+
+  Counter &operator++() {
+    ++Value;
+    return *this;
+  }
+  Counter &operator+=(uint64_t Delta) {
+    Value += Delta;
+    return *this;
+  }
+};
+
+/// A size/count distribution: count, sum, min, max plus power-of-two
+/// buckets (bucket i holds values v with 2^(i-1) <= v < 2^i; bucket 0
+/// holds zeros).
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 33;
+
+  void record(uint64_t V) {
+    ++N;
+    Sum += V;
+    if (N == 1 || V < Lo)
+      Lo = V;
+    if (V > Hi)
+      Hi = V;
+    ++Buckets[bucketOf(V)];
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return N ? Lo : 0; }
+  uint64_t max() const { return Hi; }
+  double mean() const { return N ? double(Sum) / double(N) : 0.0; }
+  uint64_t bucket(unsigned I) const { return Buckets[I]; }
+
+  /// Index of the power-of-two bucket V falls into.
+  static unsigned bucketOf(uint64_t V) {
+    unsigned B = 0;
+    while (V) {
+      ++B;
+      V >>= 1;
+    }
+    return B < NumBuckets ? B : NumBuckets - 1;
+  }
+
+private:
+  uint64_t N = 0;
+  uint64_t Sum = 0;
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  uint64_t Buckets[NumBuckets] = {};
+};
+
+/// Collects spans, counters, and histograms for one pipeline run.
+class Telemetry {
+public:
+  /// One completed phase span. Depth is the nesting level at the time
+  /// the span opened (0 = top level).
+  struct SpanRecord {
+    std::string Name;
+    uint64_t StartUs = 0;
+    uint64_t DurUs = 0;
+    unsigned Depth = 0;
+  };
+
+  /// RAII phase span. Constructing against a null or disabled Telemetry
+  /// is a no-op; destruction appends a SpanRecord.
+  class Span {
+  public:
+    Span(Telemetry *T, std::string_view Name);
+    ~Span();
+    Span(Span &&O) noexcept
+        : T(O.T), Name(std::move(O.Name)), StartUs(O.StartUs),
+          Depth(O.Depth) {
+      O.T = nullptr;
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+    Span &operator=(Span &&) = delete;
+
+  private:
+    Telemetry *T = nullptr;
+    std::string Name;
+    uint64_t StartUs = 0;
+    unsigned Depth = 0;
+  };
+
+  explicit Telemetry(bool Enabled = true);
+
+  bool enabled() const { return Enabled; }
+
+  /// Returns the named counter, creating it on first use. On a disabled
+  /// instance, returns a shared scratch slot that is never exported.
+  Counter &counter(std::string_view Name);
+  /// Returns the named histogram (same disabled-mode contract).
+  Histogram &histogram(std::string_view Name);
+
+  /// Convenience mutators; both are no-ops when disabled. add() with a
+  /// zero delta still registers the counter name, so a run's exported
+  /// key set is deterministic.
+  void add(std::string_view Name, uint64_t Delta) {
+    if (Enabled)
+      counter(Name) += Delta;
+  }
+  void record(std::string_view Name, uint64_t Value) {
+    if (Enabled)
+      histogram(Name).record(Value);
+  }
+
+  /// Completed spans in completion order (inner spans close first).
+  const std::vector<SpanRecord> &spans() const { return Spans; }
+  /// Total wall time of all spans with this name, in microseconds.
+  uint64_t phaseUs(std::string_view Name) const;
+
+  const std::map<std::string, Counter, std::less<>> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, Histogram, std::less<>> &histograms() const {
+    return Histograms;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Exporters
+  //===--------------------------------------------------------------------===//
+
+  /// Human-readable per-phase wall-time table (the --profile output).
+  std::string profileTable() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"ph":"X",...},...]}.
+  /// Loadable by chrome://tracing and Perfetto's trace_event parser.
+  void writeTraceJson(std::ostream &OS) const;
+
+  /// Flat stats JSON: counters, histogram summaries, and per-phase
+  /// wall times under stable keys — the BENCH_*.json building block.
+  void writeStatsJson(std::ostream &OS) const;
+
+  /// File variants; return false (without throwing) if the file cannot
+  /// be opened.
+  bool writeTraceJsonFile(const std::string &Path) const;
+  bool writeStatsJsonFile(const std::string &Path) const;
+
+  /// Escapes a string for embedding in a JSON document (helper shared
+  /// with the bench harness's composite exports).
+  static std::string jsonEscape(std::string_view S);
+
+private:
+  friend class Span;
+
+  uint64_t nowUs() const;
+
+  bool Enabled;
+  std::chrono::steady_clock::time_point Epoch;
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, Histogram, std::less<>> Histograms;
+  std::vector<SpanRecord> Spans;
+  unsigned ActiveDepth = 0;
+  Counter Scratch;
+  Histogram HistScratch;
+};
+
+} // namespace support
+} // namespace mcpta
+
+#endif // MCPTA_SUPPORT_TELEMETRY_H

@@ -1,0 +1,371 @@
+//===- TelemetryTest.cpp - instrumentation layer tests -------------------------===//
+//
+// Covers the observability substrate: RAII span nesting, counter and
+// histogram bookkeeping, exact hot-path counter totals on fixture
+// programs, JSON validity of both exporters, and the disabled
+// (null-sink) mode recording nothing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "support/Telemetry.h"
+
+#include <sstream>
+
+using namespace mcpta;
+using namespace mcpta::support;
+using namespace mcpta::testutil;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON validator (syntax only) for exporter output.
+//===----------------------------------------------------------------------===//
+
+struct JsonChecker {
+  const std::string &S;
+  size_t I = 0;
+  bool Ok = true;
+
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  void ws() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\n' || S[I] == '\t' ||
+                            S[I] == '\r'))
+      ++I;
+  }
+  bool eat(char C) {
+    ws();
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+  void fail() { Ok = false; }
+
+  void value() {
+    if (!Ok)
+      return;
+    ws();
+    if (I >= S.size())
+      return fail();
+    char C = S[I];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return number();
+    if (S.compare(I, 4, "true") == 0) {
+      I += 4;
+      return;
+    }
+    if (S.compare(I, 5, "false") == 0) {
+      I += 5;
+      return;
+    }
+    if (S.compare(I, 4, "null") == 0) {
+      I += 4;
+      return;
+    }
+    fail();
+  }
+  void object() {
+    if (!eat('{'))
+      return fail();
+    if (eat('}'))
+      return;
+    do {
+      string();
+      if (!Ok || !eat(':'))
+        return fail();
+      value();
+      if (!Ok)
+        return;
+    } while (eat(','));
+    if (!eat('}'))
+      fail();
+  }
+  void array() {
+    if (!eat('['))
+      return fail();
+    if (eat(']'))
+      return;
+    do {
+      value();
+      if (!Ok)
+        return;
+    } while (eat(','));
+    if (!eat(']'))
+      fail();
+  }
+  void string() {
+    if (!eat('"'))
+      return fail();
+    while (I < S.size() && S[I] != '"') {
+      if (S[I] == '\\')
+        ++I;
+      ++I;
+    }
+    if (!eat('"'))
+      fail();
+  }
+  void number() {
+    if (S[I] == '-')
+      ++I;
+    while (I < S.size() && ((S[I] >= '0' && S[I] <= '9') || S[I] == '.' ||
+                            S[I] == 'e' || S[I] == 'E' || S[I] == '+' ||
+                            S[I] == '-'))
+      ++I;
+  }
+
+  bool validate() {
+    value();
+    ws();
+    return Ok && I == S.size();
+  }
+};
+
+bool isValidJson(const std::string &S) { return JsonChecker(S).validate(); }
+
+//===----------------------------------------------------------------------===//
+// Core primitives
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, SpanNestingRecorded) {
+  Telemetry T;
+  {
+    Telemetry::Span Outer(&T, "outer");
+    {
+      Telemetry::Span Inner(&T, "inner");
+    }
+  }
+  ASSERT_EQ(T.spans().size(), 2u);
+  // Inner spans close first.
+  EXPECT_EQ(T.spans()[0].Name, "inner");
+  EXPECT_EQ(T.spans()[0].Depth, 1u);
+  EXPECT_EQ(T.spans()[1].Name, "outer");
+  EXPECT_EQ(T.spans()[1].Depth, 0u);
+  // The inner span is contained in the outer one.
+  EXPECT_GE(T.spans()[0].StartUs, T.spans()[1].StartUs);
+  EXPECT_GE(T.phaseUs("outer"), T.phaseUs("inner"));
+}
+
+TEST(TelemetryTest, RepeatedSpansAggregateInPhaseUs) {
+  Telemetry T;
+  for (int I = 0; I < 3; ++I)
+    Telemetry::Span S(&T, "phase");
+  EXPECT_EQ(T.spans().size(), 3u);
+  EXPECT_EQ(T.phaseUs("nonexistent"), 0u);
+}
+
+TEST(TelemetryTest, CountersAccumulateByName) {
+  Telemetry T;
+  ++T.counter("a");
+  T.counter("a") += 4;
+  T.add("b", 2);
+  T.add("zero", 0); // registers the key even with no traffic
+  EXPECT_EQ(T.counters().at("a").Value, 5u);
+  EXPECT_EQ(T.counters().at("b").Value, 2u);
+  EXPECT_EQ(T.counters().at("zero").Value, 0u);
+  EXPECT_EQ(T.counters().size(), 3u);
+}
+
+TEST(TelemetryTest, HistogramSummaries) {
+  Telemetry T;
+  for (uint64_t V : {0u, 1u, 2u, 5u, 8u})
+    T.record("h", V);
+  const Histogram &H = T.histograms().at("h");
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 16u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 8u);
+  EXPECT_NEAR(H.mean(), 3.2, 1e-9);
+  EXPECT_EQ(H.bucket(Histogram::bucketOf(0)), 1u);
+  // 5 and... bucketOf(5)=3 ([4,8)); bucketOf(8)=4 ([8,16)).
+  EXPECT_EQ(H.bucket(3), 1u);
+  EXPECT_EQ(H.bucket(4), 1u);
+}
+
+TEST(TelemetryTest, DisabledModeIsANullSink) {
+  Telemetry T(/*Enabled=*/false);
+  {
+    Telemetry::Span S(&T, "never");
+    ++T.counter("x");
+    T.add("y", 10);
+    T.record("h", 3);
+  }
+  EXPECT_FALSE(T.enabled());
+  EXPECT_TRUE(T.spans().empty());
+  EXPECT_TRUE(T.counters().empty());
+  EXPECT_TRUE(T.histograms().empty());
+  // Exporters still emit syntactically valid (empty) documents.
+  std::ostringstream Trace, Stats;
+  T.writeTraceJson(Trace);
+  T.writeStatsJson(Stats);
+  EXPECT_TRUE(isValidJson(Trace.str())) << Trace.str();
+  EXPECT_TRUE(isValidJson(Stats.str())) << Stats.str();
+}
+
+TEST(TelemetryTest, NullTelemetrySpanIsSafe) {
+  Telemetry::Span S(nullptr, "no-op"); // must not crash
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline integration: exact counts on fixture programs
+//===----------------------------------------------------------------------===//
+
+// A direct call evaluated twice with identical inputs inside a loop
+// fixed point: first evaluation analyzes the body (miss), the second is
+// answered from the node's memoized IN/OUT pair.
+constexpr const char *TwoEvaluationFixture = R"(
+  int g1; int g2;
+  void f(void) { }
+  int main(void) {
+    int c; int *q;
+    q = &g1;
+    while (c) { f(); q = &g2; }
+    return 0;
+  })";
+
+TEST(TelemetryTest, MemoHitCountOnLoopFixture) {
+  Pipeline P = Pipeline::analyzeSourceTraced(TwoEvaluationFixture);
+  ASSERT_TRUE(P.ok());
+  ASSERT_NE(P.Telem, nullptr);
+  const auto &C = P.Telem->counters();
+  // Loop converges in two passes: f() is evaluated once per pass.
+  EXPECT_EQ(C.at("pta.loop_iterations").Value, 2u);
+  EXPECT_EQ(C.at("pta.memo_hits").Value, 1u);
+  // Bodies analyzed: main + f (once; the second call is the memo hit).
+  EXPECT_EQ(C.at("pta.body_analyses").Value, 2u);
+  EXPECT_EQ(C.at("mu.map_calls").Value, 2u);
+  EXPECT_EQ(C.at("mu.unmap_calls").Value, 2u);
+  // The per-loop iteration histogram saw one loop with two passes.
+  const Histogram &H = P.Telem->histograms().at("pta.loop_fixpoint_iters");
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.max(), 2u);
+}
+
+TEST(TelemetryTest, InvisibleVariableCounter) {
+  // writeThrough's **pp reaches caller-invisible storage: mapping must
+  // create symbolic stand-ins (1_pp for p, 2_pp for x).
+  Pipeline P = Pipeline::analyzeSourceTraced(R"(
+    int writeThrough(int **pp) { **pp = 1; return **pp; }
+    int main(void) {
+      int x; int *p;
+      p = &x;
+      return writeThrough(&p);
+    })");
+  ASSERT_TRUE(P.ok());
+  EXPECT_GE(P.Telem->counters().at("mu.invisible_vars").Value, 2u);
+}
+
+TEST(TelemetryTest, ThinResultFieldsMatchTelemetryCounters) {
+  Pipeline P = Pipeline::analyzeSourceTraced(TwoEvaluationFixture);
+  ASSERT_TRUE(P.ok());
+  const auto &C = P.Telem->counters();
+  EXPECT_EQ(P.Analysis.BodyAnalyses, C.at("pta.body_analyses").Value);
+  EXPECT_EQ(P.Analysis.LoopIterations, C.at("pta.loop_iterations").Value);
+  EXPECT_EQ(P.Analysis.MemoHits, C.at("pta.memo_hits").Value);
+}
+
+TEST(TelemetryTest, UntracedPipelineHasNoTelemetryButKeepsCounters) {
+  Pipeline P = analyze(TwoEvaluationFixture);
+  EXPECT_EQ(P.Telem, nullptr);
+  // The legacy thin-read fields are still populated without telemetry.
+  EXPECT_EQ(P.Analysis.BodyAnalyses, 2u);
+  EXPECT_EQ(P.Analysis.MemoHits, 1u);
+  EXPECT_EQ(P.Analysis.LoopIterations, 2u);
+}
+
+TEST(TelemetryTest, PipelineRecordsAllPhases) {
+  Pipeline P = Pipeline::analyzeSourceTraced(TwoEvaluationFixture);
+  ASSERT_TRUE(P.ok());
+  auto HasSpan = [&](const char *Name) {
+    for (const auto &S : P.Telem->spans())
+      if (S.Name == Name)
+        return true;
+    return false;
+  };
+  for (const char *Phase :
+       {"lex", "parse", "simplify", "analyze", "ig-build", "pointsto"})
+    EXPECT_TRUE(HasSpan(Phase)) << Phase;
+  // ig-build and pointsto nest inside analyze.
+  for (const auto &S : P.Telem->spans())
+    if (S.Name == "ig-build" || S.Name == "pointsto")
+      EXPECT_EQ(S.Depth, 1u) << S.Name;
+}
+
+TEST(TelemetryTest, WarningsSurfaceThroughDiagnostics) {
+  // An unresolvable indirect call produces an analysis warning; it must
+  // be mirrored into the DiagnosticsEngine, not silently dropped.
+  Pipeline P = Pipeline::analyzeSource(R"(
+    int main(void) {
+      int (*fp)(void);
+      return fp();
+    })");
+  ASSERT_FALSE(P.Analysis.Warnings.empty());
+  bool Mirrored = false;
+  for (const Diagnostic &D : P.Diags.diagnostics())
+    if (D.Level == DiagLevel::Warning &&
+        D.Message == P.Analysis.Warnings.front())
+      Mirrored = true;
+  EXPECT_TRUE(Mirrored) << P.Diags.dump();
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, StatsJsonIsValidAndComplete) {
+  Pipeline P = Pipeline::analyzeSourceTraced(TwoEvaluationFixture);
+  ASSERT_TRUE(P.ok());
+  std::ostringstream OS;
+  P.Telem->writeStatsJson(OS);
+  std::string J = OS.str();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  // The acceptance bar: at least 10 named counters, including the
+  // headline ones.
+  EXPECT_GE(P.Telem->counters().size(), 10u);
+  for (const char *Key :
+       {"\"pta.memo_hits\"", "\"pta.body_analyses\"", "\"mu.map_calls\"",
+        "\"mu.unmap_calls\"", "\"pta.loop_iterations\"",
+        "\"mu.invisible_vars\"", "\"ig.nodes\"", "\"counters\"",
+        "\"histograms\"", "\"phases_us\""})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key;
+}
+
+TEST(TelemetryTest, TraceJsonIsValidTraceEventFormat) {
+  Pipeline P = Pipeline::analyzeSourceTraced(TwoEvaluationFixture);
+  ASSERT_TRUE(P.ok());
+  std::ostringstream OS;
+  P.Telem->writeTraceJson(OS);
+  std::string J = OS.str();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"pointsto\""), std::string::npos);
+  // Every complete event needs ts and dur for trace viewers.
+  EXPECT_NE(J.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(J.find("\"dur\":"), std::string::npos);
+}
+
+TEST(TelemetryTest, JsonEscaping) {
+  EXPECT_EQ(Telemetry::jsonEscape("plain"), "plain");
+  EXPECT_EQ(Telemetry::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(Telemetry::jsonEscape("x\ny"), "x\\ny");
+}
+
+TEST(TelemetryTest, ProfileTableListsPhases) {
+  Pipeline P = Pipeline::analyzeSourceTraced(TwoEvaluationFixture);
+  ASSERT_TRUE(P.ok());
+  std::string Table = P.Telem->profileTable();
+  for (const char *Phase : {"lex", "parse", "simplify", "pointsto", "total"})
+    EXPECT_NE(Table.find(Phase), std::string::npos) << Table;
+}
+
+} // namespace

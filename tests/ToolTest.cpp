@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -119,6 +120,73 @@ TEST(ToolTest, FnPtrModeFlags) {
 TEST(ToolTest, ContextInsensitiveFlag) {
   ToolRun R = runTool("--stats --context-insensitive --corpus dry");
   EXPECT_EQ(R.ExitCode, 0);
+}
+
+TEST(ToolTest, ProfileFlagPrintsPhaseTable) {
+  ToolRun R = runTool("--profile --corpus hash");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("phase"), std::string::npos) << R.Output;
+  for (const char *Phase : {"lex", "parse", "simplify", "pointsto", "total"})
+    EXPECT_NE(R.Output.find(Phase), std::string::npos) << Phase;
+}
+
+TEST(ToolTest, StatsJsonExport) {
+  std::string Path = ::testing::TempDir() + "/pta_tool_stats.json";
+  ToolRun R = runTool("--json " + Path + " --corpus hash");
+  EXPECT_EQ(R.ExitCode, 0);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string J((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"pta.memo_hits\""), std::string::npos);
+  EXPECT_NE(J.find("\"mu.map_calls\""), std::string::npos);
+  EXPECT_NE(J.find("\"phases_us\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, TraceJsonExport) {
+  std::string Path = ::testing::TempDir() + "/pta_tool_trace.json";
+  ToolRun R = runTool("--trace-json " + Path + " --corpus hash");
+  EXPECT_EQ(R.ExitCode, 0);
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string J((std::istreambuf_iterator<char>(In)),
+                std::istreambuf_iterator<char>());
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"name\":\"pointsto\""), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, AllObservabilityFlagsTogether) {
+  // The acceptance-criteria invocation: profile table + stats JSON +
+  // trace JSON from one run, against a real source file.
+  std::string Src = writeTemp(R"(
+    int g;
+    void set(int **out, int *value) { *out = value; }
+    int main(void) {
+      int *p;
+      set(&p, &g);
+      return *p;
+    })");
+  std::string Stats = ::testing::TempDir() + "/pta_tool_all_stats.json";
+  std::string Trace = ::testing::TempDir() + "/pta_tool_all_trace.json";
+  ToolRun R = runTool("--profile --json " + Stats + " --trace-json " +
+                      Trace + " " + Src);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("phase"), std::string::npos);
+  EXPECT_TRUE(std::ifstream(Stats).good());
+  EXPECT_TRUE(std::ifstream(Trace).good());
+  std::remove(Src.c_str());
+  std::remove(Stats.c_str());
+  std::remove(Trace.c_str());
+}
+
+TEST(ToolTest, JsonFlagWithoutPathIsUsageError) {
+  ToolRun R = runTool("--json");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
 }
 
 } // namespace
