@@ -1,0 +1,106 @@
+//===- bench_limits.cpp - resource-governance overhead and payoff --------------===//
+//
+// Two questions about docs/ROBUSTNESS.md's budgets:
+//
+//  1. Overhead: what does an armed-but-never-tripping meter cost on a
+//     normal run? (Expected: noise — one branch per governed site.)
+//  2. Payoff: how fast does a deadline tame wlgen's pathological
+//     programs, and what does the degraded answer look like?
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "wlgen/WorkloadGen.h"
+
+#include <chrono>
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+
+namespace {
+
+void printGovernedSweep() {
+  printHeader("Resource governance",
+              "governed vs. ungoverned cost on pathological programs");
+  std::printf("%-22s %10s %10s %8s %12s\n", "configuration", "time-ms",
+              "ig-nodes", "pairs", "degradations");
+  struct Config {
+    const char *Name;
+    unsigned Depth;
+    uint64_t TimeoutMs;
+  };
+  // Depth 7+ ungoverned takes seconds to minutes (3^Depth contexts);
+  // keep the ungoverned rows small and let the deadline handle the big
+  // ones.
+  const Config Configs[] = {
+      {"depth 4, no limits", 4, 0},   {"depth 5, no limits", 5, 0},
+      {"depth 5, 100ms", 5, 100},     {"depth 7, 100ms", 7, 100},
+      {"depth 8, 200ms", 8, 200},
+  };
+  for (const Config &C : Configs) {
+    std::string Src = wlgen::pathologicalSource(C.Depth);
+    pta::Analyzer::Options Opts;
+    Opts.Limits.TimeoutMs = C.TimeoutMs;
+    auto T0 = std::chrono::steady_clock::now();
+    Pipeline P = Pipeline::analyzeSource(Src, Opts);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    if (!P.Analysis.Analyzed) {
+      std::printf("%-22s <failed>\n", C.Name);
+      continue;
+    }
+    std::printf("%-22s %10.1f %10u %8zu %12zu\n", C.Name, Ms,
+                P.Analysis.IG->numNodes(),
+                P.Analysis.MainOut ? P.Analysis.MainOut->size() : 0,
+                P.Analysis.Degradations.size());
+  }
+  std::printf("\n");
+}
+
+// Armed meter that never trips: measures pure governance overhead on a
+// well-behaved corpus program.
+void BM_CorpusGovernedVsNot(benchmark::State &State) {
+  const corpus::CorpusProgram &CP = corpus::corpus()[0];
+  pta::Analyzer::Options Opts;
+  if (State.range(0))
+    Opts.Limits.TimeoutMs = 3600000; // 1h: armed, never trips
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(CP.Source, Opts);
+    benchmark::DoNotOptimize(P.Analysis.Analyzed);
+  }
+}
+BENCHMARK(BM_CorpusGovernedVsNot)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PathologicalDeadline(benchmark::State &State) {
+  std::string Src =
+      wlgen::pathologicalSource(static_cast<unsigned>(State.range(0)));
+  pta::Analyzer::Options Opts;
+  Opts.Limits.TimeoutMs = 100;
+  for (auto _ : State) {
+    Pipeline P = Pipeline::analyzeSource(Src, Opts);
+    benchmark::DoNotOptimize(P.Analysis.Degradations.size());
+  }
+}
+BENCHMARK(BM_PathologicalDeadline)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
+  printGovernedSweep();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "limits"))
+    return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -612,7 +612,17 @@ void Parser::parseFunctionDefinition(const DeclSpec &DS, const Declarator &D,
                                      const Type *FnTy) {
   (void)DS;
   auto *FD = dynCastDecl<FunctionDecl>(lookup(D.declaredName()));
-  assert(FD && "function must have been declared");
+  if (!FD) {
+    // The name resolves to a non-function declaration (e.g. `int x;
+    // int x(void) { ... }`). Diagnose and recover with a detached
+    // FunctionDecl so the body still parses instead of dying on
+    // malformed input.
+    Diags.error(D.declaredLoc(),
+                "'" + D.declaredName() + "' redeclared as a function");
+    FD = Ctx.create<FunctionDecl>(D.declaredName(), D.declaredLoc(),
+                                  static_cast<const FunctionType *>(FnTy));
+    Unit->addFunction(FD);
+  }
   if (FD->isDefined()) {
     Diags.error(D.declaredLoc(),
                 "redefinition of function '" + D.declaredName() + "'");

@@ -42,7 +42,11 @@ void runFrontend(Pipeline &P, const std::string &Source) {
 
 /// Runs the analyzer and mirrors its warnings into the diagnostics
 /// engine, so drivers that only look at Diags still surface them (e.g.
-/// a MaxLoopIterations safety-valve trip).
+/// a MaxLoopIterations safety-valve trip). Budget degradations arrive
+/// through the same channel: every Result::Degradations entry has a
+/// matching "analysis degraded [kind] ..." warning, so a degraded run
+/// is visible in Diags while the structured report stays available in
+/// P.Analysis.Degradations.
 void runAnalysis(Pipeline &P, const pta::Analyzer::Options &Opts) {
   {
     support::Telemetry::Span S(P.Telem.get(), "analyze");

@@ -60,6 +60,13 @@ struct Pipeline {
     return !Diags.hasErrors() && Prog != nullptr && Analysis.Analyzed;
   }
 
+  /// True when the analysis ran but tripped a resource budget and took
+  /// one or more conservative fallbacks (see Analysis.Degradations and
+  /// docs/ROBUSTNESS.md). A degraded result is still ok(): clients that
+  /// need full precision must check this separately (pta-tool maps it
+  /// to exit code 2 under --strict).
+  bool degraded() const { return Analysis.degraded(); }
+
   /// Parses and lowers only (no analysis). Prog is null on error.
   static Pipeline frontend(const std::string &Source);
 

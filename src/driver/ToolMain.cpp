@@ -5,7 +5,9 @@
 // Usage:
 //   pta-tool [options] file.c
 //   pta-tool [options] --corpus NAME      (embedded benchmark)
+//   pta-tool [options] --batch DIR        (every *.c file, isolated)
 //   pta-tool --list-corpus
+//   pta-tool --gen-stress[=DEPTH]         (print a pathological program)
 //
 // Options:
 //   --dump-simple     print the SIMPLE lowering
@@ -19,6 +21,18 @@
 //   --trace-json FILE write Chrome trace_event JSON (chrome://tracing,
 //                     Perfetto)
 //
+// Resource governance (docs/ROBUSTNESS.md):
+//   --timeout-ms=N        wall-clock deadline for the analysis
+//   --max-stmt-visits=N   statement-visit budget
+//   --max-locations=N     abstract-location cap
+//   --max-ig-nodes=N      invocation-graph node cap
+//   --max-rec-passes=N    recursion-generalization pass cap
+//   --strict              exit 2 when the analysis degraded
+//
+// Exit codes: 0 = clean run (degraded runs included unless --strict),
+// 1 = usage/input/diagnostics error, 2 = analysis degraded under
+// --strict.
+//
 //===----------------------------------------------------------------------===//
 
 #include "clients/GeneralStats.h"
@@ -26,95 +40,80 @@
 #include "clients/IndirectRefStats.h"
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
+#include "wlgen/WorkloadGen.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace mcpta;
 
-static int usage() {
-  std::fprintf(stderr,
-               "usage: pta-tool [--dump-simple] [--dump-ig] "
-               "[--dump-pointsto] [--stats]\n"
-               "                [--fnptr=precise|all|address-taken] "
-               "[--context-insensitive]\n"
-               "                [--profile] [--json FILE] "
-               "[--trace-json FILE]\n"
-               "                (file.c | --corpus NAME | --list-corpus)\n");
-  return 2;
+namespace {
+
+struct ToolConfig {
+  bool DumpSimple = false;
+  bool DumpIG = false;
+  bool DumpPointsTo = false;
+  bool Stats = false;
+  bool Profile = false;
+  bool Strict = false;
+  pta::Analyzer::Options Opts;
+  std::string StatsJsonPath, TraceJsonPath;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pta-tool [--dump-simple] [--dump-ig] "
+      "[--dump-pointsto] [--stats]\n"
+      "                [--fnptr=precise|all|address-taken] "
+      "[--context-insensitive]\n"
+      "                [--profile] [--json FILE] [--trace-json FILE]\n"
+      "                [--timeout-ms=N] [--max-stmt-visits=N] "
+      "[--max-locations=N]\n"
+      "                [--max-ig-nodes=N] [--max-rec-passes=N] [--strict]\n"
+      "                (file.c | --corpus NAME | --batch DIR | "
+      "--list-corpus |\n"
+      "                 --gen-stress[=DEPTH])\n");
+  return 1;
 }
 
-int main(int argc, char **argv) {
-  bool DumpSimple = false, DumpIG = false, DumpPointsTo = false,
-       Stats = false, Profile = false;
-  pta::Analyzer::Options Opts;
-  std::string File, CorpusName, StatsJsonPath, TraceJsonPath;
-
-  for (int I = 1; I < argc; ++I) {
-    std::string Arg = argv[I];
-    if (Arg == "--dump-simple")
-      DumpSimple = true;
-    else if (Arg == "--dump-ig")
-      DumpIG = true;
-    else if (Arg == "--dump-pointsto")
-      DumpPointsTo = true;
-    else if (Arg == "--stats")
-      Stats = true;
-    else if (Arg == "--profile")
-      Profile = true;
-    else if (Arg == "--fnptr=precise")
-      Opts.FnPtr = pta::FnPtrMode::Precise;
-    else if (Arg == "--fnptr=all")
-      Opts.FnPtr = pta::FnPtrMode::AllFunctions;
-    else if (Arg == "--fnptr=address-taken")
-      Opts.FnPtr = pta::FnPtrMode::AddressTaken;
-    else if (Arg == "--context-insensitive")
-      Opts.ContextSensitive = false;
-    else if (Arg == "--json" && I + 1 < argc)
-      StatsJsonPath = argv[++I];
-    else if (Arg == "--trace-json" && I + 1 < argc)
-      TraceJsonPath = argv[++I];
-    else if (Arg == "--list-corpus") {
-      for (const corpus::CorpusProgram &P : corpus::corpus())
-        std::printf("%-10s %s\n", P.Name, P.Description);
-      return 0;
-    } else if (Arg == "--corpus" && I + 1 < argc) {
-      CorpusName = argv[++I];
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      return usage();
-    } else {
-      File = Arg;
-    }
+/// Parses "--name=NUM" into \p Out. Returns false when \p Arg does not
+/// start with "--name="; a malformed number is reported and exits 1
+/// through \p Bad.
+bool parseU64Flag(const std::string &Arg, const char *Name, uint64_t &Out,
+                  bool &Bad) {
+  std::string Prefix = std::string(Name) + "=";
+  if (Arg.compare(0, Prefix.size(), Prefix) != 0)
+    return false;
+  const std::string Val = Arg.substr(Prefix.size());
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Val.c_str(), &End, 10);
+  if (Val.empty() || !End || *End != '\0') {
+    std::fprintf(stderr, "error: invalid number in '%s'\n", Arg.c_str());
+    Bad = true;
+    return true;
   }
+  Out = N;
+  return true;
+}
 
-  std::string Source;
-  if (!CorpusName.empty()) {
-    const corpus::CorpusProgram *P = corpus::find(CorpusName);
-    if (!P) {
-      std::fprintf(stderr, "error: unknown corpus program '%s'\n",
-                   CorpusName.c_str());
-      return 2;
-    }
-    Source = P->Source;
-  } else if (!File.empty()) {
-    std::ifstream In(File);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
-      return 2;
-    }
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    Source = SS.str();
-  } else {
-    return usage();
-  }
-
+/// Analyzes one source text; prints per the config. Returns the process
+/// exit code (0 clean, 1 error, 2 degraded under --strict).
+int runOne(const std::string &Source, const ToolConfig &Cfg) {
+  pta::Analyzer::Options Opts = Cfg.Opts;
   // Any observability flag turns on the instrumented pipeline; the
   // default path stays uninstrumented (no telemetry overhead at all).
-  bool WantTelemetry =
-      Profile || !StatsJsonPath.empty() || !TraceJsonPath.empty();
+  bool WantTelemetry = Cfg.Profile || !Cfg.StatsJsonPath.empty() ||
+                       !Cfg.TraceJsonPath.empty();
   Pipeline P = WantTelemetry ? Pipeline::analyzeSourceTraced(Source, Opts)
                              : Pipeline::analyzeSource(Source, Opts);
   if (P.Diags.hasErrors()) {
@@ -128,15 +127,27 @@ int main(int argc, char **argv) {
     if (D.Level == DiagLevel::Warning)
       std::fprintf(stderr, "warning: %s\n", D.Message.c_str());
 
-  if (DumpSimple)
-    std::fputs(P.Prog->str().c_str(), stdout);
-  if (DumpIG && P.Analysis.IG)
-    std::fputs(P.Analysis.IG->str().c_str(), stdout);
-  if (DumpPointsTo && P.Analysis.MainOut)
-    std::printf("%s\n",
-                P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
+  // Budget degradations: one structured line per fallback taken, plus a
+  // headline so batch logs stay greppable.
+  if (P.degraded()) {
+    for (const support::Degradation &D : P.Analysis.Degradations)
+      std::fprintf(stderr, "degraded: [%s] %s: %s\n",
+                   support::limitKindName(D.Kind), D.Context.c_str(),
+                   D.Action.c_str());
+    std::fprintf(stderr,
+                 "note: analysis degraded (%zu fallback(s)); results are "
+                 "conservative but less precise\n",
+                 P.Analysis.Degradations.size());
+  }
 
-  if (Stats) {
+  if (Cfg.DumpSimple)
+    std::fputs(P.Prog->str().c_str(), stdout);
+  if (Cfg.DumpIG && P.Analysis.IG)
+    std::fputs(P.Analysis.IG->str().c_str(), stdout);
+  if (Cfg.DumpPointsTo && P.Analysis.MainOut)
+    std::printf("%s\n", P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
+
+  if (Cfg.Stats) {
     support::Telemetry::Span ClientsSpan(P.Telem.get(), "clients");
     auto IR = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
     auto GS = clients::GeneralStats::compute(*P.Prog, P.Analysis);
@@ -157,19 +168,193 @@ int main(int argc, char **argv) {
                 IS.Approximate, IS.avgPerCallSite(), IS.avgPerFunction());
   }
 
-  if (Profile && P.Telem)
+  if (Cfg.Profile && P.Telem)
     std::fputs(P.Telem->profileTable().c_str(), stdout);
-  if (!StatsJsonPath.empty() && P.Telem &&
-      !P.Telem->writeStatsJsonFile(StatsJsonPath)) {
+  if (!Cfg.StatsJsonPath.empty() && P.Telem &&
+      !P.Telem->writeStatsJsonFile(Cfg.StatsJsonPath)) {
     std::fprintf(stderr, "error: cannot write stats JSON to '%s'\n",
-                 StatsJsonPath.c_str());
+                 Cfg.StatsJsonPath.c_str());
     return 1;
   }
-  if (!TraceJsonPath.empty() && P.Telem &&
-      !P.Telem->writeTraceJsonFile(TraceJsonPath)) {
+  if (!Cfg.TraceJsonPath.empty() && P.Telem &&
+      !P.Telem->writeTraceJsonFile(Cfg.TraceJsonPath)) {
     std::fprintf(stderr, "error: cannot write trace JSON to '%s'\n",
-                 TraceJsonPath.c_str());
+                 Cfg.TraceJsonPath.c_str());
     return 1;
   }
-  return 0;
+  return (Cfg.Strict && P.degraded()) ? 2 : 0;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// Batch mode: analyzes every *.c file under \p Dir, each in a forked
+/// child so one pathological or crashing input cannot take down the
+/// rest of the batch. Prints one status line per file.
+int runBatch(const std::string &Dir, const ToolConfig &Cfg) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  std::vector<std::string> Files;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC))
+    if (E.is_regular_file() && E.path().extension() == ".c")
+      Files.push_back(E.path().string());
+  if (EC) {
+    std::fprintf(stderr, "error: cannot read directory '%s': %s\n",
+                 Dir.c_str(), EC.message().c_str());
+    return 1;
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no .c files in '%s'\n", Dir.c_str());
+    return 1;
+  }
+  std::sort(Files.begin(), Files.end());
+
+  // Worst outcome across the batch: error (1) beats degraded-under-
+  // strict (2) beats clean (0).
+  bool AnyError = false, AnyDegraded = false;
+  for (const std::string &F : Files) {
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::fprintf(stderr, "error: fork failed for '%s'\n", F.c_str());
+      return 1;
+    }
+    if (Pid == 0) {
+      std::string Source;
+      if (!readFile(F, Source)) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", F.c_str());
+        _exit(1);
+      }
+      _exit(runOne(Source, Cfg));
+    }
+    int Status = 0;
+    if (waitpid(Pid, &Status, 0) < 0) {
+      std::fprintf(stderr, "error: waitpid failed for '%s'\n", F.c_str());
+      return 1;
+    }
+    if (WIFSIGNALED(Status)) {
+      std::printf("%s: CRASHED (signal %d)\n", F.c_str(),
+                  WTERMSIG(Status));
+      AnyError = true;
+      continue;
+    }
+    int Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : 1;
+    if (Code == 0)
+      std::printf("%s: ok\n", F.c_str());
+    else if (Code == 2) {
+      std::printf("%s: degraded\n", F.c_str());
+      AnyDegraded = true;
+    } else {
+      std::printf("%s: error\n", F.c_str());
+      AnyError = true;
+    }
+  }
+  if (AnyError)
+    return 1;
+  return AnyDegraded ? 2 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ToolConfig Cfg;
+  std::string File, CorpusName, BatchDir;
+  bool BadNumber = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--dump-simple")
+      Cfg.DumpSimple = true;
+    else if (Arg == "--dump-ig")
+      Cfg.DumpIG = true;
+    else if (Arg == "--dump-pointsto")
+      Cfg.DumpPointsTo = true;
+    else if (Arg == "--stats")
+      Cfg.Stats = true;
+    else if (Arg == "--profile")
+      Cfg.Profile = true;
+    else if (Arg == "--strict")
+      Cfg.Strict = true;
+    else if (Arg == "--fnptr=precise")
+      Cfg.Opts.FnPtr = pta::FnPtrMode::Precise;
+    else if (Arg == "--fnptr=all")
+      Cfg.Opts.FnPtr = pta::FnPtrMode::AllFunctions;
+    else if (Arg == "--fnptr=address-taken")
+      Cfg.Opts.FnPtr = pta::FnPtrMode::AddressTaken;
+    else if (Arg == "--context-insensitive")
+      Cfg.Opts.ContextSensitive = false;
+    else if (parseU64Flag(Arg, "--timeout-ms", Cfg.Opts.Limits.TimeoutMs,
+                          BadNumber) ||
+             parseU64Flag(Arg, "--max-stmt-visits",
+                          Cfg.Opts.Limits.MaxStmtVisits, BadNumber) ||
+             parseU64Flag(Arg, "--max-locations",
+                          Cfg.Opts.Limits.MaxLocations, BadNumber) ||
+             parseU64Flag(Arg, "--max-ig-nodes",
+                          Cfg.Opts.Limits.MaxIGNodes, BadNumber) ||
+             parseU64Flag(Arg, "--max-rec-passes",
+                          Cfg.Opts.Limits.MaxRecPasses, BadNumber)) {
+      if (BadNumber)
+        return 1;
+    } else if (Arg == "--json" && I + 1 < argc)
+      Cfg.StatsJsonPath = argv[++I];
+    else if (Arg == "--trace-json" && I + 1 < argc)
+      Cfg.TraceJsonPath = argv[++I];
+    else if (Arg == "--list-corpus") {
+      for (const corpus::CorpusProgram &P : corpus::corpus())
+        std::printf("%-10s %s\n", P.Name, P.Description);
+      return 0;
+    } else if (Arg == "--gen-stress" ||
+               Arg.compare(0, 13, "--gen-stress=") == 0) {
+      // Emit a terminating but analysis-hostile program (deep direct-
+      // call fan-out + function-pointer dispatch + bounded recursion)
+      // for budget-exhaustion smoke tests.
+      unsigned Depth = 8;
+      if (Arg.size() > 13) {
+        uint64_t D = 0;
+        bool Bad = false;
+        if (!parseU64Flag(Arg, "--gen-stress", D, Bad) || Bad || D == 0)
+          return usage();
+        Depth = static_cast<unsigned>(D);
+      }
+      std::fputs(wlgen::pathologicalSource(Depth).c_str(), stdout);
+      return 0;
+    } else if (Arg == "--corpus" && I + 1 < argc) {
+      CorpusName = argv[++I];
+    } else if (Arg == "--batch" && I + 1 < argc) {
+      BatchDir = argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return usage();
+    } else {
+      File = Arg;
+    }
+  }
+
+  if (!BatchDir.empty())
+    return runBatch(BatchDir, Cfg);
+
+  std::string Source;
+  if (!CorpusName.empty()) {
+    const corpus::CorpusProgram *P = corpus::find(CorpusName);
+    if (!P) {
+      std::fprintf(stderr, "error: unknown corpus program '%s'\n",
+                   CorpusName.c_str());
+      return 1;
+    }
+    Source = P->Source;
+  } else if (!File.empty()) {
+    if (!readFile(File, Source)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+  } else {
+    return usage();
+  }
+
+  return runOne(Source, Cfg);
 }

@@ -88,23 +88,31 @@ IGNode *InvocationGraph::makeNode(const FunctionDecl *F, IGNode *Parent,
                                   unsigned CallSiteId) {
   Nodes.push_back(std::unique_ptr<IGNode>(new IGNode(F, Parent, CallSiteId)));
   ++Ctrs.NodesCreated;
+  if (Meter)
+    Meter->noteIGNode(Ctrs.NodesCreated);
   return Nodes.back().get();
 }
 
 std::unique_ptr<InvocationGraph>
-InvocationGraph::build(const Program &Prog) {
+InvocationGraph::build(const Program &Prog, support::BudgetMeter *Meter) {
   const FunctionDecl *Main = Prog.unit().findFunction("main");
   if (!Main || !Prog.findFunction(Main))
     return nullptr;
 
   std::unique_ptr<InvocationGraph> IG(new InvocationGraph());
   IG->Prog = &Prog;
+  IG->Meter = Meter;
   IG->Root = IG->makeNode(Main, nullptr, /*CallSiteId=*/~0u);
   IG->expandDirectCalls(IG->Root);
   return IG;
 }
 
 void InvocationGraph::expandDirectCalls(IGNode *Node) {
+  // Governed build: once the node cap or deadline trips, stop the eager
+  // per-context expansion. Unexpanded calls are grown lazily during the
+  // analysis, which by then shares canonical nodes (see below).
+  if (Meter && Meter->tripped())
+    return;
   const FunctionIR *FIR = Prog->findFunction(Node->F);
   if (!FIR)
     return; // extern function: no body to expand
@@ -126,6 +134,19 @@ IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
   if (It != Parent->ChildIndex.end()) {
     ++Ctrs.ChildCacheHits;
     return It->second;
+  }
+
+  // Budget tripped: no new contexts. Hand out one shared canonical node
+  // per callee; the analyzer evaluates it with merged summaries, so
+  // sharing across call sites only merges contexts (sound).
+  if (Meter && Meter->tripped()) {
+    ++Ctrs.CanonicalFallbacks;
+    IGNode *&Canon = CanonicalNodes[Callee];
+    if (!Canon) {
+      Canon = makeNode(Callee, Root, CallSiteId);
+      Root->Children.push_back(Canon);
+    }
+    return Canon;
   }
 
   IGNode *Child = makeNode(Callee, Parent, CallSiteId);

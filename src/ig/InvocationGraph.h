@@ -28,6 +28,7 @@
 
 #include "pointsto/PointsToSet.h"
 #include "simple/SimpleIR.h"
+#include "support/Limits.h"
 
 #include <map>
 #include <memory>
@@ -108,7 +109,15 @@ public:
   /// Builds the initial graph from direct calls only, rooted at `main`,
   /// leaving indirect call sites open. Returns null if the program has
   /// no defined main.
-  static std::unique_ptr<InvocationGraph> build(const simple::Program &Prog);
+  ///
+  /// When \p Meter is non-null the build is resource-governed: every
+  /// node created is reported through BudgetMeter::noteIGNode, and once
+  /// the node cap (or the deadline) trips, eager direct-call expansion
+  /// stops — the remaining subtrees are grown lazily by
+  /// getOrCreateChild, which then hands out shared canonical
+  /// per-function nodes instead of per-context ones.
+  static std::unique_ptr<InvocationGraph>
+  build(const simple::Program &Prog, support::BudgetMeter *Meter = nullptr);
 
   IGNode *root() const { return Root; }
   const simple::Program &program() const { return *Prog; }
@@ -118,6 +127,13 @@ public:
   /// chain, the child is an Approximate node wired to that (now
   /// Recursive) ancestor; otherwise an Ordinary node whose direct-call
   /// subtree is expanded eagerly. Idempotent.
+  ///
+  /// Once the governing meter has tripped, new contexts are no longer
+  /// materialized: the call returns one shared canonical node per
+  /// callee (parented at the root, never eagerly expanded). The
+  /// analyzer evaluates such nodes context-insensitively, so sharing
+  /// them across call sites is sound — it merges contexts, exactly the
+  /// degradation we opted into.
   IGNode *getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
                            const cfront::FunctionDecl *Callee);
 
@@ -133,6 +149,9 @@ public:
     uint64_t NodesCreated = 0;
     uint64_t ChildCacheHits = 0;
     uint64_t RecursivePromotions = 0;
+    /// getOrCreateChild calls answered with a shared canonical node
+    /// because the node budget (or deadline) had tripped.
+    uint64_t CanonicalFallbacks = 0;
   };
   const BuildCounters &buildCounters() const { return Ctrs; }
 
@@ -169,6 +188,10 @@ private:
   IGNode *Root = nullptr;
   std::vector<std::unique_ptr<IGNode>> Nodes;
   BuildCounters Ctrs;
+  /// Resource governor; null for ungoverned runs.
+  support::BudgetMeter *Meter = nullptr;
+  /// Shared per-function nodes handed out after the budget tripped.
+  std::map<const cfront::FunctionDecl *, IGNode *> CanonicalNodes;
 };
 
 /// Collects the call sites appearing in a statement tree, in program

@@ -68,6 +68,10 @@ struct HotCounters {
   uint64_t IndirectCallsResolved = 0;
   uint64_t IndirectTargetsTotal = 0;
   uint64_t ExternCalls = 0;
+  /// Loops whose fixed point was stopped by MaxLoopIterations.
+  uint64_t LoopLimitHits = 0;
+  /// Degradation occurrences per LimitKind (pta.degraded.*).
+  uint64_t DegradedByKind[support::NumLimitKinds] = {};
 };
 
 class AnalyzerImpl {
@@ -75,7 +79,10 @@ public:
   AnalyzerImpl(const Program &Prog, const Analyzer::Options &Opts,
                Analyzer::Result &Res)
       : Prog(Prog), Opts(Opts), Res(Res), Locs(*Res.Locs), Eval(Locs),
-        MU(Locs, Prog),
+        MeterStorage(Opts.Limits.any()
+                         ? std::make_unique<support::BudgetMeter>(Opts.Limits)
+                         : nullptr),
+        Meter(MeterStorage.get()), MU(Locs, Prog, Meter),
         Telem(Opts.Telem && Opts.Telem->enabled() ? Opts.Telem : nullptr),
         HStmtIn(Telem ? &Telem->histogram("pta.stmt_in_size") : nullptr),
         HLoopIters(Telem ? &Telem->histogram("pta.loop_fixpoint_iters")
@@ -150,12 +157,55 @@ private:
 
   void warnOnce(const std::string &Key, const std::string &Msg);
 
+  //===--------------------------------------------------------------------===//
+  // Resource governance (docs/ROBUSTNESS.md)
+  //===--------------------------------------------------------------------===//
+
+  /// Per-statement budget tick: visit counting, amortized deadline and
+  /// location-cap checks. One null-pointer branch when ungoverned.
+  void budgetTick() {
+    if (!Meter)
+      return;
+    Meter->tick();
+    if ((Meter->stmtVisits() & 255) == 0)
+      Meter->noteLocations(Locs.numLocations());
+    if (Meter->tripped())
+      noteTrips();
+  }
+
+  /// Latches degraded mode and records one Degradation entry per newly
+  /// tripped global budget (deadline, statement visits, locations,
+  /// invocation-graph nodes). Per-region cuts (recursion pass cap,
+  /// deadline cut of an in-flight fixed point) are recorded at their
+  /// sites instead.
+  void noteTrips();
+
+  /// Records a degradation event: bumps the per-kind occurrence
+  /// counter, and on first sight of this (kind, context) appends a
+  /// Result::Degradations entry and a warning.
+  void recordDegradation(support::LimitKind K, const std::string &Context,
+                         const std::string &Action);
+
+  /// First tripped global budget, for attributing secondary fallbacks.
+  support::LimitKind primaryTrippedKind() const;
+
   const Program &Prog;
   const Analyzer::Options &Opts;
   Analyzer::Result &Res;
   LocationTable &Locs;
   LREvaluator Eval;
+  /// Owns the budget meter iff any limit is set; components share the
+  /// raw pointer and pay one branch when it is null.
+  std::unique_ptr<support::BudgetMeter> MeterStorage;
+  support::BudgetMeter *Meter;
   MapUnmap MU;
+
+  /// Sticky: set when a global budget trips. From then on every call is
+  /// evaluated through the context-insensitive merged summaries and the
+  /// invocation graph stops materializing new contexts.
+  bool DegradedMode = false;
+  bool TripRecorded[support::NumLimitKinds] = {};
+  std::set<std::string> DegradationKeys;
 
   /// Global memoization epoch; bumped whenever a recursion summary
   /// grows, invalidating dependent memo entries.
@@ -185,7 +235,76 @@ void AnalyzerImpl::warnOnce(const std::string &Key, const std::string &Msg) {
     Res.Warnings.push_back(Msg);
 }
 
+static const char *trippedContext(support::LimitKind K) {
+  switch (K) {
+  case support::LimitKind::Deadline:
+    return "wall-clock deadline reached";
+  case support::LimitKind::StmtVisits:
+    return "statement-visit budget exhausted";
+  case support::LimitKind::Locations:
+    return "abstract-location cap reached";
+  case support::LimitKind::IGNodes:
+    return "invocation-graph node cap reached";
+  case support::LimitKind::RecPasses:
+    return "recursion-generalization pass cap reached";
+  }
+  return "budget exhausted";
+}
+
+static const char *trippedAction(support::LimitKind K) {
+  switch (K) {
+  case support::LimitKind::Locations:
+    return "new invisible-variable chains collapse at symbolic level 1; "
+           "remaining calls use context-insensitive merged summaries";
+  case support::LimitKind::IGNodes:
+    return "new contexts share one canonical invocation node per function; "
+           "remaining calls use context-insensitive merged summaries";
+  default:
+    return "remaining calls use context-insensitive merged summaries";
+  }
+}
+
+support::LimitKind AnalyzerImpl::primaryTrippedKind() const {
+  if (Meter)
+    for (unsigned I = 0; I < support::NumLimitKinds; ++I)
+      if (Meter->tripped(static_cast<support::LimitKind>(I)))
+        return static_cast<support::LimitKind>(I);
+  return support::LimitKind::Deadline;
+}
+
+void AnalyzerImpl::recordDegradation(support::LimitKind K,
+                                     const std::string &Context,
+                                     const std::string &Action) {
+  ++C.DegradedByKind[static_cast<unsigned>(K)];
+  std::string Key = std::string(support::limitKindName(K)) + "|" + Context;
+  if (!DegradationKeys.insert(Key).second)
+    return;
+  Res.Degradations.push_back({K, Context, Action});
+  warnOnce("degraded-" + Key,
+           "analysis degraded [" + std::string(support::limitKindName(K)) +
+               "] " + Context + ": " + Action);
+}
+
+void AnalyzerImpl::noteTrips() {
+  if (!Meter || !Meter->tripped())
+    return;
+  DegradedMode = true;
+  for (unsigned I = 0; I < support::NumLimitKinds; ++I) {
+    auto K = static_cast<support::LimitKind>(I);
+    if (!Meter->tripped(K) || TripRecorded[I])
+      continue;
+    TripRecorded[I] = true;
+    recordDegradation(K, trippedContext(K), trippedAction(K));
+    // Location-table blowup: make every *new* invisible-variable chain
+    // collapse immediately into the existing k-limit summary machinery
+    // (top-saturated symbolic names), stopping further growth.
+    if (K == support::LimitKind::Locations)
+      Locs.setSymbolicLevelLimit(1);
+  }
+}
+
 void AnalyzerImpl::recordStmtIn(const Stmt *S, const OptSet &In) {
+  budgetTick();
   if (HStmtIn && In)
     HStmtIn->record(In->size());
   if (!Opts.RecordStmtSets)
@@ -404,7 +523,25 @@ FlowState AnalyzerImpl::processLoop(const LoopStmt *L, OptSet In,
     mergeInto(X, TOut);
     if ((!X && !Prev) || (X && Prev && *X == *Prev))
       break;
+    // Governed cut: a run well past its deadline stops generalizing the
+    // loop head. The partial state is kept but fully demoted — none of
+    // the un-reached iterations' kills is trusted as definite.
+    if (Meter && Passes >= 2 && Meter->hardDeadline()) {
+      if (X)
+        X->demoteAll();
+      if (BreakAcc)
+        BreakAcc->demoteAll();
+      if (RetAcc)
+        RetAcc->demoteAll();
+      if (LastTrailOut)
+        LastTrailOut->demoteAll();
+      recordDegradation(support::LimitKind::Deadline, "loop fixed point",
+                        "cut short past the hard deadline before "
+                        "convergence; definiteness dropped");
+      break;
+    }
     if (++Iters > Opts.MaxLoopIterations) {
+      ++C.LoopLimitHits;
       warnOnce("loop-fixpoint",
                "loop fixed point did not converge within the iteration "
                "limit; results remain safe but may be imprecise");
@@ -507,7 +644,13 @@ FlowState AnalyzerImpl::processAssign(const AssignStmt *A, OptSet In,
     Rlocs = {{Locs.heap(), Def::P}}; // Table 1's malloc() row
     break;
   case AssignStmt::RhsKind::Call:
-    assert(false && "call rhs handled above");
+    // Handled at the top of this function; reaching here means the
+    // lowering produced an inconsistent statement. Recover with an
+    // unknown right-hand side instead of dying on malformed input.
+    warnOnce("assign-call-rhs",
+             "internal: call rhs reached the scalar assignment path; "
+             "right-hand side treated as unknown");
+    Rlocs.clear();
     break;
   }
 
@@ -593,6 +736,19 @@ OptSet AnalyzerImpl::processCall(const CallInfo &CI, const Reference *LhsRef,
   std::vector<const cf::FunctionDecl *> Targets = indirectTargets(CI, S);
   ++C.IndirectCallsResolved;
   C.IndirectTargetsTotal += Targets.size();
+  if (Targets.empty() && DegradedMode && Opts.FnPtr == FnPtrMode::Precise) {
+    // Degraded precision (a cut-short fixed point) may have lost the
+    // function pointer's bindings. Fall back to the Sec. 5 address-taken
+    // baseline rather than risk missing a callee.
+    for (const cf::FunctionDecl *F : Prog.unit().functions())
+      if (F->isDefined() && F->isAddressTaken())
+        Targets.push_back(F);
+    if (!Targets.empty())
+      recordDegradation(primaryTrippedKind(),
+                        "indirect call through '" + CI.FnPtr.str() + "'",
+                        "unresolved under degraded precision; bound to "
+                        "every address-taken function");
+  }
   if (Targets.empty()) {
     warnOnce("fptr-unresolved@" + std::to_string(CI.CallSiteId),
              "indirect call through '" + CI.FnPtr.str() +
@@ -631,11 +787,19 @@ OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
   IGNode *Child = Res.IG->getOrCreateChild(Ign, CI.CallSiteId, Callee);
   Child->MapInfo = MR.MapInfo; // context-sensitive deposit (Sec. 4.1)
 
-  // The context-insensitive ablation also merges the map information
-  // across call sites: symbolic names then stand for the union of every
-  // context's invisible variables.
+  // A governed run polls here: map() may have crossed the location cap
+  // and getOrCreateChild() the node cap, so the very call that crosses
+  // a budget is already evaluated through the fallback.
+  if (Meter && Meter->tripped())
+    noteTrips();
+  const bool UseCI = !Opts.ContextSensitive || DegradedMode;
+
+  // Context-insensitive evaluation (the ablation baseline, and degraded
+  // mode) also merges the map information across call sites: symbolic
+  // names then stand for the union of every context's invisible
+  // variables, which is what makes unmapping a merged summary sound.
   const MapResult *UnmapMR = &MR;
-  if (!Opts.ContextSensitive) {
+  if (UseCI) {
     MapResult &Merged = MergedMapInfo[Callee];
     for (const auto &[Sym, Reps] : MR.MapInfo) {
       auto &Into = Merged.MapInfo[Sym];
@@ -648,9 +812,8 @@ OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
     UnmapMR = &Merged;
   }
 
-  OptSet CalleeOut = Opts.ContextSensitive
-                         ? evaluateCall(Child, MR.CalleeInput)
-                         : evaluateCallCI(Child, MR.CalleeInput);
+  OptSet CalleeOut = UseCI ? evaluateCallCI(Child, MR.CalleeInput)
+                           : evaluateCall(Child, MR.CalleeInput);
   if (!CalleeOut)
     return {};
 
@@ -703,7 +866,17 @@ OptSet AnalyzerImpl::evaluateCall(IGNode *Node,
   switch (Node->kind()) {
   case IGNode::Kind::Approximate: {
     IGNode *Rec = Node->recEdge();
-    assert(Rec && "approximate node without back edge");
+    if (!Rec) {
+      // A malformed approximate node has no recursion summary to
+      // consult. Recover: identity transfer with definiteness dropped
+      // (never claims a kill it cannot justify).
+      warnOnce("approx-no-backedge",
+               "internal: approximate invocation node without back edge; "
+               "call treated as an identity transfer");
+      PointsToSet Out = FuncInput;
+      Out.demoteAll();
+      return OptSet(std::move(Out));
+    }
     if (Rec->StoredInput && FuncInput.subsetOf(*Rec->StoredInput))
       return Rec->StoredOutput; // use the stored summary (may be Bottom)
     Rec->PendingList.push_back(FuncInput);
@@ -762,8 +935,17 @@ OptSet AnalyzerImpl::runRecursionFixpoint(IGNode *Node,
   Node->FixpointDone = false;
   ++Node->SummaryVersion;
 
+  unsigned Passes = 0;
   while (true) {
     OptSet FuncOutput = processBody(Node, *Node->StoredInput);
+    ++Passes;
+    // Governed cut: too many generalization passes of this one fixed
+    // point, or a run well past its hard deadline. The partial summary
+    // is kept but fully demoted: every pair the truncated fixed point
+    // did produce survives as possible, and none of its kills is
+    // trusted as definite.
+    const bool CutOff =
+        Meter && (Meter->recPassesExceeded(Passes) || Meter->hardDeadline());
     if (!Node->PendingList.empty()) {
       // Unresolved inputs: generalize the input estimate and restart —
       // but only when it actually grows.
@@ -771,12 +953,31 @@ OptSet AnalyzerImpl::runRecursionFixpoint(IGNode *Node,
       for (PointsToSet &P : Node->PendingList)
         Grew |= Node->StoredInput->mergeWith(P);
       Node->PendingList.clear();
-      if (Grew) {
+      if (Grew && !CutOff) {
         Node->StoredOutput.reset();
         ++Node->SummaryVersion; // descendant memos are now stale
         ++C.FixpointRestarts;   // pending-list wakeup reruns the body
         continue;
       }
+    }
+    if (CutOff) {
+      mergeInto(Node->StoredOutput, FuncOutput);
+      if (Node->StoredOutput)
+        Node->StoredOutput->demoteAll();
+      ++Node->SummaryVersion;
+      const std::string Fn = Node->function()->name();
+      if (Meter->recPassesExceeded(Passes))
+        recordDegradation(support::LimitKind::RecPasses,
+                          "recursion fixed point of '" + Fn + "'",
+                          "summary cut off after " + std::to_string(Passes) +
+                              " generalization pass(es); definiteness "
+                              "dropped");
+      else
+        recordDegradation(support::LimitKind::Deadline,
+                          "recursion fixed point of '" + Fn + "'",
+                          "cut short past the hard deadline; definiteness "
+                          "dropped");
+      break;
     }
     if (subsetOfOpt(FuncOutput, Node->StoredOutput))
       break; // output converged
@@ -811,15 +1012,40 @@ OptSet AnalyzerImpl::evaluateCallCI(IGNode *Node,
   }
   mergeInto(Sum.StoredInput, OptSet(FuncInput));
 
+  unsigned Passes = 0;
   while (true) {
     Sum.GrewWhileInProgress = false;
     Sum.InProgress = true;
     OptSet Out = processBody(Node, *Sum.StoredInput);
     Sum.InProgress = false;
-    if (Sum.GrewWhileInProgress) {
+    ++Passes;
+    // Governed cut for the merged-summary iteration itself; see
+    // runRecursionFixpoint for the demotion rationale.
+    const bool CutOff =
+        Meter && (Meter->recPassesExceeded(Passes) || Meter->hardDeadline());
+    if (Sum.GrewWhileInProgress && !CutOff) {
       Sum.StoredOutput.reset();
       ++Epoch;
       continue;
+    }
+    if (CutOff &&
+        (Sum.GrewWhileInProgress || !subsetOfOpt(Out, Sum.StoredOutput))) {
+      mergeInto(Sum.StoredOutput, Out);
+      if (Sum.StoredOutput)
+        Sum.StoredOutput->demoteAll();
+      ++Epoch;
+      const std::string Fn = Node->function()->name();
+      if (Meter->recPassesExceeded(Passes))
+        recordDegradation(support::LimitKind::RecPasses,
+                          "merged summary of '" + Fn + "'",
+                          "summary cut off after " + std::to_string(Passes) +
+                              " pass(es); definiteness dropped");
+      else
+        recordDegradation(support::LimitKind::Deadline,
+                          "merged summary of '" + Fn + "'",
+                          "cut short past the hard deadline; definiteness "
+                          "dropped");
+      break;
     }
     if (subsetOfOpt(Out, Sum.StoredOutput))
       break;
@@ -834,7 +1060,15 @@ OptSet AnalyzerImpl::evaluateCallCI(IGNode *Node,
 OptSet AnalyzerImpl::processBody(IGNode *Node,
                                  const PointsToSet &FuncInput) {
   const FunctionIR *FIR = Prog.findFunction(Node->function());
-  assert(FIR && "processBody requires a defined function");
+  if (!FIR) {
+    // Callers filter extern functions before evaluating; reaching here
+    // means the graph and the program disagree. Recover: treat the call
+    // as an identity transfer instead of dying on malformed input.
+    warnOnce("body-missing-" + Node->function()->name(),
+             "internal: no body for '" + Node->function()->name() +
+                 "'; call treated as an identity transfer");
+    return OptSet(FuncInput);
+  }
   ++C.BodyAnalyses;
 
   // Local pointer variables are initialized to NULL (Sec. 4.1).
@@ -930,12 +1164,17 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
 void AnalyzerImpl::run() {
   {
     support::Telemetry::Span S(Telem, "ig-build");
-    Res.IG = InvocationGraph::build(Prog);
+    Res.IG = InvocationGraph::build(Prog, Meter);
   }
   if (!Res.IG) {
     Res.Warnings.push_back("program has no defined main(); nothing to do");
     return;
   }
+  // The eager invocation-graph expansion may already have crossed the
+  // node cap (or the deadline): enter degraded mode before the first
+  // statement is processed.
+  if (Meter && Meter->tripped())
+    noteTrips();
   support::Telemetry::Span PtaSpan(Telem, "pointsto");
   if (Opts.RecordStmtSets)
     Res.StmtIn.resize(Prog.numStmts());
@@ -959,7 +1198,11 @@ void AnalyzerImpl::run() {
 
   // main's own locals are initialized inside processBody.
   const FunctionIR *MainIR = Prog.findFunction(Root->function());
-  assert(MainIR && "invocation graph root must be defined");
+  if (!MainIR) {
+    Res.Warnings.push_back(
+        "invocation-graph root has no analyzable body; nothing to do");
+    return;
+  }
   PointsToSet S2 = std::move(*MainIn);
   for (const cf::VarDecl *V : MainIR->Locals) {
     std::vector<const Location *> Subs;
@@ -991,6 +1234,13 @@ void AnalyzerImpl::publishTelemetry() {
   Telem->add("pta.indirect_calls_resolved", C.IndirectCallsResolved);
   Telem->add("pta.indirect_targets", C.IndirectTargetsTotal);
   Telem->add("pta.extern_calls", C.ExternCalls);
+  Telem->add("pta.loop_limit_hits", C.LoopLimitHits);
+  Telem->add("pta.degradations", Res.Degradations.size());
+  for (unsigned I = 0; I < support::NumLimitKinds; ++I)
+    Telem->add("pta.degraded." +
+                   std::string(support::limitKindName(
+                       static_cast<support::LimitKind>(I))),
+               C.DegradedByKind[I]);
   Telem->add("pta.warnings", Res.Warnings.size());
   if (Res.MainOut)
     Telem->add("pta.main_out_pairs", Res.MainOut->size());
@@ -1014,6 +1264,8 @@ void AnalyzerImpl::publishTelemetry() {
     Telem->add("ig.nodes_created", Res.IG->buildCounters().NodesCreated);
     Telem->add("ig.child_cache_hits",
                Res.IG->buildCounters().ChildCacheHits);
+    Telem->add("ig.canonical_fallbacks",
+               Res.IG->buildCounters().CanonicalFallbacks);
   }
 }
 

@@ -31,6 +31,7 @@
 #include "pointsto/MapUnmap.h"
 #include "pointsto/PointsToSet.h"
 #include "simple/SimpleIR.h"
+#include "support/Limits.h"
 #include "support/Telemetry.h"
 
 #include <memory>
@@ -63,6 +64,13 @@ public:
     unsigned SymbolicLevelLimit = 5;
     /// Safety valve for loop fixed points.
     unsigned MaxLoopIterations = 10000;
+    /// Resource budgets (wall-clock deadline, statement-visit budget,
+    /// abstract-location cap, invocation-graph node cap, recursion
+    /// pass cap). Default: all unlimited, no meter allocated, zero
+    /// overhead. When any budget trips the run does not die — it
+    /// degrades soundly and visibly; see Result::Degradations and
+    /// docs/ROBUSTNESS.md for the fallback semantics.
+    support::AnalysisLimits Limits;
     /// Optional instrumentation sink. When null (the default), the
     /// analysis records nothing and pays only a null-pointer branch at
     /// each instrumented site. When set, phase spans (ig-build,
@@ -95,6 +103,17 @@ public:
     /// re-analyzing the body (the paper's Sec. 4 advantage (3)).
     unsigned MemoHits = 0;
     std::vector<std::string> Warnings;
+
+    /// Every budget-triggered degradation the run took, in the order
+    /// they were entered (also mirrored as pta.degraded.* telemetry
+    /// counters and surfaced as warnings by the Pipeline). Empty for a
+    /// clean run. A degraded result is still safe to consume: each
+    /// fallback over-approximates (merged summaries, address-taken
+    /// binding, immediate k-limit collapse), except where the entry's
+    /// Action says a fixed point was cut short (see docs/ROBUSTNESS.md
+    /// for the per-fallback soundness argument).
+    std::vector<support::Degradation> Degradations;
+    bool degraded() const { return !Degradations.empty(); }
   };
 
   /// Runs the analysis over a simplified program.

@@ -197,6 +197,11 @@ MapResult MapUnmap::map(const PointsToSet &CallerS,
   }
 
   Ctrs.MappedSources += St.R.RepresentedSources.size();
+  // The traversal above is where invisible-variable chains mint new
+  // symbolic entities; report the table size so the Locations budget
+  // trips at the site responsible for the growth.
+  if (Meter)
+    Meter->noteLocations(Locs.numLocations());
   return std::move(St.R);
 }
 

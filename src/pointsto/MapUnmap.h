@@ -34,6 +34,7 @@
 #include "pointsto/LRLocations.h"
 #include "pointsto/PointsToSet.h"
 #include "simple/SimpleIR.h"
+#include "support/Limits.h"
 
 #include <map>
 #include <set>
@@ -72,8 +73,13 @@ public:
     uint64_t UnmapPairs = 0;     ///< pairs translated back on unmap
   };
 
-  MapUnmap(LocationTable &Locs, const simple::Program &Prog)
-      : Locs(Locs), Prog(Prog), Eval(Locs) {}
+  /// \p Meter, when non-null, governs the abstract-location budget:
+  /// map() reports the location-table size after every traversal (the
+  /// traversal is where invisible-variable chains mint new symbolic
+  /// entities), so the Locations cap trips at the site that grows it.
+  MapUnmap(LocationTable &Locs, const simple::Program &Prog,
+           support::BudgetMeter *Meter = nullptr)
+      : Locs(Locs), Prog(Prog), Eval(Locs), Meter(Meter) {}
 
   const Counters &counters() const { return Ctrs; }
 
@@ -109,6 +115,7 @@ private:
   LocationTable &Locs;
   const simple::Program &Prog;
   LREvaluator Eval;
+  support::BudgetMeter *Meter;
   /// mutable: unmap()/translateBack() are logically const queries.
   mutable Counters Ctrs;
 };

@@ -42,6 +42,11 @@ void PointsToSet::demoteFrom(const Location *Src) {
     It->second = Def::P;
 }
 
+void PointsToSet::demoteAll() {
+  for (auto &[K, D] : Pairs)
+    D = Def::P;
+}
+
 std::optional<Def> PointsToSet::lookup(const Location *Src,
                                        const Location *Dst) const {
   auto It = Pairs.find(key(Src, Dst));

@@ -78,6 +78,12 @@ public:
   /// Weakens every definite pair originating at Src to possible.
   void demoteFrom(const Location *Src);
 
+  /// Weakens every definite pair in the set to possible. Used by the
+  /// resource-governed bailouts: a fixed point cut off before
+  /// convergence cannot vouch for any definiteness (Definition 3.3), so
+  /// its estimate survives only with every pair possible.
+  void demoteAll();
+
   bool contains(const Location *Src, const Location *Dst) const {
     return Pairs.count(key(Src, Dst)) != 0;
   }

@@ -162,7 +162,14 @@ struct Simplifier::Impl {
   /// Array decay: the value of an array-typed reference is the address of
   /// its first element.
   Reference decayArrayRef(Reference R) {
-    assert(R.Ty && R.Ty->isArray());
+    if (!R.Ty || !R.Ty->isArray()) {
+      // Lowering inconsistency: a non-array reference reached array
+      // decay. Diagnose and pass it through unchanged rather than
+      // dying on malformed input.
+      Diags.error(SourceLoc(),
+                  "internal: array decay applied to a non-array reference");
+      return R;
+    }
     const Type *Elem = cast<ArrayType>(R.Ty)->element();
     R.Path.push_back(Accessor::index(IndexKind::Zero));
     R.AddrOf = true;

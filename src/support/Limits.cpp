@@ -1,0 +1,22 @@
+//===- Limits.cpp - Resource governance for analysis runs ---------------------===//
+
+#include "support/Limits.h"
+
+using namespace mcpta;
+using namespace mcpta::support;
+
+const char *mcpta::support::limitKindName(LimitKind K) {
+  switch (K) {
+  case LimitKind::Deadline:
+    return "deadline";
+  case LimitKind::StmtVisits:
+    return "stmt_visits";
+  case LimitKind::Locations:
+    return "locations";
+  case LimitKind::IGNodes:
+    return "ig_nodes";
+  case LimitKind::RecPasses:
+    return "rec_passes";
+  }
+  return "unknown";
+}

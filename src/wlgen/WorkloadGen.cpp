@@ -288,3 +288,107 @@ std::string mcpta::wlgen::livcSource(unsigned TotalFns, unsigned NumArrays,
   Out += "}\n";
   return Out;
 }
+
+std::string mcpta::wlgen::pathologicalSource(unsigned Depth, unsigned Fanout,
+                                             unsigned NumHandlers,
+                                             unsigned RecDepth) {
+  std::string Out;
+  Out += "int printf(char *fmt, ...);\n\n";
+  Out += "int ga; int gb; int gc;\n";
+  Out += "int *gp; int *gq; int **gpp;\n\n";
+
+  // Bounded mutual recursion churns the Figure 4 generalization passes.
+  Out += "int recB(int *p, int **q, int d);\n";
+  Out += "int recA(int *p, int **q, int d) {\n";
+  Out += "  int la;\n";
+  Out += "  if (d > 0) {\n";
+  Out += "    gp = p;\n";
+  Out += "    *q = &la;\n";
+  Out += "    recB(&ga, &gp, d - 1);\n";
+  Out += "    recB(p, q, d - 1);\n";
+  Out += "  }\n";
+  Out += "  return d;\n";
+  Out += "}\n";
+  Out += "int recB(int *p, int **q, int d) {\n";
+  Out += "  if (d > 0) {\n";
+  Out += "    gq = *q;\n";
+  Out += "    recA(&gb, &gq, d - 1);\n";
+  Out += "  }\n";
+  Out += "  return d;\n";
+  Out += "}\n\n";
+
+  // Handlers reached only through the function-pointer table.
+  for (unsigned H = 0; H < NumHandlers; ++H) {
+    std::string N = std::to_string(H);
+    Out += "int h" + N + "(int *p, int **q, int d) {\n";
+    Out += "  gp = p;\n";
+    Out += "  *q = &g";
+    Out += "abc"[H % 3];
+    Out += ";\n";
+    Out += "  recA(p, q, d);\n";
+    Out += "  return d + " + N + ";\n";
+    Out += "}\n";
+  }
+  Out += "\nint (*ftab[" + std::to_string(NumHandlers) +
+         "])(int *, int **, int) = {";
+  for (unsigned H = 0; H < NumHandlers; ++H) {
+    if (H)
+      Out += ", ";
+    Out += "h" + std::to_string(H);
+  }
+  Out += "};\n\n";
+
+  // The deepest level fans out through the table (Sec. 5 growth)...
+  Out += "int level" + std::to_string(Depth) + "(int *p, int **q, int d) {\n";
+  Out += "  int i;\n";
+  Out += "  int t;\n";
+  Out += "  int (*f)(int *, int **, int);\n";
+  Out += "  t = 0;\n";
+  Out += "  for (i = 0; i < " + std::to_string(NumHandlers) + "; i++) {\n";
+  Out += "    f = ftab[i];\n";
+  Out += "    t = t + f(p, q, d);\n";
+  Out += "  }\n";
+  Out += "  return t;\n";
+  Out += "}\n";
+
+  // ...and every level above it calls the next level from Fanout
+  // distinct call sites: Fanout^Depth invocation-graph contexts.
+  for (unsigned L = Depth; L > 0; --L) {
+    std::string Cur = std::to_string(L - 1);
+    std::string Next = std::to_string(L);
+    Out += "int level" + Cur + "(int *p, int **q, int d) {\n";
+    Out += "  int lx;\n";
+    Out += "  int *lp;\n";
+    Out += "  int t;\n";
+    Out += "  lp = &lx;\n";
+    Out += "  t = 0;\n";
+    for (unsigned F = 0; F < Fanout; ++F) {
+      switch (F % 3) {
+      case 0:
+        Out += "  t = t + level" + Next + "(p, q, d);\n";
+        break;
+      case 1:
+        Out += "  gp = lp;\n";
+        Out += "  t = t + level" + Next + "(lp, &gp, d);\n";
+        break;
+      case 2:
+        Out += "  *q = &ga;\n";
+        Out += "  t = t + level" + Next + "(&gb, q, d);\n";
+        break;
+      }
+    }
+    Out += "  return t;\n";
+    Out += "}\n";
+  }
+
+  Out += "\nint main(void) {\n";
+  Out += "  int r;\n";
+  Out += "  gp = &ga;\n";
+  Out += "  gq = &gb;\n";
+  Out += "  gpp = &gp;\n";
+  Out += "  r = level0(&gc, gpp, " + std::to_string(RecDepth) + ");\n";
+  Out += "  printf(\"%d\\n\", r);\n";
+  Out += "  return 0;\n";
+  Out += "}\n";
+  return Out;
+}

@@ -51,6 +51,18 @@ std::string generateProgram(const GenConfig &Cfg);
 std::string livcSource(unsigned TotalFns = 82, unsigned NumArrays = 3,
                        unsigned PerArray = 24);
 
+/// Produces a terminating but analysis-hostile program for the
+/// resource-governance tests (docs/ROBUSTNESS.md): a direct-call chain
+/// of \p Depth levels with \p Fanout distinct call sites per level
+/// (Fanout^Depth invocation-graph contexts), whose deepest level
+/// dispatches through a table of \p NumHandlers function pointers into
+/// handlers that drive bounded mutual recursion of depth \p RecDepth.
+/// Every function shuffles pointers among globals, parameters, and
+/// locals so degraded runs still have points-to facts to check.
+std::string pathologicalSource(unsigned Depth = 8, unsigned Fanout = 3,
+                               unsigned NumHandlers = 6,
+                               unsigned RecDepth = 16);
+
 } // namespace wlgen
 } // namespace mcpta
 

@@ -1,0 +1,161 @@
+//===- LimitsTest.cpp - resource-governance unit tests -------------------------===//
+//
+// BudgetMeter semantics: trip conditions, stickiness, amortized
+// deadline checks, and the hard-deadline backstop (docs/ROBUSTNESS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Limits.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+using namespace mcpta::support;
+
+namespace {
+
+TEST(LimitsTest, DefaultLimitsGovernNothing) {
+  AnalysisLimits L;
+  EXPECT_FALSE(L.any());
+  L.MaxStmtVisits = 1;
+  EXPECT_TRUE(L.any());
+}
+
+TEST(LimitsTest, EachFieldActivatesAny) {
+  for (int F = 0; F < 5; ++F) {
+    AnalysisLimits L;
+    switch (F) {
+    case 0: L.TimeoutMs = 1; break;
+    case 1: L.MaxStmtVisits = 1; break;
+    case 2: L.MaxLocations = 1; break;
+    case 3: L.MaxIGNodes = 1; break;
+    case 4: L.MaxRecPasses = 1; break;
+    }
+    EXPECT_TRUE(L.any()) << "field " << F;
+  }
+}
+
+TEST(LimitsTest, LimitKindNamesAreStable) {
+  EXPECT_STREQ(limitKindName(LimitKind::Deadline), "deadline");
+  EXPECT_STREQ(limitKindName(LimitKind::StmtVisits), "stmt_visits");
+  EXPECT_STREQ(limitKindName(LimitKind::Locations), "locations");
+  EXPECT_STREQ(limitKindName(LimitKind::IGNodes), "ig_nodes");
+  EXPECT_STREQ(limitKindName(LimitKind::RecPasses), "rec_passes");
+}
+
+TEST(LimitsTest, StmtVisitBudgetTrips) {
+  AnalysisLimits L;
+  L.MaxStmtVisits = 3;
+  BudgetMeter M(L);
+  EXPECT_TRUE(M.tick());
+  EXPECT_TRUE(M.tick());
+  EXPECT_TRUE(M.tick()); // exactly at the budget: still fine
+  EXPECT_FALSE(M.tick());
+  EXPECT_TRUE(M.tripped());
+  EXPECT_TRUE(M.tripped(LimitKind::StmtVisits));
+  EXPECT_FALSE(M.tripped(LimitKind::Deadline));
+  EXPECT_EQ(M.stmtVisits(), 4u);
+}
+
+TEST(LimitsTest, TripsAreSticky) {
+  AnalysisLimits L;
+  L.MaxStmtVisits = 1;
+  BudgetMeter M(L);
+  M.tick();
+  M.tick();
+  ASSERT_TRUE(M.tripped(LimitKind::StmtVisits));
+  // Nothing un-trips a budget.
+  for (int I = 0; I < 100; ++I)
+    M.tick();
+  EXPECT_TRUE(M.tripped(LimitKind::StmtVisits));
+}
+
+TEST(LimitsTest, LocationCapTrips) {
+  AnalysisLimits L;
+  L.MaxLocations = 10;
+  BudgetMeter M(L);
+  M.noteLocations(10);
+  EXPECT_FALSE(M.tripped());
+  M.noteLocations(11);
+  EXPECT_TRUE(M.tripped(LimitKind::Locations));
+}
+
+TEST(LimitsTest, IGNodeCapTrips) {
+  AnalysisLimits L;
+  L.MaxIGNodes = 5;
+  BudgetMeter M(L);
+  EXPECT_TRUE(M.noteIGNode(5));
+  EXPECT_FALSE(M.noteIGNode(6));
+  EXPECT_TRUE(M.tripped(LimitKind::IGNodes));
+}
+
+TEST(LimitsTest, RecPassQueryIsPureAgainstCap) {
+  AnalysisLimits L;
+  L.MaxRecPasses = 3;
+  BudgetMeter M(L);
+  EXPECT_FALSE(M.recPassesExceeded(2));
+  EXPECT_TRUE(M.recPassesExceeded(3));
+  EXPECT_TRUE(M.recPassesExceeded(4));
+  // The query itself does not latch a trip: the cut is per fixed point
+  // and the analyzer records it at the site.
+  EXPECT_FALSE(M.tripped());
+  AnalysisLimits Unlimited;
+  BudgetMeter M2(Unlimited);
+  EXPECT_FALSE(M2.recPassesExceeded(1000000));
+}
+
+TEST(LimitsTest, DeadlineTripsAfterTimeout) {
+  AnalysisLimits L;
+  L.TimeoutMs = 1;
+  BudgetMeter M(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(M.checkDeadline());
+  EXPECT_TRUE(M.tripped(LimitKind::Deadline));
+}
+
+TEST(LimitsTest, DeadlineCheckedEvery64Ticks) {
+  AnalysisLimits L;
+  L.TimeoutMs = 1;
+  BudgetMeter M(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Fewer than 64 ticks: the amortized path has not read the clock yet.
+  for (int I = 0; I < 32; ++I)
+    M.tick();
+  EXPECT_FALSE(M.tripped());
+  for (int I = 0; I < 64; ++I)
+    M.tick();
+  EXPECT_TRUE(M.tripped(LimitKind::Deadline));
+}
+
+TEST(LimitsTest, HardDeadlineHasFloor) {
+  AnalysisLimits L;
+  L.TimeoutMs = 1;
+  BudgetMeter M(L);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // 5ms is past the 1ms soft deadline but inside the +50ms hard floor.
+  EXPECT_TRUE(M.checkDeadline());
+  EXPECT_FALSE(M.hardDeadline());
+}
+
+TEST(LimitsTest, NoDeadlineMeansNoHardDeadline) {
+  AnalysisLimits L;
+  L.MaxStmtVisits = 1;
+  BudgetMeter M(L);
+  EXPECT_FALSE(M.hardDeadline());
+  EXPECT_FALSE(M.checkDeadline());
+}
+
+TEST(LimitsTest, UnlimitedMeterNeverTrips) {
+  AnalysisLimits L; // all zero
+  BudgetMeter M(L);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_TRUE(M.tick());
+  M.noteLocations(1u << 30);
+  M.noteIGNode(1u << 30);
+  EXPECT_FALSE(M.tripped());
+}
+
+} // namespace

@@ -368,4 +368,64 @@ TEST(TelemetryTest, ProfileTableListsPhases) {
     EXPECT_NE(Table.find(Phase), std::string::npos) << Table;
 }
 
+//===----------------------------------------------------------------------===//
+// Resource-governance counters (docs/ROBUSTNESS.md)
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, LoopLimitHitsCounter) {
+  // Same fixture as AnalyzerOptionsTest.LoopIterationLimitWarnsButStaysSafe:
+  // the three-stage copy chain needs three head merges; a cap of one
+  // trips the safety valve, which must now also bump the counter.
+  const char *Src = R"(
+    int main(void) {
+      int a; int b; int n;
+      int *p1; int *p2; int *p3;
+      p1 = &a;
+      n = 10;
+      while (n > 0) {
+        p3 = p2;
+        p2 = p1;
+        p1 = &b;
+        n = n - 1;
+      }
+      return *p3;
+    })";
+  pta::Analyzer::Options Capped;
+  Capped.MaxLoopIterations = 1;
+  Pipeline P = Pipeline::analyzeSourceTraced(Src, Capped);
+  ASSERT_TRUE(P.ok());
+  EXPECT_EQ(P.Telem->counters().at("pta.loop_limit_hits").Value, 1u);
+
+  Pipeline Clean = Pipeline::analyzeSourceTraced(Src);
+  ASSERT_TRUE(Clean.ok());
+  EXPECT_EQ(Clean.Telem->counters().at("pta.loop_limit_hits").Value, 0u);
+}
+
+TEST(TelemetryTest, DegradationCountersPublished) {
+  // pta.degraded.<kind> exists for every limit kind (zero-filled), and
+  // a tripped budget shows up in both its kind counter and the total.
+  const char *Src = R"(
+    int g; int *gp;
+    void touch(int *p) { gp = p; }
+    int main(void) { touch(&g); touch(gp); return 0; })";
+  pta::Analyzer::Options Governed;
+  Governed.Limits.MaxStmtVisits = 3;
+  Pipeline P = Pipeline::analyzeSourceTraced(Src, Governed);
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  const auto &C = P.Telem->counters();
+  for (const char *Key :
+       {"pta.degraded.deadline", "pta.degraded.stmt_visits",
+        "pta.degraded.locations", "pta.degraded.ig_nodes",
+        "pta.degraded.rec_passes", "pta.degradations"})
+    EXPECT_TRUE(C.count(Key)) << Key;
+  EXPECT_GE(C.at("pta.degraded.stmt_visits").Value, 1u);
+  EXPECT_EQ(C.at("pta.degradations").Value, P.Analysis.Degradations.size());
+
+  std::ostringstream OS;
+  P.Telem->writeStatsJson(OS);
+  EXPECT_NE(OS.str().find("\"pta.degraded.stmt_visits\""),
+            std::string::npos);
+  EXPECT_NE(OS.str().find("\"pta.loop_limit_hits\""), std::string::npos);
+}
+
 } // namespace

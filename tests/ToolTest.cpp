@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -45,7 +46,7 @@ std::string writeTemp(const std::string &Contents) {
 
 TEST(ToolTest, NoArgsShowsUsage) {
   ToolRun R = runTool("");
-  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_EQ(R.ExitCode, 1); // exit 2 is reserved for --strict degradation
   EXPECT_NE(R.Output.find("usage:"), std::string::npos);
 }
 
@@ -94,12 +95,12 @@ TEST(ToolTest, ParseErrorsExitNonzero) {
 
 TEST(ToolTest, MissingFileExitsNonzero) {
   ToolRun R = runTool("/nonexistent/file.c");
-  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_EQ(R.ExitCode, 1);
 }
 
 TEST(ToolTest, UnknownCorpusName) {
   ToolRun R = runTool("--corpus doesnotexist");
-  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_EQ(R.ExitCode, 1);
 }
 
 TEST(ToolTest, FnPtrModeFlags) {
@@ -185,8 +186,104 @@ TEST(ToolTest, AllObservabilityFlagsTogether) {
 
 TEST(ToolTest, JsonFlagWithoutPathIsUsageError) {
   ToolRun R = runTool("--json");
-  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_EQ(R.ExitCode, 1);
   EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Resource governance (docs/ROBUSTNESS.md)
+//===----------------------------------------------------------------------===//
+
+TEST(ToolTest, GenStressEmitsValidProgram) {
+  ToolRun Gen = runTool("--gen-stress=3");
+  EXPECT_EQ(Gen.ExitCode, 0);
+  EXPECT_NE(Gen.Output.find("int main(void)"), std::string::npos);
+  // The emitted program must analyze cleanly when ungoverned.
+  std::string Path = writeTemp(Gen.Output);
+  ToolRun R = runTool(Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, TimeoutDegradesAndExitsZero) {
+  // Pathological program under a tight deadline: terminates, reports
+  // the degradation, still exits 0 without --strict.
+  ToolRun Gen = runTool("--gen-stress=8");
+  ASSERT_EQ(Gen.ExitCode, 0);
+  std::string Path = writeTemp(Gen.Output);
+  ToolRun R = runTool("--timeout-ms=50 " + Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("degraded: [deadline]"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("analysis degraded"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, StrictModeExitsTwoOnDegradation) {
+  ToolRun Gen = runTool("--gen-stress=8");
+  ASSERT_EQ(Gen.ExitCode, 0);
+  std::string Path = writeTemp(Gen.Output);
+  ToolRun R = runTool("--strict --timeout-ms=50 " + Path);
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, StrictModeExitsZeroWhenClean) {
+  std::string Path = writeTemp(
+      "int main(void) { int x; int *p; p = &x; return *p; }");
+  ToolRun R = runTool("--strict --timeout-ms=10000 " + Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, IGNodeCapDegrades) {
+  ToolRun Gen = runTool("--gen-stress=6");
+  ASSERT_EQ(Gen.ExitCode, 0);
+  std::string Path = writeTemp(Gen.Output);
+  ToolRun R = runTool("--max-ig-nodes=50 " + Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("degraded: [ig_nodes]"), std::string::npos)
+      << R.Output;
+  std::remove(Path.c_str());
+}
+
+TEST(ToolTest, BadLimitNumberIsError) {
+  ToolRun R = runTool("--timeout-ms=abc --corpus hash");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("invalid number"), std::string::npos);
+}
+
+TEST(ToolTest, BatchIsolatesFailures) {
+  std::string Dir = ::testing::TempDir() + "/pta_tool_batch";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream(Dir + "/good.c")
+        << "int main(void) { int x; int *p; p = &x; return 0; }";
+    std::ofstream(Dir + "/bad.c") << "int main(void { broken";
+  }
+  ToolRun R = runTool("--batch " + Dir);
+  EXPECT_EQ(R.ExitCode, 1) << R.Output; // one file errored
+  EXPECT_NE(R.Output.find("good.c: ok"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("bad.c: error"), std::string::npos) << R.Output;
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ToolTest, BatchStrictReportsDegraded) {
+  std::string Dir = ::testing::TempDir() + "/pta_tool_batch_strict";
+  std::filesystem::create_directories(Dir);
+  ToolRun Gen = runTool("--gen-stress=8");
+  ASSERT_EQ(Gen.ExitCode, 0);
+  {
+    std::ofstream(Dir + "/stress.c") << Gen.Output;
+    std::ofstream(Dir + "/tiny.c")
+        << "int main(void) { int x; int *p; p = &x; return 0; }";
+  }
+  ToolRun R = runTool("--batch " + Dir + " --strict --timeout-ms=50");
+  EXPECT_EQ(R.ExitCode, 2) << R.Output;
+  EXPECT_NE(R.Output.find("stress.c: degraded"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("tiny.c: ok"), std::string::npos) << R.Output;
+  std::filesystem::remove_all(Dir);
 }
 
 } // namespace

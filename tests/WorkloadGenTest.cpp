@@ -47,6 +47,30 @@ TEST(WorkloadGenTest, GeneratedProgramsTerminate) {
   }
 }
 
+TEST(WorkloadGenTest, PathologicalSourceIsValidAndTerminating) {
+  // Hostile to the analyzer, but still a well-formed terminating
+  // program: small shapes must parse, analyze cleanly ungoverned, and
+  // run to completion under the interpreter.
+  std::string Src = pathologicalSource(3, 2, 3, 4);
+  EXPECT_EQ(Src, pathologicalSource(3, 2, 3, 4)); // deterministic
+  Pipeline P = Pipeline::analyzeSource(Src);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump() << Src;
+  EXPECT_TRUE(P.Analysis.Analyzed);
+  EXPECT_FALSE(P.degraded());
+
+  Pipeline F = Pipeline::frontend(Src);
+  ASSERT_TRUE(F.Prog);
+  auto R = interp::run(*F.Prog, 3000000);
+  EXPECT_TRUE(R.Completed) << R.Error;
+}
+
+TEST(WorkloadGenTest, PathologicalSourceScalesContexts) {
+  // Each extra level multiplies direct call sites by the fanout, so
+  // the source (and the invocation graph it induces) must grow.
+  EXPECT_GT(pathologicalSource(6, 3, 4, 8).size(),
+            pathologicalSource(3, 3, 4, 8).size());
+}
+
 TEST(WorkloadGenTest, LivcShapeMatchesPaperDescription) {
   // The paper's livc: 82 functions, three arrays of 24 function
   // pointers (72 address-taken), three indirect call sites in loops.
