@@ -16,6 +16,7 @@
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
 #include "support/Telemetry.h"
+#include "support/Version.h"
 
 #include <benchmark/benchmark.h>
 
@@ -110,7 +111,9 @@ inline bool writeCorpusStatsJson(const std::string &Path,
     return false;
   }
   OS << "{\"schema\":\"mcpta-bench-stats-v1\",\"bench\":\""
-     << support::Telemetry::jsonEscape(BenchName) << "\",\"programs\":{";
+     << support::Telemetry::jsonEscape(BenchName) << "\",\"tool_version\":\""
+     << support::Telemetry::jsonEscape(version::kToolVersion)
+     << "\",\"programs\":{";
   bool First = true;
   for (const corpus::CorpusProgram &CP : corpus::corpus()) {
     Pipeline P = Pipeline::analyzeSourceTraced(CP.Source);

@@ -1,0 +1,189 @@
+//===- bench_serve.cpp - summary-cache payoff and query throughput -------------===//
+//
+// Two questions about the serve layer (docs/SERVING.md):
+//
+//  1. Payoff: how much faster is a warm-cache analyze than a cold one?
+//     The acceptance bar is >= 10x — a cached analyze is one key hash
+//     plus an LRU lookup, so in practice it is orders of magnitude.
+//  2. Throughput: how many alias / points_to queries per second does a
+//     resident ResultSnapshot answer? Queries never touch the analyzer,
+//     so this is pure snapshot-lookup cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "serve/Server.h"
+
+#include <chrono>
+#include <functional>
+#include <sstream>
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+using namespace mcpta::serve;
+
+namespace {
+
+double timeMs(const std::function<void()> &Fn) {
+  auto T0 = std::chrono::steady_clock::now();
+  Fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// One in-process request; aborts on a malformed or failed response
+/// (this binary measures the serve layer, it does not test it).
+std::string request(Server &S, const std::string &Line) {
+  bool Shutdown = false;
+  std::ostringstream Log;
+  std::string Reply = S.handleLine(Line, Shutdown, Log);
+  if (Reply.find("\"ok\":true") == std::string::npos) {
+    std::fprintf(stderr, "FATAL: serve request failed:\n  %s\n  -> %s\n",
+                 Line.c_str(), Reply.c_str());
+    std::abort();
+  }
+  return Reply;
+}
+
+void printColdWarmSweep() {
+  printHeader("Serve layer", "cold vs. warm analyze latency per program");
+  std::printf("%-12s %10s %10s %10s %8s\n", "program", "cold-ms", "warm-ms",
+              "speedup", "cached");
+
+  // Memory-only cache: the sweep measures the LRU hit path, the disk
+  // tier's extra cost is one read+deserialize on the first hit only.
+  Server::Config Cfg;
+  Server S(Cfg);
+
+  double WorstSpeedup = -1.0;
+  for (const corpus::CorpusProgram &CP : corpus::corpus()) {
+    const std::string Req = std::string("{\"id\":1,\"method\":\"analyze\","
+                                        "\"corpus\":\"") +
+                            CP.Name + "\"}";
+    std::string ColdReply;
+    double ColdMs = timeMs([&] { ColdReply = request(S, Req); });
+    std::string WarmReply;
+    double WarmMs = timeMs([&] { WarmReply = request(S, Req); });
+
+    bool Cached = WarmReply.find("\"cached\":true") != std::string::npos;
+    if (!Cached) {
+      std::fprintf(stderr, "FATAL: warm analyze of '%s' missed the cache\n",
+                   CP.Name);
+      std::abort();
+    }
+    double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0.0;
+    if (WorstSpeedup < 0 || Speedup < WorstSpeedup)
+      WorstSpeedup = Speedup;
+    std::printf("%-12s %10.3f %10.3f %9.1fx %8s\n", CP.Name, ColdMs, WarmMs,
+                Speedup, Cached ? "yes" : "no");
+  }
+  std::printf("\nworst-case warm speedup: %.1fx (acceptance bar: 10x)\n\n",
+              WorstSpeedup);
+}
+
+void printQueryThroughput() {
+  printHeader("Serve layer", "query throughput over a resident snapshot");
+  Server::Config Cfg;
+  Server S(Cfg);
+  request(S, "{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\"}");
+
+  struct Q {
+    const char *Name;
+    const char *Line;
+  };
+  const Q Queries[] = {
+      {"alias", "{\"id\":2,\"method\":\"alias\",\"a\":\"*p\",\"b\":\"x\"}"},
+      {"points_to", "{\"id\":3,\"method\":\"points_to\",\"name\":\"table\"}"},
+  };
+  std::printf("%-12s %12s %14s\n", "method", "reqs", "queries/sec");
+  for (const Q &Query : Queries) {
+    const int N = 2000;
+    double Ms = timeMs([&] {
+      bool Shutdown = false;
+      std::ostringstream Log;
+      for (int I = 0; I < N; ++I)
+        (void)S.handleLine(Query.Line, Shutdown, Log);
+    });
+    std::printf("%-12s %12d %14.0f\n", Query.Name, N,
+                Ms > 0 ? N * 1000.0 / Ms : 0.0);
+  }
+  std::printf("\n");
+}
+
+//===----------------------------------------------------------------------===//
+// google-benchmark timers
+//===----------------------------------------------------------------------===//
+
+void BM_AnalyzeColdVsWarm(benchmark::State &State) {
+  const bool Warm = State.range(0) != 0;
+  const corpus::CorpusProgram &CP = corpus::corpus()[0];
+  const std::string Req = std::string("{\"id\":1,\"method\":\"analyze\","
+                                      "\"corpus\":\"") +
+                          CP.Name + "\"}";
+  Server::Config Cfg;
+  Server S(Cfg);
+  if (Warm)
+    request(S, Req); // prime the cache once
+  for (auto _ : State) {
+    if (!Warm) {
+      // Cold on every iteration: drop the cached entry first (the
+      // invalidation itself is outside what a cold analyze costs, but
+      // it is microseconds against milliseconds of analysis).
+      bool Shutdown = false;
+      std::ostringstream Log;
+      (void)S.handleLine("{\"id\":0,\"method\":\"invalidate\"}", Shutdown, Log);
+    }
+    std::string Reply = request(S, Req);
+    benchmark::DoNotOptimize(Reply.data());
+  }
+}
+BENCHMARK(BM_AnalyzeColdVsWarm)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AliasQuery(benchmark::State &State) {
+  Server::Config Cfg;
+  Server S(Cfg);
+  request(S, "{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\"}");
+  bool Shutdown = false;
+  std::ostringstream Log;
+  for (auto _ : State) {
+    std::string Reply = S.handleLine(
+        "{\"id\":2,\"method\":\"alias\",\"a\":\"*p\",\"b\":\"x\"}", Shutdown,
+        Log);
+    benchmark::DoNotOptimize(Reply.data());
+  }
+}
+BENCHMARK(BM_AliasQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_PointsToQuery(benchmark::State &State) {
+  Server::Config Cfg;
+  Server S(Cfg);
+  request(S, "{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\"}");
+  bool Shutdown = false;
+  std::ostringstream Log;
+  for (auto _ : State) {
+    std::string Reply = S.handleLine(
+        "{\"id\":3,\"method\":\"points_to\",\"name\":\"table\"}", Shutdown,
+        Log);
+    benchmark::DoNotOptimize(Reply.data());
+  }
+}
+BENCHMARK(BM_PointsToQuery)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
+  printColdWarmSweep();
+  printQueryThroughput();
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "serve"))
+    return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,8 +6,10 @@
 //   pta-tool [options] file.c
 //   pta-tool [options] --corpus NAME      (embedded benchmark)
 //   pta-tool [options] --batch DIR        (every *.c file, isolated)
+//   pta-tool [options] --serve            (NDJSON daemon on stdin/stdout)
 //   pta-tool --list-corpus
 //   pta-tool --gen-stress[=DEPTH]         (print a pathological program)
+//   pta-tool --version
 //
 // Options:
 //   --dump-simple     print the SIMPLE lowering
@@ -29,6 +31,14 @@
 //   --max-rec-passes=N    recursion-generalization pass cap
 //   --strict              exit 2 when the analysis degraded
 //
+// Serving (docs/SERVING.md):
+//   --serve               long-lived NDJSON request loop over
+//                         stdin/stdout (analyze/alias/points_to/
+//                         read_write_sets/stats/invalidate/shutdown)
+//   --cache-dir=DIR       persistent summary-cache directory (default
+//                         $MCPTA_CACHE_DIR, else .mcpta-cache; "" for
+//                         a memory-only cache)
+//
 // Exit codes: 0 = clean run (degraded runs included unless --strict),
 // 1 = usage/input/diagnostics error, 2 = analysis degraded under
 // --strict.
@@ -40,9 +50,13 @@
 #include "clients/IndirectRefStats.h"
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
+#include "serve/Server.h"
+#include "support/Version.h"
 #include "wlgen/WorkloadGen.h"
 
 #include <algorithm>
+#include <iostream>
+#include <set>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -80,9 +94,9 @@ int usage() {
       "                [--timeout-ms=N] [--max-stmt-visits=N] "
       "[--max-locations=N]\n"
       "                [--max-ig-nodes=N] [--max-rec-passes=N] [--strict]\n"
-      "                (file.c | --corpus NAME | --batch DIR | "
-      "--list-corpus |\n"
-      "                 --gen-stress[=DEPTH])\n");
+      "                [--cache-dir=DIR]\n"
+      "                (file.c | --corpus NAME | --batch DIR | --serve |\n"
+      "                 --list-corpus | --gen-stress[=DEPTH] | --version)\n");
   return 1;
 }
 
@@ -127,13 +141,31 @@ int runOne(const std::string &Source, const ToolConfig &Cfg) {
     if (D.Level == DiagLevel::Warning)
       std::fprintf(stderr, "warning: %s\n", D.Message.c_str());
 
-  // Budget degradations: one structured line per fallback taken, plus a
-  // headline so batch logs stay greppable.
+  // Budget degradations: one structured line per distinct (kind,
+  // context category), plus a headline so batch logs stay greppable.
+  // Under sustained budget pressure the contexts name individual
+  // functions/call sites; printing every one would flood the log, so
+  // repeats of the same failure mode are summarized — full counts stay
+  // in the pta.degraded.* counters and in P.Analysis.Degradations.
   if (P.degraded()) {
-    for (const support::Degradation &D : P.Analysis.Degradations)
+    std::set<std::string> Printed;
+    unsigned Suppressed = 0;
+    for (const support::Degradation &D : P.Analysis.Degradations) {
+      std::string Key = std::string(support::limitKindName(D.Kind)) + "|" +
+                        support::degradationCategory(D.Context);
+      if (!Printed.insert(Key).second) {
+        ++Suppressed;
+        continue;
+      }
       std::fprintf(stderr, "degraded: [%s] %s: %s\n",
                    support::limitKindName(D.Kind), D.Context.c_str(),
                    D.Action.c_str());
+    }
+    if (Suppressed)
+      std::fprintf(stderr,
+                   "note: %u similar degradation line(s) suppressed (see "
+                   "pta.degraded.* counters for full counts)\n",
+                   Suppressed);
     std::fprintf(stderr,
                  "note: analysis degraded (%zu fallback(s)); results are "
                  "conservative but less precise\n",
@@ -260,16 +292,39 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg) {
   return AnyDegraded ? 2 : 0;
 }
 
+/// The long-lived daemon: NDJSON requests on stdin, one-line responses
+/// on stdout, operational log on stderr (docs/SERVING.md).
+int runServe(const ToolConfig &Cfg, const std::string &CacheDir) {
+  serve::Server::Config SC;
+  SC.Cache.Dir = CacheDir;
+  SC.DefaultOpts = Cfg.Opts;
+  serve::Server S(SC);
+  return S.run(std::cin, std::cout, std::cerr);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   ToolConfig Cfg;
   std::string File, CorpusName, BatchDir;
+  bool Serve = false;
+  const char *EnvCacheDir = std::getenv("MCPTA_CACHE_DIR");
+  std::string CacheDir = EnvCacheDir ? EnvCacheDir : ".mcpta-cache";
   bool BadNumber = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--dump-simple")
+    if (Arg == "--version") {
+      std::printf("pta-tool %s (result format %s, version %u)\n",
+                  mcpta::version::kToolVersion,
+                  mcpta::version::kResultFormatName,
+                  mcpta::version::kResultFormatVersion);
+      return 0;
+    } else if (Arg == "--serve")
+      Serve = true;
+    else if (Arg.compare(0, 12, "--cache-dir=") == 0)
+      CacheDir = Arg.substr(12);
+    else if (Arg == "--dump-simple")
       Cfg.DumpSimple = true;
     else if (Arg == "--dump-ig")
       Cfg.DumpIG = true;
@@ -335,6 +390,8 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (Serve)
+    return runServe(Cfg, CacheDir);
   if (!BatchDir.empty())
     return runBatch(BatchDir, Cfg);
 

@@ -171,6 +171,13 @@ IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
   return Child;
 }
 
+std::vector<const IGNode *> InvocationGraph::preorder() const {
+  std::vector<const IGNode *> Out;
+  Out.reserve(Nodes.size());
+  forEachNode([&Out](const IGNode *N) { Out.push_back(N); });
+  return Out;
+}
+
 unsigned InvocationGraph::numNodes() const {
   unsigned N = 0;
   forEachNode([&N](const IGNode *) { ++N; });

@@ -165,6 +165,13 @@ public:
     forEachNodeImpl(Root, F);
   }
 
+  /// Every node in preorder: a parent before its children, child order
+  /// preserved. This is the canonical linearization the serialized
+  /// result format (serve::Serialize, mcpta-result-v1) indexes nodes
+  /// by — every ancestor, including a recursion back-edge target,
+  /// precedes the nodes that reference it.
+  std::vector<const IGNode *> preorder() const;
+
   std::string str() const { return Root ? Root->str() : "<empty>"; }
 
 private:

@@ -280,7 +280,12 @@ void AnalyzerImpl::recordDegradation(support::LimitKind K,
   if (!DegradationKeys.insert(Key).second)
     return;
   Res.Degradations.push_back({K, Context, Action});
-  warnOnce("degraded-" + Key,
+  // Warnings dedupe one level coarser than the structured record: per
+  // (kind, context category), so a budget trip that degrades dozens of
+  // per-function fixed points surfaces once, not once per function.
+  // Full detail stays in Res.Degradations and pta.degraded.<kind>.
+  warnOnce("degraded-" + std::string(support::limitKindName(K)) + "|" +
+               support::degradationCategory(Context),
            "analysis degraded [" + std::string(support::limitKindName(K)) +
                "] " + Context + ": " + Action);
 }

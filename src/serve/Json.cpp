@@ -1,0 +1,290 @@
+//===- Json.cpp - Minimal JSON value model and parser --------------------------===//
+
+#include "serve/Json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace mcpta;
+using namespace mcpta::serve;
+
+const JsonValue *JsonValue::find(std::string_view Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Members.find(std::string(Name));
+  return It == Members.end() ? nullptr : &It->second;
+}
+
+std::string JsonValue::getString(std::string_view Name,
+                                 const std::string &Default) const {
+  const JsonValue *V = find(Name);
+  return V && V->kind() == Kind::String ? V->Str : Default;
+}
+
+double JsonValue::getNumber(std::string_view Name, double Default) const {
+  const JsonValue *V = find(Name);
+  return V && V->kind() == Kind::Number ? V->Num : Default;
+}
+
+bool JsonValue::getBool(std::string_view Name, bool Default) const {
+  const JsonValue *V = find(Name);
+  return V && V->kind() == Kind::Bool ? V->B : Default;
+}
+
+namespace mcpta {
+namespace serve {
+
+/// Strict single-document parser. Depth-bounded so a hostile request of
+/// ten thousand '[' characters cannot exhaust the stack.
+class JsonParser {
+public:
+  JsonParser(std::string_view Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out, std::string &Error) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return fail(Error);
+    skipWs();
+    if (Pos != Text.size()) {
+      Err = "trailing characters after JSON document";
+      return fail(Error);
+    }
+    return true;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(std::string &Error) {
+    if (Err.empty())
+      return true;
+    Error = Err + " (at byte " + std::to_string(Pos) + ")";
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool error(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  bool consume(char C, const char *Msg) {
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return error(Msg);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.compare(Pos, Lit.size(), Lit) != 0)
+      return error("invalid literal");
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return error("nesting too deep");
+    if (Pos >= Text.size())
+      return error("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return error("expected object key");
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':', "expected ':' after object key"))
+        return false;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.Members[Key] = std::move(V); // duplicate keys: last one wins
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume('}', "expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.Elems.push_back(std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume(']', "expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return error("unterminated escape");
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return error("truncated \\u escape");
+          unsigned Code = 0;
+          for (unsigned I = 0; I < 4; ++I) {
+            char H = Text[Pos + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= unsigned(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= unsigned(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= unsigned(H - 'A' + 10);
+            else
+              return error("invalid \\u escape");
+          }
+          Pos += 4;
+          // UTF-8 encode the BMP code point (surrogate pairs are beyond
+          // what C analysis requests need; a lone surrogate encodes as
+          // its raw code point).
+          if (Code < 0x80) {
+            Out += char(Code);
+          } else if (Code < 0x800) {
+            Out += char(0xC0 | (Code >> 6));
+            Out += char(0x80 | (Code & 0x3F));
+          } else {
+            Out += char(0xE0 | (Code >> 12));
+            Out += char(0x80 | ((Code >> 6) & 0x3F));
+            Out += char(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return error("invalid escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return error("raw control character in string");
+      Out += C;
+      ++Pos;
+    }
+    return error("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return error("unexpected character");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0')
+      return error("malformed number");
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = D;
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+bool parseJson(std::string_view Text, JsonValue &Out, std::string &Error) {
+  return JsonParser(Text).parse(Out, Error);
+}
+
+} // namespace serve
+} // namespace mcpta

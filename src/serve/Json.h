@@ -1,0 +1,88 @@
+//===- Json.h - Minimal JSON value model and parser -------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JSON substrate of the serve layer: a small immutable value model
+/// plus a strict recursive-descent parser, sized for one NDJSON request
+/// line at a time. Writing JSON stays with the existing escape helper
+/// (support::Telemetry::jsonEscape) and hand-built strings — the
+/// response schemas are flat enough that a writer class would be more
+/// code than the documents themselves.
+///
+/// The parser is defensive by design: it never throws, never reads past
+/// the buffer, bounds nesting depth, and reports the first error with a
+/// byte offset. A malformed request line must produce an error response,
+/// not take down a long-lived daemon (see docs/SERVING.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SERVE_JSON_H
+#define MCPTA_SERVE_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcpta {
+namespace serve {
+
+/// One parsed JSON value. Objects keep their members in a sorted map
+/// (request schemas never rely on member order).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Scalar accessors; wrong-kind access returns the fallback.
+  bool asBool(bool Default = false) const {
+    return K == Kind::Bool ? B : Default;
+  }
+  double asNumber(double Default = 0.0) const {
+    return K == Kind::Number ? Num : Default;
+  }
+  const std::string &asString() const {
+    static const std::string Empty;
+    return K == Kind::String ? Str : Empty;
+  }
+
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  const std::map<std::string, JsonValue> &members() const { return Members; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue *find(std::string_view Name) const;
+
+  /// Convenience typed member reads with fallbacks.
+  std::string getString(std::string_view Name,
+                        const std::string &Default = "") const;
+  double getNumber(std::string_view Name, double Default = 0.0) const;
+  bool getBool(std::string_view Name, bool Default = false) const;
+
+private:
+  friend class JsonParser;
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::map<std::string, JsonValue> Members;
+};
+
+/// Parses one complete JSON document from \p Text. Returns false and
+/// fills \p Error (message + byte offset) on malformed input; \p Out is
+/// unspecified then. Trailing non-whitespace after the document is an
+/// error (one NDJSON line is one document).
+bool parseJson(std::string_view Text, JsonValue &Out, std::string &Error);
+
+} // namespace serve
+} // namespace mcpta
+
+#endif // MCPTA_SERVE_JSON_H

@@ -1,0 +1,589 @@
+//===- Serialize.cpp - mcpta-result-v1 binary serialization --------------------===//
+
+#include "serve/Serialize.h"
+
+#include "clients/AliasPairs.h"
+#include "clients/ReadWriteSets.h"
+#include "ig/InvocationGraph.h"
+#include "support/Version.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+using namespace mcpta;
+using namespace mcpta::serve;
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+std::string serve::optionsFingerprint(const pta::Analyzer::Options &Opts) {
+  const support::AnalysisLimits &L = Opts.Limits;
+  std::string FP = "fnptr=";
+  FP += std::to_string(static_cast<int>(Opts.FnPtr));
+  FP += ";cs=";
+  FP += Opts.ContextSensitive ? "1" : "0";
+  FP += ";stmtsets=";
+  FP += Opts.RecordStmtSets ? "1" : "0";
+  FP += ";k=";
+  FP += std::to_string(Opts.SymbolicLevelLimit);
+  FP += ";loopmax=";
+  FP += std::to_string(Opts.MaxLoopIterations);
+  FP += ";timeout=";
+  FP += std::to_string(L.TimeoutMs);
+  FP += ";stmtvisits=";
+  FP += std::to_string(L.MaxStmtVisits);
+  FP += ";locs=";
+  FP += std::to_string(L.MaxLocations);
+  FP += ";ignodes=";
+  FP += std::to_string(L.MaxIGNodes);
+  FP += ";recpasses=";
+  FP += std::to_string(L.MaxRecPasses);
+  return FP;
+}
+
+//===----------------------------------------------------------------------===//
+// Capture
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Triple> flattenSet(const pta::PointsToSet &S,
+                               const pta::LocationTable &Locs) {
+  std::vector<Triple> Out;
+  Out.reserve(S.size());
+  // forEach iterates in key order (source id, then target id), which is
+  // the deterministic order the format requires.
+  S.forEach(Locs, [&Out](const pta::Location *Src, const pta::Location *Dst,
+                         pta::Def D) {
+    Out.push_back({Src->id(), Dst->id(), D == pta::Def::D ? uint8_t(1)
+                                                          : uint8_t(0)});
+  });
+  return Out;
+}
+
+} // namespace
+
+ResultSnapshot ResultSnapshot::capture(const simple::Program &Prog,
+                                       const pta::Analyzer::Result &Res,
+                                       std::string OptionsFingerprint) {
+  ResultSnapshot S;
+  S.OptionsFingerprint = std::move(OptionsFingerprint);
+  S.Analyzed = Res.Analyzed ? 1 : 0;
+  S.NumStmts = Prog.numStmts();
+  S.BodyAnalyses = Res.BodyAnalyses;
+  S.LoopIterations = Res.LoopIterations;
+  S.MemoHits = Res.MemoHits;
+
+  const pta::LocationTable &Locs = *Res.Locs;
+  for (uint32_t Id = 0; Id < Locs.numLocations(); ++Id) {
+    const pta::Location *L = Locs.byId(Id);
+    const pta::Entity *E = L->root();
+    LocationRecord R;
+    R.Id = Id;
+    R.EntityKind = static_cast<uint8_t>(E->kind());
+    R.Summary = L->isSummary() ? 1 : 0;
+    R.Collapsed = E->isCollapsed() ? 1 : 0;
+    R.SymbolicLevel = E->symbolicLevel();
+    R.Name = L->str();
+    R.Owner = E->owner() ? E->owner()->name() : "";
+    S.Locations.push_back(std::move(R));
+  }
+
+  if (Res.MainOut) {
+    S.HasMainOut = 1;
+    S.MainOut = flattenSet(*Res.MainOut, Locs);
+  }
+
+  for (uint32_t Id = 0; Id < Res.StmtIn.size(); ++Id)
+    if (Res.StmtIn[Id])
+      S.StmtIn.push_back({Id, flattenSet(*Res.StmtIn[Id], Locs)});
+
+  if (Res.IG) {
+    std::vector<const pta::IGNode *> Preorder = Res.IG->preorder();
+    std::map<const pta::IGNode *, int32_t> Index;
+    for (const pta::IGNode *N : Preorder)
+      Index[N] = static_cast<int32_t>(Index.size());
+    for (const pta::IGNode *N : Preorder) {
+      IGNodeRecord R;
+      R.Function = N->function()->name();
+      R.Kind = static_cast<uint8_t>(N->kind());
+      R.CallSiteId = N->callSiteId();
+      R.Parent = N->parent() ? Index.at(N->parent()) : -1;
+      R.RecEdge = N->recEdge() ? Index.at(N->recEdge()) : -1;
+      if (N->StoredInput) {
+        R.HasInput = 1;
+        R.Input = flattenSet(*N->StoredInput, Locs);
+      }
+      if (N->StoredOutput) {
+        R.HasOutput = 1;
+        R.Output = flattenSet(*N->StoredOutput, Locs);
+      }
+      S.IG.push_back(std::move(R));
+    }
+  }
+
+  for (const support::Degradation &D : Res.Degradations)
+    S.Degradations.push_back(
+        {static_cast<uint8_t>(D.Kind), D.Context, D.Action});
+  S.Warnings = Res.Warnings;
+
+  if (Res.MainOut)
+    for (const auto &[A, B] : clients::aliasPairs(*Res.MainOut, Locs))
+      S.AliasPairs.emplace_back(A, B);
+
+  clients::ReadWriteSets RW = clients::ReadWriteSets::compute(Prog, Res);
+  for (const auto &[Fn, Names] : RW.Reads)
+    S.Reads.emplace(Fn, std::vector<std::string>(Names.begin(), Names.end()));
+  for (const auto &[Fn, Names] : RW.Writes)
+    S.Writes.emplace(Fn, std::vector<std::string>(Names.begin(), Names.end()));
+
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+int64_t ResultSnapshot::locationIdByName(std::string_view Name) const {
+  for (const LocationRecord &L : Locations)
+    if (L.Name == Name)
+      return L.Id;
+  return -1;
+}
+
+std::vector<std::pair<std::string, bool>>
+ResultSnapshot::pointsToTargets(std::string_view Name, int64_t StmtId) const {
+  std::vector<std::pair<std::string, bool>> Out;
+  int64_t Id = locationIdByName(Name);
+  if (Id < 0)
+    return Out;
+  const std::vector<Triple> *Set = nullptr;
+  if (StmtId < 0) {
+    if (HasMainOut)
+      Set = &MainOut;
+  } else {
+    for (const StmtSetRecord &R : StmtIn)
+      if (R.StmtId == static_cast<uint32_t>(StmtId)) {
+        Set = &R.Triples;
+        break;
+      }
+  }
+  if (!Set)
+    return Out;
+  for (const Triple &T : *Set)
+    if (T.Src == static_cast<uint32_t>(Id) && T.Dst < Locations.size())
+      Out.emplace_back(Locations[T.Dst].Name, T.Definite != 0);
+  return Out;
+}
+
+bool ResultSnapshot::aliased(const std::string &A, const std::string &B) const {
+  std::pair<std::string, std::string> P =
+      A < B ? std::make_pair(A, B) : std::make_pair(B, A);
+  return std::binary_search(AliasPairs.begin(), AliasPairs.end(), P);
+}
+
+bool ResultSnapshot::operator==(const ResultSnapshot &O) const {
+  return OptionsFingerprint == O.OptionsFingerprint && Analyzed == O.Analyzed &&
+         NumStmts == O.NumStmts && BodyAnalyses == O.BodyAnalyses &&
+         LoopIterations == O.LoopIterations && MemoHits == O.MemoHits &&
+         Locations == O.Locations && HasMainOut == O.HasMainOut &&
+         MainOut == O.MainOut && StmtIn == O.StmtIn && IG == O.IG &&
+         Degradations == O.Degradations && Warnings == O.Warnings &&
+         AliasPairs == O.AliasPairs && Reads == O.Reads && Writes == O.Writes;
+}
+
+//===----------------------------------------------------------------------===//
+// Binary writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char Magic[4] = {'M', 'C', 'P', 'T'};
+
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+  }
+  void bytes(std::string_view S) { Buf.append(S.data(), S.size()); }
+
+  std::string take() { return std::move(Buf); }
+
+private:
+  std::string Buf;
+};
+
+/// Interns strings in first-use order, so the emitted table (and with
+/// it the whole blob) is a pure function of the snapshot contents.
+class StringInterner {
+public:
+  uint32_t intern(const std::string &S) {
+    auto [It, Inserted] = Index.emplace(S, Table.size());
+    if (Inserted)
+      Table.push_back(S);
+    return It->second;
+  }
+  const std::vector<std::string> &table() const { return Table; }
+
+private:
+  std::map<std::string, uint32_t> Index;
+  std::vector<std::string> Table;
+};
+
+void writeTriples(ByteWriter &W, const std::vector<Triple> &Ts) {
+  W.u32(static_cast<uint32_t>(Ts.size()));
+  for (const Triple &T : Ts) {
+    W.u32(T.Src);
+    W.u32(T.Dst);
+    W.u8(T.Definite);
+  }
+}
+
+} // namespace
+
+std::string serve::serialize(const ResultSnapshot &S) {
+  StringInterner Strings;
+  ByteWriter Body;
+
+  Body.u8(S.Analyzed);
+  Body.u32(S.NumStmts);
+  Body.u64(S.BodyAnalyses);
+  Body.u64(S.LoopIterations);
+  Body.u64(S.MemoHits);
+
+  Body.u32(static_cast<uint32_t>(S.Locations.size()));
+  for (const LocationRecord &L : S.Locations) {
+    Body.u32(L.Id);
+    Body.u8(L.EntityKind);
+    Body.u8(L.Summary);
+    Body.u8(L.Collapsed);
+    Body.u32(L.SymbolicLevel);
+    Body.u32(Strings.intern(L.Name));
+    Body.u32(Strings.intern(L.Owner));
+  }
+
+  Body.u8(S.HasMainOut);
+  writeTriples(Body, S.MainOut);
+
+  Body.u32(static_cast<uint32_t>(S.StmtIn.size()));
+  for (const StmtSetRecord &R : S.StmtIn) {
+    Body.u32(R.StmtId);
+    writeTriples(Body, R.Triples);
+  }
+
+  Body.u32(static_cast<uint32_t>(S.IG.size()));
+  for (const IGNodeRecord &N : S.IG) {
+    Body.u32(Strings.intern(N.Function));
+    Body.u8(N.Kind);
+    Body.u32(N.CallSiteId);
+    Body.i32(N.Parent);
+    Body.i32(N.RecEdge);
+    Body.u8(N.HasInput);
+    Body.u8(N.HasOutput);
+    writeTriples(Body, N.Input);
+    writeTriples(Body, N.Output);
+  }
+
+  Body.u32(static_cast<uint32_t>(S.Degradations.size()));
+  for (const DegradationRecord &D : S.Degradations) {
+    Body.u8(D.Kind);
+    Body.u32(Strings.intern(D.Context));
+    Body.u32(Strings.intern(D.Action));
+  }
+
+  Body.u32(static_cast<uint32_t>(S.Warnings.size()));
+  for (const std::string &W : S.Warnings)
+    Body.u32(Strings.intern(W));
+
+  Body.u32(static_cast<uint32_t>(S.AliasPairs.size()));
+  for (const auto &[A, B] : S.AliasPairs) {
+    Body.u32(Strings.intern(A));
+    Body.u32(Strings.intern(B));
+  }
+
+  for (const auto *M : {&S.Reads, &S.Writes}) {
+    Body.u32(static_cast<uint32_t>(M->size()));
+    for (const auto &[Fn, Names] : *M) {
+      Body.u32(Strings.intern(Fn));
+      Body.u32(static_cast<uint32_t>(Names.size()));
+      for (const std::string &N : Names)
+        Body.u32(Strings.intern(N));
+    }
+  }
+
+  ByteWriter Out;
+  Out.bytes(std::string_view(Magic, sizeof(Magic)));
+  Out.u32(version::kResultFormatVersion);
+  Out.u32(static_cast<uint32_t>(S.OptionsFingerprint.size()));
+  Out.bytes(S.OptionsFingerprint);
+  Out.u32(static_cast<uint32_t>(Strings.table().size()));
+  for (const std::string &Str : Strings.table()) {
+    Out.u32(static_cast<uint32_t>(Str.size()));
+    Out.bytes(Str);
+  }
+  Out.bytes(Body.take());
+  return Out.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Binary reader
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Bounds-checked cursor over an untrusted blob. Every read either
+/// succeeds or latches the error flag; reads after an error are no-ops,
+/// so parse code can stay straight-line and check once per section.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Blob) : Blob(Blob) {}
+
+  bool ok() const { return Err.empty(); }
+  const std::string &error() const { return Err; }
+  size_t remaining() const { return Blob.size() - Pos; }
+  bool atEnd() const { return Pos == Blob.size(); }
+
+  void fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " (at byte " + std::to_string(Pos) + ")";
+  }
+
+  uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<uint8_t>(Blob[Pos++]);
+  }
+  uint32_t u32() {
+    if (!need(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Blob[Pos + I]))
+           << (8 * I);
+    Pos += 4;
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+  uint64_t u64() {
+    if (!need(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Blob[Pos + I]))
+           << (8 * I);
+    Pos += 8;
+    return V;
+  }
+  std::string str(uint32_t Len) {
+    if (!need(Len))
+      return "";
+    std::string S(Blob.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+
+  /// Reads an element count and validates it against the bytes left
+  /// (each element occupies at least \p MinElemBytes), so corrupt
+  /// counts cannot drive a multi-gigabyte allocation.
+  uint32_t count(size_t MinElemBytes) {
+    uint32_t N = u32();
+    if (ok() && MinElemBytes && N > remaining() / MinElemBytes) {
+      fail("element count " + std::to_string(N) + " exceeds blob size");
+      return 0;
+    }
+    return N;
+  }
+
+private:
+  bool need(size_t N) {
+    if (!ok())
+      return false;
+    if (Blob.size() - Pos < N) {
+      fail("truncated blob");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view Blob;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+bool readTriples(ByteReader &R, std::vector<Triple> &Out, size_t NumLocs) {
+  uint32_t N = R.count(9);
+  Out.reserve(N);
+  for (uint32_t I = 0; I < N && R.ok(); ++I) {
+    Triple T;
+    T.Src = R.u32();
+    T.Dst = R.u32();
+    T.Definite = R.u8();
+    if (R.ok() && (T.Src >= NumLocs || T.Dst >= NumLocs || T.Definite > 1)) {
+      R.fail("triple references out-of-range location id");
+      return false;
+    }
+    Out.push_back(T);
+  }
+  return R.ok();
+}
+
+/// Resolves a string-table index, failing the reader on overflow.
+const std::string &tableRef(ByteReader &R,
+                            const std::vector<std::string> &Table,
+                            uint32_t Idx) {
+  static const std::string Empty;
+  if (Idx >= Table.size()) {
+    R.fail("string index " + std::to_string(Idx) + " out of range");
+    return Empty;
+  }
+  return Table[Idx];
+}
+
+} // namespace
+
+bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
+                        std::string &Error) {
+  Out = ResultSnapshot();
+  ByteReader R(Blob);
+
+  std::string Head = R.str(4);
+  if (R.ok() && std::memcmp(Head.data(), Magic, 4) != 0)
+    R.fail("bad magic (not an mcpta-result blob)");
+  uint32_t Version = R.u32();
+  if (R.ok() && Version != version::kResultFormatVersion)
+    R.fail("unsupported format version " + std::to_string(Version) +
+           " (this build reads version " +
+           std::to_string(version::kResultFormatVersion) + ")");
+  Out.OptionsFingerprint = R.str(R.u32());
+
+  std::vector<std::string> Strings;
+  uint32_t NumStrings = R.count(4);
+  Strings.reserve(NumStrings);
+  for (uint32_t I = 0; I < NumStrings && R.ok(); ++I)
+    Strings.push_back(R.str(R.u32()));
+
+  Out.Analyzed = R.u8();
+  Out.NumStmts = R.u32();
+  Out.BodyAnalyses = R.u64();
+  Out.LoopIterations = R.u64();
+  Out.MemoHits = R.u64();
+
+  uint32_t NumLocs = R.count(15);
+  Out.Locations.reserve(NumLocs);
+  for (uint32_t I = 0; I < NumLocs && R.ok(); ++I) {
+    LocationRecord L;
+    L.Id = R.u32();
+    L.EntityKind = R.u8();
+    L.Summary = R.u8();
+    L.Collapsed = R.u8();
+    L.SymbolicLevel = R.u32();
+    L.Name = tableRef(R, Strings, R.u32());
+    L.Owner = tableRef(R, Strings, R.u32());
+    if (R.ok() && L.Id != I)
+      R.fail("location ids are not dense");
+    Out.Locations.push_back(std::move(L));
+  }
+
+  Out.HasMainOut = R.u8();
+  if (R.ok() && Out.HasMainOut > 1)
+    R.fail("corrupt MainOut flag");
+  readTriples(R, Out.MainOut, Out.Locations.size());
+
+  uint32_t NumStmtSets = R.count(8);
+  Out.StmtIn.reserve(NumStmtSets);
+  for (uint32_t I = 0; I < NumStmtSets && R.ok(); ++I) {
+    StmtSetRecord Rec;
+    Rec.StmtId = R.u32();
+    if (R.ok() && Rec.StmtId >= Out.NumStmts) {
+      R.fail("statement id out of range");
+      break;
+    }
+    readTriples(R, Rec.Triples, Out.Locations.size());
+    Out.StmtIn.push_back(std::move(Rec));
+  }
+
+  uint32_t NumIG = R.count(23);
+  Out.IG.reserve(NumIG);
+  for (uint32_t I = 0; I < NumIG && R.ok(); ++I) {
+    IGNodeRecord N;
+    N.Function = tableRef(R, Strings, R.u32());
+    N.Kind = R.u8();
+    N.CallSiteId = R.u32();
+    N.Parent = R.i32();
+    N.RecEdge = R.i32();
+    N.HasInput = R.u8();
+    N.HasOutput = R.u8();
+    if (R.ok() && (N.Kind > 2 || N.HasInput > 1 || N.HasOutput > 1 ||
+                   N.Parent < -1 || N.RecEdge < -1 ||
+                   N.Parent >= static_cast<int32_t>(I) ||
+                   N.RecEdge >= static_cast<int32_t>(I))) {
+      // Preorder invariant: parents and recursion targets precede their
+      // referencing node.
+      R.fail("corrupt invocation-graph node record");
+      break;
+    }
+    readTriples(R, N.Input, Out.Locations.size());
+    readTriples(R, N.Output, Out.Locations.size());
+    Out.IG.push_back(std::move(N));
+  }
+
+  uint32_t NumDeg = R.count(9);
+  Out.Degradations.reserve(NumDeg);
+  for (uint32_t I = 0; I < NumDeg && R.ok(); ++I) {
+    DegradationRecord D;
+    D.Kind = R.u8();
+    D.Context = tableRef(R, Strings, R.u32());
+    D.Action = tableRef(R, Strings, R.u32());
+    if (R.ok() && D.Kind >= support::NumLimitKinds) {
+      R.fail("degradation kind out of range");
+      break;
+    }
+    Out.Degradations.push_back(std::move(D));
+  }
+
+  uint32_t NumWarn = R.count(4);
+  Out.Warnings.reserve(NumWarn);
+  for (uint32_t I = 0; I < NumWarn && R.ok(); ++I)
+    Out.Warnings.push_back(tableRef(R, Strings, R.u32()));
+
+  uint32_t NumAlias = R.count(8);
+  Out.AliasPairs.reserve(NumAlias);
+  for (uint32_t I = 0; I < NumAlias && R.ok(); ++I) {
+    const std::string &A = tableRef(R, Strings, R.u32());
+    const std::string &B = tableRef(R, Strings, R.u32());
+    Out.AliasPairs.emplace_back(A, B);
+  }
+
+  for (auto *M : {&Out.Reads, &Out.Writes}) {
+    uint32_t NumFns = R.count(8);
+    for (uint32_t I = 0; I < NumFns && R.ok(); ++I) {
+      const std::string &Fn = tableRef(R, Strings, R.u32());
+      uint32_t NumNames = R.count(4);
+      std::vector<std::string> Names;
+      Names.reserve(NumNames);
+      for (uint32_t J = 0; J < NumNames && R.ok(); ++J)
+        Names.push_back(tableRef(R, Strings, R.u32()));
+      if (R.ok())
+        (*M)[Fn] = std::move(Names);
+    }
+  }
+
+  if (R.ok() && !R.atEnd())
+    R.fail("trailing bytes after result payload");
+
+  if (!R.ok()) {
+    Error = R.error();
+    Out = ResultSnapshot();
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,197 @@
+//===- Serialize.h - mcpta-result-v1 binary serialization -------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve layer's result model and its versioned binary format.
+///
+/// A live pta::Analyzer::Result is riddled with pointers into the AST
+/// and the LocationTable of the run that produced it, so it cannot
+/// outlive its Pipeline. ResultSnapshot is the self-contained mirror:
+/// every data structure the analysis produces — abstract locations,
+/// per-point points-to triples (x, y, D/P), the invocation-graph shape
+/// with node kinds and memoized IN/OUT sets, degradation records,
+/// warnings, and the client outputs (alias pairs, per-function
+/// read/write sets) — flattened to dense ids and interned strings. A
+/// snapshot answers every query the serve daemon exposes (alias,
+/// points_to, read_write_sets, stats) without the source, the AST, or
+/// a re-run.
+///
+/// The binary format `mcpta-result-v1` (support/Version.h) is
+/// deterministic: the same snapshot always serializes to the same
+/// bytes, so serialize → deserialize → serialize round-trips
+/// byte-identically (SerializeTest relies on this, and the summary
+/// cache deduplicates on it). Layout: a fixed header (magic, format
+/// version, options fingerprint), a string-interning table, then the
+/// sections in a fixed order, all integers little-endian fixed-width.
+/// deserialize() is corruption-tolerant: truncated, oversized, or
+/// inconsistent input yields `false` and an error message, never a
+/// crash or an out-of-bounds read (the cache maps that to a miss).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SERVE_SERIALIZE_H
+#define MCPTA_SERVE_SERIALIZE_H
+
+#include "pointsto/Analyzer.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mcpta {
+namespace serve {
+
+/// One abstract location, flattened. Index in ResultSnapshot::Locations
+/// equals Location::id() (ids are dense creation-order).
+struct LocationRecord {
+  uint32_t Id = 0;
+  uint8_t EntityKind = 0; ///< pta::Entity::Kind
+  uint8_t Summary = 0;    ///< Location::isSummary()
+  uint8_t Collapsed = 0;  ///< k-limit folded entity
+  uint32_t SymbolicLevel = 0;
+  std::string Name;  ///< display name, e.g. "x", "s.next", "2_x"
+  std::string Owner; ///< owning function, "" for globals/program-wide
+
+  bool operator==(const LocationRecord &O) const {
+    return Id == O.Id && EntityKind == O.EntityKind && Summary == O.Summary &&
+           Collapsed == O.Collapsed && SymbolicLevel == O.SymbolicLevel &&
+           Name == O.Name && Owner == O.Owner;
+  }
+};
+
+/// One points-to relationship (x, y, D|P) over location ids.
+struct Triple {
+  uint32_t Src = 0;
+  uint32_t Dst = 0;
+  uint8_t Definite = 0; ///< 1 = D, 0 = P
+
+  bool operator==(const Triple &O) const {
+    return Src == O.Src && Dst == O.Dst && Definite == O.Definite;
+  }
+};
+
+/// The merged input points-to set recorded at one statement.
+struct StmtSetRecord {
+  uint32_t StmtId = 0;
+  std::vector<Triple> Triples;
+
+  bool operator==(const StmtSetRecord &O) const {
+    return StmtId == O.StmtId && Triples == O.Triples;
+  }
+};
+
+/// One invocation-graph node in preorder. Parent/RecEdge are preorder
+/// indices (-1 for none); preorder preserves child order, so the graph
+/// shape reconstructs exactly.
+struct IGNodeRecord {
+  std::string Function;
+  uint8_t Kind = 0; ///< pta::IGNode::Kind
+  uint32_t CallSiteId = 0;
+  int32_t Parent = -1;
+  int32_t RecEdge = -1;
+  uint8_t HasInput = 0;
+  uint8_t HasOutput = 0;
+  std::vector<Triple> Input;  ///< memoized IN, when stored
+  std::vector<Triple> Output; ///< memoized OUT, when stored
+
+  bool operator==(const IGNodeRecord &O) const {
+    return Function == O.Function && Kind == O.Kind &&
+           CallSiteId == O.CallSiteId && Parent == O.Parent &&
+           RecEdge == O.RecEdge && HasInput == O.HasInput &&
+           HasOutput == O.HasOutput && Input == O.Input && Output == O.Output;
+  }
+};
+
+/// One budget-triggered degradation (support::Degradation, flattened).
+struct DegradationRecord {
+  uint8_t Kind = 0; ///< support::LimitKind
+  std::string Context;
+  std::string Action;
+
+  bool operator==(const DegradationRecord &O) const {
+    return Kind == O.Kind && Context == O.Context && Action == O.Action;
+  }
+};
+
+/// Everything one analysis run produced, self-contained.
+struct ResultSnapshot {
+  /// Fingerprint of the Analyzer options + limits that produced this
+  /// result (optionsFingerprint below); stored in the blob header so a
+  /// loaded result is attributable.
+  std::string OptionsFingerprint;
+  uint8_t Analyzed = 0;
+  uint32_t NumStmts = 0;
+  uint64_t BodyAnalyses = 0;
+  uint64_t LoopIterations = 0;
+  uint64_t MemoHits = 0;
+
+  std::vector<LocationRecord> Locations;
+  uint8_t HasMainOut = 0;
+  std::vector<Triple> MainOut; ///< sorted by (Src, Dst)
+  std::vector<StmtSetRecord> StmtIn;
+  std::vector<IGNodeRecord> IG;
+  std::vector<DegradationRecord> Degradations;
+  std::vector<std::string> Warnings;
+
+  /// Client outputs: canonical "(a,b)" alias pairs over MainOut
+  /// (clients::aliasPairs, sorted), and per-function read/write
+  /// location-name sets (clients::ReadWriteSets, sorted).
+  std::vector<std::pair<std::string, std::string>> AliasPairs;
+  std::map<std::string, std::vector<std::string>> Reads;
+  std::map<std::string, std::vector<std::string>> Writes;
+
+  bool degraded() const { return !Degradations.empty(); }
+
+  /// Flattens a live result. \p Prog must be the program \p Res was
+  /// computed from (needed for the read/write-set client).
+  static ResultSnapshot capture(const simple::Program &Prog,
+                                const pta::Analyzer::Result &Res,
+                                std::string OptionsFingerprint);
+
+  //===--------------------------------------------------------------------===//
+  // Queries (what the serve daemon answers without re-analysis)
+  //===--------------------------------------------------------------------===//
+
+  /// Location id for a display name; -1 when unknown.
+  int64_t locationIdByName(std::string_view Name) const;
+
+  /// Points-to targets of \p Name as (target name, definite) pairs, read
+  /// from the end-of-main set, or from the merged per-statement input
+  /// set when \p StmtId >= 0.
+  std::vector<std::pair<std::string, bool>>
+  pointsToTargets(std::string_view Name, int64_t StmtId = -1) const;
+
+  /// True when the canonical alias pair (A,B) (either order) is present.
+  bool aliased(const std::string &A, const std::string &B) const;
+
+  bool operator==(const ResultSnapshot &O) const;
+  bool operator!=(const ResultSnapshot &O) const { return !(*this == O); }
+};
+
+/// Stable fingerprint of every analyzer knob that can change the result:
+/// Options (fnptr mode, context sensitivity, stmt-set recording, k-limit,
+/// loop cap) and AnalysisLimits (all five budgets). Two runs with equal
+/// fingerprints over equal sources produce equal results, so the
+/// fingerprint is a summary-cache key component.
+std::string optionsFingerprint(const pta::Analyzer::Options &Opts);
+
+/// Serializes to the mcpta-result-v1 binary format. Deterministic:
+/// equal snapshots yield equal bytes.
+std::string serialize(const ResultSnapshot &S);
+
+/// Parses a blob produced by serialize(). Returns false with an error
+/// message on any malformed input (wrong magic, future format version,
+/// truncation, out-of-range indices); never throws or crashes.
+bool deserialize(std::string_view Blob, ResultSnapshot &Out,
+                 std::string &Error);
+
+} // namespace serve
+} // namespace mcpta
+
+#endif // MCPTA_SERVE_SERIALIZE_H

@@ -1,0 +1,463 @@
+//===- Server.cpp - Long-lived NDJSON query daemon -----------------------------===//
+
+#include "serve/Server.h"
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "serve/Json.h"
+#include "support/Version.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace mcpta;
+using namespace mcpta::serve;
+
+using support::Telemetry;
+
+//===----------------------------------------------------------------------===//
+// Response assembly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string quoted(std::string_view S) {
+  return "\"" + Telemetry::jsonEscape(S) + "\"";
+}
+
+/// Renders a request id for echoing. Anything unexpected echoes null.
+std::string renderId(const JsonValue *Id) {
+  if (!Id)
+    return "null";
+  switch (Id->kind()) {
+  case JsonValue::Kind::Number: {
+    double D = Id->asNumber();
+    if (D == std::floor(D) && std::abs(D) < 9e15) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(D));
+      return Buf;
+    }
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", D);
+    return Buf;
+  }
+  case JsonValue::Kind::String:
+    return quoted(Id->asString());
+  case JsonValue::Kind::Bool:
+    return Id->asBool() ? "true" : "false";
+  default:
+    return "null";
+  }
+}
+
+uint64_t getU64(const JsonValue &Obj, std::string_view Name,
+                uint64_t Default) {
+  double D = Obj.getNumber(Name, static_cast<double>(Default));
+  return D <= 0 ? 0 : static_cast<uint64_t>(D);
+}
+
+} // namespace
+
+struct Server::Response {
+  std::string IdJson = "null";
+  bool Ok = true;
+  bool Degraded = false;
+  bool Cached = false;
+  std::string Error;
+  /// Method-specific members, each pre-rendered as `,"name":value`.
+  std::string Extra;
+
+  void fail(std::string Msg) {
+    Ok = false;
+    Error = std::move(Msg);
+  }
+  void member(std::string_view Name, const std::string &RenderedValue) {
+    Extra += ",";
+    Extra += quoted(Name);
+    Extra += ":";
+    Extra += RenderedValue;
+  }
+
+  std::string render(double ElapsedMs) const {
+    char Elapsed[32];
+    std::snprintf(Elapsed, sizeof(Elapsed), "%.3f", ElapsedMs);
+    std::string Out = "{\"id\":" + IdJson;
+    Out += ",\"ok\":";
+    Out += Ok ? "true" : "false";
+    Out += ",\"degraded\":";
+    Out += Degraded ? "true" : "false";
+    Out += ",\"cached\":";
+    Out += Cached ? "true" : "false";
+    Out += ",\"elapsed_ms\":";
+    Out += Elapsed;
+    if (!Ok)
+      Out += ",\"error\":" + quoted(Error);
+    Out += Extra;
+    Out += "}";
+    return Out;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(Config C)
+    : Cfg(std::move(C)),
+      Telem(std::make_unique<Telemetry>(/*Enabled=*/true)),
+      Cache(std::make_unique<SummaryCache>(Cfg.Cache, Telem.get())) {}
+
+Server::~Server() = default;
+
+int Server::run(std::istream &In, std::ostream &Out, std::ostream &Log) {
+  Log << "pta-serve " << version::kToolVersion << " (result format "
+      << version::kResultFormatName << ", version "
+      << version::kResultFormatVersion << ") ready; cache dir: "
+      << (Cfg.Cache.Dir.empty() ? "<memory only>" : Cfg.Cache.Dir.c_str())
+      << "\n"
+      << std::flush;
+  std::string Line;
+  bool WantShutdown = false;
+  while (!WantShutdown && std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    Out << handleLine(Line, WantShutdown, Log) << "\n" << std::flush;
+  }
+  return 0;
+}
+
+std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
+                               std::ostream &Log) {
+  auto Start = std::chrono::steady_clock::now();
+  Telem->add("serve.requests", 1);
+
+  Response Resp;
+  JsonValue Req;
+  std::string ParseError;
+  std::string Method;
+  if (!parseJson(Line, Req, ParseError)) {
+    Telem->add("serve.parse_errors", 1);
+    Resp.fail("request is not valid JSON: " + ParseError);
+  } else if (!Req.isObject()) {
+    Resp.fail("request must be a JSON object");
+  } else {
+    Resp.IdJson = renderId(Req.find("id"));
+    Method = Req.getString("method");
+    if (Method == "analyze")
+      handleAnalyze(Req, Resp, Log);
+    else if (Method == "alias")
+      handleAlias(Req, Resp);
+    else if (Method == "points_to")
+      handlePointsTo(Req, Resp);
+    else if (Method == "read_write_sets")
+      handleReadWriteSets(Req, Resp);
+    else if (Method == "stats")
+      handleStats(Resp);
+    else if (Method == "invalidate")
+      handleInvalidate(Resp);
+    else if (Method == "shutdown") {
+      Telem->add("serve.shutdown", 1);
+      WantShutdown = true;
+    } else
+      Resp.fail(Method.empty() ? "missing \"method\" member"
+                               : "unknown method '" + Method + "'");
+  }
+  if (!Method.empty() && Method != "shutdown")
+    Telem->add("serve." + Method, Resp.Ok ? 1 : 0);
+  if (!Resp.Ok)
+    Telem->add("serve.errors", 1);
+
+  double ElapsedMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+  return Resp.render(ElapsedMs);
+}
+
+//===----------------------------------------------------------------------===//
+// analyze
+//===----------------------------------------------------------------------===//
+
+void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
+                           std::ostream &Log) {
+  // Resolve the source text: inline "source" or an embedded "corpus"
+  // program (handy for smoke tests — no C-in-JSON escaping needed).
+  std::string Source;
+  if (const JsonValue *Src = Req.find("source")) {
+    Source = Src->asString();
+  } else if (const JsonValue *Name = Req.find("corpus")) {
+    const corpus::CorpusProgram *P = corpus::find(Name->asString());
+    if (!P) {
+      Resp.fail("unknown corpus program '" + Name->asString() + "'");
+      return;
+    }
+    Source = P->Source;
+  } else {
+    Resp.fail("analyze needs a \"source\" or \"corpus\" member");
+    return;
+  }
+
+  // Per-request options/limits override the server defaults and ride on
+  // the existing resource-governance layer.
+  pta::Analyzer::Options Opts = Cfg.DefaultOpts;
+  Opts.Telem = nullptr;
+  if (const JsonValue *O = Req.find("options")) {
+    std::string FnPtr = O->getString("fnptr");
+    if (FnPtr == "precise")
+      Opts.FnPtr = pta::FnPtrMode::Precise;
+    else if (FnPtr == "all")
+      Opts.FnPtr = pta::FnPtrMode::AllFunctions;
+    else if (FnPtr == "address-taken")
+      Opts.FnPtr = pta::FnPtrMode::AddressTaken;
+    else if (!FnPtr.empty()) {
+      Resp.fail("unknown fnptr mode '" + FnPtr + "'");
+      return;
+    }
+    Opts.ContextSensitive =
+        O->getBool("context_sensitive", Opts.ContextSensitive);
+    Opts.RecordStmtSets = O->getBool("record_stmt_sets", Opts.RecordStmtSets);
+    Opts.SymbolicLevelLimit = static_cast<unsigned>(
+        getU64(*O, "symbolic_level_limit", Opts.SymbolicLevelLimit));
+    Opts.MaxLoopIterations = static_cast<unsigned>(
+        getU64(*O, "max_loop_iterations", Opts.MaxLoopIterations));
+  }
+  if (const JsonValue *L = Req.find("limits")) {
+    support::AnalysisLimits &Lim = Opts.Limits;
+    Lim.TimeoutMs = getU64(*L, "timeout_ms", Lim.TimeoutMs);
+    Lim.MaxStmtVisits = getU64(*L, "max_stmt_visits", Lim.MaxStmtVisits);
+    Lim.MaxLocations = getU64(*L, "max_locations", Lim.MaxLocations);
+    Lim.MaxIGNodes = getU64(*L, "max_ig_nodes", Lim.MaxIGNodes);
+    Lim.MaxRecPasses = getU64(*L, "max_rec_passes", Lim.MaxRecPasses);
+  }
+
+  const std::string FP = optionsFingerprint(Opts);
+  const std::string Key = SummaryCache::key(Source, FP);
+
+  std::string CacheWarning;
+  std::shared_ptr<const ResultSnapshot> Snap =
+      Cache->lookup(Key, &CacheWarning);
+  if (!CacheWarning.empty())
+    Log << "warning: " << CacheWarning << "\n";
+
+  if (Snap) {
+    Resp.Cached = true;
+  } else {
+    Pipeline P = Pipeline::analyzeSource(Source, Opts);
+    if (P.Diags.hasErrors()) {
+      // Frontend failures are not cached: the response carries the
+      // diagnostics and the next attempt re-parses.
+      std::string Msg = "analysis failed";
+      for (const Diagnostic &D : P.Diags.diagnostics())
+        if (D.Level == DiagLevel::Error) {
+          Msg = D.Message;
+          break;
+        }
+      Resp.fail(Msg);
+      return;
+    }
+    ResultSnapshot Captured =
+        ResultSnapshot::capture(*P.Prog, P.Analysis, FP);
+    std::string StoreWarning;
+    Snap = Cache->store(Key, std::move(Captured), &StoreWarning);
+    if (!StoreWarning.empty())
+      Log << "warning: " << StoreWarning << "\n";
+  }
+
+  LastKey = Key;
+  LastSnapshot = Snap;
+
+  Resp.Degraded = Snap->degraded();
+  // Degradations go to the daemon log once per (kind, context) for the
+  // server's lifetime; the structured list is always in the response.
+  for (const DegradationRecord &D : Snap->Degradations) {
+    const char *KindName =
+        support::limitKindName(static_cast<support::LimitKind>(D.Kind));
+    if (LoggedDegradations.insert(std::string(KindName) + "|" + D.Context)
+            .second)
+      Log << "degraded: [" << KindName << "] " << D.Context << ": "
+          << D.Action << "\n";
+  }
+
+  Resp.member("key", quoted(Key));
+  Resp.member("analyzed", Snap->Analyzed ? "true" : "false");
+  Resp.member("locations", std::to_string(Snap->Locations.size()));
+  Resp.member("ig_nodes", std::to_string(Snap->IG.size()));
+  Resp.member("main_out_pairs", std::to_string(Snap->MainOut.size()));
+  Resp.member("alias_pairs", std::to_string(Snap->AliasPairs.size()));
+  std::string Warnings = "[";
+  for (size_t I = 0; I < Snap->Warnings.size(); ++I) {
+    if (I)
+      Warnings += ",";
+    Warnings += quoted(Snap->Warnings[I]);
+  }
+  Warnings += "]";
+  Resp.member("warnings", Warnings);
+  std::string Degs = "[";
+  for (size_t I = 0; I < Snap->Degradations.size(); ++I) {
+    const DegradationRecord &D = Snap->Degradations[I];
+    if (I)
+      Degs += ",";
+    Degs += "{\"kind\":" +
+            quoted(support::limitKindName(
+                static_cast<support::LimitKind>(D.Kind))) +
+            ",\"context\":" + quoted(D.Context) +
+            ",\"action\":" + quoted(D.Action) + "}";
+  }
+  Degs += "]";
+  Resp.member("degradations", Degs);
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const ResultSnapshot>
+Server::querySnapshot(const JsonValue &Req, std::string &Error) {
+  std::string Key = Req.getString("key");
+  if (Key.empty()) {
+    if (LastSnapshot)
+      return LastSnapshot;
+    Error = "no result to query: analyze first or pass a \"key\"";
+    return nullptr;
+  }
+  if (Key == LastKey && LastSnapshot)
+    return LastSnapshot;
+  std::shared_ptr<const ResultSnapshot> Snap = Cache->lookup(Key);
+  if (!Snap)
+    Error = "no cached result for key " + Key;
+  return Snap;
+}
+
+void Server::handleAlias(const JsonValue &Req, Response &Resp) {
+  std::string Error;
+  auto Snap = querySnapshot(Req, Error);
+  if (!Snap) {
+    Resp.fail(Error);
+    return;
+  }
+  Resp.Degraded = Snap->degraded();
+  Resp.Cached = true;
+  const JsonValue *A = Req.find("a");
+  const JsonValue *B = Req.find("b");
+  if (!A || !B) {
+    Resp.fail("alias needs \"a\" and \"b\" access expressions");
+    return;
+  }
+  Resp.member("aliased",
+              Snap->aliased(A->asString(), B->asString()) ? "true" : "false");
+}
+
+void Server::handlePointsTo(const JsonValue &Req, Response &Resp) {
+  std::string Error;
+  auto Snap = querySnapshot(Req, Error);
+  if (!Snap) {
+    Resp.fail(Error);
+    return;
+  }
+  Resp.Degraded = Snap->degraded();
+  Resp.Cached = true;
+  std::string Name = Req.getString("name");
+  if (Name.empty()) {
+    Resp.fail("points_to needs a \"name\" member");
+    return;
+  }
+  int64_t StmtId = -1;
+  if (const JsonValue *S = Req.find("stmt"))
+    StmtId = static_cast<int64_t>(S->asNumber(-1));
+  if (Snap->locationIdByName(Name) < 0) {
+    Resp.fail("unknown location '" + Name + "'");
+    return;
+  }
+  std::string Targets = "[";
+  bool First = true;
+  for (const auto &[Target, Definite] : Snap->pointsToTargets(Name, StmtId)) {
+    if (!First)
+      Targets += ",";
+    First = false;
+    Targets += "{\"target\":" + quoted(Target) +
+               ",\"definite\":" + (Definite ? "true" : "false") + "}";
+  }
+  Targets += "]";
+  Resp.member("targets", Targets);
+}
+
+void Server::handleReadWriteSets(const JsonValue &Req, Response &Resp) {
+  std::string Error;
+  auto Snap = querySnapshot(Req, Error);
+  if (!Snap) {
+    Resp.fail(Error);
+    return;
+  }
+  Resp.Degraded = Snap->degraded();
+  Resp.Cached = true;
+  std::string Function = Req.getString("function");
+
+  auto RenderMap =
+      [&](const std::map<std::string, std::vector<std::string>> &M) {
+        std::string Out = "{";
+        bool FirstFn = true;
+        for (const auto &[Fn, Names] : M) {
+          if (!Function.empty() && Fn != Function)
+            continue;
+          if (!FirstFn)
+            Out += ",";
+          FirstFn = false;
+          Out += quoted(Fn) + ":[";
+          for (size_t I = 0; I < Names.size(); ++I) {
+            if (I)
+              Out += ",";
+            Out += quoted(Names[I]);
+          }
+          Out += "]";
+        }
+        Out += "}";
+        return Out;
+      };
+
+  if (!Function.empty() && !Snap->Reads.count(Function) &&
+      !Snap->Writes.count(Function)) {
+    Resp.fail("unknown function '" + Function + "'");
+    return;
+  }
+  Resp.member("reads", RenderMap(Snap->Reads));
+  Resp.member("writes", RenderMap(Snap->Writes));
+}
+
+void Server::handleStats(Response &Resp) {
+  Resp.member("tool_version", quoted(version::kToolVersion));
+  Resp.member("result_format", quoted(version::kResultFormatName));
+  Resp.member("result_format_version",
+              std::to_string(version::kResultFormatVersion));
+
+  const SummaryCache::Stats &CS = Cache->stats();
+  std::string CacheObj = "{\"hits\":" + std::to_string(CS.Hits) +
+                         ",\"mem_hits\":" + std::to_string(CS.MemHits) +
+                         ",\"misses\":" + std::to_string(CS.Misses) +
+                         ",\"evictions\":" + std::to_string(CS.Evictions) +
+                         ",\"bytes_stored\":" + std::to_string(CS.BytesStored) +
+                         ",\"mem_entries\":" + std::to_string(CS.MemEntries) +
+                         ",\"mem_bytes\":" + std::to_string(CS.MemBytes) +
+                         ",\"bad_blobs\":" + std::to_string(CS.BadBlobs) + "}";
+  Resp.member("cache", CacheObj);
+
+  std::string Counters = "{";
+  bool First = true;
+  for (const auto &[Name, C] : Telem->counters()) {
+    if (!First)
+      Counters += ",";
+    First = false;
+    Counters += quoted(Name) + ":" + std::to_string(C.Value);
+  }
+  Counters += "}";
+  Resp.member("counters", Counters);
+}
+
+void Server::handleInvalidate(Response &Resp) {
+  uint64_t Removed = Cache->invalidate();
+  LastKey.clear();
+  LastSnapshot.reset();
+  Resp.member("removed_blobs", std::to_string(Removed));
+}

@@ -1,0 +1,100 @@
+//===- Server.h - Long-lived NDJSON query daemon ----------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pta-serve` daemon behind `pta-tool --serve`: a long-lived
+/// request/response loop speaking NDJSON (one JSON object per line)
+/// over an istream/ostream pair — stdin/stdout in production, string
+/// streams in tests.
+///
+/// Methods: `analyze`, `alias`, `points_to`, `read_write_sets`,
+/// `stats`, `invalidate`, `shutdown` (schemas in docs/SERVING.md).
+/// Every `analyze` consults the SummaryCache before running the
+/// pipeline; query methods are answered from cached ResultSnapshots
+/// without touching the analyzer at all. Per-request AnalysisOptions
+/// and AnalysisLimits override the server defaults and ride on the
+/// existing governance layer, so one hostile request degrades soundly
+/// instead of stalling the daemon.
+///
+/// Every response carries `{id, ok, degraded, cached, elapsed_ms}`.
+/// Malformed input — bad JSON, unknown method, missing parameters —
+/// produces an `ok:false` response and the loop continues; nothing a
+/// client sends terminates the server except `shutdown` (or EOF).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SERVE_SERVER_H
+#define MCPTA_SERVE_SERVER_H
+
+#include "serve/SummaryCache.h"
+
+#include <iosfwd>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace mcpta {
+namespace serve {
+
+class JsonValue;
+
+class Server {
+public:
+  struct Config {
+    SummaryCache::Config Cache;
+    /// Defaults for analyze requests; per-request "options"/"limits"
+    /// members override individual fields.
+    pta::Analyzer::Options DefaultOpts;
+  };
+
+  explicit Server(Config C);
+  ~Server();
+
+  /// Serves until `shutdown` or EOF on \p In. Responses (one line each)
+  /// go to \p Out; operational log lines (startup banner, deduplicated
+  /// degradation warnings) go to \p Log. Returns the process exit code
+  /// (0 on orderly shutdown/EOF).
+  int run(std::istream &In, std::ostream &Out, std::ostream &Log);
+
+  /// Handles one request line and returns the response line (no
+  /// trailing newline). Exposed for in-process tests; sets
+  /// \p WantShutdown on a `shutdown` request.
+  std::string handleLine(const std::string &Line, bool &WantShutdown,
+                         std::ostream &Log);
+
+  const SummaryCache &cache() const { return *Cache; }
+  support::Telemetry &telemetry() { return *Telem; }
+
+private:
+  struct Response;
+
+  void handleAnalyze(const JsonValue &Req, Response &Resp, std::ostream &Log);
+  void handleAlias(const JsonValue &Req, Response &Resp);
+  void handlePointsTo(const JsonValue &Req, Response &Resp);
+  void handleReadWriteSets(const JsonValue &Req, Response &Resp);
+  void handleStats(Response &Resp);
+  void handleInvalidate(Response &Resp);
+
+  /// Resolves the snapshot a query method addresses: the request's
+  /// "key" member, or the most recently analyzed result. Null plus an
+  /// error message when neither resolves.
+  std::shared_ptr<const ResultSnapshot> querySnapshot(const JsonValue &Req,
+                                                      std::string &Error);
+
+  Config Cfg;
+  std::unique_ptr<support::Telemetry> Telem;
+  std::unique_ptr<SummaryCache> Cache;
+  std::string LastKey;
+  std::shared_ptr<const ResultSnapshot> LastSnapshot;
+  /// Degradation warnings already logged, keyed by (kind, context), so
+  /// sustained budget pressure cannot flood the daemon log.
+  std::set<std::string> LoggedDegradations;
+};
+
+} // namespace serve
+} // namespace mcpta
+
+#endif // MCPTA_SERVE_SERVER_H

@@ -1,0 +1,222 @@
+//===- SummaryCache.cpp - Persistent analysis-result cache ---------------------===//
+
+#include "serve/SummaryCache.h"
+
+#include "support/Version.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+using namespace mcpta;
+using namespace mcpta::serve;
+
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Content addressing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// FNV-1a over the key material, run twice with different offset bases
+/// for a 128-bit address. Not cryptographic — the cache defends against
+/// accidents, not adversaries; a collision requires ~2^64 distinct
+/// translation units in one cache directory.
+uint64_t fnv1a(std::string_view Data, uint64_t H) {
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+std::string hex64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+} // namespace
+
+std::string SummaryCache::key(std::string_view Source,
+                              std::string_view OptionsFingerprint) {
+  // Separators keep (source, fingerprint) concatenation unambiguous.
+  std::string Material = std::string(version::kResultFormatName) + ":" +
+                         std::to_string(version::kResultFormatVersion) + "\x1f";
+  Material.append(OptionsFingerprint);
+  Material += '\x1f';
+  Material.append(Source);
+  uint64_t H1 = fnv1a(Material, 0xcbf29ce484222325ull);
+  uint64_t H2 = fnv1a(Material, 0x9ae16a3b2f90404full);
+  return hex64(H1) + hex64(H2);
+}
+
+std::string SummaryCache::key(std::string_view Source,
+                              const pta::Analyzer::Options &Opts) {
+  return key(Source, optionsFingerprint(Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+SummaryCache::SummaryCache(Config C, support::Telemetry *Telem)
+    : Cfg(std::move(C)), Telem(Telem) {}
+
+void SummaryCache::bump(const char *Name, uint64_t Delta) {
+  if (Telem)
+    Telem->add(Name, Delta);
+}
+
+std::string SummaryCache::blobPath(const std::string &Key) const {
+  return Cfg.Dir + "/" + Key + ".mcpta";
+}
+
+void SummaryCache::touch(Entry &E, const std::string &Key) {
+  Lru.erase(E.LruIt);
+  Lru.push_front(Key);
+  E.LruIt = Lru.begin();
+}
+
+void SummaryCache::evictToFit() {
+  while (!Lru.empty() && (Mem.size() > Cfg.MaxMemEntries ||
+                          S.MemBytes > Cfg.MaxMemBytes)) {
+    const std::string &Victim = Lru.back();
+    auto It = Mem.find(Victim);
+    if (It != Mem.end()) {
+      S.MemBytes -= It->second.Bytes;
+      Mem.erase(It);
+    }
+    Lru.pop_back();
+    ++S.Evictions;
+    bump("cache.evictions");
+  }
+  S.MemEntries = Mem.size();
+}
+
+void SummaryCache::insertMem(const std::string &Key,
+                             std::shared_ptr<const ResultSnapshot> Snap,
+                             uint64_t Bytes) {
+  auto It = Mem.find(Key);
+  if (It != Mem.end()) {
+    S.MemBytes -= It->second.Bytes;
+    Lru.erase(It->second.LruIt);
+    Mem.erase(It);
+  }
+  Lru.push_front(Key);
+  Mem[Key] = Entry{std::move(Snap), Bytes, Lru.begin()};
+  S.MemBytes += Bytes;
+  evictToFit();
+}
+
+std::shared_ptr<const ResultSnapshot>
+SummaryCache::lookup(const std::string &Key, std::string *Warning) {
+  auto It = Mem.find(Key);
+  if (It != Mem.end()) {
+    touch(It->second, Key);
+    ++S.Hits;
+    ++S.MemHits;
+    bump("cache.hits");
+    bump("cache.mem_hits");
+    return It->second.Snapshot;
+  }
+
+  if (!Cfg.Dir.empty()) {
+    std::ifstream In(blobPath(Key), std::ios::binary);
+    if (In) {
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      std::string Blob = SS.str();
+      ResultSnapshot Snap;
+      std::string Err;
+      if (deserialize(Blob, Snap, Err)) {
+        auto Shared = std::make_shared<const ResultSnapshot>(std::move(Snap));
+        insertMem(Key, Shared, Blob.size());
+        ++S.Hits;
+        bump("cache.hits");
+        bump("cache.disk_hits");
+        return Shared;
+      }
+      // Bad blob: tolerate as a miss, report, and drop the file so the
+      // next store replaces it instead of tripping over it again.
+      ++S.BadBlobs;
+      bump("cache.bad_blobs");
+      if (Warning)
+        *Warning = "cache blob for key " + Key +
+                   " is unreadable and was discarded: " + Err;
+      std::error_code EC;
+      fs::remove(blobPath(Key), EC);
+    }
+  }
+
+  ++S.Misses;
+  bump("cache.misses");
+  return nullptr;
+}
+
+std::shared_ptr<const ResultSnapshot>
+SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
+                    std::string *Warning) {
+  std::string Blob = serialize(Snapshot);
+  S.BytesStored += Blob.size();
+  bump("cache.bytes", Blob.size());
+  bump("cache.stores");
+
+  if (!Cfg.Dir.empty()) {
+    std::error_code EC;
+    fs::create_directories(Cfg.Dir, EC);
+    // Atomic publish: write a temp file, then rename into place, so a
+    // concurrent reader (or a crash mid-write) never sees a torn blob.
+    const std::string Tmp =
+        blobPath(Key) + ".tmp." + std::to_string(::getpid());
+    bool Written = false;
+    {
+      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+      Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
+      Written = bool(Out);
+    }
+    if (Written) {
+      fs::rename(Tmp, blobPath(Key), EC);
+      if (EC)
+        Written = false;
+    }
+    if (!Written) {
+      fs::remove(Tmp, EC);
+      if (Warning)
+        *Warning = "cache: cannot persist blob for key " + Key + " under '" +
+                   Cfg.Dir + "'; continuing memory-only";
+    }
+  }
+
+  auto Shared = std::make_shared<const ResultSnapshot>(std::move(Snapshot));
+  insertMem(Key, Shared, Blob.size());
+  return Shared;
+}
+
+uint64_t SummaryCache::invalidate() {
+  for (const auto &[Key, E] : Mem)
+    S.MemBytes -= E.Bytes;
+  Mem.clear();
+  Lru.clear();
+  S.MemBytes = 0;
+  S.MemEntries = 0;
+
+  uint64_t Removed = 0;
+  if (!Cfg.Dir.empty()) {
+    std::error_code EC;
+    for (const fs::directory_entry &E : fs::directory_iterator(Cfg.Dir, EC)) {
+      if (!E.is_regular_file() || E.path().extension() != ".mcpta")
+        continue;
+      std::error_code RemoveEC;
+      if (fs::remove(E.path(), RemoveEC))
+        ++Removed;
+    }
+  }
+  bump("cache.invalidations");
+  return Removed;
+}

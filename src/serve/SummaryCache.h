@@ -1,0 +1,128 @@
+//===- SummaryCache.h - Persistent analysis-result cache --------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve-from-cache layer: a content-addressed store of serialized
+/// analysis results (mcpta-result-v1 blobs, see Serialize.h) with two
+/// tiers — a bounded in-memory LRU of deserialized snapshots, and an
+/// on-disk blob directory that survives process restarts.
+///
+/// The key is a hash of everything that determines the result:
+///
+///   key = H(format version ⊕ options fingerprint ⊕ source bytes)
+///
+/// so byte-identical re-analyses hit, any change to the source, the
+/// AnalysisOptions, the AnalysisLimits, or the blob layout misses, and
+/// stale blobs from older format versions are simply never addressed
+/// (no migration logic needed). The store is corruption-tolerant by
+/// contract: a truncated or bit-flipped blob deserializes to an error,
+/// which lookup() converts into a miss plus a warning — a poisoned
+/// cache can cost time, never correctness or a crash.
+///
+/// Telemetry: hits/misses/evictions/stored-bytes are kept in a local
+/// Stats block and mirrored to `cache.*` counters when a Telemetry sink
+/// is attached (see docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SERVE_SUMMARYCACHE_H
+#define MCPTA_SERVE_SUMMARYCACHE_H
+
+#include "serve/Serialize.h"
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace mcpta {
+namespace serve {
+
+class SummaryCache {
+public:
+  struct Config {
+    /// Blob directory. Empty disables the disk tier (memory-only LRU).
+    /// Created on first store if missing.
+    std::string Dir;
+    /// In-memory LRU bounds: entry count and total serialized bytes.
+    /// Whichever trips first evicts the least recently used snapshot
+    /// (its disk blob, if any, stays).
+    size_t MaxMemEntries = 64;
+    uint64_t MaxMemBytes = 64 * 1024 * 1024;
+  };
+
+  struct Stats {
+    uint64_t Hits = 0;       ///< lookups answered (memory or disk)
+    uint64_t MemHits = 0;    ///< subset of Hits answered from the LRU
+    uint64_t Misses = 0;     ///< lookups that found nothing usable
+    uint64_t Evictions = 0;  ///< LRU entries dropped to respect bounds
+    uint64_t BytesStored = 0;///< cumulative serialized bytes written
+    uint64_t MemBytes = 0;   ///< current LRU footprint (serialized size)
+    uint64_t MemEntries = 0; ///< current LRU entry count
+    uint64_t BadBlobs = 0;   ///< corrupt disk blobs tolerated as misses
+  };
+
+  /// \p Telem may be null; when set, cache.{hits,misses,evictions,
+  /// bytes,bad_blobs} counters mirror the Stats increments.
+  explicit SummaryCache(Config C, support::Telemetry *Telem = nullptr);
+
+  /// The content address for one (source, options) pair under the
+  /// current result-format version. 32 hex characters.
+  static std::string key(std::string_view Source,
+                         const pta::Analyzer::Options &Opts);
+  static std::string key(std::string_view Source,
+                         std::string_view OptionsFingerprint);
+
+  /// Returns the cached snapshot for \p Key, consulting the LRU first
+  /// and the disk tier second (a disk hit repopulates the LRU). Returns
+  /// null on a miss. A corrupt disk blob counts as a miss; the
+  /// diagnostic lands in \p Warning when the caller passes one.
+  std::shared_ptr<const ResultSnapshot> lookup(const std::string &Key,
+                                               std::string *Warning = nullptr);
+
+  /// Serializes \p Snapshot, stores the blob under \p Key in both tiers
+  /// (disk write is atomic: temp file + rename), and returns the shared
+  /// snapshot. Disk-tier failures degrade to memory-only with a warning.
+  std::shared_ptr<const ResultSnapshot>
+  store(const std::string &Key, ResultSnapshot Snapshot,
+        std::string *Warning = nullptr);
+
+  /// Drops every entry: the whole LRU, and every *.mcpta blob in the
+  /// disk directory. Returns the number of disk blobs removed.
+  uint64_t invalidate();
+
+  const Stats &stats() const { return S; }
+  const Config &config() const { return Cfg; }
+
+private:
+  struct Entry {
+    std::shared_ptr<const ResultSnapshot> Snapshot;
+    uint64_t Bytes = 0; ///< serialized size (the LRU's byte accounting)
+    std::list<std::string>::iterator LruIt;
+  };
+
+  std::string blobPath(const std::string &Key) const;
+  void insertMem(const std::string &Key,
+                 std::shared_ptr<const ResultSnapshot> Snap, uint64_t Bytes);
+  void touch(Entry &E, const std::string &Key);
+  void evictToFit();
+  void bump(const char *Name, uint64_t Delta = 1);
+
+  Config Cfg;
+  support::Telemetry *Telem;
+  Stats S;
+  /// LRU list front = most recent. Map values hold list iterators.
+  std::list<std::string> Lru;
+  std::map<std::string, Entry> Mem;
+};
+
+} // namespace serve
+} // namespace mcpta
+
+#endif // MCPTA_SERVE_SUMMARYCACHE_H

@@ -20,3 +20,13 @@ const char *mcpta::support::limitKindName(LimitKind K) {
   }
   return "unknown";
 }
+
+std::string mcpta::support::degradationCategory(const std::string &Context) {
+  size_t Open = Context.find('\'');
+  if (Open == std::string::npos)
+    return Context;
+  size_t Close = Context.find('\'', Open + 1);
+  if (Close == std::string::npos)
+    return Context;
+  return Context.substr(0, Open) + "'<...>'" + Context.substr(Close + 1);
+}

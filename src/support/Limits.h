@@ -85,6 +85,16 @@ struct Degradation {
   std::string Action;  ///< fallback taken, e.g. "merged summaries"
 };
 
+/// Collapses the per-site detail of a degradation context so repeats of
+/// the same failure mode group together: the 'quoted' name — function,
+/// call-site expression — becomes "<...>", e.g. both "recursion fixed
+/// point of 'f'" and "recursion fixed point of 'g'" map to "recursion
+/// fixed point of '<...>'". Warning dedup keys on (kind, category) so a
+/// run under sustained budget pressure emits one warning per failure
+/// mode, not one per function; full per-event detail stays in the
+/// structured Degradation list and the pta.degraded.* counters.
+std::string degradationCategory(const std::string &Context);
+
 /// The run-time meter. Hot paths hold a `BudgetMeter *` that is null
 /// when no limits are set, so the ungoverned cost is one branch on a
 /// null pointer (the same discipline as support::Telemetry). Checks are

@@ -2,6 +2,8 @@
 
 #include "support/Telemetry.h"
 
+#include "support/Version.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -192,7 +194,14 @@ void Telemetry::writeTraceJson(std::ostream &OS) const {
 }
 
 void Telemetry::writeStatsJson(std::ostream &OS) const {
+  // Version stamps make every stats document attributable: which tool
+  // build produced it, and which result-format revision (and therefore
+  // which summary-cache key space) that build addresses.
   OS << "{\"schema\":\"mcpta-stats-v1\"";
+  OS << ",\"tool_version\":\"" << jsonEscape(version::kToolVersion) << "\"";
+  OS << ",\"result_format\":\"" << jsonEscape(version::kResultFormatName)
+     << "\"";
+  OS << ",\"result_format_version\":" << version::kResultFormatVersion;
 
   OS << ",\"counters\":{";
   bool First = true;

@@ -1,0 +1,41 @@
+//===- Version.h - Tool and artifact format versions ------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for every version that leaves the
+/// process: the tool version, and the name + version of the binary
+/// result format (`mcpta-result-v1`, see src/serve/Serialize.h). Both
+/// are embedded in the `mcpta-stats-v1` JSON export and in every
+/// serialized result header, so cache keys, stats files, and stored
+/// blobs are attributable to the code that produced them.
+///
+/// Bump kResultFormatVersion on ANY change to the serialized layout —
+/// the version participates in the summary-cache key, so a bump
+/// invalidates every stored blob instead of misreading it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SUPPORT_VERSION_H
+#define MCPTA_SUPPORT_VERSION_H
+
+#include <cstdint>
+
+namespace mcpta {
+namespace version {
+
+/// Tool/library release. Advanced with user-visible feature changes.
+inline constexpr const char *kToolVersion = "0.3.0";
+
+/// Name of the binary result format produced by serve::serialize.
+inline constexpr const char *kResultFormatName = "mcpta-result-v1";
+
+/// Layout revision of that format. Part of every cache key.
+inline constexpr uint32_t kResultFormatVersion = 1;
+
+} // namespace version
+} // namespace mcpta
+
+#endif // MCPTA_SUPPORT_VERSION_H

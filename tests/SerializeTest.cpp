@@ -1,0 +1,248 @@
+//===- SerializeTest.cpp - mcpta-result-v1 round-trip properties ---------------===//
+//
+// The serialized result format's two contracts (serve/Serialize.h):
+//
+//  1. Determinism: serialize → deserialize → serialize is byte-identical,
+//     and the deserialized snapshot compares equal to the captured one —
+//     points-to sets, IG node kinds, degradations, and client outputs —
+//     for every corpus program.
+//  2. Corruption tolerance: truncated, bit-flipped, or wrong-header
+//     input makes deserialize() return false with a message; it never
+//     crashes, reads out of bounds, or silently accepts garbage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "corpus/Corpus.h"
+#include "serve/Serialize.h"
+#include "support/Version.h"
+
+#include <algorithm>
+
+using namespace mcpta;
+using namespace mcpta::serve;
+
+namespace {
+
+ResultSnapshot captureSource(const std::string &Source,
+                             const pta::Analyzer::Options &Opts = {}) {
+  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  return ResultSnapshot::capture(*P.Prog, P.Analysis, optionsFingerprint(Opts));
+}
+
+TEST(SerializeTest, RoundTripEveryCorpusProgram) {
+  for (const corpus::CorpusProgram &CP : corpus::corpus()) {
+    pta::Analyzer::Options Opts;
+    Pipeline P = Pipeline::analyzeSource(CP.Source, Opts);
+    ASSERT_FALSE(P.Diags.hasErrors()) << CP.Name << ":\n" << P.Diags.dump();
+    ASSERT_TRUE(P.Analysis.Analyzed) << CP.Name;
+
+    ResultSnapshot S =
+        ResultSnapshot::capture(*P.Prog, P.Analysis, optionsFingerprint(Opts));
+    std::string Blob = serialize(S);
+    ASSERT_FALSE(Blob.empty()) << CP.Name;
+
+    ResultSnapshot Back;
+    std::string Err;
+    ASSERT_TRUE(deserialize(Blob, Back, Err)) << CP.Name << ": " << Err;
+
+    // Full structural equality: locations, MainOut/StmtIn triples, IG
+    // shape with node kinds and memoized sets, degradations, warnings,
+    // alias pairs, read/write sets.
+    EXPECT_TRUE(S == Back) << CP.Name;
+
+    // Byte-identical re-serialization (the cache dedupes on this).
+    EXPECT_EQ(Blob, serialize(Back)) << CP.Name;
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesDegradations) {
+  // A tight IG-node budget forces the governance layer to degrade; the
+  // degradation records must survive the trip.
+  pta::Analyzer::Options Opts;
+  Opts.Limits.MaxIGNodes = 2;
+  const corpus::CorpusProgram *CP = corpus::find("hash");
+  ASSERT_NE(CP, nullptr);
+  Pipeline P = Pipeline::analyzeSource(CP->Source, Opts);
+  ASSERT_FALSE(P.Diags.hasErrors());
+  ASSERT_FALSE(P.Analysis.Degradations.empty());
+
+  ResultSnapshot S =
+      ResultSnapshot::capture(*P.Prog, P.Analysis, optionsFingerprint(Opts));
+  EXPECT_TRUE(S.degraded());
+
+  ResultSnapshot Back;
+  std::string Err;
+  ASSERT_TRUE(deserialize(serialize(S), Back, Err)) << Err;
+  EXPECT_EQ(S.Degradations.size(), Back.Degradations.size());
+  EXPECT_TRUE(S == Back);
+}
+
+TEST(SerializeTest, RoundTripWithoutStmtSets) {
+  pta::Analyzer::Options Opts;
+  Opts.RecordStmtSets = false;
+  ResultSnapshot S = captureSource(
+      "int main(void) { int x; int *p; p = &x; return *p; }", Opts);
+  EXPECT_TRUE(S.StmtIn.empty());
+
+  ResultSnapshot Back;
+  std::string Err;
+  std::string Blob = serialize(S);
+  ASSERT_TRUE(deserialize(Blob, Back, Err)) << Err;
+  EXPECT_TRUE(S == Back);
+  EXPECT_EQ(Blob, serialize(Back));
+}
+
+TEST(SerializeTest, SnapshotAnswersQueries) {
+  ResultSnapshot S = captureSource("int main(void) {\n"
+                                   "  int x; int *p; int *q;\n"
+                                   "  p = &x; q = p;\n"
+                                   "  return *q;\n"
+                                   "}");
+  EXPECT_GE(S.locationIdByName("p"), 0);
+  EXPECT_EQ(S.locationIdByName("no_such_var"), -1);
+
+  auto Targets = S.pointsToTargets("p");
+  ASSERT_EQ(Targets.size(), 1u);
+  EXPECT_EQ(Targets[0].first, "x");
+  EXPECT_TRUE(Targets[0].second); // definite
+
+  // p and q both point to x: (*p, *q) alias, and each aliases x.
+  EXPECT_TRUE(S.aliased("*p", "*q"));
+  EXPECT_TRUE(S.aliased("*q", "*p")); // order-insensitive
+  EXPECT_TRUE(S.aliased("*p", "x"));
+  EXPECT_FALSE(S.aliased("p", "q"));
+
+  // Read/write sets: main reads x through q, writes x's address into p.
+  ASSERT_EQ(S.Writes.count("main"), 1u);
+  const std::vector<std::string> &W = S.Writes.at("main");
+  EXPECT_NE(std::find(W.begin(), W.end(), "p"), W.end());
+}
+
+TEST(SerializeTest, TruncationAlwaysFailsCleanly) {
+  ResultSnapshot S = captureSource(
+      "int g; int main(void) { int *p; p = &g; return *p; }");
+  std::string Blob = serialize(S);
+  ASSERT_GT(Blob.size(), 16u);
+
+  // Every proper prefix must be rejected — no crash, no acceptance.
+  for (size_t Len = 0; Len < Blob.size(); ++Len) {
+    ResultSnapshot Out;
+    std::string Err;
+    EXPECT_FALSE(deserialize(std::string_view(Blob.data(), Len), Out, Err))
+        << "accepted a " << Len << "-byte prefix of a " << Blob.size()
+        << "-byte blob";
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(SerializeTest, BadMagicAndWrongVersionRejected) {
+  ResultSnapshot S = captureSource("int main(void) { return 0; }");
+  std::string Blob = serialize(S);
+
+  std::string BadMagic = Blob;
+  BadMagic[0] = 'X';
+  ResultSnapshot Out;
+  std::string Err;
+  EXPECT_FALSE(deserialize(BadMagic, Out, Err));
+  EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+
+  // The format version lives right after the 4-byte magic
+  // (little-endian u32); a future version must be rejected, not
+  // misparsed.
+  std::string BadVersion = Blob;
+  BadVersion[4] = static_cast<char>(version::kResultFormatVersion + 1);
+  Err.clear();
+  EXPECT_FALSE(deserialize(BadVersion, Out, Err));
+  EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+}
+
+TEST(SerializeTest, BitFlipsNeverCrash) {
+  ResultSnapshot S = captureSource("struct N { struct N *next; int v; };\n"
+                                   "int main(void) {\n"
+                                   "  struct N a; struct N *p;\n"
+                                   "  a.next = &a; p = a.next;\n"
+                                   "  return p->v;\n"
+                                   "}");
+  std::string Blob = serialize(S);
+
+  // Flip one bit at a time across the whole blob. A flip inside string
+  // payload may legally still parse; a flip in structure must fail.
+  // Either way: terminate, never crash.
+  for (size_t I = 0; I < Blob.size(); ++I) {
+    for (int Bit = 0; Bit < 8; Bit += 3) {
+      std::string Mutated = Blob;
+      Mutated[I] = static_cast<char>(Mutated[I] ^ (1 << Bit));
+      ResultSnapshot Out;
+      std::string Err;
+      (void)deserialize(Mutated, Out, Err);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(SerializeTest, TrailingGarbageRejected) {
+  ResultSnapshot S = captureSource("int main(void) { return 0; }");
+  std::string Blob = serialize(S) + "extra";
+  ResultSnapshot Out;
+  std::string Err;
+  EXPECT_FALSE(deserialize(Blob, Out, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(SerializeTest, OptionsFingerprintCoversEveryKnob) {
+  pta::Analyzer::Options Base;
+  const std::string FP = optionsFingerprint(Base);
+
+  auto Differs = [&FP](const pta::Analyzer::Options &O) {
+    return optionsFingerprint(O) != FP;
+  };
+
+  pta::Analyzer::Options O = Base;
+  O.FnPtr = pta::FnPtrMode::AllFunctions;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.ContextSensitive = false;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.RecordStmtSets = false;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.SymbolicLevelLimit = 2;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.MaxLoopIterations = 7;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.Limits.TimeoutMs = 100;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.Limits.MaxStmtVisits = 1000;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.Limits.MaxLocations = 500;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.Limits.MaxIGNodes = 50;
+  EXPECT_TRUE(Differs(O));
+  O = Base;
+  O.Limits.MaxRecPasses = 3;
+  EXPECT_TRUE(Differs(O));
+
+  // Equal options fingerprint equally.
+  EXPECT_EQ(optionsFingerprint(Base), optionsFingerprint(pta::Analyzer::Options{}));
+}
+
+TEST(SerializeTest, EqualResultsSerializeIdentically) {
+  // Two independent runs of the same (source, options) must produce the
+  // same bytes — the determinism the content-addressed cache relies on.
+  const corpus::CorpusProgram *CP = corpus::find("misr");
+  ASSERT_NE(CP, nullptr);
+  std::string A = serialize(captureSource(CP->Source));
+  std::string B = serialize(captureSource(CP->Source));
+  EXPECT_EQ(A, B);
+}
+
+} // namespace

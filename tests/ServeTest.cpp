@@ -1,0 +1,452 @@
+//===- ServeTest.cpp - summary cache and pta-serve daemon ----------------------===//
+//
+// The serve layer's contracts (serve/SummaryCache.h, serve/Server.h):
+//
+//  - Cache keys: byte-identical (source, options) reruns hit; any change
+//    to the source, the AnalysisOptions, or the AnalysisLimits misses.
+//  - Corruption tolerance: a truncated or garbage disk blob degrades to
+//    a miss with a warning — never a crash, never a wrong answer.
+//  - The LRU respects its bounds and the disk tier survives "restarts"
+//    (a second SummaryCache instance over the same directory).
+//  - The NDJSON protocol: analyze → query → cached re-analyze →
+//    shutdown, plus every error path, all in-process via handleLine/run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "serve/Json.h"
+#include "serve/Server.h"
+#include "serve/SummaryCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace mcpta;
+using namespace mcpta::serve;
+
+namespace {
+
+/// A unique cache directory under the test temp dir, removed on scope
+/// exit so tests cannot see each other's blobs.
+struct TempCacheDir {
+  std::string Path;
+  TempCacheDir(const char *Tag) {
+    Path = ::testing::TempDir() + "/mcpta_serve_test_" + Tag + "_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(Path);
+  }
+  ~TempCacheDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+};
+
+ResultSnapshot analyzeToSnapshot(const std::string &Source,
+                                 const pta::Analyzer::Options &Opts = {}) {
+  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  return ResultSnapshot::capture(*P.Prog, P.Analysis, optionsFingerprint(Opts));
+}
+
+/// Parses a server response line with the serve layer's own JSON parser
+/// and fails the test on malformed output.
+JsonValue parseResponse(const std::string &Line) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(parseJson(Line, V, Err)) << Err << "\nline: " << Line;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache keys
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryCacheTest, IdenticalRerunsShareAKey) {
+  const char *Src = "int main(void) { int x; int *p; p = &x; return *p; }";
+  pta::Analyzer::Options Opts;
+  EXPECT_EQ(SummaryCache::key(Src, Opts), SummaryCache::key(Src, Opts));
+  EXPECT_EQ(SummaryCache::key(Src, Opts).size(), 32u);
+}
+
+TEST(SummaryCacheTest, SourceChangesMiss) {
+  pta::Analyzer::Options Opts;
+  EXPECT_NE(SummaryCache::key("int main(void) { return 0; }", Opts),
+            SummaryCache::key("int main(void) { return 1; }", Opts));
+}
+
+TEST(SummaryCacheTest, OptionChangesMiss) {
+  const char *Src = "int main(void) { return 0; }";
+  pta::Analyzer::Options Base;
+  const std::string K = SummaryCache::key(Src, Base);
+
+  pta::Analyzer::Options O = Base;
+  O.FnPtr = pta::FnPtrMode::AddressTaken;
+  EXPECT_NE(SummaryCache::key(Src, O), K);
+  O = Base;
+  O.ContextSensitive = false;
+  EXPECT_NE(SummaryCache::key(Src, O), K);
+  O = Base;
+  O.SymbolicLevelLimit = 1;
+  EXPECT_NE(SummaryCache::key(Src, O), K);
+}
+
+TEST(SummaryCacheTest, LimitChangesMiss) {
+  // AnalysisLimits shape the result (degradations), so they are part of
+  // the key: the same source under a tighter budget is a different
+  // cache entry.
+  const char *Src = "int main(void) { return 0; }";
+  pta::Analyzer::Options Base;
+  const std::string K = SummaryCache::key(Src, Base);
+
+  pta::Analyzer::Options O = Base;
+  O.Limits.TimeoutMs = 50;
+  EXPECT_NE(SummaryCache::key(Src, O), K);
+  O = Base;
+  O.Limits.MaxIGNodes = 4;
+  EXPECT_NE(SummaryCache::key(Src, O), K);
+  O = Base;
+  O.Limits.MaxStmtVisits = 100;
+  EXPECT_NE(SummaryCache::key(Src, O), K);
+}
+
+//===----------------------------------------------------------------------===//
+// Store / lookup / persistence
+//===----------------------------------------------------------------------===//
+
+TEST(SummaryCacheTest, StoreThenLookupHitsMemoryAndDisk) {
+  TempCacheDir Dir("hit");
+  const char *Src = "int g; int main(void) { int *p; p = &g; return *p; }";
+  pta::Analyzer::Options Opts;
+  const std::string Key = SummaryCache::key(Src, Opts);
+  ResultSnapshot Snap = analyzeToSnapshot(Src, Opts);
+
+  {
+    SummaryCache C({Dir.Path});
+    EXPECT_EQ(C.lookup(Key), nullptr);
+    EXPECT_EQ(C.stats().Misses, 1u);
+
+    ASSERT_NE(C.store(Key, Snap), nullptr);
+    auto Hit = C.lookup(Key);
+    ASSERT_NE(Hit, nullptr);
+    EXPECT_TRUE(*Hit == Snap);
+    EXPECT_EQ(C.stats().Hits, 1u);
+    EXPECT_EQ(C.stats().MemHits, 1u);
+    EXPECT_GT(C.stats().BytesStored, 0u);
+  }
+
+  // A fresh instance over the same directory — a daemon restart — must
+  // answer from the disk tier.
+  SummaryCache C2({Dir.Path});
+  auto Hit = C2.lookup(Key);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_TRUE(*Hit == Snap);
+  EXPECT_EQ(C2.stats().Hits, 1u);
+  EXPECT_EQ(C2.stats().MemHits, 0u); // came from disk, not the LRU
+
+  // ...and the disk hit repopulates the LRU.
+  (void)C2.lookup(Key);
+  EXPECT_EQ(C2.stats().MemHits, 1u);
+}
+
+TEST(SummaryCacheTest, TruncatedBlobIsMissWithWarning) {
+  TempCacheDir Dir("trunc");
+  const char *Src = "int main(void) { int x; int *p; p = &x; return *p; }";
+  const std::string Key = SummaryCache::key(Src, pta::Analyzer::Options{});
+
+  {
+    SummaryCache C({Dir.Path});
+    C.store(Key, analyzeToSnapshot(Src));
+  }
+
+  // Truncate the blob on disk behind the cache's back.
+  const std::string Blob = Dir.Path + "/" + Key + ".mcpta";
+  ASSERT_TRUE(std::filesystem::exists(Blob));
+  std::filesystem::resize_file(Blob, std::filesystem::file_size(Blob) / 2);
+
+  SummaryCache C({Dir.Path});
+  std::string Warning;
+  EXPECT_EQ(C.lookup(Key, &Warning), nullptr);
+  EXPECT_FALSE(Warning.empty());
+  EXPECT_EQ(C.stats().Misses, 1u);
+  EXPECT_EQ(C.stats().BadBlobs, 1u);
+  // The poisoned blob is dropped so the next store can republish.
+  EXPECT_FALSE(std::filesystem::exists(Blob));
+}
+
+TEST(SummaryCacheTest, GarbageBlobIsMissWithWarning) {
+  TempCacheDir Dir("garbage");
+  const std::string Key(32, 'a');
+  std::filesystem::create_directories(Dir.Path);
+  std::ofstream(Dir.Path + "/" + Key + ".mcpta") << "not a result blob";
+
+  SummaryCache C({Dir.Path});
+  std::string Warning;
+  EXPECT_EQ(C.lookup(Key, &Warning), nullptr);
+  EXPECT_FALSE(Warning.empty());
+  EXPECT_EQ(C.stats().BadBlobs, 1u);
+}
+
+TEST(SummaryCacheTest, LruRespectsEntryBound) {
+  // Memory-only cache bounded to 2 entries: a third store evicts the
+  // least recently used.
+  SummaryCache::Config Cfg;
+  Cfg.MaxMemEntries = 2;
+  SummaryCache C(Cfg);
+
+  const char *Sources[3] = {
+      "int main(void) { return 0; }",
+      "int main(void) { return 1; }",
+      "int main(void) { return 2; }",
+  };
+  std::string Keys[3];
+  for (int I = 0; I < 3; ++I) {
+    Keys[I] = SummaryCache::key(Sources[I], pta::Analyzer::Options{});
+    C.store(Keys[I], analyzeToSnapshot(Sources[I]));
+  }
+
+  EXPECT_EQ(C.stats().Evictions, 1u);
+  EXPECT_EQ(C.stats().MemEntries, 2u);
+  EXPECT_EQ(C.lookup(Keys[0]), nullptr); // evicted; no disk tier
+  EXPECT_NE(C.lookup(Keys[1]), nullptr);
+  EXPECT_NE(C.lookup(Keys[2]), nullptr);
+}
+
+TEST(SummaryCacheTest, InvalidateDropsEverything) {
+  TempCacheDir Dir("invalidate");
+  const char *Src = "int main(void) { return 0; }";
+  const std::string Key = SummaryCache::key(Src, pta::Analyzer::Options{});
+
+  SummaryCache C({Dir.Path});
+  C.store(Key, analyzeToSnapshot(Src));
+  EXPECT_EQ(C.invalidate(), 1u);
+  EXPECT_EQ(C.lookup(Key), nullptr);
+  EXPECT_FALSE(std::filesystem::exists(Dir.Path + "/" + Key + ".mcpta"));
+}
+
+//===----------------------------------------------------------------------===//
+// Server protocol
+//===----------------------------------------------------------------------===//
+
+struct ServerFixture {
+  TempCacheDir Dir{"server"};
+  Server S;
+  std::ostringstream Log;
+
+  ServerFixture() : S(makeConfig()) {}
+
+  Server::Config makeConfig() {
+    Server::Config Cfg;
+    Cfg.Cache.Dir = Dir.Path;
+    return Cfg;
+  }
+
+  /// One request through the protocol layer; returns the parsed reply.
+  JsonValue request(const std::string &Line, bool *WantShutdown = nullptr) {
+    bool Shut = false;
+    std::string Reply = S.handleLine(Line, Shut, Log);
+    if (WantShutdown)
+      *WantShutdown = Shut;
+    return parseResponse(Reply);
+  }
+};
+
+TEST(ServerTest, AnalyzeThenCachedReanalyze) {
+  ServerFixture F;
+  const corpus::CorpusProgram *CP = corpus::find("hash");
+  ASSERT_NE(CP, nullptr);
+
+  JsonValue R1 = F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\"}");
+  EXPECT_TRUE(R1.getBool("ok", false));
+  EXPECT_FALSE(R1.getBool("cached", true));
+  EXPECT_TRUE(R1.getBool("analyzed", false));
+  EXPECT_EQ(R1.getString("key", "").size(), 32u);
+  EXPECT_GT(R1.getNumber("locations", 0), 0);
+  EXPECT_GT(R1.getNumber("ig_nodes", 0), 0);
+
+  // Byte-identical rerun: must be served from the cache.
+  JsonValue R2 = F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"hash\"}");
+  EXPECT_TRUE(R2.getBool("ok", false));
+  EXPECT_TRUE(R2.getBool("cached", false));
+  EXPECT_EQ(R2.getString("key", "x"), R1.getString("key", "y"));
+  EXPECT_EQ(R2.getNumber("locations", -1), R1.getNumber("locations", -2));
+}
+
+TEST(ServerTest, DifferentOptionsDifferentKey) {
+  ServerFixture F;
+  JsonValue R1 = F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\"}");
+  JsonValue R2 = F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"hash\","
+                           "\"options\":{\"context_sensitive\":false}}");
+  EXPECT_TRUE(R2.getBool("ok", false));
+  EXPECT_FALSE(R2.getBool("cached", true)) << "options change must miss";
+  EXPECT_NE(R1.getString("key", "x"), R2.getString("key", "x"));
+
+  JsonValue R3 = F.request("{\"id\":3,\"method\":\"analyze\",\"corpus\":\"hash\","
+                           "\"limits\":{\"max_ig_nodes\":3}}");
+  EXPECT_FALSE(R3.getBool("cached", true)) << "limits change must miss";
+  EXPECT_TRUE(R3.getBool("degraded", false));
+}
+
+TEST(ServerTest, QueriesAnswerFromSnapshot) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"source\":"
+            "\"int main(void) { int x; int *p; int *q; p = &x; q = p; "
+            "return *q; }\"}");
+
+  JsonValue A = F.request(
+      "{\"id\":2,\"method\":\"alias\",\"a\":\"*p\",\"b\":\"*q\"}");
+  EXPECT_TRUE(A.getBool("ok", false));
+  EXPECT_TRUE(A.getBool("aliased", false));
+
+  JsonValue NA = F.request(
+      "{\"id\":3,\"method\":\"alias\",\"a\":\"p\",\"b\":\"q\"}");
+  EXPECT_TRUE(NA.getBool("ok", false));
+  EXPECT_FALSE(NA.getBool("aliased", true));
+
+  JsonValue PT =
+      F.request("{\"id\":4,\"method\":\"points_to\",\"name\":\"p\"}");
+  EXPECT_TRUE(PT.getBool("ok", false));
+  const JsonValue *Targets = PT.find("targets");
+  ASSERT_NE(Targets, nullptr);
+  ASSERT_EQ(Targets->elements().size(), 1u);
+  EXPECT_EQ(Targets->elements()[0].getString("target", ""), "x");
+  EXPECT_TRUE(Targets->elements()[0].getBool("definite", false));
+
+  JsonValue RW = F.request("{\"id\":5,\"method\":\"read_write_sets\","
+                           "\"function\":\"main\"}");
+  EXPECT_TRUE(RW.getBool("ok", false));
+  ASSERT_NE(RW.find("writes"), nullptr);
+}
+
+TEST(ServerTest, ErrorPathsKeepTheLoopAlive) {
+  ServerFixture F;
+
+  JsonValue Bad = F.request("this is not json");
+  EXPECT_FALSE(Bad.getBool("ok", true));
+  EXPECT_NE(Bad.getString("error", "").find("JSON"), std::string::npos);
+
+  JsonValue NoMethod = F.request("{\"id\":1}");
+  EXPECT_FALSE(NoMethod.getBool("ok", true));
+
+  JsonValue Unknown = F.request("{\"id\":2,\"method\":\"frobnicate\"}");
+  EXPECT_FALSE(Unknown.getBool("ok", true));
+  EXPECT_NE(Unknown.getString("error", "").find("frobnicate"),
+            std::string::npos);
+
+  // Query before any analyze: no snapshot to address.
+  JsonValue Early = F.request(
+      "{\"id\":3,\"method\":\"alias\",\"a\":\"p\",\"b\":\"q\"}");
+  EXPECT_FALSE(Early.getBool("ok", true));
+
+  // Frontend errors are reported, not cached.
+  JsonValue Parse = F.request(
+      "{\"id\":4,\"method\":\"analyze\",\"source\":\"int main( {\"}");
+  EXPECT_FALSE(Parse.getBool("ok", true));
+  EXPECT_FALSE(Parse.getString("error", "").empty());
+
+  // The server still works after every failure above.
+  JsonValue Ok = F.request(
+      "{\"id\":5,\"method\":\"analyze\",\"source\":"
+      "\"int main(void) { return 0; }\"}");
+  EXPECT_TRUE(Ok.getBool("ok", false));
+}
+
+TEST(ServerTest, UnknownCorpusAndLocationsFail) {
+  ServerFixture F;
+  JsonValue R = F.request(
+      "{\"id\":1,\"method\":\"analyze\",\"corpus\":\"no_such_program\"}");
+  EXPECT_FALSE(R.getBool("ok", true));
+
+  F.request("{\"id\":2,\"method\":\"analyze\",\"source\":"
+            "\"int main(void) { return 0; }\"}");
+  JsonValue PT = F.request(
+      "{\"id\":3,\"method\":\"points_to\",\"name\":\"no_such_var\"}");
+  EXPECT_FALSE(PT.getBool("ok", true));
+
+  JsonValue RW = F.request("{\"id\":4,\"method\":\"read_write_sets\","
+                           "\"function\":\"no_such_fn\"}");
+  EXPECT_FALSE(RW.getBool("ok", true));
+}
+
+TEST(ServerTest, StatsAndInvalidate) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+
+  JsonValue St = F.request("{\"id\":2,\"method\":\"stats\"}");
+  EXPECT_TRUE(St.getBool("ok", false));
+  EXPECT_FALSE(St.getString("tool_version", "").empty());
+  EXPECT_EQ(St.getString("result_format", ""), "mcpta-result-v1");
+  const JsonValue *Cache = St.find("cache");
+  ASSERT_NE(Cache, nullptr);
+  EXPECT_EQ(Cache->getNumber("misses", -1), 1);
+  const JsonValue *Counters = St.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GE(Counters->getNumber("serve.requests", 0), 2);
+
+  JsonValue Inv = F.request("{\"id\":3,\"method\":\"invalidate\"}");
+  EXPECT_TRUE(Inv.getBool("ok", false));
+  EXPECT_EQ(Inv.getNumber("removed_blobs", -1), 1);
+
+  // After invalidation the snapshot reference is gone too.
+  JsonValue Q = F.request(
+      "{\"id\":4,\"method\":\"alias\",\"a\":\"a\",\"b\":\"b\"}");
+  EXPECT_FALSE(Q.getBool("ok", true));
+}
+
+TEST(ServerTest, ShutdownFlagsAndRunLoop) {
+  ServerFixture F;
+  bool Shut = false;
+  JsonValue R = F.request("{\"id\":9,\"method\":\"shutdown\"}", &Shut);
+  EXPECT_TRUE(R.getBool("ok", false));
+  EXPECT_TRUE(Shut);
+
+  // Full loop over streams: banner on the log, one response per
+  // request, orderly exit code.
+  TempCacheDir Dir("runloop");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Server S(Cfg);
+  std::istringstream In("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"misr\"}\n"
+                        "\n" // blank lines are skipped
+                        "{\"id\":2,\"method\":\"stats\"}\n"
+                        "{\"id\":3,\"method\":\"shutdown\"}\n"
+                        "{\"id\":4,\"method\":\"stats\"}\n"); // after shutdown
+  std::ostringstream Out, Log;
+  EXPECT_EQ(S.run(In, Out, Log), 0);
+  EXPECT_NE(Log.str().find("pta-serve"), std::string::npos);
+
+  // Exactly three responses: the post-shutdown line is never read.
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  int N = 0;
+  while (std::getline(Lines, Line))
+    if (!Line.empty()) {
+      parseResponse(Line);
+      ++N;
+    }
+  EXPECT_EQ(N, 3);
+}
+
+TEST(ServerTest, DegradationWarningsAreDeduplicated) {
+  ServerFixture F;
+  // Two analyses degrading the same way: the log gets one warning line
+  // per (kind, context), not one per request.
+  F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\","
+            "\"limits\":{\"max_ig_nodes\":2}}");
+  std::string After1 = F.Log.str();
+  EXPECT_NE(After1.find("degraded"), std::string::npos);
+
+  F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"hash\","
+            "\"limits\":{\"max_ig_nodes\":2}}"); // cached: no new analysis
+  F.request("{\"id\":3,\"method\":\"invalidate\"}");
+  F.request("{\"id\":4,\"method\":\"analyze\",\"corpus\":\"hash\","
+            "\"limits\":{\"max_ig_nodes\":2}}"); // re-analyzed, same degradations
+  EXPECT_EQ(F.Log.str(), After1)
+      << "repeated identical degradations must not re-log";
+}
+
+} // namespace
