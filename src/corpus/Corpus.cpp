@@ -2438,6 +2438,101 @@ int main(void) {
 }
 )C";
 
+//===----------------------------------------------------------------------===//
+// incrstress — generated stress program for the incremental engine
+//===----------------------------------------------------------------------===//
+
+/// A depth-5 binary tree of pointer-shuffling helpers where every internal
+/// function invokes each child twice, so the invocation-graph context count
+/// (~2700 nodes) dwarfs the function count (63). Recursion-free, loop-free
+/// and function-pointer-free: every baseline context is a graftable memo
+/// donor, which is what bench_incr needs from "the largest corpus program".
+///
+/// The concrete heap invariant (every reachable node has `next` and `prev`
+/// pointing at fully initialized nodes) holds inductively from main's
+/// two-node cycle, so the interpreter never dereferences nil.
+static std::string buildIncrStress() {
+  const int Depth = 5;
+  // Shuffle rounds per body. Body evaluation is a from-scratch-only
+  // cost (grafted contexts skip it entirely), so this dial directly
+  // sets the cold/incremental ratio bench_incr measures.
+  const int Rounds = 60;
+  auto fname = [](int D, int I) {
+    return "walk" + std::to_string(D) + "_" + std::to_string(I);
+  };
+  std::string S;
+  S += "/* Generated call-tree stress program (see buildIncrStress). */\n"
+       "struct node {\n"
+       "  struct node *next;\n"
+       "  struct node *prev;\n"
+       "  int val;\n"
+       "};\n\n";
+  // One shared slot per depth (not per function): points-to sets stay
+  // small, so per-context state stays cheap to capture and resolve
+  // while body replay stays expensive.
+  for (int D = 0; D <= Depth; ++D)
+    S += "struct node slot" + std::to_string(D) + ";\n";
+  S += "struct node hub0;\nstruct node hub1;\n\n";
+  for (int D = 0; D <= Depth; ++D)
+    for (int I = 0; I < (1 << D); ++I)
+      S += "void " + fname(D, I) + "(struct node *a, struct node *b);\n";
+  S += "\n";
+  // Shallowest-first: salt-0 mutations (file order) land in walk0_0,
+  // whose re-evaluation is cheap — its two subtrees graft wholesale.
+  for (int D = 0; D <= Depth; ++D) {
+    for (int I = 0; I < (1 << D); ++I) {
+      const std::string G = "slot" + std::to_string(D);
+      S += "void " + fname(D, I) + "(struct node *a, struct node *b) {\n"
+           "  struct node *t;\n"
+           "  struct node *u;\n";
+      for (int R = 0; R < Rounds; ++R) {
+        S += "  t = a->next;\n"
+             "  u = b->prev;\n"
+             "  t->prev = u;\n"
+             "  u->next = t;\n"
+             "  a->next = t;\n"
+             "  b->prev = u;\n"
+             "  t->val = " + std::to_string((D * 100 + I) * 16 + R) + ";\n";
+      }
+      S += "  " + G + ".next = a->next;\n" +
+           "  " + G + ".prev = b->prev;\n" +
+           "  a->next = &" + G + ";\n" +
+           "  b->prev = &" + G + ";\n" +
+           "  " + G + ".val = " + std::to_string(D * 100 + I) + ";\n";
+      if (D < Depth) {
+        const std::string C0 = fname(D + 1, 2 * I);
+        const std::string C1 = fname(D + 1, 2 * I + 1);
+        S += "  t = " + G + ".next;\n" +
+             "  u = " + G + ".prev;\n" +
+             "  " + C0 + "(t, &" + G + ");\n" +
+             "  " + C0 + "(&" + G + ", u);\n" +
+             "  " + C1 + "(u, t);\n" +
+             "  " + C1 + "(b, a);\n";
+      }
+      S += "}\n\n";
+    }
+  }
+  S += "int main(void) {\n"
+       "  struct node *p;\n"
+       "  struct node *q;\n"
+       "  p = &hub0;\n"
+       "  q = &hub1;\n"
+       "  hub0.next = q;\n"
+       "  hub0.prev = q;\n"
+       "  hub1.next = p;\n"
+       "  hub1.prev = p;\n"
+       "  " + fname(0, 0) + "(p, q);\n"
+       "  " + fname(0, 0) + "(q, p);\n"
+       "  return 0;\n"
+       "}\n";
+  return S;
+}
+
+static const char *incrStressSrc() {
+  static const std::string Src = buildIncrStress();
+  return Src.c_str();
+}
+
 const std::vector<CorpusProgram> &mcpta::corpus::corpus() {
   static const std::vector<CorpusProgram> Programs = {
       {"genetic", "Implementation of a genetic algorithm for sorting.",
@@ -2467,6 +2562,10 @@ const std::vector<CorpusProgram> &mcpta::corpus::corpus() {
        MscSrc},
       {"lws", "Implements dynamic simulation of flexible water molecule.",
        LwsSrc},
+      {"incrstress",
+       "Generated incremental-analysis stress: deep direct-call fan-out "
+       "where contexts dwarf functions.",
+       incrStressSrc()},
   };
   return Programs;
 }

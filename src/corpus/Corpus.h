@@ -14,6 +14,11 @@
 /// described in the paper (see DESIGN.md, substitution 2). Absolute
 /// counts differ; table shapes are preserved.
 ///
+/// An 18th, generated program ("incrstress") stresses the incremental
+/// re-analysis engine: a deep direct-call tree whose invocation-graph
+/// context count dwarfs its function count. It is synthetic, so it is
+/// exempt from the paper-shape assertions in CorpusTest.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCPTA_CORPUS_CORPUS_H
@@ -31,7 +36,7 @@ struct CorpusProgram {
   const char *Source;
 };
 
-/// The 17 Table 2 stand-ins, in the paper's order.
+/// The 17 Table 2 stand-ins in the paper's order, then incrstress.
 const std::vector<CorpusProgram> &corpus();
 
 /// Lookup by name; null if unknown.

@@ -37,7 +37,17 @@
 //                         read_write_sets/stats/invalidate/shutdown)
 //   --cache-dir=DIR       persistent summary-cache directory (default
 //                         $MCPTA_CACHE_DIR, else .mcpta-cache; "" for
-//                         a memory-only cache)
+//                         a memory-only cache). Also threads the cache
+//                         through --batch: cached files skip analysis
+//                         and the batch summary line reports hits.
+//
+// Incremental re-analysis (docs/INCREMENTAL.md):
+//   --incremental-baseline=FILE
+//                         single-source mode only: re-analyze against
+//                         the snapshot in FILE (when it exists) through
+//                         the incremental engine, then write the new
+//                         snapshot back to FILE. The first run creates
+//                         the baseline with a full analysis.
 //
 // Exit codes: 0 = clean run (degraded runs included unless --strict),
 // 1 = usage/input/diagnostics error, 2 = analysis degraded under
@@ -50,9 +60,14 @@
 #include "clients/IndirectRefStats.h"
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
+#include "incr/IncrementalEngine.h"
+#include "serve/Serialize.h"
 #include "serve/Server.h"
+#include "serve/SummaryCache.h"
 #include "support/Version.h"
 #include "wlgen/WorkloadGen.h"
+
+#include <memory>
 
 #include <algorithm>
 #include <iostream>
@@ -94,7 +109,7 @@ int usage() {
       "                [--timeout-ms=N] [--max-stmt-visits=N] "
       "[--max-locations=N]\n"
       "                [--max-ig-nodes=N] [--max-rec-passes=N] [--strict]\n"
-      "                [--cache-dir=DIR]\n"
+      "                [--cache-dir=DIR] [--incremental-baseline=FILE]\n"
       "                (file.c | --corpus NAME | --batch DIR | --serve |\n"
       "                 --list-corpus | --gen-stress[=DEPTH] | --version)\n");
   return 1;
@@ -121,8 +136,11 @@ bool parseU64Flag(const std::string &Arg, const char *Name, uint64_t &Out,
 }
 
 /// Analyzes one source text; prints per the config. Returns the process
-/// exit code (0 clean, 1 error, 2 degraded under --strict).
-int runOne(const std::string &Source, const ToolConfig &Cfg) {
+/// exit code (0 clean, 1 error, 2 degraded under --strict). When
+/// \p CaptureOut is non-null and the analysis ran, the result snapshot
+/// is captured into it (for the batch-mode summary cache).
+int runOne(const std::string &Source, const ToolConfig &Cfg,
+           serve::ResultSnapshot *CaptureOut = nullptr) {
   pta::Analyzer::Options Opts = Cfg.Opts;
   // Any observability flag turns on the instrumented pipeline; the
   // default path stays uninstrumented (no telemetry overhead at all).
@@ -214,6 +232,9 @@ int runOne(const std::string &Source, const ToolConfig &Cfg) {
                  Cfg.TraceJsonPath.c_str());
     return 1;
   }
+  if (CaptureOut)
+    *CaptureOut = serve::ResultSnapshot::capture(
+        *P.Prog, P.Analysis, serve::optionsFingerprint(Opts));
   return (Cfg.Strict && P.degraded()) ? 2 : 0;
 }
 
@@ -229,8 +250,12 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 /// Batch mode: analyzes every *.c file under \p Dir, each in a forked
 /// child so one pathological or crashing input cannot take down the
-/// rest of the batch. Prints one status line per file.
-int runBatch(const std::string &Dir, const ToolConfig &Cfg) {
+/// rest of the batch. Prints one status line per file and a final
+/// summary line. When \p CacheDir is non-empty, results are read from
+/// and written to the summary cache there: cached files skip the fork
+/// and the analysis entirely.
+int runBatch(const std::string &Dir, const ToolConfig &Cfg,
+             const std::string &CacheDir) {
   namespace fs = std::filesystem;
   std::error_code EC;
   std::vector<std::string> Files;
@@ -248,20 +273,63 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg) {
   }
   std::sort(Files.begin(), Files.end());
 
+  std::unique_ptr<serve::SummaryCache> Cache;
+  serve::SummaryCache::Config CacheCfg;
+  if (!CacheDir.empty()) {
+    CacheCfg.Dir = CacheDir;
+    Cache = std::make_unique<serve::SummaryCache>(CacheCfg, nullptr);
+  }
+  const std::string FP = serve::optionsFingerprint(Cfg.Opts);
+
   // Worst outcome across the batch: error (1) beats degraded-under-
   // strict (2) beats clean (0).
   bool AnyError = false, AnyDegraded = false;
+  uint64_t CacheHits = 0;
   for (const std::string &F : Files) {
+    std::string Source;
+    if (!readFile(F, Source)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", F.c_str());
+      std::printf("%s: error\n", F.c_str());
+      AnyError = true;
+      continue;
+    }
+    std::string Key;
+    if (Cache) {
+      Key = serve::SummaryCache::key(Source, FP);
+      std::string Warning;
+      if (auto Snap = Cache->lookup(Key, &Warning)) {
+        ++CacheHits;
+        if (Cfg.Strict && Snap->degraded()) {
+          std::printf("%s: degraded (cached)\n", F.c_str());
+          AnyDegraded = true;
+        } else {
+          std::printf("%s: ok (cached)\n", F.c_str());
+        }
+        continue;
+      }
+      if (!Warning.empty())
+        std::fprintf(stderr, "warning: %s\n", Warning.c_str());
+    }
     pid_t Pid = fork();
     if (Pid < 0) {
       std::fprintf(stderr, "error: fork failed for '%s'\n", F.c_str());
       return 1;
     }
     if (Pid == 0) {
-      std::string Source;
-      if (!readFile(F, Source)) {
-        std::fprintf(stderr, "error: cannot open '%s'\n", F.c_str());
-        _exit(1);
+      if (Cache) {
+        // The disk tier is shared with the parent: files analyzed here
+        // are hits for identical inputs later in this batch and in the
+        // next run. Children run sequentially, so writes do not race.
+        serve::ResultSnapshot Snap;
+        int Code = runOne(Source, Cfg, &Snap);
+        if (Code != 1) {
+          serve::SummaryCache ChildCache(CacheCfg, nullptr);
+          std::string StoreWarning;
+          ChildCache.store(Key, std::move(Snap), &StoreWarning);
+          if (!StoreWarning.empty())
+            std::fprintf(stderr, "warning: %s\n", StoreWarning.c_str());
+        }
+        _exit(Code);
       }
       _exit(runOne(Source, Cfg));
     }
@@ -287,9 +355,93 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg) {
       AnyError = true;
     }
   }
+  std::printf("batch: %zu file(s), %llu cache hit(s)\n", Files.size(),
+              static_cast<unsigned long long>(CacheHits));
   if (AnyError)
     return 1;
   return AnyDegraded ? 2 : 0;
+}
+
+/// Incremental single-source mode (docs/INCREMENTAL.md): re-analyze
+/// \p Source against the snapshot stored at \p BaselinePath when one
+/// exists (full analysis otherwise), print what the engine did, and
+/// write the new snapshot back so consecutive runs chain.
+int runIncremental(const std::string &Source, const ToolConfig &Cfg,
+                   const std::string &BaselinePath) {
+  bool WantTelemetry = Cfg.Profile || !Cfg.StatsJsonPath.empty() ||
+                       !Cfg.TraceJsonPath.empty();
+  support::Telemetry Telem(WantTelemetry);
+
+  serve::ResultSnapshot Baseline;
+  bool HaveBaseline = false;
+  std::string Blob;
+  if (readFile(BaselinePath, Blob) && !Blob.empty()) {
+    std::string Err;
+    if (serve::deserialize(Blob, Baseline, Err)) {
+      HaveBaseline = true;
+    } else {
+      std::fprintf(stderr,
+                   "warning: ignoring unreadable baseline '%s': %s\n",
+                   BaselinePath.c_str(), Err.c_str());
+    }
+  }
+
+  bool Degraded = false;
+  std::string NewBlob;
+  if (HaveBaseline) {
+    incr::IncrOutput O = incr::IncrementalEngine::reanalyze(
+        Baseline, Source, Cfg.Opts, WantTelemetry ? &Telem : nullptr);
+    if (!O.Ok) {
+      std::fputs(O.Error.c_str(), stderr);
+      return 1;
+    }
+    if (O.Stats.UsedIncremental)
+      std::printf("incremental: dirty_functions=%llu memo_reuse=%llu "
+                  "seed_hits=%llu\n",
+                  static_cast<unsigned long long>(O.Stats.DirtyFunctions),
+                  static_cast<unsigned long long>(O.Stats.MemoReuse),
+                  static_cast<unsigned long long>(O.Stats.SeedHits));
+    else
+      std::printf("incremental: full re-analysis (%s)\n",
+                  O.Stats.FallbackReason.c_str());
+    Degraded = O.Snapshot.degraded();
+    NewBlob = std::move(O.Blob);
+  } else {
+    Pipeline P = Pipeline::analyzeSource(Source, Cfg.Opts);
+    if (P.Diags.hasErrors()) {
+      std::fputs(P.Diags.dump().c_str(), stderr);
+      return 1;
+    }
+    serve::ResultSnapshot S = serve::ResultSnapshot::capture(
+        *P.Prog, P.Analysis, serve::optionsFingerprint(Cfg.Opts));
+    Degraded = S.degraded();
+    NewBlob = serve::serialize(S);
+    std::printf("incremental: baseline created\n");
+  }
+
+  std::ofstream Out(BaselinePath, std::ios::binary | std::ios::trunc);
+  if (!Out.write(NewBlob.data(),
+                 static_cast<std::streamsize>(NewBlob.size()))) {
+    std::fprintf(stderr, "error: cannot write baseline '%s'\n",
+                 BaselinePath.c_str());
+    return 1;
+  }
+
+  if (Cfg.Profile)
+    std::fputs(Telem.profileTable().c_str(), stdout);
+  if (!Cfg.StatsJsonPath.empty() &&
+      !Telem.writeStatsJsonFile(Cfg.StatsJsonPath)) {
+    std::fprintf(stderr, "error: cannot write stats JSON to '%s'\n",
+                 Cfg.StatsJsonPath.c_str());
+    return 1;
+  }
+  if (!Cfg.TraceJsonPath.empty() &&
+      !Telem.writeTraceJsonFile(Cfg.TraceJsonPath)) {
+    std::fprintf(stderr, "error: cannot write trace JSON to '%s'\n",
+                 Cfg.TraceJsonPath.c_str());
+    return 1;
+  }
+  return (Cfg.Strict && Degraded) ? 2 : 0;
 }
 
 /// The long-lived daemon: NDJSON requests on stdin, one-line responses
@@ -306,10 +458,13 @@ int runServe(const ToolConfig &Cfg, const std::string &CacheDir) {
 
 int main(int argc, char **argv) {
   ToolConfig Cfg;
-  std::string File, CorpusName, BatchDir;
+  std::string File, CorpusName, BatchDir, IncrBaselinePath;
   bool Serve = false;
   const char *EnvCacheDir = std::getenv("MCPTA_CACHE_DIR");
   std::string CacheDir = EnvCacheDir ? EnvCacheDir : ".mcpta-cache";
+  // Batch mode only caches when a directory was actually requested
+  // (flag or environment), never through the silent default.
+  bool CacheDirRequested = EnvCacheDir != nullptr;
   bool BadNumber = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -322,8 +477,11 @@ int main(int argc, char **argv) {
       return 0;
     } else if (Arg == "--serve")
       Serve = true;
-    else if (Arg.compare(0, 12, "--cache-dir=") == 0)
+    else if (Arg.compare(0, 12, "--cache-dir=") == 0) {
       CacheDir = Arg.substr(12);
+      CacheDirRequested = true;
+    } else if (Arg.compare(0, 23, "--incremental-baseline=") == 0)
+      IncrBaselinePath = Arg.substr(23);
     else if (Arg == "--dump-simple")
       Cfg.DumpSimple = true;
     else if (Arg == "--dump-ig")
@@ -390,10 +548,15 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (!IncrBaselinePath.empty() && (Serve || !BatchDir.empty())) {
+    std::fprintf(stderr, "error: --incremental-baseline only applies to "
+                         "single-source mode\n");
+    return 1;
+  }
   if (Serve)
     return runServe(Cfg, CacheDir);
   if (!BatchDir.empty())
-    return runBatch(BatchDir, Cfg);
+    return runBatch(BatchDir, Cfg, CacheDirRequested ? CacheDir : "");
 
   std::string Source;
   if (!CorpusName.empty()) {
@@ -413,5 +576,7 @@ int main(int argc, char **argv) {
     return usage();
   }
 
+  if (!IncrBaselinePath.empty())
+    return runIncremental(Source, Cfg, IncrBaselinePath);
   return runOne(Source, Cfg);
 }

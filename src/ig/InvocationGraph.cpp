@@ -171,6 +171,17 @@ IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
   return Child;
 }
 
+IGNode *InvocationGraph::graftChild(IGNode *Parent, unsigned CallSiteId,
+                                    const FunctionDecl *Callee,
+                                    IGNode::Kind K, IGNode *RecEdge) {
+  IGNode *Child = makeNode(Callee, Parent, CallSiteId);
+  Parent->Children.push_back(Child);
+  Parent->ChildIndex[std::make_pair(CallSiteId, Callee)] = Child;
+  Child->K = K;
+  Child->RecEdge = RecEdge;
+  return Child;
+}
+
 std::vector<const IGNode *> InvocationGraph::preorder() const {
   std::vector<const IGNode *> Out;
   Out.reserve(Nodes.size());

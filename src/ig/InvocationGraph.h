@@ -80,6 +80,22 @@ public:
   /// Set once a Recursive node's Figure-4 fixed point has converged.
   bool FixpointDone = false;
 
+  /// Number of times the analyzer evaluated this node's body (memo
+  /// hits and seeded grafts do not count). Serialized into the result
+  /// snapshot: the incremental engine only trusts a baseline node as a
+  /// seed donor when it was evaluated exactly once, so its StoredInput
+  /// is the one input its subtree state derives from.
+  unsigned EvalCount = 0;
+
+  /// The child for (CallSiteId, Callee) if one exists, else null.
+  /// Exposed for the incremental engine's subtree grafting, which must
+  /// overlay donor state onto eagerly-built direct children.
+  IGNode *findChild(unsigned CallSiteId,
+                    const cfront::FunctionDecl *Callee) const {
+    auto It = ChildIndex.find(std::make_pair(CallSiteId, Callee));
+    return It == ChildIndex.end() ? nullptr : It->second;
+  }
+
   /// Map information (Sec. 4.1): for each symbolic location used inside
   /// this invocation, the caller locations (invisible variables) it
   /// represents in this context. Deterministically ordered.
@@ -137,6 +153,18 @@ public:
   IGNode *getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
                            const cfront::FunctionDecl *Callee);
 
+  /// Memo-table seeding API (incremental re-analysis): creates a child
+  /// of \p Parent replicating a baseline node — kind and recursion back
+  /// edge are taken from the donor, no recursion detection runs, and
+  /// the child's direct calls are NOT eagerly expanded (the graft walk
+  /// replicates the donor subtree instead). The child is registered in
+  /// the parent's (call site, callee) index so later lookups find it.
+  /// Callers are responsible for structural validity (the donor subtree
+  /// must be what a fresh evaluation would have built).
+  IGNode *graftChild(IGNode *Parent, unsigned CallSiteId,
+                     const cfront::FunctionDecl *Callee, IGNode::Kind K,
+                     IGNode *RecEdge);
+
   //===--------------------------------------------------------------------===//
   // Statistics (Table 6)
   //===--------------------------------------------------------------------===//
@@ -167,7 +195,7 @@ public:
 
   /// Every node in preorder: a parent before its children, child order
   /// preserved. This is the canonical linearization the serialized
-  /// result format (serve::Serialize, mcpta-result-v1) indexes nodes
+  /// result format (serve::Serialize, mcpta-result-v2) indexes nodes
   /// by — every ancestor, including a recursion back-edge target,
   /// precedes the nodes that reference it.
   std::vector<const IGNode *> preorder() const;

@@ -1,0 +1,104 @@
+//===- IncrementalEngine.h - Incremental re-analysis engine -----*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layer 2 of the incremental re-analysis subsystem: given a baseline
+/// result snapshot (mcpta-result-v2) and an edited source text,
+/// re-analyze only what the edit can affect.
+///
+/// The contract is *exact equivalence*: the snapshot an incremental run
+/// produces is byte-identical to a from-scratch run of the same source
+/// with the same options (IncrementalTest proves this over the whole
+/// corpus x every mutation kind). That is only possible because reuse is
+/// gated three ways:
+///
+///  1. a *dirty set* — changed functions plus everything that can
+///     observe them (transitive callers over direct-call edges, baseline
+///     invocation-graph parent edges for indirect calls, referencers of
+///     changed globals, and — because indirect extern calls leave no
+///     edge at all — every indirect-calling function when any extern
+///     declaration changes);
+///  2. *donor eligibility* — a baseline invocation-graph subtree is
+///     reusable only if every function in it is clean, it evaluated
+///     exactly once, and no recursion back edge escapes it;
+///  3. *input matching* — a donor fires only for a live calling context
+///     whose input points-to set is structurally identical to the
+///     donor's memoized input (locations compared by the same canonical
+///     keys serve::capture sorts by).
+///
+/// When any gate cannot be established the engine falls back to a full
+/// re-analysis and says why (IncrStats::FallbackReason, surfaced as an
+/// `incr.fallback.<reason>` telemetry counter) — degradation is never
+/// silent, matching the robustness layer's philosophy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_INCR_INCREMENTALENGINE_H
+#define MCPTA_INCR_INCREMENTALENGINE_H
+
+#include "serve/Serialize.h"
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace mcpta {
+namespace incr {
+
+/// What one reanalyze() call did, for callers and telemetry.
+struct IncrStats {
+  /// True when memo seeding ran to completion; false means a full
+  /// from-scratch analysis was performed instead.
+  bool UsedIncremental = false;
+  /// Why the engine fell back ("" when UsedIncremental). One of:
+  /// baseline-v1, options-mismatch, options-unsupported,
+  /// baseline-unanalyzed, baseline-degraded, frontend-error,
+  /// types-changed, no-main, analysis-failed, graft-failed, coverage,
+  /// restore-failed.
+  std::string FallbackReason;
+  /// Live defined functions in the dirty closure.
+  uint64_t DirtyFunctions = 0;
+  /// Baseline body evaluations whose replay was skipped (sum of donor
+  /// EvalCount over fired grafts).
+  uint64_t MemoReuse = 0;
+  /// Grafts that fired (donor subtrees spliced into the live graph).
+  uint64_t SeedHits = 0;
+};
+
+struct IncrOutput {
+  serve::ResultSnapshot Snapshot;
+  std::string Blob; ///< Snapshot serialized (mcpta-result-v2)
+  IncrStats Stats;
+  bool Ok = false;   ///< false only when the *source* fails to analyze
+  std::string Error; ///< set when !Ok
+};
+
+/// The dirty closure: names of functions whose analysis results may
+/// differ from the baseline's. Includes baseline-only (deleted) names;
+/// gate donors on membership, count live members for reporting.
+/// Exposed separately for the dependency-edge unit tests.
+std::set<std::string> computeDirtySet(const serve::ResultSnapshot &Baseline,
+                                      const ProgramMeta &Live);
+
+class IncrementalEngine {
+public:
+  /// Re-analyzes \p Source against \p Baseline. Always produces a
+  /// complete snapshot (incremental when every gate holds, full
+  /// re-analysis otherwise — see IncrStats); Ok is false only when the
+  /// source itself does not analyze. \p Telem (optional) receives
+  /// incr.dirty_functions / incr.memo_reuse / incr.seed_hits /
+  /// incr.fallback.* counters and is forwarded to the analyzer.
+  static IncrOutput reanalyze(const serve::ResultSnapshot &Baseline,
+                              const std::string &Source,
+                              const pta::Analyzer::Options &Opts,
+                              support::Telemetry *Telem = nullptr);
+};
+
+} // namespace incr
+} // namespace mcpta
+
+#endif // MCPTA_INCR_INCREMENTALENGINE_H

@@ -155,7 +155,11 @@ private:
   static bool memoDepsValid(const IGNode *Node);
   static void recordMemoDeps(IGNode *Node);
 
-  void warnOnce(const std::string &Key, const std::string &Msg);
+  /// \p Owner is the function whose evaluation raised the warning (""
+  /// when outside any body); it feeds Result::WarningsByFn, which the
+  /// incremental engine uses to restore skipped functions' warnings.
+  void warnOnce(const std::string &Owner, const std::string &Key,
+                const std::string &Msg);
 
   //===--------------------------------------------------------------------===//
   // Resource governance (docs/ROBUSTNESS.md)
@@ -230,9 +234,18 @@ private:
 // Helpers
 //===----------------------------------------------------------------------===//
 
-void AnalyzerImpl::warnOnce(const std::string &Key, const std::string &Msg) {
+void AnalyzerImpl::warnOnce(const std::string &Owner, const std::string &Key,
+                            const std::string &Msg) {
+  // Per-function attribution is recorded before the key dedup: a
+  // message two bodies both trigger must appear under both owners.
+  Res.WarningsByFn[Owner].insert(Msg);
   if (WarnedKeys.insert(Key).second)
     Res.Warnings.push_back(Msg);
+}
+
+/// Warning-attribution owner for a node being evaluated.
+static std::string ownerName(const IGNode *Ign) {
+  return Ign && Ign->function() ? Ign->function()->name() : std::string();
 }
 
 static const char *trippedContext(support::LimitKind K) {
@@ -284,7 +297,7 @@ void AnalyzerImpl::recordDegradation(support::LimitKind K,
   // (kind, context category), so a budget trip that degrades dozens of
   // per-function fixed points surfaces once, not once per function.
   // Full detail stays in Res.Degradations and pta.degraded.<kind>.
-  warnOnce("degraded-" + std::string(support::limitKindName(K)) + "|" +
+  warnOnce("", "degraded-" + std::string(support::limitKindName(K)) + "|" +
                support::degradationCategory(Context),
            "analysis degraded [" + std::string(support::limitKindName(K)) +
                "] " + Context + ": " + Action);
@@ -547,7 +560,7 @@ FlowState AnalyzerImpl::processLoop(const LoopStmt *L, OptSet In,
     }
     if (++Iters > Opts.MaxLoopIterations) {
       ++C.LoopLimitHits;
-      warnOnce("loop-fixpoint",
+      warnOnce(ownerName(Ign), "loop-fixpoint",
                "loop fixed point did not converge within the iteration "
                "limit; results remain safe but may be imprecise");
       break;
@@ -652,7 +665,7 @@ FlowState AnalyzerImpl::processAssign(const AssignStmt *A, OptSet In,
     // Handled at the top of this function; reaching here means the
     // lowering produced an inconsistent statement. Recover with an
     // unknown right-hand side instead of dying on malformed input.
-    warnOnce("assign-call-rhs",
+    warnOnce(ownerName(Ign), "assign-call-rhs",
              "internal: call rhs reached the scalar assignment path; "
              "right-hand side treated as unknown");
     Rlocs.clear();
@@ -755,7 +768,8 @@ OptSet AnalyzerImpl::processCall(const CallInfo &CI, const Reference *LhsRef,
                         "every address-taken function");
   }
   if (Targets.empty()) {
-    warnOnce("fptr-unresolved@" + std::to_string(CI.CallSiteId),
+    warnOnce(ownerName(Ign),
+             "fptr-unresolved@" + std::to_string(CI.CallSiteId),
              "indirect call through '" + CI.FnPtr.str() +
                  "' has no resolvable targets; treated as a no-op");
     return OptSet(std::move(S));
@@ -875,7 +889,7 @@ OptSet AnalyzerImpl::evaluateCall(IGNode *Node,
       // A malformed approximate node has no recursion summary to
       // consult. Recover: identity transfer with definiteness dropped
       // (never claims a kill it cannot justify).
-      warnOnce("approx-no-backedge",
+      warnOnce(ownerName(Node->parent()), "approx-no-backedge",
                "internal: approximate invocation node without back edge; "
                "call treated as an identity transfer");
       PointsToSet Out = FuncInput;
@@ -895,6 +909,7 @@ OptSet AnalyzerImpl::evaluateCall(IGNode *Node,
       return Node->StoredOutput;
     }
     ++C.MemoMisses;
+    ++Node->EvalCount;
     return runRecursionFixpoint(Node, FuncInput);
   case IGNode::Kind::Ordinary: {
     if (Node->StoredInput && FuncInput == *Node->StoredInput &&
@@ -903,6 +918,14 @@ OptSet AnalyzerImpl::evaluateCall(IGNode *Node,
       return Node->StoredOutput;
     }
     ++C.MemoMisses;
+    // Incremental re-analysis: at the node's first would-be body
+    // evaluation, a successful seed graft restores the whole subtree's
+    // memo state from the baseline snapshot and stands in for the
+    // evaluation (EvalCount stays 0, mirroring a memo hit).
+    if (Opts.Seeder && Node->EvalCount == 0 &&
+        Opts.Seeder->trySeed(Node, FuncInput))
+      return Node->StoredOutput;
+    ++Node->EvalCount;
     OptSet Out = processBody(Node, FuncInput);
     // A function-pointer call inside the body may have discovered that
     // this node is actually recursive (Sec. 5's example): rerun as a
@@ -1069,7 +1092,8 @@ OptSet AnalyzerImpl::processBody(IGNode *Node,
     // Callers filter extern functions before evaluating; reaching here
     // means the graph and the program disagree. Recover: treat the call
     // as an identity transfer instead of dying on malformed input.
-    warnOnce("body-missing-" + Node->function()->name(),
+    warnOnce(ownerName(Node->parent()),
+             "body-missing-" + Node->function()->name(),
              "internal: no body for '" + Node->function()->name() +
                  "'; call treated as an identity transfer");
     return OptSet(FuncInput);
@@ -1127,7 +1151,7 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
     } else if (Callee->returnType()->isPointerBearing()) {
       // Unknown library function returning a pointer: assume a heap (or
       // library-internal) object.
-      warnOnce("extern-ptr-" + Name,
+      warnOnce(ownerName(Ign), "extern-ptr-" + Name,
                "extern function '" + Name +
                    "' returns a pointer; modeled as pointing to heap");
       Rlocs = {{Locs.heap(), Def::P}};
@@ -1155,7 +1179,7 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
       break;
     }
   if (!Known)
-    warnOnce("extern-" + Name,
+    warnOnce(ownerName(Ign), "extern-" + Name,
              "extern function '" + Name +
                  "' has no body; its pointer side effects are ignored");
 
@@ -1180,6 +1204,8 @@ void AnalyzerImpl::run() {
   // statement is processed.
   if (Meter && Meter->tripped())
     noteTrips();
+  if (Opts.Seeder)
+    Opts.Seeder->begin(Prog, *Res.IG, Locs);
   support::Telemetry::Span PtaSpan(Telem, "pointsto");
   if (Opts.RecordStmtSets)
     Res.StmtIn.resize(Prog.numStmts());
@@ -1216,6 +1242,7 @@ void AnalyzerImpl::run() {
       S2.insert(Sub, Locs.null(), Sub->isSummary() ? Def::P : Def::D);
   }
   ++C.BodyAnalyses;
+  ++Root->EvalCount; // main is processed directly, bypassing evaluateCall
   FlowState FS = process(MainIR->Body, OptSet(std::move(S2)), Root);
   OptSet Out = std::move(FS.Normal);
   mergeInto(Out, FS.Ret);

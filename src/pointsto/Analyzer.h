@@ -34,8 +34,10 @@
 #include "support/Limits.h"
 #include "support/Telemetry.h"
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,30 @@ enum class FnPtrMode {
   Precise,      ///< Figure 5: the function pointer's points-to set
   AllFunctions, ///< naive baseline: every function in the program
   AddressTaken, ///< baseline: every function whose address is taken
+};
+
+/// Hook the incremental engine (src/incr/) uses to seed the invocation
+/// graph's memo tables from a previous run's snapshot. When installed
+/// via Options::Seeder, the analyzer consults it exactly once per node,
+/// at the node's first would-be body evaluation: a successful trySeed
+/// must leave the node (and its grafted subtree) in the same state a
+/// fresh evaluation would have produced — StoredInput/StoredOutput set,
+/// FixpointDone for recursive nodes, memo dependencies recorded — and
+/// the analyzer then consumes Node->StoredOutput without touching the
+/// body.
+class MemoSeeder {
+public:
+  virtual ~MemoSeeder() = default;
+
+  /// Called once after the initial invocation-graph build, before any
+  /// evaluation, handing over the live structures seeds graft into.
+  virtual void begin(const simple::Program &Prog, InvocationGraph &IG,
+                     LocationTable &Locs) = 0;
+
+  /// Attempts to satisfy the first evaluation of \p Node (its EvalCount
+  /// is still 0) for calling context \p Input. Returns true on a
+  /// successful graft.
+  virtual bool trySeed(IGNode *Node, const PointsToSet &Input) = 0;
 };
 
 /// Entry point of the points-to analysis.
@@ -77,6 +103,9 @@ public:
     /// pointsto), hot-path counters (pta.*, mu.*, ig.*), and size
     /// histograms are recorded into it (see docs/OBSERVABILITY.md).
     support::Telemetry *Telem = nullptr;
+    /// Memo-table seeding hook for incremental re-analysis; null (the
+    /// default) for ordinary from-scratch runs.
+    MemoSeeder *Seeder = nullptr;
   };
 
   struct Result {
@@ -103,6 +132,13 @@ public:
     /// re-analyzing the body (the paper's Sec. 4 advantage (3)).
     unsigned MemoHits = 0;
     std::vector<std::string> Warnings;
+    /// Every warning message keyed by the function whose evaluation
+    /// emitted it ("" for warnings raised outside any function body,
+    /// e.g. at global init). Unlike Warnings this is not deduplicated
+    /// across functions: a message two bodies both trigger appears
+    /// under both. The incremental engine restores a skipped clean
+    /// function's warnings from its baseline entry.
+    std::map<std::string, std::set<std::string>> WarningsByFn;
 
     /// Every budget-triggered degradation the run took, in the order
     /// they were entered (also mirrored as pta.degraded.* telemetry

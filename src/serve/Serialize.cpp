@@ -1,4 +1,4 @@
-//===- Serialize.cpp - mcpta-result-v1 binary serialization --------------------===//
+//===- Serialize.cpp - mcpta-result-v2 binary serialization ------------------===//
 
 #include "serve/Serialize.h"
 
@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <map>
+#include <set>
 
 using namespace mcpta;
 using namespace mcpta::serve;
+namespace cf = mcpta::cfront;
 
 //===----------------------------------------------------------------------===//
 // Fingerprint
@@ -47,20 +50,88 @@ std::string serve::optionsFingerprint(const pta::Analyzer::Options &Opts) {
 // Capture
 //===----------------------------------------------------------------------===//
 
+std::map<const cf::VarDecl *, int32_t>
+serve::localIndexMap(const simple::Program &Prog) {
+  std::map<const cf::VarDecl *, int32_t> LocalIdx;
+  for (const cf::FunctionDecl *F : Prog.unit().functions()) {
+    int32_t Idx = 0;
+    for (const cf::VarDecl *P : F->params())
+      LocalIdx[P] = Idx++;
+    if (const simple::FunctionIR *FIR = Prog.findFunction(F))
+      for (const cf::VarDecl *V : FIR->Locals)
+        LocalIdx[V] = Idx++;
+  }
+  return LocalIdx;
+}
+
+/// Qualified field spelling used in keys and in the serialized
+/// FieldNames list: same-named fields of different records must not
+/// collide.
+static std::string qualifiedFieldName(const cf::FieldDecl *F) {
+  return F->parent()->name() + "::" + F->name();
+}
+
+const std::string &StructuralKeys::key(const pta::Location *L) {
+  auto It = Memo.find(L);
+  if (It != Memo.end())
+    return It->second;
+  std::string K = rootKey(L->root());
+  for (const pta::PathElem &PE : L->path()) {
+    switch (PE.K) {
+    case pta::PathElem::Kind::Field:
+      K += ".f:" + qualifiedFieldName(PE.Field);
+      break;
+    case pta::PathElem::Kind::Head:
+      K += "[0]";
+      break;
+    case pta::PathElem::Kind::Tail:
+      K += "[1..]";
+      break;
+    }
+  }
+  return Memo.emplace(L, std::move(K)).first->second;
+}
+
+std::string StructuralKeys::rootKey(const pta::Entity *E) {
+  switch (E->kind()) {
+  case pta::Entity::Kind::Variable: {
+    int32_t Idx = -1;
+    if (E->owner()) {
+      auto It = LocalIdx.find(E->var());
+      Idx = It == LocalIdx.end() ? -1 : It->second;
+    }
+    return "v|" + (E->owner() ? E->owner()->name() : std::string()) + "|" +
+           E->name() + "|" + std::to_string(Idx);
+  }
+  case pta::Entity::Kind::Retval:
+    return "r|" + E->owner()->name();
+  case pta::Entity::Kind::Function:
+    return "f|" + E->name();
+  case pta::Entity::Kind::String:
+    // Name is "str$<id>"; the id is the program string-literal id.
+    return "s|" + E->name().substr(4);
+  case pta::Entity::Kind::Heap:
+    return "h";
+  case pta::Entity::Kind::Null:
+    return "n";
+  case pta::Entity::Kind::Symbolic:
+    // Symbolic entities are interned per (frame, parent location), so
+    // the parent's key plus the frame identifies them. Trailing '|'
+    // keeps "y|f|p" distinct from a path extension of it.
+    return "y|" + (E->owner() ? E->owner()->name() : std::string()) + "|" +
+           key(E->symbolicParent()) + "|";
+  }
+  return "?";
+}
+
 namespace {
 
-std::vector<Triple> flattenSet(const pta::PointsToSet &S,
-                               const pta::LocationTable &Locs) {
-  std::vector<Triple> Out;
-  Out.reserve(S.size());
-  // forEach iterates in key order (source id, then target id), which is
-  // the deterministic order the format requires.
-  S.forEach(Locs, [&Out](const pta::Location *Src, const pta::Location *Dst,
-                         pta::Def D) {
-    Out.push_back({Src->id(), Dst->id(), D == pta::Def::D ? uint8_t(1)
-                                                          : uint8_t(0)});
-  });
-  return Out;
+uint32_t parseStringEntityId(const std::string &Name) {
+  // "str$<digits>" by construction (LocationTable::stringLit).
+  uint32_t Id = 0;
+  for (size_t I = 4; I < Name.size(); ++I)
+    Id = Id * 10 + static_cast<uint32_t>(Name[I] - '0');
+  return Id;
 }
 
 } // namespace
@@ -69,36 +140,116 @@ ResultSnapshot ResultSnapshot::capture(const simple::Program &Prog,
                                        const pta::Analyzer::Result &Res,
                                        std::string OptionsFingerprint) {
   ResultSnapshot S;
+  S.FormatVersion = version::kResultFormatVersion;
   S.OptionsFingerprint = std::move(OptionsFingerprint);
   S.Analyzed = Res.Analyzed ? 1 : 0;
   S.NumStmts = Prog.numStmts();
-  S.BodyAnalyses = Res.BodyAnalyses;
-  S.LoopIterations = Res.LoopIterations;
-  S.MemoHits = Res.MemoHits;
 
   const pta::LocationTable &Locs = *Res.Locs;
-  for (uint32_t Id = 0; Id < Locs.numLocations(); ++Id) {
-    const pta::Location *L = Locs.byId(Id);
+
+  // Frame-variable index: position in the owner's params + IR locals
+  // list. Serialized so shadowed same-name locals stay distinguishable.
+  std::map<const cf::VarDecl *, int32_t> LocalIdx = localIndexMap(Prog);
+
+  // The canonical location set: everything some serialized points-to set
+  // references, closed over symbolic parents (a symbolic record is only
+  // reconstructible when its parent is also present). Locations the run
+  // minted but no surviving set mentions are deliberately dropped — their
+  // presence would leak creation-order history into the bytes.
+  std::set<const pta::Location *> Referenced;
+  std::vector<const pta::Location *> Work;
+  auto addLoc = [&](const pta::Location *L) {
+    if (Referenced.insert(L).second)
+      Work.push_back(L);
+  };
+  auto addSet = [&](const pta::PointsToSet &PS) {
+    PS.forEach(Locs, [&](const pta::Location *Src, const pta::Location *Dst,
+                         pta::Def) {
+      addLoc(Src);
+      addLoc(Dst);
+    });
+  };
+  if (Res.MainOut)
+    addSet(*Res.MainOut);
+  for (const auto &Set : Res.StmtIn)
+    if (Set)
+      addSet(*Set);
+  if (Res.IG)
+    Res.IG->forEachNode([&](const pta::IGNode *N) {
+      if (N->StoredInput)
+        addSet(*N->StoredInput);
+      if (N->StoredOutput)
+        addSet(*N->StoredOutput);
+    });
+  while (!Work.empty()) {
+    const pta::Location *L = Work.back();
+    Work.pop_back();
+    if (L->root()->isSymbolic())
+      addLoc(L->root()->symbolicParent());
+  }
+
+  StructuralKeys Keys(LocalIdx);
+  std::vector<const pta::Location *> Canon(Referenced.begin(),
+                                           Referenced.end());
+  std::sort(Canon.begin(), Canon.end(),
+            [&](const pta::Location *A, const pta::Location *B) {
+              return Keys.key(A) < Keys.key(B);
+            });
+  std::map<const pta::Location *, uint32_t> CanonId;
+  for (const pta::Location *L : Canon)
+    CanonId.emplace(L, static_cast<uint32_t>(CanonId.size()));
+
+  for (const pta::Location *L : Canon) {
     const pta::Entity *E = L->root();
     LocationRecord R;
-    R.Id = Id;
+    R.Id = CanonId.at(L);
     R.EntityKind = static_cast<uint8_t>(E->kind());
     R.Summary = L->isSummary() ? 1 : 0;
     R.Collapsed = E->isCollapsed() ? 1 : 0;
     R.SymbolicLevel = E->symbolicLevel();
     R.Name = L->str();
     R.Owner = E->owner() ? E->owner()->name() : "";
+    R.RootName = E->name();
+    if (E->kind() == pta::Entity::Kind::Variable && E->owner()) {
+      auto It = LocalIdx.find(E->var());
+      R.LocalIndex = It == LocalIdx.end() ? -1 : It->second;
+    }
+    if (E->isSymbolic())
+      R.SymParent = static_cast<int32_t>(CanonId.at(E->symbolicParent()));
+    if (E->kind() == pta::Entity::Kind::String)
+      R.StringId = parseStringEntityId(E->name());
+    for (const pta::PathElem &PE : L->path()) {
+      R.PathKinds.push_back(static_cast<uint8_t>(PE.K));
+      if (PE.K == pta::PathElem::Kind::Field)
+        R.FieldNames.push_back(qualifiedFieldName(PE.Field));
+    }
     S.Locations.push_back(std::move(R));
   }
 
+  // Triples are remapped to canonical ids and re-sorted: forEach yields
+  // live-id order, which is creation-order history.
+  auto flatten = [&](const pta::PointsToSet &PS) {
+    std::vector<Triple> Out;
+    Out.reserve(PS.size());
+    PS.forEach(Locs, [&](const pta::Location *Src, const pta::Location *Dst,
+                         pta::Def D) {
+      Out.push_back({CanonId.at(Src), CanonId.at(Dst),
+                     D == pta::Def::D ? uint8_t(1) : uint8_t(0)});
+    });
+    std::sort(Out.begin(), Out.end(), [](const Triple &A, const Triple &B) {
+      return A.Src != B.Src ? A.Src < B.Src : A.Dst < B.Dst;
+    });
+    return Out;
+  };
+
   if (Res.MainOut) {
     S.HasMainOut = 1;
-    S.MainOut = flattenSet(*Res.MainOut, Locs);
+    S.MainOut = flatten(*Res.MainOut);
   }
 
   for (uint32_t Id = 0; Id < Res.StmtIn.size(); ++Id)
     if (Res.StmtIn[Id])
-      S.StmtIn.push_back({Id, flattenSet(*Res.StmtIn[Id], Locs)});
+      S.StmtIn.push_back({Id, flatten(*Res.StmtIn[Id])});
 
   if (Res.IG) {
     std::vector<const pta::IGNode *> Preorder = Res.IG->preorder();
@@ -112,13 +263,14 @@ ResultSnapshot ResultSnapshot::capture(const simple::Program &Prog,
       R.CallSiteId = N->callSiteId();
       R.Parent = N->parent() ? Index.at(N->parent()) : -1;
       R.RecEdge = N->recEdge() ? Index.at(N->recEdge()) : -1;
+      R.EvalCount = N->EvalCount;
       if (N->StoredInput) {
         R.HasInput = 1;
-        R.Input = flattenSet(*N->StoredInput, Locs);
+        R.Input = flatten(*N->StoredInput);
       }
       if (N->StoredOutput) {
         R.HasOutput = 1;
-        R.Output = flattenSet(*N->StoredOutput, Locs);
+        R.Output = flatten(*N->StoredOutput);
       }
       S.IG.push_back(std::move(R));
     }
@@ -127,7 +279,19 @@ ResultSnapshot ResultSnapshot::capture(const simple::Program &Prog,
   for (const support::Degradation &D : Res.Degradations)
     S.Degradations.push_back(
         {static_cast<uint8_t>(D.Kind), D.Context, D.Action});
+
+  // Warnings are a set in v2: an incremental run re-derives them in a
+  // different order (and possibly repeatedly), so emission order is
+  // trajectory, not result.
   S.Warnings = Res.Warnings;
+  std::sort(S.Warnings.begin(), S.Warnings.end());
+  S.Warnings.erase(std::unique(S.Warnings.begin(), S.Warnings.end()),
+                   S.Warnings.end());
+  for (const auto &[Fn, Msgs] : Res.WarningsByFn)
+    S.WarningsByFn.emplace(Fn,
+                           std::vector<std::string>(Msgs.begin(), Msgs.end()));
+
+  S.Meta = incr::computeMeta(Prog);
 
   if (Res.MainOut)
     for (const auto &[A, B] : clients::aliasPairs(*Res.MainOut, Locs))
@@ -185,13 +349,14 @@ bool ResultSnapshot::aliased(const std::string &A, const std::string &B) const {
 }
 
 bool ResultSnapshot::operator==(const ResultSnapshot &O) const {
-  return OptionsFingerprint == O.OptionsFingerprint && Analyzed == O.Analyzed &&
-         NumStmts == O.NumStmts && BodyAnalyses == O.BodyAnalyses &&
-         LoopIterations == O.LoopIterations && MemoHits == O.MemoHits &&
-         Locations == O.Locations && HasMainOut == O.HasMainOut &&
-         MainOut == O.MainOut && StmtIn == O.StmtIn && IG == O.IG &&
-         Degradations == O.Degradations && Warnings == O.Warnings &&
-         AliasPairs == O.AliasPairs && Reads == O.Reads && Writes == O.Writes;
+  return FormatVersion == O.FormatVersion &&
+         OptionsFingerprint == O.OptionsFingerprint && Analyzed == O.Analyzed &&
+         NumStmts == O.NumStmts && Locations == O.Locations &&
+         HasMainOut == O.HasMainOut && MainOut == O.MainOut &&
+         StmtIn == O.StmtIn && IG == O.IG && Degradations == O.Degradations &&
+         Warnings == O.Warnings && WarningsByFn == O.WarningsByFn &&
+         Meta == O.Meta && AliasPairs == O.AliasPairs && Reads == O.Reads &&
+         Writes == O.Writes;
 }
 
 //===----------------------------------------------------------------------===//
@@ -248,6 +413,19 @@ void writeTriples(ByteWriter &W, const std::vector<Triple> &Ts) {
   }
 }
 
+void writeStrList(ByteWriter &W, StringInterner &Strings,
+                  const std::vector<std::string> &L) {
+  W.u32(static_cast<uint32_t>(L.size()));
+  for (const std::string &S : L)
+    W.u32(Strings.intern(S));
+}
+
+void writeU32List(ByteWriter &W, const std::vector<uint32_t> &L) {
+  W.u32(static_cast<uint32_t>(L.size()));
+  for (uint32_t V : L)
+    W.u32(V);
+}
+
 } // namespace
 
 std::string serve::serialize(const ResultSnapshot &S) {
@@ -256,9 +434,6 @@ std::string serve::serialize(const ResultSnapshot &S) {
 
   Body.u8(S.Analyzed);
   Body.u32(S.NumStmts);
-  Body.u64(S.BodyAnalyses);
-  Body.u64(S.LoopIterations);
-  Body.u64(S.MemoHits);
 
   Body.u32(static_cast<uint32_t>(S.Locations.size()));
   for (const LocationRecord &L : S.Locations) {
@@ -269,6 +444,17 @@ std::string serve::serialize(const ResultSnapshot &S) {
     Body.u32(L.SymbolicLevel);
     Body.u32(Strings.intern(L.Name));
     Body.u32(Strings.intern(L.Owner));
+    Body.u32(Strings.intern(L.RootName));
+    Body.i32(L.LocalIndex);
+    Body.i32(L.SymParent);
+    Body.u32(L.StringId);
+    Body.u32(static_cast<uint32_t>(L.PathKinds.size()));
+    size_t FieldIdx = 0;
+    for (uint8_t K : L.PathKinds) {
+      Body.u8(K);
+      if (K == 0)
+        Body.u32(Strings.intern(L.FieldNames[FieldIdx++]));
+    }
   }
 
   Body.u8(S.HasMainOut);
@@ -287,6 +473,7 @@ std::string serve::serialize(const ResultSnapshot &S) {
     Body.u32(N.CallSiteId);
     Body.i32(N.Parent);
     Body.i32(N.RecEdge);
+    Body.u32(N.EvalCount);
     Body.u8(N.HasInput);
     Body.u8(N.HasOutput);
     writeTriples(Body, N.Input);
@@ -300,9 +487,36 @@ std::string serve::serialize(const ResultSnapshot &S) {
     Body.u32(Strings.intern(D.Action));
   }
 
-  Body.u32(static_cast<uint32_t>(S.Warnings.size()));
-  for (const std::string &W : S.Warnings)
-    Body.u32(Strings.intern(W));
+  writeStrList(Body, Strings, S.Warnings);
+
+  Body.u32(static_cast<uint32_t>(S.WarningsByFn.size()));
+  for (const auto &[Fn, Msgs] : S.WarningsByFn) {
+    Body.u32(Strings.intern(Fn));
+    writeStrList(Body, Strings, Msgs);
+  }
+
+  Body.u64(S.Meta.TypesFingerprint);
+  Body.u64(S.Meta.GlobalInitFingerprint);
+  writeU32List(Body, S.Meta.GlobalInitStringIds);
+  Body.u32(static_cast<uint32_t>(S.Meta.Functions.size()));
+  for (const incr::FunctionMeta &F : S.Meta.Functions) {
+    Body.u32(Strings.intern(F.Name));
+    Body.u8(F.Defined);
+    Body.u8(F.HasIndirectCalls);
+    Body.u64(F.Fingerprint);
+    writeStrList(Body, Strings, F.ParamNames);
+    writeStrList(Body, Strings, F.LocalNames);
+    writeStrList(Body, Strings, F.CalleeNames);
+    writeStrList(Body, Strings, F.GlobalRefs);
+    writeU32List(Body, F.StmtIds);
+    writeU32List(Body, F.CallSiteIds);
+    writeU32List(Body, F.StringIds);
+  }
+  Body.u32(static_cast<uint32_t>(S.Meta.Globals.size()));
+  for (const incr::GlobalMeta &G : S.Meta.Globals) {
+    Body.u32(Strings.intern(G.Name));
+    Body.u64(G.Fingerprint);
+  }
 
   Body.u32(static_cast<uint32_t>(S.AliasPairs.size()));
   for (const auto &[A, B] : S.AliasPairs) {
@@ -448,6 +662,25 @@ const std::string &tableRef(ByteReader &R,
   return Table[Idx];
 }
 
+std::vector<std::string> readStrList(ByteReader &R,
+                                     const std::vector<std::string> &Strings) {
+  std::vector<std::string> Out;
+  uint32_t N = R.count(4);
+  Out.reserve(N);
+  for (uint32_t I = 0; I < N && R.ok(); ++I)
+    Out.push_back(tableRef(R, Strings, R.u32()));
+  return Out;
+}
+
+std::vector<uint32_t> readU32List(ByteReader &R) {
+  std::vector<uint32_t> Out;
+  uint32_t N = R.count(4);
+  Out.reserve(N);
+  for (uint32_t I = 0; I < N && R.ok(); ++I)
+    Out.push_back(R.u32());
+  return Out;
+}
+
 } // namespace
 
 bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
@@ -459,10 +692,12 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
   if (R.ok() && std::memcmp(Head.data(), Magic, 4) != 0)
     R.fail("bad magic (not an mcpta-result blob)");
   uint32_t Version = R.u32();
-  if (R.ok() && Version != version::kResultFormatVersion)
+  if (R.ok() && Version != 1 && Version != version::kResultFormatVersion)
     R.fail("unsupported format version " + std::to_string(Version) +
-           " (this build reads version " +
+           " (this build reads versions 1.." +
            std::to_string(version::kResultFormatVersion) + ")");
+  const bool V1 = Version == 1;
+  Out.FormatVersion = Version;
   Out.OptionsFingerprint = R.str(R.u32());
 
   std::vector<std::string> Strings;
@@ -473,11 +708,14 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
 
   Out.Analyzed = R.u8();
   Out.NumStmts = R.u32();
-  Out.BodyAnalyses = R.u64();
-  Out.LoopIterations = R.u64();
-  Out.MemoHits = R.u64();
+  if (V1) {
+    // v1 carried three run-history counters; v2 dropped them.
+    R.u64();
+    R.u64();
+    R.u64();
+  }
 
-  uint32_t NumLocs = R.count(15);
+  uint32_t NumLocs = R.count(V1 ? 15 : 35);
   Out.Locations.reserve(NumLocs);
   for (uint32_t I = 0; I < NumLocs && R.ok(); ++I) {
     LocationRecord L;
@@ -488,6 +726,33 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
     L.SymbolicLevel = R.u32();
     L.Name = tableRef(R, Strings, R.u32());
     L.Owner = tableRef(R, Strings, R.u32());
+    if (!V1) {
+      L.RootName = tableRef(R, Strings, R.u32());
+      L.LocalIndex = R.i32();
+      L.SymParent = R.i32();
+      L.StringId = R.u32();
+      uint32_t NumPath = R.count(1);
+      for (uint32_t J = 0; J < NumPath && R.ok(); ++J) {
+        uint8_t K = R.u8();
+        if (R.ok() && K > 2) {
+          R.fail("location path element kind out of range");
+          break;
+        }
+        L.PathKinds.push_back(K);
+        if (K == 0)
+          L.FieldNames.push_back(tableRef(R, Strings, R.u32()));
+      }
+      if (R.ok() &&
+          (L.EntityKind > 6 || L.LocalIndex < -1 || L.SymParent < -1 ||
+           (L.SymParent >= 0 &&
+            static_cast<uint32_t>(L.SymParent) >= NumLocs))) {
+        // SymParent may exceed the record's own id (canonical order is
+        // not topological); only the range is checkable here. The
+        // incremental engine's resolver cycle-guards.
+        R.fail("corrupt location record");
+        break;
+      }
+    }
     if (R.ok() && L.Id != I)
       R.fail("location ids are not dense");
     Out.Locations.push_back(std::move(L));
@@ -511,7 +776,7 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
     Out.StmtIn.push_back(std::move(Rec));
   }
 
-  uint32_t NumIG = R.count(23);
+  uint32_t NumIG = R.count(V1 ? 23 : 27);
   Out.IG.reserve(NumIG);
   for (uint32_t I = 0; I < NumIG && R.ok(); ++I) {
     IGNodeRecord N;
@@ -520,6 +785,8 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
     N.CallSiteId = R.u32();
     N.Parent = R.i32();
     N.RecEdge = R.i32();
+    if (!V1)
+      N.EvalCount = R.u32();
     N.HasInput = R.u8();
     N.HasOutput = R.u8();
     if (R.ok() && (N.Kind > 2 || N.HasInput > 1 || N.HasOutput > 1 ||
@@ -550,10 +817,50 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
     Out.Degradations.push_back(std::move(D));
   }
 
-  uint32_t NumWarn = R.count(4);
-  Out.Warnings.reserve(NumWarn);
-  for (uint32_t I = 0; I < NumWarn && R.ok(); ++I)
-    Out.Warnings.push_back(tableRef(R, Strings, R.u32()));
+  Out.Warnings = readStrList(R, Strings);
+
+  if (!V1) {
+    uint32_t NumWarnFns = R.count(8);
+    for (uint32_t I = 0; I < NumWarnFns && R.ok(); ++I) {
+      const std::string &Fn = tableRef(R, Strings, R.u32());
+      std::vector<std::string> Msgs = readStrList(R, Strings);
+      if (R.ok())
+        Out.WarningsByFn[Fn] = std::move(Msgs);
+    }
+
+    Out.Meta.TypesFingerprint = R.u64();
+    Out.Meta.GlobalInitFingerprint = R.u64();
+    Out.Meta.GlobalInitStringIds = readU32List(R);
+    uint32_t NumFns = R.count(14);
+    Out.Meta.Functions.reserve(NumFns);
+    for (uint32_t I = 0; I < NumFns && R.ok(); ++I) {
+      incr::FunctionMeta F;
+      F.Name = tableRef(R, Strings, R.u32());
+      F.Defined = R.u8();
+      F.HasIndirectCalls = R.u8();
+      if (R.ok() && (F.Defined > 1 || F.HasIndirectCalls > 1)) {
+        R.fail("corrupt function-meta record");
+        break;
+      }
+      F.Fingerprint = R.u64();
+      F.ParamNames = readStrList(R, Strings);
+      F.LocalNames = readStrList(R, Strings);
+      F.CalleeNames = readStrList(R, Strings);
+      F.GlobalRefs = readStrList(R, Strings);
+      F.StmtIds = readU32List(R);
+      F.CallSiteIds = readU32List(R);
+      F.StringIds = readU32List(R);
+      Out.Meta.Functions.push_back(std::move(F));
+    }
+    uint32_t NumGlobals = R.count(12);
+    Out.Meta.Globals.reserve(NumGlobals);
+    for (uint32_t I = 0; I < NumGlobals && R.ok(); ++I) {
+      incr::GlobalMeta G;
+      G.Name = tableRef(R, Strings, R.u32());
+      G.Fingerprint = R.u64();
+      Out.Meta.Globals.push_back(std::move(G));
+    }
+  }
 
   uint32_t NumAlias = R.count(8);
   Out.AliasPairs.reserve(NumAlias);

@@ -1,4 +1,4 @@
-//===- Serialize.h - mcpta-result-v1 binary serialization -------*- C++ -*-===//
+//===- Serialize.h - mcpta-result-v2 binary serialization -------*- C++ -*-===//
 //
 // Part of the mcpta project (PLDI'94 points-to analysis reproduction).
 //
@@ -19,7 +19,26 @@
 /// points_to, read_write_sets, stats) without the source, the AST, or
 /// a re-run.
 ///
-/// The binary format `mcpta-result-v1` (support/Version.h) is
+/// Version 2 changes (all in service of the incremental engine,
+/// src/incr/, whose oracle is byte-identity of snapshots):
+///  - the location table is *canonical*: only locations referenced by
+///    some serialized set (plus their transitive symbolic parents)
+///    appear, sorted by a structural key and densely renumbered, so the
+///    bytes no longer depend on LocationTable creation order;
+///  - location records carry the structure needed to re-intern them in
+///    a fresh LocationTable (root identity, local index, symbolic
+///    parent link, path elements);
+///  - invocation-graph nodes carry EvalCount;
+///  - warnings are serialized sorted and deduplicated, plus a
+///    per-function attribution map (WarningsByFn);
+///  - per-function fingerprints and dependency metadata
+///    (incr::ProgramMeta) are embedded;
+///  - the run-history counters of v1 (BodyAnalyses, LoopIterations,
+///    MemoHits) are gone — they described the trajectory, not the
+///    result, and an incremental run legitimately has a different
+///    trajectory.
+///
+/// The binary format `mcpta-result-v2` (support/Version.h) is
 /// deterministic: the same snapshot always serializes to the same
 /// bytes, so serialize → deserialize → serialize round-trips
 /// byte-identically (SerializeTest relies on this, and the summary
@@ -29,12 +48,15 @@
 /// deserialize() is corruption-tolerant: truncated, oversized, or
 /// inconsistent input yields `false` and an error message, never a
 /// crash or an out-of-bounds read (the cache maps that to a miss).
+/// Version-1 blobs are still read (FormatVersion records which reader
+/// ran); version-1 snapshots lack the v2-only sections.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCPTA_SERVE_SERIALIZE_H
 #define MCPTA_SERVE_SERIALIZE_H
 
+#include "incr/Fingerprint.h"
 #include "pointsto/Analyzer.h"
 
 #include <cstdint>
@@ -48,7 +70,7 @@ namespace mcpta {
 namespace serve {
 
 /// One abstract location, flattened. Index in ResultSnapshot::Locations
-/// equals Location::id() (ids are dense creation-order).
+/// equals the canonical id (dense, sorted by structural key).
 struct LocationRecord {
   uint32_t Id = 0;
   uint8_t EntityKind = 0; ///< pta::Entity::Kind
@@ -58,14 +80,35 @@ struct LocationRecord {
   std::string Name;  ///< display name, e.g. "x", "s.next", "2_x"
   std::string Owner; ///< owning function, "" for globals/program-wide
 
+  /// v2 structural identity (defaults for v1-loaded snapshots):
+  std::string RootName; ///< root entity display name
+  /// For frame Variable roots: index into the owner's params+locals
+  /// list; -1 for globals and non-variable roots. Disambiguates
+  /// shadowed same-name locals.
+  int32_t LocalIndex = -1;
+  /// For Symbolic roots: canonical id of the parent location the
+  /// entity's dereference stands for; -1 otherwise. May be larger than
+  /// Id (canonical order is not topological).
+  int32_t SymParent = -1;
+  uint32_t StringId = 0; ///< for String roots: simple::Program literal id
+  /// Access path: PathElem kinds (0=Field, 1=Head, 2=Tail) with the
+  /// qualified "Record::field" names of the Field elements, in order
+  /// (qualified because same-named fields of different records are
+  /// distinct path elements).
+  std::vector<uint8_t> PathKinds;
+  std::vector<std::string> FieldNames;
+
   bool operator==(const LocationRecord &O) const {
     return Id == O.Id && EntityKind == O.EntityKind && Summary == O.Summary &&
            Collapsed == O.Collapsed && SymbolicLevel == O.SymbolicLevel &&
-           Name == O.Name && Owner == O.Owner;
+           Name == O.Name && Owner == O.Owner && RootName == O.RootName &&
+           LocalIndex == O.LocalIndex && SymParent == O.SymParent &&
+           StringId == O.StringId && PathKinds == O.PathKinds &&
+           FieldNames == O.FieldNames;
   }
 };
 
-/// One points-to relationship (x, y, D|P) over location ids.
+/// One points-to relationship (x, y, D|P) over canonical location ids.
 struct Triple {
   uint32_t Src = 0;
   uint32_t Dst = 0;
@@ -95,6 +138,10 @@ struct IGNodeRecord {
   uint32_t CallSiteId = 0;
   int32_t Parent = -1;
   int32_t RecEdge = -1;
+  /// Body-evaluation episodes (v2; 0 in v1-loaded snapshots). The
+  /// incremental engine only trusts a node as a subtree-graft donor
+  /// when it evaluated exactly once.
+  uint32_t EvalCount = 0;
   uint8_t HasInput = 0;
   uint8_t HasOutput = 0;
   std::vector<Triple> Input;  ///< memoized IN, when stored
@@ -103,8 +150,9 @@ struct IGNodeRecord {
   bool operator==(const IGNodeRecord &O) const {
     return Function == O.Function && Kind == O.Kind &&
            CallSiteId == O.CallSiteId && Parent == O.Parent &&
-           RecEdge == O.RecEdge && HasInput == O.HasInput &&
-           HasOutput == O.HasOutput && Input == O.Input && Output == O.Output;
+           RecEdge == O.RecEdge && EvalCount == O.EvalCount &&
+           HasInput == O.HasInput && HasOutput == O.HasOutput &&
+           Input == O.Input && Output == O.Output;
   }
 };
 
@@ -121,15 +169,17 @@ struct DegradationRecord {
 
 /// Everything one analysis run produced, self-contained.
 struct ResultSnapshot {
+  /// Which format revision this snapshot came from: the current
+  /// version for capture(), the blob's header version for
+  /// deserialize(). v1-loaded snapshots lack EvalCount, the structural
+  /// location fields, WarningsByFn, and Meta.
+  uint32_t FormatVersion = 0;
   /// Fingerprint of the Analyzer options + limits that produced this
   /// result (optionsFingerprint below); stored in the blob header so a
   /// loaded result is attributable.
   std::string OptionsFingerprint;
   uint8_t Analyzed = 0;
   uint32_t NumStmts = 0;
-  uint64_t BodyAnalyses = 0;
-  uint64_t LoopIterations = 0;
-  uint64_t MemoHits = 0;
 
   std::vector<LocationRecord> Locations;
   uint8_t HasMainOut = 0;
@@ -137,7 +187,15 @@ struct ResultSnapshot {
   std::vector<StmtSetRecord> StmtIn;
   std::vector<IGNodeRecord> IG;
   std::vector<DegradationRecord> Degradations;
+  /// Sorted and deduplicated in v2 captures (v1 blobs preserved their
+  /// emission order).
   std::vector<std::string> Warnings;
+  /// v2: every warning message keyed by the emitting function ("" for
+  /// warnings raised outside any body). Values sorted, deduplicated.
+  std::map<std::string, std::vector<std::string>> WarningsByFn;
+
+  /// v2: per-function fingerprints and dependency metadata.
+  incr::ProgramMeta Meta;
 
   /// Client outputs: canonical "(a,b)" alias pairs over MainOut
   /// (clients::aliasPairs, sorted), and per-function read/write
@@ -149,7 +207,10 @@ struct ResultSnapshot {
   bool degraded() const { return !Degradations.empty(); }
 
   /// Flattens a live result. \p Prog must be the program \p Res was
-  /// computed from (needed for the read/write-set client).
+  /// computed from (needed for the read/write-set client and the
+  /// dependency metadata). Deterministic: two Results with equal
+  /// analysis state capture to equal snapshots even when their
+  /// LocationTables interned locations in different orders.
   static ResultSnapshot capture(const simple::Program &Prog,
                                 const pta::Analyzer::Result &Res,
                                 std::string OptionsFingerprint);
@@ -174,6 +235,32 @@ struct ResultSnapshot {
   bool operator!=(const ResultSnapshot &O) const { return !(*this == O); }
 };
 
+/// Position of every parameter and IR local in its function's
+/// params+locals concatenation — the LocalIndex vocabulary of v2
+/// location records. Exposed for the incremental engine.
+std::map<const cfront::VarDecl *, int32_t>
+localIndexMap(const simple::Program &Prog);
+
+/// Computes the structural key of live locations — the canonical sort
+/// key of capture(). The incremental engine matches baseline location
+/// records against live locations by recomputing identical keys from
+/// the serialized structural fields, so key construction must stay in
+/// lockstep with the LocationRecord layout. Memoizing; one instance per
+/// (LocationTable, program) pair.
+class StructuralKeys {
+public:
+  explicit StructuralKeys(std::map<const cfront::VarDecl *, int32_t> LocalIdx)
+      : LocalIdx(std::move(LocalIdx)) {}
+
+  const std::string &key(const pta::Location *L);
+
+private:
+  std::string rootKey(const pta::Entity *E);
+
+  std::map<const cfront::VarDecl *, int32_t> LocalIdx;
+  std::map<const pta::Location *, std::string> Memo;
+};
+
 /// Stable fingerprint of every analyzer knob that can change the result:
 /// Options (fnptr mode, context sensitivity, stmt-set recording, k-limit,
 /// loop cap) and AnalysisLimits (all five budgets). Two runs with equal
@@ -181,13 +268,14 @@ struct ResultSnapshot {
 /// fingerprint is a summary-cache key component.
 std::string optionsFingerprint(const pta::Analyzer::Options &Opts);
 
-/// Serializes to the mcpta-result-v1 binary format. Deterministic:
+/// Serializes to the mcpta-result-v2 binary format. Deterministic:
 /// equal snapshots yield equal bytes.
 std::string serialize(const ResultSnapshot &S);
 
-/// Parses a blob produced by serialize(). Returns false with an error
-/// message on any malformed input (wrong magic, future format version,
-/// truncation, out-of-range indices); never throws or crashes.
+/// Parses a blob produced by serialize(), current or version-1 format.
+/// Returns false with an error message on any malformed input (wrong
+/// magic, unknown format version, truncation, out-of-range indices);
+/// never throws or crashes.
 bool deserialize(std::string_view Blob, ResultSnapshot &Out,
                  std::string &Error);
 

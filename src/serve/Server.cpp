@@ -4,6 +4,7 @@
 
 #include "corpus/Corpus.h"
 #include "driver/Pipeline.h"
+#include "incr/IncrementalEngine.h"
 #include "serve/Json.h"
 #include "support/Version.h"
 
@@ -109,7 +110,8 @@ struct Server::Response {
 Server::Server(Config C)
     : Cfg(std::move(C)),
       Telem(std::make_unique<Telemetry>(/*Enabled=*/true)),
-      Cache(std::make_unique<SummaryCache>(Cfg.Cache, Telem.get())) {}
+      Cache(std::make_unique<SummaryCache>(Cfg.Cache, Telem.get())),
+      StartTime(std::chrono::steady_clock::now()) {}
 
 Server::~Server() = default;
 
@@ -235,6 +237,7 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
 
   const std::string FP = optionsFingerprint(Opts);
   const std::string Key = SummaryCache::key(Source, FP);
+  const bool WantIncremental = Req.getBool("incremental", false);
 
   std::string CacheWarning;
   std::shared_ptr<const ResultSnapshot> Snap =
@@ -242,8 +245,33 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
   if (!CacheWarning.empty())
     Log << "warning: " << CacheWarning << "\n";
 
+  auto BaselineIt = BaselineByFingerprint.end();
+  if (WantIncremental && !Snap)
+    BaselineIt = BaselineByFingerprint.find(FP);
+
   if (Snap) {
     Resp.Cached = true;
+    if (WantIncremental) {
+      // An exact cache hit answers without re-analyzing anything.
+      Resp.member("incremental", "false");
+      Resp.member("fallback_reason", quoted("cache-hit"));
+    }
+  } else if (BaselineIt != BaselineByFingerprint.end()) {
+    incr::IncrOutput O = incr::IncrementalEngine::reanalyze(
+        *BaselineIt->second, Source, Opts, Telem.get());
+    if (!O.Ok) {
+      Resp.fail(O.Error);
+      return;
+    }
+    std::string StoreWarning;
+    Snap = Cache->store(Key, std::move(O.Snapshot), &StoreWarning);
+    if (!StoreWarning.empty())
+      Log << "warning: " << StoreWarning << "\n";
+    Resp.member("incremental", O.Stats.UsedIncremental ? "true" : "false");
+    Resp.member("dirty_functions", std::to_string(O.Stats.DirtyFunctions));
+    Resp.member("memo_reuse", std::to_string(O.Stats.MemoReuse));
+    if (!O.Stats.FallbackReason.empty())
+      Resp.member("fallback_reason", quoted(O.Stats.FallbackReason));
   } else {
     Pipeline P = Pipeline::analyzeSource(Source, Opts);
     if (P.Diags.hasErrors()) {
@@ -264,10 +292,18 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     Snap = Cache->store(Key, std::move(Captured), &StoreWarning);
     if (!StoreWarning.empty())
       Log << "warning: " << StoreWarning << "\n";
+    if (WantIncremental) {
+      // First analysis under these options: nothing to diff against.
+      Resp.member("incremental", "false");
+      Resp.member("fallback_reason", quoted("no-baseline"));
+    }
   }
 
   LastKey = Key;
   LastSnapshot = Snap;
+  // Whatever this request produced (or re-validated) is the baseline
+  // for the next incremental request under the same options.
+  BaselineByFingerprint[FP] = Snap;
 
   Resp.Degraded = Snap->degraded();
   // Degradations go to the daemon log once per (kind, context) for the
@@ -432,7 +468,20 @@ void Server::handleStats(Response &Resp) {
   Resp.member("result_format_version",
               std::to_string(version::kResultFormatVersion));
 
+  double UptimeMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - StartTime)
+                        .count();
+  char Uptime[32];
+  std::snprintf(Uptime, sizeof(Uptime), "%.3f", UptimeMs);
+  Resp.member("uptime_ms", Uptime);
+
   const SummaryCache::Stats &CS = Cache->stats();
+  uint64_t HitCount = CS.Hits; // MemHits is a subset of Hits
+  uint64_t Lookups = HitCount + CS.Misses;
+  char Ratio[32];
+  std::snprintf(Ratio, sizeof(Ratio), "%.4f",
+                Lookups ? static_cast<double>(HitCount) / Lookups : 0.0);
+  Resp.member("cache_hit_ratio", Ratio);
   std::string CacheObj = "{\"hits\":" + std::to_string(CS.Hits) +
                          ",\"mem_hits\":" + std::to_string(CS.MemHits) +
                          ",\"misses\":" + std::to_string(CS.Misses) +

@@ -14,7 +14,10 @@
 /// `stats`, `invalidate`, `shutdown` (schemas in docs/SERVING.md).
 /// Every `analyze` consults the SummaryCache before running the
 /// pipeline; query methods are answered from cached ResultSnapshots
-/// without touching the analyzer at all. Per-request AnalysisOptions
+/// without touching the analyzer at all. An `analyze` request carrying
+/// `"incremental": true` re-analyzes against the previous result with
+/// the same options fingerprint through the IncrementalEngine
+/// (docs/INCREMENTAL.md) instead of running from scratch. Per-request AnalysisOptions
 /// and AnalysisLimits override the server defaults and ride on the
 /// existing governance layer, so one hostile request degrades soundly
 /// instead of stalling the daemon.
@@ -31,7 +34,9 @@
 
 #include "serve/SummaryCache.h"
 
+#include <chrono>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -89,6 +94,15 @@ private:
   std::unique_ptr<SummaryCache> Cache;
   std::string LastKey;
   std::shared_ptr<const ResultSnapshot> LastSnapshot;
+  /// Construction time, for the `stats` uptime_ms member.
+  std::chrono::steady_clock::time_point StartTime;
+  /// Most recent snapshot per options fingerprint: the baseline an
+  /// `analyze {"incremental": true}` request re-analyzes against. Keyed
+  /// by fingerprint (not cache key) because an edited source hashes to
+  /// a different key — the baseline is the previous result computed
+  /// under the *same options*, whatever its source was.
+  std::map<std::string, std::shared_ptr<const ResultSnapshot>>
+      BaselineByFingerprint;
   /// Degradation warnings already logged, keyed by (kind, context), so
   /// sustained budget pressure cannot flood the daemon log.
   std::set<std::string> LoggedDegradations;

@@ -27,13 +27,18 @@ namespace mcpta {
 namespace version {
 
 /// Tool/library release. Advanced with user-visible feature changes.
-inline constexpr const char *kToolVersion = "0.3.0";
+inline constexpr const char *kToolVersion = "0.4.0";
 
 /// Name of the binary result format produced by serve::serialize.
-inline constexpr const char *kResultFormatName = "mcpta-result-v1";
+inline constexpr const char *kResultFormatName = "mcpta-result-v2";
 
 /// Layout revision of that format. Part of every cache key.
-inline constexpr uint32_t kResultFormatVersion = 1;
+/// Version 2 canonicalizes the location table (referenced locations
+/// only, sorted by name), drops run-history counters from the wire,
+/// and adds the per-function fingerprints and dependency metadata the
+/// incremental engine (src/incr/) diffs against. deserialize() still
+/// reads version-1 blobs.
+inline constexpr uint32_t kResultFormatVersion = 2;
 
 } // namespace version
 } // namespace mcpta

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace mcpta;
@@ -391,4 +394,413 @@ std::string mcpta::wlgen::pathologicalSource(unsigned Depth, unsigned Fanout,
   Out += "  return 0;\n";
   Out += "}\n";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// mutateSource — deterministic small-edit generator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One lexed token of the seed source. Comments and whitespace are
+/// skipped; multi-character operators are single tokens so '=' can be
+/// told apart from '==', '->' from '-', etc.
+struct Tok {
+  enum Kind { Ident, Number, Punct, Text } K;
+  size_t Off;
+  size_t Len;
+};
+
+std::vector<Tok> lexSource(const std::string &S) {
+  std::vector<Tok> Toks;
+  size_t I = 0, N = S.size();
+  auto isIdent = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+  };
+  while (I < N) {
+    char C = S[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && S[I + 1] == '*') {
+      size_t E = S.find("*/", I + 2);
+      I = (E == std::string::npos) ? N : E + 2;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && S[I + 1] == '/') {
+      size_t E = S.find('\n', I + 2);
+      I = (E == std::string::npos) ? N : E + 1;
+      continue;
+    }
+    if (C == '"' || C == '\'') {
+      size_t E = I + 1;
+      while (E < N && S[E] != C) {
+        if (S[E] == '\\')
+          ++E;
+        ++E;
+      }
+      E = (E < N) ? E + 1 : N;
+      Toks.push_back({Tok::Text, I, E - I});
+      I = E;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t E = I;
+      while (E < N && (isIdent(S[E]) || S[E] == '.'))
+        ++E;
+      Toks.push_back({Tok::Number, I, E - I});
+      I = E;
+      continue;
+    }
+    if (isIdent(C)) {
+      size_t E = I;
+      while (E < N && isIdent(S[E]))
+        ++E;
+      Toks.push_back({Tok::Ident, I, E - I});
+      I = E;
+      continue;
+    }
+    static const char *Two[] = {"->", "==", "!=", "<=", ">=", "&&", "||",
+                                "++", "--", "+=", "-=", "*=", "/=", "%=",
+                                "<<", ">>"};
+    size_t Len = 1;
+    for (const char *T : Two)
+      if (I + 1 < N && S[I] == T[0] && S[I + 1] == T[1]) {
+        Len = 2;
+        break;
+      }
+    Toks.push_back({Tok::Punct, I, Len});
+    I += Len;
+  }
+  return Toks;
+}
+
+/// Token scanner over a lexed seed with the structure mutateSource
+/// needs: top-level function definitions and their body token ranges.
+class SeedScan {
+public:
+  struct FnDef {
+    std::string Name;
+    size_t LBrace; ///< token index of the body '{'
+    size_t RBrace; ///< token index of the matching '}'
+  };
+
+  SeedScan(const std::string &S, std::vector<Tok> T)
+      : Src(S), Toks(std::move(T)) {
+    findFunctions();
+  }
+
+  std::string spell(size_t TokIdx) const {
+    const Tok &T = Toks[TokIdx];
+    return Src.substr(T.Off, T.Len);
+  }
+  bool is(size_t TokIdx, const char *P) const {
+    const Tok &T = Toks[TokIdx];
+    return Src.compare(T.Off, T.Len, P) == 0 && std::strlen(P) == T.Len;
+  }
+  bool identExists(const std::string &Name) const {
+    for (size_t I = 0; I < Toks.size(); ++I)
+      if (Toks[I].K == Tok::Ident && spell(I) == Name)
+        return true;
+    return false;
+  }
+
+  const std::string &Src;
+  std::vector<Tok> Toks;
+  std::vector<FnDef> Fns;
+
+private:
+  void findFunctions() {
+    int Depth = 0;
+    for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+      if (Toks[I].K == Tok::Punct) {
+        if (is(I, "{"))
+          ++Depth;
+        else if (is(I, "}"))
+          --Depth;
+        continue;
+      }
+      if (Depth != 0 || Toks[I].K != Tok::Ident || !is(I + 1, "("))
+        continue;
+      // Find the matching ')' of the parameter list.
+      int Paren = 0;
+      size_t J = I + 1;
+      for (; J < Toks.size(); ++J) {
+        if (is(J, "("))
+          ++Paren;
+        else if (is(J, ")") && --Paren == 0)
+          break;
+      }
+      if (J + 1 >= Toks.size() || !is(J + 1, "{"))
+        continue; // prototype or call
+      size_t LB = J + 1;
+      int Body = 0;
+      size_t RB = LB;
+      for (; RB < Toks.size(); ++RB) {
+        if (is(RB, "{"))
+          ++Body;
+        else if (is(RB, "}") && --Body == 0)
+          break;
+      }
+      Fns.push_back({spell(I), LB, RB});
+      I = RB; // Depth is balanced again after the body
+    }
+  }
+};
+
+bool isTypeKeyword(const std::string &S) {
+  return S == "int" || S == "char" || S == "float" || S == "double" ||
+         S == "void" || S == "struct" || S == "union" || S == "unsigned" ||
+         S == "signed" || S == "long" || S == "short";
+}
+
+bool isKeyword(const std::string &S) {
+  return isTypeKeyword(S) || S == "return" || S == "if" || S == "else" ||
+         S == "while" || S == "for" || S == "do" || S == "switch" ||
+         S == "case" || S == "default" || S == "break" || S == "continue" ||
+         S == "goto" || S == "sizeof" || S == "static" || S == "extern";
+}
+
+/// A simple local declaration in a function body: `<type> *... name ;`
+/// (single declarator, no initializer, no array suffix). TypeText is the
+/// normalized type+stars spelling, for same-type pairing.
+struct LocalDecl {
+  size_t FnIdx;
+  size_t NameTok;
+  std::string TypeText;
+};
+
+std::vector<LocalDecl> collectLocalDecls(const SeedScan &SS) {
+  std::vector<LocalDecl> Out;
+  for (size_t F = 0; F < SS.Fns.size(); ++F) {
+    const SeedScan::FnDef &Fn = SS.Fns[F];
+    bool AtStmtStart = true;
+    for (size_t I = Fn.LBrace + 1; I < Fn.RBrace; ++I) {
+      if (SS.Toks[I].K == Tok::Punct) {
+        std::string P = SS.spell(I);
+        AtStmtStart = (P == ";" || P == "{" || P == "}");
+        continue;
+      }
+      if (!AtStmtStart || SS.Toks[I].K != Tok::Ident) {
+        AtStmtStart = false;
+        continue;
+      }
+      std::string First = SS.spell(I);
+      AtStmtStart = false;
+      if (!isTypeKeyword(First))
+        continue;
+      size_t J = I;
+      std::string Type = First;
+      if (First == "struct" || First == "union") {
+        if (J + 1 >= Fn.RBrace || SS.Toks[J + 1].K != Tok::Ident)
+          continue;
+        Type += " " + SS.spell(J + 1);
+        J += 1;
+      }
+      while (J + 1 < Fn.RBrace && SS.is(J + 1, "*")) {
+        Type += "*";
+        J += 1;
+      }
+      if (J + 2 >= Fn.RBrace || SS.Toks[J + 1].K != Tok::Ident ||
+          !SS.is(J + 2, ";"))
+        continue;
+      Out.push_back({F, J + 1, Type});
+      I = J + 2;
+      AtStmtStart = true;
+    }
+  }
+  return Out;
+}
+
+/// The insertion offset for appending a statement at the end of a
+/// function body: before the body's final top-level `return` statement
+/// when there is one (keeping the new statement reachable), else before
+/// the closing '}'.
+size_t appendOffset(const SeedScan &SS, const SeedScan::FnDef &Fn) {
+  int Depth = 0;
+  size_t LastStmtStart = 0;
+  bool HaveReturn = false;
+  bool AtStmtStart = true;
+  for (size_t I = Fn.LBrace + 1; I < Fn.RBrace; ++I) {
+    if (AtStmtStart && Depth == 0) {
+      LastStmtStart = I;
+      HaveReturn = SS.Toks[I].K == Tok::Ident && SS.spell(I) == "return";
+    }
+    AtStmtStart = false;
+    if (SS.Toks[I].K == Tok::Punct) {
+      std::string P = SS.spell(I);
+      if (P == "{")
+        ++Depth;
+      else if (P == "}")
+        --Depth;
+      AtStmtStart = (P == ";" || P == "{" || P == "}");
+    }
+  }
+  if (HaveReturn)
+    return SS.Toks[LastStmtStart].Off;
+  return SS.Toks[Fn.RBrace].Off;
+}
+
+} // namespace
+
+const char *wlgen::mutationKindName(MutationKind K) {
+  switch (K) {
+  case MutationKind::RenameLocal:
+    return "RenameLocal";
+  case MutationKind::TweakConstant:
+    return "TweakConstant";
+  case MutationKind::AddAssignment:
+    return "AddAssignment";
+  case MutationKind::RemoveAssignment:
+    return "RemoveAssignment";
+  case MutationKind::AddCall:
+    return "AddCall";
+  }
+  return "?";
+}
+
+std::string wlgen::mutateSource(const std::string &Seed, MutationKind Kind,
+                                uint64_t Salt) {
+  SeedScan SS(Seed, lexSource(Seed));
+  if (SS.Fns.empty())
+    return Seed;
+
+  switch (Kind) {
+  case MutationKind::RenameLocal: {
+    std::vector<LocalDecl> Decls = collectLocalDecls(SS);
+    if (Decls.empty())
+      return Seed;
+    const LocalDecl &D = Decls[Salt % Decls.size()];
+    const SeedScan::FnDef &Fn = SS.Fns[D.FnIdx];
+    std::string Old = SS.spell(D.NameTok);
+    std::string New = Old + "_r";
+    while (SS.identExists(New))
+      New += "r";
+    // Rewrite every non-field occurrence in the declaring function,
+    // back to front so earlier offsets stay valid.
+    std::string Out = Seed;
+    for (size_t I = Fn.RBrace; I > Fn.LBrace; --I) {
+      if (SS.Toks[I].K != Tok::Ident || SS.spell(I) != Old)
+        continue;
+      if (I > 0 && (SS.is(I - 1, ".") || SS.is(I - 1, "->") ||
+                    SS.is(I - 1, "struct")))
+        continue;
+      Out.replace(SS.Toks[I].Off, SS.Toks[I].Len, New);
+    }
+    return Out;
+  }
+
+  case MutationKind::TweakConstant: {
+    // Integer literals in function bodies, excluding array subscripts
+    // and sizes (changing those would change types or trip counts).
+    std::vector<size_t> Cands;
+    for (const SeedScan::FnDef &Fn : SS.Fns)
+      for (size_t I = Fn.LBrace + 1; I < Fn.RBrace; ++I) {
+        if (SS.Toks[I].K != Tok::Number)
+          continue;
+        if (SS.spell(I).find('.') != std::string::npos)
+          continue;
+        if (I > 0 && SS.is(I - 1, "["))
+          continue;
+        if (I + 1 < SS.Toks.size() && SS.is(I + 1, "]"))
+          continue;
+        Cands.push_back(I);
+      }
+    if (Cands.empty())
+      return Seed;
+    size_t I = Cands[Salt % Cands.size()];
+    unsigned long long V = std::strtoull(SS.spell(I).c_str(), nullptr, 0);
+    std::string Out = Seed;
+    Out.replace(SS.Toks[I].Off, SS.Toks[I].Len, std::to_string(V + 1));
+    return Out;
+  }
+
+  case MutationKind::AddAssignment: {
+    // First pair of distinct same-typed locals per function; Salt picks
+    // the function.
+    std::vector<LocalDecl> Decls = collectLocalDecls(SS);
+    struct Pair {
+      size_t FnIdx;
+      std::string Lhs, Rhs;
+    };
+    std::vector<Pair> Cands;
+    for (size_t F = 0; F < SS.Fns.size(); ++F) {
+      bool Found = false;
+      for (size_t A = 0; A < Decls.size() && !Found; ++A) {
+        if (Decls[A].FnIdx != F)
+          continue;
+        for (size_t B = A + 1; B < Decls.size() && !Found; ++B)
+          if (Decls[B].FnIdx == F && Decls[B].TypeText == Decls[A].TypeText) {
+            Cands.push_back({F, SS.spell(Decls[A].NameTok),
+                             SS.spell(Decls[B].NameTok)});
+            Found = true;
+          }
+      }
+    }
+    if (Cands.empty())
+      return Seed;
+    const Pair &P = Cands[Salt % Cands.size()];
+    size_t At = appendOffset(SS, SS.Fns[P.FnIdx]);
+    std::string Out = Seed;
+    Out.insert(At, P.Lhs + " = " + P.Rhs + ";\n  ");
+    return Out;
+  }
+
+  case MutationKind::RemoveAssignment: {
+    // Simple assignment statements: `lvalue = rhs;` with no calls, no
+    // nested braces, at any nesting depth inside a body.
+    struct Span {
+      size_t FirstTok, SemiTok;
+    };
+    std::vector<Span> Cands;
+    for (const SeedScan::FnDef &Fn : SS.Fns) {
+      bool AtStmtStart = true;
+      for (size_t I = Fn.LBrace + 1; I < Fn.RBrace; ++I) {
+        bool StartsHere = AtStmtStart;
+        if (SS.Toks[I].K == Tok::Punct) {
+          std::string P = SS.spell(I);
+          AtStmtStart = (P == ";" || P == "{" || P == "}");
+        } else {
+          AtStmtStart = false;
+        }
+        if (!StartsHere || SS.Toks[I].K != Tok::Ident ||
+            isKeyword(SS.spell(I)))
+          continue;
+        bool SawAssign = false, Bad = false;
+        size_t J = I;
+        for (; J < Fn.RBrace && !SS.is(J, ";"); ++J) {
+          if (SS.is(J, "=") && SS.Toks[J].Len == 1)
+            SawAssign = true;
+          if (SS.is(J, "(") || SS.is(J, ")") || SS.is(J, "{") ||
+              SS.is(J, "}"))
+            Bad = true;
+        }
+        if (SawAssign && !Bad && J < Fn.RBrace)
+          Cands.push_back({I, J});
+      }
+    }
+    if (Cands.empty())
+      return Seed;
+    const Span &C = Cands[Salt % Cands.size()];
+    std::string Out = Seed;
+    size_t Begin = SS.Toks[C.FirstTok].Off;
+    size_t End = SS.Toks[C.SemiTok].Off + 1;
+    Out.erase(Begin, End - Begin);
+    return Out;
+  }
+
+  case MutationKind::AddCall: {
+    std::string Callee = "mut_probe";
+    while (SS.identExists(Callee))
+      Callee += "0";
+    const SeedScan::FnDef &Fn = SS.Fns[Salt % SS.Fns.size()];
+    size_t At = appendOffset(SS, Fn);
+    std::string Out = Seed;
+    Out.insert(At, Callee + "();\n  ");
+    Out.insert(0, "void " + Callee + "(void) { }\n");
+    return Out;
+  }
+  }
+  return Seed;
 }

@@ -63,6 +63,36 @@ std::string pathologicalSource(unsigned Depth = 8, unsigned Fanout = 3,
                                unsigned NumHandlers = 6,
                                unsigned RecDepth = 16);
 
+/// Kinds of small source edits, modeling a developer's single-function
+/// change between two analysis runs (the incremental-engine tests and
+/// bench_incr drive IncrementalEngine with these).
+enum class MutationKind {
+  RenameLocal,      ///< rename one local variable throughout its function
+  TweakConstant,    ///< increment one integer literal in a function body
+  AddAssignment,    ///< append a copy between two same-typed locals
+  RemoveAssignment, ///< delete one simple (call-free) assignment statement
+  AddCall,          ///< add an empty function and a call to it
+};
+
+/// All kinds, for sweeping tests.
+inline constexpr MutationKind AllMutationKinds[] = {
+    MutationKind::RenameLocal,      MutationKind::TweakConstant,
+    MutationKind::AddAssignment,    MutationKind::RemoveAssignment,
+    MutationKind::AddCall,
+};
+
+const char *mutationKindName(MutationKind K);
+
+/// Applies one deterministic edit of kind \p Kind to \p Seed, a C
+/// program in the accepted subset. Candidate edit sites are collected
+/// in file order by a small token scan and \p Salt selects one
+/// (Salt % candidates), so distinct salts walk distinct sites. Returns
+/// \p Seed unchanged when the kind has no applicable site (e.g.
+/// RemoveAssignment on a program with no simple assignments) — callers
+/// can detect this by string comparison.
+std::string mutateSource(const std::string &Seed, MutationKind Kind,
+                         uint64_t Salt = 0);
+
 } // namespace wlgen
 } // namespace mcpta
 

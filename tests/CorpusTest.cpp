@@ -19,10 +19,11 @@ using namespace mcpta::testutil;
 
 namespace {
 
-TEST(CorpusTest, SeventeenPrograms) {
-  EXPECT_EQ(corpus::corpus().size(), 17u);
+TEST(CorpusTest, EighteenPrograms) {
+  EXPECT_EQ(corpus::corpus().size(), 18u);
   EXPECT_NE(corpus::find("hash"), nullptr);
   EXPECT_NE(corpus::find("lws"), nullptr);
+  EXPECT_NE(corpus::find("incrstress"), nullptr);
   EXPECT_EQ(corpus::find("nonexistent"), nullptr);
 }
 
@@ -73,6 +74,26 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<const char *> &I) {
       return std::string(I.param);
     });
+
+// incrstress is synthetic (a generated stress program for the incremental
+// engine, not a Table 2 stand-in), so it is exempt from the paper-shape
+// assertions above — its whole point is an invocation graph whose context
+// count dwarfs the static call-site count. It still has to analyze
+// cleanly, and it must stay recursion- and fnptr-free so that every
+// context is a graftable memo donor.
+TEST(CorpusTest, IncrStressAnalyzesCleanly) {
+  const corpus::CorpusProgram *CP = corpus::find("incrstress");
+  ASSERT_NE(CP, nullptr);
+  Pipeline P = Pipeline::analyzeSource(CP->Source);
+  ASSERT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  ASSERT_TRUE(P.Analysis.Analyzed);
+  EXPECT_TRUE(P.Analysis.Warnings.empty());
+  EXPECT_EQ(P.Analysis.IG->numRecursive(), 0u);
+  EXPECT_EQ(P.Analysis.IG->numApproximate(), 0u);
+  // Contexts dwarf functions: the property bench_incr relies on.
+  auto IS = IGStats::compute(*P.Prog, P.Analysis);
+  EXPECT_GT(IS.Nodes, 20u * IS.Functions);
+}
 
 TEST(CorpusTest, HashUsesHeap) {
   Pipeline P = Pipeline::analyzeSource(corpus::find("hash")->Source);

@@ -379,7 +379,7 @@ TEST(ServerTest, StatsAndInvalidate) {
   JsonValue St = F.request("{\"id\":2,\"method\":\"stats\"}");
   EXPECT_TRUE(St.getBool("ok", false));
   EXPECT_FALSE(St.getString("tool_version", "").empty());
-  EXPECT_EQ(St.getString("result_format", ""), "mcpta-result-v1");
+  EXPECT_EQ(St.getString("result_format", ""), "mcpta-result-v2");
   const JsonValue *Cache = St.find("cache");
   ASSERT_NE(Cache, nullptr);
   EXPECT_EQ(Cache->getNumber("misses", -1), 1);
@@ -395,6 +395,89 @@ TEST(ServerTest, StatsAndInvalidate) {
   JsonValue Q = F.request(
       "{\"id\":4,\"method\":\"alias\",\"a\":\"a\",\"b\":\"b\"}");
   EXPECT_FALSE(Q.getBool("ok", true));
+}
+
+TEST(ServerTest, IncrementalAnalyzeReusesBaseline) {
+  ServerFixture F;
+  // Two-function program; the edit below changes only a constant in
+  // leaf, so `other` grafts from the baseline.
+  const char *ReqA =
+      "{\"id\":1,\"method\":\"analyze\",\"incremental\":true,\"source\":"
+      "\"void leaf(int *p) { *p = 1; }\\n"
+      "void other(int *q) { *q = 2; }\\n"
+      "int main(void) { int x; leaf(&x); other(&x); return x; }\"}";
+  const char *ReqB =
+      "{\"id\":2,\"method\":\"analyze\",\"incremental\":true,\"source\":"
+      "\"void leaf(int *p) { *p = 3; }\\n"
+      "void other(int *q) { *q = 2; }\\n"
+      "int main(void) { int x; leaf(&x); other(&x); return x; }\"}";
+
+  // First analysis under these options: nothing to diff against.
+  JsonValue R1 = F.request(ReqA);
+  EXPECT_TRUE(R1.getBool("ok", false));
+  EXPECT_FALSE(R1.getBool("incremental", true));
+  EXPECT_EQ(R1.getString("fallback_reason", ""), "no-baseline");
+
+  // The edited source re-analyzes against the previous snapshot.
+  JsonValue R2 = F.request(ReqB);
+  EXPECT_TRUE(R2.getBool("ok", false));
+  EXPECT_FALSE(R2.getBool("cached", true));
+  EXPECT_TRUE(R2.getBool("incremental", false));
+  EXPECT_GE(R2.getNumber("dirty_functions", 0), 1);
+  EXPECT_GT(R2.getNumber("memo_reuse", 0), 0);
+  EXPECT_EQ(R2.find("fallback_reason"), nullptr);
+  EXPECT_NE(R2.getString("key", "x"), R1.getString("key", "x"));
+
+  // Engine activity lands in the daemon's telemetry counters.
+  JsonValue St = F.request("{\"id\":3,\"method\":\"stats\"}");
+  const JsonValue *Counters = St.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GE(Counters->getNumber("incr.memo_reuse", 0), 1);
+
+  // A byte-identical rerun is a cache hit; no re-analysis happens.
+  JsonValue R3 = F.request(ReqB);
+  EXPECT_TRUE(R3.getBool("cached", false));
+  EXPECT_FALSE(R3.getBool("incremental", true));
+  EXPECT_EQ(R3.getString("fallback_reason", ""), "cache-hit");
+
+  // The incremental result answers queries like any other snapshot.
+  JsonValue PT =
+      F.request("{\"id\":4,\"method\":\"points_to\",\"name\":\"x\"}");
+  EXPECT_TRUE(PT.getBool("ok", false));
+}
+
+TEST(ServerTest, IncrementalAnalyzeFallsBackWithReason) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"incremental\":true,"
+            "\"source\":\"int main(void) { return 0; }\"}");
+  // A type edit defeats the snapshot diff: full re-analysis, reported.
+  JsonValue R = F.request(
+      "{\"id\":2,\"method\":\"analyze\",\"incremental\":true,\"source\":"
+      "\"struct s { int a; };\\nint main(void) { return 0; }\"}");
+  EXPECT_TRUE(R.getBool("ok", false));
+  EXPECT_FALSE(R.getBool("incremental", true));
+  EXPECT_EQ(R.getString("fallback_reason", ""), "types-changed");
+
+  JsonValue St = F.request("{\"id\":3,\"method\":\"stats\"}");
+  const JsonValue *Counters = St.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_EQ(Counters->getNumber("incr.fallback.types-changed", 0), 1);
+}
+
+TEST(ServerTest, StatsReportsHitRatioAndUptime) {
+  ServerFixture F;
+  JsonValue St0 = F.request("{\"id\":1,\"method\":\"stats\"}");
+  EXPECT_TRUE(St0.getBool("ok", false));
+  EXPECT_EQ(St0.getNumber("cache_hit_ratio", -1), 0.0)
+      << "no lookups yet: ratio must be 0, not NaN";
+  EXPECT_GE(St0.getNumber("uptime_ms", -1), 0.0);
+
+  // One miss then one hit: ratio is exactly 1/2.
+  F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+  F.request("{\"id\":3,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+  JsonValue St1 = F.request("{\"id\":4,\"method\":\"stats\"}");
+  EXPECT_EQ(St1.getNumber("cache_hit_ratio", -1), 0.5);
+  EXPECT_GE(St1.getNumber("uptime_ms", -1), St0.getNumber("uptime_ms", -1));
 }
 
 TEST(ServerTest, ShutdownFlagsAndRunLoop) {

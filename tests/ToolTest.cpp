@@ -268,6 +268,79 @@ TEST(ToolTest, BatchIsolatesFailures) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(ToolTest, BatchUsesSummaryCache) {
+  std::string Dir = ::testing::TempDir() + "/pta_tool_batch_cache";
+  std::string CacheDir = ::testing::TempDir() + "/pta_tool_batch_cache_dir";
+  std::filesystem::create_directories(Dir);
+  std::filesystem::remove_all(CacheDir);
+  {
+    std::ofstream(Dir + "/one.c")
+        << "int main(void) { int x; int *p; p = &x; return 0; }";
+    std::ofstream(Dir + "/two.c")
+        << "int g; int main(void) { g = 1; return g; }";
+  }
+  // Cold run: everything analyzes, nothing hits.
+  ToolRun R1 = runTool("--batch " + Dir + " --cache-dir=" + CacheDir);
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+  EXPECT_NE(R1.Output.find("one.c: ok"), std::string::npos) << R1.Output;
+  EXPECT_NE(R1.Output.find("batch: 2 file(s), 0 cache hit(s)"),
+            std::string::npos)
+      << R1.Output;
+
+  // Second run over the same directory: both files served from cache.
+  ToolRun R2 = runTool("--batch " + Dir + " --cache-dir=" + CacheDir);
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  EXPECT_NE(R2.Output.find("one.c: ok (cached)"), std::string::npos)
+      << R2.Output;
+  EXPECT_NE(R2.Output.find("batch: 2 file(s), 2 cache hit(s)"),
+            std::string::npos)
+      << R2.Output;
+
+  // Without --cache-dir the batch never consults a cache.
+  ToolRun R3 = runTool("--batch " + Dir);
+  EXPECT_NE(R3.Output.find("batch: 2 file(s), 0 cache hit(s)"),
+            std::string::npos)
+      << R3.Output;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(CacheDir);
+}
+
+TEST(ToolTest, IncrementalBaselineChainsRuns) {
+  std::string Src = writeTemp("void leaf(int *p) { *p = 1; }\n"
+                              "void other(int *q) { *q = 2; }\n"
+                              "int main(void) { int x; leaf(&x); "
+                              "other(&x); return x; }");
+  std::string Baseline = ::testing::TempDir() + "/pta_tool_incr.snapshot";
+  std::remove(Baseline.c_str());
+
+  ToolRun R1 = runTool("--incremental-baseline=" + Baseline + " " + Src);
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+  EXPECT_NE(R1.Output.find("incremental: baseline created"),
+            std::string::npos)
+      << R1.Output;
+
+  // Edit one constant: the next run re-analyzes only what changed.
+  {
+    std::ofstream Out(Src);
+    Out << "void leaf(int *p) { *p = 3; }\n"
+           "void other(int *q) { *q = 2; }\n"
+           "int main(void) { int x; leaf(&x); other(&x); return x; }";
+  }
+  ToolRun R2 = runTool("--incremental-baseline=" + Baseline + " " + Src);
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  EXPECT_NE(R2.Output.find("incremental: dirty_functions=2"),
+            std::string::npos)
+      << R2.Output;
+  EXPECT_NE(R2.Output.find("memo_reuse=1"), std::string::npos) << R2.Output;
+
+  // The flag refuses to combine with batch/serve modes.
+  ToolRun R3 =
+      runTool("--incremental-baseline=" + Baseline + " --batch /tmp");
+  EXPECT_EQ(R3.ExitCode, 1);
+  std::remove(Src.c_str());
+  std::remove(Baseline.c_str());
+}
+
 TEST(ToolTest, BatchStrictReportsDegraded) {
   std::string Dir = ::testing::TempDir() + "/pta_tool_batch_strict";
   std::filesystem::create_directories(Dir);

@@ -2,6 +2,7 @@
 
 #include "TestUtil.h"
 
+#include "corpus/Corpus.h"
 #include "interp/Interpreter.h"
 #include "wlgen/WorkloadGen.h"
 
@@ -96,6 +97,76 @@ TEST(WorkloadGenTest, LivcShapeMatchesPaperDescription) {
     if (CI->isIndirect())
       ++IndirectSites;
   EXPECT_EQ(IndirectSites, 3u);
+}
+
+TEST(MutateSourceTest, EveryKindAppliesToCorpusPrograms) {
+  // Every kind finds a site in every corpus program, the edit is
+  // deterministic, and the mutant still parses and analyzes.
+  for (const char *Name : {"hash", "xref", "incrstress"}) {
+    const corpus::CorpusProgram *CP = corpus::find(Name);
+    ASSERT_NE(CP, nullptr);
+    std::string Seed = CP->Source;
+    for (MutationKind K : AllMutationKinds) {
+      std::string Mut = mutateSource(Seed, K);
+      EXPECT_NE(Mut, Seed) << Name << "/" << mutationKindName(K);
+      EXPECT_EQ(Mut, mutateSource(Seed, K))
+          << Name << "/" << mutationKindName(K);
+      Pipeline P = Pipeline::analyzeSource(Mut);
+      EXPECT_FALSE(P.Diags.hasErrors())
+          << Name << "/" << mutationKindName(K) << ":\n" << P.Diags.dump();
+      EXPECT_TRUE(P.Analysis.Analyzed) << Name << "/" << mutationKindName(K);
+    }
+  }
+}
+
+TEST(MutateSourceTest, InapplicableKindReturnsSeedUnchanged) {
+  std::string Seed = "int main(void) {\n  return 0;\n}\n";
+  EXPECT_EQ(mutateSource(Seed, MutationKind::RenameLocal), Seed);
+  EXPECT_EQ(mutateSource(Seed, MutationKind::RemoveAssignment), Seed);
+  EXPECT_EQ(mutateSource(Seed, MutationKind::AddAssignment), Seed);
+  // AddCall needs only a function body, so it always applies.
+  EXPECT_NE(mutateSource(Seed, MutationKind::AddCall), Seed);
+}
+
+TEST(MutateSourceTest, SaltSelectsDistinctSites) {
+  std::string Seed = "int main(void) {\n"
+                     "  int a;\n"
+                     "  int b;\n"
+                     "  a = 1;\n"
+                     "  b = 2;\n"
+                     "  return a + b;\n"
+                     "}\n";
+  std::string R0 = mutateSource(Seed, MutationKind::TweakConstant, 0);
+  std::string R1 = mutateSource(Seed, MutationKind::TweakConstant, 1);
+  EXPECT_NE(R0, Seed);
+  EXPECT_NE(R1, Seed);
+  EXPECT_NE(R0, R1);
+  EXPECT_NE(R0.find("a = 2;"), std::string::npos) << R0;
+  EXPECT_NE(R1.find("b = 3;"), std::string::npos) << R1;
+}
+
+TEST(MutateSourceTest, RenameRespectsFieldsAndScope) {
+  std::string Seed = "struct s { int t; };\n"
+                     "int t;\n"
+                     "int other(void) {\n"
+                     "  t = 3;\n"
+                     "  return t;\n"
+                     "}\n"
+                     "int main(void) {\n"
+                     "  struct s v;\n"
+                     "  int t;\n"
+                     "  t = 1;\n"
+                     "  v.t = t;\n"
+                     "  return v.t;\n"
+                     "}\n";
+  // Salt selects the local `t` in main (candidates are file-ordered:
+  // v, then t).
+  std::string Mut = mutateSource(Seed, MutationKind::RenameLocal, 1);
+  EXPECT_NE(Mut.find("int t_r;"), std::string::npos) << Mut;
+  EXPECT_NE(Mut.find("t_r = 1;"), std::string::npos) << Mut;
+  // Field accesses and the other function's global use keep the name.
+  EXPECT_NE(Mut.find("v.t = t_r;"), std::string::npos) << Mut;
+  EXPECT_NE(Mut.find("t = 3;"), std::string::npos) << Mut;
 }
 
 TEST(WorkloadGenTest, ScalesWithConfig) {
