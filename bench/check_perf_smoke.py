@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Perf smoke gate for the bench binaries.
+
+Compares measured mcpta-bench-stats-v1 exports against a stored baseline
+(bench/baselines/perf-smoke.json) and fails on wall-time regression.
+
+Usage:
+    check_perf_smoke.py BASELINE MEASURED.json [MEASURED.json ...]
+    check_perf_smoke.py --record BASELINE MEASURED.json [...]
+
+Each MEASURED.json is the output of a bench binary's --stats-json flag,
+e.g. `bench_scaling --stats-json=s.json --benchmark_filter='^$'`.
+Multiple exports from the same bench are allowed (run each binary a few
+times); the gate takes the minimum, which filters out scheduler noise.
+
+A gate fails when min(measured) > baseline * (1 + tolerance). Tolerance
+comes from the baseline file (default 0.20) and can be overridden with
+--tolerance or the MCPTA_PERF_TOLERANCE environment variable — raise it
+temporarily if a CI runner generation is slower than the recorded host.
+
+--record rewrites the baseline's total_us fields from the measured
+minimums (keeping the gate list and tolerance), for refreshing after an
+intentional perf change.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import sys
+
+# Top-level pipeline phases; nested spans (ig-build, pointsto) are
+# already counted inside "analyze".
+TOP_PHASES = ("lex", "parse", "simplify", "analyze")
+
+
+def program_total_us(doc, program):
+    progs = doc.get("programs", {})
+    if program not in progs:
+        raise KeyError(f"program '{program}' missing from stats export "
+                       f"(bench '{doc.get('bench')}')")
+    phases = progs[program].get("phases_us", {})
+    return sum(phases.get(p, 0) for p in TOP_PHASES)
+
+
+def load_measurements(paths):
+    """Maps bench name -> list of parsed stats documents."""
+    by_bench = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "mcpta-bench-stats-v1":
+            sys.exit(f"error: {path}: not an mcpta-bench-stats-v1 export "
+                     f"(schema={doc.get('schema')!r})")
+        by_bench.setdefault(doc["bench"], []).append(doc)
+    return by_bench
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("measured", nargs="+")
+    ap.add_argument("--record", action="store_true",
+                    help="rewrite baseline totals from the measurements")
+    ap.add_argument("--tolerance", type=float, default=None,
+                    help="override the baseline's tolerance fraction")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "mcpta-perf-smoke-baseline-v1":
+        sys.exit(f"error: {args.baseline}: unknown baseline schema "
+                 f"{baseline.get('schema')!r}")
+
+    tolerance = baseline.get("tolerance", 0.20)
+    if os.environ.get("MCPTA_PERF_TOLERANCE"):
+        tolerance = float(os.environ["MCPTA_PERF_TOLERANCE"])
+    if args.tolerance is not None:
+        tolerance = args.tolerance
+
+    by_bench = load_measurements(args.measured)
+
+    failures = []
+    for gate in baseline["gates"]:
+        bench, program = gate["bench"], gate["program"]
+        docs = by_bench.get(bench)
+        if not docs:
+            failures.append(f"{bench}/{program}: no measured stats export "
+                            f"for bench '{bench}'")
+            continue
+        measured = min(program_total_us(d, program) for d in docs)
+        if args.record:
+            gate["total_us"] = measured
+            print(f"record {bench}/{program}: total_us={measured}")
+            continue
+        budget = gate["total_us"] * (1.0 + tolerance)
+        ratio = measured / gate["total_us"] if gate["total_us"] else 0.0
+        verdict = "ok" if measured <= budget else "FAIL"
+        print(f"{verdict} {bench}/{program}: measured {measured}us vs "
+              f"baseline {gate['total_us']}us ({ratio:.2f}x, "
+              f"budget {budget:.0f}us, n={len(docs)})")
+        if measured > budget:
+            failures.append(f"{bench}/{program}: {ratio:.2f}x baseline "
+                            f"exceeds +{tolerance:.0%} tolerance")
+
+    if args.record:
+        if failures:
+            sys.exit("error: " + "; ".join(failures))
+        baseline["recorded"] = datetime.date.today().isoformat()
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"baseline rewritten: {args.baseline}")
+        return
+
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        sys.exit(1)
+    print("perf smoke passed")
+
+
+if __name__ == "__main__":
+    main()

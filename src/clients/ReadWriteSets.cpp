@@ -118,17 +118,18 @@ struct Collector {
 
 std::set<std::string>
 mcpta::clients::contextualize(const std::set<std::string> &ContextFree,
-                              const pta::IGNode &Node) {
+                              const pta::IGNode &Node,
+                              const pta::LocationTable &Locs) {
   // Index the node's map info by the symbolic root's display name.
-  std::map<std::string, const std::vector<const Location *> *> BySym;
-  for (const auto &[Sym, Reps] : Node.MapInfo)
-    BySym[Sym->str()] = &Reps;
+  std::map<std::string, const std::vector<pta::LocationId> *> BySym;
+  for (const pta::MapInfoTable::Entry &E : Node.MapInfo)
+    BySym[Locs.byId(E.Sym)->str()] = &E.Reps;
 
   std::set<std::string> Out;
   for (const std::string &Name : ContextFree) {
     // A symbolic-rooted name looks like "<k>_<base>[.path]": match the
     // longest symbolic root that prefixes it.
-    const std::vector<const Location *> *Reps = nullptr;
+    const std::vector<pta::LocationId> *Reps = nullptr;
     std::string Suffix;
     for (const auto &[SymName, R] : BySym) {
       if (Name.compare(0, SymName.size(), SymName) != 0)
@@ -140,8 +141,8 @@ mcpta::clients::contextualize(const std::set<std::string> &ContextFree,
       Suffix = Name.substr(SymName.size());
     }
     if (Reps) {
-      for (const Location *Rep : *Reps)
-        Out.insert(Rep->str() + Suffix);
+      for (pta::LocationId Rep : *Reps)
+        Out.insert(Locs.byId(Rep)->str() + Suffix);
       continue;
     }
     // Unbound symbolics belong to other contexts; everything else is a

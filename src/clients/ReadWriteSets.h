@@ -42,10 +42,11 @@ struct ReadWriteSets {
 /// combining them with one invocation-graph node's deposited map
 /// information substitutes the caller locations those symbols stand for
 /// in that context. Symbolic names without a binding in this context
-/// are dropped (they belong to other call chains).
+/// are dropped (they belong to other call chains). The node's map info
+/// is id-indexed, so the run's LocationTable resolves the names.
 std::set<std::string>
 contextualize(const std::set<std::string> &ContextFree,
-              const pta::IGNode &Node);
+              const pta::IGNode &Node, const pta::LocationTable &Locs);
 
 } // namespace clients
 } // namespace mcpta

@@ -42,12 +42,22 @@
 //                         and the batch summary line reports hits.
 //
 // Incremental re-analysis (docs/INCREMENTAL.md):
-//   --incremental-baseline=FILE
-//                         single-source mode only: re-analyze against
-//                         the snapshot in FILE (when it exists) through
-//                         the incremental engine, then write the new
-//                         snapshot back to FILE. The first run creates
+//   --incremental-baseline=PATH
+//                         single-source mode: re-analyze against the
+//                         snapshot in file PATH (when it exists)
+//                         through the incremental engine, then write
+//                         the new snapshot back. The first run creates
 //                         the baseline with a full analysis.
+//                         batch mode: PATH is a directory holding one
+//                         baseline per source file (<stem>.snapshot);
+//                         each file re-analyzes against and updates its
+//                         own baseline. In both modes a baseline
+//                         recorded under a different options
+//                         fingerprint (or an older format version) is
+//                         never reused: the run falls back to a full
+//                         analysis with the reason printed and recorded
+//                         as an incr.fallback.* counter. Not applicable
+//                         to --serve.
 //
 // Exit codes: 0 = clean run (degraded runs included unless --strict),
 // 1 = usage/input/diagnostics error, 2 = analysis degraded under
@@ -109,7 +119,7 @@ int usage() {
       "                [--timeout-ms=N] [--max-stmt-visits=N] "
       "[--max-locations=N]\n"
       "                [--max-ig-nodes=N] [--max-rec-passes=N] [--strict]\n"
-      "                [--cache-dir=DIR] [--incremental-baseline=FILE]\n"
+      "                [--cache-dir=DIR] [--incremental-baseline=PATH]\n"
       "                (file.c | --corpus NAME | --batch DIR | --serve |\n"
       "                 --list-corpus | --gen-stress[=DEPTH] | --version)\n");
   return 1;
@@ -248,14 +258,21 @@ bool readFile(const std::string &Path, std::string &Out) {
   return true;
 }
 
+int runIncremental(const std::string &Source, const ToolConfig &Cfg,
+                   const std::string &BaselinePath);
+
 /// Batch mode: analyzes every *.c file under \p Dir, each in a forked
 /// child so one pathological or crashing input cannot take down the
 /// rest of the batch. Prints one status line per file and a final
 /// summary line. When \p CacheDir is non-empty, results are read from
 /// and written to the summary cache there: cached files skip the fork
-/// and the analysis entirely.
+/// and the analysis entirely. When \p IncrDir is non-empty, every file
+/// runs through the incremental engine against its own baseline
+/// snapshot at IncrDir/<stem>.snapshot (created on the first run,
+/// updated on every run); baseline reuse supersedes the content cache,
+/// so the summary cache is not consulted in that mode.
 int runBatch(const std::string &Dir, const ToolConfig &Cfg,
-             const std::string &CacheDir) {
+             const std::string &CacheDir, const std::string &IncrDir) {
   namespace fs = std::filesystem;
   std::error_code EC;
   std::vector<std::string> Files;
@@ -273,9 +290,20 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg,
   }
   std::sort(Files.begin(), Files.end());
 
+  const bool Incremental = !IncrDir.empty();
+  if (Incremental) {
+    std::error_code DirEC;
+    fs::create_directories(IncrDir, DirEC);
+    if (DirEC) {
+      std::fprintf(stderr, "error: cannot create baseline directory '%s': %s\n",
+                   IncrDir.c_str(), DirEC.message().c_str());
+      return 1;
+    }
+  }
+
   std::unique_ptr<serve::SummaryCache> Cache;
   serve::SummaryCache::Config CacheCfg;
-  if (!CacheDir.empty()) {
+  if (!CacheDir.empty() && !Incremental) {
     CacheCfg.Dir = CacheDir;
     Cache = std::make_unique<serve::SummaryCache>(CacheCfg, nullptr);
   }
@@ -310,12 +338,33 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg,
       if (!Warning.empty())
         std::fprintf(stderr, "warning: %s\n", Warning.c_str());
     }
+    if (Incremental) {
+      // The child completes this line with the engine's status (e.g.
+      // "incremental: dirty_functions=0 ..." or "incremental: full
+      // re-analysis (options-mismatch)").
+      std::printf("%s: ", F.c_str());
+    }
+    // The child inherits stdio buffers; flush so nothing is emitted
+    // twice (parent) or dropped at _exit (child flushes explicitly).
+    std::fflush(stdout);
+    std::fflush(stderr);
     pid_t Pid = fork();
     if (Pid < 0) {
       std::fprintf(stderr, "error: fork failed for '%s'\n", F.c_str());
       return 1;
     }
     if (Pid == 0) {
+      if (Incremental) {
+        std::string BaselinePath =
+            (fs::path(IncrDir) / (fs::path(F).stem().string() + ".snapshot"))
+                .string();
+        int Code = runIncremental(Source, Cfg, BaselinePath);
+        if (Code == 1)
+          std::printf("error\n"); // finish the parent's prefix line
+        std::fflush(stdout);
+        std::fflush(stderr);
+        _exit(Code);
+      }
       if (Cache) {
         // The disk tier is shared with the parent: files analyzed here
         // are hits for identical inputs later in this batch and in the
@@ -339,12 +388,23 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg,
       return 1;
     }
     if (WIFSIGNALED(Status)) {
-      std::printf("%s: CRASHED (signal %d)\n", F.c_str(),
-                  WTERMSIG(Status));
+      if (Incremental) // the file prefix is already on the line
+        std::printf("CRASHED (signal %d)\n", WTERMSIG(Status));
+      else
+        std::printf("%s: CRASHED (signal %d)\n", F.c_str(),
+                    WTERMSIG(Status));
       AnyError = true;
       continue;
     }
     int Code = WIFEXITED(Status) ? WEXITSTATUS(Status) : 1;
+    if (Incremental) {
+      // The child already completed the status line.
+      if (Code == 2)
+        AnyDegraded = true;
+      else if (Code != 0)
+        AnyError = true;
+      continue;
+    }
     if (Code == 0)
       std::printf("%s: ok\n", F.c_str());
     else if (Code == 2) {
@@ -548,15 +608,16 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (!IncrBaselinePath.empty() && (Serve || !BatchDir.empty())) {
-    std::fprintf(stderr, "error: --incremental-baseline only applies to "
-                         "single-source mode\n");
+  if (!IncrBaselinePath.empty() && Serve) {
+    std::fprintf(stderr, "error: --incremental-baseline does not apply to "
+                         "--serve (the daemon caches by content)\n");
     return 1;
   }
   if (Serve)
     return runServe(Cfg, CacheDir);
   if (!BatchDir.empty())
-    return runBatch(BatchDir, Cfg, CacheDirRequested ? CacheDir : "");
+    return runBatch(BatchDir, Cfg, CacheDirRequested ? CacheDir : "",
+                    IncrBaselinePath);
 
   std::string Source;
   if (!CorpusName.empty()) {

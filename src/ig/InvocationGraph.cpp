@@ -129,11 +129,9 @@ void InvocationGraph::expandDirectCalls(IGNode *Node) {
 
 IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
                                           const FunctionDecl *Callee) {
-  auto Key = std::make_pair(CallSiteId, Callee);
-  auto It = Parent->ChildIndex.find(Key);
-  if (It != Parent->ChildIndex.end()) {
+  if (IGNode *Hit = Parent->findChild(CallSiteId, Callee)) {
     ++Ctrs.ChildCacheHits;
-    return It->second;
+    return Hit;
   }
 
   // Budget tripped: no new contexts. Hand out one shared canonical node
@@ -151,7 +149,7 @@ IGNode *InvocationGraph::getOrCreateChild(IGNode *Parent, unsigned CallSiteId,
 
   IGNode *Child = makeNode(Callee, Parent, CallSiteId);
   Parent->Children.push_back(Child);
-  Parent->ChildIndex[Key] = Child;
+  Parent->indexChild(CallSiteId, Callee, Child);
 
   // Recursion: the callee already appears on the invocation chain. The
   // new node is Approximate; its matching ancestor becomes Recursive and
@@ -176,7 +174,7 @@ IGNode *InvocationGraph::graftChild(IGNode *Parent, unsigned CallSiteId,
                                     IGNode::Kind K, IGNode *RecEdge) {
   IGNode *Child = makeNode(Callee, Parent, CallSiteId);
   Parent->Children.push_back(Child);
-  Parent->ChildIndex[std::make_pair(CallSiteId, Callee)] = Child;
+  Parent->indexChild(CallSiteId, Callee, Child);
   Child->K = K;
   Child->RecEdge = RecEdge;
   return Child;

@@ -26,10 +26,12 @@
 #ifndef MCPTA_IG_INVOCATIONGRAPH_H
 #define MCPTA_IG_INVOCATIONGRAPH_H
 
+#include "pointsto/MapInfo.h"
 #include "pointsto/PointsToSet.h"
 #include "simple/SimpleIR.h"
 #include "support/Limits.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
@@ -92,14 +94,18 @@ public:
   /// overlay donor state onto eagerly-built direct children.
   IGNode *findChild(unsigned CallSiteId,
                     const cfront::FunctionDecl *Callee) const {
-    auto It = ChildIndex.find(std::make_pair(CallSiteId, Callee));
-    return It == ChildIndex.end() ? nullptr : It->second;
+    auto It = childLowerBound(CallSiteId, Callee);
+    return (It != ChildIndex.end() && It->CallSiteId == CallSiteId &&
+            It->Callee == Callee)
+               ? It->Child
+               : nullptr;
   }
 
-  /// Map information (Sec. 4.1): for each symbolic location used inside
-  /// this invocation, the caller locations (invisible variables) it
-  /// represents in this context. Deterministically ordered.
-  std::map<const Location *, std::vector<const Location *>> MapInfo;
+  /// Map information (Sec. 4.1): for each symbolic location id used
+  /// inside this invocation, the ids of the caller locations (invisible
+  /// variables) it represents in this context. Deterministically
+  /// ordered (sorted by id); resolve ids via the run's LocationTable.
+  MapInfoTable MapInfo;
 
   /// Renders the subtree, e.g. for Figure 2/7-style test expectations.
   std::string str(unsigned Indent = 0) const;
@@ -115,8 +121,33 @@ private:
   unsigned CallSiteId;
   std::vector<IGNode *> Children;
   IGNode *RecEdge = nullptr;
-  std::map<std::pair<unsigned, const cfront::FunctionDecl *>, IGNode *>
-      ChildIndex;
+
+  /// Flat (call site, callee) -> child index, sorted; the hot lookup on
+  /// every re-visited context (ig.child_cache_hits).
+  struct ChildKey {
+    unsigned CallSiteId;
+    const cfront::FunctionDecl *Callee;
+    IGNode *Child;
+  };
+  std::vector<ChildKey> ChildIndex;
+
+  std::vector<ChildKey>::const_iterator
+  childLowerBound(unsigned Site, const cfront::FunctionDecl *Callee) const {
+    return std::lower_bound(
+        ChildIndex.begin(), ChildIndex.end(), std::make_pair(Site, Callee),
+        [](const ChildKey &E,
+           const std::pair<unsigned, const cfront::FunctionDecl *> &K) {
+          if (E.CallSiteId != K.first)
+            return E.CallSiteId < K.first;
+          return E.Callee < K.second;
+        });
+  }
+  void indexChild(unsigned Site, const cfront::FunctionDecl *Callee,
+                  IGNode *Child) {
+    auto It = childLowerBound(Site, Callee);
+    ChildIndex.insert(ChildIndex.begin() + (It - ChildIndex.begin()),
+                      ChildKey{Site, Callee, Child});
+  }
 };
 
 /// The whole invocation graph. Owns its nodes.
@@ -195,7 +226,7 @@ public:
 
   /// Every node in preorder: a parent before its children, child order
   /// preserved. This is the canonical linearization the serialized
-  /// result format (serve::Serialize, mcpta-result-v2) indexes nodes
+  /// result format (serve::Serialize, mcpta-result-v3) indexes nodes
   /// by — every ancestor, including a recursion back-edge target,
   /// precedes the nodes that reference it.
   std::vector<const IGNode *> preorder() const;

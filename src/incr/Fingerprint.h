@@ -49,7 +49,7 @@ inline uint64_t fnv1a(std::string_view S, uint64_t H = 0xcbf29ce484222325ull) {
 }
 
 /// Structural metadata of one declared function (defined or extern),
-/// serialized into mcpta-result-v2 snapshots.
+/// serialized into mcpta-result-v3 snapshots.
 struct FunctionMeta {
   std::string Name;
   uint8_t Defined = 0;

@@ -933,14 +933,22 @@ bool IncrSession::restore(pta::Analyzer::Result &Res) {
     }
   }
 
+  // The live warning log is keyed by FunctionDecl; resolve the baseline's
+  // function names against the live program before re-attributing.
+  std::map<std::string, const cfront::FunctionDecl *> DeclByName;
+  for (const simple::FunctionIR &F : Res.IG->program().functions())
+    DeclByName[F.Decl->name()] = F.Decl;
+
   std::set<std::string> Seen(Res.Warnings.begin(), Res.Warnings.end());
   for (const std::string &Fn : RestoredFns) {
     auto It = Baseline.WarningsByFn.find(Fn);
     if (It == Baseline.WarningsByFn.end())
       continue;
-    auto &LiveSet = Res.WarningsByFn[Fn];
+    auto DIt = DeclByName.find(Fn);
+    if (DIt == DeclByName.end())
+      return false; // a restored function must exist in the live program
     for (const std::string &Msg : It->second) {
-      LiveSet.insert(Msg);
+      Res.WarningsByFn.add(DIt->second, Msg);
       if (Seen.insert(Msg).second)
         Res.Warnings.push_back(Msg);
     }
@@ -986,7 +994,7 @@ IncrOutput IncrementalEngine::reanalyze(const serve::ResultSnapshot &Baseline,
   };
 
   if (Baseline.FormatVersion != version::kResultFormatVersion)
-    return FullRun("baseline-v1");
+    return FullRun("baseline-version");
   if (OptsFP != Baseline.OptionsFingerprint)
     return FullRun("options-mismatch");
   if (!Opts.ContextSensitive || Opts.FnPtr != pta::FnPtrMode::Precise ||

@@ -6,7 +6,7 @@
 ///
 /// \file
 /// Layer 2 of the incremental re-analysis subsystem: given a baseline
-/// result snapshot (mcpta-result-v2) and an edited source text,
+/// result snapshot (mcpta-result-v3) and an edited source text,
 /// re-analyze only what the edit can affect.
 ///
 /// The contract is *exact equivalence*: the snapshot an incremental run
@@ -55,10 +55,11 @@ struct IncrStats {
   /// from-scratch analysis was performed instead.
   bool UsedIncremental = false;
   /// Why the engine fell back ("" when UsedIncremental). One of:
-  /// baseline-v1, options-mismatch, options-unsupported,
-  /// baseline-unanalyzed, baseline-degraded, frontend-error,
-  /// types-changed, no-main, analysis-failed, graft-failed, coverage,
-  /// restore-failed.
+  /// baseline-version (blob from an older format revision),
+  /// options-mismatch (baseline produced under a different options
+  /// fingerprint), options-unsupported, baseline-unanalyzed,
+  /// baseline-degraded, frontend-error, types-changed, no-main,
+  /// analysis-failed, graft-failed, coverage, restore-failed.
   std::string FallbackReason;
   /// Live defined functions in the dirty closure.
   uint64_t DirtyFunctions = 0;
@@ -71,7 +72,7 @@ struct IncrStats {
 
 struct IncrOutput {
   serve::ResultSnapshot Snapshot;
-  std::string Blob; ///< Snapshot serialized (mcpta-result-v2)
+  std::string Blob; ///< Snapshot serialized (current mcpta-result format)
   IncrStats Stats;
   bool Ok = false;   ///< false only when the *source* fails to analyze
   std::string Error; ///< set when !Ok

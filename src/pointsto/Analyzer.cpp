@@ -88,6 +88,10 @@ public:
         HLoopIters(Telem ? &Telem->histogram("pta.loop_fixpoint_iters")
                          : nullptr) {
     Locs.setSymbolicLevelLimit(Opts.SymbolicLevelLimit);
+    // pta.set.* counters are process-wide; publishTelemetry() reports
+    // this run's deltas. The peak is a per-run high-water mark.
+    PointsToSet::stats().PeakPairs = 0;
+    SetStatsBegin = PointsToSet::stats();
   }
 
   void run();
@@ -155,10 +159,10 @@ private:
   static bool memoDepsValid(const IGNode *Node);
   static void recordMemoDeps(IGNode *Node);
 
-  /// \p Owner is the function whose evaluation raised the warning (""
+  /// \p Owner is the function whose evaluation raised the warning (null
   /// when outside any body); it feeds Result::WarningsByFn, which the
   /// incremental engine uses to restore skipped functions' warnings.
-  void warnOnce(const std::string &Owner, const std::string &Key,
+  void warnOnce(const cf::FunctionDecl *Owner, const std::string &Key,
                 const std::string &Msg);
 
   //===--------------------------------------------------------------------===//
@@ -228,24 +232,26 @@ private:
   support::Histogram *HStmtIn;
   support::Histogram *HLoopIters;
   HotCounters C;
+  /// Process-wide PointsToSet traffic at run start (pta.set.* deltas).
+  PointsToSet::Stats SetStatsBegin;
 };
 
 //===----------------------------------------------------------------------===//
 // Helpers
 //===----------------------------------------------------------------------===//
 
-void AnalyzerImpl::warnOnce(const std::string &Owner, const std::string &Key,
-                            const std::string &Msg) {
+void AnalyzerImpl::warnOnce(const cf::FunctionDecl *Owner,
+                            const std::string &Key, const std::string &Msg) {
   // Per-function attribution is recorded before the key dedup: a
   // message two bodies both trigger must appear under both owners.
-  Res.WarningsByFn[Owner].insert(Msg);
+  Res.WarningsByFn.add(Owner, Msg);
   if (WarnedKeys.insert(Key).second)
     Res.Warnings.push_back(Msg);
 }
 
 /// Warning-attribution owner for a node being evaluated.
-static std::string ownerName(const IGNode *Ign) {
-  return Ign && Ign->function() ? Ign->function()->name() : std::string();
+static const cf::FunctionDecl *ownerName(const IGNode *Ign) {
+  return Ign ? Ign->function() : nullptr;
 }
 
 static const char *trippedContext(support::LimitKind K) {
@@ -297,7 +303,7 @@ void AnalyzerImpl::recordDegradation(support::LimitKind K,
   // (kind, context category), so a budget trip that degrades dozens of
   // per-function fixed points surfaces once, not once per function.
   // Full detail stays in Res.Degradations and pta.degraded.<kind>.
-  warnOnce("", "degraded-" + std::string(support::limitKindName(K)) + "|" +
+  warnOnce(nullptr, "degraded-" + std::string(support::limitKindName(K)) + "|" +
                support::degradationCategory(Context),
            "analysis degraded [" + std::string(support::limitKindName(K)) +
                "] " + Context + ": " + Action);
@@ -820,14 +826,13 @@ OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
   const MapResult *UnmapMR = &MR;
   if (UseCI) {
     MapResult &Merged = MergedMapInfo[Callee];
-    for (const auto &[Sym, Reps] : MR.MapInfo) {
-      auto &Into = Merged.MapInfo[Sym];
-      for (const Location *R : Reps)
-        if (std::find(Into.begin(), Into.end(), R) == Into.end())
-          Into.push_back(R);
+    for (const MapInfoTable::Entry &E : MR.MapInfo) {
+      auto &Into = Merged.MapInfo.getOrCreate(E.Sym);
+      for (LocationId R : E.Reps)
+        insertSortedId(Into, R);
     }
-    Merged.RepresentedSources.insert(MR.RepresentedSources.begin(),
-                                     MR.RepresentedSources.end());
+    for (LocationId Src : MR.RepresentedSources)
+      insertSortedId(Merged.RepresentedSources, Src);
     UnmapMR = &Merged;
   }
 
@@ -976,10 +981,17 @@ OptSet AnalyzerImpl::runRecursionFixpoint(IGNode *Node,
         Meter && (Meter->recPassesExceeded(Passes) || Meter->hardDeadline());
     if (!Node->PendingList.empty()) {
       // Unresolved inputs: generalize the input estimate and restart —
-      // but only when it actually grows.
-      bool Grew = false;
-      for (PointsToSet &P : Node->PendingList)
-        Grew |= Node->StoredInput->mergeWith(P);
+      // but only when it actually grows. One k-way merge over the
+      // stored input and every pending input at once.
+      std::vector<const PointsToSet *> Ops;
+      Ops.reserve(Node->PendingList.size() + 1);
+      Ops.push_back(&*Node->StoredInput);
+      for (const PointsToSet &P : Node->PendingList)
+        Ops.push_back(&P);
+      PointsToSet Merged = PointsToSet::mergeAll(Ops);
+      bool Grew = Merged != *Node->StoredInput;
+      if (Grew)
+        *Node->StoredInput = std::move(Merged);
       Node->PendingList.clear();
       if (Grew && !CutOff) {
         Node->StoredOutput.reset();
@@ -1277,6 +1289,14 @@ void AnalyzerImpl::publishTelemetry() {
   if (Res.MainOut)
     Telem->add("pta.main_out_pairs", Res.MainOut->size());
 
+  const PointsToSet::Stats &SS = PointsToSet::stats();
+  Telem->add("pta.set.peak_pairs", SS.PeakPairs);
+  Telem->add("pta.set.cow_shares", SS.CowShares - SetStatsBegin.CowShares);
+  Telem->add("pta.set.cow_detaches",
+             SS.CowDetaches - SetStatsBegin.CowDetaches);
+  Telem->add("pta.set.kernel_calls",
+             SS.KernelCalls - SetStatsBegin.KernelCalls);
+
   const MapUnmap::Counters &MC = MU.counters();
   Telem->add("mu.map_calls", MC.MapCalls);
   Telem->add("mu.unmap_calls", MC.UnmapCalls);
@@ -1302,6 +1322,48 @@ void AnalyzerImpl::publishTelemetry() {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// FunctionWarningLog
+//===----------------------------------------------------------------------===//
+
+bool FunctionWarningLog::add(const cf::FunctionDecl *Fn,
+                             const std::string &Msg) {
+  OwnerEntry *E = nullptr;
+  for (OwnerEntry &O : Owners)
+    if (O.Fn == Fn) {
+      E = &O;
+      break;
+    }
+  if (!E) {
+    Owners.push_back(OwnerEntry{Fn, {}});
+    E = &Owners.back();
+  }
+  auto It = std::lower_bound(E->Msgs.begin(), E->Msgs.end(), Msg);
+  if (It != E->Msgs.end() && *It == Msg)
+    return false;
+  E->Msgs.insert(It, Msg);
+  return true;
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>>
+FunctionWarningLog::sortedByName() const {
+  std::vector<std::pair<std::string, std::vector<std::string>>> Out;
+  Out.reserve(Owners.size());
+  for (const OwnerEntry &O : Owners)
+    Out.emplace_back(O.Fn ? O.Fn->name() : std::string(), O.Msgs);
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
+}
+
+const std::vector<std::string> *
+FunctionWarningLog::messagesOf(const cf::FunctionDecl *Fn) const {
+  for (const OwnerEntry &O : Owners)
+    if (O.Fn == Fn)
+      return &O.Msgs;
+  return nullptr;
+}
 
 Analyzer::Result Analyzer::run(const Program &Prog, const Options &Opts) {
   Result Res;

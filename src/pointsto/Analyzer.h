@@ -44,6 +44,37 @@
 namespace mcpta {
 namespace pta {
 
+/// Per-function warning attribution, keyed by the owning FunctionDecl
+/// (null for warnings raised outside any body, e.g. at global init).
+/// Messages are deduped per owner. The deterministic view sorts owners
+/// by function name (null renders as "") and messages lexicographically
+/// — exactly the order the previous string-keyed map produced, computed
+/// once at read time instead of on every insertion.
+class FunctionWarningLog {
+public:
+  /// Records \p Msg under \p Fn. Returns true when new for that owner.
+  bool add(const cfront::FunctionDecl *Fn, const std::string &Msg);
+
+  bool empty() const { return Owners.empty(); }
+
+  /// (owner name, sorted messages) pairs, sorted by owner name.
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+  sortedByName() const;
+
+  /// The messages attributed to \p Fn (unsorted owner lookup; messages
+  /// are sorted and unique).
+  const std::vector<std::string> *
+  messagesOf(const cfront::FunctionDecl *Fn) const;
+
+private:
+  struct OwnerEntry {
+    const cfront::FunctionDecl *Fn = nullptr;
+    std::vector<std::string> Msgs; ///< sorted, unique
+  };
+  /// A handful of owners at most: linear decl lookup, no ordered map.
+  std::vector<OwnerEntry> Owners;
+};
+
 /// How indirect call sites are bound to callees.
 enum class FnPtrMode {
   Precise,      ///< Figure 5: the function pointer's points-to set
@@ -132,13 +163,13 @@ public:
     /// re-analyzing the body (the paper's Sec. 4 advantage (3)).
     unsigned MemoHits = 0;
     std::vector<std::string> Warnings;
-    /// Every warning message keyed by the function whose evaluation
-    /// emitted it ("" for warnings raised outside any function body,
+    /// Every warning message keyed by the FunctionDecl whose evaluation
+    /// emitted it (null for warnings raised outside any function body,
     /// e.g. at global init). Unlike Warnings this is not deduplicated
     /// across functions: a message two bodies both trigger appears
     /// under both. The incremental engine restores a skipped clean
     /// function's warnings from its baseline entry.
-    std::map<std::string, std::set<std::string>> WarningsByFn;
+    FunctionWarningLog WarningsByFn;
 
     /// Every budget-triggered degradation the run took, in the order
     /// they were entered (also mirrored as pta.degraded.* telemetry

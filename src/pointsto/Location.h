@@ -43,6 +43,13 @@ namespace pta {
 
 class Location;
 
+/// Dense location identifier: assigned by LocationTable in creation
+/// order (deterministic), O(1)-resolvable back to the Location via
+/// LocationTable::byId. The analysis core keys every flat side table
+/// and every points-to triple by these ids — no Location*-keyed ordered
+/// maps on hot paths.
+using LocationId = uint32_t;
+
 /// A root of the abstract stack: something nameable that storage hangs
 /// off.
 class Entity {

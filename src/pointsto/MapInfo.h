@@ -1,0 +1,106 @@
+//===- MapInfo.h - Id-indexed map information -------------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flat, id-indexed form of the paper's Sec. 4.1 map information:
+/// for each symbolic location used inside an invocation, the caller
+/// locations (invisible variables) it represents in that context. One
+/// table is produced per map() call and deposited on the invocation
+/// graph node; the unmap translation and the Sec. 6.1 clients read it
+/// back. Stored as a vector of entries sorted by symbolic LocationId —
+/// binary-search lookup, linear deterministic iteration, no
+/// Location*-keyed ordered maps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_POINTSTO_MAPINFO_H
+#define MCPTA_POINTSTO_MAPINFO_H
+
+#include "pointsto/Location.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mcpta {
+namespace pta {
+
+/// Symbolic location id -> the ids of the invisible caller locations it
+/// stands for. Entries are sorted by symbolic id; representative lists
+/// are sorted ascending and unique once normalize() has run (map()
+/// calls it before publishing the table).
+class MapInfoTable {
+public:
+  struct Entry {
+    LocationId Sym = 0;
+    std::vector<LocationId> Reps;
+
+    bool operator==(const Entry &O) const {
+      return Sym == O.Sym && Reps == O.Reps;
+    }
+  };
+
+  using const_iterator = std::vector<Entry>::const_iterator;
+  const_iterator begin() const { return Entries.begin(); }
+  const_iterator end() const { return Entries.end(); }
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+
+  /// The representative list for \p Sym, or null when the symbolic is
+  /// not bound in this context.
+  const std::vector<LocationId> *find(LocationId Sym) const {
+    auto It = lowerBound(Sym);
+    return (It != Entries.end() && It->Sym == Sym) ? &It->Reps : nullptr;
+  }
+
+  /// The (possibly fresh) representative list for \p Sym.
+  std::vector<LocationId> &getOrCreate(LocationId Sym) {
+    auto It = lowerBound(Sym);
+    if (It == Entries.end() || It->Sym != Sym)
+      It = Entries.insert(It, Entry{Sym, {}});
+    return It->Reps;
+  }
+
+  /// Sorts and dedupes every representative list (ascending ids — the
+  /// deterministic order callers rely on).
+  void normalize() {
+    for (Entry &E : Entries) {
+      std::sort(E.Reps.begin(), E.Reps.end());
+      E.Reps.erase(std::unique(E.Reps.begin(), E.Reps.end()), E.Reps.end());
+    }
+  }
+
+  bool operator==(const MapInfoTable &O) const { return Entries == O.Entries; }
+
+private:
+  std::vector<Entry>::iterator lowerBound(LocationId Sym) {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Sym,
+        [](const Entry &E, LocationId S) { return E.Sym < S; });
+  }
+  std::vector<Entry>::const_iterator lowerBound(LocationId Sym) const {
+    return std::lower_bound(
+        Entries.begin(), Entries.end(), Sym,
+        [](const Entry &E, LocationId S) { return E.Sym < S; });
+  }
+
+  std::vector<Entry> Entries;
+};
+
+/// Inserts \p Id into the sorted-unique id vector \p V. Returns true if
+/// it was not already present. The flat replacement for
+/// std::set<const Location *> side tables.
+inline bool insertSortedId(std::vector<LocationId> &V, LocationId Id) {
+  auto It = std::lower_bound(V.begin(), V.end(), Id);
+  if (It != V.end() && *It == Id)
+    return false;
+  V.insert(It, Id);
+  return true;
+}
+
+} // namespace pta
+} // namespace mcpta
+
+#endif // MCPTA_POINTSTO_MAPINFO_H

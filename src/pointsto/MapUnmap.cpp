@@ -48,11 +48,23 @@ struct MapUnmap::MapState {
   const PointsToSet *CallerS = nullptr;
   const cf::FunctionDecl *Callee = nullptr;
   MapResult R;
-  /// Caller invisible location -> its unique symbolic stand-in.
-  std::map<const Location *, const Location *> InvMap;
-  std::set<std::pair<const Location *, const Location *>> Visited;
-  /// Symbolic root entities standing for more than one invisible.
-  std::set<const Entity *> MultiSyms;
+  /// Caller invisible location id -> its unique symbolic stand-in.
+  /// Sorted by id, binary-search lookup.
+  std::vector<std::pair<LocationId, const Location *>> InvMap;
+  /// (callee id << 32 | caller id) pairs already traversed, sorted.
+  std::vector<uint64_t> Visited;
+  /// Symbolic root entities standing for more than one invisible
+  /// (a handful at most; linear membership).
+  std::vector<const Entity *> MultiSyms;
+
+  const Location *findInv(LocationId Id) const {
+    auto It = std::lower_bound(
+        InvMap.begin(), InvMap.end(), Id,
+        [](const std::pair<LocationId, const Location *> &P, LocationId I) {
+          return P.first < I;
+        });
+    return (It != InvMap.end() && It->first == Id) ? It->second : nullptr;
+  }
 };
 
 const Location *MapUnmap::translateTarget(MapState &St,
@@ -61,18 +73,24 @@ const Location *MapUnmap::translateTarget(MapState &St,
   if (isGloballyVisible(Target))
     return Target;
 
-  auto It = St.InvMap.find(Target);
-  if (It != St.InvMap.end())
-    return It->second; // one invisible -> at most one symbolic name
+  if (const Location *Sym = St.findInv(Target->id()))
+    return Sym; // one invisible -> at most one symbolic name
 
   const Entity *SymE = Locs.symbolic(St.Callee, ParentCalleeLoc);
   const Location *SymLoc = Locs.get(SymE);
-  St.InvMap[Target] = SymLoc;
+  auto It = std::lower_bound(
+      St.InvMap.begin(), St.InvMap.end(), Target->id(),
+      [](const std::pair<LocationId, const Location *> &P, LocationId I) {
+        return P.first < I;
+      });
+  St.InvMap.insert(It, {Target->id(), SymLoc});
   ++Ctrs.InvisibleVars;
-  auto &Reps = St.R.MapInfo[SymLoc];
-  Reps.push_back(Target);
-  if (Reps.size() > 1)
-    St.MultiSyms.insert(SymE);
+  auto &Reps = St.R.MapInfo.getOrCreate(SymLoc->id());
+  Reps.push_back(Target->id());
+  if (Reps.size() > 1 &&
+      std::find(St.MultiSyms.begin(), St.MultiSyms.end(), SymE) ==
+          St.MultiSyms.end())
+    St.MultiSyms.push_back(SymE);
   return SymLoc;
 }
 
@@ -102,9 +120,12 @@ void MapUnmap::traverse(MapState &St, const Location *CalleeLoc,
       return;
   }
 
-  auto Key = std::make_pair(CalleeLoc, CallerLoc);
-  if (!St.Visited.insert(Key).second)
+  uint64_t Key =
+      (static_cast<uint64_t>(CalleeLoc->id()) << 32) | CallerLoc->id();
+  auto VIt = std::lower_bound(St.Visited.begin(), St.Visited.end(), Key);
+  if (VIt != St.Visited.end() && *VIt == Key)
     return;
+  St.Visited.insert(VIt, Key);
 
   // Map the pointer's relationships, definite ones first (the paper's
   // accuracy heuristic for assigning symbolic names).
@@ -114,7 +135,7 @@ void MapUnmap::traverse(MapState &St, const Location *CalleeLoc,
                      return A.D < B.D; // D before P
                    });
   if (!Targets.empty())
-    St.R.RepresentedSources.insert(CallerLoc);
+    St.R.RepresentedSources.push_back(CallerLoc->id());
   for (const LocDef &T : Targets) {
     const Location *CT = translateTarget(St, T.Loc, CalleeLoc);
     St.R.CalleeInput.insert(CalleeLoc, CT, T.D);
@@ -177,26 +198,31 @@ MapResult MapUnmap::map(const PointsToSet &CallerS,
   // one invisible variable (Property 3.1 would otherwise be violated by
   // a definite claim).
   if (!St.MultiSyms.empty()) {
+    // One linear pass over the sorted entry run: demotion never adds or
+    // reorders pairs, so the rebuilt run appends in key order.
+    auto isMulti = [&](LocationId Id) {
+      const Entity *Root = Locs.byId(Id)->root();
+      return std::find(St.MultiSyms.begin(), St.MultiSyms.end(), Root) !=
+             St.MultiSyms.end();
+    };
     PointsToSet Demoted;
-    St.R.CalleeInput.forEach(Locs, [&](const Location *Src,
-                                       const Location *Dst, Def D) {
-      bool Multi = St.MultiSyms.count(Src->root()) ||
-                   St.MultiSyms.count(Dst->root());
-      Demoted.insert(Src, Dst, Multi ? Def::P : D);
-    });
+    const PointsToSet::Entry *E = St.R.CalleeInput.entries();
+    for (size_t I = 0, N = St.R.CalleeInput.size(); I < N; ++I) {
+      bool Multi = isMulti(static_cast<LocationId>(E[I].K >> 32)) ||
+                   isMulti(static_cast<LocationId>(E[I].K & 0xffffffffu));
+      Demoted.insertKey(E[I].K, Multi ? Def::P : E[I].D);
+    }
     St.R.CalleeInput = std::move(Demoted);
   }
 
-  // Deterministic map info: sort representative lists by location id.
-  for (auto &[Sym, Reps] : St.R.MapInfo) {
-    std::sort(Reps.begin(), Reps.end(),
-              [](const Location *A, const Location *B) {
-                return A->id() < B->id();
-              });
-    Reps.erase(std::unique(Reps.begin(), Reps.end()), Reps.end());
-  }
+  // Deterministic map info: representative lists sorted by location id.
+  St.R.MapInfo.normalize();
 
-  Ctrs.MappedSources += St.R.RepresentedSources.size();
+  auto &Reps = St.R.RepresentedSources;
+  std::sort(Reps.begin(), Reps.end());
+  Reps.erase(std::unique(Reps.begin(), Reps.end()), Reps.end());
+
+  Ctrs.MappedSources += Reps.size();
   // The traversal above is where invisible-variable chains mint new
   // symbolic entities; report the table size so the Locations budget
   // trips at the site responsible for the growth.
@@ -224,11 +250,13 @@ MapUnmap::translateBack(const Location *CalleeLoc,
     return {}; // handled separately by the analyzer
   case Entity::Kind::Symbolic: {
     (void)Callee;
-    auto It = M.MapInfo.find(Locs.get(Root));
-    if (It == M.MapInfo.end())
+    const std::vector<LocationId> *Reps =
+        M.MapInfo.find(Locs.get(Root)->id());
+    if (!Reps)
       return {}; // not bound in this context
     std::vector<const Location *> Out;
-    for (const Location *Base : It->second) {
+    for (LocationId BaseId : *Reps) {
+      const Location *Base = Locs.byId(BaseId);
       // Re-apply the callee location's path on the caller side.
       const Location *L = Base;
       for (const PathElem &PE : CalleeLoc->path()) {
@@ -258,13 +286,13 @@ PointsToSet MapUnmap::unmap(const PointsToSet &CallerS,
                             const MapResult &M) const {
   ++Ctrs.UnmapCalls;
   PointsToSet Out = CallerS;
-  for (const Location *Src : M.RepresentedSources)
-    Out.killFrom(Src);
+  Out.killFromAll(M.RepresentedSources);
 
   // Track how many distinct callee sources feed each caller source; a
   // caller location assembled from several callee views cannot keep
-  // definite claims.
-  std::map<const Location *, std::set<const Location *>> Contributors;
+  // definite claims. Flat (caller id << 32 | callee id) pairs, counted
+  // after one sort.
+  std::vector<uint64_t> Contributors;
 
   CalleeOut.forEach(Locs, [&](const Location *P, const Location *Q, Def D) {
     std::vector<const Location *> Srcs = translateBack(P, Callee, M);
@@ -275,7 +303,8 @@ PointsToSet MapUnmap::unmap(const PointsToSet &CallerS,
       return;
     Def DP = (Srcs.size() == 1 && Dsts.size() == 1) ? D : Def::P;
     for (const Location *S : Srcs) {
-      Contributors[S].insert(P);
+      Contributors.push_back((static_cast<uint64_t>(S->id()) << 32) |
+                             P->id());
       Def DS = (DP == Def::D && !S->isSummary()) ? Def::D : Def::P;
       for (const Location *T : Dsts) {
         Out.insert(S, T, DS);
@@ -284,9 +313,22 @@ PointsToSet MapUnmap::unmap(const PointsToSet &CallerS,
     }
   });
 
-  for (const auto &[S, Contribs] : Contributors)
-    if (Contribs.size() > 1)
-      Out.demoteFrom(S);
+  // Sources with more than one distinct contributing callee location.
+  std::sort(Contributors.begin(), Contributors.end());
+  Contributors.erase(std::unique(Contributors.begin(), Contributors.end()),
+                     Contributors.end());
+  std::vector<LocationId> MultiFed;
+  for (size_t I = 0; I < Contributors.size();) {
+    LocationId Src = static_cast<LocationId>(Contributors[I] >> 32);
+    size_t J = I;
+    while (J < Contributors.size() &&
+           static_cast<LocationId>(Contributors[J] >> 32) == Src)
+      ++J;
+    if (J - I > 1)
+      MultiFed.push_back(Src);
+    I = J;
+  }
+  Out.demoteFromAll(MultiFed);
 
   return Out;
 }

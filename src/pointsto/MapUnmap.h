@@ -32,12 +32,11 @@
 #define MCPTA_POINTSTO_MAPUNMAP_H
 
 #include "pointsto/LRLocations.h"
+#include "pointsto/MapInfo.h"
 #include "pointsto/PointsToSet.h"
 #include "simple/SimpleIR.h"
 #include "support/Limits.h"
 
-#include <map>
-#include <set>
 #include <vector>
 
 namespace mcpta {
@@ -49,14 +48,16 @@ struct MapResult {
   /// initialization, which the analyzer applies at function entry).
   PointsToSet CalleeInput;
 
-  /// Symbolic location -> the invisible caller locations it represents
-  /// in this context. This is the per-invocation-graph-node map
-  /// information the paper deposits for later analyses.
-  std::map<const Location *, std::vector<const Location *>> MapInfo;
+  /// Symbolic location id -> the ids of the invisible caller locations
+  /// it represents in this context. This is the per-invocation-graph-
+  /// node map information the paper deposits for later analyses.
+  MapInfoTable MapInfo;
 
   /// Every caller location whose outgoing pairs were mapped into the
   /// callee; their relationships are killed and replaced on unmap.
-  std::set<const Location *> RepresentedSources;
+  /// Sorted ascending, unique — fed straight to the killFromAll batch
+  /// kernel.
+  std::vector<LocationId> RepresentedSources;
 };
 
 /// Performs map/unmap against one program's location table.

@@ -3,56 +3,200 @@
 #include "pointsto/PointsToSet.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace mcpta;
 using namespace mcpta::pta;
 
-bool PointsToSet::insert(const Location *Src, const Location *Dst, Def D) {
-  PairKey K = key(Src, Dst);
-  auto [It, Inserted] = Pairs.try_emplace(K, D);
-  if (Inserted)
-    return true;
-  // Conflicting definiteness: weaken to possible.
-  if (It->second != D && It->second == Def::D) {
-    It->second = Def::P;
+namespace {
+
+/// Comparator for lower_bound over the sorted entry run.
+inline bool entryLess(const PointsToSet::Entry &E, PointsToSet::PairKey K) {
+  return E.K < K;
+}
+
+} // namespace
+
+const Def *PointsToSet::findKey(PairKey K) const {
+  const Entry *B = entries();
+  const Entry *E = B + size();
+  const Entry *It = std::lower_bound(B, E, K, entryLess);
+  return (It != E && It->K == K) ? &It->D : nullptr;
+}
+
+PointsToSet::Entry *PointsToSet::detachForWrite() {
+  if (!Heap)
+    return InlineBuf;
+  if (Heap.use_count() > 1) {
+    Heap = std::make_shared<Rep>(*Heap);
+    ++stats().CowDetaches;
+  }
+  return Heap->E.data();
+}
+
+void PointsToSet::adopt(std::vector<Entry> V) {
+  notePeak(V.size());
+  if (!Heap && V.size() <= InlineCap) {
+    InlineN = static_cast<uint32_t>(V.size());
+    std::copy(V.begin(), V.end(), InlineBuf);
+    return;
+  }
+  if (Heap && Heap.use_count() == 1)
+    Heap->E = std::move(V); // reuse the private block's capacity
+  else
+    Heap = std::make_shared<Rep>(Rep{std::move(V)});
+  InlineN = 0;
+}
+
+bool PointsToSet::insertKey(PairKey K, Def D) {
+  const Entry *B = entries();
+  size_t N = size();
+  const Entry *It = std::lower_bound(B, B + N, K, entryLess);
+  size_t Pos = static_cast<size_t>(It - B);
+
+  if (It != B + N && It->K == K) {
+    // Present: conflicting definiteness weakens to possible.
+    if (It->D == D || It->D == Def::P)
+      return false;
+    detachForWrite()[Pos].D = Def::P;
     return true;
   }
-  if (It->second != D && D == Def::P) {
-    It->second = Def::P;
+
+  notePeak(N + 1);
+  if (!Heap) {
+    if (InlineN < InlineCap) {
+      std::copy_backward(InlineBuf + Pos, InlineBuf + InlineN,
+                         InlineBuf + InlineN + 1);
+      InlineBuf[Pos] = {K, D};
+      ++InlineN;
+      return true;
+    }
+    // Inline tier is full: promote to a heap block.
+    auto R = std::make_shared<Rep>();
+    R->E.reserve(InlineN + 1);
+    R->E.assign(InlineBuf, InlineBuf + InlineN);
+    R->E.insert(R->E.begin() + static_cast<ptrdiff_t>(Pos), {K, D});
+    Heap = std::move(R);
+    InlineN = 0;
     return true;
   }
-  return false;
+
+  detachForWrite();
+  Heap->E.insert(Heap->E.begin() + static_cast<ptrdiff_t>(Pos), {K, D});
+  return true;
 }
 
 bool PointsToSet::killFrom(const Location *Src) {
+  ++stats().KernelCalls;
   PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
   PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
-  auto First = Pairs.lower_bound(Lo);
-  auto Last = Pairs.lower_bound(Hi);
-  bool Removed = First != Last;
-  Pairs.erase(First, Last);
-  return Removed;
+  const Entry *B = entries();
+  size_t N = size();
+  size_t First = std::lower_bound(B, B + N, Lo, entryLess) - B;
+  size_t Last = std::lower_bound(B, B + N, Hi, entryLess) - B;
+  if (First == Last)
+    return false;
+  if (!Heap) {
+    std::copy(InlineBuf + Last, InlineBuf + InlineN, InlineBuf + First);
+    InlineN -= static_cast<uint32_t>(Last - First);
+    return true;
+  }
+  detachForWrite();
+  Heap->E.erase(Heap->E.begin() + static_cast<ptrdiff_t>(First),
+                Heap->E.begin() + static_cast<ptrdiff_t>(Last));
+  return true;
+}
+
+bool PointsToSet::killFromAll(const std::vector<LocationId> &SortedSrcIds) {
+  ++stats().KernelCalls;
+  if (SortedSrcIds.empty() || empty())
+    return false;
+  const Entry *B = entries();
+  size_t N = size();
+
+  // First pass: is anything killed at all? (Avoids detaching a shared
+  // block when the answer is no — the common case once callees stop
+  // touching most caller state.)
+  auto srcKilled = [&](PairKey K) {
+    LocationId Src = static_cast<LocationId>(K >> 32);
+    return std::binary_search(SortedSrcIds.begin(), SortedSrcIds.end(), Src);
+  };
+  size_t I = 0;
+  while (I < N && !srcKilled(B[I].K))
+    ++I;
+  if (I == N)
+    return false;
+
+  std::vector<Entry> Out;
+  Out.reserve(N - 1);
+  Out.assign(B, B + I);
+  for (++I; I < N; ++I)
+    if (!srcKilled(B[I].K))
+      Out.push_back(B[I]);
+  adopt(std::move(Out));
+  return true;
 }
 
 void PointsToSet::demoteFrom(const Location *Src) {
+  ++stats().KernelCalls;
   PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
   PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
-  for (auto It = Pairs.lower_bound(Lo), E = Pairs.lower_bound(Hi); It != E;
-       ++It)
-    It->second = Def::P;
+  const Entry *B = entries();
+  size_t N = size();
+  size_t First = std::lower_bound(B, B + N, Lo, entryLess) - B;
+  size_t Last = std::lower_bound(B, B + N, Hi, entryLess) - B;
+  // Only touch (and possibly detach) the run when a definite pair
+  // actually weakens.
+  bool Any = false;
+  for (size_t I = First; I < Last && !Any; ++I)
+    Any = B[I].D == Def::D;
+  if (!Any)
+    return;
+  Entry *W = detachForWrite();
+  for (size_t I = First; I < Last; ++I)
+    W[I].D = Def::P;
+}
+
+void PointsToSet::demoteFromAll(const std::vector<LocationId> &SortedSrcIds) {
+  ++stats().KernelCalls;
+  if (SortedSrcIds.empty() || empty())
+    return;
+  const Entry *B = entries();
+  size_t N = size();
+  auto hit = [&](PairKey K) {
+    LocationId Src = static_cast<LocationId>(K >> 32);
+    return std::binary_search(SortedSrcIds.begin(), SortedSrcIds.end(), Src);
+  };
+  bool Any = false;
+  for (size_t I = 0; I < N && !Any; ++I)
+    Any = B[I].D == Def::D && hit(B[I].K);
+  if (!Any)
+    return;
+  Entry *W = detachForWrite();
+  for (size_t I = 0; I < N; ++I)
+    if (W[I].D == Def::D && hit(W[I].K))
+      W[I].D = Def::P;
 }
 
 void PointsToSet::demoteAll() {
-  for (auto &[K, D] : Pairs)
-    D = Def::P;
+  const Entry *B = entries();
+  size_t N = size();
+  bool Any = false;
+  for (size_t I = 0; I < N && !Any; ++I)
+    Any = B[I].D == Def::D;
+  if (!Any)
+    return;
+  Entry *W = detachForWrite();
+  for (size_t I = 0; I < N; ++I)
+    W[I].D = Def::P;
 }
 
 std::optional<Def> PointsToSet::lookup(const Location *Src,
                                        const Location *Dst) const {
-  auto It = Pairs.find(key(Src, Dst));
-  if (It == Pairs.end())
+  const Def *D = findKey(key(Src, Dst));
+  if (!D)
     return std::nullopt;
-  return It->second;
+  return *D;
 }
 
 std::vector<LocDef> PointsToSet::targetsOf(const Location *Src,
@@ -60,76 +204,185 @@ std::vector<LocDef> PointsToSet::targetsOf(const Location *Src,
   std::vector<LocDef> Out;
   PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
   PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
-  for (auto It = Pairs.lower_bound(Lo), E = Pairs.lower_bound(Hi); It != E;
-       ++It)
+  const Entry *B = entries();
+  const Entry *E = B + size();
+  for (const Entry *It = std::lower_bound(B, E, Lo, entryLess);
+       It != E && It->K < Hi; ++It)
     Out.push_back(
-        {Locs.byId(static_cast<uint32_t>(It->first & 0xffffffffu)),
-         It->second});
+        {Locs.byId(static_cast<LocationId>(It->K & 0xffffffffu)), It->D});
   return Out;
 }
 
 bool PointsToSet::hasTargets(const Location *Src) const {
   PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
-  auto It = Pairs.lower_bound(Lo);
-  return It != Pairs.end() && (It->first >> 32) == Src->id();
+  const Entry *B = entries();
+  const Entry *E = B + size();
+  const Entry *It = std::lower_bound(B, E, Lo, entryLess);
+  return It != E && (It->K >> 32) == Src->id();
 }
 
 bool PointsToSet::mergeWith(const PointsToSet &Other) {
-  // Pairs present in only one operand become possible; present in both,
-  // the definiteness meet applies.
+  ++stats().KernelCalls;
+  // Merging with the very same entries is the fixed-point steady state:
+  // a pair present (and definite) in both operands keeps its flag, so
+  // nothing changes.
+  if (Heap && Heap == Other.Heap)
+    return false;
+  if (empty() && Other.empty())
+    return false;
+
+  const Entry *A = entries();
+  const Entry *AE = A + size();
+  const Entry *B = Other.entries();
+  const Entry *BE = B + Other.size();
+
+  // Linear merge of the two sorted runs: union of pairs, definite iff
+  // definite in both (Figure 1 / Definition 3.3).
+  std::vector<Entry> Out;
+  Out.reserve(size() + Other.size());
   bool Changed = false;
-  for (auto &[K, D] : Pairs) {
-    if (D == Def::P)
-      continue;
-    auto It = Other.Pairs.find(K);
-    if (It == Other.Pairs.end() || It->second == Def::P) {
-      D = Def::P;
+  const Entry *I = A;
+  const Entry *J = B;
+  while (I != AE && J != BE) {
+    if (I->K < J->K) {
+      Out.push_back({I->K, Def::P});
+      Changed |= I->D == Def::D;
+      ++I;
+    } else if (J->K < I->K) {
+      Out.push_back({J->K, Def::P});
       Changed = true;
+      ++J;
+    } else {
+      Def D = meet(I->D, J->D);
+      Out.push_back({I->K, D});
+      Changed |= D != I->D;
+      ++I;
+      ++J;
     }
   }
-  for (const auto &[K, D] : Other.Pairs) {
-    auto [It, Inserted] = Pairs.try_emplace(K, Def::P);
-    (void)D;
-    (void)It;
-    if (Inserted)
-      Changed = true;
+  Changed |= J != BE;
+  for (; I != AE; ++I) {
+    Out.push_back({I->K, Def::P});
+    Changed |= I->D == Def::D;
   }
-  // Note: a pair definite in both operands was left definite by the
-  // first loop and is not revisited by the second.
-  return Changed;
+  for (; J != BE; ++J)
+    Out.push_back({J->K, Def::P});
+
+  if (!Changed)
+    return false;
+  adopt(std::move(Out));
+  return true;
+}
+
+PointsToSet
+PointsToSet::mergeAll(const std::vector<const PointsToSet *> &Sets) {
+  if (Sets.empty())
+    return PointsToSet();
+  if (Sets.size() == 1)
+    return *Sets[0]; // shares the operand's heap block
+  ++stats().KernelCalls;
+
+  // K-way merge over the sorted runs: each output pair is the union
+  // member at the minimal outstanding key, definite iff present and
+  // definite in every operand (the same law folding mergeWith pairwise
+  // reaches, applied once).
+  size_t K = Sets.size();
+  std::vector<const Entry *> Cur(K), End(K);
+  size_t Total = 0;
+  for (size_t S = 0; S < K; ++S) {
+    Cur[S] = Sets[S]->entries();
+    End[S] = Cur[S] + Sets[S]->size();
+    Total += Sets[S]->size();
+  }
+  std::vector<Entry> Out;
+  Out.reserve(Total);
+  for (;;) {
+    PairKey Min = ~PairKey(0);
+    bool AnyLeft = false;
+    for (size_t S = 0; S < K; ++S)
+      if (Cur[S] != End[S]) {
+        AnyLeft = true;
+        if (Cur[S]->K < Min)
+          Min = Cur[S]->K;
+      }
+    if (!AnyLeft)
+      break;
+    size_t Present = 0;
+    bool AllD = true;
+    for (size_t S = 0; S < K; ++S)
+      if (Cur[S] != End[S] && Cur[S]->K == Min) {
+        ++Present;
+        AllD &= Cur[S]->D == Def::D;
+        ++Cur[S];
+      }
+    Out.push_back({Min, (Present == K && AllD) ? Def::D : Def::P});
+  }
+
+  PointsToSet R;
+  R.adopt(std::move(Out));
+  return R;
 }
 
 bool PointsToSet::subsetOf(const PointsToSet &Other) const {
-  if (Pairs.size() > Other.Pairs.size())
+  ++stats().KernelCalls;
+  if (Heap && Heap == Other.Heap)
+    return true;
+  if (size() > Other.size())
     return false;
-  for (const auto &[K, D] : Pairs) {
-    auto It = Other.Pairs.find(K);
-    if (It == Other.Pairs.end())
+  // Two-pointer scan: every pair of *this must appear in Other, and a
+  // possible pair may not be covered by a definite one.
+  const Entry *I = entries();
+  const Entry *IE = I + size();
+  const Entry *J = Other.entries();
+  const Entry *JE = J + Other.size();
+  while (I != IE) {
+    while (J != JE && J->K < I->K)
+      ++J;
+    if (J == JE || J->K != I->K)
       return false;
-    // D is covered by D or P; P is only covered by P.
-    if (D == Def::P && It->second == Def::D)
+    if (I->D == Def::P && J->D == Def::D)
       return false;
+    ++I;
+    ++J;
   }
+  return true;
+}
+
+bool PointsToSet::operator==(const PointsToSet &O) const {
+  if (Heap && Heap == O.Heap)
+    return true;
+  size_t N = size();
+  if (N != O.size())
+    return false;
+  const Entry *A = entries();
+  const Entry *B = O.entries();
+  for (size_t I = 0; I < N; ++I)
+    if (!(A[I] == B[I]))
+      return false;
   return true;
 }
 
 std::vector<PointsToSet::Pair>
 PointsToSet::pairs(const LocationTable &Locs) const {
   std::vector<Pair> Out;
-  Out.reserve(Pairs.size());
-  for (const auto &[K, D] : Pairs)
-    Out.push_back({Locs.byId(static_cast<uint32_t>(K >> 32)),
-                   Locs.byId(static_cast<uint32_t>(K & 0xffffffffu)), D});
+  Out.reserve(size());
+  const Entry *B = entries();
+  for (size_t I = 0, N = size(); I < N; ++I)
+    Out.push_back({Locs.byId(static_cast<LocationId>(B[I].K >> 32)),
+                   Locs.byId(static_cast<LocationId>(B[I].K & 0xffffffffu)),
+                   B[I].D});
   return Out;
 }
 
 std::string PointsToSet::str(const LocationTable &Locs) const {
   std::vector<std::string> Rendered;
-  for (const auto &[K, D] : Pairs) {
-    const Location *Src = Locs.byId(static_cast<uint32_t>(K >> 32));
-    const Location *Dst = Locs.byId(static_cast<uint32_t>(K & 0xffffffffu));
+  const Entry *B = entries();
+  for (size_t I = 0, N = size(); I < N; ++I) {
+    const Location *Src = Locs.byId(static_cast<LocationId>(B[I].K >> 32));
+    const Location *Dst =
+        Locs.byId(static_cast<LocationId>(B[I].K & 0xffffffffu));
     Rendered.push_back("(" + Src->str() + "," + Dst->str() + "," +
-                       (D == Def::D ? "D" : "P") + ")");
+                       (B[I].D == Def::D ? "D" : "P") + ")");
   }
   std::sort(Rendered.begin(), Rendered.end());
   std::string Out;

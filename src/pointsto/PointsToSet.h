@@ -17,6 +17,20 @@
 ///   - Bottom (unreachable) is represented externally as an empty
 ///     std::optional.
 ///
+/// Representation: a flat vector of {PairKey, Def} entries sorted by
+/// key — dense LocationIds packed as (SrcId << 32) | DstId — with two
+/// storage tiers:
+///   - small sets (up to a handful of pairs) live inline in the object,
+///     no allocation at all;
+///   - larger sets live in a shared, copy-on-write heap block. Copying
+///     a set (per-statement IN snapshots, memoized IG inputs/outputs,
+///     the unmap base copy) is then O(1); the copy materializes only if
+///     one side is later mutated.
+/// The batch kernels (mergeWith/mergeAll/subsetOf/killFromAll/
+/// demoteFromAll) are linear merges and scans over the sorted entries
+/// instead of per-element ordered-map operations. Process-wide traffic
+/// counters (PointsToSet::stats) surface as the pta.set.* telemetry.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MCPTA_POINTSTO_POINTSTOSET_H
@@ -24,8 +38,9 @@
 
 #include "pointsto/Location.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,27 +71,101 @@ struct LocDef {
   }
 };
 
-/// A points-to set: map from (source, target) location pair to D/P.
+/// A points-to set: sorted flat triples keyed by (source, target) id.
 class PointsToSet {
 public:
   using PairKey = uint64_t;
   static PairKey key(const Location *Src, const Location *Dst) {
     return (static_cast<uint64_t>(Src->id()) << 32) | Dst->id();
   }
+  static PairKey keyIds(LocationId Src, LocationId Dst) {
+    return (static_cast<uint64_t>(Src) << 32) | Dst;
+  }
 
-  bool empty() const { return Pairs.empty(); }
-  size_t size() const { return Pairs.size(); }
+  /// One stored triple; entries are strictly increasing by K.
+  struct Entry {
+    PairKey K;
+    Def D;
+    bool operator==(const Entry &O) const { return K == O.K && D == O.D; }
+  };
+
+  /// Process-wide representation traffic, published per analysis run as
+  /// the pta.set.* telemetry counters (the analyzer snapshots them at
+  /// run start and reports the deltas; PeakPairs is reset per run). The
+  /// analysis is single-threaded, so plain counters suffice.
+  struct Stats {
+    uint64_t PeakPairs = 0;   ///< largest single set materialized
+    uint64_t CowShares = 0;   ///< copies answered by sharing (avoided)
+    uint64_t CowDetaches = 0; ///< shared blocks copied on first mutation
+    uint64_t KernelCalls = 0; ///< batch kernel invocations
+  };
+  static Stats &stats() {
+    static Stats S;
+    return S;
+  }
+
+  PointsToSet() = default;
+  PointsToSet(const PointsToSet &O) : Heap(O.Heap), InlineN(O.InlineN) {
+    if (Heap)
+      ++stats().CowShares;
+    else
+      std::copy_n(O.InlineBuf, InlineN, InlineBuf);
+  }
+  PointsToSet(PointsToSet &&O) noexcept
+      : Heap(std::move(O.Heap)), InlineN(O.InlineN) {
+    if (!Heap)
+      std::copy_n(O.InlineBuf, InlineN, InlineBuf);
+    O.Heap = nullptr;
+    O.InlineN = 0;
+  }
+  PointsToSet &operator=(const PointsToSet &O) {
+    if (this == &O)
+      return *this;
+    Heap = O.Heap;
+    InlineN = O.InlineN;
+    if (Heap)
+      ++stats().CowShares;
+    else
+      std::copy_n(O.InlineBuf, InlineN, InlineBuf);
+    return *this;
+  }
+  PointsToSet &operator=(PointsToSet &&O) noexcept {
+    if (this == &O)
+      return *this;
+    Heap = std::move(O.Heap);
+    InlineN = O.InlineN;
+    if (!Heap)
+      std::copy_n(O.InlineBuf, InlineN, InlineBuf);
+    O.Heap = nullptr;
+    O.InlineN = 0;
+    return *this;
+  }
+
+  bool empty() const { return size() == 0; }
+  size_t size() const { return Heap ? Heap->E.size() : InlineN; }
 
   /// Inserts or weakens a pair; conflicting definiteness resolves to P
   /// (always safe, possibly less precise). Returns true if the set
   /// changed.
-  bool insert(const Location *Src, const Location *Dst, Def D);
+  bool insert(const Location *Src, const Location *Dst, Def D) {
+    return insertKey(key(Src, Dst), D);
+  }
+  bool insertKey(PairKey K, Def D);
 
   /// Removes every pair originating at Src. Returns true if any removed.
   bool killFrom(const Location *Src);
 
+  /// Batch kernel: removes every pair originating at any id in
+  /// \p SortedSrcIds (ascending, unique) in one linear scan. Returns
+  /// true if any removed.
+  bool killFromAll(const std::vector<LocationId> &SortedSrcIds);
+
   /// Weakens every definite pair originating at Src to possible.
   void demoteFrom(const Location *Src);
+
+  /// Batch kernel: demotes from every id in \p SortedSrcIds (ascending,
+  /// unique) in one linear scan.
+  void demoteFromAll(const std::vector<LocationId> &SortedSrcIds);
 
   /// Weakens every definite pair in the set to possible. Used by the
   /// resource-governed bailouts: a fixed point cut off before
@@ -85,7 +174,7 @@ public:
   void demoteAll();
 
   bool contains(const Location *Src, const Location *Dst) const {
-    return Pairs.count(key(Src, Dst)) != 0;
+    return findKey(key(Src, Dst)) != nullptr;
   }
   /// Returns the definiteness of (Src, Dst), or nullopt if absent.
   std::optional<Def> lookup(const Location *Src, const Location *Dst) const;
@@ -96,8 +185,15 @@ public:
   bool hasTargets(const Location *Src) const;
 
   /// Merge per Figure 1: definite iff definite in both operands.
-  /// Returns true if this set changed.
+  /// Returns true if this set changed. A single linear merge of the two
+  /// sorted entry runs.
   bool mergeWith(const PointsToSet &Other);
+
+  /// Batch kernel: the simultaneous merge of every set in \p Sets — the
+  /// union of all pairs, definite iff present and definite in every
+  /// operand. Equivalent to (and a k-way replacement for) folding
+  /// mergeWith left to right, in one pass over all runs.
+  static PointsToSet mergeAll(const std::vector<const PointsToSet *> &Sets);
 
   /// True if every pair of *this is covered by Other (same pair with any
   /// definiteness covers a definite pair; a possible pair is covered
@@ -105,7 +201,7 @@ public:
   /// the summary supports).
   bool subsetOf(const PointsToSet &Other) const;
 
-  bool operator==(const PointsToSet &O) const { return Pairs == O.Pairs; }
+  bool operator==(const PointsToSet &O) const;
   bool operator!=(const PointsToSet &O) const { return !(*this == O); }
 
   /// Deterministic iteration (sorted by source id, then target id).
@@ -117,17 +213,47 @@ public:
   std::vector<Pair> pairs(const LocationTable &Locs) const;
 
   template <typename Fn> void forEach(const LocationTable &Locs, Fn F) const {
-    for (const auto &[K, D] : Pairs)
-      F(Locs.byId(static_cast<uint32_t>(K >> 32)),
-        Locs.byId(static_cast<uint32_t>(K & 0xffffffffu)), D);
+    const Entry *E = entries();
+    for (size_t I = 0, N = size(); I < N; ++I)
+      F(Locs.byId(static_cast<LocationId>(E[I].K >> 32)),
+        Locs.byId(static_cast<LocationId>(E[I].K & 0xffffffffu)), E[I].D);
   }
+
+  /// Raw sorted entry run (id-packed keys) — the serializer writes these
+  /// directly as id-sorted runs, no intermediate map.
+  const Entry *entries() const { return Heap ? Heap->E.data() : InlineBuf; }
 
   /// Renders as "(x,y,D) (a,b,P) ..." sorted by location name for stable
   /// test expectations.
   std::string str(const LocationTable &Locs) const;
 
 private:
-  std::map<PairKey, Def> Pairs;
+  struct Rep {
+    std::vector<Entry> E;
+  };
+
+  static constexpr uint32_t InlineCap = 4;
+
+  const Def *findKey(PairKey K) const;
+  /// Makes the entry run privately writable without changing its size
+  /// (detaches a shared heap block). Returns the writable run.
+  Entry *detachForWrite();
+  /// Replaces the contents with \p V, choosing inline vs heap storage.
+  void adopt(std::vector<Entry> V);
+  void notePeak(size_t N) {
+    Stats &S = stats();
+    if (N > S.PeakPairs)
+      S.PeakPairs = N;
+  }
+
+  /// Heap tier: engaged once the set outgrows InlineCap (and kept from
+  /// then on — a shrunk set stays heap; logical content is what the
+  /// entry run says, not which tier holds it). Shared between copies
+  /// until one side mutates.
+  std::shared_ptr<Rep> Heap;
+  /// Inline tier: the first InlineN of InlineBuf, valid iff !Heap.
+  Entry InlineBuf[InlineCap];
+  uint32_t InlineN = 0;
 };
 
 } // namespace pta

@@ -1,4 +1,4 @@
-//===- Serialize.cpp - mcpta-result-v2 binary serialization ------------------===//
+//===- Serialize.cpp - mcpta-result-v3 binary serialization ------------------===//
 
 #include "serve/Serialize.h"
 
@@ -287,9 +287,8 @@ ResultSnapshot ResultSnapshot::capture(const simple::Program &Prog,
   std::sort(S.Warnings.begin(), S.Warnings.end());
   S.Warnings.erase(std::unique(S.Warnings.begin(), S.Warnings.end()),
                    S.Warnings.end());
-  for (const auto &[Fn, Msgs] : Res.WarningsByFn)
-    S.WarningsByFn.emplace(Fn,
-                           std::vector<std::string>(Msgs.begin(), Msgs.end()));
+  for (auto &[Fn, Msgs] : Res.WarningsByFn.sortedByName())
+    S.WarningsByFn.emplace(Fn, std::move(Msgs));
 
   S.Meta = incr::computeMeta(Prog);
 
@@ -404,12 +403,30 @@ private:
   std::vector<std::string> Table;
 };
 
+/// v3 set encoding: id-sorted per-source runs. \p Ts is sorted by
+/// (Src, Dst) — the order the flat PointsToSet representation yields —
+/// so each source's pairs are contiguous and the source id is written
+/// once per run instead of once per pair.
 void writeTriples(ByteWriter &W, const std::vector<Triple> &Ts) {
-  W.u32(static_cast<uint32_t>(Ts.size()));
-  for (const Triple &T : Ts) {
-    W.u32(T.Src);
-    W.u32(T.Dst);
-    W.u8(T.Definite);
+  uint32_t NumRuns = 0;
+  for (size_t I = 0; I < Ts.size(); ++NumRuns) {
+    size_t J = I + 1;
+    while (J < Ts.size() && Ts[J].Src == Ts[I].Src)
+      ++J;
+    I = J;
+  }
+  W.u32(NumRuns);
+  for (size_t I = 0; I < Ts.size();) {
+    size_t J = I + 1;
+    while (J < Ts.size() && Ts[J].Src == Ts[I].Src)
+      ++J;
+    W.u32(Ts[I].Src);
+    W.u32(static_cast<uint32_t>(J - I));
+    for (size_t K = I; K < J; ++K) {
+      W.u32(Ts[K].Dst);
+      W.u8(Ts[K].Definite);
+    }
+    I = J;
   }
 }
 
@@ -633,19 +650,55 @@ private:
   std::string Err;
 };
 
-bool readTriples(ByteReader &R, std::vector<Triple> &Out, size_t NumLocs) {
-  uint32_t N = R.count(9);
-  Out.reserve(N);
-  for (uint32_t I = 0; I < N && R.ok(); ++I) {
-    Triple T;
-    T.Src = R.u32();
-    T.Dst = R.u32();
-    T.Definite = R.u8();
-    if (R.ok() && (T.Src >= NumLocs || T.Dst >= NumLocs || T.Definite > 1)) {
-      R.fail("triple references out-of-range location id");
+/// Reads a points-to set into the snapshot's (Src, Dst)-sorted triple
+/// vector. v1/v2 blobs carry flat (src, dst, definite) triples; v3
+/// carries per-source runs (see writeTriples), whose sortedness the
+/// reader enforces so a v3 round trip is exactly order-preserving.
+bool readTriples(ByteReader &R, std::vector<Triple> &Out, size_t NumLocs,
+                 bool RunFormat) {
+  if (!RunFormat) {
+    uint32_t N = R.count(9);
+    Out.reserve(N);
+    for (uint32_t I = 0; I < N && R.ok(); ++I) {
+      Triple T;
+      T.Src = R.u32();
+      T.Dst = R.u32();
+      T.Definite = R.u8();
+      if (R.ok() && (T.Src >= NumLocs || T.Dst >= NumLocs || T.Definite > 1)) {
+        R.fail("triple references out-of-range location id");
+        return false;
+      }
+      Out.push_back(T);
+    }
+    return R.ok();
+  }
+
+  // Min run size: src id + pair count + one 5-byte pair.
+  uint32_t NumRuns = R.count(13);
+  int64_t PrevSrc = -1;
+  for (uint32_t I = 0; I < NumRuns && R.ok(); ++I) {
+    uint32_t Src = R.u32();
+    uint32_t N = R.count(5);
+    if (R.ok() &&
+        (Src >= NumLocs || N == 0 || static_cast<int64_t>(Src) <= PrevSrc)) {
+      R.fail("corrupt points-to run header");
       return false;
     }
-    Out.push_back(T);
+    PrevSrc = Src;
+    int64_t PrevDst = -1;
+    for (uint32_t J = 0; J < N && R.ok(); ++J) {
+      Triple T;
+      T.Src = Src;
+      T.Dst = R.u32();
+      T.Definite = R.u8();
+      if (R.ok() && (T.Dst >= NumLocs || T.Definite > 1 ||
+                     static_cast<int64_t>(T.Dst) <= PrevDst)) {
+        R.fail("corrupt points-to run");
+        return false;
+      }
+      PrevDst = T.Dst;
+      Out.push_back(T);
+    }
   }
   return R.ok();
 }
@@ -692,11 +745,12 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
   if (R.ok() && std::memcmp(Head.data(), Magic, 4) != 0)
     R.fail("bad magic (not an mcpta-result blob)");
   uint32_t Version = R.u32();
-  if (R.ok() && Version != 1 && Version != version::kResultFormatVersion)
+  if (R.ok() && (Version < 1 || Version > version::kResultFormatVersion))
     R.fail("unsupported format version " + std::to_string(Version) +
            " (this build reads versions 1.." +
            std::to_string(version::kResultFormatVersion) + ")");
   const bool V1 = Version == 1;
+  const bool Runs = Version >= 3; // v3 set encoding: per-source runs
   Out.FormatVersion = Version;
   Out.OptionsFingerprint = R.str(R.u32());
 
@@ -761,7 +815,7 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
   Out.HasMainOut = R.u8();
   if (R.ok() && Out.HasMainOut > 1)
     R.fail("corrupt MainOut flag");
-  readTriples(R, Out.MainOut, Out.Locations.size());
+  readTriples(R, Out.MainOut, Out.Locations.size(), Runs);
 
   uint32_t NumStmtSets = R.count(8);
   Out.StmtIn.reserve(NumStmtSets);
@@ -772,7 +826,7 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
       R.fail("statement id out of range");
       break;
     }
-    readTriples(R, Rec.Triples, Out.Locations.size());
+    readTriples(R, Rec.Triples, Out.Locations.size(), Runs);
     Out.StmtIn.push_back(std::move(Rec));
   }
 
@@ -798,8 +852,8 @@ bool serve::deserialize(std::string_view Blob, ResultSnapshot &Out,
       R.fail("corrupt invocation-graph node record");
       break;
     }
-    readTriples(R, N.Input, Out.Locations.size());
-    readTriples(R, N.Output, Out.Locations.size());
+    readTriples(R, N.Input, Out.Locations.size(), Runs);
+    readTriples(R, N.Output, Out.Locations.size(), Runs);
     Out.IG.push_back(std::move(N));
   }
 

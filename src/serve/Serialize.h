@@ -1,4 +1,4 @@
-//===- Serialize.h - mcpta-result-v2 binary serialization -------*- C++ -*-===//
+//===- Serialize.h - mcpta-result-v3 binary serialization -------*- C++ -*-===//
 //
 // Part of the mcpta project (PLDI'94 points-to analysis reproduction).
 //
@@ -38,7 +38,7 @@
 ///    result, and an incremental run legitimately has a different
 ///    trajectory.
 ///
-/// The binary format `mcpta-result-v2` (support/Version.h) is
+/// The binary format `mcpta-result-v3` (support/Version.h) is
 /// deterministic: the same snapshot always serializes to the same
 /// bytes, so serialize → deserialize → serialize round-trips
 /// byte-identically (SerializeTest relies on this, and the summary
@@ -268,7 +268,7 @@ private:
 /// fingerprint is a summary-cache key component.
 std::string optionsFingerprint(const pta::Analyzer::Options &Opts);
 
-/// Serializes to the mcpta-result-v2 binary format. Deterministic:
+/// Serializes to the mcpta-result-v3 binary format. Deterministic:
 /// equal snapshots yield equal bytes.
 std::string serialize(const ResultSnapshot &S);
 

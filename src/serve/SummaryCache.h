@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The serve-from-cache layer: a content-addressed store of serialized
-/// analysis results (mcpta-result-v2 blobs, see Serialize.h) with two
+/// analysis results (mcpta-result-v3 blobs, see Serialize.h) with two
 /// tiers — a bounded in-memory LRU of deserialized snapshots, and an
 /// on-disk blob directory that survives process restarts.
 ///

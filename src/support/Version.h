@@ -30,15 +30,18 @@ namespace version {
 inline constexpr const char *kToolVersion = "0.4.0";
 
 /// Name of the binary result format produced by serve::serialize.
-inline constexpr const char *kResultFormatName = "mcpta-result-v2";
+inline constexpr const char *kResultFormatName = "mcpta-result-v3";
 
 /// Layout revision of that format. Part of every cache key.
 /// Version 2 canonicalizes the location table (referenced locations
 /// only, sorted by name), drops run-history counters from the wire,
 /// and adds the per-function fingerprints and dependency metadata the
-/// incremental engine (src/incr/) diffs against. deserialize() still
-/// reads version-1 blobs.
-inline constexpr uint32_t kResultFormatVersion = 2;
+/// incremental engine (src/incr/) diffs against. Version 3 writes
+/// every points-to set as id-sorted per-source runs (one source id
+/// followed by its (dst, definite) pairs) instead of flat triples —
+/// the shape the flat-vector PointsToSet representation produces
+/// directly. deserialize() still reads version-1 and version-2 blobs.
+inline constexpr uint32_t kResultFormatVersion = 3;
 
 } // namespace version
 } // namespace mcpta

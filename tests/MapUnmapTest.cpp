@@ -16,17 +16,26 @@ using namespace mcpta::testutil;
 
 namespace {
 
-/// Finds the map info deposited at the (unique) IG node for CalleeName.
-const std::map<const Location *, std::vector<const Location *>> *
-mapInfoOf(const Pipeline &P, const std::string &CalleeName) {
-  const std::map<const Location *, std::vector<const Location *>> *Found =
-      nullptr;
+/// Finds the map info deposited at the (unique) IG node for CalleeName,
+/// resolved to display names: symbolic name -> representative names.
+std::map<std::string, std::vector<std::string>>
+mapInfoOf(const Pipeline &P, const std::string &CalleeName, bool &Found) {
+  std::map<std::string, std::vector<std::string>> Out;
+  Found = false;
+  const LocationTable &Locs = *P.Analysis.Locs;
   P.Analysis.IG->forEachNode([&](const IGNode *N) {
-    if (N->function() && N->function()->name() == CalleeName &&
-        !N->MapInfo.empty())
-      Found = &N->MapInfo;
+    if (!N->function() || N->function()->name() != CalleeName ||
+        N->MapInfo.empty())
+      return;
+    Found = true;
+    Out.clear();
+    for (const MapInfoTable::Entry &E : N->MapInfo) {
+      auto &Reps = Out[Locs.byId(E.Sym)->str()];
+      for (LocationId R : E.Reps)
+        Reps.push_back(Locs.byId(R)->str());
+    }
   });
-  return Found;
+  return Out;
 }
 
 TEST(MapUnmapTest, SymbolicNameDepositedInMapInfo) {
@@ -38,18 +47,14 @@ TEST(MapUnmapTest, SymbolicNameDepositedInMapInfo) {
       f(&p);
       return 0;
     })");
-  const auto *MI = mapInfoOf(P, "f");
-  ASSERT_NE(MI, nullptr);
+  bool HasInfo = false;
+  auto MI = mapInfoOf(P, "f", HasInfo);
+  ASSERT_TRUE(HasInfo);
   // 1_pp represents main's p.
-  bool Found = false;
-  for (const auto &[Sym, Reps] : *MI) {
-    if (Sym->str() != "1_pp")
-      continue;
-    ASSERT_EQ(Reps.size(), 1u);
-    EXPECT_EQ(Reps[0]->str(), "p");
-    Found = true;
-  }
-  EXPECT_TRUE(Found) << "expected 1_pp in f's map info";
+  auto It = MI.find("1_pp");
+  ASSERT_NE(It, MI.end()) << "expected 1_pp in f's map info";
+  ASSERT_EQ(It->second.size(), 1u);
+  EXPECT_EQ(It->second[0], "p");
 }
 
 TEST(MapUnmapTest, PaperExampleSharedInvisible) {
@@ -66,13 +71,14 @@ TEST(MapUnmapTest, PaperExampleSharedInvisible) {
       callee(&pb, &pb);
       return 0;
     })");
-  const auto *MI = mapInfoOf(P, "callee");
-  ASSERT_NE(MI, nullptr);
+  bool HasInfo = false;
+  auto MI = mapInfoOf(P, "callee", HasInfo);
+  ASSERT_TRUE(HasInfo);
   // pb (invisible) appears under exactly one symbolic name.
   unsigned Count = 0;
-  for (const auto &[Sym, Reps] : *MI)
-    for (const Location *R : Reps)
-      if (R->str() == "pb")
+  for (const auto &[Sym, Reps] : MI)
+    for (const std::string &R : Reps)
+      if (R == "pb")
         ++Count;
   EXPECT_EQ(Count, 1u) << "one invisible -> at most one symbolic name";
 }
@@ -90,13 +96,12 @@ TEST(MapUnmapTest, MultipleInvisiblesShareSymbolicAsPossible) {
       look(&p);
       return *p;
     })");
-  const auto *MI = mapInfoOf(P, "look");
-  ASSERT_NE(MI, nullptr);
-  for (const auto &[Sym, Reps] : *MI) {
-    if (Sym->str() != "1_x")
-      continue;
-    EXPECT_EQ(Reps.size(), 1u) << "p is the single invisible behind 1_x";
-    EXPECT_EQ(Reps[0]->str(), "p");
+  bool HasInfo = false;
+  auto MI = mapInfoOf(P, "look", HasInfo);
+  ASSERT_TRUE(HasInfo);
+  if (auto It = MI.find("1_x"); It != MI.end()) {
+    EXPECT_EQ(It->second.size(), 1u) << "p is the single invisible behind 1_x";
+    EXPECT_EQ(It->second[0], "p");
   }
   // After the call, the caller pairs survive the round trip.
   EXPECT_TRUE(mainHasPair(P, "p", "a", 'P')) << mainOut(P);
@@ -215,12 +220,13 @@ TEST(MapUnmapTest, MapInfoIsContextSpecific) {
     })");
   // Two distinct IG nodes for write, each with its own map info.
   std::vector<std::string> Reps;
+  const LocationTable &Locs = *P.Analysis.Locs;
   P.Analysis.IG->forEachNode([&](const IGNode *N) {
     if (!N->function() || N->function()->name() != "write")
       return;
-    for (const auto &[Sym, Rs] : N->MapInfo)
-      for (const Location *R : Rs)
-        Reps.push_back(R->str());
+    for (const MapInfoTable::Entry &E : N->MapInfo)
+      for (LocationId R : E.Reps)
+        Reps.push_back(Locs.byId(R)->str());
   });
   EXPECT_EQ(Reps.size(), 2u);
   EXPECT_NE(std::find(Reps.begin(), Reps.end(), "p1"), Reps.end());

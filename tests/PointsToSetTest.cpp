@@ -5,9 +5,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestUtil.h"
+
 #include "pointsto/PointsToSet.h"
+#include "wlgen/WorkloadGen.h"
 
 #include <gtest/gtest.h>
+
+#include <map>
 
 using namespace mcpta;
 using namespace mcpta::pta;
@@ -181,6 +186,264 @@ TEST_F(PointsToSetTest, StrIsSortedAndStable) {
   S.insert(L[2], L[0], Def::P);
   S.insert(L[0], L[1], Def::D);
   EXPECT_EQ(S.str(Locs), "(v0,v1,D) (v2,v0,P)");
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized equivalence: flat representation vs naive reference
+//===----------------------------------------------------------------------===//
+
+/// Reference implementation: the ordered-map representation the flat
+/// vector replaced, with every operation spelled directly from the
+/// paper's definitions. The flat set must agree with it on every
+/// operation's result AND return value.
+struct NaiveSet {
+  std::map<PointsToSet::PairKey, Def> M;
+
+  bool insert(PointsToSet::PairKey K, Def D) {
+    auto [It, New] = M.emplace(K, D);
+    if (New)
+      return true;
+    Def Weakened = meet(It->second, D);
+    bool Changed = Weakened != It->second;
+    It->second = Weakened;
+    return Changed;
+  }
+  bool killFrom(LocationId Src) {
+    bool Any = false;
+    for (auto It = M.begin(); It != M.end();)
+      if (static_cast<LocationId>(It->first >> 32) == Src) {
+        It = M.erase(It);
+        Any = true;
+      } else
+        ++It;
+    return Any;
+  }
+  void demoteFrom(LocationId Src) {
+    for (auto &[K, D] : M)
+      if (static_cast<LocationId>(K >> 32) == Src)
+        D = Def::P;
+  }
+  bool mergeWith(const NaiveSet &O) {
+    std::map<PointsToSet::PairKey, Def> Out;
+    for (const auto &[K, D] : M) {
+      auto It = O.M.find(K);
+      Out[K] = It == O.M.end() ? Def::P : meet(D, It->second);
+    }
+    for (const auto &[K, D] : O.M)
+      if (!M.count(K))
+        Out[K] = Def::P;
+    bool Changed = Out != M;
+    M = std::move(Out);
+    return Changed;
+  }
+  bool subsetOf(const NaiveSet &O) const {
+    for (const auto &[K, D] : M) {
+      auto It = O.M.find(K);
+      if (It == O.M.end() || (D == Def::P && It->second == Def::D))
+        return false;
+    }
+    return true;
+  }
+};
+
+/// Deterministic 64-bit LCG; the test is reproducible per seed.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed * 2862933555777941757ULL + 1) {}
+  uint32_t next(uint32_t Bound) {
+    State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>((State >> 33) % Bound);
+  }
+};
+
+std::vector<PointsToSet::Entry> entriesOf(const PointsToSet &S) {
+  return {S.entries(), S.entries() + S.size()};
+}
+
+std::vector<PointsToSet::Entry> entriesOf(const NaiveSet &S) {
+  std::vector<PointsToSet::Entry> Out;
+  for (const auto &[K, D] : S.M)
+    Out.push_back({K, D});
+  return Out;
+}
+
+TEST_F(PointsToSetTest, RandomizedOpsMatchNaiveReference) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    Rng R(Seed);
+    PointsToSet Flat, FlatB;
+    NaiveSet Ref, RefB;
+    for (int Op = 0; Op < 300; ++Op) {
+      LocationId S = L[R.next(6)]->id();
+      LocationId D = L[R.next(6)]->id();
+      PointsToSet::PairKey K = PointsToSet::keyIds(S, D);
+      Def Dd = R.next(2) ? Def::D : Def::P;
+      switch (R.next(8)) {
+      case 0:
+      case 1:
+      case 2: // bias toward growth so kills have something to do
+        EXPECT_EQ(Flat.insertKey(K, Dd), Ref.insert(K, Dd));
+        break;
+      case 3:
+        EXPECT_EQ(Flat.killFrom(Locs.byId(S)), Ref.killFrom(S));
+        break;
+      case 4:
+        Flat.demoteFrom(Locs.byId(S));
+        Ref.demoteFrom(S);
+        break;
+      case 5: // batch kill/demote over a random sorted id subset
+      {
+        std::vector<LocationId> Ids;
+        for (int I = 0; I < 6; ++I)
+          if (R.next(3) == 0)
+            Ids.push_back(L[I]->id());
+        std::sort(Ids.begin(), Ids.end());
+        if (R.next(2)) {
+          bool Changed = false;
+          NaiveSet Before = Ref;
+          for (LocationId Id : Ids)
+            Changed |= Ref.killFrom(Id);
+          EXPECT_EQ(Flat.killFromAll(Ids), Changed);
+          (void)Before;
+        } else {
+          Flat.demoteFromAll(Ids);
+          for (LocationId Id : Ids)
+            Ref.demoteFrom(Id);
+        }
+        break;
+      }
+      case 6:
+        EXPECT_EQ(Flat.insertKey(K, Dd), Ref.insert(K, Dd));
+        FlatB.insertKey(K, Dd);
+        RefB.insert(K, Dd);
+        break;
+      case 7:
+        EXPECT_EQ(Flat.mergeWith(FlatB), Ref.mergeWith(RefB));
+        break;
+      }
+      ASSERT_EQ(entriesOf(Flat), entriesOf(Ref))
+          << "seed " << Seed << " op " << Op;
+      EXPECT_EQ(Flat.subsetOf(FlatB), Ref.subsetOf(RefB));
+      EXPECT_EQ(FlatB.subsetOf(Flat), RefB.subsetOf(Ref));
+    }
+  }
+}
+
+TEST_F(PointsToSetTest, RandomizedMergeAllMatchesSequentialFold) {
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Rng R(Seed);
+    std::vector<PointsToSet> Sets(2 + R.next(4));
+    for (PointsToSet &S : Sets)
+      for (uint32_t I = 0, N = R.next(12); I < N; ++I)
+        S.insertKey(PointsToSet::keyIds(L[R.next(6)]->id(), L[R.next(6)]->id()),
+                    R.next(2) ? Def::D : Def::P);
+
+    std::vector<const PointsToSet *> Ptrs;
+    for (const PointsToSet &S : Sets)
+      Ptrs.push_back(&S);
+    PointsToSet KWay = PointsToSet::mergeAll(Ptrs);
+
+    PointsToSet Fold = Sets[0];
+    for (size_t I = 1; I < Sets.size(); ++I)
+      Fold.mergeWith(Sets[I]);
+    EXPECT_EQ(entriesOf(KWay), entriesOf(Fold)) << "seed " << Seed;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// wlgen-driven lattice laws on real analysis sets
+//===----------------------------------------------------------------------===//
+
+/// Harvests every points-to set a real analysis run materializes:
+/// per-statement inputs, memoized IG inputs/outputs, and main's output.
+std::vector<PointsToSet> harvestSets(const Pipeline &P) {
+  std::vector<PointsToSet> Out;
+  for (const auto &S : P.Analysis.StmtIn)
+    if (S && !S->empty())
+      Out.push_back(*S);
+  P.Analysis.IG->forEachNode([&](const IGNode *N) {
+    if (N->StoredInput && !N->StoredInput->empty())
+      Out.push_back(*N->StoredInput);
+    if (N->StoredOutput && !N->StoredOutput->empty())
+      Out.push_back(*N->StoredOutput);
+  });
+  if (P.Analysis.MainOut)
+    Out.push_back(*P.Analysis.MainOut);
+  return Out;
+}
+
+TEST(PointsToSetLawsTest, WlgenProgramsObeyLatticeLaws) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    wlgen::GenConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.NumFunctions = 5;
+    Cfg.StmtsPerFunction = 8;
+    Cfg.UseFunctionPointers = Seed % 2 == 0;
+    auto P = testutil::analyze(wlgen::generateProgram(Cfg));
+    ASSERT_TRUE(P.Analysis.Analyzed) << "seed " << Seed;
+    std::vector<PointsToSet> Sets = harvestSets(P);
+    ASSERT_GE(Sets.size(), 3u) << "seed " << Seed;
+
+    Rng R(Seed);
+    for (int Round = 0; Round < 40; ++Round) {
+      const PointsToSet &A = Sets[R.next(static_cast<uint32_t>(Sets.size()))];
+      const PointsToSet &B = Sets[R.next(static_cast<uint32_t>(Sets.size()))];
+      const PointsToSet &C = Sets[R.next(static_cast<uint32_t>(Sets.size()))];
+
+      // Idempotent: A ∪ A = A.
+      PointsToSet AA = A;
+      AA.mergeWith(A);
+      EXPECT_EQ(AA, A);
+
+      // Commutative: A ∪ B = B ∪ A.
+      PointsToSet AB = A, BA = B;
+      AB.mergeWith(B);
+      BA.mergeWith(A);
+      EXPECT_EQ(AB, BA);
+
+      // Associative: (A ∪ B) ∪ C = A ∪ (B ∪ C).
+      PointsToSet AB_C = AB, BC = B;
+      AB_C.mergeWith(C);
+      BC.mergeWith(C);
+      PointsToSet A_BC = A;
+      A_BC.mergeWith(BC);
+      EXPECT_EQ(AB_C, A_BC);
+
+      // subsetOf is a partial order over merge results: reflexive,
+      // both operands below the join, and transitive up a join chain.
+      EXPECT_TRUE(A.subsetOf(A));
+      EXPECT_TRUE(A.subsetOf(AB));
+      EXPECT_TRUE(B.subsetOf(AB));
+      EXPECT_TRUE(A.subsetOf(AB_C)) << "transitivity through A ∪ B";
+      if (AB.subsetOf(A))
+        EXPECT_EQ(AB, A) << "antisymmetry";
+
+      // Definition 3.3: a pair is definite in the merge iff present and
+      // definite in BOTH operands; pairs of one operand only are
+      // possible.
+      size_t IA = 0, NA = A.size();
+      const PointsToSet::Entry *EA = A.entries();
+      for (size_t I = 0, N = AB.size(); I < N; ++I) {
+        const PointsToSet::Entry &E = AB.entries()[I];
+        while (IA < NA && EA[IA].K < E.K)
+          ++IA;
+        bool InA = IA < NA && EA[IA].K == E.K;
+        const Def *InB = nullptr;
+        for (size_t J = 0, M = B.size(); J < M; ++J)
+          if (B.entries()[J].K == E.K) {
+            InB = &B.entries()[J].D;
+            break;
+          }
+        ASSERT_TRUE(InA || InB);
+        Def Expect = (InA && InB) ? meet(EA[IA].D, *InB) : Def::P;
+        EXPECT_EQ(E.D, Expect) << "D-in-both-stays-D (Def. 3.3)";
+      }
+
+      // mergeAll(A, B, C) = fold of pairwise merges.
+      PointsToSet KWay = PointsToSet::mergeAll({&A, &B, &C});
+      PointsToSet Fold = AB_C;
+      EXPECT_EQ(KWay, Fold);
+    }
+  }
 }
 
 } // namespace

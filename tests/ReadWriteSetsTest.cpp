@@ -72,15 +72,15 @@ TEST(ReadWriteSetsTest, ContextualizedWriteSets) {
       SetNodes.push_back(N);
   });
   ASSERT_EQ(SetNodes.size(), 2u);
-  auto W1 = contextualize(RW.Writes["set"], *SetNodes[0]);
-  auto W2 = contextualize(RW.Writes["set"], *SetNodes[1]);
+  auto W1 = contextualize(RW.Writes["set"], *SetNodes[0], *P.Analysis.Locs);
+  auto W2 = contextualize(RW.Writes["set"], *SetNodes[1], *P.Analysis.Locs);
   EXPECT_TRUE(W1.count("first")) << "first call writes main's 'first'";
   EXPECT_FALSE(W1.count("second"));
   EXPECT_TRUE(W2.count("second"));
   EXPECT_FALSE(W2.count("first"));
   // Context-independent names survive contextualization: the write
   // through *pp reads the formal pp itself.
-  auto R1 = contextualize(RW.Reads["set"], *SetNodes[0]);
+  auto R1 = contextualize(RW.Reads["set"], *SetNodes[0], *P.Analysis.Locs);
   EXPECT_TRUE(R1.count("pp"));
 }
 
@@ -100,7 +100,7 @@ TEST(ReadWriteSetsTest, ContextualizeSubstitutesFieldPaths) {
       Node = N;
   });
   ASSERT_NE(Node, nullptr);
-  auto W = contextualize(RW.Writes["clear"], *Node);
+  auto W = contextualize(RW.Writes["clear"], *Node, *P.Analysis.Locs);
   EXPECT_TRUE(W.count("box.p")) << "1_sp.p resolves to box.p";
 }
 

@@ -1,4 +1,4 @@
-//===- SerializeTest.cpp - mcpta-result-v2 round-trip properties ---------------===//
+//===- SerializeTest.cpp - mcpta-result-v3 round-trip properties ---------------===//
 //
 // The serialized result format's two contracts (serve/Serialize.h):
 //

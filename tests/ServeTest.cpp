@@ -379,7 +379,7 @@ TEST(ServerTest, StatsAndInvalidate) {
   JsonValue St = F.request("{\"id\":2,\"method\":\"stats\"}");
   EXPECT_TRUE(St.getBool("ok", false));
   EXPECT_FALSE(St.getString("tool_version", "").empty());
-  EXPECT_EQ(St.getString("result_format", ""), "mcpta-result-v2");
+  EXPECT_EQ(St.getString("result_format", ""), "mcpta-result-v3");
   const JsonValue *Cache = St.find("cache");
   ASSERT_NE(Cache, nullptr);
   EXPECT_EQ(Cache->getNumber("misses", -1), 1);

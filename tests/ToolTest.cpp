@@ -333,12 +333,97 @@ TEST(ToolTest, IncrementalBaselineChainsRuns) {
       << R2.Output;
   EXPECT_NE(R2.Output.find("memo_reuse=1"), std::string::npos) << R2.Output;
 
-  // The flag refuses to combine with batch/serve modes.
-  ToolRun R3 =
-      runTool("--incremental-baseline=" + Baseline + " --batch /tmp");
+  // The flag refuses to combine with serve mode.
+  ToolRun R3 = runTool("--incremental-baseline=" + Baseline +
+                       " --serve </dev/null");
   EXPECT_EQ(R3.ExitCode, 1);
+  EXPECT_NE(R3.Output.find("does not apply"), std::string::npos) << R3.Output;
   std::remove(Src.c_str());
   std::remove(Baseline.c_str());
+}
+
+TEST(ToolTest, BatchIncrementalBaselinesChainRuns) {
+  std::string Dir = ::testing::TempDir() + "/pta_tool_batch_incr";
+  std::string BaseDir = ::testing::TempDir() + "/pta_tool_batch_incr_base";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(BaseDir);
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream(Dir + "/one.c")
+        << "int main(void) { int x; int *p; p = &x; return 0; }";
+    std::ofstream(Dir + "/two.c")
+        << "int g; int main(void) { g = 1; return g; }";
+  }
+
+  // Cold run: every file creates its baseline.
+  ToolRun R1 = runTool("--batch " + Dir + " --incremental-baseline=" +
+                       BaseDir);
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+  EXPECT_NE(R1.Output.find("one.c: incremental: baseline created"),
+            std::string::npos)
+      << R1.Output;
+  EXPECT_NE(R1.Output.find("two.c: incremental: baseline created"),
+            std::string::npos)
+      << R1.Output;
+  EXPECT_TRUE(
+      std::filesystem::exists(BaseDir + "/one.snapshot") &&
+      std::filesystem::exists(BaseDir + "/two.snapshot"))
+      << R1.Output;
+
+  // Warm run over unchanged sources: every file goes through the
+  // incremental engine (not a fallback, not a baseline re-creation).
+  ToolRun R2 = runTool("--batch " + Dir + " --incremental-baseline=" +
+                       BaseDir);
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  EXPECT_NE(R2.Output.find("one.c: incremental: dirty_functions="),
+            std::string::npos)
+      << R2.Output;
+  EXPECT_NE(R2.Output.find("two.c: incremental: dirty_functions="),
+            std::string::npos)
+      << R2.Output;
+  EXPECT_EQ(R2.Output.find("full re-analysis"), std::string::npos)
+      << R2.Output;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(BaseDir);
+}
+
+TEST(ToolTest, BatchIncrementalRejectsOptionsMismatchedBaseline) {
+  // A baseline recorded under one options fingerprint must not seed a
+  // run under another: the engine falls back to a full analysis and
+  // says why.
+  std::string Dir = ::testing::TempDir() + "/pta_tool_batch_incr_opts";
+  std::string BaseDir =
+      ::testing::TempDir() + "/pta_tool_batch_incr_opts_base";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(BaseDir);
+  std::filesystem::create_directories(Dir);
+  std::ofstream(Dir + "/one.c")
+      << "int main(void) { int x; int *p; p = &x; return 0; }";
+
+  ToolRun R1 = runTool("--batch " + Dir + " --incremental-baseline=" +
+                       BaseDir);
+  EXPECT_EQ(R1.ExitCode, 0) << R1.Output;
+
+  ToolRun R2 = runTool("--batch " + Dir + " --incremental-baseline=" +
+                       BaseDir + " --context-insensitive");
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  EXPECT_NE(
+      R2.Output.find("one.c: incremental: full re-analysis (options-mismatch)"),
+      std::string::npos)
+      << R2.Output;
+
+  // The fallback rewrote the baseline under the new fingerprint: the
+  // repeat run no longer reports a mismatch (context-insensitive
+  // results are never seeded, so the next gate reports that instead).
+  ToolRun R3 = runTool("--batch " + Dir + " --incremental-baseline=" +
+                       BaseDir + " --context-insensitive");
+  EXPECT_EQ(R3.ExitCode, 0) << R3.Output;
+  EXPECT_NE(R3.Output.find(
+                "one.c: incremental: full re-analysis (options-unsupported)"),
+            std::string::npos)
+      << R3.Output;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::remove_all(BaseDir);
 }
 
 TEST(ToolTest, BatchStrictReportsDegraded) {
