@@ -18,9 +18,15 @@ comes from the baseline file (default 0.20) and can be overridden with
 --tolerance or the MCPTA_PERF_TOLERANCE environment variable — raise it
 temporarily if a CI runner generation is slower than the recorded host.
 
---record rewrites the baseline's total_us fields from the measured
-minimums (keeping the gate list and tolerance), for refreshing after an
-intentional perf change.
+Gates with a recorded peak_rss_kb also compare the export's
+mem.peak_rss_kb gauge, under the baseline's mem_tolerance (default
+0.35 — RSS is noisier across allocators and runner generations than
+wall time). A memory regression fails the same way a wall-time one
+does.
+
+--record rewrites the baseline's total_us and peak_rss_kb fields from
+the measured minimums (keeping the gate list and tolerances), for
+refreshing after an intentional perf change.
 """
 
 import argparse
@@ -41,6 +47,16 @@ def program_total_us(doc, program):
                        f"(bench '{doc.get('bench')}')")
     phases = progs[program].get("phases_us", {})
     return sum(phases.get(p, 0) for p in TOP_PHASES)
+
+
+def program_peak_rss_kb(doc, program):
+    """The mem.peak_rss_kb gauge for one program, or 0 when the export
+    predates memory telemetry (or getrusage failed)."""
+    progs = doc.get("programs", {})
+    if program not in progs:
+        raise KeyError(f"program '{program}' missing from stats export "
+                       f"(bench '{doc.get('bench')}')")
+    return int(progs[program].get("gauges", {}).get("mem.peak_rss_kb", 0))
 
 
 def load_measurements(paths):
@@ -77,6 +93,9 @@ def main():
         tolerance = float(os.environ["MCPTA_PERF_TOLERANCE"])
     if args.tolerance is not None:
         tolerance = args.tolerance
+    mem_tolerance = baseline.get("mem_tolerance", 0.35)
+    if os.environ.get("MCPTA_MEM_TOLERANCE"):
+        mem_tolerance = float(os.environ["MCPTA_MEM_TOLERANCE"])
 
     by_bench = load_measurements(args.measured)
 
@@ -89,9 +108,12 @@ def main():
                             f"for bench '{bench}'")
             continue
         measured = min(program_total_us(d, program) for d in docs)
+        measured_rss = min(program_peak_rss_kb(d, program) for d in docs)
         if args.record:
             gate["total_us"] = measured
-            print(f"record {bench}/{program}: total_us={measured}")
+            gate["peak_rss_kb"] = measured_rss
+            print(f"record {bench}/{program}: total_us={measured} "
+                  f"peak_rss_kb={measured_rss}")
             continue
         budget = gate["total_us"] * (1.0 + tolerance)
         ratio = measured / gate["total_us"] if gate["total_us"] else 0.0
@@ -102,6 +124,22 @@ def main():
         if measured > budget:
             failures.append(f"{bench}/{program}: {ratio:.2f}x baseline "
                             f"exceeds +{tolerance:.0%} tolerance")
+
+        base_rss = gate.get("peak_rss_kb", 0)
+        if base_rss and measured_rss:
+            rss_budget = base_rss * (1.0 + mem_tolerance)
+            rss_ratio = measured_rss / base_rss
+            verdict = "ok" if measured_rss <= rss_budget else "FAIL"
+            print(f"{verdict} {bench}/{program}: peak RSS {measured_rss}kB "
+                  f"vs baseline {base_rss}kB ({rss_ratio:.2f}x, "
+                  f"budget {rss_budget:.0f}kB)")
+            if measured_rss > rss_budget:
+                failures.append(
+                    f"{bench}/{program}: peak RSS {rss_ratio:.2f}x baseline "
+                    f"exceeds +{mem_tolerance:.0%} mem tolerance")
+        elif not base_rss:
+            print(f"--  {bench}/{program}: no peak_rss_kb in baseline "
+                  f"(re-record to enable the memory gate)")
 
     if args.record:
         if failures:

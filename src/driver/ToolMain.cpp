@@ -18,7 +18,9 @@
 //   --stats           print Tables 3-6 style statistics
 //   --fnptr=MODE      precise | all | address-taken
 //   --context-insensitive
-//   --profile         print a per-phase wall-time table
+//   --profile         print a per-phase wall-time table, hottest phase
+//                     first, with a final mem.* summary line (peak RSS,
+//                     set-heap peak, location-table sizes)
 //   --json FILE       write flat stats JSON (counters/histograms/phases)
 //   --trace-json FILE write Chrome trace_event JSON (chrome://tracing,
 //                     Perfetto)

@@ -89,8 +89,9 @@ public:
                          : nullptr) {
     Locs.setSymbolicLevelLimit(Opts.SymbolicLevelLimit);
     // pta.set.* counters are process-wide; publishTelemetry() reports
-    // this run's deltas. The peak is a per-run high-water mark.
+    // this run's deltas. The peaks are per-run high-water marks.
     PointsToSet::stats().PeakPairs = 0;
+    PointsToSet::stats().HeapBytesPeak = PointsToSet::stats().HeapBytes;
     SetStatsBegin = PointsToSet::stats();
   }
 
@@ -1307,6 +1308,14 @@ void AnalyzerImpl::publishTelemetry() {
   uint64_t Entities = 0;
   Locs.forEachEntity([&Entities](const Entity *) { ++Entities; });
   Telem->add("loc.entities", Entities);
+
+  // Memory gauges: point-in-time footprint snapshots (not totals), so
+  // they land in the stats export's "gauges" section. The set-heap peak
+  // is the CoW heap tier's high-water mark over this run.
+  Telem->gauge("mem.peak_rss_kb", support::peakRssKb());
+  Telem->gauge("mem.set_heap_bytes_peak", SS.HeapBytesPeak);
+  Telem->gauge("mem.location_table_locations", Locs.numLocations());
+  Telem->gauge("mem.location_table_entities", Entities);
 
   if (Res.IG) {
     Telem->add("ig.nodes", Res.IG->numNodes());

@@ -41,10 +41,12 @@ void PointsToSet::adopt(std::vector<Entry> V) {
     std::copy(V.begin(), V.end(), InlineBuf);
     return;
   }
-  if (Heap && Heap.use_count() == 1)
+  if (Heap && Heap.use_count() == 1) {
     Heap->E = std::move(V); // reuse the private block's capacity
-  else
-    Heap = std::make_shared<Rep>(Rep{std::move(V)});
+    Heap->sync();
+  } else {
+    Heap = std::make_shared<Rep>(std::move(V));
+  }
   InlineN = 0;
 }
 
@@ -76,6 +78,7 @@ bool PointsToSet::insertKey(PairKey K, Def D) {
     R->E.reserve(InlineN + 1);
     R->E.assign(InlineBuf, InlineBuf + InlineN);
     R->E.insert(R->E.begin() + static_cast<ptrdiff_t>(Pos), {K, D});
+    R->sync();
     Heap = std::move(R);
     InlineN = 0;
     return true;
@@ -83,6 +86,7 @@ bool PointsToSet::insertKey(PairKey K, Def D) {
 
   detachForWrite();
   Heap->E.insert(Heap->E.begin() + static_cast<ptrdiff_t>(Pos), {K, D});
+  Heap->sync();
   return true;
 }
 

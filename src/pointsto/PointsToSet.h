@@ -98,6 +98,14 @@ public:
     uint64_t CowShares = 0;   ///< copies answered by sharing (avoided)
     uint64_t CowDetaches = 0; ///< shared blocks copied on first mutation
     uint64_t KernelCalls = 0; ///< batch kernel invocations
+    /// Live heap-tier footprint: the sum of every Rep block's vector
+    /// capacity in bytes. Maintained by Rep's constructors/destructor
+    /// and re-synced after capacity-changing mutations.
+    uint64_t HeapBytes = 0;
+    /// High-water mark of HeapBytes; the analyzer resets it to the
+    /// current HeapBytes at run start and publishes the per-run peak as
+    /// the `mem.set_heap_bytes_peak` gauge.
+    uint64_t HeapBytesPeak = 0;
   };
   static Stats &stats() {
     static Stats S;
@@ -230,6 +238,25 @@ public:
 private:
   struct Rep {
     std::vector<Entry> E;
+    /// Bytes this block currently contributes to Stats::HeapBytes.
+    uint64_t TrackedBytes = 0;
+
+    Rep() = default;
+    Rep(const Rep &O) : E(O.E) { sync(); }
+    explicit Rep(std::vector<Entry> V) : E(std::move(V)) { sync(); }
+    Rep &operator=(const Rep &) = delete;
+    ~Rep() { stats().HeapBytes -= TrackedBytes; }
+
+    /// Reconciles HeapBytes with this block's current capacity; call
+    /// after any mutation that may have reallocated.
+    void sync() {
+      Stats &S = stats();
+      uint64_t Now = E.capacity() * sizeof(Entry);
+      S.HeapBytes = S.HeapBytes - TrackedBytes + Now;
+      TrackedBytes = Now;
+      if (S.HeapBytes > S.HeapBytesPeak)
+        S.HeapBytesPeak = S.HeapBytes;
+    }
   };
 
   static constexpr uint32_t InlineCap = 4;

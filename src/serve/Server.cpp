@@ -18,6 +18,7 @@
 using namespace mcpta;
 using namespace mcpta::serve;
 
+using support::FlightRecorder;
 using support::Telemetry;
 
 //===----------------------------------------------------------------------===//
@@ -61,6 +62,15 @@ uint64_t getU64(const JsonValue &Obj, std::string_view Name,
   return D <= 0 ? 0 : static_cast<uint64_t>(D);
 }
 
+/// The methods the daemon understands; per-method error counters and
+/// latency recorders key off this list so telemetry names stay bounded
+/// no matter what clients send.
+bool isKnownMethod(std::string_view M) {
+  return M == "analyze" || M == "alias" || M == "points_to" ||
+         M == "read_write_sets" || M == "stats" || M == "events" ||
+         M == "invalidate" || M == "shutdown";
+}
+
 } // namespace
 
 struct Server::Response {
@@ -69,6 +79,7 @@ struct Server::Response {
   bool Degraded = false;
   bool Cached = false;
   std::string Error;
+  std::string Cid;
   /// Method-specific members, each pre-rendered as `,"name":value`.
   std::string Extra;
 
@@ -95,6 +106,8 @@ struct Server::Response {
     Out += Cached ? "true" : "false";
     Out += ",\"elapsed_ms\":";
     Out += Elapsed;
+    if (!Cid.empty())
+      Out += ",\"cid\":" + quoted(Cid);
     if (!Ok)
       Out += ",\"error\":" + quoted(Error);
     Out += Extra;
@@ -110,8 +123,11 @@ struct Server::Response {
 Server::Server(Config C)
     : Cfg(std::move(C)),
       Telem(std::make_unique<Telemetry>(/*Enabled=*/true)),
+      Recorder(std::make_unique<FlightRecorder>(Cfg.FlightRecorderCapacity)),
       Cache(std::make_unique<SummaryCache>(Cfg.Cache, Telem.get())),
-      StartTime(std::chrono::steady_clock::now()) {}
+      StartTime(std::chrono::steady_clock::now()) {
+  Cache->setFlightRecorder(Recorder.get());
+}
 
 Server::~Server() = default;
 
@@ -129,18 +145,37 @@ int Server::run(std::istream &In, std::ostream &Out, std::ostream &Log) {
       continue;
     Out << handleLine(Line, WantShutdown, Log) << "\n" << std::flush;
   }
+  // Black-box dump: the recent event history goes to the log so a
+  // post-mortem has more than aggregate counters to work with.
+  std::vector<FlightRecorder::Event> Events = Recorder->snapshot();
+  Log << "flight recorder: " << Events.size() << " event(s) retained, "
+      << Recorder->dropped() << " dropped, capacity "
+      << Recorder->capacity() << "\n";
+  for (const FlightRecorder::Event &E : Events)
+    Log << "  " << FlightRecorder::eventJson(E) << "\n";
+  Log << std::flush;
   return 0;
 }
 
 std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
                                std::ostream &Log) {
   auto Start = std::chrono::steady_clock::now();
+  uint64_t Seq = RequestSeq.fetch_add(1, std::memory_order_relaxed) + 1;
   Telem->add("serve.requests", 1);
 
   Response Resp;
   JsonValue Req;
   std::string ParseError;
   std::string Method;
+  bool Dispatched = false;
+  // Request-scoped child telemetry: the analyzer, the cache, and the
+  // incremental engine write here; the daemon aggregate absorbs it when
+  // the request completes. Spans stay in the child, so per-request trace
+  // fragments are available without growing daemon state.
+  Telemetry ReqTelem(/*Enabled=*/true);
+  RequestCtx Ctx;
+  Ctx.Telem = &ReqTelem;
+
   if (!parseJson(Line, Req, ParseError)) {
     Telem->add("serve.parse_errors", 1);
     Resp.fail("request is not valid JSON: " + ParseError);
@@ -149,33 +184,84 @@ std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
   } else {
     Resp.IdJson = renderId(Req.find("id"));
     Method = Req.getString("method");
-    if (Method == "analyze")
-      handleAnalyze(Req, Resp, Log);
-    else if (Method == "alias")
-      handleAlias(Req, Resp);
-    else if (Method == "points_to")
-      handlePointsTo(Req, Resp);
-    else if (Method == "read_write_sets")
-      handleReadWriteSets(Req, Resp);
-    else if (Method == "stats")
+    Ctx.Cid = Req.getString("cid");
+    if (Ctx.Cid.empty())
+      Ctx.Cid = "r" + std::to_string(Seq);
+    Resp.Cid = Ctx.Cid;
+    ReqTelem.setCorrelationId(Ctx.Cid);
+    Recorder->record("request.start", Ctx.Cid,
+                     "method=" + (Method.empty() ? "?" : Method));
+    Dispatched = true;
+
+    if (Method == "analyze") {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      handleAnalyze(Req, Resp, Log, Ctx);
+    } else if (Method == "alias") {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      handleAlias(Req, Resp, Ctx);
+    } else if (Method == "points_to") {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      handlePointsTo(Req, Resp, Ctx);
+    } else if (Method == "read_write_sets") {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      handleReadWriteSets(Req, Resp, Ctx);
+    } else if (Method == "stats") {
+      std::lock_guard<std::mutex> Lock(StateMu);
       handleStats(Resp);
-    else if (Method == "invalidate")
+    } else if (Method == "events") {
+      handleEvents(Req, Resp);
+    } else if (Method == "invalidate") {
+      std::lock_guard<std::mutex> Lock(StateMu);
       handleInvalidate(Resp);
-    else if (Method == "shutdown") {
+    } else if (Method == "shutdown") {
       Telem->add("serve.shutdown", 1);
+      Recorder->record("serve.shutdown", Ctx.Cid, "");
       WantShutdown = true;
-    } else
+    } else {
       Resp.fail(Method.empty() ? "missing \"method\" member"
                                : "unknown method '" + Method + "'");
+    }
   }
   if (!Method.empty() && Method != "shutdown")
     Telem->add("serve." + Method, Resp.Ok ? 1 : 0);
-  if (!Resp.Ok)
+  if (!Resp.Ok) {
     Telem->add("serve.errors", 1);
+    // Per-method attribution: protocol failures (bad JSON, non-object,
+    // unknown/missing method) are one bucket; each known method gets
+    // its own, so "analyze requests failing" and "clients sending
+    // garbage" are distinguishable.
+    Telem->add("serve.errors." +
+                   (isKnownMethod(Method) ? Method : std::string("protocol")),
+               1);
+  }
 
   double ElapsedMs = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - Start)
                          .count();
+  if (isKnownMethod(Method))
+    Telem->latency("serve.latency." + Method).recordMs(ElapsedMs);
+
+  if (Dispatched) {
+    // Per-request trace fragment on demand, before the child merges
+    // away. The fragment is a complete Chrome-trace document rendered
+    // as a JSON value inside the response.
+    if (Req.getBool("trace", false)) {
+      std::ostringstream TS;
+      ReqTelem.writeTraceJson(TS);
+      std::string Trace = TS.str();
+      while (!Trace.empty() &&
+             (Trace.back() == '\n' || Trace.back() == '\r'))
+        Trace.pop_back();
+      Resp.member("trace", Trace);
+    }
+    Telem->mergeFrom(ReqTelem);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "method=%s ok=%d elapsed_ms=%.3f",
+                  Method.empty() ? "?" : Method.c_str(), Resp.Ok ? 1 : 0,
+                  ElapsedMs);
+    Recorder->record(Resp.Ok ? "request.end" : "request.error", Ctx.Cid,
+                     Buf);
+  }
   return Resp.render(ElapsedMs);
 }
 
@@ -184,7 +270,7 @@ std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
 //===----------------------------------------------------------------------===//
 
 void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
-                           std::ostream &Log) {
+                           std::ostream &Log, const RequestCtx &Ctx) {
   // Resolve the source text: inline "source" or an embedded "corpus"
   // program (handy for smoke tests — no C-in-JSON escaping needed).
   std::string Source;
@@ -205,7 +291,10 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
   // Per-request options/limits override the server defaults and ride on
   // the existing resource-governance layer.
   pta::Analyzer::Options Opts = Cfg.DefaultOpts;
-  Opts.Telem = nullptr;
+  // The child telemetry observes the analysis without affecting it: the
+  // options fingerprint (and therefore the cache key) excludes the
+  // sink, and the analyzer's behavior never branches on it.
+  Opts.Telem = Ctx.Telem;
   if (const JsonValue *O = Req.find("options")) {
     std::string FnPtr = O->getString("fnptr");
     if (FnPtr == "precise")
@@ -238,10 +327,11 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
   const std::string FP = optionsFingerprint(Opts);
   const std::string Key = SummaryCache::key(Source, FP);
   const bool WantIncremental = Req.getBool("incremental", false);
+  const SummaryCache::RequestScope Scope{Ctx.Telem, Ctx.Cid};
 
   std::string CacheWarning;
   std::shared_ptr<const ResultSnapshot> Snap =
-      Cache->lookup(Key, &CacheWarning);
+      Cache->lookup(Key, &CacheWarning, Scope);
   if (!CacheWarning.empty())
     Log << "warning: " << CacheWarning << "\n";
 
@@ -258,13 +348,16 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     }
   } else if (BaselineIt != BaselineByFingerprint.end()) {
     incr::IncrOutput O = incr::IncrementalEngine::reanalyze(
-        *BaselineIt->second, Source, Opts, Telem.get());
+        *BaselineIt->second, Source, Opts, Ctx.Telem);
     if (!O.Ok) {
       Resp.fail(O.Error);
       return;
     }
+    if (!O.Stats.FallbackReason.empty())
+      Recorder->record("incr.fallback", Ctx.Cid,
+                       "reason=" + O.Stats.FallbackReason);
     std::string StoreWarning;
-    Snap = Cache->store(Key, std::move(O.Snapshot), &StoreWarning);
+    Snap = Cache->store(Key, std::move(O.Snapshot), &StoreWarning, Scope);
     if (!StoreWarning.empty())
       Log << "warning: " << StoreWarning << "\n";
     Resp.member("incremental", O.Stats.UsedIncremental ? "true" : "false");
@@ -289,7 +382,7 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     ResultSnapshot Captured =
         ResultSnapshot::capture(*P.Prog, P.Analysis, FP);
     std::string StoreWarning;
-    Snap = Cache->store(Key, std::move(Captured), &StoreWarning);
+    Snap = Cache->store(Key, std::move(Captured), &StoreWarning, Scope);
     if (!StoreWarning.empty())
       Log << "warning: " << StoreWarning << "\n";
     if (WantIncremental) {
@@ -307,10 +400,14 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
 
   Resp.Degraded = Snap->degraded();
   // Degradations go to the daemon log once per (kind, context) for the
-  // server's lifetime; the structured list is always in the response.
+  // server's lifetime; the structured list is always in the response,
+  // and each one leaves a flight-recorder event attributed to this
+  // request's correlation id.
   for (const DegradationRecord &D : Snap->Degradations) {
     const char *KindName =
         support::limitKindName(static_cast<support::LimitKind>(D.Kind));
+    Recorder->record("degradation", Ctx.Cid,
+                     std::string(KindName) + ": " + D.Context);
     if (LoggedDegradations.insert(std::string(KindName) + "|" + D.Context)
             .second)
       Log << "degraded: [" << KindName << "] " << D.Context << ": "
@@ -351,7 +448,8 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
 //===----------------------------------------------------------------------===//
 
 std::shared_ptr<const ResultSnapshot>
-Server::querySnapshot(const JsonValue &Req, std::string &Error) {
+Server::querySnapshot(const JsonValue &Req, std::string &Error,
+                      const RequestCtx &Ctx) {
   std::string Key = Req.getString("key");
   if (Key.empty()) {
     if (LastSnapshot)
@@ -361,15 +459,18 @@ Server::querySnapshot(const JsonValue &Req, std::string &Error) {
   }
   if (Key == LastKey && LastSnapshot)
     return LastSnapshot;
-  std::shared_ptr<const ResultSnapshot> Snap = Cache->lookup(Key);
+  std::shared_ptr<const ResultSnapshot> Snap =
+      Cache->lookup(Key, nullptr, SummaryCache::RequestScope{Ctx.Telem,
+                                                             Ctx.Cid});
   if (!Snap)
     Error = "no cached result for key " + Key;
   return Snap;
 }
 
-void Server::handleAlias(const JsonValue &Req, Response &Resp) {
+void Server::handleAlias(const JsonValue &Req, Response &Resp,
+                         const RequestCtx &Ctx) {
   std::string Error;
-  auto Snap = querySnapshot(Req, Error);
+  auto Snap = querySnapshot(Req, Error, Ctx);
   if (!Snap) {
     Resp.fail(Error);
     return;
@@ -386,9 +487,10 @@ void Server::handleAlias(const JsonValue &Req, Response &Resp) {
               Snap->aliased(A->asString(), B->asString()) ? "true" : "false");
 }
 
-void Server::handlePointsTo(const JsonValue &Req, Response &Resp) {
+void Server::handlePointsTo(const JsonValue &Req, Response &Resp,
+                            const RequestCtx &Ctx) {
   std::string Error;
-  auto Snap = querySnapshot(Req, Error);
+  auto Snap = querySnapshot(Req, Error, Ctx);
   if (!Snap) {
     Resp.fail(Error);
     return;
@@ -420,9 +522,10 @@ void Server::handlePointsTo(const JsonValue &Req, Response &Resp) {
   Resp.member("targets", Targets);
 }
 
-void Server::handleReadWriteSets(const JsonValue &Req, Response &Resp) {
+void Server::handleReadWriteSets(const JsonValue &Req, Response &Resp,
+                                 const RequestCtx &Ctx) {
   std::string Error;
-  auto Snap = querySnapshot(Req, Error);
+  auto Snap = querySnapshot(Req, Error, Ctx);
   if (!Snap) {
     Resp.fail(Error);
     return;
@@ -462,6 +565,10 @@ void Server::handleReadWriteSets(const JsonValue &Req, Response &Resp) {
   Resp.member("writes", RenderMap(Snap->Writes));
 }
 
+//===----------------------------------------------------------------------===//
+// stats / events / invalidate
+//===----------------------------------------------------------------------===//
+
 void Server::handleStats(Response &Resp) {
   Resp.member("tool_version", quoted(version::kToolVersion));
   Resp.member("result_format", quoted(version::kResultFormatName));
@@ -492,16 +599,52 @@ void Server::handleStats(Response &Resp) {
                          ",\"bad_blobs\":" + std::to_string(CS.BadBlobs) + "}";
   Resp.member("cache", CacheObj);
 
-  std::string Counters = "{";
+  // Refresh the daemon memory gauges at observation time, so the stats
+  // response and the next stats-JSON export agree.
+  Telem->gauge("mem.peak_rss_kb", support::peakRssKb());
+  Telem->gauge("mem.cache_resident_bytes", CS.MemBytes);
+  std::string MemObj = "{";
   bool First = true;
+  for (const auto &[Name, V] : Telem->gauges()) {
+    if (Name.rfind("mem.", 0) != 0)
+      continue;
+    if (!First)
+      MemObj += ",";
+    First = false;
+    MemObj += quoted(Name) + ":" + std::to_string(V);
+  }
+  MemObj += "}";
+  Resp.member("mem", MemObj);
+
+  Resp.member("latency", Telem->latencyJson());
+
+  std::string Counters = "{";
+  First = true;
   for (const auto &[Name, C] : Telem->counters()) {
     if (!First)
       Counters += ",";
     First = false;
-    Counters += quoted(Name) + ":" + std::to_string(C.Value);
+    Counters += quoted(Name) + ":" + std::to_string(C.load());
   }
   Counters += "}";
   Resp.member("counters", Counters);
+}
+
+void Server::handleEvents(const JsonValue &Req, Response &Resp) {
+  uint64_t Limit = getU64(Req, "limit", 0);
+  std::vector<FlightRecorder::Event> Events =
+      Recorder->snapshot(static_cast<size_t>(Limit));
+  std::string Arr = "[";
+  for (size_t I = 0; I < Events.size(); ++I) {
+    if (I)
+      Arr += ",";
+    Arr += FlightRecorder::eventJson(Events[I]);
+  }
+  Arr += "]";
+  Resp.member("events", Arr);
+  Resp.member("recorded", std::to_string(Recorder->totalRecorded()));
+  Resp.member("dropped", std::to_string(Recorder->dropped()));
+  Resp.member("capacity", std::to_string(Recorder->capacity()));
 }
 
 void Server::handleInvalidate(Response &Resp) {

@@ -11,21 +11,33 @@
 /// streams in tests.
 ///
 /// Methods: `analyze`, `alias`, `points_to`, `read_write_sets`,
-/// `stats`, `invalidate`, `shutdown` (schemas in docs/SERVING.md).
-/// Every `analyze` consults the SummaryCache before running the
-/// pipeline; query methods are answered from cached ResultSnapshots
-/// without touching the analyzer at all. An `analyze` request carrying
-/// `"incremental": true` re-analyzes against the previous result with
-/// the same options fingerprint through the IncrementalEngine
-/// (docs/INCREMENTAL.md) instead of running from scratch. Per-request AnalysisOptions
-/// and AnalysisLimits override the server defaults and ride on the
-/// existing governance layer, so one hostile request degrades soundly
-/// instead of stalling the daemon.
+/// `stats`, `events`, `invalidate`, `shutdown` (schemas in
+/// docs/SERVING.md). Every `analyze` consults the SummaryCache before
+/// running the pipeline; query methods are answered from cached
+/// ResultSnapshots without touching the analyzer at all. An `analyze`
+/// request carrying `"incremental": true` re-analyzes against the
+/// previous result with the same options fingerprint through the
+/// IncrementalEngine (docs/INCREMENTAL.md) instead of running from
+/// scratch. Per-request AnalysisOptions and AnalysisLimits override the
+/// server defaults and ride on the existing governance layer, so one
+/// hostile request degrades soundly instead of stalling the daemon.
 ///
-/// Every response carries `{id, ok, degraded, cached, elapsed_ms}`.
+/// Every response carries `{id, ok, degraded, cached, elapsed_ms, cid}`.
 /// Malformed input — bad JSON, unknown method, missing parameters —
 /// produces an `ok:false` response and the loop continues; nothing a
 /// client sends terminates the server except `shutdown` (or EOF).
+///
+/// Observability: each request runs against a request-scoped child
+/// Telemetry carrying a correlation id (client-supplied `"cid"` or a
+/// generated `r<seq>`), threaded through the cache, the incremental
+/// engine, and the analyzer, then merged into the daemon aggregate when
+/// the request completes. A request with `"trace": true` gets its own
+/// Chrome-trace fragment back in the response. Per-method latency
+/// recorders feed `serve.latency.<method>.*` quantiles, and a bounded
+/// FlightRecorder keeps the recent event history (`events` method;
+/// dumped to the log on shutdown). `handleLine` is safe to call from
+/// multiple threads: shared daemon state is mutex-guarded and the
+/// telemetry core is lock-free on its hot paths.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,11 +45,14 @@
 #define MCPTA_SERVE_SERVER_H
 
 #include "serve/SummaryCache.h"
+#include "support/FlightRecorder.h"
 
+#include <atomic>
 #include <chrono>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -53,6 +68,8 @@ public:
     /// Defaults for analyze requests; per-request "options"/"limits"
     /// members override individual fields.
     pta::Analyzer::Options DefaultOpts;
+    /// Flight-recorder ring capacity (most recent events retained).
+    size_t FlightRecorderCapacity = support::FlightRecorder::kDefaultCapacity;
   };
 
   explicit Server(Config C);
@@ -60,42 +77,65 @@ public:
 
   /// Serves until `shutdown` or EOF on \p In. Responses (one line each)
   /// go to \p Out; operational log lines (startup banner, deduplicated
-  /// degradation warnings) go to \p Log. Returns the process exit code
-  /// (0 on orderly shutdown/EOF).
+  /// degradation warnings, the shutdown flight-recorder dump) go to
+  /// \p Log. Returns the process exit code (0 on orderly shutdown/EOF).
   int run(std::istream &In, std::ostream &Out, std::ostream &Log);
 
   /// Handles one request line and returns the response line (no
   /// trailing newline). Exposed for in-process tests; sets
-  /// \p WantShutdown on a `shutdown` request.
+  /// \p WantShutdown on a `shutdown` request. Safe to call from
+  /// multiple threads concurrently.
   std::string handleLine(const std::string &Line, bool &WantShutdown,
                          std::ostream &Log);
 
   const SummaryCache &cache() const { return *Cache; }
   support::Telemetry &telemetry() { return *Telem; }
+  support::FlightRecorder &flightRecorder() { return *Recorder; }
 
 private:
   struct Response;
+  /// Request-scoped observability context: the correlation id and the
+  /// child Telemetry this request's counters land in before merging
+  /// into the daemon aggregate.
+  struct RequestCtx {
+    std::string Cid;
+    support::Telemetry *Telem = nullptr;
+  };
 
-  void handleAnalyze(const JsonValue &Req, Response &Resp, std::ostream &Log);
-  void handleAlias(const JsonValue &Req, Response &Resp);
-  void handlePointsTo(const JsonValue &Req, Response &Resp);
-  void handleReadWriteSets(const JsonValue &Req, Response &Resp);
+  void handleAnalyze(const JsonValue &Req, Response &Resp, std::ostream &Log,
+                     const RequestCtx &Ctx);
+  void handleAlias(const JsonValue &Req, Response &Resp,
+                   const RequestCtx &Ctx);
+  void handlePointsTo(const JsonValue &Req, Response &Resp,
+                      const RequestCtx &Ctx);
+  void handleReadWriteSets(const JsonValue &Req, Response &Resp,
+                           const RequestCtx &Ctx);
   void handleStats(Response &Resp);
+  void handleEvents(const JsonValue &Req, Response &Resp);
   void handleInvalidate(Response &Resp);
 
   /// Resolves the snapshot a query method addresses: the request's
   /// "key" member, or the most recently analyzed result. Null plus an
-  /// error message when neither resolves.
+  /// error message when neither resolves. Caller must hold StateMu.
   std::shared_ptr<const ResultSnapshot> querySnapshot(const JsonValue &Req,
-                                                      std::string &Error);
+                                                      std::string &Error,
+                                                      const RequestCtx &Ctx);
 
   Config Cfg;
   std::unique_ptr<support::Telemetry> Telem;
+  std::unique_ptr<support::FlightRecorder> Recorder;
   std::unique_ptr<SummaryCache> Cache;
-  std::string LastKey;
-  std::shared_ptr<const ResultSnapshot> LastSnapshot;
   /// Construction time, for the `stats` uptime_ms member.
   std::chrono::steady_clock::time_point StartTime;
+  /// Monotone request sequence, source of generated correlation ids.
+  std::atomic<uint64_t> RequestSeq{0};
+
+  /// Guards the mutable daemon state below plus the SummaryCache (which
+  /// is not internally synchronized). The telemetry core and the flight
+  /// recorder have their own synchronization and are NOT covered.
+  std::mutex StateMu;
+  std::string LastKey;
+  std::shared_ptr<const ResultSnapshot> LastSnapshot;
   /// Most recent snapshot per options fingerprint: the baseline an
   /// `analyze {"incremental": true}` request re-analyzes against. Keyed
   /// by fingerprint (not cache key) because an edited source hashes to

@@ -68,9 +68,18 @@ std::string SummaryCache::key(std::string_view Source,
 SummaryCache::SummaryCache(Config C, support::Telemetry *Telem)
     : Cfg(std::move(C)), Telem(Telem) {}
 
-void SummaryCache::bump(const char *Name, uint64_t Delta) {
+void SummaryCache::bump(const char *Name, uint64_t Delta,
+                        const RequestScope &Req) {
   if (Telem)
     Telem->add(Name, Delta);
+  if (Req.Telem && Req.Telem != Telem)
+    Req.Telem->add(Name, Delta);
+}
+
+void SummaryCache::event(std::string_view Kind, const RequestScope &Req,
+                         std::string_view Detail) {
+  if (Recorder)
+    Recorder->record(Kind, Req.Cid, Detail);
 }
 
 std::string SummaryCache::blobPath(const std::string &Key) const {
@@ -83,10 +92,11 @@ void SummaryCache::touch(Entry &E, const std::string &Key) {
   E.LruIt = Lru.begin();
 }
 
-void SummaryCache::evictToFit() {
+void SummaryCache::evictToFit(const RequestScope &Req) {
   while (!Lru.empty() && (Mem.size() > Cfg.MaxMemEntries ||
                           S.MemBytes > Cfg.MaxMemBytes)) {
     const std::string &Victim = Lru.back();
+    event("cache.eviction", Req, "key=" + Victim);
     auto It = Mem.find(Victim);
     if (It != Mem.end()) {
       S.MemBytes -= It->second.Bytes;
@@ -94,14 +104,14 @@ void SummaryCache::evictToFit() {
     }
     Lru.pop_back();
     ++S.Evictions;
-    bump("cache.evictions");
+    bump("cache.evictions", 1, Req);
   }
   S.MemEntries = Mem.size();
 }
 
 void SummaryCache::insertMem(const std::string &Key,
                              std::shared_ptr<const ResultSnapshot> Snap,
-                             uint64_t Bytes) {
+                             uint64_t Bytes, const RequestScope &Req) {
   auto It = Mem.find(Key);
   if (It != Mem.end()) {
     S.MemBytes -= It->second.Bytes;
@@ -111,18 +121,20 @@ void SummaryCache::insertMem(const std::string &Key,
   Lru.push_front(Key);
   Mem[Key] = Entry{std::move(Snap), Bytes, Lru.begin()};
   S.MemBytes += Bytes;
-  evictToFit();
+  evictToFit(Req);
 }
 
 std::shared_ptr<const ResultSnapshot>
-SummaryCache::lookup(const std::string &Key, std::string *Warning) {
+SummaryCache::lookup(const std::string &Key, std::string *Warning,
+                     RequestScope Req) {
   auto It = Mem.find(Key);
   if (It != Mem.end()) {
     touch(It->second, Key);
     ++S.Hits;
     ++S.MemHits;
-    bump("cache.hits");
-    bump("cache.mem_hits");
+    bump("cache.hits", 1, Req);
+    bump("cache.mem_hits", 1, Req);
+    event("cache.hit", Req, "tier=mem key=" + Key);
     return It->second.Snapshot;
   }
 
@@ -136,16 +148,18 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning) {
       std::string Err;
       if (deserialize(Blob, Snap, Err)) {
         auto Shared = std::make_shared<const ResultSnapshot>(std::move(Snap));
-        insertMem(Key, Shared, Blob.size());
+        insertMem(Key, Shared, Blob.size(), Req);
         ++S.Hits;
-        bump("cache.hits");
-        bump("cache.disk_hits");
+        bump("cache.hits", 1, Req);
+        bump("cache.disk_hits", 1, Req);
+        event("cache.hit", Req, "tier=disk key=" + Key);
         return Shared;
       }
       // Bad blob: tolerate as a miss, report, and drop the file so the
       // next store replaces it instead of tripping over it again.
       ++S.BadBlobs;
-      bump("cache.bad_blobs");
+      bump("cache.bad_blobs", 1, Req);
+      event("cache.bad_blob", Req, "key=" + Key);
       if (Warning)
         *Warning = "cache blob for key " + Key +
                    " is unreadable and was discarded: " + Err;
@@ -155,17 +169,20 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning) {
   }
 
   ++S.Misses;
-  bump("cache.misses");
+  bump("cache.misses", 1, Req);
+  event("cache.miss", Req, "key=" + Key);
   return nullptr;
 }
 
 std::shared_ptr<const ResultSnapshot>
 SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
-                    std::string *Warning) {
+                    std::string *Warning, RequestScope Req) {
   std::string Blob = serialize(Snapshot);
   S.BytesStored += Blob.size();
-  bump("cache.bytes", Blob.size());
-  bump("cache.stores");
+  bump("cache.bytes", Blob.size(), Req);
+  bump("cache.stores", 1, Req);
+  event("cache.store", Req,
+        "key=" + Key + " bytes=" + std::to_string(Blob.size()));
 
   if (!Cfg.Dir.empty()) {
     std::error_code EC;
@@ -194,7 +211,7 @@ SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
   }
 
   auto Shared = std::make_shared<const ResultSnapshot>(std::move(Snapshot));
-  insertMem(Key, Shared, Blob.size());
+  insertMem(Key, Shared, Blob.size(), Req);
   return Shared;
 }
 

@@ -32,6 +32,7 @@
 #define MCPTA_SERVE_SUMMARYCACHE_H
 
 #include "serve/Serialize.h"
+#include "support/FlightRecorder.h"
 #include "support/Telemetry.h"
 
 #include <cstdint>
@@ -72,6 +73,26 @@ public:
   /// bytes,bad_blobs} counters mirror the Stats increments.
   explicit SummaryCache(Config C, support::Telemetry *Telem = nullptr);
 
+  /// Attaches a flight recorder; cache hits/misses/evictions/bad blobs
+  /// and stores then leave structured events attributed to the
+  /// correlation id of the request driving the operation (see the
+  /// RequestScope parameters below). May be null (the default).
+  void setFlightRecorder(support::FlightRecorder *FR) { Recorder = FR; }
+
+  /// Per-request attribution for one cache operation: counters mirror
+  /// into \p Telem as well as the construction-time aggregate sink, and
+  /// flight-recorder events carry \p Cid. Both optional.
+  struct RequestScope {
+    support::Telemetry *Telem;
+    std::string_view Cid;
+    // Explicit constructors (not default member initializers): the
+    // default argument `RequestScope()` below would otherwise need the
+    // initializers before this enclosing class is complete.
+    RequestScope() : Telem(nullptr), Cid() {}
+    RequestScope(support::Telemetry *T, std::string_view C)
+        : Telem(T), Cid(C) {}
+  };
+
   /// The content address for one (source, options) pair under the
   /// current result-format version. 32 hex characters.
   static std::string key(std::string_view Source,
@@ -84,14 +105,15 @@ public:
   /// null on a miss. A corrupt disk blob counts as a miss; the
   /// diagnostic lands in \p Warning when the caller passes one.
   std::shared_ptr<const ResultSnapshot> lookup(const std::string &Key,
-                                               std::string *Warning = nullptr);
+                                               std::string *Warning = nullptr,
+                                               RequestScope Req = RequestScope());
 
   /// Serializes \p Snapshot, stores the blob under \p Key in both tiers
   /// (disk write is atomic: temp file + rename), and returns the shared
   /// snapshot. Disk-tier failures degrade to memory-only with a warning.
   std::shared_ptr<const ResultSnapshot>
   store(const std::string &Key, ResultSnapshot Snapshot,
-        std::string *Warning = nullptr);
+        std::string *Warning = nullptr, RequestScope Req = RequestScope());
 
   /// Drops every entry: the whole LRU, and every *.mcpta blob in the
   /// disk directory. Returns the number of disk blobs removed.
@@ -109,13 +131,18 @@ private:
 
   std::string blobPath(const std::string &Key) const;
   void insertMem(const std::string &Key,
-                 std::shared_ptr<const ResultSnapshot> Snap, uint64_t Bytes);
+                 std::shared_ptr<const ResultSnapshot> Snap, uint64_t Bytes,
+                 const RequestScope &Req);
   void touch(Entry &E, const std::string &Key);
-  void evictToFit();
-  void bump(const char *Name, uint64_t Delta = 1);
+  void evictToFit(const RequestScope &Req);
+  void bump(const char *Name, uint64_t Delta = 1,
+            const RequestScope &Req = RequestScope());
+  void event(std::string_view Kind, const RequestScope &Req,
+             std::string_view Detail);
 
   Config Cfg;
   support::Telemetry *Telem;
+  support::FlightRecorder *Recorder = nullptr;
   Stats S;
   /// LRU list front = most recent. Map values hold list iterators.
   std::list<std::string> Lru;

@@ -1,0 +1,58 @@
+//===- FlightRecorder.cpp - Bounded ring of structured events -----------------===//
+
+#include "support/FlightRecorder.h"
+
+#include "support/Telemetry.h"
+
+#include <sstream>
+
+using namespace mcpta;
+using namespace mcpta::support;
+
+FlightRecorder::FlightRecorder(size_t Capacity)
+    : Cap(Capacity ? Capacity : 1), Epoch(std::chrono::steady_clock::now()) {}
+
+void FlightRecorder::record(std::string_view Kind, std::string_view Cid,
+                            std::string_view Detail) {
+  uint64_t TsUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - Epoch)
+                      .count();
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Total;
+  if (Ring.size() >= Cap) {
+    Ring.pop_front();
+    ++Dropped;
+  }
+  Ring.push_back(Event{Total, TsUs, std::string(Kind), std::string(Cid),
+                       std::string(Detail)});
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot(size_t Limit) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = Ring.size();
+  size_t Take = (Limit && Limit < N) ? Limit : N;
+  std::vector<Event> Out;
+  Out.reserve(Take);
+  for (size_t I = N - Take; I < N; ++I)
+    Out.push_back(Ring[I]);
+  return Out;
+}
+
+uint64_t FlightRecorder::totalRecorded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Total;
+}
+
+uint64_t FlightRecorder::dropped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Dropped;
+}
+
+std::string FlightRecorder::eventJson(const Event &E) {
+  std::ostringstream OS;
+  OS << "{\"seq\":" << E.Seq << ",\"ts_us\":" << E.TsUs << ",\"kind\":\""
+     << Telemetry::jsonEscape(E.Kind) << "\",\"cid\":\""
+     << Telemetry::jsonEscape(E.Cid) << "\",\"detail\":\""
+     << Telemetry::jsonEscape(E.Detail) << "\"}";
+  return OS.str();
+}

@@ -1,0 +1,86 @@
+//===- FlightRecorder.h - Bounded ring of structured events -----*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A black box for the serve daemon: a bounded, thread-safe ring buffer
+/// of structured events (request start/end, degradations, cache
+/// hits/misses/evictions, incremental fallbacks). When a multi-tenant
+/// daemon misbehaves, the recent event history explains *which* request
+/// degraded and why — counters alone only say *how often*.
+///
+/// Events are cheap fixed-shape records: a monotone sequence number, a
+/// steady-clock timestamp relative to the recorder's construction, a
+/// kind string (stable schema, see OBSERVABILITY.md), the correlation id
+/// of the request that produced it, and a short free-form detail. The
+/// ring holds the most recent `capacity` events; older ones are dropped
+/// and counted, never blocking a writer.
+///
+/// All methods are safe to call from any thread; recording takes one
+/// short mutex hold (the serve hot path records a handful of events per
+/// request, so contention is negligible next to analysis work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SUPPORT_FLIGHTRECORDER_H
+#define MCPTA_SUPPORT_FLIGHTRECORDER_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcpta {
+namespace support {
+
+class FlightRecorder {
+public:
+  struct Event {
+    uint64_t Seq = 0;   ///< Monotone per-recorder sequence number (1-based).
+    uint64_t TsUs = 0;  ///< Microseconds since recorder construction.
+    std::string Kind;   ///< Stable event kind, e.g. "request.start".
+    std::string Cid;    ///< Correlation id of the originating request.
+    std::string Detail; ///< Short free-form context, e.g. "method=analyze".
+  };
+
+  explicit FlightRecorder(size_t Capacity = kDefaultCapacity);
+
+  /// Appends an event, evicting the oldest when full. Never blocks
+  /// beyond the ring mutex.
+  void record(std::string_view Kind, std::string_view Cid,
+              std::string_view Detail);
+
+  /// Copies the most recent events, oldest first. \p Limit of 0 means
+  /// everything retained.
+  std::vector<Event> snapshot(size_t Limit = 0) const;
+
+  size_t capacity() const { return Cap; }
+  /// Total events ever recorded (including dropped ones).
+  uint64_t totalRecorded() const;
+  /// Events evicted to make room.
+  uint64_t dropped() const;
+
+  /// Renders one event as a JSON object (stable field order: seq, ts_us,
+  /// kind, cid, detail).
+  static std::string eventJson(const Event &E);
+
+  static constexpr size_t kDefaultCapacity = 256;
+
+private:
+  const size_t Cap;
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex Mu;
+  std::deque<Event> Ring;
+  uint64_t Total = 0;
+  uint64_t Dropped = 0;
+};
+
+} // namespace support
+} // namespace mcpta
+
+#endif // MCPTA_SUPPORT_FLIGHTRECORDER_H

@@ -10,8 +10,111 @@
 #include <ostream>
 #include <sstream>
 
+#include <sys/resource.h>
+
 using namespace mcpta;
 using namespace mcpta::support;
+
+//===----------------------------------------------------------------------===//
+// Process memory
+//===----------------------------------------------------------------------===//
+
+uint64_t support::peakRssKb() {
+  struct rusage RU;
+  if (getrusage(RUSAGE_SELF, &RU) != 0)
+    return 0;
+  // Linux reports ru_maxrss in KiB already; macOS reports bytes. This
+  // project targets Linux (CI and the serve deployment), so take the
+  // value as KiB.
+  return RU.ru_maxrss > 0 ? static_cast<uint64_t>(RU.ru_maxrss) : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+void Histogram::mergeFrom(const Histogram &O) {
+  uint64_t ON = O.count();
+  if (!ON)
+    return;
+  N.fetch_add(ON, std::memory_order_relaxed);
+  Sum.fetch_add(O.sum(), std::memory_order_relaxed);
+  atomicMin(Lo, O.Lo.load(std::memory_order_relaxed));
+  atomicMax(Hi, O.Hi.load(std::memory_order_relaxed));
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    if (uint64_t B = O.bucket(I))
+      Buckets[I].fetch_add(B, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyRecorder
+//===----------------------------------------------------------------------===//
+
+unsigned LatencyRecorder::bucketOf(uint64_t Us) {
+  // Values below SubBuckets are exact (one bucket per value). Above,
+  // each power-of-two octave splits into SubBuckets linear sub-buckets.
+  if (Us < SubBuckets)
+    return static_cast<unsigned>(Us);
+  unsigned Msb = 63 - static_cast<unsigned>(__builtin_clzll(Us));
+  // Octave for values in [2^Msb, 2^(Msb+1)); the first split octave is
+  // Msb == 3 (values 8..15) which continues directly after the exact
+  // region.
+  unsigned Shift = Msb - 3;
+  unsigned Sub = static_cast<unsigned>((Us >> Shift) - SubBuckets);
+  unsigned Idx = Shift * SubBuckets + SubBuckets + Sub;
+  return Idx < NumBuckets ? Idx : NumBuckets - 1;
+}
+
+uint64_t LatencyRecorder::bucketUpperUs(unsigned I) {
+  if (I < SubBuckets)
+    return I;
+  unsigned Shift = (I - SubBuckets) / SubBuckets;
+  unsigned Sub = (I - SubBuckets) % SubBuckets;
+  // Largest value mapping to this bucket: ((8 + Sub + 1) << Shift) - 1.
+  return ((uint64_t(SubBuckets + Sub + 1)) << Shift) - 1;
+}
+
+uint64_t LatencyRecorder::quantileUs(double Q) const {
+  uint64_t Total = count();
+  if (!Total)
+    return 0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  // Rank of the target sample, 1-based, ceiling so p100 is the max
+  // bucket and p50 of two samples is the first.
+  uint64_t Rank = static_cast<uint64_t>(Q * double(Total));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I < NumBuckets; ++I) {
+    Cum += Buckets[I].load(std::memory_order_relaxed);
+    if (Cum >= Rank)
+      return bucketUpperUs(I);
+  }
+  // Racing recorders can leave the snapshot short of Total; report the
+  // highest populated bucket.
+  for (unsigned I = NumBuckets; I-- > 0;)
+    if (Buckets[I].load(std::memory_order_relaxed))
+      return bucketUpperUs(I);
+  return 0;
+}
+
+void LatencyRecorder::mergeFrom(const LatencyRecorder &O) {
+  uint64_t ON = O.count();
+  if (!ON)
+    return;
+  N.fetch_add(ON, std::memory_order_relaxed);
+  SumUs.fetch_add(O.SumUs.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  atomicMax(MaxUs, O.MaxUs.load(std::memory_order_relaxed));
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    if (uint64_t B = O.Buckets[I].load(std::memory_order_relaxed))
+      Buckets[I].fetch_add(B, std::memory_order_relaxed);
+}
 
 //===----------------------------------------------------------------------===//
 // Span
@@ -23,14 +126,17 @@ Telemetry::Span::Span(Telemetry *T, std::string_view Name)
     return;
   this->Name = std::string(Name);
   StartUs = this->T->nowUs();
+  std::lock_guard<std::mutex> Lock(this->T->Mu);
   Depth = this->T->ActiveDepth++;
 }
 
 Telemetry::Span::~Span() {
   if (!T)
     return;
+  uint64_t DurUs = T->nowUs() - StartUs;
+  std::lock_guard<std::mutex> Lock(T->Mu);
   --T->ActiveDepth;
-  T->Spans.push_back({std::move(Name), StartUs, T->nowUs() - StartUs, Depth});
+  T->Spans.push_back({std::move(Name), StartUs, DurUs, Depth});
 }
 
 //===----------------------------------------------------------------------===//
@@ -46,25 +152,87 @@ uint64_t Telemetry::nowUs() const {
       .count();
 }
 
+void Telemetry::setCorrelationId(std::string NewCid) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Cid = std::move(NewCid);
+}
+
+std::string Telemetry::correlationId() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Cid;
+}
+
 Counter &Telemetry::counter(std::string_view Name) {
   if (!Enabled)
     return Scratch;
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Counters.find(Name);
   if (It == Counters.end())
-    It = Counters.emplace(std::string(Name), Counter()).first;
+    It = Counters.try_emplace(std::string(Name)).first;
   return It->second;
 }
 
 Histogram &Telemetry::histogram(std::string_view Name) {
   if (!Enabled)
     return HistScratch;
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Histograms.find(Name);
   if (It == Histograms.end())
-    It = Histograms.emplace(std::string(Name), Histogram()).first;
+    It = Histograms.try_emplace(std::string(Name)).first;
   return It->second;
 }
 
+LatencyRecorder &Telemetry::latency(std::string_view Name) {
+  if (!Enabled)
+    return LatScratch;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Latencies.find(Name);
+  if (It == Latencies.end())
+    It = Latencies.try_emplace(std::string(Name)).first;
+  return It->second;
+}
+
+void Telemetry::gauge(std::string_view Name, uint64_t Value) {
+  if (!Enabled)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    Gauges.emplace(std::string(Name), Value);
+  else
+    It->second = Value;
+}
+
+std::map<std::string, uint64_t, std::less<>> Telemetry::gauges() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Gauges;
+}
+
+void Telemetry::mergeFrom(const Telemetry &Child) {
+  if (!Enabled || !Child.Enabled)
+    return;
+  // The child is quiescent by contract (its request completed), so its
+  // maps are stable; only this instance's registration lock is needed.
+  // Resolve handles under our lock, then mutate lock-free.
+  for (const auto &[Name, C] : Child.Counters)
+    counter(Name) += C.load();
+  for (const auto &[Name, H] : Child.Histograms)
+    histogram(Name).mergeFrom(H);
+  for (const auto &[Name, L] : Child.Latencies)
+    latency(Name).mergeFrom(L);
+  std::map<std::string, uint64_t, std::less<>> ChildGauges;
+  {
+    std::lock_guard<std::mutex> Lock(Child.Mu);
+    ChildGauges = Child.Gauges;
+  }
+  for (const auto &[Name, V] : ChildGauges)
+    gauge(Name, V);
+  // Spans are intentionally not merged: a daemon aggregate would grow
+  // without bound, and per-request spans are exported from the child.
+}
+
 uint64_t Telemetry::phaseUs(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   uint64_t Total = 0;
   for (const SpanRecord &S : Spans)
     if (S.Name == Name)
@@ -110,8 +278,9 @@ std::string Telemetry::jsonEscape(std::string_view S) {
 }
 
 std::string Telemetry::profileTable() const {
-  // Aggregate same-name spans, ordered by first start time so the table
-  // reads as a timeline.
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Aggregate same-name spans, ordered hottest-first so the phase worth
+  // optimizing tops the table.
   struct Row {
     std::string Name;
     uint64_t FirstStart = 0;
@@ -136,6 +305,8 @@ std::string Telemetry::profileTable() const {
     ++R->Count;
   }
   std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.TotalUs != B.TotalUs)
+      return A.TotalUs > B.TotalUs;
     return A.FirstStart < B.FirstStart;
   });
 
@@ -162,14 +333,34 @@ std::string Telemetry::profileTable() const {
   std::snprintf(Buf, sizeof(Buf), "%-24s %12llu %7.1f%%\n", "total",
                 static_cast<unsigned long long>(TopLevelTotal), 100.0);
   OS << Buf;
+
+  // Memory summary from mem.* gauges, so a single profiled run shows
+  // footprint without a JSON round-trip.
+  bool AnyMem = false;
+  for (const auto &[Name, V] : Gauges) {
+    if (Name.rfind("mem.", 0) != 0)
+      continue;
+    if (!AnyMem)
+      OS << "mem:";
+    else
+      OS << " ";
+    AnyMem = true;
+    OS << " " << Name.substr(4) << "=" << V;
+  }
+  if (AnyMem)
+    OS << "\n";
   return OS.str();
 }
 
 void Telemetry::writeTraceJson(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   // Chrome trace_event "JSON Array Format" wrapped in an object, which
   // both chrome://tracing and Perfetto accept. All spans go on one
   // (pid, tid); nesting is reconstructed from ts/dur containment.
-  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  OS << "{\"displayTimeUnit\":\"ms\"";
+  if (!Cid.empty())
+    OS << ",\"otherData\":{\"correlation_id\":\"" << jsonEscape(Cid) << "\"}";
+  OS << ",\"traceEvents\":[";
   bool First = true;
   for (const SpanRecord &S : Spans) {
     if (!First)
@@ -188,9 +379,35 @@ void Telemetry::writeTraceJson(std::ostream &OS) const {
     OS << "{\"name\":\"" << jsonEscape(Name)
        << "\",\"cat\":\"mcpta.counter\",\"ph\":\"C\",\"ts\":0,\"pid\":1,"
           "\"args\":{\"value\":"
-       << C.Value << "}}";
+       << C.load() << "}}";
   }
   OS << "]}\n";
+}
+
+std::string Telemetry::latencyJson() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::ostringstream OS;
+  char Buf[64];
+  OS << "{";
+  bool First = true;
+  for (const auto &[Name, L] : Latencies) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << jsonEscape(Name) << "\":{\"count\":" << L.count();
+    std::snprintf(Buf, sizeof(Buf), "%.3f", L.quantileMs(0.50));
+    OS << ",\"p50\":" << Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.3f", L.quantileMs(0.95));
+    OS << ",\"p95\":" << Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.3f", L.quantileMs(0.99));
+    OS << ",\"p99\":" << Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.3f", L.maxMs());
+    OS << ",\"max\":" << Buf;
+    std::snprintf(Buf, sizeof(Buf), "%.3f", L.meanMs());
+    OS << ",\"mean\":" << Buf << "}";
+  }
+  OS << "}";
+  return OS.str();
 }
 
 void Telemetry::writeStatsJson(std::ostream &OS) const {
@@ -203,13 +420,20 @@ void Telemetry::writeStatsJson(std::ostream &OS) const {
      << "\"";
   OS << ",\"result_format_version\":" << version::kResultFormatVersion;
 
+  // latencyJson() takes Mu itself; render it before locking.
+  std::string Latency = latencyJson();
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Cid.empty())
+    OS << ",\"correlation_id\":\"" << jsonEscape(Cid) << "\"";
+
   OS << ",\"counters\":{";
   bool First = true;
   for (const auto &[Name, C] : Counters) {
     if (!First)
       OS << ",";
     First = false;
-    OS << "\"" << jsonEscape(Name) << "\":" << C.Value;
+    OS << "\"" << jsonEscape(Name) << "\":" << C.load();
   }
   OS << "}";
 
@@ -227,6 +451,18 @@ void Telemetry::writeStatsJson(std::ostream &OS) const {
   }
   OS << "}";
 
+  OS << ",\"gauges\":{";
+  First = true;
+  for (const auto &[Name, V] : Gauges) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\"" << jsonEscape(Name) << "\":" << V;
+  }
+  OS << "}";
+
+  OS << ",\"latency\":" << Latency;
+
   OS << ",\"phases_us\":{";
   First = true;
   std::vector<std::string> Seen;
@@ -237,7 +473,11 @@ void Telemetry::writeStatsJson(std::ostream &OS) const {
     if (!First)
       OS << ",";
     First = false;
-    OS << "\"" << jsonEscape(S.Name) << "\":" << phaseUs(S.Name);
+    uint64_t Total = 0;
+    for (const SpanRecord &T : Spans)
+      if (T.Name == S.Name)
+        Total += T.DurUs;
+    OS << "\"" << jsonEscape(S.Name) << "\":" << Total;
   }
   OS << "}}\n";
 }

@@ -25,6 +25,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace mcpta;
 using namespace mcpta::serve;
@@ -512,6 +514,213 @@ TEST(ServerTest, ShutdownFlagsAndRunLoop) {
       ++N;
     }
   EXPECT_EQ(N, 3);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: correlation ids, latency quantiles, per-method errors,
+// the flight recorder, and the no-perturbation guarantee.
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, ResponsesCarryCorrelationIds) {
+  ServerFixture F;
+  // Client-supplied cid is echoed verbatim.
+  JsonValue R1 = F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":"
+                           "\"misr\",\"cid\":\"build-42\"}");
+  EXPECT_EQ(R1.getString("cid", ""), "build-42");
+  // Without one, the server generates a monotone r<seq> id.
+  JsonValue R2 = F.request("{\"id\":2,\"method\":\"stats\"}");
+  EXPECT_EQ(R2.getString("cid", ""), "r2");
+}
+
+TEST(ServerTest, TraceOnDemandReturnsRequestScopedFragment) {
+  ServerFixture F;
+  JsonValue R = F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":"
+                          "\"misr\",\"cid\":\"t1\",\"trace\":true}");
+  EXPECT_TRUE(R.getBool("ok", false));
+  const JsonValue *Trace = R.find("trace");
+  ASSERT_NE(Trace, nullptr);
+  // The fragment is a complete Chrome-trace document for THIS request:
+  // the pipeline spans are present and the correlation id is stamped.
+  const JsonValue *Events = Trace->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  bool SawPointsTo = false;
+  for (const JsonValue &E : Events->elements())
+    if (E.getString("name", "") == "pointsto")
+      SawPointsTo = true;
+  EXPECT_TRUE(SawPointsTo);
+  const JsonValue *Other = Trace->find("otherData");
+  ASSERT_NE(Other, nullptr);
+  EXPECT_EQ(Other->getString("correlation_id", ""), "t1");
+  // A cached rerun without "trace" has no fragment.
+  JsonValue R2 =
+      F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+  EXPECT_EQ(R2.find("trace"), nullptr);
+}
+
+TEST(ServerTest, StatsReportsLatencyQuantilesAndMemory) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+  F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+  F.request("{\"id\":3,\"method\":\"stats\"}");
+  JsonValue St = F.request("{\"id\":4,\"method\":\"stats\"}");
+
+  const JsonValue *Latency = St.find("latency");
+  ASSERT_NE(Latency, nullptr);
+  const JsonValue *Analyze = Latency->find("serve.latency.analyze");
+  ASSERT_NE(Analyze, nullptr);
+  EXPECT_EQ(Analyze->getNumber("count", -1), 2);
+  EXPECT_GT(Analyze->getNumber("p50", -1), 0.0);
+  EXPECT_GE(Analyze->getNumber("p95", -1), Analyze->getNumber("p50", -1));
+  EXPECT_GE(Analyze->getNumber("p99", -1), Analyze->getNumber("p95", -1));
+  EXPECT_GE(Analyze->getNumber("max", -1), 0.0);
+  // The earlier stats request recorded its own latency too.
+  const JsonValue *StatsLat = Latency->find("serve.latency.stats");
+  ASSERT_NE(StatsLat, nullptr);
+  EXPECT_GE(StatsLat->getNumber("count", -1), 1);
+
+  const JsonValue *Mem = St.find("mem");
+  ASSERT_NE(Mem, nullptr);
+  EXPECT_GT(Mem->getNumber("mem.peak_rss_kb", -1), 0);
+  EXPECT_GE(Mem->getNumber("mem.cache_resident_bytes", -1), 0);
+  // The analyze requests merged their analyzer-side gauges in.
+  EXPECT_GT(Mem->getNumber("mem.location_table_locations", -1), 0);
+}
+
+TEST(ServerTest, PerMethodErrorCountersSeparateProtocolFailures) {
+  ServerFixture F;
+  F.request("not json at all");                          // protocol
+  F.request("{\"id\":1,\"method\":\"frobnicate\"}");     // protocol
+  F.request("{\"id\":2,\"method\":\"alias\",\"a\":\"p\","
+            "\"b\":\"q\"}"); // alias fails: nothing analyzed yet
+  F.request("{\"id\":3,\"method\":\"analyze\",\"corpus\":\"misr\"}"); // ok
+
+  JsonValue St = F.request("{\"id\":4,\"method\":\"stats\"}");
+  const JsonValue *C = St.find("counters");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getNumber("serve.errors", 0), 3);
+  EXPECT_EQ(C->getNumber("serve.errors.protocol", 0), 2);
+  EXPECT_EQ(C->getNumber("serve.errors.alias", 0), 1);
+  EXPECT_EQ(C->getNumber("serve.errors.analyze", -1), -1)
+      << "no analyze failed: its error counter must not exist";
+}
+
+TEST(ServerTest, EventsMethodExposesFlightRecorder) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"misr\","
+            "\"cid\":\"e1\"}");
+  F.request("{\"id\":2,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+
+  JsonValue Ev = F.request("{\"id\":3,\"method\":\"events\"}");
+  EXPECT_TRUE(Ev.getBool("ok", false));
+  EXPECT_GT(Ev.getNumber("recorded", 0), 0);
+  EXPECT_EQ(Ev.getNumber("dropped", -1), 0);
+  EXPECT_GT(Ev.getNumber("capacity", 0), 0);
+  const JsonValue *Events = Ev.find("events");
+  ASSERT_NE(Events, nullptr);
+
+  // The first analyze left a start/miss/store/end trail under its cid;
+  // the second was a cache hit.
+  auto Count = [&](const std::string &Kind, const std::string &Cid) {
+    int N = 0;
+    for (const JsonValue &E : Events->elements())
+      if (E.getString("kind", "") == Kind &&
+          (Cid.empty() || E.getString("cid", "") == Cid))
+        ++N;
+    return N;
+  };
+  EXPECT_EQ(Count("request.start", "e1"), 1);
+  EXPECT_EQ(Count("cache.miss", "e1"), 1);
+  EXPECT_EQ(Count("cache.store", "e1"), 1);
+  EXPECT_EQ(Count("request.end", "e1"), 1);
+  EXPECT_EQ(Count("cache.hit", "r2"), 1);
+  // Sequence numbers are monotone.
+  double LastSeq = 0;
+  for (const JsonValue &E : Events->elements()) {
+    EXPECT_GT(E.getNumber("seq", -1), LastSeq);
+    LastSeq = E.getNumber("seq", -1);
+  }
+
+  // A limit returns only the most recent events.
+  JsonValue One = F.request("{\"id\":4,\"method\":\"events\",\"limit\":1}");
+  ASSERT_NE(One.find("events"), nullptr);
+  EXPECT_EQ(One.find("events")->elements().size(), 1u);
+}
+
+TEST(ServerTest, DegradationsLeaveFlightRecorderEvents) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":\"hash\","
+            "\"cid\":\"d1\",\"limits\":{\"max_ig_nodes\":2}}");
+  JsonValue Ev = F.request("{\"id\":2,\"method\":\"events\"}");
+  const JsonValue *Events = Ev.find("events");
+  ASSERT_NE(Events, nullptr);
+  bool Saw = false;
+  for (const JsonValue &E : Events->elements())
+    if (E.getString("kind", "") == "degradation" &&
+        E.getString("cid", "") == "d1")
+      Saw = true;
+  EXPECT_TRUE(Saw);
+}
+
+TEST(ServerTest, ConcurrentRequestsKeepExactTotals) {
+  // handleLine from several threads at once: every response parses, and
+  // the daemon aggregate counts every request exactly once.
+  ServerFixture F;
+  F.request("{\"id\":0,\"method\":\"analyze\",\"corpus\":\"misr\"}");
+  constexpr unsigned NumThreads = 4;
+  constexpr int PerThread = 25;
+  std::vector<std::vector<std::string>> Replies(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&F, &Replies, T] {
+      std::ostringstream Sink; // per-thread log; ostringstream isn't MT-safe
+      for (int I = 0; I < PerThread; ++I) {
+        bool Shut = false;
+        const char *Req =
+            (I % 3 == 0)
+                ? "{\"method\":\"analyze\",\"corpus\":\"misr\"}"
+                : (I % 3 == 1 ? "{\"method\":\"stats\"}"
+                              : "{\"method\":\"alias\",\"a\":\"c\","
+                                "\"b\":\"v\"}");
+        Replies[T].push_back(F.S.handleLine(Req, Shut, Sink));
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (const auto &PerThreadReplies : Replies)
+    for (const std::string &Line : PerThreadReplies) {
+      JsonValue R = parseResponse(Line);
+      EXPECT_TRUE(R.getBool("ok", false)) << Line;
+    }
+  JsonValue St = F.request("{\"id\":9,\"method\":\"stats\"}");
+  const JsonValue *C = St.find("counters");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getNumber("serve.requests", 0),
+            1 + NumThreads * PerThread + 1);
+  EXPECT_EQ(C->getNumber("serve.errors", -1), -1);
+}
+
+TEST(ServerTest, TelemetryDoesNotPerturbResults) {
+  // The same source analyzed with and without telemetry attached must
+  // serialize to byte-identical snapshots — instrumentation observes,
+  // never steers.
+  const corpus::CorpusProgram *CP = corpus::find("hash");
+  ASSERT_NE(CP, nullptr);
+  pta::Analyzer::Options Opts;
+  Pipeline Plain = Pipeline::analyzeSource(CP->Source, Opts);
+  ASSERT_FALSE(Plain.Diags.hasErrors());
+  Pipeline Traced = Pipeline::analyzeSourceTraced(CP->Source, Opts);
+  ASSERT_FALSE(Traced.Diags.hasErrors());
+  const std::string FP = optionsFingerprint(Opts);
+  EXPECT_EQ(
+      serialize(ResultSnapshot::capture(*Plain.Prog, Plain.Analysis, FP)),
+      serialize(ResultSnapshot::capture(*Traced.Prog, Traced.Analysis, FP)));
+
+  // And through the daemon (child telemetry attached): same key, same
+  // headline numbers as the plain pipeline's snapshot.
+  ServerFixture F;
+  JsonValue R = F.request("{\"id\":1,\"method\":\"analyze\",\"corpus\":"
+                          "\"hash\"}");
+  EXPECT_EQ(R.getString("key", ""), SummaryCache::key(CP->Source, Opts));
 }
 
 TEST(ServerTest, DegradationWarningsAreDeduplicated) {

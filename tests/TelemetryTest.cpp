@@ -9,9 +9,12 @@
 
 #include "TestUtil.h"
 
+#include "support/FlightRecorder.h"
 #include "support/Telemetry.h"
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace mcpta;
 using namespace mcpta::support;
@@ -175,6 +178,26 @@ TEST(TelemetryTest, CountersAccumulateByName) {
   EXPECT_EQ(T.counters().size(), 3u);
 }
 
+TEST(TelemetryTest, EmptyHistogramSummariesAreSafe) {
+  // min() must not report the ~0 sentinel and mean() must not divide by
+  // zero for a histogram that never recorded.
+  Telemetry T;
+  const Histogram &H = T.histogram("empty");
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.mean(), 0.0);
+  // The exporter renders it without NaN/inf artifacts.
+  std::ostringstream OS;
+  T.writeStatsJson(OS);
+  EXPECT_TRUE(isValidJson(OS.str())) << OS.str();
+  EXPECT_NE(OS.str().find("\"empty\":{\"count\":0,\"sum\":0,\"min\":0,"
+                          "\"max\":0,\"mean\":0.000}"),
+            std::string::npos)
+      << OS.str();
+}
+
 TEST(TelemetryTest, HistogramSummaries) {
   Telemetry T;
   for (uint64_t V : {0u, 1u, 2u, 5u, 8u})
@@ -213,6 +236,208 @@ TEST(TelemetryTest, DisabledModeIsANullSink) {
 
 TEST(TelemetryTest, NullTelemetrySpanIsSafe) {
   Telemetry::Span S(nullptr, "no-op"); // must not crash
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: the thread-safety contract the serve daemon and the
+// future work-stealing pool rely on.
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, ConcurrentCounterHammerKeepsExactTotals) {
+  // N threads x M increments through shared handles: relaxed atomics
+  // must lose nothing, and concurrent first-use registration of fresh
+  // names must not corrupt the registries.
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 20000;
+  Telemetry T;
+  Counter &Shared = T.counter("hammer.shared");
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&T, &Shared, I] {
+      Histogram &H = T.histogram("hammer.hist");
+      LatencyRecorder &L = T.latency("hammer.lat");
+      std::string Own = "hammer.t" + std::to_string(I);
+      for (uint64_t J = 0; J < PerThread; ++J) {
+        ++Shared;
+        T.add(Own, 1);
+        H.record(J & 0xff);
+        L.recordUs(J & 0xfff);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(T.counters().at("hammer.shared").load(), NumThreads * PerThread);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    EXPECT_EQ(T.counters().at("hammer.t" + std::to_string(I)).load(),
+              PerThread);
+  EXPECT_EQ(T.histograms().at("hammer.hist").count(),
+            NumThreads * PerThread);
+  EXPECT_EQ(T.latencies().at("hammer.lat").count(), NumThreads * PerThread);
+}
+
+TEST(TelemetryTest, ConcurrentSpansAndExports) {
+  // Spans opened on several threads while another thread exports: the
+  // registration mutex must keep the span vector and the exporters
+  // coherent (exact interleaving is unspecified; no crash, valid JSON).
+  Telemetry T;
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < 4; ++I)
+    Threads.emplace_back([&T] {
+      for (int J = 0; J < 200; ++J) {
+        Telemetry::Span S(&T, "worker");
+        ++T.counter("spun");
+      }
+    });
+  for (int J = 0; J < 20; ++J) {
+    std::ostringstream OS;
+    T.writeStatsJson(OS);
+    EXPECT_TRUE(isValidJson(OS.str()));
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(T.spans().size(), 800u);
+  EXPECT_EQ(T.counters().at("spun").load(), 800u);
+}
+
+TEST(TelemetryTest, MergeFromFoldsChildIntoAggregate) {
+  Telemetry Daemon;
+  Daemon.add("serve.requests", 3);
+  Daemon.record("sizes", 10);
+  {
+    Telemetry Child;
+    Child.setCorrelationId("r7");
+    Child.add("serve.requests", 1);
+    Child.add("pta.body_analyses", 5);
+    Child.record("sizes", 2);
+    Child.latency("serve.latency.analyze").recordUs(1500);
+    Child.gauge("mem.peak_rss_kb", 4096);
+    {
+      Telemetry::Span S(&Child, "analyze");
+    }
+    Daemon.mergeFrom(Child);
+  }
+  EXPECT_EQ(Daemon.counters().at("serve.requests").load(), 4u);
+  EXPECT_EQ(Daemon.counters().at("pta.body_analyses").load(), 5u);
+  const Histogram &H = Daemon.histograms().at("sizes");
+  EXPECT_EQ(H.count(), 2u);
+  EXPECT_EQ(H.min(), 2u);
+  EXPECT_EQ(H.max(), 10u);
+  EXPECT_EQ(Daemon.latencies().at("serve.latency.analyze").count(), 1u);
+  EXPECT_EQ(Daemon.gauges().at("mem.peak_rss_kb"), 4096u);
+  // Spans stay request-scoped: the aggregate never accumulates them.
+  EXPECT_TRUE(Daemon.spans().empty());
+  // The child's correlation id does not leak into the aggregate.
+  EXPECT_EQ(Daemon.correlationId(), "");
+}
+
+TEST(TelemetryTest, LatencyQuantilesAreConservative) {
+  Telemetry T;
+  LatencyRecorder &L = T.latency("lat");
+  // 100 samples 1..100 ms: p50 must cover 50ms, p99 must cover 99ms,
+  // and the log-linear buckets overstate by at most ~12.5%.
+  for (uint64_t Ms = 1; Ms <= 100; ++Ms)
+    L.recordUs(Ms * 1000);
+  EXPECT_EQ(L.count(), 100u);
+  EXPECT_GE(L.quantileUs(0.50), 50u * 1000);
+  EXPECT_LE(L.quantileUs(0.50), 57u * 1000);
+  EXPECT_GE(L.quantileUs(0.99), 99u * 1000);
+  EXPECT_LE(L.quantileUs(0.99), 112u * 1000);
+  EXPECT_GE(L.quantileUs(1.0), L.quantileUs(0.5));
+  EXPECT_NEAR(L.maxMs(), 100.0, 1e-9);
+  EXPECT_NEAR(L.meanMs(), 50.5, 1e-9);
+  // Empty recorder: all summaries zero.
+  const LatencyRecorder &E = T.latency("empty");
+  EXPECT_EQ(E.quantileUs(0.5), 0u);
+  EXPECT_EQ(E.maxMs(), 0.0);
+  EXPECT_EQ(E.meanMs(), 0.0);
+}
+
+TEST(TelemetryTest, LatencyBucketBoundsRoundTrip) {
+  // Every value maps into a bucket whose upper bound covers it, within
+  // one sub-bucket of log-linear resolution.
+  for (uint64_t V : {0ull, 1ull, 7ull, 8ull, 9ull, 15ull, 16ull, 100ull,
+                     1000ull, 123456ull, 10000000ull}) {
+    unsigned B = LatencyRecorder::bucketOf(V);
+    EXPECT_GE(LatencyRecorder::bucketUpperUs(B), V) << V;
+    if (B > 0) {
+      EXPECT_LT(LatencyRecorder::bucketUpperUs(B - 1), V) << V;
+    }
+  }
+}
+
+TEST(TelemetryTest, GaugesExportAndOverwrite) {
+  Telemetry T;
+  T.gauge("mem.peak_rss_kb", 100);
+  T.gauge("mem.peak_rss_kb", 250); // last write wins
+  T.gauge("mem.cache_resident_bytes", 12345);
+  EXPECT_EQ(T.gauges().at("mem.peak_rss_kb"), 250u);
+  std::ostringstream OS;
+  T.writeStatsJson(OS);
+  EXPECT_TRUE(isValidJson(OS.str())) << OS.str();
+  EXPECT_NE(OS.str().find("\"gauges\":{\"mem.cache_resident_bytes\":12345,"
+                          "\"mem.peak_rss_kb\":250}"),
+            std::string::npos)
+      << OS.str();
+}
+
+TEST(TelemetryTest, PeakRssKbReportsSomethingPlausible) {
+  uint64_t Kb = peakRssKb();
+  // A running test process holds at least a megabyte and (sanity bound)
+  // less than a terabyte.
+  EXPECT_GT(Kb, 1024u);
+  EXPECT_LT(Kb, uint64_t(1) << 30);
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorderTest, RingKeepsMostRecentAndCountsDrops) {
+  FlightRecorder FR(/*Capacity=*/4);
+  for (int I = 1; I <= 6; ++I)
+    FR.record("request.start", "r" + std::to_string(I), "method=analyze");
+  EXPECT_EQ(FR.totalRecorded(), 6u);
+  EXPECT_EQ(FR.dropped(), 2u);
+  std::vector<FlightRecorder::Event> Events = FR.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Events.front().Cid, "r3"); // oldest retained
+  EXPECT_EQ(Events.back().Cid, "r6");
+  EXPECT_EQ(Events.back().Seq, 6u);
+  // Limited snapshot returns the most recent events, oldest first.
+  std::vector<FlightRecorder::Event> Two = FR.snapshot(2);
+  ASSERT_EQ(Two.size(), 2u);
+  EXPECT_EQ(Two[0].Cid, "r5");
+  EXPECT_EQ(Two[1].Cid, "r6");
+  // Timestamps are monotone.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_GE(Events[I].TsUs, Events[I - 1].TsUs);
+}
+
+TEST(FlightRecorderTest, EventJsonIsValid) {
+  FlightRecorder FR;
+  FR.record("degradation", "r1", "kind=\"deadline\"\ncontext=f");
+  std::string J = FlightRecorder::eventJson(FR.snapshot().front());
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"kind\":\"degradation\""), std::string::npos);
+  EXPECT_NE(J.find("\"cid\":\"r1\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersLoseNothing) {
+  FlightRecorder FR(/*Capacity=*/64);
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t PerThread = 5000;
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Threads.emplace_back([&FR, I] {
+      for (uint64_t J = 0; J < PerThread; ++J)
+        FR.record("tick", "t" + std::to_string(I), "");
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(FR.totalRecorded(), NumThreads * PerThread);
+  EXPECT_EQ(FR.dropped(), NumThreads * PerThread - 64);
+  EXPECT_EQ(FR.snapshot().size(), 64u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -296,8 +521,9 @@ TEST(TelemetryTest, PipelineRecordsAllPhases) {
     EXPECT_TRUE(HasSpan(Phase)) << Phase;
   // ig-build and pointsto nest inside analyze.
   for (const auto &S : P.Telem->spans())
-    if (S.Name == "ig-build" || S.Name == "pointsto")
+    if (S.Name == "ig-build" || S.Name == "pointsto") {
       EXPECT_EQ(S.Depth, 1u) << S.Name;
+    }
 }
 
 TEST(TelemetryTest, WarningsSurfaceThroughDiagnostics) {
@@ -366,6 +592,22 @@ TEST(TelemetryTest, ProfileTableListsPhases) {
   std::string Table = P.Telem->profileTable();
   for (const char *Phase : {"lex", "parse", "simplify", "pointsto", "total"})
     EXPECT_NE(Table.find(Phase), std::string::npos) << Table;
+}
+
+TEST(TelemetryTest, ProfileTableSortsByWallTimeAndShowsMem) {
+  Telemetry T;
+  {
+    Telemetry::Span Slow(&T, "slow");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  { Telemetry::Span Fast(&T, "fast"); }
+  T.gauge("mem.peak_rss_kb", 777);
+  std::string Table = T.profileTable();
+  // Hottest phase first, regardless of start order.
+  EXPECT_LT(Table.find("slow"), Table.find("fast")) << Table;
+  // mem.* gauges surface as a final summary line.
+  EXPECT_NE(Table.find("mem:"), std::string::npos) << Table;
+  EXPECT_NE(Table.find("peak_rss_kb=777"), std::string::npos) << Table;
 }
 
 //===----------------------------------------------------------------------===//
