@@ -618,13 +618,16 @@ void Server::handleStats(Response &Resp) {
 
   Resp.member("latency", Telem->latencyJson());
 
+  // Snapshot under the telemetry lock: other requests register counter
+  // names concurrently (StateMu does not cover the telemetry maps), so
+  // the raw counters() map must not be iterated live here.
   std::string Counters = "{";
   First = true;
-  for (const auto &[Name, C] : Telem->counters()) {
+  for (const auto &[Name, V] : Telem->countersSnapshot()) {
     if (!First)
       Counters += ",";
     First = false;
-    Counters += quoted(Name) + ":" + std::to_string(C.load());
+    Counters += quoted(Name) + ":" + std::to_string(V);
   }
   Counters += "}";
   Resp.member("counters", Counters);

@@ -70,10 +70,15 @@ SummaryCache::SummaryCache(Config C, support::Telemetry *Telem)
 
 void SummaryCache::bump(const char *Name, uint64_t Delta,
                         const RequestScope &Req) {
-  if (Telem)
-    Telem->add(Name, Delta);
+  // Exactly one sink per increment: the request scope when one is
+  // attached (the server folds it into the daemon aggregate via
+  // Telemetry::mergeFrom when the request completes), otherwise the
+  // construction-time aggregate directly. Writing to both would double
+  // the aggregate after the merge.
   if (Req.Telem && Req.Telem != Telem)
     Req.Telem->add(Name, Delta);
+  else if (Telem)
+    Telem->add(Name, Delta);
 }
 
 void SummaryCache::event(std::string_view Kind, const RequestScope &Req,

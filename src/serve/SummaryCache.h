@@ -79,9 +79,12 @@ public:
   /// RequestScope parameters below). May be null (the default).
   void setFlightRecorder(support::FlightRecorder *FR) { Recorder = FR; }
 
-  /// Per-request attribution for one cache operation: counters mirror
-  /// into \p Telem as well as the construction-time aggregate sink, and
-  /// flight-recorder events carry \p Cid. Both optional.
+  /// Per-request attribution for one cache operation: when \p Telem is
+  /// set, counters go to it *instead of* the construction-time
+  /// aggregate sink (the caller is expected to fold the request scope
+  /// into the aggregate via Telemetry::mergeFrom, as the serve daemon
+  /// does — writing both would double-count), and flight-recorder
+  /// events carry \p Cid. Both optional.
   struct RequestScope {
     support::Telemetry *Telem;
     std::string_view Cid;

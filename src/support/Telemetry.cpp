@@ -23,10 +23,15 @@ uint64_t support::peakRssKb() {
   struct rusage RU;
   if (getrusage(RUSAGE_SELF, &RU) != 0)
     return 0;
-  // Linux reports ru_maxrss in KiB already; macOS reports bytes. This
-  // project targets Linux (CI and the serve deployment), so take the
-  // value as KiB.
-  return RU.ru_maxrss > 0 ? static_cast<uint64_t>(RU.ru_maxrss) : 0;
+  if (RU.ru_maxrss <= 0)
+    return 0;
+  uint64_t V = static_cast<uint64_t>(RU.ru_maxrss);
+#ifdef __APPLE__
+  // macOS reports ru_maxrss in bytes; Linux (the CI and serve target)
+  // reports KiB.
+  V /= 1024;
+#endif
+  return V;
 }
 
 //===----------------------------------------------------------------------===//
@@ -208,23 +213,48 @@ std::map<std::string, uint64_t, std::less<>> Telemetry::gauges() const {
   return Gauges;
 }
 
+std::map<std::string, uint64_t, std::less<>>
+Telemetry::countersSnapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::map<std::string, uint64_t, std::less<>> Out;
+  for (const auto &[Name, C] : Counters)
+    Out.emplace(Name, C.load());
+  return Out;
+}
+
 void Telemetry::mergeFrom(const Telemetry &Child) {
-  if (!Enabled || !Child.Enabled)
+  if (!Enabled || !Child.Enabled || &Child == this)
     return;
-  // The child is quiescent by contract (its request completed), so its
-  // maps are stable; only this instance's registration lock is needed.
-  // Resolve handles under our lock, then mutate lock-free.
-  for (const auto &[Name, C] : Child.Counters)
-    counter(Name) += C.load();
-  for (const auto &[Name, H] : Child.Histograms)
-    histogram(Name).mergeFrom(H);
-  for (const auto &[Name, L] : Child.Latencies)
-    latency(Name).mergeFrom(L);
+  // Snapshot the child's registries under its registration lock, then
+  // fold entry-by-entry. The registries are node-stable, so pointers
+  // taken under the lock stay valid after it is released — holding both
+  // mutexes at once (a lock-ordering hazard) is never needed. The child
+  // should still be quiescent for *exact* totals (a racing recorder can
+  // land an increment after its value is read), but a racing
+  // registration on either side is structurally safe.
+  std::vector<std::pair<std::string_view, const Counter *>> Cs;
+  std::vector<std::pair<std::string_view, const Histogram *>> Hs;
+  std::vector<std::pair<std::string_view, const LatencyRecorder *>> Ls;
   std::map<std::string, uint64_t, std::less<>> ChildGauges;
   {
     std::lock_guard<std::mutex> Lock(Child.Mu);
+    Cs.reserve(Child.Counters.size());
+    for (const auto &[Name, C] : Child.Counters)
+      Cs.emplace_back(Name, &C);
+    Hs.reserve(Child.Histograms.size());
+    for (const auto &[Name, H] : Child.Histograms)
+      Hs.emplace_back(Name, &H);
+    Ls.reserve(Child.Latencies.size());
+    for (const auto &[Name, L] : Child.Latencies)
+      Ls.emplace_back(Name, &L);
     ChildGauges = Child.Gauges;
   }
+  for (const auto &[Name, C] : Cs)
+    counter(Name) += C->load();
+  for (const auto &[Name, H] : Hs)
+    histogram(Name).mergeFrom(*H);
+  for (const auto &[Name, L] : Ls)
+    latency(Name).mergeFrom(*L);
   for (const auto &[Name, V] : ChildGauges)
     gauge(Name, V);
   // Spans are intentionally not merged: a daemon aggregate would grow

@@ -40,9 +40,13 @@
 ///  - The raw `counters()` / `histograms()` accessors return the live
 ///    maps; iterating them while another thread *registers new names*
 ///    is a race. Exporters and `mergeFrom` take the lock internally;
-///    tests and single-threaded drivers may iterate freely.
+///    tests and single-threaded drivers may iterate freely. Concurrent
+///    readers use the locked copies (`gauges()`, `countersSnapshot()`).
 ///  - `mergeFrom(Child)` folds a request-scoped child instance into an
-///    aggregate; the child must be quiescent (its request finished).
+///    aggregate. It locks the child's registries while snapshotting
+///    them, so racing registration is structurally safe; the child
+///    should still be quiescent (its request finished) for the merged
+///    totals to be exact.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -281,6 +285,13 @@ public:
   void gauge(std::string_view Name, uint64_t Value);
   /// Copy of the gauge map (name -> latest value).
   std::map<std::string, uint64_t, std::less<>> gauges() const;
+
+  /// Copy of the counter totals (name -> value), taken under the
+  /// registration lock. The accessor to use while other threads may
+  /// still be registering counter names (the serve daemon's stats
+  /// path); the raw counters() map is only safe to iterate once
+  /// registration has quiesced.
+  std::map<std::string, uint64_t, std::less<>> countersSnapshot() const;
 
   /// Convenience mutators; both are no-ops when disabled. add() with a
   /// zero delta still registers the counter name, so a run's exported

@@ -480,6 +480,20 @@ TEST(ServerTest, StatsReportsHitRatioAndUptime) {
   JsonValue St1 = F.request("{\"id\":4,\"method\":\"stats\"}");
   EXPECT_EQ(St1.getNumber("cache_hit_ratio", -1), 0.5);
   EXPECT_GE(St1.getNumber("uptime_ms", -1), St0.getNumber("uptime_ms", -1));
+
+  // The aggregate cache.* counters agree with the cache's own Stats
+  // block: each increment lands in the daemon aggregate exactly once
+  // (via the request-scope merge), never once per telemetry sink.
+  const JsonValue *Cache = St1.find("cache");
+  const JsonValue *C = St1.find("counters");
+  ASSERT_NE(Cache, nullptr);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getNumber("cache.hits", -1), Cache->getNumber("hits", -2));
+  EXPECT_EQ(C->getNumber("cache.misses", -1),
+            Cache->getNumber("misses", -2));
+  EXPECT_EQ(C->getNumber("cache.hits", -1), 1);
+  EXPECT_EQ(C->getNumber("cache.misses", -1), 1);
+  EXPECT_EQ(C->getNumber("cache.stores", -1), 1);
 }
 
 TEST(ServerTest, ShutdownFlagsAndRunLoop) {

@@ -178,6 +178,20 @@ TEST(TelemetryTest, CountersAccumulateByName) {
   EXPECT_EQ(T.counters().size(), 3u);
 }
 
+TEST(TelemetryTest, CountersSnapshotIsALockedCopy) {
+  Telemetry T;
+  T.add("a", 5);
+  T.add("b", 2);
+  std::map<std::string, uint64_t, std::less<>> Snap = T.countersSnapshot();
+  EXPECT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap.at("a"), 5u);
+  EXPECT_EQ(Snap.at("b"), 2u);
+  // The copy is decoupled from later traffic.
+  T.add("a", 1);
+  EXPECT_EQ(Snap.at("a"), 5u);
+  EXPECT_EQ(T.countersSnapshot().at("a"), 6u);
+}
+
 TEST(TelemetryTest, EmptyHistogramSummariesAreSafe) {
   // min() must not report the ~0 sentinel and mean() must not divide by
   // zero for a histogram that never recorded.
@@ -293,6 +307,13 @@ TEST(TelemetryTest, ConcurrentSpansAndExports) {
     std::ostringstream OS;
     T.writeStatsJson(OS);
     EXPECT_TRUE(isValidJson(OS.str()));
+    // The locked copy the serve stats path iterates must also be safe
+    // against concurrent name registration ("spun" may not be
+    // registered yet on early iterations).
+    std::map<std::string, uint64_t, std::less<>> Snap = T.countersSnapshot();
+    auto It = Snap.find("spun");
+    if (It != Snap.end())
+      EXPECT_LE(It->second, 800u);
   }
   for (std::thread &Th : Threads)
     Th.join();
@@ -329,6 +350,32 @@ TEST(TelemetryTest, MergeFromFoldsChildIntoAggregate) {
   EXPECT_TRUE(Daemon.spans().empty());
   // The child's correlation id does not leak into the aggregate.
   EXPECT_EQ(Daemon.correlationId(), "");
+  // Self-merge is a guarded no-op, not a deadlock or a doubling.
+  Daemon.mergeFrom(Daemon);
+  EXPECT_EQ(Daemon.counters().at("serve.requests").load(), 4u);
+}
+
+TEST(TelemetryTest, MergeFromToleratesRacingChildRegistration) {
+  // Exact totals want a quiescent child, but a child that is still
+  // registering names while an aggregate merges must be structurally
+  // safe: mergeFrom snapshots the child's registries under its lock.
+  Telemetry Daemon;
+  Telemetry Child;
+  std::thread Writer([&Child] {
+    for (int I = 0; I < 500; ++I)
+      Child.add("race." + std::to_string(I), 1);
+  });
+  for (int I = 0; I < 20; ++I)
+    Daemon.mergeFrom(Child);
+  Writer.join();
+  // One merge after quiescence: every counter lands with its final
+  // value (merges add, so totals are >= 1; exactness is not the point).
+  Daemon.mergeFrom(Child);
+  std::map<std::string, uint64_t, std::less<>> Snap =
+      Daemon.countersSnapshot();
+  EXPECT_EQ(Snap.count("race.0"), 1u);
+  EXPECT_EQ(Snap.count("race.499"), 1u);
+  EXPECT_GE(Snap.at("race.499"), 1u);
 }
 
 TEST(TelemetryTest, LatencyQuantilesAreConservative) {
