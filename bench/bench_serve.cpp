@@ -1,6 +1,6 @@
 //===- bench_serve.cpp - summary-cache payoff and query throughput -------------===//
 //
-// Two questions about the serve layer (docs/SERVING.md):
+// Four questions about the serve layer (docs/SERVING.md):
 //
 //  1. Payoff: how much faster is a warm-cache analyze than a cold one?
 //     The acceptance bar is >= 10x — a cached analyze is one key hash
@@ -8,16 +8,28 @@
 //  2. Throughput: how many alias / points_to queries per second does a
 //     resident ResultSnapshot answer? Queries never touch the analyzer,
 //     so this is pure snapshot-lookup cost.
+//  3. Pool speedup: does --serve-threads=4 actually overlap analyses?
+//     The same mixed request stream runs through a Threads=1 and a
+//     Threads=4 daemon; the pool must be faster on distinct-source
+//     analyze work AND answer every id identically (out of order is
+//     fine, different payloads are not).
+//  4. Overload: hundreds of requests against a tiny queue and a short
+//     deadline. Reported: throughput, shed rate, and the p50/p99 of
+//     admitted requests from the serve.latency.* recorders.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "serve/Json.h"
 #include "serve/Server.h"
 
 #include <chrono>
 #include <functional>
+#include <map>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace mcpta;
 using namespace mcpta::benchutil;
@@ -113,6 +125,230 @@ void printQueryThroughput() {
 }
 
 //===----------------------------------------------------------------------===//
+// Pool speedup: the same stream through Threads=1 and Threads=4
+//===----------------------------------------------------------------------===//
+
+/// Distinct-source analyze requests (a unique trailing declaration per
+/// id defeats the cache) so the pool has genuinely parallel work.
+std::string mixedStream(int Requests) {
+  std::string Input;
+  const auto &Corpus = corpus::corpus();
+  for (int I = 0; I < Requests; ++I) {
+    const corpus::CorpusProgram &CP = Corpus[I % Corpus.size()];
+    std::string Source = std::string(CP.Source) + "\nint bench_uniq_" +
+                         std::to_string(I) + "(void) { return " +
+                         std::to_string(I) + "; }\n";
+    Input += "{\"id\":" + std::to_string(I + 1) +
+             ",\"method\":\"analyze\",\"source\":\"" +
+             support::Telemetry::jsonEscape(Source) + "\"}\n";
+  }
+  Input += "{\"id\":0,\"method\":\"shutdown\"}\n";
+  return Input;
+}
+
+/// Runs \p Input through a daemon with \p Threads workers; returns wall
+/// ms and fills \p ById with each response's result members (transport
+/// metadata stripped), for the identity check.
+double runStream(unsigned Threads, const std::string &Input,
+                 std::map<int, std::string> &ById) {
+  Server::Config Cfg;
+  Cfg.Threads = Threads;
+  Server S(Cfg);
+  std::istringstream In(Input);
+  std::ostringstream OutS, Log;
+  double Ms = timeMs([&] {
+    if (S.run(In, OutS, Log) != 0) {
+      std::fprintf(stderr, "FATAL: serve loop exited non-zero\n");
+      std::abort();
+    }
+  });
+  std::istringstream Lines(OutS.str());
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.empty())
+      continue;
+    JsonValue R;
+    std::string Err;
+    if (!parseJson(Line, R, Err)) {
+      std::fprintf(stderr, "FATAL: malformed response: %s\n", Line.c_str());
+      std::abort();
+    }
+    int Id = static_cast<int>(R.getNumber("id", -1));
+    std::ostringstream Sig;
+    Sig << R.getBool("ok", false) << "|" << R.getBool("degraded", false)
+        << "|" << R.getBool("overloaded", false) << "|"
+        << R.getString("key", "") << "|" << R.getNumber("locations", -1)
+        << "|" << R.getNumber("alias_pairs", -1);
+    ById[Id] = Sig.str();
+  }
+  return Ms;
+}
+
+struct PoolResult {
+  double SeqMs = 0, PoolMs = 0, Speedup = 0;
+  bool Identical = false;
+  int Requests = 0;
+};
+
+PoolResult measurePoolSpeedup() {
+  printHeader("Serve layer", "worker-pool speedup on distinct analyzes");
+  PoolResult PR;
+  PR.Requests = 32;
+  const std::string Input = mixedStream(PR.Requests);
+  std::map<int, std::string> Seq, Pool;
+  PR.SeqMs = runStream(1, Input, Seq);
+  PR.PoolMs = runStream(4, Input, Pool);
+  PR.Speedup = PR.PoolMs > 0 ? PR.SeqMs / PR.PoolMs : 0.0;
+  PR.Identical = Seq == Pool;
+  std::printf("%-10s %10s %10s %10s %10s\n", "requests", "seq-ms", "pool-ms",
+              "speedup", "identical");
+  std::printf("%-10d %10.1f %10.1f %9.2fx %10s\n", PR.Requests, PR.SeqMs,
+              PR.PoolMs, PR.Speedup, PR.Identical ? "yes" : "NO");
+  if (!PR.Identical) {
+    std::fprintf(stderr, "FATAL: pool answers differ from sequential\n");
+    std::abort();
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  std::printf("\nacceptance bar: >= 2x with --serve-threads=4 on "
+              "parallelizable work\n(%u hardware thread%s available%s)\n\n",
+              HW, HW == 1 ? "" : "s",
+              HW < 2 ? "; speedup is not expected on this machine" : "");
+  return PR;
+}
+
+//===----------------------------------------------------------------------===//
+// Overload: hundreds of requests against a tiny queue + short deadline
+//===----------------------------------------------------------------------===//
+
+struct OverloadResult {
+  int Requests = 0, Ok = 0, Shed = 0, Errors = 0;
+  double WallMs = 0, Throughput = 0, ShedRate = 0;
+  double P50Ms = 0, P99Ms = 0, QueueWaitP99Ms = 0;
+};
+
+OverloadResult measureOverload() {
+  printHeader("Serve layer",
+              "overload: tiny queue, short deadline, mixed cold/warm");
+  OverloadResult O;
+  O.Requests = 400;
+
+  // Mixed pressure: one cold analyze per 4 requests (distinct source),
+  // the rest warm repeats of a small working set — the realistic shape
+  // of a build-service burst.
+  const auto &Corpus = corpus::corpus();
+  std::string Input;
+  for (int I = 0; I < O.Requests; ++I) {
+    const corpus::CorpusProgram &CP = Corpus[I % Corpus.size()];
+    std::string Source(CP.Source);
+    if (I % 4 == 0)
+      Source += "\nint bench_cold_" + std::to_string(I) +
+                "(void) { return 0; }\n";
+    Input += "{\"id\":" + std::to_string(I + 1) +
+             ",\"method\":\"analyze\",\"source\":\"" +
+             support::Telemetry::jsonEscape(Source) + "\"}\n";
+  }
+  // EOF (not shutdown) ends the stream: the queue drains fully.
+
+  Server::Config Cfg;
+  Cfg.Threads = 4;
+  Cfg.QueueCap = 8;
+  Cfg.RequestDeadlineMs = 50;
+  Server S(Cfg);
+  std::istringstream In(Input);
+  std::ostringstream Out, Log;
+  O.WallMs = timeMs([&] {
+    if (S.run(In, Out, Log) != 0)
+      std::abort();
+  });
+
+  std::istringstream Lines(Out.str());
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    if (Line.empty())
+      continue;
+    JsonValue R;
+    std::string Err;
+    if (!parseJson(Line, R, Err))
+      std::abort();
+    if (R.getBool("ok", false))
+      ++O.Ok;
+    else if (R.getBool("overloaded", false))
+      ++O.Shed;
+    else
+      ++O.Errors;
+  }
+  O.Throughput = O.WallMs > 0 ? (O.Ok + O.Shed) * 1000.0 / O.WallMs : 0.0;
+  O.ShedRate = O.Requests ? double(O.Shed) / O.Requests : 0.0;
+  support::LatencyRecorder &Lat =
+      S.telemetry().latency("serve.latency.analyze");
+  O.P50Ms = Lat.quantileMs(0.50);
+  O.P99Ms = Lat.quantileMs(0.99);
+  O.QueueWaitP99Ms =
+      S.telemetry().latency("serve.latency.queue_wait").quantileMs(0.99);
+
+  std::printf("%-10s %8s %8s %8s %10s %10s %8s %8s\n", "requests", "ok",
+              "shed", "errors", "reqs/sec", "shed-rate", "p50-ms", "p99-ms");
+  std::printf("%-10d %8d %8d %8d %10.0f %9.1f%% %8.2f %8.2f\n", O.Requests,
+              O.Ok, O.Shed, O.Errors, O.Throughput, O.ShedRate * 100.0,
+              O.P50Ms, O.P99Ms);
+  std::printf("\nqueue-wait p99: %.2f ms; every request was answered "
+              "(%d + %d + %d = %d)\n",
+              O.QueueWaitP99Ms, O.Ok, O.Shed, O.Errors,
+              O.Ok + O.Shed + O.Errors);
+  std::printf("(p50/p99 cover served requests only; on an oversubscribed "
+              "machine wall-clock\n latency includes scheduler time the "
+              "deadline budget cannot see)\n\n");
+  if (O.Ok + O.Shed + O.Errors != O.Requests) {
+    std::fprintf(stderr, "FATAL: %d responses for %d requests\n",
+                 O.Ok + O.Shed + O.Errors, O.Requests);
+    std::abort();
+  }
+  return O;
+}
+
+/// The machine-readable side (ROADMAP: "mcpta-serve-bench schema"):
+/// pool-speedup and overload metrics as one JSON document.
+bool writeServeBenchJson(const std::string &Path, const PoolResult &PR,
+                         const OverloadResult &O) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write serve-bench JSON to '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  OS << "{\"schema\":\"mcpta-serve-bench-v1\",\"tool_version\":\""
+     << support::Telemetry::jsonEscape(version::kToolVersion)
+     << "\",\"hw_threads\":" << std::thread::hardware_concurrency() << ","
+     << "\"pool\":{\"requests\":" << PR.Requests << ",\"seq_ms\":" << PR.SeqMs
+     << ",\"pool_ms\":" << PR.PoolMs << ",\"speedup\":" << PR.Speedup
+     << ",\"identical\":" << (PR.Identical ? "true" : "false") << "},"
+     << "\"overload\":{\"requests\":" << O.Requests << ",\"ok\":" << O.Ok
+     << ",\"shed\":" << O.Shed << ",\"errors\":" << O.Errors
+     << ",\"wall_ms\":" << O.WallMs << ",\"reqs_per_sec\":" << O.Throughput
+     << ",\"shed_rate\":" << O.ShedRate << ",\"p50_ms\":" << O.P50Ms
+     << ",\"p99_ms\":" << O.P99Ms
+     << ",\"queue_wait_p99_ms\":" << O.QueueWaitP99Ms << "}}\n";
+  return bool(OS);
+}
+
+/// Extracts `--serve-bench-json=FILE` before google-benchmark parses
+/// argv (same contract as benchutil::statsJsonPath).
+std::string serveBenchJsonPath(int &argc, char **argv) {
+  std::string Path;
+  int W = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--serve-bench-json=", 0) == 0) {
+      Path = Arg.substr(std::strlen("--serve-bench-json="));
+      continue;
+    }
+    argv[W++] = argv[I];
+  }
+  argc = W;
+  return Path;
+}
+
+//===----------------------------------------------------------------------===//
 // google-benchmark timers
 //===----------------------------------------------------------------------===//
 
@@ -178,10 +414,15 @@ BENCHMARK(BM_PointsToQuery)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char **argv) {
   std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
+  std::string ServeBenchJson = serveBenchJsonPath(argc, argv);
   printColdWarmSweep();
   printQueryThroughput();
+  PoolResult PR = measurePoolSpeedup();
+  OverloadResult O = measureOverload();
   if (!StatsJson.empty() &&
       !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "serve"))
+    return 1;
+  if (!ServeBenchJson.empty() && !writeServeBenchJson(ServeBenchJson, PR, O))
     return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -42,6 +42,18 @@
 //                         a memory-only cache). Also threads the cache
 //                         through --batch: cached files skip analysis
 //                         and the batch summary line reports hits.
+//   --serve-threads=N     worker threads for the daemon (default 1 =
+//                         sequential loop; N > 1 enables the bounded
+//                         queue + pool, responses may be out of order)
+//   --serve-queue-cap=N   bounded request-queue capacity (default 128);
+//                         a full queue sheds with an overloaded error
+//   --serve-deadline-ms=N per-request deadline budget; queue wait
+//                         counts against it and pressure tightens it
+//   --serve-max-line-bytes=N
+//                         NDJSON input-line bound (default 8 MiB)
+//   --fault-inject=SPEC   deterministic fault injection for chaos
+//                         testing (docs/ROBUSTNESS.md grammar); "on"
+//                         accepts per-request "fault" members only
 //
 // Incremental re-analysis (docs/INCREMENTAL.md):
 //   --incremental-baseline=PATH
@@ -122,6 +134,9 @@ int usage() {
       "[--max-locations=N]\n"
       "                [--max-ig-nodes=N] [--max-rec-passes=N] [--strict]\n"
       "                [--cache-dir=DIR] [--incremental-baseline=PATH]\n"
+      "                [--serve-threads=N] [--serve-queue-cap=N]\n"
+      "                [--serve-deadline-ms=N] [--serve-max-line-bytes=N]\n"
+      "                [--fault-inject=SPEC]\n"
       "                (file.c | --corpus NAME | --batch DIR | --serve |\n"
       "                 --list-corpus | --gen-stress[=DEPTH] | --version)\n");
   return 1;
@@ -506,12 +521,31 @@ int runIncremental(const std::string &Source, const ToolConfig &Cfg,
   return (Cfg.Strict && Degraded) ? 2 : 0;
 }
 
+/// Serve-daemon knobs collected from the command line (--serve-* and
+/// --fault-inject); zero means "keep the Server::Config default".
+struct ServeConfig {
+  uint64_t Threads = 0;
+  uint64_t QueueCap = 0;
+  uint64_t DeadlineMs = 0;
+  uint64_t MaxLineBytes = 0;
+  std::string FaultSpec;
+};
+
 /// The long-lived daemon: NDJSON requests on stdin, one-line responses
 /// on stdout, operational log on stderr (docs/SERVING.md).
-int runServe(const ToolConfig &Cfg, const std::string &CacheDir) {
+int runServe(const ToolConfig &Cfg, const std::string &CacheDir,
+             const ServeConfig &Serve) {
   serve::Server::Config SC;
   SC.Cache.Dir = CacheDir;
   SC.DefaultOpts = Cfg.Opts;
+  if (Serve.Threads)
+    SC.Threads = static_cast<unsigned>(Serve.Threads);
+  if (Serve.QueueCap)
+    SC.QueueCap = static_cast<size_t>(Serve.QueueCap);
+  SC.RequestDeadlineMs = Serve.DeadlineMs;
+  if (Serve.MaxLineBytes)
+    SC.MaxLineBytes = static_cast<size_t>(Serve.MaxLineBytes);
+  SC.FaultSpec = Serve.FaultSpec;
   serve::Server S(SC);
   return S.run(std::cin, std::cout, std::cerr);
 }
@@ -522,6 +556,7 @@ int main(int argc, char **argv) {
   ToolConfig Cfg;
   std::string File, CorpusName, BatchDir, IncrBaselinePath;
   bool Serve = false;
+  ServeConfig ServeCfg;
   const char *EnvCacheDir = std::getenv("MCPTA_CACHE_DIR");
   std::string CacheDir = EnvCacheDir ? EnvCacheDir : ".mcpta-cache";
   // Batch mode only caches when a directory was actually requested
@@ -539,7 +574,28 @@ int main(int argc, char **argv) {
       return 0;
     } else if (Arg == "--serve")
       Serve = true;
-    else if (Arg.compare(0, 12, "--cache-dir=") == 0) {
+    else if (parseU64Flag(Arg, "--serve-threads", ServeCfg.Threads,
+                          BadNumber) ||
+             parseU64Flag(Arg, "--serve-queue-cap", ServeCfg.QueueCap,
+                          BadNumber) ||
+             parseU64Flag(Arg, "--serve-deadline-ms", ServeCfg.DeadlineMs,
+                          BadNumber) ||
+             parseU64Flag(Arg, "--serve-max-line-bytes",
+                          ServeCfg.MaxLineBytes, BadNumber)) {
+      if (BadNumber)
+        return 1;
+    } else if (Arg.compare(0, 15, "--fault-inject=") == 0) {
+      ServeCfg.FaultSpec = Arg.substr(15);
+      // Validate up front: a typo'd point name should fail loudly at
+      // startup, not after the daemon is wired into a pipeline.
+      support::FaultInjection FI;
+      std::string Err;
+      if (!FI.parse(ServeCfg.FaultSpec, Err)) {
+        std::fprintf(stderr, "error: bad --fault-inject spec: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+    } else if (Arg.compare(0, 12, "--cache-dir=") == 0) {
       CacheDir = Arg.substr(12);
       CacheDirRequested = true;
     } else if (Arg.compare(0, 23, "--incremental-baseline=") == 0)
@@ -615,8 +671,15 @@ int main(int argc, char **argv) {
                          "--serve (the daemon caches by content)\n");
     return 1;
   }
+  if (!Serve && (ServeCfg.Threads || ServeCfg.QueueCap ||
+                 ServeCfg.DeadlineMs || ServeCfg.MaxLineBytes ||
+                 !ServeCfg.FaultSpec.empty())) {
+    std::fprintf(stderr, "error: --serve-* and --fault-inject flags apply "
+                         "only to --serve\n");
+    return 1;
+  }
   if (Serve)
-    return runServe(Cfg, CacheDir);
+    return runServe(Cfg, CacheDir, ServeCfg);
   if (!BatchDir.empty())
     return runBatch(BatchDir, Cfg, CacheDirRequested ? CacheDir : "",
                     IncrBaselinePath);

@@ -1,0 +1,107 @@
+//===- RequestQueue.h - Bounded request queue for the serve pool -*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded multi-producer/multi-consumer queue between the serve
+/// daemon's reader and its worker pool (docs/SERVING.md, "Concurrency
+/// model"). Capacity is the admission-control backstop: push() never
+/// blocks — a full queue returns Full and the reader sheds the request
+/// with an `overloaded` error instead of queueing unboundedly.
+///
+/// close() seals the producer side for orderly shutdown: pushes are
+/// refused with Closed, but items already queued keep draining, so
+/// requests accepted before a `shutdown` still get answers. pop()
+/// blocks until an item is available or the queue is closed and empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SERVE_REQUESTQUEUE_H
+#define MCPTA_SERVE_REQUESTQUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace mcpta {
+namespace serve {
+
+class RequestQueue {
+public:
+  struct Item {
+    std::string Line;
+    uint64_t Seq = 0;
+    /// When the reader accepted the line; workers derive the queue-wait
+    /// component of the request's admission budget from it.
+    std::chrono::steady_clock::time_point EnqueuedAt;
+  };
+
+  enum class PushResult { Ok, Full, Closed };
+
+  explicit RequestQueue(size_t Capacity) : Cap(Capacity ? Capacity : 1) {}
+
+  /// Non-blocking enqueue: Full when at capacity (the caller sheds),
+  /// Closed after close() (the caller rejects with a shutdown error).
+  PushResult push(Item I) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (IsClosed)
+        return PushResult::Closed;
+      if (Q.size() >= Cap)
+        return PushResult::Full;
+      Q.push_back(std::move(I));
+    }
+    Cv.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  /// Returns false only in the latter case (the consumer's exit signal).
+  bool pop(Item &Out) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Cv.wait(Lock, [&] { return !Q.empty() || IsClosed; });
+    if (Q.empty())
+      return false;
+    Out = std::move(Q.front());
+    Q.pop_front();
+    return true;
+  }
+
+  /// Seals the producer side. Idempotent; queued items still drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      IsClosed = true;
+    }
+    Cv.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Q.size();
+  }
+
+  size_t capacity() const { return Cap; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return IsClosed;
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Item> Q;
+  const size_t Cap;
+  bool IsClosed = false;
+};
+
+} // namespace serve
+} // namespace mcpta
+
+#endif // MCPTA_SERVE_REQUESTQUEUE_H

@@ -6,6 +6,7 @@
 #include "driver/Pipeline.h"
 #include "incr/IncrementalEngine.h"
 #include "serve/Json.h"
+#include "serve/RequestQueue.h"
 #include "support/Version.h"
 
 #include <chrono>
@@ -14,10 +15,13 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 using namespace mcpta;
 using namespace mcpta::serve;
 
+using support::FaultInjection;
 using support::FlightRecorder;
 using support::Telemetry;
 
@@ -71,6 +75,86 @@ bool isKnownMethod(std::string_view M) {
          M == "invalidate" || M == "shutdown";
 }
 
+double msSince(std::chrono::steady_clock::time_point T) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T)
+      .count();
+}
+
+/// Strict UTF-8 validation (rejects overlongs, surrogates, > U+10FFFF).
+/// The protocol is JSON, which is UTF-8 by definition; a line that is
+/// not gets a protocol error before the parser ever sees it.
+bool isValidUtf8(std::string_view S) {
+  size_t I = 0;
+  while (I < S.size()) {
+    unsigned char C = static_cast<unsigned char>(S[I]);
+    if (C < 0x80) {
+      ++I;
+      continue;
+    }
+    size_t Need;
+    if (C >= 0xc2 && C < 0xe0)
+      Need = 1;
+    else if (C >= 0xe0 && C < 0xf0)
+      Need = 2;
+    else if (C >= 0xf0 && C < 0xf5)
+      Need = 3;
+    else
+      return false; // bare continuation, overlong lead, or > U+10FFFF
+    if (S.size() - I - 1 < Need)
+      return false;
+    unsigned char C1 = static_cast<unsigned char>(S[I + 1]);
+    unsigned char Lo = 0x80, Hi = 0xbf;
+    if (C == 0xe0)
+      Lo = 0xa0; // overlong 3-byte
+    else if (C == 0xed)
+      Hi = 0x9f; // UTF-16 surrogates
+    else if (C == 0xf0)
+      Lo = 0x90; // overlong 4-byte
+    else if (C == 0xf4)
+      Hi = 0x8f; // > U+10FFFF
+    if (C1 < Lo || C1 > Hi)
+      return false;
+    for (size_t K = 2; K <= Need; ++K) {
+      unsigned char CK = static_cast<unsigned char>(S[I + K]);
+      if (CK < 0x80 || CK > 0xbf)
+        return false;
+    }
+    I += Need + 1;
+  }
+  return true;
+}
+
+enum class LineRead { Ok, Eof, TooLong };
+
+/// getline with a byte bound: an over-long line is consumed to its
+/// newline (so the stream stays line-synchronized) but never buffered
+/// beyond the cap — the defense the bound exists for.
+LineRead readBoundedLine(std::istream &In, std::string &Line, size_t Max) {
+  Line.clear();
+  std::streambuf *SB = In.rdbuf();
+  bool Over = false;
+  while (true) {
+    int C = SB ? SB->sbumpc() : std::char_traits<char>::eof();
+    if (C == std::char_traits<char>::eof()) {
+      In.setstate(std::ios::eofbit);
+      if (Over)
+        return LineRead::TooLong;
+      return Line.empty() ? LineRead::Eof : LineRead::Ok;
+    }
+    if (C == '\n')
+      return Over ? LineRead::TooLong : LineRead::Ok;
+    if (!Over) {
+      if (Line.size() >= Max) {
+        Over = true;
+        Line.clear();
+      } else {
+        Line.push_back(static_cast<char>(C));
+      }
+    }
+  }
+}
+
 } // namespace
 
 struct Server::Response {
@@ -116,6 +200,24 @@ struct Server::Response {
   }
 };
 
+/// RAII registration in the watchdog's in-flight registry.
+class Server::InFlightGuard {
+public:
+  InFlightGuard(Server &S, uint64_t Seq, const std::string &Cid,
+                uint64_t HardDeadlineMs,
+                std::shared_ptr<std::atomic<bool>> Cancel)
+      : S(S), Seq(Seq) {
+    S.registerInFlight(Seq, Cid, HardDeadlineMs, std::move(Cancel));
+  }
+  ~InFlightGuard() { S.deregisterInFlight(Seq); }
+  InFlightGuard(const InFlightGuard &) = delete;
+  InFlightGuard &operator=(const InFlightGuard &) = delete;
+
+private:
+  Server &S;
+  uint64_t Seq;
+};
+
 //===----------------------------------------------------------------------===//
 // Server
 //===----------------------------------------------------------------------===//
@@ -127,41 +229,291 @@ Server::Server(Config C)
       Cache(std::make_unique<SummaryCache>(Cfg.Cache, Telem.get())),
       StartTime(std::chrono::steady_clock::now()) {
   Cache->setFlightRecorder(Recorder.get());
+  if (!Cfg.FaultSpec.empty()) {
+    auto FI = std::make_unique<FaultInjection>();
+    std::string Err;
+    if (FI->parse(Cfg.FaultSpec, Err)) {
+      Faults = std::move(FI);
+      FaultsEnabled = true;
+      Cache->setFaultInjection(Faults.get());
+    } else {
+      FaultSpecError = "bad --fault-inject spec: " + Err;
+    }
+  }
 }
 
 Server::~Server() = default;
 
 int Server::run(std::istream &In, std::ostream &Out, std::ostream &Log) {
-  Log << "pta-serve " << version::kToolVersion << " (result format "
-      << version::kResultFormatName << ", version "
-      << version::kResultFormatVersion << ") ready; cache dir: "
-      << (Cfg.Cache.Dir.empty() ? "<memory only>" : Cfg.Cache.Dir.c_str())
-      << "\n"
-      << std::flush;
-  std::string Line;
-  bool WantShutdown = false;
-  while (!WantShutdown && std::getline(In, Line)) {
-    if (Line.empty())
-      continue;
-    Out << handleLine(Line, WantShutdown, Log) << "\n" << std::flush;
+  if (!FaultSpecError.empty()) {
+    std::lock_guard<std::mutex> LogLock(LogMu);
+    Log << "error: " << FaultSpecError << "\n" << std::flush;
+    return 1;
   }
+  {
+    std::lock_guard<std::mutex> LogLock(LogMu);
+    Log << "pta-serve " << version::kToolVersion << " (result format "
+        << version::kResultFormatName << ", version "
+        << version::kResultFormatVersion << ") ready; cache dir: "
+        << (Cfg.Cache.Dir.empty() ? "<memory only>" : Cfg.Cache.Dir.c_str())
+        << "; threads: " << (Cfg.Threads ? Cfg.Threads : 1);
+    if (Cfg.Threads > 1)
+      Log << "; queue capacity: " << Cfg.QueueCap;
+    if (Cfg.RequestDeadlineMs)
+      Log << "; request deadline: " << Cfg.RequestDeadlineMs << " ms";
+    if (FaultsEnabled)
+      Log << "; fault injection: " << Cfg.FaultSpec;
+    Log << "\n" << std::flush;
+  }
+
+  // The watchdog outlives both loop shapes: it cancels analyses past
+  // their hard deadline even when the (sequential) loop itself is the
+  // thread stuck running them.
+  std::atomic<bool> StopWatchdog{false};
+  uint64_t PollMs = Cfg.WatchdogPollMs ? Cfg.WatchdogPollMs : 10;
+  std::thread Watchdog([this, &StopWatchdog, PollMs] {
+    while (!StopWatchdog.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(PollMs));
+      watchdogSweep();
+    }
+  });
+
+  int Code = Cfg.Threads > 1 ? runConcurrent(In, Out, Log)
+                             : runSequential(In, Out, Log);
+
+  StopWatchdog.store(true, std::memory_order_relaxed);
+  Watchdog.join();
+
   // Black-box dump: the recent event history goes to the log so a
   // post-mortem has more than aggregate counters to work with.
   std::vector<FlightRecorder::Event> Events = Recorder->snapshot();
+  std::lock_guard<std::mutex> LogLock(LogMu);
   Log << "flight recorder: " << Events.size() << " event(s) retained, "
       << Recorder->dropped() << " dropped, capacity "
       << Recorder->capacity() << "\n";
   for (const FlightRecorder::Event &E : Events)
     Log << "  " << FlightRecorder::eventJson(E) << "\n";
   Log << std::flush;
+  return Code;
+}
+
+int Server::runSequential(std::istream &In, std::ostream &Out,
+                          std::ostream &Log) {
+  std::string Line;
+  bool WantShutdown = false;
+  while (!WantShutdown) {
+    LineRead R = readBoundedLine(In, Line, Cfg.MaxLineBytes);
+    if (R == LineRead::Eof)
+      break;
+    if (R == LineRead::TooLong) {
+      Out << rejectLine(nullptr,
+                        "request line exceeds the " +
+                            std::to_string(Cfg.MaxLineBytes) +
+                            "-byte bound and was discarded",
+                        "protocol")
+          << "\n"
+          << std::flush;
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    if (!isValidUtf8(Line)) {
+      Out << rejectLine(nullptr, "request line is not valid UTF-8",
+                        "protocol")
+          << "\n"
+          << std::flush;
+      continue;
+    }
+    Out << handleLine(Line, WantShutdown, Log) << "\n" << std::flush;
+  }
   return 0;
 }
 
-std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
-                               std::ostream &Log) {
+int Server::runConcurrent(std::istream &In, std::ostream &Out,
+                          std::ostream &Log) {
+  RequestQueue Queue(Cfg.QueueCap);
+  std::mutex OutMu;
+  std::atomic<bool> ShuttingDown{false};
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Cfg.Threads);
+  for (unsigned T = 0; T < Cfg.Threads; ++T) {
+    Workers.emplace_back([this, &Queue, &Out, &OutMu, &Log, &ShuttingDown] {
+      RequestQueue::Item It;
+      while (Queue.pop(It)) {
+        Admission Adm;
+        Adm.QueueWaitMs = msSince(It.EnqueuedAt);
+        Adm.QueueDepth = Queue.depth();
+        Adm.QueueCap = Queue.capacity();
+        bool WantShutdown = false;
+        std::string Response = handleLine(It.Line, WantShutdown, Log, Adm);
+        if (WantShutdown) {
+          // Seal the queue: items already accepted keep draining (every
+          // admitted request gets its answer), new lines are rejected.
+          ShuttingDown.store(true, std::memory_order_relaxed);
+          Queue.close();
+        }
+        std::lock_guard<std::mutex> OutLock(OutMu);
+        Out << Response << "\n" << std::flush;
+      }
+    });
+  }
+
+  // This thread is the reader: it owns the istream, bounds each line,
+  // and never blocks on the queue — admission control sheds instead.
+  std::string Line;
+  while (!ShuttingDown.load(std::memory_order_relaxed)) {
+    LineRead R = readBoundedLine(In, Line, Cfg.MaxLineBytes);
+    if (R == LineRead::Eof)
+      break;
+    std::string Reject;
+    if (R == LineRead::TooLong) {
+      Reject = rejectLine(nullptr,
+                          "request line exceeds the " +
+                              std::to_string(Cfg.MaxLineBytes) +
+                              "-byte bound and was discarded",
+                          "protocol");
+    } else if (Line.empty()) {
+      continue;
+    } else if (!isValidUtf8(Line)) {
+      Reject = rejectLine(nullptr, "request line is not valid UTF-8",
+                          "protocol");
+    } else if (Faults && Faults->shouldFire("serve.queue_full")) {
+      // Injected overload: exercise the shed path without needing a
+      // genuinely saturated pool.
+      Telem->add("serve.admission.shed", 1);
+      Telem->add("serve.admission.shed_full", 1);
+      Recorder->record("admission.shed", "", "reason=queue_full injected=1");
+      Reject = rejectLine(&Line, "overloaded: request queue is full",
+                          "overloaded");
+    } else {
+      RequestQueue::Item It;
+      It.Line = Line;
+      It.EnqueuedAt = std::chrono::steady_clock::now();
+      switch (Queue.push(std::move(It))) {
+      case RequestQueue::PushResult::Ok:
+        Telem->add("serve.admission.admitted", 1);
+        break;
+      case RequestQueue::PushResult::Full:
+        Telem->add("serve.admission.shed", 1);
+        Telem->add("serve.admission.shed_full", 1);
+        Recorder->record("admission.shed", "",
+                         "reason=queue_full depth=" +
+                             std::to_string(Queue.depth()));
+        Reject = rejectLine(&Line, "overloaded: request queue is full",
+                            "overloaded");
+        break;
+      case RequestQueue::PushResult::Closed:
+        Reject = rejectLine(&Line, "daemon is shutting down", "shutdown");
+        break;
+      }
+    }
+    if (!Reject.empty()) {
+      std::lock_guard<std::mutex> OutLock(OutMu);
+      Out << Reject << "\n" << std::flush;
+    }
+  }
+
+  Queue.close();
+  for (std::thread &W : Workers)
+    W.join();
+  return 0;
+}
+
+std::string Server::rejectLine(const std::string *Line, const std::string &Msg,
+                               const char *Kind) {
   auto Start = std::chrono::steady_clock::now();
   uint64_t Seq = RequestSeq.fetch_add(1, std::memory_order_relaxed) + 1;
   Telem->add("serve.requests", 1);
+
+  Response Resp;
+  Resp.Cid = "r" + std::to_string(Seq);
+  if (Line) {
+    // Best-effort id/cid echo so the client can correlate the
+    // rejection. Oversized or non-UTF8 input never gets here — those
+    // bytes are not worth parsing.
+    JsonValue Req;
+    std::string ParseError;
+    if (parseJson(*Line, Req, ParseError) && Req.isObject()) {
+      Resp.IdJson = renderId(Req.find("id"));
+      std::string Cid = Req.getString("cid");
+      if (!Cid.empty())
+        Resp.Cid = Cid;
+    }
+  }
+  if (std::string_view(Kind) == "overloaded")
+    Resp.member("overloaded", "true");
+  Resp.fail(Msg);
+  Telem->add("serve.errors", 1);
+  Telem->add(std::string("serve.errors.") + Kind, 1);
+  Recorder->record("request.error", Resp.Cid, std::string("reason=") + Kind);
+  return Resp.render(msSince(Start));
+}
+
+//===----------------------------------------------------------------------===//
+// Watchdog
+//===----------------------------------------------------------------------===//
+
+void Server::registerInFlight(uint64_t Seq, const std::string &Cid,
+                              uint64_t HardDeadlineMs,
+                              std::shared_ptr<std::atomic<bool>> Cancel) {
+  std::lock_guard<std::mutex> Lock(InFlightMu);
+  InFlightReqs[Seq] =
+      InFlight{Cid, std::chrono::steady_clock::now(), HardDeadlineMs,
+               std::move(Cancel)};
+}
+
+void Server::deregisterInFlight(uint64_t Seq) {
+  std::lock_guard<std::mutex> Lock(InFlightMu);
+  InFlightReqs.erase(Seq);
+}
+
+size_t Server::watchdogSweep() {
+  size_t Fired = 0;
+  {
+    std::lock_guard<std::mutex> Lock(InFlightMu);
+    for (auto &[Seq, IF] : InFlightReqs) {
+      if (!IF.HardDeadlineMs || !IF.Cancel)
+        continue;
+      double ElapsedMs = msSince(IF.Start);
+      if (ElapsedMs > static_cast<double>(IF.HardDeadlineMs) &&
+          !IF.Cancel->load(std::memory_order_relaxed)) {
+        // Setting the flag forces the existing deadline-cut path: the
+        // request's BudgetMeter reads it as an expired deadline, trips,
+        // and the analysis degrades soundly instead of running away.
+        IF.Cancel->store(true, std::memory_order_relaxed);
+        ++Fired;
+        Telem->add("serve.watchdog.fired", 1);
+        char Detail[96];
+        std::snprintf(Detail, sizeof(Detail),
+                      "elapsed_ms=%.0f hard_deadline_ms=%llu", ElapsedMs,
+                      static_cast<unsigned long long>(IF.HardDeadlineMs));
+        Recorder->record("watchdog.cancel", IF.Cid, Detail);
+      }
+    }
+  }
+  Telem->add("serve.watchdog.sweeps", 1);
+  return Fired;
+}
+
+//===----------------------------------------------------------------------===//
+// Request dispatch
+//===----------------------------------------------------------------------===//
+
+std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
+                               std::ostream &Log) {
+  return handleLine(Line, WantShutdown, Log, Admission{});
+}
+
+std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
+                               std::ostream &Log, const Admission &Adm) {
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t Seq = RequestSeq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Telem->add("serve.requests", 1);
+  if (Adm.QueueCap) {
+    Telem->latency("serve.latency.queue_wait").recordMs(Adm.QueueWaitMs);
+    Telem->gauge("serve.admission.queue_depth", Adm.QueueDepth);
+  }
 
   Response Resp;
   JsonValue Req;
@@ -175,6 +527,8 @@ std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
   Telemetry ReqTelem(/*Enabled=*/true);
   RequestCtx Ctx;
   Ctx.Telem = &ReqTelem;
+  Ctx.Seq = Seq;
+  bool ShedAtAdmission = false;
 
   if (!parseJson(Line, Req, ParseError)) {
     Telem->add("serve.parse_errors", 1);
@@ -193,25 +547,61 @@ std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
                      "method=" + (Method.empty() ? "?" : Method));
     Dispatched = true;
 
-    if (Method == "analyze") {
-      std::lock_guard<std::mutex> Lock(StateMu);
+    // Admission: queue pressure maps to a quantized degradation-ladder
+    // level (depth >= 50% of capacity -> 1, >= 75% -> 2, long wait ->
+    // at least 1). Quantized so tightened requests still share cache
+    // keys — an exact per-request budget would make every key unique.
+    if (Adm.QueueCap) {
+      unsigned Level = 0;
+      if (Adm.QueueDepth * 4 >= Adm.QueueCap * 3)
+        Level = 2;
+      else if (Adm.QueueDepth * 2 >= Adm.QueueCap)
+        Level = 1;
+      if (Level == 0 && Cfg.RequestDeadlineMs &&
+          Adm.QueueWaitMs * 2 >= static_cast<double>(Cfg.RequestDeadlineMs))
+        Level = 1;
+      Ctx.LadderLevel = Level;
+    }
+
+    // Late shedding: a request that already burned its whole deadline
+    // waiting in the queue is not worth starting.
+    bool &Shed = ShedAtAdmission;
+    if (Method == "analyze" && Cfg.RequestDeadlineMs &&
+        Adm.QueueWaitMs >= static_cast<double>(Cfg.RequestDeadlineMs)) {
+      Telem->add("serve.admission.shed", 1);
+      Telem->add("serve.admission.shed_wait", 1);
+      char Detail[96];
+      std::snprintf(Detail, sizeof(Detail),
+                    "reason=queue_wait waited_ms=%.1f deadline_ms=%llu",
+                    Adm.QueueWaitMs,
+                    static_cast<unsigned long long>(Cfg.RequestDeadlineMs));
+      Recorder->record("admission.shed", Ctx.Cid, Detail);
+      Resp.member("overloaded", "true");
+      char Msg[128];
+      std::snprintf(Msg, sizeof(Msg),
+                    "overloaded: request waited %.0f ms in queue, deadline "
+                    "is %llu ms",
+                    Adm.QueueWaitMs,
+                    static_cast<unsigned long long>(Cfg.RequestDeadlineMs));
+      Resp.fail(Msg);
+      Shed = true;
+    }
+
+    if (Shed) {
+      // Response already carries the overloaded error.
+    } else if (Method == "analyze") {
       handleAnalyze(Req, Resp, Log, Ctx);
     } else if (Method == "alias") {
-      std::lock_guard<std::mutex> Lock(StateMu);
       handleAlias(Req, Resp, Ctx);
     } else if (Method == "points_to") {
-      std::lock_guard<std::mutex> Lock(StateMu);
       handlePointsTo(Req, Resp, Ctx);
     } else if (Method == "read_write_sets") {
-      std::lock_guard<std::mutex> Lock(StateMu);
       handleReadWriteSets(Req, Resp, Ctx);
     } else if (Method == "stats") {
-      std::lock_guard<std::mutex> Lock(StateMu);
       handleStats(Resp);
     } else if (Method == "events") {
       handleEvents(Req, Resp);
     } else if (Method == "invalidate") {
-      std::lock_guard<std::mutex> Lock(StateMu);
       handleInvalidate(Resp);
     } else if (Method == "shutdown") {
       Telem->add("serve.shutdown", 1);
@@ -235,10 +625,11 @@ std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
                1);
   }
 
-  double ElapsedMs = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - Start)
-                         .count();
-  if (isKnownMethod(Method))
+  double ElapsedMs = msSince(Start);
+  // Shed requests are an admission outcome, not a service latency: the
+  // serve.latency.* quantiles describe requests that were actually
+  // served (queue wait has its own recorder).
+  if (isKnownMethod(Method) && !ShedAtAdmission)
     Telem->latency("serve.latency." + Method).recordMs(ElapsedMs);
 
   if (Dispatched) {
@@ -270,7 +661,7 @@ std::string Server::handleLine(const std::string &Line, bool &WantShutdown,
 //===----------------------------------------------------------------------===//
 
 void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
-                           std::ostream &Log, const RequestCtx &Ctx) {
+                           std::ostream &Log, RequestCtx &Ctx) {
   // Resolve the source text: inline "source" or an embedded "corpus"
   // program (handy for smoke tests — no C-in-JSON escaping needed).
   std::string Source;
@@ -287,6 +678,25 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     Resp.fail("analyze needs a \"source\" or \"corpus\" member");
     return;
   }
+
+  // Per-request fault injection: tests only, gated on the daemon having
+  // fault injection enabled at all (any --fault-inject spec, including
+  // the arm-less "on").
+  FaultInjection ReqFI;
+  if (const JsonValue *F = Req.find("fault")) {
+    if (!FaultsEnabled) {
+      Resp.fail("per-request fault injection requires the daemon to run "
+                "with --fault-inject");
+      return;
+    }
+    std::string FaultError;
+    if (!ReqFI.parse(F->asString(), FaultError)) {
+      Resp.fail("bad fault spec: " + FaultError);
+      return;
+    }
+    Ctx.ReqFaults = &ReqFI;
+  }
+  FaultInjection *FI = Ctx.ReqFaults ? Ctx.ReqFaults : Faults.get();
 
   // Per-request options/limits override the server defaults and ride on
   // the existing resource-governance layer.
@@ -324,20 +734,125 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     Lim.MaxRecPasses = getU64(*L, "max_rec_passes", Lim.MaxRecPasses);
   }
 
+  // Allocation-pressure fault: run this request under a tiny location
+  // budget. Applied before the fingerprint so the (soundly) degraded
+  // result is cached under its own key, never poisoning the clean one.
+  if (FI && FI->shouldFire("alloc.pressure")) {
+    uint64_t Cap = FI->param("alloc.pressure", "max", 8);
+    support::AnalysisLimits &Lim = Opts.Limits;
+    Lim.MaxLocations = Lim.MaxLocations ? std::min(Lim.MaxLocations, Cap)
+                                        : Cap;
+    Ctx.Telem->add("fault.injected.alloc.pressure", 1);
+    Recorder->record("fault.injected", Ctx.Cid,
+                     "point=alloc.pressure max=" + std::to_string(Cap));
+  }
+
+  // The per-request deadline budget folds into TimeoutMs along the
+  // quantized ladder: level 0 gets the full deadline, each level halves
+  // it. BaseOpts (level 0) keeps a fallback cache key so a tightened
+  // request can still serve an already-computed full-budget result.
+  auto ApplyDeadline = [this](support::AnalysisLimits &Lim, unsigned Level) {
+    if (!Cfg.RequestDeadlineMs)
+      return;
+    uint64_t Effective = Cfg.RequestDeadlineMs >> Level;
+    if (!Effective)
+      Effective = 1;
+    Lim.TimeoutMs =
+        Lim.TimeoutMs ? std::min(Lim.TimeoutMs, Effective) : Effective;
+  };
+  pta::Analyzer::Options BaseOpts = Opts;
+  ApplyDeadline(BaseOpts.Limits, 0);
+  ApplyDeadline(Opts.Limits, Ctx.LadderLevel);
+  if (Ctx.LadderLevel) {
+    Telem->add("serve.admission.tightened", 1);
+    Telem->add("serve.admission.tightened.l" +
+                   std::to_string(Ctx.LadderLevel),
+               1);
+    Recorder->record("admission.tighten", Ctx.Cid,
+                     "level=" + std::to_string(Ctx.LadderLevel) +
+                         " timeout_ms=" +
+                         std::to_string(Opts.Limits.TimeoutMs));
+    Resp.member("ladder_level", std::to_string(Ctx.LadderLevel));
+  }
+
   const std::string FP = optionsFingerprint(Opts);
   const std::string Key = SummaryCache::key(Source, FP);
+  const std::string BaseFP =
+      Ctx.LadderLevel ? optionsFingerprint(BaseOpts) : FP;
+  const std::string BaseKey =
+      Ctx.LadderLevel ? SummaryCache::key(Source, BaseFP) : Key;
   const bool WantIncremental = Req.getBool("incremental", false);
-  const SummaryCache::RequestScope Scope{Ctx.Telem, Ctx.Cid};
+  const SummaryCache::RequestScope Scope{Ctx.Telem, Ctx.Cid, Ctx.ReqFaults};
+
+  // Watchdog wiring: any request with a wall-clock budget gets a cancel
+  // flag the BudgetMeter polls (AnalysisLimits::CancelFlag — set after
+  // the fingerprint is computed; it is per-run plumbing, not identity).
+  std::shared_ptr<std::atomic<bool>> Cancel;
+  uint64_t HardMs = 0;
+  if (Opts.Limits.TimeoutMs) {
+    HardMs = Opts.Limits.TimeoutMs * 4;
+    if (HardMs < Opts.Limits.TimeoutMs + 50)
+      HardMs = Opts.Limits.TimeoutMs + 50;
+  }
+  std::unique_ptr<InFlightGuard> Guard;
+  if (HardMs || (FI && FI->armed("serve.stall"))) {
+    Cancel = std::make_shared<std::atomic<bool>>(false);
+    Opts.Limits.CancelFlag = Cancel.get();
+    Guard = std::make_unique<InFlightGuard>(*this, Ctx.Seq, Ctx.Cid, HardMs,
+                                            Cancel);
+  }
+
+  // Stalled-request fault: burn wall clock before doing any work, in
+  // small cancellable slices, so watchdog coverage is testable without
+  // a genuinely slow analysis.
+  if (FI && FI->shouldFire("serve.stall")) {
+    uint64_t StallMs = FI->param("serve.stall", "ms", 200);
+    Ctx.Telem->add("fault.injected.serve.stall", 1);
+    Recorder->record("fault.injected", Ctx.Cid,
+                     "point=serve.stall ms=" + std::to_string(StallMs));
+    auto Until = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(StallMs);
+    while (std::chrono::steady_clock::now() < Until) {
+      if (Cancel && Cancel->load(std::memory_order_relaxed))
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
 
   std::string CacheWarning;
   std::shared_ptr<const ResultSnapshot> Snap =
       Cache->lookup(Key, &CacheWarning, Scope);
-  if (!CacheWarning.empty())
+  bool ServedFromBaseKey = false;
+  if (!Snap && BaseKey != Key) {
+    // A tightened request gladly serves the full-budget result when one
+    // is already cached: strictly more precise, and free.
+    Snap = Cache->lookup(BaseKey, nullptr, Scope);
+    if (Snap) {
+      ServedFromBaseKey = true;
+      Telem->add("serve.admission.base_key_hits", 1);
+    }
+  }
+  if (!CacheWarning.empty()) {
+    std::lock_guard<std::mutex> LogLock(LogMu);
     Log << "warning: " << CacheWarning << "\n";
+  }
 
-  auto BaselineIt = BaselineByFingerprint.end();
-  if (WantIncremental && !Snap)
-    BaselineIt = BaselineByFingerprint.find(FP);
+  std::shared_ptr<const ResultSnapshot> Baseline;
+  if (WantIncremental && !Snap) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    auto BaselineIt = BaselineByFingerprint.find(FP);
+    if (BaselineIt != BaselineByFingerprint.end())
+      Baseline = BaselineIt->second;
+  }
+
+  // True when the watchdog cancelled this request mid-flight. Checked
+  // after the compute paths; a cancelled (degraded) result is returned
+  // but never cached — cancellation depends on scheduler timing, and a
+  // cache key must map to a deterministic result.
+  auto WasCancelled = [&Cancel] {
+    return Cancel && Cancel->load(std::memory_order_relaxed);
+  };
+  bool Cancelled = false;
 
   if (Snap) {
     Resp.Cached = true;
@@ -346,9 +861,9 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
       Resp.member("incremental", "false");
       Resp.member("fallback_reason", quoted("cache-hit"));
     }
-  } else if (BaselineIt != BaselineByFingerprint.end()) {
+  } else if (Baseline) {
     incr::IncrOutput O = incr::IncrementalEngine::reanalyze(
-        *BaselineIt->second, Source, Opts, Ctx.Telem);
+        *Baseline, Source, Opts, Ctx.Telem);
     if (!O.Ok) {
       Resp.fail(O.Error);
       return;
@@ -356,10 +871,18 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     if (!O.Stats.FallbackReason.empty())
       Recorder->record("incr.fallback", Ctx.Cid,
                        "reason=" + O.Stats.FallbackReason);
-    std::string StoreWarning;
-    Snap = Cache->store(Key, std::move(O.Snapshot), &StoreWarning, Scope);
-    if (!StoreWarning.empty())
-      Log << "warning: " << StoreWarning << "\n";
+    Cancelled = WasCancelled();
+    if (Cancelled) {
+      Snap = std::make_shared<const ResultSnapshot>(std::move(O.Snapshot));
+      Ctx.Telem->add("serve.watchdog.uncached_results", 1);
+    } else {
+      std::string StoreWarning;
+      Snap = Cache->store(Key, std::move(O.Snapshot), &StoreWarning, Scope);
+      if (!StoreWarning.empty()) {
+        std::lock_guard<std::mutex> LogLock(LogMu);
+        Log << "warning: " << StoreWarning << "\n";
+      }
+    }
     Resp.member("incremental", O.Stats.UsedIncremental ? "true" : "false");
     Resp.member("dirty_functions", std::to_string(O.Stats.DirtyFunctions));
     Resp.member("memo_reuse", std::to_string(O.Stats.MemoReuse));
@@ -381,10 +904,18 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     }
     ResultSnapshot Captured =
         ResultSnapshot::capture(*P.Prog, P.Analysis, FP);
-    std::string StoreWarning;
-    Snap = Cache->store(Key, std::move(Captured), &StoreWarning, Scope);
-    if (!StoreWarning.empty())
-      Log << "warning: " << StoreWarning << "\n";
+    Cancelled = WasCancelled();
+    if (Cancelled) {
+      Snap = std::make_shared<const ResultSnapshot>(std::move(Captured));
+      Ctx.Telem->add("serve.watchdog.uncached_results", 1);
+    } else {
+      std::string StoreWarning;
+      Snap = Cache->store(Key, std::move(Captured), &StoreWarning, Scope);
+      if (!StoreWarning.empty()) {
+        std::lock_guard<std::mutex> LogLock(LogMu);
+        Log << "warning: " << StoreWarning << "\n";
+      }
+    }
     if (WantIncremental) {
       // First analysis under these options: nothing to diff against.
       Resp.member("incremental", "false");
@@ -392,11 +923,18 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     }
   }
 
-  LastKey = Key;
-  LastSnapshot = Snap;
-  // Whatever this request produced (or re-validated) is the baseline
-  // for the next incremental request under the same options.
-  BaselineByFingerprint[FP] = Snap;
+  const std::string &ServedKey = ServedFromBaseKey ? BaseKey : Key;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    LastKey = ServedKey;
+    LastSnapshot = Snap;
+    // Whatever this request produced (or re-validated) is the baseline
+    // for the next incremental request under the same options — unless
+    // the watchdog cut it short: a cancelled result is timing-dependent
+    // and must not seed future incremental runs.
+    if (!Cancelled)
+      BaselineByFingerprint[ServedFromBaseKey ? BaseFP : FP] = Snap;
+  }
 
   Resp.Degraded = Snap->degraded();
   // Degradations go to the daemon log once per (kind, context) for the
@@ -408,13 +946,21 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
         support::limitKindName(static_cast<support::LimitKind>(D.Kind));
     Recorder->record("degradation", Ctx.Cid,
                      std::string(KindName) + ": " + D.Context);
-    if (LoggedDegradations.insert(std::string(KindName) + "|" + D.Context)
-            .second)
+    bool ShouldLog = false;
+    {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ShouldLog =
+          LoggedDegradations.insert(std::string(KindName) + "|" + D.Context)
+              .second;
+    }
+    if (ShouldLog) {
+      std::lock_guard<std::mutex> LogLock(LogMu);
       Log << "degraded: [" << KindName << "] " << D.Context << ": "
           << D.Action << "\n";
+    }
   }
 
-  Resp.member("key", quoted(Key));
+  Resp.member("key", quoted(ServedKey));
   Resp.member("analyzed", Snap->Analyzed ? "true" : "false");
   Resp.member("locations", std::to_string(Snap->Locations.size()));
   Resp.member("ig_nodes", std::to_string(Snap->IG.size()));
@@ -451,14 +997,17 @@ std::shared_ptr<const ResultSnapshot>
 Server::querySnapshot(const JsonValue &Req, std::string &Error,
                       const RequestCtx &Ctx) {
   std::string Key = Req.getString("key");
-  if (Key.empty()) {
-    if (LastSnapshot)
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (Key.empty()) {
+      if (LastSnapshot)
+        return LastSnapshot;
+      Error = "no result to query: analyze first or pass a \"key\"";
+      return nullptr;
+    }
+    if (Key == LastKey && LastSnapshot)
       return LastSnapshot;
-    Error = "no result to query: analyze first or pass a \"key\"";
-    return nullptr;
   }
-  if (Key == LastKey && LastSnapshot)
-    return LastSnapshot;
   std::shared_ptr<const ResultSnapshot> Snap =
       Cache->lookup(Key, nullptr, SummaryCache::RequestScope{Ctx.Telem,
                                                              Ctx.Cid});
@@ -582,21 +1131,24 @@ void Server::handleStats(Response &Resp) {
   std::snprintf(Uptime, sizeof(Uptime), "%.3f", UptimeMs);
   Resp.member("uptime_ms", Uptime);
 
-  const SummaryCache::Stats &CS = Cache->stats();
+  const SummaryCache::Stats CS = Cache->stats();
   uint64_t HitCount = CS.Hits; // MemHits is a subset of Hits
   uint64_t Lookups = HitCount + CS.Misses;
   char Ratio[32];
   std::snprintf(Ratio, sizeof(Ratio), "%.4f",
                 Lookups ? static_cast<double>(HitCount) / Lookups : 0.0);
   Resp.member("cache_hit_ratio", Ratio);
-  std::string CacheObj = "{\"hits\":" + std::to_string(CS.Hits) +
-                         ",\"mem_hits\":" + std::to_string(CS.MemHits) +
-                         ",\"misses\":" + std::to_string(CS.Misses) +
-                         ",\"evictions\":" + std::to_string(CS.Evictions) +
-                         ",\"bytes_stored\":" + std::to_string(CS.BytesStored) +
-                         ",\"mem_entries\":" + std::to_string(CS.MemEntries) +
-                         ",\"mem_bytes\":" + std::to_string(CS.MemBytes) +
-                         ",\"bad_blobs\":" + std::to_string(CS.BadBlobs) + "}";
+  std::string CacheObj =
+      "{\"hits\":" + std::to_string(CS.Hits) +
+      ",\"mem_hits\":" + std::to_string(CS.MemHits) +
+      ",\"misses\":" + std::to_string(CS.Misses) +
+      ",\"evictions\":" + std::to_string(CS.Evictions) +
+      ",\"bytes_stored\":" + std::to_string(CS.BytesStored) +
+      ",\"mem_entries\":" + std::to_string(CS.MemEntries) +
+      ",\"mem_bytes\":" + std::to_string(CS.MemBytes) +
+      ",\"bad_blobs\":" + std::to_string(CS.BadBlobs) +
+      ",\"quarantined\":" + std::to_string(CS.Quarantined) +
+      ",\"write_retries\":" + std::to_string(CS.WriteRetries) + "}";
   Resp.member("cache", CacheObj);
 
   // Refresh the daemon memory gauges at observation time, so the stats
@@ -652,7 +1204,10 @@ void Server::handleEvents(const JsonValue &Req, Response &Resp) {
 
 void Server::handleInvalidate(Response &Resp) {
   uint64_t Removed = Cache->invalidate();
-  LastKey.clear();
-  LastSnapshot.reset();
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    LastKey.clear();
+    LastSnapshot.reset();
+  }
   Resp.member("removed_blobs", std::to_string(Removed));
 }

@@ -36,8 +36,21 @@
 /// recorders feed `serve.latency.<method>.*` quantiles, and a bounded
 /// FlightRecorder keeps the recent event history (`events` method;
 /// dumped to the log on shutdown). `handleLine` is safe to call from
-/// multiple threads: shared daemon state is mutex-guarded and the
-/// telemetry core is lock-free on its hot paths.
+/// multiple threads: shared daemon state is mutex-guarded, analyses run
+/// outside any daemon lock, and the telemetry core is lock-free on its
+/// hot paths.
+///
+/// Concurrency (docs/SERVING.md): with `Threads > 1`, run() becomes a
+/// reader feeding a bounded RequestQueue drained by a worker pool.
+/// Responses may then arrive out of request order — clients correlate
+/// by `id`/`cid`, never by line position. The queue is the admission
+/// controller: a full queue sheds the request with an `overloaded`
+/// error, queue wait tightens the request's deadline budget along a
+/// quantized degradation ladder, and a watchdog thread cancels requests
+/// that outlive their hard deadline through the existing
+/// deadline-degradation path (serve.admission.* / serve.watchdog.*
+/// counters). Fault injection (`Config::FaultSpec`, per-request
+/// `"fault"`) drives the chaos suite; see support/FaultInjection.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +58,7 @@
 #define MCPTA_SERVE_SERVER_H
 
 #include "serve/SummaryCache.h"
+#include "support/FaultInjection.h"
 #include "support/FlightRecorder.h"
 
 #include <atomic>
@@ -70,6 +84,39 @@ public:
     pta::Analyzer::Options DefaultOpts;
     /// Flight-recorder ring capacity (most recent events retained).
     size_t FlightRecorderCapacity = support::FlightRecorder::kDefaultCapacity;
+    /// Worker threads. 1 keeps the classic sequential loop (responses
+    /// in request order); N > 1 runs the reader + bounded queue +
+    /// worker pool, and responses may arrive out of order.
+    unsigned Threads = 1;
+    /// Bounded request-queue capacity (pool mode). A full queue sheds
+    /// new requests with an `overloaded` error instead of blocking.
+    size_t QueueCap = 128;
+    /// Per-request deadline budget in milliseconds (0 = none). Queue
+    /// wait counts against it: a request that already waited this long
+    /// is shed, and rising queue pressure tightens the analyze
+    /// TimeoutMs along the quantized ladder D, D/2, D/4. Also the basis
+    /// for the watchdog's hard deadline on requests without their own
+    /// timeout.
+    uint64_t RequestDeadlineMs = 0;
+    /// NDJSON input-line bound; longer lines are consumed and answered
+    /// with a protocol error instead of growing the buffer unboundedly.
+    size_t MaxLineBytes = 8u << 20;
+    /// Watchdog poll interval.
+    uint64_t WatchdogPollMs = 10;
+    /// Fault-injection spec (support/FaultInjection.h grammar), or "on"
+    /// to accept per-request "fault" specs with no server-wide arms.
+    /// Empty disables fault injection entirely (per-request "fault" is
+    /// then a protocol error).
+    std::string FaultSpec;
+  };
+
+  /// Admission context a pool worker computes when it dequeues a
+  /// request: how long the line waited and how deep the queue is now.
+  /// The default (all zero) is a direct call — no queue, no wait.
+  struct Admission {
+    double QueueWaitMs = 0;
+    size_t QueueDepth = 0;
+    size_t QueueCap = 0;
   };
 
   explicit Server(Config C);
@@ -88,22 +135,48 @@ public:
   std::string handleLine(const std::string &Line, bool &WantShutdown,
                          std::ostream &Log);
 
+  /// As above, with the admission context a pool worker carries for a
+  /// dequeued request (queue wait, depth). Applies late shedding and
+  /// the degradation ladder before dispatch.
+  std::string handleLine(const std::string &Line, bool &WantShutdown,
+                         std::ostream &Log, const Admission &Adm);
+
+  /// One watchdog pass over the in-flight registry: cancels every
+  /// request past its hard deadline. Returns how many were cancelled.
+  /// run() drives this from the watchdog thread; exposed so tests can
+  /// sweep deterministically.
+  size_t watchdogSweep();
+
   const SummaryCache &cache() const { return *Cache; }
   support::Telemetry &telemetry() { return *Telem; }
   support::FlightRecorder &flightRecorder() { return *Recorder; }
+  /// Null unless Config::FaultSpec parsed non-empty.
+  support::FaultInjection *faultInjection() { return Faults.get(); }
 
 private:
   struct Response;
   /// Request-scoped observability context: the correlation id and the
   /// child Telemetry this request's counters land in before merging
-  /// into the daemon aggregate.
+  /// into the daemon aggregate, plus the admission state (ladder level
+  /// from queue pressure) and the per-request fault registry.
   struct RequestCtx {
     std::string Cid;
     support::Telemetry *Telem = nullptr;
+    uint64_t Seq = 0;
+    /// Degradation-ladder level from admission (0 = untightened).
+    unsigned LadderLevel = 0;
+    /// Request-local fault injection parsed from a "fault" member, or
+    /// null. Takes precedence over the server-wide registry in cache
+    /// operations scoped to this request.
+    support::FaultInjection *ReqFaults = nullptr;
   };
 
+  /// RAII registration of an analyze request in the watchdog's
+  /// in-flight registry.
+  class InFlightGuard;
+
   void handleAnalyze(const JsonValue &Req, Response &Resp, std::ostream &Log,
-                     const RequestCtx &Ctx);
+                     RequestCtx &Ctx);
   void handleAlias(const JsonValue &Req, Response &Resp,
                    const RequestCtx &Ctx);
   void handlePointsTo(const JsonValue &Req, Response &Resp,
@@ -116,23 +189,63 @@ private:
 
   /// Resolves the snapshot a query method addresses: the request's
   /// "key" member, or the most recently analyzed result. Null plus an
-  /// error message when neither resolves. Caller must hold StateMu.
+  /// error message when neither resolves. Takes StateMu internally.
   std::shared_ptr<const ResultSnapshot> querySnapshot(const JsonValue &Req,
                                                       std::string &Error,
                                                       const RequestCtx &Ctx);
+
+  /// The classic loop: one line in, one response out, in order.
+  int runSequential(std::istream &In, std::ostream &Out, std::ostream &Log);
+  /// Reader + bounded queue + worker pool (Cfg.Threads workers).
+  int runConcurrent(std::istream &In, std::ostream &Out, std::ostream &Log);
+  /// Builds a response for a line the dispatcher never ran: oversized /
+  /// non-UTF8 input (\p Kind = "protocol"), a shed request
+  /// ("overloaded"), or a post-shutdown arrival ("shutdown"). \p Line
+  /// may be null when the raw bytes are not trustworthy enough to parse
+  /// for an id echo (oversized input).
+  std::string rejectLine(const std::string *Line, const std::string &Msg,
+                         const char *Kind);
+  /// Registers/deregisters analyze requests for the watchdog.
+  void registerInFlight(uint64_t Seq, const std::string &Cid,
+                        uint64_t HardDeadlineMs,
+                        std::shared_ptr<std::atomic<bool>> Cancel);
+  void deregisterInFlight(uint64_t Seq);
 
   Config Cfg;
   std::unique_ptr<support::Telemetry> Telem;
   std::unique_ptr<support::FlightRecorder> Recorder;
   std::unique_ptr<SummaryCache> Cache;
+  /// Server-wide fault-injection registry (Config::FaultSpec), or null.
+  std::unique_ptr<support::FaultInjection> Faults;
+  /// Per-request "fault" members are honored (FaultSpec non-empty).
+  bool FaultsEnabled = false;
+  /// Non-empty when Config::FaultSpec failed to parse; run() refuses to
+  /// start and reports it.
+  std::string FaultSpecError;
   /// Construction time, for the `stats` uptime_ms member.
   std::chrono::steady_clock::time_point StartTime;
   /// Monotone request sequence, source of generated correlation ids.
   std::atomic<uint64_t> RequestSeq{0};
 
-  /// Guards the mutable daemon state below plus the SummaryCache (which
-  /// is not internally synchronized). The telemetry core and the flight
-  /// recorder have their own synchronization and are NOT covered.
+  /// Watchdog in-flight registry: every analyze currently running, with
+  /// the cancel flag its BudgetMeter polls (AnalysisLimits::CancelFlag).
+  struct InFlight {
+    std::string Cid;
+    std::chrono::steady_clock::time_point Start;
+    uint64_t HardDeadlineMs = 0;
+    std::shared_ptr<std::atomic<bool>> Cancel;
+  };
+  std::mutex InFlightMu;
+  std::map<uint64_t, InFlight> InFlightReqs;
+
+  /// Serializes writes to the operational log: pool workers share one
+  /// ostream, and interleaved partial lines would be garbage.
+  std::mutex LogMu;
+
+  /// Guards the mutable daemon state below. The SummaryCache, the
+  /// telemetry core, and the flight recorder have their own
+  /// synchronization and are NOT covered — analyses and cache IO run
+  /// outside this lock so the worker pool actually overlaps.
   std::mutex StateMu;
   std::string LastKey;
   std::shared_ptr<const ResultSnapshot> LastSnapshot;

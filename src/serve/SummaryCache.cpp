@@ -2,12 +2,15 @@
 
 #include "serve/SummaryCache.h"
 
+#include "support/FaultInjection.h"
 #include "support/Version.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -87,6 +90,26 @@ void SummaryCache::event(std::string_view Kind, const RequestScope &Req,
     Recorder->record(Kind, Req.Cid, Detail);
 }
 
+support::FaultInjection *SummaryCache::faults(const RequestScope &Req) const {
+  return Req.Faults ? Req.Faults : Faults;
+}
+
+void SummaryCache::quarantineBlob(const std::string &Key,
+                                  const RequestScope &Req) {
+  // Move the carcass aside rather than deleting it: a post-mortem can
+  // still inspect <key>.mcpta.bad, and the .mcpta path is free for the
+  // next store to republish. Rename failure falls back to removal so
+  // the poisoned blob never survives under its addressable name.
+  std::error_code EC;
+  fs::rename(blobPath(Key), blobPath(Key) + ".bad", EC);
+  if (EC)
+    fs::remove(blobPath(Key), EC);
+  QuarantinedKeys.insert(Key);
+  ++S.Quarantined;
+  bump("cache.quarantined", 1, Req);
+  event("cache.quarantine", Req, "key=" + Key);
+}
+
 std::string SummaryCache::blobPath(const std::string &Key) const {
   return Cfg.Dir + "/" + Key + ".mcpta";
 }
@@ -132,6 +155,7 @@ void SummaryCache::insertMem(const std::string &Key,
 std::shared_ptr<const ResultSnapshot>
 SummaryCache::lookup(const std::string &Key, std::string *Warning,
                      RequestScope Req) {
+  std::lock_guard<std::mutex> Lock(Mu);
   auto It = Mem.find(Key);
   if (It != Mem.end()) {
     touch(It->second, Key);
@@ -143,33 +167,71 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
     return It->second.Snapshot;
   }
 
+  // Negative cache: a quarantined key was already reported once; skip
+  // the disk (the carcass lives at <key>.mcpta.bad) until a store
+  // republishes it.
+  if (QuarantinedKeys.count(Key)) {
+    ++S.Misses;
+    bump("cache.misses", 1, Req);
+    bump("cache.quarantine_skips", 1, Req);
+    event("cache.miss", Req, "key=" + Key + " quarantined=1");
+    return nullptr;
+  }
+
   if (!Cfg.Dir.empty()) {
     std::ifstream In(blobPath(Key), std::ios::binary);
     if (In) {
-      std::ostringstream SS;
-      SS << In.rdbuf();
-      std::string Blob = SS.str();
-      ResultSnapshot Snap;
-      std::string Err;
-      if (deserialize(Blob, Snap, Err)) {
-        auto Shared = std::make_shared<const ResultSnapshot>(std::move(Snap));
-        insertMem(Key, Shared, Blob.size(), Req);
-        ++S.Hits;
-        bump("cache.hits", 1, Req);
-        bump("cache.disk_hits", 1, Req);
-        event("cache.hit", Req, "tier=disk key=" + Key);
-        return Shared;
+      support::FaultInjection *FI = faults(Req);
+      if (FI && FI->shouldFire("cache.read_io")) {
+        // Injected transient read failure: a miss with a warning, no
+        // quarantine — the blob itself is presumed fine.
+        ++S.ReadIoErrors;
+        bump("cache.read_io_errors", 1, Req);
+        event("cache.read_error", Req, "key=" + Key + " injected=1");
+        if (Warning)
+          *Warning = "cache blob for key " + Key +
+                     " could not be read (IO error); treated as a miss";
+      } else {
+        std::ostringstream SS;
+        SS << In.rdbuf();
+        std::string Blob = SS.str();
+        if (In.bad()) {
+          ++S.ReadIoErrors;
+          bump("cache.read_io_errors", 1, Req);
+          event("cache.read_error", Req, "key=" + Key);
+          if (Warning)
+            *Warning = "cache blob for key " + Key +
+                       " could not be read (IO error); treated as a miss";
+        } else {
+          if (FI && !Blob.empty() && FI->shouldFire("cache.corrupt")) {
+            // Injected corruption: mangle the bytes we just read so the
+            // real deserialize-failure path runs end to end.
+            Blob.resize(Blob.size() / 2 + 1);
+            Blob[0] ^= 0x5a;
+          }
+          ResultSnapshot Snap;
+          std::string Err;
+          if (deserialize(Blob, Snap, Err)) {
+            auto Shared =
+                std::make_shared<const ResultSnapshot>(std::move(Snap));
+            insertMem(Key, Shared, Blob.size(), Req);
+            ++S.Hits;
+            bump("cache.hits", 1, Req);
+            bump("cache.disk_hits", 1, Req);
+            event("cache.hit", Req, "tier=disk key=" + Key);
+            return Shared;
+          }
+          // Bad blob: tolerate as a miss, report once, and quarantine
+          // so the next lookup neither re-reads nor re-warns.
+          ++S.BadBlobs;
+          bump("cache.bad_blobs", 1, Req);
+          event("cache.bad_blob", Req, "key=" + Key);
+          if (Warning)
+            *Warning = "cache blob for key " + Key +
+                       " is unreadable and was quarantined: " + Err;
+          quarantineBlob(Key, Req);
+        }
       }
-      // Bad blob: tolerate as a miss, report, and drop the file so the
-      // next store replaces it instead of tripping over it again.
-      ++S.BadBlobs;
-      bump("cache.bad_blobs", 1, Req);
-      event("cache.bad_blob", Req, "key=" + Key);
-      if (Warning)
-        *Warning = "cache blob for key " + Key +
-                   " is unreadable and was discarded: " + Err;
-      std::error_code EC;
-      fs::remove(blobPath(Key), EC);
     }
   }
 
@@ -182,36 +244,63 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
 std::shared_ptr<const ResultSnapshot>
 SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
                     std::string *Warning, RequestScope Req) {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::string Blob = serialize(Snapshot);
   S.BytesStored += Blob.size();
   bump("cache.bytes", Blob.size(), Req);
   bump("cache.stores", 1, Req);
   event("cache.store", Req,
         "key=" + Key + " bytes=" + std::to_string(Blob.size()));
+  // A fresh blob under this key lifts any quarantine: the key is
+  // addressable again.
+  QuarantinedKeys.erase(Key);
 
   if (!Cfg.Dir.empty()) {
     std::error_code EC;
     fs::create_directories(Cfg.Dir, EC);
     // Atomic publish: write a temp file, then rename into place, so a
     // concurrent reader (or a crash mid-write) never sees a torn blob.
+    // Transient write failures (disk pressure, injected cache.write_io)
+    // retry with bounded exponential backoff plus a deterministic
+    // per-key jitter; total worst-case sleep is ~3ms, short enough to
+    // hold the cache lock across it.
     const std::string Tmp =
         blobPath(Key) + ".tmp." + std::to_string(::getpid());
+    support::FaultInjection *FI = faults(Req);
+    constexpr unsigned MaxAttempts = 3;
     bool Written = false;
-    {
-      std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
-      Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
-      Written = bool(Out);
-    }
-    if (Written) {
-      fs::rename(Tmp, blobPath(Key), EC);
-      if (EC)
-        Written = false;
+    for (unsigned Attempt = 0; Attempt < MaxAttempts && !Written; ++Attempt) {
+      if (Attempt) {
+        ++S.WriteRetries;
+        bump("cache.write_retries", 1, Req);
+        event("cache.write_retry", Req,
+              "key=" + Key + " attempt=" + std::to_string(Attempt + 1));
+        uint64_t BackoffUs = 1000ull << (Attempt - 1);
+        BackoffUs += fnv1a(Key, 0xcbf29ce484222325ull + Attempt) % 400;
+        std::this_thread::sleep_for(std::chrono::microseconds(BackoffUs));
+      }
+      if (FI && FI->shouldFire("cache.write_io"))
+        continue; // injected write failure: this attempt never happened
+      {
+        std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+        Out.write(Blob.data(), static_cast<std::streamsize>(Blob.size()));
+        Written = bool(Out);
+      }
+      if (Written) {
+        fs::rename(Tmp, blobPath(Key), EC);
+        if (EC)
+          Written = false;
+      }
+      if (!Written)
+        fs::remove(Tmp, EC);
     }
     if (!Written) {
-      fs::remove(Tmp, EC);
       if (Warning)
         *Warning = "cache: cannot persist blob for key " + Key + " under '" +
-                   Cfg.Dir + "'; continuing memory-only";
+                   Cfg.Dir + "' after " + std::to_string(MaxAttempts) +
+                   " attempts; continuing memory-only";
+      bump("cache.write_failures", 1, Req);
+      event("cache.write_failure", Req, "key=" + Key);
     }
   }
 
@@ -221,10 +310,12 @@ SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
 }
 
 uint64_t SummaryCache::invalidate() {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (const auto &[Key, E] : Mem)
     S.MemBytes -= E.Bytes;
   Mem.clear();
   Lru.clear();
+  QuarantinedKeys.clear();
   S.MemBytes = 0;
   S.MemEntries = 0;
 
@@ -232,11 +323,18 @@ uint64_t SummaryCache::invalidate() {
   if (!Cfg.Dir.empty()) {
     std::error_code EC;
     for (const fs::directory_entry &E : fs::directory_iterator(Cfg.Dir, EC)) {
-      if (!E.is_regular_file() || E.path().extension() != ".mcpta")
+      if (!E.is_regular_file())
         continue;
-      std::error_code RemoveEC;
-      if (fs::remove(E.path(), RemoveEC))
-        ++Removed;
+      // Live blobs count toward the removal total; quarantined *.bad
+      // carcasses are swept alongside but are already non-addressable.
+      if (E.path().extension() == ".mcpta") {
+        std::error_code RemoveEC;
+        if (fs::remove(E.path(), RemoveEC))
+          ++Removed;
+      } else if (E.path().extension() == ".bad") {
+        std::error_code RemoveEC;
+        fs::remove(E.path(), RemoveEC);
+      }
     }
   }
   bump("cache.invalidations");

@@ -20,7 +20,15 @@
 /// (no migration logic needed). The store is corruption-tolerant by
 /// contract: a truncated or bit-flipped blob deserializes to an error,
 /// which lookup() converts into a miss plus a warning — a poisoned
-/// cache can cost time, never correctness or a crash.
+/// cache can cost time, never correctness or a crash. The corrupt blob
+/// is quarantined (renamed to `<key>.mcpta.bad`) and the key
+/// negative-cached so it is reported once, not on every request; a
+/// store under the same key republishes it. Disk writes retry with
+/// bounded, jittered backoff before degrading to memory-only.
+///
+/// Thread-safe: every public operation serializes on an internal
+/// mutex, so the cache can be shared by a serve worker pool without
+/// external locking.
 ///
 /// Telemetry: hits/misses/evictions/stored-bytes are kept in a local
 /// Stats block and mirrored to `cache.*` counters when a Telemetry sink
@@ -39,10 +47,16 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 
 namespace mcpta {
+namespace support {
+class FaultInjection;
+} // namespace support
+
 namespace serve {
 
 class SummaryCache {
@@ -67,6 +81,9 @@ public:
     uint64_t MemBytes = 0;   ///< current LRU footprint (serialized size)
     uint64_t MemEntries = 0; ///< current LRU entry count
     uint64_t BadBlobs = 0;   ///< corrupt disk blobs tolerated as misses
+    uint64_t Quarantined = 0;  ///< corrupt blobs renamed aside + negative-cached
+    uint64_t WriteRetries = 0; ///< disk-write attempts beyond the first
+    uint64_t ReadIoErrors = 0; ///< disk reads that failed mid-blob
   };
 
   /// \p Telem may be null; when set, cache.{hits,misses,evictions,
@@ -79,6 +96,13 @@ public:
   /// RequestScope parameters below). May be null (the default).
   void setFlightRecorder(support::FlightRecorder *FR) { Recorder = FR; }
 
+  /// Attaches a fault-injection registry consulted by every disk
+  /// operation (points cache.read_io / cache.write_io / cache.corrupt,
+  /// see support/FaultInjection.h). May be null (the default). A
+  /// request-scoped registry in RequestScope::Faults takes precedence
+  /// for the operations of that request.
+  void setFaultInjection(support::FaultInjection *FI) { Faults = FI; }
+
   /// Per-request attribution for one cache operation: when \p Telem is
   /// set, counters go to it *instead of* the construction-time
   /// aggregate sink (the caller is expected to fold the request scope
@@ -88,12 +112,16 @@ public:
   struct RequestScope {
     support::Telemetry *Telem;
     std::string_view Cid;
+    /// Request-local fault injection (per-request "fault" member in
+    /// tests); consulted before the cache-wide registry.
+    support::FaultInjection *Faults;
     // Explicit constructors (not default member initializers): the
     // default argument `RequestScope()` below would otherwise need the
     // initializers before this enclosing class is complete.
-    RequestScope() : Telem(nullptr), Cid() {}
-    RequestScope(support::Telemetry *T, std::string_view C)
-        : Telem(T), Cid(C) {}
+    RequestScope() : Telem(nullptr), Cid(), Faults(nullptr) {}
+    RequestScope(support::Telemetry *T, std::string_view C,
+                 support::FaultInjection *F = nullptr)
+        : Telem(T), Cid(C), Faults(F) {}
   };
 
   /// The content address for one (source, options) pair under the
@@ -118,11 +146,17 @@ public:
   store(const std::string &Key, ResultSnapshot Snapshot,
         std::string *Warning = nullptr, RequestScope Req = RequestScope());
 
-  /// Drops every entry: the whole LRU, and every *.mcpta blob in the
-  /// disk directory. Returns the number of disk blobs removed.
+  /// Drops every entry: the whole LRU, every *.mcpta blob in the disk
+  /// directory, every quarantined *.bad carcass, and the negative
+  /// cache. Returns the number of disk blobs removed.
   uint64_t invalidate();
 
-  const Stats &stats() const { return S; }
+  /// Consistent copy of the counters (the cache is internally
+  /// synchronized, so a reference into live state would race).
+  Stats stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return S;
+  }
   const Config &config() const { return Cfg; }
 
 private:
@@ -132,6 +166,7 @@ private:
     std::list<std::string>::iterator LruIt;
   };
 
+  // The helpers below assume Mu is held by the caller.
   std::string blobPath(const std::string &Key) const;
   void insertMem(const std::string &Key,
                  std::shared_ptr<const ResultSnapshot> Snap, uint64_t Bytes,
@@ -142,14 +177,27 @@ private:
             const RequestScope &Req = RequestScope());
   void event(std::string_view Kind, const RequestScope &Req,
              std::string_view Detail);
+  /// The fault registry for one operation: request-local first, then
+  /// the cache-wide one. Null when neither is attached.
+  support::FaultInjection *faults(const RequestScope &Req) const;
+  /// Moves the corrupt blob aside (rename to <key>.mcpta.bad, delete on
+  /// rename failure) and negative-caches the key.
+  void quarantineBlob(const std::string &Key, const RequestScope &Req);
 
   Config Cfg;
   support::Telemetry *Telem;
   support::FlightRecorder *Recorder = nullptr;
+  support::FaultInjection *Faults = nullptr;
+  /// Serializes all cache state below. Public entry points lock it;
+  /// private helpers expect it held.
+  mutable std::mutex Mu;
   Stats S;
   /// LRU list front = most recent. Map values hold list iterators.
   std::list<std::string> Lru;
   std::map<std::string, Entry> Mem;
+  /// Negative cache of quarantined keys: a corrupt blob is reported
+  /// once, then reads skip the disk until a store republishes the key.
+  std::set<std::string> QuarantinedKeys;
 };
 
 } // namespace serve

@@ -1,0 +1,117 @@
+//===- FaultInjection.h - Deterministic fault-injection registry -*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable fault injection for chaos testing the serve
+/// daemon (docs/ROBUSTNESS.md, "Fault injection"). Production code
+/// calls `shouldFire("point")` at a handful of named injection points;
+/// with no spec armed the call is a map lookup that always says no, and
+/// the registry is only ever constructed when `--fault-inject` (or a
+/// per-request `"fault"` member in tests) asks for it.
+///
+/// Spec grammar (comma-separated arms):
+///
+///   spec  ::= "on" | arm ("," arm)*
+///   arm   ::= point ":" mode (":" key "=" value)*
+///   mode  ::= "always" | "once" | "times=N" | "every=N" | "prob=P"
+///
+/// `"on"` arms nothing but marks the registry enabled, which is how the
+/// daemon accepts per-request `"fault"` specs without any server-wide
+/// fault. `prob=P` draws from a splitmix64 stream seeded by
+/// (seed, point, evaluation index), so a given spec fires on exactly
+/// the same evaluations in every run — chaos tests are reproducible by
+/// construction. Extra `key=value` arms are free-form integer
+/// parameters read back via `param()` (e.g. `serve.stall:once:ms=200`).
+///
+/// Point names are a closed set (see `isKnownPoint`); unknown names are
+/// a parse error so a typo cannot silently disarm a chaos test.
+///
+/// Thread-safe: `shouldFire` serializes on an internal mutex (injection
+/// points are cold paths by definition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_SUPPORT_FAULTINJECTION_H
+#define MCPTA_SUPPORT_FAULTINJECTION_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mcpta {
+namespace support {
+
+class FaultInjection {
+public:
+  FaultInjection() = default;
+
+  /// The closed set of injection points production code consults.
+  ///   cache.read_io   - SummaryCache disk lookup fails as if read IO died
+  ///   cache.write_io  - SummaryCache blob write fails (exercises retries)
+  ///   cache.corrupt   - SummaryCache sees a bit-flipped blob on read
+  ///   serve.stall     - analyze stalls (param ms=N, default 200) before
+  ///                     running; cancellable by the deadline watchdog
+  ///   serve.queue_full- reader sheds the request as if the queue were full
+  ///   alloc.pressure  - analyze runs under a tiny MaxLocations budget
+  ///                     (param max=N, default 8), forcing sound degradation
+  static bool isKnownPoint(std::string_view Point);
+
+  /// Parses \p Spec into this registry (replacing any prior arms).
+  /// Returns false and fills \p Error on a malformed spec or an unknown
+  /// point name. An empty spec is an error; "on" enables the registry
+  /// with no arms.
+  bool parse(std::string_view Spec, std::string &Error);
+
+  /// True once parse() succeeded (even for "on"). A disabled registry
+  /// never fires.
+  bool enabled() const;
+
+  /// True when \p Point has an arm configured (it may still decline to
+  /// fire depending on its mode).
+  bool armed(std::string_view Point) const;
+
+  /// One evaluation of \p Point: counts the evaluation and returns
+  /// whether the fault fires this time. Deterministic given the spec
+  /// and the sequence of evaluations. Thread-safe.
+  bool shouldFire(std::string_view Point);
+
+  /// Integer parameter attached to \p Point's arm (e.g. ms=200), or
+  /// \p Default when absent.
+  uint64_t param(std::string_view Point, std::string_view Key,
+                 uint64_t Default) const;
+
+  /// How many times \p Point actually fired.
+  uint64_t firedCount(std::string_view Point) const;
+
+  /// Total fires across all points.
+  uint64_t totalFired() const;
+
+private:
+  enum class Mode : uint8_t { Always, Once, Times, Every, Prob };
+
+  struct Arm {
+    Mode M = Mode::Always;
+    uint64_t N = 0;   ///< times=N count / every=N modulus
+    double P = 0.0;   ///< prob=P probability
+    uint64_t Seed = 0;
+    std::map<std::string, uint64_t, std::less<>> Params;
+    uint64_t Evals = 0;
+    uint64_t Fired = 0;
+  };
+
+  bool parseArm(std::string_view Text, std::string &Error);
+
+  mutable std::mutex Mu;
+  bool Enabled = false;
+  std::map<std::string, Arm, std::less<>> Arms;
+};
+
+} // namespace support
+} // namespace mcpta
+
+#endif // MCPTA_SUPPORT_FAULTINJECTION_H

@@ -32,6 +32,7 @@
 #ifndef MCPTA_SUPPORT_LIMITS_H
 #define MCPTA_SUPPORT_LIMITS_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -70,10 +71,19 @@ struct AnalysisLimits {
   /// Passes of one recursion-generalization fixed point (Figure 4
   /// restarts) before the summary is cut off and demoted to possible.
   uint64_t MaxRecPasses = 0;
+  /// External cancellation hook (non-owning, may be null). When the
+  /// pointed-to flag becomes true the meter behaves as if the
+  /// wall-clock deadline expired: the Deadline trip latches degraded
+  /// mode and hardDeadline() returns true so in-flight fixed points cut
+  /// themselves off at their next poll. The serve watchdog uses this to
+  /// cancel runaway requests (docs/SERVING.md). Excluded from the
+  /// options fingerprint: cancellation is per-run plumbing, not part of
+  /// what determines the result of an uncancelled run.
+  const std::atomic<bool> *CancelFlag = nullptr;
 
   bool any() const {
     return TimeoutMs || MaxStmtVisits || MaxLocations || MaxIGNodes ||
-           MaxRecPasses;
+           MaxRecPasses || CancelFlag;
   }
 };
 
@@ -145,8 +155,15 @@ public:
     return Limits.MaxRecPasses && Passes >= Limits.MaxRecPasses;
   }
 
-  /// Forces a clock read; trips Deadline when expired.
+  /// Forces a clock read; trips Deadline when expired. External
+  /// cancellation (AnalysisLimits::CancelFlag) reads as an expired
+  /// deadline so it rides the exact degradation path the deadline
+  /// budget already exercises.
   bool checkDeadline() {
+    if (cancelled()) {
+      trip(LimitKind::Deadline);
+      return true;
+    }
     if (!Limits.TimeoutMs)
       return false;
     if (elapsedMs() > Limits.TimeoutMs)
@@ -154,16 +171,24 @@ public:
     return tripped(LimitKind::Deadline);
   }
 
-  /// True when the run is well past its deadline (4x, floor +50ms).
-  /// In-flight fixed points cut themselves off at this point so even
-  /// degraded evaluation cannot run away.
+  /// True when the run is well past its deadline (4x, floor +50ms) or
+  /// externally cancelled. In-flight fixed points cut themselves off at
+  /// this point so even degraded evaluation cannot run away.
   bool hardDeadline() {
+    if (cancelled())
+      return true;
     if (!Limits.TimeoutMs)
       return false;
     uint64_t HardMs = Limits.TimeoutMs * 4;
     if (HardMs < Limits.TimeoutMs + 50)
       HardMs = Limits.TimeoutMs + 50;
     return elapsedMs() > HardMs;
+  }
+
+  /// External cancellation requested (watchdog or caller).
+  bool cancelled() const {
+    return Limits.CancelFlag &&
+           Limits.CancelFlag->load(std::memory_order_relaxed);
   }
 
   void trip(LimitKind K) { TrippedMask |= bit(K); }

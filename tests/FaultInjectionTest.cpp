@@ -1,0 +1,187 @@
+//===- FaultInjectionTest.cpp - fault-injection registry contracts -------------===//
+//
+// The FaultInjection contracts (support/FaultInjection.h):
+//
+//  - The spec grammar parses what docs/ROBUSTNESS.md promises and
+//    rejects everything else with a message — in particular a typo'd
+//    point name, so a chaos test can never be silently disarmed.
+//  - Every mode (always/once/times/every/prob) fires on exactly the
+//    evaluations its definition names, and prob=P is deterministic
+//    given the seed: reproducibility is the whole point.
+//  - A disabled registry never fires and costs nothing to consult.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using mcpta::support::FaultInjection;
+
+namespace {
+
+TEST(FaultInjectionTest, DisabledRegistryNeverFires) {
+  FaultInjection FI;
+  EXPECT_FALSE(FI.enabled());
+  EXPECT_FALSE(FI.armed("cache.read_io"));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(FI.shouldFire("cache.read_io"));
+  EXPECT_EQ(FI.totalFired(), 0u);
+}
+
+TEST(FaultInjectionTest, OnEnablesWithoutArming) {
+  FaultInjection FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("on", Err)) << Err;
+  EXPECT_TRUE(FI.enabled());
+  EXPECT_FALSE(FI.armed("serve.stall"));
+  EXPECT_FALSE(FI.shouldFire("serve.stall"));
+}
+
+TEST(FaultInjectionTest, GrammarRejectsBadSpecs) {
+  FaultInjection FI;
+  std::string Err;
+  // Empty spec, unknown point, unknown mode, malformed params: each is
+  // a hard error with a non-empty message.
+  EXPECT_FALSE(FI.parse("", Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(FI.parse("cache.raed_io:always", Err)) << "typo'd point";
+  EXPECT_NE(Err.find("cache.raed_io"), std::string::npos);
+  EXPECT_FALSE(FI.parse("cache.read_io:sometimes", Err));
+  EXPECT_FALSE(FI.parse("cache.read_io", Err)) << "missing mode";
+  EXPECT_FALSE(FI.parse("cache.read_io:times=", Err));
+  EXPECT_FALSE(FI.parse("cache.read_io:times=abc", Err));
+  EXPECT_FALSE(FI.parse("cache.read_io:prob=1.5", Err));
+  EXPECT_FALSE(FI.parse("cache.read_io:prob=-0.1", Err));
+  EXPECT_FALSE(FI.parse("serve.stall:once:ms", Err)) << "param without =";
+  // A failed parse leaves the registry disabled.
+  EXPECT_FALSE(FI.enabled());
+}
+
+TEST(FaultInjectionTest, KnownPointsAreAClosedSet) {
+  EXPECT_TRUE(FaultInjection::isKnownPoint("cache.read_io"));
+  EXPECT_TRUE(FaultInjection::isKnownPoint("cache.write_io"));
+  EXPECT_TRUE(FaultInjection::isKnownPoint("cache.corrupt"));
+  EXPECT_TRUE(FaultInjection::isKnownPoint("serve.stall"));
+  EXPECT_TRUE(FaultInjection::isKnownPoint("serve.queue_full"));
+  EXPECT_TRUE(FaultInjection::isKnownPoint("alloc.pressure"));
+  EXPECT_FALSE(FaultInjection::isKnownPoint("serve.everything"));
+  EXPECT_FALSE(FaultInjection::isKnownPoint(""));
+}
+
+TEST(FaultInjectionTest, AlwaysOnceTimesEveryModes) {
+  FaultInjection FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("cache.read_io:always,cache.write_io:once,"
+                       "cache.corrupt:times=3,serve.stall:every=4",
+                       Err))
+      << Err;
+
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(FI.shouldFire("cache.read_io"));
+
+  EXPECT_TRUE(FI.shouldFire("cache.write_io"));
+  for (int I = 0; I < 9; ++I)
+    EXPECT_FALSE(FI.shouldFire("cache.write_io"));
+
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(FI.shouldFire("cache.corrupt"));
+  for (int I = 0; I < 7; ++I)
+    EXPECT_FALSE(FI.shouldFire("cache.corrupt"));
+
+  // every=4 fires on evaluations 0, 4, 8, ...
+  std::vector<bool> Fires;
+  for (int I = 0; I < 9; ++I)
+    Fires.push_back(FI.shouldFire("serve.stall"));
+  EXPECT_EQ(Fires, (std::vector<bool>{true, false, false, false, true, false,
+                                      false, false, true}));
+
+  EXPECT_EQ(FI.firedCount("cache.read_io"), 10u);
+  EXPECT_EQ(FI.firedCount("cache.write_io"), 1u);
+  EXPECT_EQ(FI.firedCount("cache.corrupt"), 3u);
+  EXPECT_EQ(FI.firedCount("serve.stall"), 3u);
+  EXPECT_EQ(FI.totalFired(), 17u);
+}
+
+TEST(FaultInjectionTest, ProbIsDeterministicUnderASeed) {
+  // The same spec replayed from scratch fires on exactly the same
+  // evaluation indices — the reproducibility contract chaos tests
+  // depend on.
+  auto Sequence = [](const char *Spec, int N) {
+    FaultInjection FI;
+    std::string Err;
+    EXPECT_TRUE(FI.parse(Spec, Err)) << Err;
+    std::vector<bool> Out;
+    for (int I = 0; I < N; ++I)
+      Out.push_back(FI.shouldFire("cache.read_io"));
+    return Out;
+  };
+  std::vector<bool> A = Sequence("cache.read_io:prob=0.5:seed=7", 200);
+  std::vector<bool> B = Sequence("cache.read_io:prob=0.5:seed=7", 200);
+  EXPECT_EQ(A, B);
+  // A different seed gives a different (but equally reproducible) draw.
+  std::vector<bool> C = Sequence("cache.read_io:prob=0.5:seed=8", 200);
+  EXPECT_NE(A, C);
+  // p=0.5 over 200 draws: both outcomes must occur.
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 0);
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 200);
+}
+
+TEST(FaultInjectionTest, ProbExtremesNeverAndAlways) {
+  FaultInjection FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("cache.read_io:prob=0,cache.write_io:prob=1", Err))
+      << Err;
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_FALSE(FI.shouldFire("cache.read_io"));
+    EXPECT_TRUE(FI.shouldFire("cache.write_io"));
+  }
+}
+
+TEST(FaultInjectionTest, ParamsReadBackWithDefaults) {
+  FaultInjection FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("serve.stall:once:ms=350,alloc.pressure:always", Err))
+      << Err;
+  EXPECT_EQ(FI.param("serve.stall", "ms", 200), 350u);
+  EXPECT_EQ(FI.param("serve.stall", "absent", 42), 42u);
+  EXPECT_EQ(FI.param("alloc.pressure", "max", 8), 8u) << "default applies";
+  EXPECT_EQ(FI.param("cache.read_io", "ms", 5), 5u) << "unarmed point";
+}
+
+TEST(FaultInjectionTest, ReparseReplacesArms) {
+  FaultInjection FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("cache.read_io:always", Err)) << Err;
+  EXPECT_TRUE(FI.shouldFire("cache.read_io"));
+  ASSERT_TRUE(FI.parse("cache.write_io:always", Err)) << Err;
+  EXPECT_FALSE(FI.armed("cache.read_io"));
+  EXPECT_FALSE(FI.shouldFire("cache.read_io"));
+  EXPECT_TRUE(FI.shouldFire("cache.write_io"));
+}
+
+TEST(FaultInjectionTest, ThreadSafeEvaluationCountsExactly) {
+  // times=N under concurrent evaluation: exactly N fires total, no
+  // lost or double-counted evaluations.
+  FaultInjection FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("cache.read_io:times=100", Err)) << Err;
+  std::vector<std::thread> Threads;
+  std::atomic<int> Fired{0};
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 100; ++I)
+        if (FI.shouldFire("cache.read_io"))
+          Fired.fetch_add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Fired.load(), 100);
+  EXPECT_EQ(FI.firedCount("cache.read_io"), 100u);
+}
+
+} // namespace

@@ -737,6 +737,258 @@ TEST(ServerTest, TelemetryDoesNotPerturbResults) {
   EXPECT_EQ(R.getString("key", ""), SummaryCache::key(CP->Source, Opts));
 }
 
+//===----------------------------------------------------------------------===//
+// Concurrent loop: worker pool, bounded lines, shutdown drain
+//===----------------------------------------------------------------------===//
+
+/// Splits daemon stdout into parsed response lines.
+std::vector<JsonValue> parseResponses(const std::string &Out) {
+  std::vector<JsonValue> Rs;
+  std::istringstream Lines(Out);
+  std::string Line;
+  while (std::getline(Lines, Line))
+    if (!Line.empty())
+      Rs.push_back(parseResponse(Line));
+  return Rs;
+}
+
+TEST(ServerTest, OversizedLineIsAProtocolErrorAndTheLoopContinues) {
+  TempCacheDir Dir("linebound");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Cfg.MaxLineBytes = 64;
+  Server S(Cfg);
+  std::string Huge(1000, 'x');
+  std::istringstream In(Huge + "\n"
+                        "{\"id\":2,\"method\":\"stats\"}\n"
+                        "{\"id\":3,\"method\":\"shutdown\"}\n");
+  std::ostringstream Out, Log;
+  EXPECT_EQ(S.run(In, Out, Log), 0);
+  std::vector<JsonValue> Rs = parseResponses(Out.str());
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_FALSE(Rs[0].getBool("ok", true));
+  EXPECT_NE(Rs[0].getString("error", "").find("64-byte bound"),
+            std::string::npos);
+  // The oversized line was fully consumed: the next line parses
+  // normally and the daemon keeps serving.
+  EXPECT_TRUE(Rs[1].getBool("ok", false));
+  EXPECT_TRUE(Rs[2].getBool("ok", false));
+  auto Counters = S.telemetry().countersSnapshot();
+  EXPECT_EQ(Counters["serve.errors.protocol"], 1u);
+}
+
+TEST(ServerTest, NonUtf8LineIsAProtocolError) {
+  TempCacheDir Dir("utf8");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Server S(Cfg);
+  std::string Bad = "{\"id\":1,\"method\":\"stats\",\"cid\":\"\xff\xfe\"}";
+  std::istringstream In(Bad + "\n"
+                        "{\"id\":2,\"method\":\"shutdown\"}\n");
+  std::ostringstream Out, Log;
+  EXPECT_EQ(S.run(In, Out, Log), 0);
+  std::vector<JsonValue> Rs = parseResponses(Out.str());
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_FALSE(Rs[0].getBool("ok", true));
+  EXPECT_NE(Rs[0].getString("error", "").find("UTF-8"), std::string::npos);
+  EXPECT_TRUE(Rs[1].getBool("ok", false));
+}
+
+TEST(ServerTest, PoolDrainsInFlightRequestsOnShutdown) {
+  // Four analyzes then shutdown through the Threads=2 loop: every
+  // accepted request gets exactly one response (out of order is fine —
+  // correlation is by id), and the flight-recorder dump happens exactly
+  // once, after the pool has fully drained.
+  TempCacheDir Dir("pooldrain");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Cfg.Threads = 2;
+  Server S(Cfg);
+  std::string Input;
+  const char *Sources[] = {
+      "int main(void) { int a; int *p; p = &a; return *p; }",
+      "int main(void) { int b; int *q; q = &b; return *q; }",
+      "int main(void) { int c; int *r; r = &c; return *r; }",
+      "int main(void) { int d; int *s; s = &d; return *s; }",
+  };
+  for (int I = 0; I < 4; ++I)
+    Input += "{\"id\":" + std::to_string(I + 1) +
+             ",\"method\":\"analyze\",\"source\":\"" + Sources[I] + "\"}\n";
+  Input += "{\"id\":5,\"method\":\"shutdown\"}\n";
+  std::istringstream In(Input);
+  std::ostringstream Out, Log;
+  EXPECT_EQ(S.run(In, Out, Log), 0);
+
+  std::vector<JsonValue> Rs = parseResponses(Out.str());
+  std::map<int, int> ById;
+  for (const JsonValue &R : Rs) {
+    int Id = static_cast<int>(R.getNumber("id", -1));
+    ++ById[Id];
+    if (Id >= 1 && Id <= 4) {
+      EXPECT_TRUE(R.getBool("ok", false)) << "id " << Id;
+      EXPECT_TRUE(R.getBool("analyzed", false)) << "id " << Id;
+    }
+  }
+  for (int Id = 1; Id <= 5; ++Id)
+    EXPECT_EQ(ById[Id], 1) << "id " << Id << " answered exactly once";
+
+  const std::string LogText = Log.str();
+  size_t First = LogText.find("flight recorder:");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(LogText.find("flight recorder:", First + 1), std::string::npos)
+      << "dump must happen exactly once";
+}
+
+TEST(ServerTest, PostShutdownLinesAreRejectedNotServed) {
+  // Lines racing a shutdown through the pool are either answered (they
+  // were admitted before the queue sealed) or rejected with a shutdown
+  // error — never dropped silently mid-read, never half-served.
+  TempCacheDir Dir("postshut");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Cfg.Threads = 2;
+  Server S(Cfg);
+  std::string Input = "{\"id\":1,\"method\":\"shutdown\"}\n";
+  for (int I = 2; I <= 10; ++I)
+    Input += "{\"id\":" + std::to_string(I) + ",\"method\":\"stats\"}\n";
+  std::istringstream In(Input);
+  std::ostringstream Out, Log;
+  EXPECT_EQ(S.run(In, Out, Log), 0);
+  bool SawShutdownOk = false;
+  for (const JsonValue &R : parseResponses(Out.str())) {
+    if (R.getNumber("id", -1) == 1) {
+      EXPECT_TRUE(R.getBool("ok", false));
+      SawShutdownOk = true;
+    } else if (!R.getBool("ok", false)) {
+      EXPECT_NE(R.getString("error", "").find("shutting down"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(SawShutdownOk);
+}
+
+TEST(ServerTest, PoolAnswersAreIdenticalToSequentialAnswers) {
+  // The same request stream through Threads=1 and Threads=4 daemons
+  // (fresh cache each): for every id, all result members must match
+  // exactly. Only transport metadata (elapsed_ms, response order) may
+  // differ — concurrency buys throughput, never different answers.
+  const char *SourcesById[] = {
+      "int main(void) { int a; int *p; p = &a; return *p; }",
+      "int main(void) { int b; int *q; int **h; q = &b; h = &q; "
+      "return **h; }",
+      "int f(int *x) { return *x; } int main(void) { int c; "
+      "return f(&c); }",
+      "int g(void) { return 1; } int main(void) { int (*fp)(void); "
+      "fp = g; return fp(); }",
+  };
+  auto Collect = [&](unsigned Threads) {
+    TempCacheDir Dir(Threads == 1 ? "ident_seq" : "ident_pool");
+    Server::Config Cfg;
+    Cfg.Cache.Dir = Dir.Path;
+    Cfg.Threads = Threads;
+    Server S(Cfg);
+    std::string Input;
+    for (int I = 0; I < 12; ++I)
+      Input += "{\"id\":" + std::to_string(I + 1) +
+               ",\"method\":\"analyze\",\"source\":\"" +
+               SourcesById[I % 4] + "\"}\n";
+    Input += "{\"id\":99,\"method\":\"shutdown\"}\n";
+    std::istringstream In(Input);
+    std::ostringstream Out, Log;
+    EXPECT_EQ(S.run(In, Out, Log), 0);
+    std::map<int, std::string> ById;
+    for (const JsonValue &R : parseResponses(Out.str())) {
+      int Id = static_cast<int>(R.getNumber("id", -1));
+      if (Id == 99)
+        continue;
+      std::ostringstream Sig;
+      Sig << R.getBool("ok", false) << "|" << R.getBool("degraded", false)
+          << "|" << R.getString("key", "") << "|"
+          << R.getNumber("locations", -1) << "|"
+          << R.getNumber("ig_nodes", -1) << "|"
+          << R.getNumber("main_out_pairs", -1) << "|"
+          << R.getNumber("alias_pairs", -1);
+      ById[Id] = Sig.str();
+    }
+    return ById;
+  };
+  std::map<int, std::string> Seq = Collect(1);
+  std::map<int, std::string> Pool = Collect(4);
+  ASSERT_EQ(Seq.size(), 12u);
+  ASSERT_EQ(Pool.size(), 12u);
+  for (int Id = 1; Id <= 12; ++Id)
+    EXPECT_EQ(Pool[Id], Seq[Id]) << "id " << Id;
+}
+
+TEST(ServerTest, QueueWaitPastDeadlineShedsTheRequest) {
+  // Drive the admission path directly: a worker dequeuing a request
+  // that already waited past the whole deadline sheds it instead of
+  // starting an analysis it cannot finish in budget.
+  TempCacheDir Dir("latewait");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Cfg.RequestDeadlineMs = 50;
+  Server S(Cfg);
+  std::ostringstream Log;
+  bool Shut = false;
+  Server::Admission Late;
+  Late.QueueWaitMs = 120;
+  Late.QueueDepth = 1;
+  Late.QueueCap = 8;
+  JsonValue R = parseResponse(S.handleLine(
+      "{\"id\":1,\"method\":\"analyze\",\"source\":"
+      "\"int main(void) { return 0; }\"}",
+      Shut, Log, Late));
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_TRUE(R.getBool("overloaded", false));
+  auto Counters = S.telemetry().countersSnapshot();
+  EXPECT_EQ(Counters["serve.admission.shed_wait"], 1u);
+
+  // Queries are never shed on wait: the answer is a map lookup.
+  S.handleLine("{\"id\":2,\"method\":\"analyze\",\"source\":"
+               "\"int main(void) { return 0; }\"}",
+               Shut, Log);
+  JsonValue Q = parseResponse(S.handleLine(
+      "{\"id\":3,\"method\":\"read_write_sets\"}", Shut, Log, Late));
+  EXPECT_TRUE(Q.getBool("ok", false));
+}
+
+TEST(ServerTest, QueuePressureTightensTheLadderButKeepsServing) {
+  // Depth at 75% of capacity: ladder level 2, TimeoutMs clamped to
+  // deadline/4, the response says so, and the result is still sound.
+  TempCacheDir Dir("ladder");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Cfg.RequestDeadlineMs = 60000; // generous: tightened, not tripped
+  Server S(Cfg);
+  std::ostringstream Log;
+  bool Shut = false;
+  Server::Admission Busy;
+  Busy.QueueWaitMs = 1;
+  Busy.QueueDepth = 6;
+  Busy.QueueCap = 8;
+  JsonValue R = parseResponse(S.handleLine(
+      "{\"id\":1,\"method\":\"analyze\",\"source\":"
+      "\"int main(void) { int x; int *p; p = &x; return *p; }\"}",
+      Shut, Log, Busy));
+  EXPECT_TRUE(R.getBool("ok", false));
+  EXPECT_EQ(R.getNumber("ladder_level", 0), 2);
+  EXPECT_FALSE(R.getBool("degraded", true)) << "tiny program: budget ample";
+  auto Counters = S.telemetry().countersSnapshot();
+  EXPECT_EQ(Counters["serve.admission.tightened"], 1u);
+  EXPECT_EQ(Counters["serve.admission.tightened.l2"], 1u);
+
+  // An idle daemon then serves the untightened request as a fresh entry
+  // (the tightened key is distinct), and a repeat of the busy request
+  // hits the tightened entry.
+  JsonValue Idle = parseResponse(S.handleLine(
+      "{\"id\":2,\"method\":\"analyze\",\"source\":"
+      "\"int main(void) { int x; int *p; p = &x; return *p; }\"}",
+      Shut, Log));
+  EXPECT_TRUE(Idle.getBool("ok", false));
+  EXPECT_NE(Idle.getString("key", ""), R.getString("key", ""));
+}
+
 TEST(ServerTest, DegradationWarningsAreDeduplicated) {
   ServerFixture F;
   // Two analyses degrading the same way: the log gets one warning line
