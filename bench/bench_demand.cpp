@@ -1,0 +1,528 @@
+//===- bench_demand.cpp - demand-vs-exhaustive query speedup -------------------===//
+//
+// The demand engine's reason to exist (docs/DEMAND.md): a single
+// points_to/alias question about main's final state should not pay for
+// the whole exhaustive analysis. The engine seeds the Relevance
+// liveness pass with the query's roots and runs the ordinary analyzer
+// with Options::LiveStmts installed; DemandTest proves the answers are
+// byte-equal, this binary measures the payoff.
+//
+// Method: on incrstress (the corpus pathological case — over a million
+// visited statements exhaustively, while main's own p/q never escape)
+// compare
+//   exhaustive: Pipeline::analyzeSource + ResultSnapshot::capture
+//   demand:     DemandEngine::query against a warm engine
+// with the median of three runs each. The engine's documented cost
+// model (DemandQuery.h) is burst-shaped: frontend, engine construction,
+// and the Relevance liveness structures are paid once per program and
+// amortize across the query set, so the per-query number is the warm
+// one; the one-time setup (frontend + engine + first query, which
+// forces the Relevance build) is measured and reported separately.
+// Gates (exit 1 so CI catches a regressed pruning pass): every
+// incrstress query must be answered on the demand path, the median
+// warm-query speedup must be >= 5x, and the visited-statement ratio
+// must stay < 0.5.
+//
+// The corpus sweep and the wlgen queryWorkload sweep then report how
+// often demand answers vs. falls back (with which recorded reasons)
+// across realistic and synthetic query mixes. --demand-bench-json=FILE
+// (or MCPTA_DEMAND_BENCH_JSON) exports the whole table as a
+// `mcpta-demand-bench-v1` document.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "demand/DemandQuery.h"
+#include "serve/Serialize.h"
+#include "wlgen/WorkloadGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace mcpta;
+using namespace mcpta::benchutil;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+double medianOf(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V[V.size() / 2];
+}
+
+/// Analysis options for both sides. Per-statement set recording would
+/// gate every demand query ("stmt-scope" needs it off), and the demand
+/// run forces it off anyway; keep the exhaustive side symmetric.
+pta::Analyzer::Options benchOptions() {
+  pta::Analyzer::Options Opts;
+  Opts.RecordStmtSets = false;
+  return Opts;
+}
+
+/// Extracts `--demand-bench-json=FILE` before google-benchmark sees it,
+/// mirroring BenchUtil::statsJsonPath. MCPTA_DEMAND_BENCH_JSON is the
+/// env fallback for CI.
+std::string demandBenchJsonPath(int &argc, char **argv) {
+  std::string Path;
+  int W = 1;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--demand-bench-json=", 0) == 0) {
+      Path = Arg.substr(std::strlen("--demand-bench-json="));
+      continue;
+    }
+    if (Arg == "--demand-bench-json" && I + 1 < argc) {
+      Path = argv[++I];
+      continue;
+    }
+    argv[W++] = argv[I];
+  }
+  argc = W;
+  if (Path.empty())
+    if (const char *Env = std::getenv("MCPTA_DEMAND_BENCH_JSON"))
+      Path = Env;
+  return Path;
+}
+
+std::string jsonStr(const std::string &S) {
+  std::string Out = "\"";
+  Out += support::Telemetry::jsonEscape(S);
+  Out += "\"";
+  return Out;
+}
+
+struct QueryRow {
+  std::string Label;
+  demand::Query Q;
+  std::string Strategy;
+  std::string FallbackReason;
+  double DemandMs = 0;
+  double Speedup = 0;
+  uint64_t Visited = 0, Skipped = 0;
+  double VisitedRatio = 0;
+};
+
+struct CorpusRow {
+  std::string Program;
+  unsigned Queries = 0, Answered = 0, Fallbacks = 0;
+  std::set<std::string> Reasons;
+};
+
+struct WorkloadRow {
+  uint64_t Seed = 0;
+  unsigned Queries = 0, Hot = 0;
+  unsigned HotAnswered = 0, ColdAnswered = 0, Fallbacks = 0;
+  double TotalMs = 0;
+};
+
+/// One warm query against an existing engine.
+demand::Answer demandRun(demand::DemandEngine &Engine,
+                         const demand::Query &Q, double &MsOut) {
+  Clock::time_point T0 = Clock::now();
+  demand::Answer A = Engine.query(Q);
+  MsOut = msSince(T0);
+  if (!A.Ok) {
+    std::fprintf(stderr, "FATAL: query failed: %s\n", A.Error.c_str());
+    std::abort();
+  }
+  return A;
+}
+
+/// The exhaustive side of the comparison: what serve's analyze path
+/// does to be able to answer any query at all.
+double exhaustiveRun(const std::string &Source,
+                     const pta::Analyzer::Options &Opts) {
+  Clock::time_point T0 = Clock::now();
+  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  if (P.Diags.hasErrors() || !P.Analysis.Analyzed) {
+    std::fprintf(stderr, "FATAL: bench source failed to analyze:\n%s",
+                 P.Diags.dump().c_str());
+    std::abort();
+  }
+  serve::ResultSnapshot S = serve::ResultSnapshot::capture(
+      *P.Prog, P.Analysis, serve::optionsFingerprint(Opts));
+  benchmark::DoNotOptimize(S.IG.size());
+  return msSince(T0);
+}
+
+/// Up to \p Cap queryable display names for a corpus program: globals
+/// first, then main's params and locals, skipping simplifier temps.
+std::vector<std::string> queryNames(const simple::Program &Prog,
+                                    size_t Cap) {
+  std::vector<std::string> Names;
+  std::set<std::string> Seen;
+  auto Add = [&](const std::string &N) {
+    if (Names.size() < Cap && !N.empty() && N[0] != '.' &&
+        Seen.insert(N).second)
+      Names.push_back(N);
+  };
+  for (const cfront::VarDecl *G : Prog.globals())
+    Add(G->name());
+  for (const simple::FunctionIR &F : Prog.functions())
+    if (F.Decl && F.Decl->name() == "main") {
+      for (const cfront::VarDecl *P : F.Decl->params())
+        Add(P->name());
+      for (const cfront::VarDecl *L : F.Locals)
+        Add(L->name());
+    }
+  return Names;
+}
+
+struct BenchReport {
+  double ExhaustiveMs = 0;
+  uint64_t ExhaustiveVisits = 0;
+  /// One-time demand setup: frontend + engine construction + the first
+  /// query (which forces the Relevance build). Reported, not gated.
+  double SetupMs = 0;
+  std::vector<QueryRow> Incrstress;
+  double MedianSpeedup = 0;
+  double WorstVisitedRatio = 0;
+  std::vector<CorpusRow> Corpus;
+  std::vector<WorkloadRow> Workloads;
+};
+
+int runComparison(BenchReport &Report) {
+  const corpus::CorpusProgram *CP = corpus::find("incrstress");
+  if (!CP) {
+    std::fprintf(stderr, "FATAL: corpus program 'incrstress' missing\n");
+    return 1;
+  }
+  const std::string Source = CP->Source;
+  const pta::Analyzer::Options Opts = benchOptions();
+
+  printHeader("Demand-driven queries",
+              "single query: liveness-pruned run vs. exhaustive analysis");
+  std::printf("program: %s (%u lines)\n\n", CP->Name, countLines(CP->Source));
+
+  // Exhaustive side: wall time (median of 3) and the visited-statement
+  // denominator for the pruning-ratio gate.
+  {
+    std::vector<double> Ms;
+    for (int I = 0; I < 3; ++I)
+      Ms.push_back(exhaustiveRun(Source, Opts));
+    Report.ExhaustiveMs = medianOf(Ms);
+
+    support::Telemetry T;
+    pta::Analyzer::Options Traced = Opts;
+    Traced.Telem = &T;
+    Pipeline P = Pipeline::analyzeSource(Source, Traced);
+    benchmark::DoNotOptimize(P.Analysis.Analyzed);
+    Report.ExhaustiveVisits = T.countersSnapshot()["pta.stmt_visits"];
+  }
+  // Demand side: one engine per program, the burst shape serve's query
+  // cache amortizes toward. The setup line is everything the first
+  // request additionally pays.
+  Clock::time_point Setup0 = Clock::now();
+  Pipeline FE = Pipeline::frontend(Source);
+  if (!FE.Prog) {
+    std::fprintf(stderr, "FATAL: bench source failed the frontend:\n%s",
+                 FE.Diags.dump().c_str());
+    return 1;
+  }
+  demand::DemandOptions DO;
+  DO.Analyzer = Opts;
+  demand::DemandEngine Engine(*FE.Prog, DO);
+  {
+    double FirstMs = 0;
+    demandRun(Engine, demand::Query::pointsTo("p"), FirstMs);
+    Report.SetupMs = msSince(Setup0);
+  }
+
+  std::printf("exhaustive: %.1f ms, %llu statement visits\n", Report.ExhaustiveMs,
+              static_cast<unsigned long long>(Report.ExhaustiveVisits));
+  std::printf("demand setup (frontend + engine + first query): %.1f ms\n\n",
+              Report.SetupMs);
+  std::printf("%-16s %10s %9s %9s %9s %9s  %s\n", "query", "demand(ms)",
+              "speedup", "visited", "skipped", "ratio", "strategy");
+
+  const std::pair<const char *, demand::Query> Queries[] = {
+      {"points_to p", demand::Query::pointsTo("p")},
+      {"points_to q", demand::Query::pointsTo("q")},
+      {"alias *p:*q", demand::Query::alias("*p", "*q")},
+      {"alias p:q", demand::Query::alias("p", "q")},
+  };
+  std::vector<double> Speedups;
+  for (const auto &QP : Queries) {
+    QueryRow R;
+    R.Label = QP.first;
+    R.Q = QP.second;
+    std::vector<double> Ms;
+    demand::Answer A;
+    for (int I = 0; I < 3; ++I) {
+      double OneMs = 0;
+      A = demandRun(Engine, R.Q, OneMs);
+      Ms.push_back(OneMs);
+    }
+    R.DemandMs = medianOf(Ms);
+    R.Strategy = A.Strategy;
+    R.FallbackReason = A.FallbackReason;
+    R.Visited = A.VisitedStmts;
+    R.Skipped = A.SkippedStmts;
+    // Trivial answers (distinct 0-star roots) take ~0 ms; clamp so the
+    // ratio stays finite and readable.
+    R.Speedup = Report.ExhaustiveMs / std::max(R.DemandMs, 0.01);
+    R.VisitedRatio = Report.ExhaustiveVisits
+                         ? static_cast<double>(R.Visited) /
+                               static_cast<double>(Report.ExhaustiveVisits)
+                         : 1.0;
+    std::printf("%-16s %10.2f %8.1fx %9llu %9llu %9.4f  %s\n", R.Label.c_str(),
+                R.DemandMs, R.Speedup,
+                static_cast<unsigned long long>(R.Visited),
+                static_cast<unsigned long long>(R.Skipped), R.VisitedRatio,
+                R.Strategy.c_str());
+    Speedups.push_back(R.Speedup);
+    Report.Incrstress.push_back(std::move(R));
+  }
+  Report.MedianSpeedup = medianOf(Speedups);
+  for (const QueryRow &R : Report.Incrstress)
+    Report.WorstVisitedRatio = std::max(Report.WorstVisitedRatio,
+                                        R.VisitedRatio);
+  std::printf("\nmedian query speedup: %.1fx (requirement: >=5x), worst "
+              "visited ratio: %.4f (requirement: <0.5)\n\n",
+              Report.MedianSpeedup, Report.WorstVisitedRatio);
+
+  // The regression gates. incrstress is built so main's p/q never have
+  // their addresses taken: if any of these queries leaves the demand
+  // path, or the pruned run stops being dramatically smaller, the
+  // liveness pass has regressed.
+  for (const QueryRow &R : Report.Incrstress)
+    if (R.Strategy != "demand") {
+      std::fprintf(stderr,
+                   "FATAL: incrstress '%s' fell back to %s (reason %s)\n",
+                   R.Label.c_str(), R.Strategy.c_str(),
+                   R.FallbackReason.c_str());
+      return 1;
+    }
+  if (Report.MedianSpeedup < 5.0) {
+    std::fprintf(stderr,
+                 "FATAL: median demand speedup %.1fx < required 5x\n",
+                 Report.MedianSpeedup);
+    return 1;
+  }
+  if (Report.WorstVisitedRatio >= 0.5) {
+    std::fprintf(stderr,
+                 "FATAL: visited-statement ratio %.4f >= required 0.5\n",
+                 Report.WorstVisitedRatio);
+    return 1;
+  }
+
+  // Corpus sweep: how the strategy splits across every embedded
+  // program — small programs mostly answer on the demand path, fnptr-
+  // and recursion-heavy ones fall back with a recorded reason.
+  std::printf("%-14s %8s %9s %10s  %s\n", "corpus", "queries", "answered",
+              "fallbacks", "reasons");
+  for (const corpus::CorpusProgram &C : corpus::corpus()) {
+    Pipeline FE = Pipeline::frontend(C.Source);
+    if (!FE.Prog) {
+      std::fprintf(stderr, "FATAL: corpus '%s' failed the frontend:\n%s",
+                   C.Name, FE.Diags.dump().c_str());
+      return 1;
+    }
+    demand::DemandOptions DO;
+    DO.Analyzer = Opts;
+    demand::DemandEngine Engine(*FE.Prog, DO);
+    CorpusRow Row;
+    Row.Program = C.Name;
+    std::vector<demand::Query> Qs;
+    std::vector<std::string> Names = queryNames(*FE.Prog, 4);
+    for (const std::string &N : Names)
+      Qs.push_back(demand::Query::pointsTo(N));
+    if (Names.size() >= 2)
+      Qs.push_back(demand::Query::alias("*" + Names[0], "*" + Names[1]));
+    for (const demand::Query &Q : Qs) {
+      demand::Answer A = Engine.query(Q);
+      ++Row.Queries;
+      if (A.answeredByDemand()) {
+        ++Row.Answered;
+      } else {
+        ++Row.Fallbacks;
+        if (A.FallbackReason.empty()) {
+          std::fprintf(stderr,
+                       "FATAL: corpus '%s' fallback without a reason\n",
+                       C.Name);
+          return 1;
+        }
+        Row.Reasons.insert(A.FallbackReason);
+      }
+    }
+    std::string Reasons;
+    for (const std::string &R : Row.Reasons)
+      Reasons += (Reasons.empty() ? "" : ",") + R;
+    std::printf("%-14s %8u %9u %10u  %s\n", Row.Program.c_str(), Row.Queries,
+                Row.Answered, Row.Fallbacks,
+                Reasons.empty() ? "-" : Reasons.c_str());
+    Report.Corpus.push_back(std::move(Row));
+  }
+  std::printf("\n");
+
+  // queryWorkload sweep: synthetic (program, query-set) pairs with the
+  // generator's hot/cold skew, answered through one warm engine per
+  // program — the serve burst shape, where Relevance and the fallback
+  // snapshot amortize across the set.
+  std::printf("%-10s %8s %6s %13s %14s %10s %10s\n", "workload", "queries",
+              "hot", "hot_answered", "cold_answered", "fallbacks",
+              "total(ms)");
+  for (uint64_t Seed : {1, 2, 3}) {
+    wlgen::QueryWorkloadConfig Cfg;
+    Cfg.Seed = Seed;
+    wlgen::QueryWorkload W = wlgen::queryWorkload(Cfg);
+    Pipeline FE = Pipeline::frontend(W.Source);
+    if (!FE.Prog) {
+      std::fprintf(stderr, "FATAL: workload seed %llu failed the frontend\n",
+                   static_cast<unsigned long long>(Seed));
+      return 1;
+    }
+    demand::DemandOptions DO;
+    DO.Analyzer = Opts;
+    demand::DemandEngine Engine(*FE.Prog, DO);
+    WorkloadRow Row;
+    Row.Seed = Seed;
+    Clock::time_point T0 = Clock::now();
+    for (const wlgen::QuerySpec &QS : W.Queries) {
+      demand::Query Q = QS.K == wlgen::QuerySpec::Kind::PointsTo
+                            ? demand::Query::pointsTo(QS.Name)
+                            : demand::Query::alias(QS.A, QS.B);
+      demand::Answer A = Engine.query(Q);
+      ++Row.Queries;
+      Row.Hot += QS.Hot;
+      if (A.answeredByDemand())
+        ++(QS.Hot ? Row.HotAnswered : Row.ColdAnswered);
+      else
+        ++Row.Fallbacks;
+    }
+    Row.TotalMs = msSince(T0);
+    std::printf("seed %-5llu %8u %6u %13u %14u %10u %10.1f\n",
+                static_cast<unsigned long long>(Row.Seed), Row.Queries,
+                Row.Hot, Row.HotAnswered, Row.ColdAnswered, Row.Fallbacks,
+                Row.TotalMs);
+    Report.Workloads.push_back(Row);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+bool writeDemandBenchJson(const std::string &Path,
+                          const BenchReport &Report) {
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot write demand bench JSON to '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  OS << "{\"format\":\"mcpta-demand-bench-v1\",\"tool_version\":"
+     << jsonStr(version::kToolVersion) << ",\"incrstress\":{"
+     << "\"exhaustive_ms\":" << Report.ExhaustiveMs
+     << ",\"exhaustive_stmt_visits\":" << Report.ExhaustiveVisits
+     << ",\"demand_setup_ms\":" << Report.SetupMs << ",\"queries\":[";
+  for (size_t I = 0; I < Report.Incrstress.size(); ++I) {
+    const QueryRow &R = Report.Incrstress[I];
+    if (I)
+      OS << ",";
+    OS << "{\"query\":" << jsonStr(R.Label) << ",\"strategy\":"
+       << jsonStr(R.Strategy) << ",\"demand_ms\":" << R.DemandMs
+       << ",\"speedup\":" << R.Speedup << ",\"visited_stmts\":" << R.Visited
+       << ",\"skipped_stmts\":" << R.Skipped
+       << ",\"visited_ratio\":" << R.VisitedRatio << "}";
+  }
+  OS << "],\"median_speedup\":" << Report.MedianSpeedup
+     << ",\"worst_visited_ratio\":" << Report.WorstVisitedRatio
+     << "},\"corpus\":[";
+  for (size_t I = 0; I < Report.Corpus.size(); ++I) {
+    const CorpusRow &R = Report.Corpus[I];
+    if (I)
+      OS << ",";
+    OS << "{\"program\":" << jsonStr(R.Program) << ",\"queries\":"
+       << R.Queries << ",\"demand_answered\":" << R.Answered
+       << ",\"fallbacks\":" << R.Fallbacks << ",\"fallback_reasons\":[";
+    bool First = true;
+    for (const std::string &Reason : R.Reasons) {
+      if (!First)
+        OS << ",";
+      First = false;
+      OS << jsonStr(Reason);
+    }
+    OS << "]}";
+  }
+  OS << "],\"workloads\":[";
+  for (size_t I = 0; I < Report.Workloads.size(); ++I) {
+    const WorkloadRow &R = Report.Workloads[I];
+    if (I)
+      OS << ",";
+    OS << "{\"seed\":" << R.Seed << ",\"queries\":" << R.Queries
+       << ",\"hot\":" << R.Hot << ",\"hot_answered\":" << R.HotAnswered
+       << ",\"cold_answered\":" << R.ColdAnswered
+       << ",\"fallbacks\":" << R.Fallbacks
+       << ",\"total_demand_ms\":" << R.TotalMs << "}";
+  }
+  OS << "],\"gates\":{\"median_speedup_min\":5.0,\"visited_ratio_max\":0.5,"
+     << "\"pass\":true}}\n";
+  return bool(OS);
+}
+
+void BM_ExhaustiveAnalyze(benchmark::State &State) {
+  const corpus::CorpusProgram *CP = corpus::find("incrstress");
+  const pta::Analyzer::Options Opts = benchOptions();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(exhaustiveRun(CP->Source, Opts));
+}
+BENCHMARK(BM_ExhaustiveAnalyze)->Unit(benchmark::kMillisecond);
+
+void BM_DemandQueryCold(benchmark::State &State) {
+  const corpus::CorpusProgram *CP = corpus::find("incrstress");
+  const demand::Query Q = demand::Query::pointsTo("p");
+  for (auto _ : State) {
+    Pipeline FE = Pipeline::frontend(CP->Source);
+    demand::DemandOptions DO;
+    DO.Analyzer = benchOptions();
+    demand::DemandEngine Engine(*FE.Prog, DO);
+    benchmark::DoNotOptimize(Engine.query(Q).VisitedStmts);
+  }
+}
+BENCHMARK(BM_DemandQueryCold)->Unit(benchmark::kMillisecond);
+
+void BM_DemandQueryWarm(benchmark::State &State) {
+  const corpus::CorpusProgram *CP = corpus::find("incrstress");
+  Pipeline FE = Pipeline::frontend(CP->Source);
+  demand::DemandOptions DO;
+  DO.Analyzer = benchOptions();
+  demand::DemandEngine Engine(*FE.Prog, DO);
+  const demand::Query P = demand::Query::pointsTo("p");
+  const demand::Query A = demand::Query::alias("*p", "*q");
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Engine.query(P).VisitedStmts);
+    benchmark::DoNotOptimize(Engine.query(A).Aliased);
+  }
+}
+BENCHMARK(BM_DemandQueryWarm)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string DemandJson = demandBenchJsonPath(argc, argv);
+  std::string StatsJson = mcpta::benchutil::statsJsonPath(argc, argv);
+  BenchReport Report;
+  int RC = runComparison(Report);
+  if (RC != 0)
+    return RC;
+  if (!DemandJson.empty() && !writeDemandBenchJson(DemandJson, Report))
+    return 1;
+  if (!StatsJson.empty() &&
+      !mcpta::benchutil::writeCorpusStatsJson(StatsJson, "demand"))
+    return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

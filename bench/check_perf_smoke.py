@@ -24,9 +24,15 @@ mem.peak_rss_kb gauge, under the baseline's mem_tolerance (default
 wall time). A memory regression fails the same way a wall-time one
 does.
 
---record rewrites the baseline's total_us and peak_rss_kb fields from
-the measured minimums (keeping the gate list and tolerances), for
-refreshing after an intentional perf change.
+Gates carrying a query_us field instead of total_us are demand-query
+latency gates: they read mcpta-demand-bench-v1 exports (bench_demand's
+--demand-bench-json output) and compare the median warm per-query
+demand_ms on incrstress against the recorded budget, under the same
+wall-time tolerance.
+
+--record rewrites the baseline's total_us/peak_rss_kb (and query_us)
+fields from the measured minimums (keeping the gate list and
+tolerances), for refreshing after an intentional perf change.
 """
 
 import argparse
@@ -59,12 +65,27 @@ def program_peak_rss_kb(doc, program):
     return int(progs[program].get("gauges", {}).get("mem.peak_rss_kb", 0))
 
 
+def demand_query_us(doc):
+    """Median warm per-query latency of a mcpta-demand-bench-v1 export's
+    incrstress query table, in microseconds."""
+    queries = doc.get("incrstress", {}).get("queries", [])
+    if not queries:
+        raise KeyError("no incrstress queries in demand bench export")
+    vals = sorted(q["demand_ms"] for q in queries)
+    return int(vals[len(vals) // 2] * 1000)
+
+
 def load_measurements(paths):
-    """Maps bench name -> list of parsed stats documents."""
+    """Maps bench name -> list of parsed stats documents. Demand bench
+    exports (mcpta-demand-bench-v1) land under the 'demand-query' key,
+    which is the bench name demand-latency gates use."""
     by_bench = {}
     for path in paths:
         with open(path) as f:
             doc = json.load(f)
+        if doc.get("format") == "mcpta-demand-bench-v1":
+            by_bench.setdefault("demand-query", []).append(doc)
+            continue
         if doc.get("schema") != "mcpta-bench-stats-v1":
             sys.exit(f"error: {path}: not an mcpta-bench-stats-v1 export "
                      f"(schema={doc.get('schema')!r})")
@@ -107,6 +128,25 @@ def main():
             failures.append(f"{bench}/{program}: no measured stats export "
                             f"for bench '{bench}'")
             continue
+
+        if "query_us" in gate:
+            measured = min(demand_query_us(d) for d in docs)
+            if args.record:
+                gate["query_us"] = measured
+                print(f"record {bench}/{program}: query_us={measured}")
+                continue
+            budget = gate["query_us"] * (1.0 + tolerance)
+            ratio = measured / gate["query_us"] if gate["query_us"] else 0.0
+            verdict = "ok" if measured <= budget else "FAIL"
+            print(f"{verdict} {bench}/{program}: demand query {measured}us "
+                  f"vs baseline {gate['query_us']}us ({ratio:.2f}x, "
+                  f"budget {budget:.0f}us, n={len(docs)})")
+            if measured > budget:
+                failures.append(f"{bench}/{program}: demand query "
+                                f"{ratio:.2f}x baseline exceeds "
+                                f"+{tolerance:.0%} tolerance")
+            continue
+
         measured = min(program_total_us(d, program) for d in docs)
         measured_rss = min(program_peak_rss_kb(d, program) for d in docs)
         if args.record:

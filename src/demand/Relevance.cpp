@@ -1,0 +1,472 @@
+//===- Relevance.cpp - Query-relevance pre-pass for demand queries --------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "demand/Relevance.h"
+
+#include "pointsto/Analyzer.h"
+
+#include <deque>
+
+namespace mcpta {
+namespace demand {
+
+using namespace mcpta::simple;
+namespace cf = mcpta::cfront;
+
+namespace {
+
+/// Preorder walk over a statement tree (compounds included).
+template <typename Fn> void forEachStmt(const Stmt *S, Fn &&F) {
+  if (!S)
+    return;
+  F(S);
+  switch (S->kind()) {
+  case Stmt::Kind::Block:
+    for (const Stmt *C : castStmt<BlockStmt>(S)->Body)
+      forEachStmt(C, F);
+    break;
+  case Stmt::Kind::If: {
+    const auto *I = castStmt<IfStmt>(S);
+    forEachStmt(I->Then, F);
+    forEachStmt(I->Else, F);
+    break;
+  }
+  case Stmt::Kind::Loop: {
+    const auto *L = castStmt<LoopStmt>(S);
+    forEachStmt(L->Body, F);
+    forEachStmt(L->Trailer, F);
+    break;
+  }
+  case Stmt::Kind::Switch:
+    for (const SwitchStmt::Case &C : castStmt<SwitchStmt>(S)->Cases)
+      for (const Stmt *B : C.Body)
+        forEachStmt(B, F);
+    break;
+  default:
+    break;
+  }
+}
+
+const FunctionIR *findMain(const Program &Prog) {
+  for (const FunctionIR &F : Prog.functions())
+    if (F.Decl && F.Decl->name() == "main" && F.Body)
+      return &F;
+  return nullptr;
+}
+
+} // namespace
+
+/// Conservative per-statement facts for the liveness pass, precomputed
+/// once the flow-insensitive solution is stable.
+struct Relevance::StmtFacts {
+  unsigned StmtId = 0;
+  /// Roots this statement may create/kill/demote triples for.
+  std::set<int> Writes;
+  /// Roots whose triples the statement's transfer function consults;
+  /// joined into the relevant set when the statement goes live.
+  std::set<int> Reads;
+  /// exit()-style calls: pure control effect, always analyzed.
+  bool AlwaysLive = false;
+  /// Non-extern call (descends into the invocation graph when live).
+  bool IsBodyCall = false;
+};
+
+Relevance::~Relevance() = default;
+
+//===----------------------------------------------------------------------===//
+// Construction: roots and the flow-insensitive fixpoint
+//===----------------------------------------------------------------------===//
+
+Relevance::Relevance(const simple::Program &Prog) : Prog(Prog) {
+  // Root 0 is the summary heap; then every variable the program can
+  // mention, then one return-value root per defined function.
+  PTS.emplace_back(); // heap
+  auto AddVar = [this](const cf::VarDecl *V) {
+    if (!V || VarRoot.count(V))
+      return;
+    VarRoot[V] = static_cast<int>(PTS.size());
+    PTS.emplace_back();
+  };
+  for (const cf::VarDecl *G : Prog.globals()) {
+    AddVar(G);
+    if (G->type() && G->type()->isPointerBearing())
+      PointerBearingGlobals.push_back(VarRoot[G]);
+  }
+  for (const FunctionIR &F : Prog.functions()) {
+    if (F.Decl)
+      for (const cf::VarDecl *P : F.Decl->params())
+        AddVar(P);
+    for (const cf::VarDecl *L : F.Locals)
+      AddVar(L);
+    if (F.Decl && !RetvalRoot.count(F.Decl)) {
+      RetvalRoot[F.Decl] = static_cast<int>(PTS.size());
+      PTS.emplace_back();
+    }
+  }
+
+  // Whole-program fixpoint: re-apply every statement's constraints
+  // until no set grows. Monotone and bounded by roots^2 facts.
+  bool Changed = true;
+  while (Changed) {
+    ++Passes;
+    Changed = false;
+    forEachStmt(Prog.globalInit(), [&](const Stmt *S) {
+      if (applyStmt(S, nullptr))
+        Changed = true;
+    });
+    for (const FunctionIR &F : Prog.functions())
+      forEachStmt(F.Body, [&](const Stmt *S) {
+        if (applyStmt(S, F.Decl))
+          Changed = true;
+      });
+  }
+
+  // Precompute the liveness facts for the pruned region (main's body
+  // plus the global initializers) against the now-stable solution.
+  std::vector<int> GlobSeeds = PointerBearingGlobals;
+  GlobSeeds.push_back(heapRoot());
+  std::vector<uint8_t> GR = reachClosure(GlobSeeds);
+  for (size_t I = 0; I < GR.size(); ++I)
+    if (GR[I])
+      GlobalReach.insert(static_cast<int>(I));
+
+  auto OperandReads = [this](const Operand &Op, std::set<int> &Out) {
+    if (!Op.isRef() || !Op.Ref.Base)
+      return;
+    int B = rootOf(Op.Ref.Base);
+    if (B < 0)
+      return;
+    if (Op.Ref.AddrOf) {
+      // &x reads nothing; &(*p).f reads p's triples to locate targets.
+      if (Op.Ref.Deref)
+        Out.insert(B);
+      return;
+    }
+    Out.insert(B);
+    if (Op.Ref.Deref)
+      for (int T : PTS[B])
+        Out.insert(T);
+  };
+
+  auto CallFacts = [&](const CallInfo &CI, StmtFacts &F) {
+    if (CI.NoReturn) {
+      // Pure control effect (the call never returns); processCall
+      // short-circuits before descending, so keeping it live is free.
+      F.AlwaysLive = true;
+      return;
+    }
+    if (CI.isIndirect()) {
+      // Function-pointer calls are gated out before liveness is used;
+      // stay conservative if one slips through.
+      F.AlwaysLive = true;
+      return;
+    }
+    const FunctionIR *Callee = Prog.findFunction(CI.Callee);
+    if (!Callee || !Callee->Body) {
+      // Extern model (mirrors Analyzer's applyExtern): the only write
+      // is through the assignment's lhs, handled by the caller; the
+      // only read is arg0's value for the strcpy family.
+      if (pta::externCallModel(CI.Callee->name()) ==
+              pta::ExternModel::ReturnsArg0 &&
+          !CI.Args.empty())
+        OperandReads(CI.Args[0], F.Reads);
+      return;
+    }
+    // A call with a body: map() mirrors every pointer-bearing global,
+    // the heap, and everything reachable from the actuals into the
+    // callee, and unmap() kills/rewrites exactly those sources. The
+    // call's conservative mod set is that whole mapped world — and a
+    // *live* call must pull all of it into the relevant set, because
+    // the callee's behavior (memoization, symbolic demotion) depends on
+    // the entire mapped input being byte-identical to the exhaustive
+    // run's.
+    F.IsBodyCall = true;
+    std::vector<int> Seeds;
+    for (const Operand &A : CI.Args) {
+      OperandReads(A, F.Reads);
+      for (int V : operandValue(A))
+        Seeds.push_back(V);
+    }
+    std::vector<uint8_t> Reach = reachClosure(Seeds);
+    for (size_t I = 0; I < Reach.size(); ++I)
+      if (Reach[I])
+        F.Writes.insert(static_cast<int>(I));
+    F.Writes.insert(GlobalReach.begin(), GlobalReach.end());
+    F.Reads.insert(F.Writes.begin(), F.Writes.end());
+  };
+
+  auto CollectBasic = [&](const Stmt *S) {
+    if (S->kind() != Stmt::Kind::Assign && S->kind() != Stmt::Kind::Call)
+      return;
+    StmtFacts F;
+    F.StmtId = S->id();
+    if (const auto *A = dynCastStmt<AssignStmt>(S)) {
+      if (A->Lhs.Base) {
+        int B = rootOf(A->Lhs.Base);
+        if (B >= 0) {
+          if (A->Lhs.Deref) {
+            F.Reads.insert(B);
+            for (int T : PTS[B])
+              F.Writes.insert(T);
+          } else {
+            F.Writes.insert(B);
+          }
+        }
+      }
+      switch (A->RK) {
+      case AssignStmt::RhsKind::Operand:
+      case AssignStmt::RhsKind::Unary:
+        OperandReads(A->A, F.Reads);
+        break;
+      case AssignStmt::RhsKind::Binary:
+        OperandReads(A->A, F.Reads);
+        OperandReads(A->B, F.Reads);
+        break;
+      case AssignStmt::RhsKind::Alloc:
+        break;
+      case AssignStmt::RhsKind::Call:
+        CallFacts(A->Call, F);
+        break;
+      }
+    } else if (const auto *C = dynCastStmt<CallStmt>(S)) {
+      CallFacts(C->Call, F);
+    }
+    Facts.push_back(std::move(F));
+  };
+  forEachStmt(Prog.globalInit(), CollectBasic);
+  if (const FunctionIR *Main = findMain(Prog))
+    forEachStmt(Main->Body, CollectBasic);
+}
+
+int Relevance::rootOf(const cf::VarDecl *V) const {
+  auto It = VarRoot.find(V);
+  return It == VarRoot.end() ? -1 : It->second;
+}
+
+int Relevance::rootOfRetval(const cf::FunctionDecl *F) const {
+  auto It = RetvalRoot.find(F);
+  return It == RetvalRoot.end() ? -1 : It->second;
+}
+
+bool Relevance::addAll(int Root, const std::set<int> &Vals) {
+  if (Root < 0 || Vals.empty())
+    return false;
+  size_t Before = PTS[Root].size();
+  PTS[Root].insert(Vals.begin(), Vals.end());
+  return PTS[Root].size() != Before;
+}
+
+std::set<int> Relevance::refValue(const simple::Reference &R) const {
+  std::set<int> Out;
+  if (!R.Base)
+    return Out;
+  int B = rootOf(R.Base);
+  if (B < 0)
+    return Out;
+  if (R.AddrOf) {
+    if (R.Deref) {
+      // &(*p).f: an address inside whatever p points to.
+      Out = PTS[B];
+    } else {
+      Out.insert(B);
+    }
+    return Out;
+  }
+  if (R.Deref) {
+    for (int T : PTS[B])
+      Out.insert(PTS[T].begin(), PTS[T].end());
+  } else {
+    Out = PTS[B];
+  }
+  return Out;
+}
+
+std::set<int> Relevance::operandValue(const simple::Operand &Op) const {
+  if (Op.isRef())
+    return refValue(Op.Ref);
+  // Constants, strings, nulls and function addresses carry no roots the
+  // liveness pass tracks (strings hold no pointers; function-pointer
+  // programs are gated out before the solution is consulted).
+  return {};
+}
+
+bool Relevance::applyCall(const simple::CallInfo &CI,
+                          const simple::Reference *LhsRef) {
+  bool Changed = false;
+  std::set<int> RetVal;
+  if (!CI.isIndirect()) {
+    const FunctionIR *Callee = Prog.findFunction(CI.Callee);
+    if (Callee && Callee->Body) {
+      const std::vector<cf::VarDecl *> &Params = CI.Callee->params();
+      for (size_t I = 0; I < Params.size() && I < CI.Args.size(); ++I)
+        if (addAll(rootOf(Params[I]), operandValue(CI.Args[I])))
+          Changed = true;
+      int RV = rootOfRetval(CI.Callee);
+      if (RV >= 0)
+        RetVal = PTS[RV];
+    } else if (CI.Callee) {
+      // Extern model, mirrored from the analyzer: the strcpy family
+      // returns (into) its first argument; everything else returning a
+      // pointer is modeled as pointing to heap.
+      if (pta::externCallModel(CI.Callee->name()) ==
+              pta::ExternModel::ReturnsArg0 &&
+          !CI.Args.empty())
+        RetVal = operandValue(CI.Args[0]);
+      else
+        RetVal.insert(heapRoot());
+    }
+  }
+  if (LhsRef && LhsRef->Base) {
+    int B = rootOf(LhsRef->Base);
+    if (B >= 0) {
+      if (LhsRef->Deref) {
+        for (int T : PTS[B])
+          if (addAll(T, RetVal))
+            Changed = true;
+      } else if (addAll(B, RetVal)) {
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool Relevance::applyStmt(const simple::Stmt *S,
+                          const cf::FunctionDecl *Owner) {
+  switch (S->kind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = castStmt<AssignStmt>(S);
+    if (A->RK == AssignStmt::RhsKind::Call)
+      return applyCall(A->Call, &A->Lhs);
+    std::set<int> Val;
+    switch (A->RK) {
+    case AssignStmt::RhsKind::Operand:
+    case AssignStmt::RhsKind::Unary:
+      Val = operandValue(A->A);
+      break;
+    case AssignStmt::RhsKind::Binary: {
+      Val = operandValue(A->A);
+      std::set<int> V2 = operandValue(A->B);
+      Val.insert(V2.begin(), V2.end());
+      break;
+    }
+    case AssignStmt::RhsKind::Alloc:
+      Val.insert(heapRoot());
+      break;
+    case AssignStmt::RhsKind::Call:
+      break; // handled above
+    }
+    if (!A->Lhs.Base)
+      return false;
+    int B = rootOf(A->Lhs.Base);
+    if (B < 0)
+      return false;
+    if (A->Lhs.Deref) {
+      bool Changed = false;
+      for (int T : PTS[B])
+        if (addAll(T, Val))
+          Changed = true;
+      return Changed;
+    }
+    return addAll(B, Val);
+  }
+  case Stmt::Kind::Call:
+    return applyCall(castStmt<CallStmt>(S)->Call, nullptr);
+  case Stmt::Kind::Return: {
+    const auto *R = castStmt<ReturnStmt>(S);
+    if (!R->Value || !Owner)
+      return false;
+    return addAll(rootOfRetval(Owner), operandValue(*R->Value));
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+std::vector<uint8_t>
+Relevance::reachClosure(const std::vector<int> &Seeds) const {
+  std::vector<uint8_t> In(PTS.size(), 0);
+  std::deque<int> Work;
+  for (int S : Seeds)
+    if (S >= 0 && S < static_cast<int>(PTS.size()) && !In[S]) {
+      In[S] = 1;
+      Work.push_back(S);
+    }
+  while (!Work.empty()) {
+    int R = Work.front();
+    Work.pop_front();
+    for (int T : PTS[R])
+      if (!In[T]) {
+        In[T] = 1;
+        Work.push_back(T);
+      }
+  }
+  return In;
+}
+
+Relevance::Liveness
+Relevance::liveness(const std::vector<int> &SeedRoots) const {
+  Liveness Out;
+  Out.LiveStmts.assign(Prog.numStmts(), 1);
+
+  std::vector<uint8_t> Rel(PTS.size(), 0);
+  for (int S : SeedRoots)
+    if (S >= 0 && S < static_cast<int>(PTS.size()))
+      Rel[S] = 1;
+
+  std::vector<uint8_t> Live(Facts.size(), 0);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Facts.size(); ++I) {
+      if (Live[I])
+        continue;
+      const StmtFacts &F = Facts[I];
+      bool Fire = F.AlwaysLive;
+      if (!Fire)
+        for (int W : F.Writes)
+          if (Rel[W]) {
+            Fire = true;
+            break;
+          }
+      if (!Fire)
+        continue;
+      Live[I] = 1;
+      Changed = true;
+      for (int R : F.Reads)
+        if (!Rel[R])
+          Rel[R] = 1;
+    }
+  }
+
+  Out.SliceBasic = Facts.size();
+  for (size_t I = 0; I < Facts.size(); ++I) {
+    if (Live[I]) {
+      ++Out.LiveBasic;
+      if (Facts[I].IsBodyCall)
+        Out.AnyLiveCall = true;
+    } else {
+      Out.LiveStmts[Facts[I].StmtId] = 0;
+    }
+  }
+  return Out;
+}
+
+Relevance::Stats Relevance::stats() const {
+  Stats S;
+  S.Roots = PTS.size();
+  S.Passes = Passes;
+  for (const std::set<int> &P : PTS)
+    S.Edges += P.size();
+  return S;
+}
+
+} // namespace demand
+} // namespace mcpta

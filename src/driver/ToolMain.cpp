@@ -73,6 +73,14 @@
 //                         as an incr.fallback.* counter. Not applicable
 //                         to --serve.
 //
+// One-shot demand queries (docs/DEMAND.md):
+//   --points-to=NAME      print the points-to targets of location NAME
+//                         at the end of main, then exit
+//   --alias=A:B           print whether access paths A and B (zero or
+//                         more '*' prefixes on a variable) may alias
+//   --strategy=MODE       demand (default; liveness-pruned run with
+//                         exhaustive fallback) | exhaustive
+//
 // Exit codes: 0 = clean run (degraded runs included unless --strict),
 // 1 = usage/input/diagnostics error, 2 = analysis degraded under
 // --strict.
@@ -83,6 +91,7 @@
 #include "clients/IGStats.h"
 #include "clients/IndirectRefStats.h"
 #include "corpus/Corpus.h"
+#include "demand/DemandQuery.h"
 #include "driver/Pipeline.h"
 #include "incr/IncrementalEngine.h"
 #include "serve/Serialize.h"
@@ -137,6 +146,8 @@ int usage() {
       "                [--serve-threads=N] [--serve-queue-cap=N]\n"
       "                [--serve-deadline-ms=N] [--serve-max-line-bytes=N]\n"
       "                [--fault-inject=SPEC]\n"
+      "                [--points-to=NAME | --alias=A:B] "
+      "[--strategy=demand|exhaustive]\n"
       "                (file.c | --corpus NAME | --batch DIR | --serve |\n"
       "                 --list-corpus | --gen-stress[=DEPTH] | --version)\n");
   return 1;
@@ -521,6 +532,75 @@ int runIncremental(const std::string &Source, const ToolConfig &Cfg,
   return (Cfg.Strict && Degraded) ? 2 : 0;
 }
 
+/// One-shot demand query (--points-to / --alias): frontends the source,
+/// runs the DemandEngine, prints the answer and which strategy produced
+/// it. --strategy=exhaustive answers from the exhaustive snapshot
+/// instead (same output shape, for diffing the two).
+int runQuery(const std::string &Source, const ToolConfig &Cfg,
+             const std::string &PointsToName, const std::string &AliasA,
+             const std::string &AliasB, const std::string &Strategy) {
+  Pipeline FE = Pipeline::frontend(Source);
+  if (!FE.Prog) {
+    std::fputs(FE.Diags.dump().c_str(), stderr);
+    return 1;
+  }
+  demand::DemandOptions DO;
+  DO.Analyzer = Cfg.Opts;
+  demand::DemandEngine Engine(*FE.Prog, DO);
+
+  const bool IsAlias = !AliasA.empty() || !AliasB.empty();
+  if (Strategy == "exhaustive") {
+    const serve::ResultSnapshot &S = Engine.exhaustiveSnapshot();
+    if (!S.Analyzed) {
+      std::fprintf(stderr, "error: analysis failed\n");
+      return 1;
+    }
+    std::printf("strategy: exhaustive\n");
+    if (IsAlias) {
+      std::printf("alias(%s, %s): %s\n", AliasA.c_str(), AliasB.c_str(),
+                  S.aliased(AliasA, AliasB) ? "yes" : "no");
+    } else {
+      if (S.locationIdByName(PointsToName) < 0) {
+        std::fprintf(stderr, "error: unknown location '%s'\n",
+                     PointsToName.c_str());
+        return 1;
+      }
+      std::printf("points_to(%s):\n", PointsToName.c_str());
+      for (const auto &[Target, Definite] :
+           S.pointsToTargets(PointsToName))
+        std::printf("  %s (%s)\n", Target.c_str(),
+                    Definite ? "definite" : "possible");
+    }
+    return (Cfg.Strict && S.degraded()) ? 2 : 0;
+  }
+
+  demand::Answer A =
+      Engine.query(IsAlias ? demand::Query::alias(AliasA, AliasB)
+                           : demand::Query::pointsTo(PointsToName));
+  if (!A.Ok) {
+    std::fprintf(stderr, "error: %s\n",
+                 A.Error.empty() ? "query failed" : A.Error.c_str());
+    return 1;
+  }
+  std::printf("strategy: %s\n", A.Strategy.c_str());
+  if (!A.FallbackReason.empty())
+    std::printf("fallback_reason: %s\n", A.FallbackReason.c_str());
+  if (A.Strategy == "demand")
+    std::printf("visited_stmts: %llu\nskipped_stmts: %llu\n",
+                static_cast<unsigned long long>(A.VisitedStmts),
+                static_cast<unsigned long long>(A.SkippedStmts));
+  if (IsAlias) {
+    std::printf("alias(%s, %s): %s\n", AliasA.c_str(), AliasB.c_str(),
+                A.Aliased ? "yes" : "no");
+  } else {
+    std::printf("points_to(%s):\n", PointsToName.c_str());
+    for (const auto &[Target, Definite] : A.Targets)
+      std::printf("  %s (%s)\n", Target.c_str(),
+                  Definite ? "definite" : "possible");
+  }
+  return 0;
+}
+
 /// Serve-daemon knobs collected from the command line (--serve-* and
 /// --fault-inject); zero means "keep the Server::Config default".
 struct ServeConfig {
@@ -555,6 +635,9 @@ int runServe(const ToolConfig &Cfg, const std::string &CacheDir,
 int main(int argc, char **argv) {
   ToolConfig Cfg;
   std::string File, CorpusName, BatchDir, IncrBaselinePath;
+  std::string QueryPointsTo, QueryAliasA, QueryAliasB;
+  std::string QueryStrategy = "demand";
+  bool HaveQuery = false;
   bool Serve = false;
   ServeConfig ServeCfg;
   const char *EnvCacheDir = std::getenv("MCPTA_CACHE_DIR");
@@ -655,6 +738,26 @@ int main(int argc, char **argv) {
       }
       std::fputs(wlgen::pathologicalSource(Depth).c_str(), stdout);
       return 0;
+    } else if (Arg.compare(0, 12, "--points-to=") == 0) {
+      QueryPointsTo = Arg.substr(12);
+      HaveQuery = true;
+    } else if (Arg.compare(0, 8, "--alias=") == 0) {
+      std::string Pair = Arg.substr(8);
+      size_t Colon = Pair.find(':');
+      if (Colon == std::string::npos) {
+        std::fprintf(stderr, "error: --alias wants A:B access paths\n");
+        return 1;
+      }
+      QueryAliasA = Pair.substr(0, Colon);
+      QueryAliasB = Pair.substr(Colon + 1);
+      HaveQuery = true;
+    } else if (Arg.compare(0, 11, "--strategy=") == 0) {
+      QueryStrategy = Arg.substr(11);
+      if (QueryStrategy != "demand" && QueryStrategy != "exhaustive") {
+        std::fprintf(stderr,
+                     "error: --strategy wants demand or exhaustive\n");
+        return 1;
+      }
     } else if (Arg == "--corpus" && I + 1 < argc) {
       CorpusName = argv[++I];
     } else if (Arg == "--batch" && I + 1 < argc) {
@@ -702,6 +805,16 @@ int main(int argc, char **argv) {
     return usage();
   }
 
+  if (HaveQuery) {
+    if (!QueryPointsTo.empty() &&
+        (!QueryAliasA.empty() || !QueryAliasB.empty())) {
+      std::fprintf(stderr,
+                   "error: --points-to and --alias are exclusive\n");
+      return 1;
+    }
+    return runQuery(Source, Cfg, QueryPointsTo, QueryAliasA, QueryAliasB,
+                    QueryStrategy);
+  }
   if (!IncrBaselinePath.empty())
     return runIncremental(Source, Cfg, IncrBaselinePath);
   return runOne(Source, Cfg);

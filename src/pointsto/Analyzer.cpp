@@ -68,6 +68,12 @@ struct HotCounters {
   uint64_t IndirectCallsResolved = 0;
   uint64_t IndirectTargetsTotal = 0;
   uint64_t ExternCalls = 0;
+  /// process() dispatches that ran a statement's transfer function, and
+  /// dispatches short-circuited by Options::LiveStmts. Their sum is the
+  /// statement coverage of the run; the demand engine's visited-statement
+  /// ratio is its StmtVisits over the exhaustive run's.
+  uint64_t StmtVisits = 0;
+  uint64_t StmtSkips = 0;
   /// Loops whose fixed point was stopped by MaxLoopIterations.
   uint64_t LoopLimitHits = 0;
   /// Degradation occurrences per LimitKind (pta.degraded.*).
@@ -446,6 +452,21 @@ void AnalyzerImpl::applyStructCopy(PointsToSet &S,
 FlowState AnalyzerImpl::process(const Stmt *S, OptSet In, IGNode *Ign) {
   if (!S || !In)
     return {};
+  if (Opts.LiveStmts) {
+    const std::vector<uint8_t> &Live = *Opts.LiveStmts;
+    unsigned Id = S->id();
+    if (Id < Live.size() && !Live[Id]) {
+      // Demand-driven pruning: a dead statement is an identity transfer.
+      // The demand engine only marks a statement dead when its effect
+      // cannot touch the query's relevant roots, so passing the input
+      // through unchanged reproduces the exhaustive result's projection.
+      ++C.StmtSkips;
+      FlowState FS;
+      FS.Normal = std::move(In);
+      return FS;
+    }
+  }
+  ++C.StmtVisits;
   switch (S->kind()) {
   case Stmt::Kind::Block:
     return processBlock(castStmt<BlockStmt>(S), std::move(In), Ign);
@@ -1138,19 +1159,8 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
   (void)Ign;
   ++C.ExternCalls;
   const std::string &Name = Callee->name();
-
-  // Functions that return (a pointer into) their first argument.
-  static const char *const ReturnsArg0[] = {
-      "strcpy", "strncpy", "strcat", "strncat", "memcpy",
-      "memmove", "memset",  "strchr", "strrchr", "strstr",
-      "strpbrk", "strtok",  "gets",   "fgets",
-  };
-  bool IsReturnsArg0 = false;
-  for (const char *N : ReturnsArg0)
-    if (Name == N) {
-      IsReturnsArg0 = true;
-      break;
-    }
+  const ExternModel Model = externCallModel(Name);
+  const bool IsReturnsArg0 = Model == ExternModel::ReturnsArg0;
 
   if (LhsRef && LhsRef->Ty && LhsRef->Ty->isPointerBearing()) {
     std::vector<LocDef> Rlocs;
@@ -1175,23 +1185,7 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
 
   // Known pointer-neutral library functions need no warning; anything
   // else gets a one-time note that its side effects are ignored.
-  static const char *const Neutral[] = {
-      "printf", "fprintf", "sprintf", "snprintf", "puts",   "putchar",
-      "scanf",  "fscanf",  "sscanf",  "getchar",  "free",   "strlen",
-      "strcmp", "strncmp", "atoi",    "atof",     "abs",    "rand",
-      "srand",  "time",    "clock",   "fopen",    "fclose", "fread",
-      "fwrite", "fflush",  "feof",    "qsort",    "sqrt",   "pow",
-      "sin",    "cos",     "tan",     "exp",      "log",    "floor",
-      "ceil",   "fabs",    "toupper", "tolower",  "isalpha", "isdigit",
-      "isspace",
-  };
-  bool Known = IsReturnsArg0;
-  for (const char *N : Neutral)
-    if (Name == N) {
-      Known = true;
-      break;
-    }
-  if (!Known)
+  if (Model == ExternModel::Unknown)
     warnOnce(ownerName(Ign), "extern-" + Name,
              "extern function '" + Name +
                  "' has no body; its pointer side effects are ignored");
@@ -1279,6 +1273,8 @@ void AnalyzerImpl::publishTelemetry() {
   Telem->add("pta.indirect_calls_resolved", C.IndirectCallsResolved);
   Telem->add("pta.indirect_targets", C.IndirectTargetsTotal);
   Telem->add("pta.extern_calls", C.ExternCalls);
+  Telem->add("pta.stmt_visits", C.StmtVisits);
+  Telem->add("pta.stmt_skips", C.StmtSkips);
   Telem->add("pta.loop_limit_hits", C.LoopLimitHits);
   Telem->add("pta.degradations", Res.Degradations.size());
   for (unsigned I = 0; I < support::NumLimitKinds; ++I)
@@ -1331,6 +1327,37 @@ void AnalyzerImpl::publishTelemetry() {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Extern-call model
+//===----------------------------------------------------------------------===//
+
+ExternModel mcpta::pta::externCallModel(const std::string &Name) {
+  // Functions that return (a pointer into) their first argument.
+  static const char *const ReturnsArg0[] = {
+      "strcpy", "strncpy", "strcat", "strncat", "memcpy",
+      "memmove", "memset",  "strchr", "strrchr", "strstr",
+      "strpbrk", "strtok",  "gets",   "fgets",
+  };
+  for (const char *N : ReturnsArg0)
+    if (Name == N)
+      return ExternModel::ReturnsArg0;
+
+  static const char *const Neutral[] = {
+      "printf", "fprintf", "sprintf", "snprintf", "puts",   "putchar",
+      "scanf",  "fscanf",  "sscanf",  "getchar",  "free",   "strlen",
+      "strcmp", "strncmp", "atoi",    "atof",     "abs",    "rand",
+      "srand",  "time",    "clock",   "fopen",    "fclose", "fread",
+      "fwrite", "fflush",  "feof",    "qsort",    "sqrt",   "pow",
+      "sin",    "cos",     "tan",     "exp",      "log",    "floor",
+      "ceil",   "fabs",    "toupper", "tolower",  "isalpha", "isdigit",
+      "isspace",
+  };
+  for (const char *N : Neutral)
+    if (Name == N)
+      return ExternModel::Neutral;
+  return ExternModel::Unknown;
+}
 
 //===----------------------------------------------------------------------===//
 // FunctionWarningLog

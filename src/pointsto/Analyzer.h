@@ -75,6 +75,26 @@ private:
   std::vector<OwnerEntry> Owners;
 };
 
+/// How the analyzer models a call to a function without a body. The
+/// demand engine's relevance pass (src/demand/) must mirror the
+/// analyzer's extern semantics exactly, so the classification is shared
+/// rather than duplicated.
+enum class ExternModel {
+  /// Returns (a pointer into) its first argument (strcpy family): the
+  /// call's only pointer effect is `lhs <- targets of arg0` (possible,
+  /// unknown index).
+  ReturnsArg0,
+  /// Known pointer-neutral library function: no pointer effect at all
+  /// beyond `lhs <- heap` when the return type is pointer-bearing.
+  Neutral,
+  /// Anything else: a one-time warning, and the same `lhs <- heap`
+  /// model as Neutral. No other location is written.
+  Unknown,
+};
+
+/// Classification used by the extern-call transfer function.
+ExternModel externCallModel(const std::string &Name);
+
 /// How indirect call sites are bound to callees.
 enum class FnPtrMode {
   Precise,      ///< Figure 5: the function pointer's points-to set
@@ -137,6 +157,16 @@ public:
     /// Memo-table seeding hook for incremental re-analysis; null (the
     /// default) for ordinary from-scratch runs.
     MemoSeeder *Seeder = nullptr;
+    /// Statement-liveness filter for demand-driven queries (src/demand/),
+    /// indexed by simple::Stmt::id(). A statement whose entry is 0 is an
+    /// identity transfer: its points-to effect (and, for calls, the
+    /// entire invocation subtree underneath it) is skipped. Ids at or
+    /// beyond the vector's size are treated as live, and null (the
+    /// default) analyzes everything. The caller is responsible for only
+    /// marking statements dead when skipping them cannot change the
+    /// projection of the result it intends to read (see docs/DEMAND.md
+    /// for the exactness argument the demand engine relies on).
+    const std::vector<uint8_t> *LiveStmts = nullptr;
   };
 
   struct Result {

@@ -25,6 +25,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
 
@@ -36,6 +37,11 @@ public:
   struct Item {
     std::string Line;
     uint64_t Seq = 0;
+    /// Correlation id the reader scraped from the line (best effort;
+    /// "" for requests that carry none — anonymous requests therefore
+    /// share one fairness bucket). The per-cid fairness accounting of
+    /// pushFair() treats each distinct cid as one tenant.
+    std::string Cid;
     /// When the reader accepted the line; workers derive the queue-wait
     /// component of the request's admission budget from it.
     std::chrono::steady_clock::time_point EnqueuedAt;
@@ -54,6 +60,53 @@ public:
         return PushResult::Closed;
       if (Q.size() >= Cap)
         return PushResult::Full;
+      Q.push_back(std::move(I));
+    }
+    Cv.notify_one();
+    return PushResult::Ok;
+  }
+
+  /// Fairness-aware enqueue (docs/SERVING.md, "Per-tenant fairness").
+  /// Behaves like push() while there is room. On a full queue it
+  /// computes per-cid occupancy: if some tenant holds strictly more
+  /// queued slots than the incoming request's tenant, the *newest*
+  /// queued item of the heaviest tenant (smallest cid on ties) is
+  /// evicted into \p Evicted (\p DidEvict = true) and the incoming item
+  /// takes its slot — overload sheds the tenant hogging the queue, not
+  /// whoever arrives next. If the incoming tenant is itself (one of)
+  /// the heaviest, returns Full and the caller sheds the newcomer as
+  /// before.
+  PushResult pushFair(Item I, Item &Evicted, bool &DidEvict) {
+    DidEvict = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (IsClosed)
+        return PushResult::Closed;
+      if (Q.size() >= Cap) {
+        std::map<std::string, size_t> Count;
+        for (const Item &It : Q)
+          ++Count[It.Cid];
+        size_t Mine = 0;
+        auto MineIt = Count.find(I.Cid);
+        if (MineIt != Count.end())
+          Mine = MineIt->second;
+        const std::string *Heaviest = nullptr;
+        size_t Max = 0;
+        for (const auto &KV : Count)
+          if (KV.second > Max) { // ascending keys: first max = smallest cid
+            Max = KV.second;
+            Heaviest = &KV.first;
+          }
+        if (!Heaviest || Max <= Mine)
+          return PushResult::Full;
+        for (auto It = Q.rbegin(); It != Q.rend(); ++It)
+          if (It->Cid == *Heaviest) {
+            Evicted = std::move(*It);
+            Q.erase(std::next(It).base());
+            DidEvict = true;
+            break;
+          }
+      }
       Q.push_back(std::move(I));
     }
     Cv.notify_one();

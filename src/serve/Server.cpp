@@ -3,6 +3,7 @@
 #include "serve/Server.h"
 
 #include "corpus/Corpus.h"
+#include "demand/DemandQuery.h"
 #include "driver/Pipeline.h"
 #include "incr/IncrementalEngine.h"
 #include "serve/Json.h"
@@ -64,6 +65,32 @@ uint64_t getU64(const JsonValue &Obj, std::string_view Name,
                 uint64_t Default) {
   double D = Obj.getNumber(Name, static_cast<double>(Default));
   return D <= 0 ? 0 : static_cast<uint64_t>(D);
+}
+
+/// Best-effort extraction of the request's "cid" member without a full
+/// JSON parse — the reader runs this on every admitted line, and the
+/// admission path must stay cheap. A miss (no cid, exotic escaping)
+/// returns "" and the request lands in the shared anonymous fairness
+/// bucket; fairness accounting tolerates that.
+std::string scrapeCid(const std::string &Line) {
+  size_t Pos = Line.find("\"cid\"");
+  if (Pos == std::string::npos)
+    return "";
+  Pos += 5;
+  while (Pos < Line.size() &&
+         (Line[Pos] == ' ' || Line[Pos] == '\t' || Line[Pos] == ':'))
+    ++Pos;
+  if (Pos >= Line.size() || Line[Pos] != '"')
+    return "";
+  ++Pos;
+  std::string Cid;
+  while (Pos < Line.size() && Line[Pos] != '"') {
+    if (Line[Pos] == '\\') // escaped cids are rare; skip the escape pair
+      ++Pos;
+    if (Pos < Line.size())
+      Cid += Line[Pos++];
+  }
+  return Cid;
 }
 
 /// The methods the daemon understands; per-method error counters and
@@ -389,10 +416,29 @@ int Server::runConcurrent(std::istream &In, std::ostream &Out,
     } else {
       RequestQueue::Item It;
       It.Line = Line;
+      It.Cid = scrapeCid(Line);
       It.EnqueuedAt = std::chrono::steady_clock::now();
-      switch (Queue.push(std::move(It))) {
+      RequestQueue::Item Evicted;
+      bool DidEvict = false;
+      switch (Queue.pushFair(std::move(It), Evicted, DidEvict)) {
       case RequestQueue::PushResult::Ok:
         Telem->add("serve.admission.admitted", 1);
+        if (DidEvict) {
+          // Per-cid fairness: the queue was full and some tenant held
+          // strictly more slots than this request's — its newest queued
+          // item was traded out and is rejected here, so overload sheds
+          // the queue hog rather than whoever arrives next.
+          Telem->add("serve.admission.shed", 1);
+          Telem->add("serve.admission.per_cid_shed", 1);
+          Recorder->record("admission.shed", Evicted.Cid,
+                           "reason=per_cid_fairness depth=" +
+                               std::to_string(Queue.depth()));
+          std::string EvictReject = rejectLine(
+              &Evicted.Line, "overloaded: shed for per-cid fairness",
+              "overloaded");
+          std::lock_guard<std::mutex> OutLock(OutMu);
+          Out << EvictReject << "\n" << std::flush;
+        }
         break;
       case RequestQueue::PushResult::Full:
         Telem->add("serve.admission.shed", 1);
@@ -928,6 +974,7 @@ void Server::handleAnalyze(const JsonValue &Req, Response &Resp,
     std::lock_guard<std::mutex> Lock(StateMu);
     LastKey = ServedKey;
     LastSnapshot = Snap;
+    LastSource = Source;
     // Whatever this request produced (or re-validated) is the baseline
     // for the next incremental request under the same options — unless
     // the watchdog cut it short: a cancelled result is timing-dependent
@@ -1016,8 +1063,181 @@ Server::querySnapshot(const JsonValue &Req, std::string &Error,
   return Snap;
 }
 
+/// Renders a Targets vector in the points_to response shape.
+static std::string renderTargets(
+    const std::vector<std::pair<std::string, bool>> &Targets) {
+  std::string Out = "[";
+  bool First = true;
+  for (const auto &[Target, Definite] : Targets) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "{\"target\":" + quoted(Target) +
+           ",\"definite\":" + (Definite ? "true" : "false") + "}";
+  }
+  Out += "]";
+  return Out;
+}
+
+/// Validates the optional "strategy" member and decides whether the
+/// demand path should run. "" in \p Strategy = valid request, caller
+/// dispatches; non-empty \p Error = protocol failure.
+static bool wantDemandStrategy(const JsonValue &Req, const std::string &Cid,
+                               unsigned LadderLevel, std::string &Strategy,
+                               std::string &Error, bool &Explicit,
+                               bool &AutoPicked) {
+  Strategy = Req.getString("strategy");
+  Explicit = Strategy == "demand";
+  AutoPicked = false;
+  if (!Strategy.empty() && Strategy != "demand" && Strategy != "exhaustive") {
+    Error = "unknown strategy '" + Strategy +
+            "' (expected \"demand\" or \"exhaustive\")";
+    return false;
+  }
+  if (Explicit)
+    return true;
+  // Auto pick: when admission tightened this request (ladder level >= 1)
+  // the pruned demand run is the cheaper way to answer — unless the
+  // client pinned a snapshot ("key") or the strategy explicitly.
+  if (Strategy.empty() && LadderLevel >= 1 && !Req.find("key")) {
+    AutoPicked = true;
+    return true;
+  }
+  (void)Cid;
+  return false;
+}
+
+bool Server::handleDemandQuery(const JsonValue &Req, Response &Resp,
+                               const RequestCtx &Ctx, bool IsAlias,
+                               bool Explicit) {
+  // Resolve the program text the query runs against: inline "source",
+  // an embedded "corpus" program, or the last analyzed source.
+  std::string Source;
+  bool HaveSource = false;
+  if (const JsonValue *Src = Req.find("source")) {
+    Source = Src->asString();
+    HaveSource = true;
+  } else if (const JsonValue *Name = Req.find("corpus")) {
+    const corpus::CorpusProgram *P = corpus::find(Name->asString());
+    if (!P) {
+      Resp.fail("unknown corpus program '" + Name->asString() + "'");
+      return true;
+    }
+    Source = P->Source;
+    HaveSource = true;
+  } else {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (!LastSource.empty()) {
+      Source = LastSource;
+      HaveSource = true;
+    }
+  }
+  if (!HaveSource) {
+    if (!Explicit)
+      return false; // auto mode: fall through to the snapshot path
+    Resp.fail("demand strategy needs a \"source\" or \"corpus\" member, "
+              "or a prior analyze");
+    return true;
+  }
+
+  const char *Method = IsAlias ? "alias" : "points_to";
+  demand::Query Q;
+  if (IsAlias) {
+    const JsonValue *A = Req.find("a");
+    const JsonValue *B = Req.find("b");
+    if (!A || !B) {
+      Resp.fail("alias needs \"a\" and \"b\" access expressions");
+      return true;
+    }
+    Q = demand::Query::alias(A->asString(), B->asString());
+  } else {
+    std::string Name = Req.getString("name");
+    if (Name.empty()) {
+      Resp.fail("points_to needs a \"name\" member");
+      return true;
+    }
+    int64_t StmtId = -1;
+    if (const JsonValue *S = Req.find("stmt"))
+      StmtId = static_cast<int64_t>(S->asNumber(-1));
+    Q = demand::Query::pointsTo(Name, StmtId);
+  }
+
+  Ctx.Telem->add("demand.queries", 1);
+  auto Start = std::chrono::steady_clock::now();
+  Pipeline FE = Pipeline::frontend(Source);
+  if (!FE.Prog) {
+    std::string Msg = "demand: source does not parse";
+    for (const Diagnostic &D : FE.Diags.diagnostics())
+      if (D.Level == DiagLevel::Error) {
+        Msg = D.Message;
+        break;
+      }
+    Resp.fail(Msg);
+    return true;
+  }
+
+  demand::DemandOptions DO;
+  DO.Analyzer = Cfg.DefaultOpts;
+  DO.Analyzer.Telem = Ctx.Telem;
+  demand::DemandEngine Engine(*FE.Prog, DO);
+  demand::Answer A = Engine.query(Q);
+  Ctx.Telem->latency("demand.latency").recordMs(msSince(Start));
+
+  if (A.answeredByDemand()) {
+    Ctx.Telem->add("demand.answered", 1);
+    Recorder->record("demand.answered", Ctx.Cid,
+                     std::string("method=") + Method +
+                         " visited=" + std::to_string(A.VisitedStmts) +
+                         " skipped=" + std::to_string(A.SkippedStmts));
+  } else if (!A.FallbackReason.empty()) {
+    Ctx.Telem->add("demand.fallbacks", 1);
+    Ctx.Telem->add("demand.fallback." + A.FallbackReason, 1);
+    Recorder->record("demand.fallback", Ctx.Cid,
+                     std::string("method=") + Method +
+                         " reason=" + A.FallbackReason);
+  }
+
+  if (!A.Ok) {
+    Resp.fail(A.Error.empty() ? "demand query failed" : A.Error);
+    if (!A.FallbackReason.empty())
+      Resp.member("fallback_reason", quoted(A.FallbackReason));
+    return true;
+  }
+  Resp.member("strategy", quoted(A.Strategy));
+  if (!A.FallbackReason.empty())
+    Resp.member("fallback_reason", quoted(A.FallbackReason));
+  if (A.Strategy == "demand") {
+    Resp.member("visited_stmts", std::to_string(A.VisitedStmts));
+    Resp.member("skipped_stmts", std::to_string(A.SkippedStmts));
+  } else {
+    // The fallback answered from the exhaustive run, which may itself
+    // have degraded under resource budgets.
+    Resp.Degraded = Engine.exhaustiveSnapshot().degraded();
+  }
+  if (IsAlias)
+    Resp.member("aliased", A.Aliased ? "true" : "false");
+  else
+    Resp.member("targets", renderTargets(A.Targets));
+  return true;
+}
+
 void Server::handleAlias(const JsonValue &Req, Response &Resp,
                          const RequestCtx &Ctx) {
+  std::string Strategy, StratError;
+  bool Explicit = false, AutoPicked = false;
+  bool WantDemand = wantDemandStrategy(Req, Ctx.Cid, Ctx.LadderLevel,
+                                       Strategy, StratError, Explicit,
+                                       AutoPicked);
+  if (!StratError.empty()) {
+    Resp.fail(StratError);
+    return;
+  }
+  if (WantDemand && handleDemandQuery(Req, Resp, Ctx, /*IsAlias=*/true,
+                                      Explicit)) {
+    if (AutoPicked)
+      Ctx.Telem->add("demand.auto_picked", 1);
+    return;
+  }
   std::string Error;
   auto Snap = querySnapshot(Req, Error, Ctx);
   if (!Snap) {
@@ -1026,6 +1246,8 @@ void Server::handleAlias(const JsonValue &Req, Response &Resp,
   }
   Resp.Degraded = Snap->degraded();
   Resp.Cached = true;
+  if (Strategy == "exhaustive")
+    Resp.member("strategy", quoted("exhaustive"));
   const JsonValue *A = Req.find("a");
   const JsonValue *B = Req.find("b");
   if (!A || !B) {
@@ -1038,6 +1260,21 @@ void Server::handleAlias(const JsonValue &Req, Response &Resp,
 
 void Server::handlePointsTo(const JsonValue &Req, Response &Resp,
                             const RequestCtx &Ctx) {
+  std::string Strategy, StratError;
+  bool Explicit = false, AutoPicked = false;
+  bool WantDemand = wantDemandStrategy(Req, Ctx.Cid, Ctx.LadderLevel,
+                                       Strategy, StratError, Explicit,
+                                       AutoPicked);
+  if (!StratError.empty()) {
+    Resp.fail(StratError);
+    return;
+  }
+  if (WantDemand && handleDemandQuery(Req, Resp, Ctx, /*IsAlias=*/false,
+                                      Explicit)) {
+    if (AutoPicked)
+      Ctx.Telem->add("demand.auto_picked", 1);
+    return;
+  }
   std::string Error;
   auto Snap = querySnapshot(Req, Error, Ctx);
   if (!Snap) {
@@ -1046,6 +1283,8 @@ void Server::handlePointsTo(const JsonValue &Req, Response &Resp,
   }
   Resp.Degraded = Snap->degraded();
   Resp.Cached = true;
+  if (Strategy == "exhaustive")
+    Resp.member("strategy", quoted("exhaustive"));
   std::string Name = Req.getString("name");
   if (Name.empty()) {
     Resp.fail("points_to needs a \"name\" member");
@@ -1058,17 +1297,7 @@ void Server::handlePointsTo(const JsonValue &Req, Response &Resp,
     Resp.fail("unknown location '" + Name + "'");
     return;
   }
-  std::string Targets = "[";
-  bool First = true;
-  for (const auto &[Target, Definite] : Snap->pointsToTargets(Name, StmtId)) {
-    if (!First)
-      Targets += ",";
-    First = false;
-    Targets += "{\"target\":" + quoted(Target) +
-               ",\"definite\":" + (Definite ? "true" : "false") + "}";
-  }
-  Targets += "]";
-  Resp.member("targets", Targets);
+  Resp.member("targets", renderTargets(Snap->pointsToTargets(Name, StmtId)));
 }
 
 void Server::handleReadWriteSets(const JsonValue &Req, Response &Resp,
@@ -1208,6 +1437,7 @@ void Server::handleInvalidate(Response &Resp) {
     std::lock_guard<std::mutex> Lock(StateMu);
     LastKey.clear();
     LastSnapshot.reset();
+    LastSource.clear();
   }
   Resp.member("removed_blobs", std::to_string(Removed));
 }

@@ -14,7 +14,13 @@
 /// `stats`, `events`, `invalidate`, `shutdown` (schemas in
 /// docs/SERVING.md). Every `analyze` consults the SummaryCache before
 /// running the pipeline; query methods are answered from cached
-/// ResultSnapshots without touching the analyzer at all. An `analyze`
+/// ResultSnapshots without touching the analyzer at all — unless the
+/// request selects `"strategy": "demand"` (or the admission ladder
+/// picks it automatically under load), in which case `alias` /
+/// `points_to` run the demand-driven engine (src/demand/,
+/// docs/DEMAND.md) over the last analyzed source and answer from a
+/// liveness-pruned analysis, falling back to exhaustive with a
+/// recorded reason. An `analyze`
 /// request carrying `"incremental": true` re-analyzes against the
 /// previous result with the same options fingerprint through the
 /// IncrementalEngine (docs/INCREMENTAL.md) instead of running from
@@ -181,6 +187,16 @@ private:
                    const RequestCtx &Ctx);
   void handlePointsTo(const JsonValue &Req, Response &Resp,
                       const RequestCtx &Ctx);
+  /// Demand-strategy path shared by alias/points_to (docs/DEMAND.md).
+  /// Resolves the query's source (request "source"/"corpus", else the
+  /// last analyzed source), runs the DemandEngine, and fills \p Resp
+  /// with the answer plus "strategy"/"fallback_reason" members. In auto
+  /// mode (\p Explicit = false, entered when admission tightened the
+  /// request) an unresolvable source returns false and the caller falls
+  /// through to the snapshot path; explicit mode fails the request
+  /// instead. Returns true when it produced the response.
+  bool handleDemandQuery(const JsonValue &Req, Response &Resp,
+                         const RequestCtx &Ctx, bool IsAlias, bool Explicit);
   void handleReadWriteSets(const JsonValue &Req, Response &Resp,
                            const RequestCtx &Ctx);
   void handleStats(Response &Resp);
@@ -249,6 +265,11 @@ private:
   std::mutex StateMu;
   std::string LastKey;
   std::shared_ptr<const ResultSnapshot> LastSnapshot;
+  /// Source text of the most recent analyze, kept so a later
+  /// `{"strategy":"demand"}` query (or the admission ladder's automatic
+  /// demand pick) can re-frontend and slice it without the client
+  /// resending the program. Cleared by `invalidate` alongside LastKey.
+  std::string LastSource;
   /// Most recent snapshot per options fingerprint: the baseline an
   /// `analyze {"incremental": true}` request re-analyzes against. Keyed
   /// by fingerprint (not cache key) because an edited source hashes to

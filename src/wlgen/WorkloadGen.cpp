@@ -232,6 +232,199 @@ std::string mcpta::wlgen::generateProgram(const GenConfig &Cfg) {
   return Out;
 }
 
+mcpta::wlgen::QueryWorkload
+mcpta::wlgen::queryWorkload(const QueryWorkloadConfig &Cfg) {
+  Rng R(Cfg.Seed * 0x9E3779B97F4A7C15ULL + 7);
+  QueryWorkload W;
+  std::string Out;
+  Out += "int printf(char *fmt, ...);\n";
+  Out += "void *malloc(int n);\n\n";
+
+  for (unsigned I = 0; I < Cfg.NumGlobals; ++I) {
+    Out += "int g" + std::to_string(I) + ";\n";
+    Out += "int *gp" + std::to_string(I) + ";\n";
+  }
+  Out += "\n";
+
+  unsigned N = Cfg.NumFunctions ? Cfg.NumFunctions : 1;
+  for (unsigned I = 0; I < N; ++I)
+    Out += "int f" + std::to_string(I) + "(int *a, int **b, int d);\n";
+  Out += "\n";
+  unsigned TableSize = std::min(N, 4u);
+  if (Cfg.UseFunctionPointers) {
+    Out += "int (*ftab[" + std::to_string(TableSize) +
+           "])(int *, int **, int) = {";
+    for (unsigned I = 0; I < TableSize; ++I) {
+      if (I)
+        Out += ", ";
+      Out += "f" + std::to_string(I);
+    }
+    Out += "};\n\n";
+  }
+
+  // Helper functions: the generateProgram body mix (shared local
+  // names are fine here — queries never target helper frames).
+  GenConfig FnCfg;
+  FnCfg.NumGlobals = Cfg.NumGlobals;
+  FnCfg.UseHeap = true;
+  const unsigned Scalars = 3, Ptrs = 3, PtrPtrs = 2;
+  for (unsigned I = 0; I < N; ++I) {
+    std::string Body;
+    Body += "int f" + std::to_string(I) + "(int *a, int **b, int d) {\n";
+    if (Cfg.UseFunctionPointers)
+      Body += "  int (*fp)(int *, int **, int);\n";
+    for (unsigned J = 0; J < Scalars; ++J)
+      Body += "  int x" + std::to_string(J) + ";\n";
+    for (unsigned J = 0; J < Ptrs; ++J)
+      Body += "  int *p" + std::to_string(J) + ";\n";
+    for (unsigned J = 0; J < PtrPtrs; ++J)
+      Body += "  int **q" + std::to_string(J) + ";\n";
+    for (unsigned J = 0; J < Scalars; ++J)
+      Body += "  x" + std::to_string(J) + " = " + std::to_string(R.below(10)) +
+              ";\n";
+    for (unsigned J = 0; J < Ptrs; ++J)
+      Body += "  p" + std::to_string(J) + " = &x" +
+              std::to_string(R.below(Scalars)) + ";\n";
+    for (unsigned J = 0; J < PtrPtrs; ++J)
+      Body += "  q" + std::to_string(J) + " = &p" +
+              std::to_string(R.below(Ptrs)) + ";\n";
+    Body += "  if (d <= 0)\n    return 0;\n";
+    // UseRecursion guarantees the demand engine's recursion gate with a
+    // depth-bounded (terminating) self-call in every helper.
+    if (Cfg.UseRecursion)
+      Body += "  x0 = f" + std::to_string(I) + "(p0, q0, d - 1);\n";
+    BodyGen BG(R, FnCfg, Scalars, Ptrs, PtrPtrs, /*HasParams=*/true);
+    unsigned CallsLeft = 2;
+    for (unsigned S = 0; S < Cfg.StmtsPerFunction; ++S) {
+      if (CallsLeft && R.chance(30)) {
+        if (Cfg.UseFunctionPointers && R.chance(40)) {
+          Body += "  fp = ftab[" + std::to_string(R.below(TableSize)) +
+                  "];\n";
+          Body += "  x0 = fp(p0, q0, d - 1);\n";
+          --CallsLeft;
+          continue;
+        }
+        // Direct calls go strictly downward (f_I -> f_J, J > I): the
+        // default workload's call graph is a DAG, so the demand engine
+        // is not gated on recursion unless the config asks for it.
+        if (I + 1 < N) {
+          unsigned Callee = I + 1 + R.below(N - I - 1);
+          Body += "  x0 = f" + std::to_string(Callee) + "(p" +
+                  std::to_string(R.below(Ptrs)) + ", q" +
+                  std::to_string(R.below(PtrPtrs)) + ", d - 1);\n";
+          --CallsLeft;
+          continue;
+        }
+      }
+      Body += BG.stmt("  ");
+    }
+    Body += "  return x0 + x1;\n";
+    Body += "}\n\n";
+    Out += Body;
+  }
+
+  // main: uniquely named locals so demand name resolution succeeds.
+  const unsigned MScalars = 3, MPtrs = 3, MPtrPtrs = 2;
+  Out += "int main(void) {\n";
+  for (unsigned J = 0; J < MScalars; ++J)
+    Out += "  int mx" + std::to_string(J) + ";\n";
+  for (unsigned J = 0; J < MPtrs; ++J)
+    Out += "  int *mp" + std::to_string(J) + ";\n";
+  for (unsigned J = 0; J < MPtrPtrs; ++J)
+    Out += "  int **mq" + std::to_string(J) + ";\n";
+  if (Cfg.UseFunctionPointers)
+    Out += "  int (*mfp)(int *, int **, int);\n";
+  for (unsigned J = 0; J < MScalars; ++J)
+    Out += "  mx" + std::to_string(J) + " = " + std::to_string(R.below(10)) +
+           ";\n";
+  for (unsigned J = 0; J < MPtrs; ++J)
+    Out += "  mp" + std::to_string(J) + " = &mx" +
+           std::to_string(R.below(MScalars)) + ";\n";
+  for (unsigned J = 0; J < MPtrPtrs; ++J)
+    Out += "  mq" + std::to_string(J) + " = &mp" +
+           std::to_string(R.below(MPtrs)) + ";\n";
+  if (Cfg.UseFunctionPointers) {
+    // One unconditional indirect call: the fnptr gate fires for every
+    // query against this workload, not just when the dice landed right.
+    Out += "  mfp = ftab[0];\n";
+    Out += "  mx0 = mfp(mp0, mq0, 2);\n";
+  }
+  auto MPtrName = [&] { return "mp" + std::to_string(R.below(MPtrs)); };
+  auto MPtrPtrName = [&] { return "mq" + std::to_string(R.below(MPtrPtrs)); };
+  auto MScalarName = [&] { return "mx" + std::to_string(R.below(MScalars)); };
+  auto GPtrName = [&] { return "gp" + std::to_string(R.below(Cfg.NumGlobals)); };
+  auto GScalarName = [&] {
+    return "g" + std::to_string(R.below(Cfg.NumGlobals));
+  };
+  unsigned CallsLeft = 3;
+  for (unsigned S = 0; S < Cfg.MainStmts; ++S) {
+    if (CallsLeft && R.chance(25)) {
+      Out += "  mx0 = f" + std::to_string(R.below(N)) + "(" + MPtrName() +
+             ", " + MPtrPtrName() + ", 3);\n";
+      --CallsLeft;
+      continue;
+    }
+    switch (R.below(8)) {
+    case 0:
+      Out += "  " + MPtrName() + " = &" + MScalarName() + ";\n";
+      break;
+    case 1:
+      Out += "  " + MPtrName() + " = &" + GScalarName() + ";\n";
+      break;
+    case 2:
+      Out += "  " + MPtrName() + " = " + MPtrName() + ";\n";
+      break;
+    case 3:
+      Out += "  " + MPtrPtrName() + " = &" + MPtrName() + ";\n";
+      break;
+    case 4:
+      Out += "  if (" + MPtrPtrName() + " != NULL) " + MPtrName() + " = *" +
+             MPtrPtrName() + ";\n";
+      break;
+    case 5:
+      Out += "  " + GPtrName() + " = &" + GScalarName() + ";\n";
+      break;
+    case 6:
+      Out += "  " + GPtrName() + " = " + MPtrName() + ";\n";
+      break;
+    default:
+      Out += "  " + MPtrName() + " = (int *)malloc(4);\n";
+      break;
+    }
+  }
+  Out += "  printf(\"%d\\n\", mx0 + mx1 + mx2);\n";
+  Out += "  return 0;\n";
+  Out += "}\n";
+  W.Source = std::move(Out);
+
+  // Query set with the requested skew. Hot names live in main's frame;
+  // cold names are pointer globals (their triples sit in every helper
+  // call's conservative mod set, so the slice stays nearly whole).
+  auto Stars = [&](unsigned Max) { return std::string(R.below(Max + 1), '*'); };
+  for (unsigned Q = 0; Q < Cfg.NumQueries; ++Q) {
+    QuerySpec Spec;
+    Spec.Hot = R.chance(Cfg.HotPercent);
+    std::string N1, N2;
+    if (Spec.Hot) {
+      N1 = R.chance(30) ? MPtrPtrName() : MPtrName();
+      N2 = R.chance(30) ? MPtrPtrName() : MPtrName();
+    } else {
+      N1 = GPtrName();
+      N2 = R.chance(50) ? GPtrName() : MPtrName();
+    }
+    if (R.chance(50)) {
+      Spec.K = QuerySpec::Kind::PointsTo;
+      Spec.Name = N1;
+    } else {
+      Spec.K = QuerySpec::Kind::Alias;
+      Spec.A = Stars(2) + N1;
+      Spec.B = Stars(2) + N2;
+    }
+    W.Queries.push_back(std::move(Spec));
+  }
+  return W;
+}
+
 std::string mcpta::wlgen::livcSource(unsigned TotalFns, unsigned NumArrays,
                                      unsigned PerArray) {
   assert(NumArrays * PerArray <= TotalFns &&

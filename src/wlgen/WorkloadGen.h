@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace mcpta {
 namespace wlgen {
@@ -43,6 +44,55 @@ struct GenConfig {
 
 /// Produces a complete, valid, terminating C program.
 std::string generateProgram(const GenConfig &Cfg);
+
+/// One query of a generated query workload, in the serve vocabulary:
+/// points_to names a location, alias holds two star-prefixed access
+/// path expressions.
+struct QuerySpec {
+  enum class Kind { PointsTo, Alias };
+  Kind K = Kind::PointsTo;
+  std::string Name; ///< PointsTo
+  std::string A, B; ///< Alias
+  /// True when the query targets main's frame (the demand engine's
+  /// fast path); false for globals, whose conservative mod sets keep
+  /// most of the slice live.
+  bool Hot = false;
+};
+
+/// A (program, query set) pair for the demand-query bench and the
+/// demand-vs-exhaustive equivalence suite.
+struct QueryWorkload {
+  std::string Source;
+  std::vector<QuerySpec> Queries;
+};
+
+/// Parameters of queryWorkload. The program is generateProgram-flavored
+/// (same statement mix, same helper-function shape) except that main's
+/// locals carry unique `m`-prefixed names: generated helper functions
+/// deliberately share local names (x0, p0, ...), and a demand query on
+/// an ambiguous name always falls back, which would make every "hot"
+/// query exercise nothing.
+struct QueryWorkloadConfig {
+  uint64_t Seed = 1;
+  unsigned NumFunctions = 4;     ///< helper functions besides main
+  unsigned NumGlobals = 4;       ///< int g%d / int *gp%d pairs
+  unsigned StmtsPerFunction = 10;
+  unsigned MainStmts = 14;       ///< statements in main (plus inits)
+  unsigned NumQueries = 32;
+  /// Percent of queries drawn from the hot pool (main's pointer
+  /// locals) versus the cold pool (pointer globals).
+  unsigned HotPercent = 80;
+  /// Passed through to the helper functions; both make every query
+  /// fall back (recorded "fnptr" / "recursion" reasons), which is what
+  /// the fallback side of the equivalence suite wants.
+  bool UseFunctionPointers = false;
+  bool UseRecursion = false;
+};
+
+/// Produces a deterministic (program, queries) pair with the requested
+/// hot/cold skew. Hot queries name main's pointer locals (mp%d, mq%d);
+/// cold queries name pointer globals (gp%d).
+QueryWorkload queryWorkload(const QueryWorkloadConfig &Cfg);
 
 /// Produces a livc-like program: \p TotalFns functions, \p NumArrays
 /// global arrays of \p PerArray function pointers each (these functions

@@ -6,6 +6,10 @@
 //  - pop() blocks until an item arrives or the queue is closed AND
 //    drained — items accepted before close() are never dropped.
 //  - Exactly-once delivery under a concurrent producer/consumer mix.
+//  - pushFair() per-cid fairness: on a full queue the newest item of
+//    the strictly-heaviest tenant (smallest cid on ties) is evicted for
+//    the newcomer; an incoming tenant that is itself heaviest sheds as
+//    before (docs/SERVING.md, "Per-tenant fairness").
 //
 //===----------------------------------------------------------------------===//
 
@@ -122,6 +126,126 @@ TEST(RequestQueueTest, ZeroCapacityClampsToOne) {
   EXPECT_EQ(Q.capacity(), 1u);
   EXPECT_EQ(Q.push(item("a")), RequestQueue::PushResult::Ok);
   EXPECT_EQ(Q.push(item("b")), RequestQueue::PushResult::Full);
+}
+
+RequestQueue::Item item(const std::string &Line, const std::string &Cid) {
+  RequestQueue::Item I = item(Line);
+  I.Cid = Cid;
+  return I;
+}
+
+TEST(RequestQueueTest, PushFairBehavesLikePushWithRoom) {
+  RequestQueue Q(2);
+  RequestQueue::Item Evicted;
+  bool DidEvict = true;
+  EXPECT_EQ(Q.pushFair(item("1", "a"), Evicted, DidEvict),
+            RequestQueue::PushResult::Ok);
+  EXPECT_FALSE(DidEvict);
+  EXPECT_EQ(Q.pushFair(item("2", "b"), Evicted, DidEvict),
+            RequestQueue::PushResult::Ok);
+  EXPECT_FALSE(DidEvict);
+  EXPECT_EQ(Q.depth(), 2u);
+}
+
+TEST(RequestQueueTest, PushFairEvictsHeaviestTenantsNewestItem) {
+  RequestQueue Q(4);
+  RequestQueue::Item Evicted;
+  bool DidEvict = false;
+  for (const char *L : {"a1", "a2", "a3"})
+    ASSERT_EQ(Q.push(item(L, "a")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("b1", "b")), RequestQueue::PushResult::Ok);
+
+  // Full; incoming tenant c holds 0 slots, a holds 3: a's newest goes.
+  EXPECT_EQ(Q.pushFair(item("c1", "c"), Evicted, DidEvict),
+            RequestQueue::PushResult::Ok);
+  ASSERT_TRUE(DidEvict);
+  EXPECT_EQ(Evicted.Line, "a3");
+  EXPECT_EQ(Evicted.Cid, "a");
+  EXPECT_EQ(Q.depth(), 4u);
+
+  // FIFO order of the survivors is preserved; the newcomer is last.
+  RequestQueue::Item It;
+  std::vector<std::string> Drained;
+  for (int I = 0; I < 4; ++I) {
+    ASSERT_TRUE(Q.pop(It));
+    Drained.push_back(It.Line);
+  }
+  EXPECT_EQ(Drained,
+            (std::vector<std::string>{"a1", "a2", "b1", "c1"}));
+}
+
+TEST(RequestQueueTest, PushFairRefusesWhenIncomingTenantIsHeaviest) {
+  RequestQueue Q(2);
+  RequestQueue::Item Evicted;
+  bool DidEvict = false;
+  ASSERT_EQ(Q.push(item("a1", "a")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("a2", "a")), RequestQueue::PushResult::Ok);
+  // a is the sole (heaviest) tenant; another a sheds the newcomer.
+  EXPECT_EQ(Q.pushFair(item("a3", "a"), Evicted, DidEvict),
+            RequestQueue::PushResult::Full);
+  EXPECT_FALSE(DidEvict);
+  EXPECT_EQ(Q.depth(), 2u);
+}
+
+TEST(RequestQueueTest, PushFairRefusesOnTiedOccupancy) {
+  RequestQueue Q(2);
+  RequestQueue::Item Evicted;
+  bool DidEvict = false;
+  ASSERT_EQ(Q.push(item("a1", "a")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("b1", "b")), RequestQueue::PushResult::Ok);
+  // a and the incoming... a holds 1, b holds 1, incoming a holds 1:
+  // nobody holds strictly more than the newcomer's tenant.
+  EXPECT_EQ(Q.pushFair(item("a2", "a"), Evicted, DidEvict),
+            RequestQueue::PushResult::Full);
+  EXPECT_FALSE(DidEvict);
+}
+
+TEST(RequestQueueTest, PushFairTieAmongHeaviestEvictsSmallestCid) {
+  RequestQueue Q(4);
+  RequestQueue::Item Evicted;
+  bool DidEvict = false;
+  ASSERT_EQ(Q.push(item("b1", "b")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("a1", "a")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("b2", "b")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("a2", "a")), RequestQueue::PushResult::Ok);
+  // a and b both hold 2; the tie breaks to the smallest cid ("a"), and
+  // within it the newest item.
+  EXPECT_EQ(Q.pushFair(item("c1", "c"), Evicted, DidEvict),
+            RequestQueue::PushResult::Ok);
+  ASSERT_TRUE(DidEvict);
+  EXPECT_EQ(Evicted.Line, "a2");
+}
+
+TEST(RequestQueueTest, PushFairAnonymousRequestsShareOneBucket) {
+  RequestQueue Q(3);
+  RequestQueue::Item Evicted;
+  bool DidEvict = false;
+  ASSERT_EQ(Q.push(item("x1", "")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("x2", "")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q.push(item("a1", "a")), RequestQueue::PushResult::Ok);
+  // The anonymous bucket ("") holds 2 > a's 1: its newest is evicted.
+  EXPECT_EQ(Q.pushFair(item("a2", "a"), Evicted, DidEvict),
+            RequestQueue::PushResult::Ok);
+  ASSERT_TRUE(DidEvict);
+  EXPECT_EQ(Evicted.Line, "x2");
+  // And an incoming anonymous request is itself sheddable-by-refusal
+  // when the anonymous bucket is heaviest.
+  RequestQueue Q2(2);
+  ASSERT_EQ(Q2.push(item("y1", "")), RequestQueue::PushResult::Ok);
+  ASSERT_EQ(Q2.push(item("y2", "")), RequestQueue::PushResult::Ok);
+  EXPECT_EQ(Q2.pushFair(item("y3", ""), Evicted, DidEvict),
+            RequestQueue::PushResult::Full);
+  EXPECT_FALSE(DidEvict);
+}
+
+TEST(RequestQueueTest, PushFairRespectsClose) {
+  RequestQueue Q(2);
+  Q.close();
+  RequestQueue::Item Evicted;
+  bool DidEvict = false;
+  EXPECT_EQ(Q.pushFair(item("a1", "a"), Evicted, DidEvict),
+            RequestQueue::PushResult::Closed);
+  EXPECT_FALSE(DidEvict);
 }
 
 } // namespace

@@ -989,6 +989,144 @@ TEST(ServerTest, QueuePressureTightensTheLadderButKeepsServing) {
   EXPECT_NE(Idle.getString("key", ""), R.getString("key", ""));
 }
 
+//===----------------------------------------------------------------------===//
+// Demand strategy (docs/DEMAND.md)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, DemandStrategyAnswersFromPrunedRun) {
+  ServerFixture F;
+  const char *Src = "\"int main(void) { int x; int y; int *p; int *q; "
+                    "p = &x; q = &y; return *p; }\"";
+  // Analyze stores the source; the demand query re-frontends it.
+  JsonValue A = F.request("{\"id\":1,\"method\":\"analyze\",\"source\":" +
+                          std::string(Src) + "}");
+  ASSERT_TRUE(A.getBool("ok", false));
+
+  JsonValue P = F.request("{\"id\":2,\"method\":\"points_to\","
+                          "\"name\":\"p\",\"strategy\":\"demand\"}");
+  EXPECT_TRUE(P.getBool("ok", false));
+  EXPECT_EQ(P.getString("strategy", ""), "demand");
+  EXPECT_GT(P.getNumber("visited_stmts", -1), 0);
+
+  // The snapshot path answers the same question identically.
+  JsonValue PX = F.request("{\"id\":3,\"method\":\"points_to\","
+                           "\"name\":\"p\",\"strategy\":\"exhaustive\"}");
+  EXPECT_TRUE(PX.getBool("ok", false));
+  EXPECT_EQ(PX.getString("strategy", ""), "exhaustive");
+
+  JsonValue AL = F.request("{\"id\":4,\"method\":\"alias\",\"a\":\"*p\","
+                           "\"b\":\"*q\",\"strategy\":\"demand\"}");
+  EXPECT_TRUE(AL.getBool("ok", false));
+  EXPECT_EQ(AL.getString("strategy", ""), "demand");
+  EXPECT_FALSE(AL.getBool("aliased", true));
+
+  auto Counters = F.S.telemetry().countersSnapshot();
+  EXPECT_EQ(Counters["demand.queries"], 2u);
+  EXPECT_EQ(Counters["demand.answered"], 2u);
+  EXPECT_EQ(Counters["demand.fallbacks"], 0u);
+}
+
+TEST(ServerTest, DemandStrategyTakesInlineSourceOrCorpus) {
+  ServerFixture F;
+  // No prior analyze: the query must carry its own program.
+  JsonValue P = F.request(
+      "{\"id\":1,\"method\":\"points_to\",\"name\":\"p\","
+      "\"strategy\":\"demand\",\"source\":\"int main(void) "
+      "{ int x; int *p; p = &x; return 0; }\"}");
+  EXPECT_TRUE(P.getBool("ok", false));
+  EXPECT_EQ(P.getString("strategy", ""), "demand");
+
+  JsonValue NoSrc = F.request("{\"id\":2,\"method\":\"alias\",\"a\":\"p\","
+                              "\"b\":\"q\",\"strategy\":\"demand\"}");
+  EXPECT_FALSE(NoSrc.getBool("ok", true));
+  EXPECT_NE(NoSrc.getString("error", "").find("source"), std::string::npos);
+
+  JsonValue BadCorpus =
+      F.request("{\"id\":3,\"method\":\"points_to\",\"name\":\"p\","
+                "\"strategy\":\"demand\",\"corpus\":\"nosuch\"}");
+  EXPECT_FALSE(BadCorpus.getBool("ok", true));
+}
+
+TEST(ServerTest, DemandFallbackCarriesReason) {
+  ServerFixture F;
+  // A function-pointer program gates every demand query; the response
+  // still answers (exhaustive fallback) and says why.
+  JsonValue P = F.request(
+      "{\"id\":1,\"method\":\"points_to\",\"name\":\"fp\","
+      "\"strategy\":\"demand\",\"source\":\"int id(int a) { return a; } "
+      "int main(void) { int (*fp)(int); int r; fp = &id; "
+      "r = (*fp)(1); return r; }\"}");
+  EXPECT_TRUE(P.getBool("ok", false));
+  EXPECT_EQ(P.getString("strategy", ""), "exhaustive");
+  EXPECT_EQ(P.getString("fallback_reason", ""), "fnptr");
+  auto Counters = F.S.telemetry().countersSnapshot();
+  EXPECT_EQ(Counters["demand.fallbacks"], 1u);
+  EXPECT_EQ(Counters["demand.fallback.fnptr"], 1u);
+}
+
+TEST(ServerTest, UnknownStrategyIsAProtocolError) {
+  ServerFixture F;
+  JsonValue R = F.request("{\"id\":1,\"method\":\"alias\",\"a\":\"p\","
+                          "\"b\":\"q\",\"strategy\":\"psychic\"}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_NE(R.getString("error", "").find("strategy"), std::string::npos);
+}
+
+TEST(ServerTest, TightenedAdmissionAutoPicksDemand) {
+  TempCacheDir Dir("autodemand");
+  Server::Config Cfg;
+  Cfg.Cache.Dir = Dir.Path;
+  Server S(Cfg);
+  std::ostringstream Log;
+  bool Shut = false;
+  JsonValue An = parseResponse(S.handleLine(
+      "{\"id\":1,\"method\":\"analyze\",\"source\":"
+      "\"int main(void) { int x; int *p; p = &x; return 0; }\"}",
+      Shut, Log));
+  ASSERT_TRUE(An.getBool("ok", false));
+
+  // Queue at 50% of capacity: ladder level 1, and the un-pinned query
+  // routes through the demand engine automatically.
+  Server::Admission Busy;
+  Busy.QueueDepth = 4;
+  Busy.QueueCap = 8;
+  JsonValue R = parseResponse(
+      S.handleLine("{\"id\":2,\"method\":\"points_to\",\"name\":\"p\"}",
+                   Shut, Log, Busy));
+  EXPECT_TRUE(R.getBool("ok", false));
+  EXPECT_EQ(R.getString("strategy", ""), "demand");
+  auto Counters = S.telemetry().countersSnapshot();
+  EXPECT_EQ(Counters["demand.auto_picked"], 1u);
+
+  // An idle queue keeps the classic snapshot path (no strategy member).
+  JsonValue Idle = parseResponse(
+      S.handleLine("{\"id\":3,\"method\":\"points_to\",\"name\":\"p\"}",
+                   Shut, Log));
+  EXPECT_TRUE(Idle.getBool("ok", false));
+  EXPECT_EQ(Idle.getString("strategy", ""), "");
+  EXPECT_TRUE(Idle.getBool("cached", false));
+
+  // Pinning a snapshot key opts out of the auto pick even under load.
+  JsonValue Pinned = parseResponse(S.handleLine(
+      "{\"id\":4,\"method\":\"points_to\",\"name\":\"p\",\"key\":\"" +
+          An.getString("key", "") + "\"}",
+      Shut, Log, Busy));
+  EXPECT_TRUE(Pinned.getBool("ok", false));
+  EXPECT_EQ(Pinned.getString("strategy", ""), "");
+  EXPECT_TRUE(Pinned.getBool("cached", false));
+}
+
+TEST(ServerTest, InvalidateClearsTheDemandSource) {
+  ServerFixture F;
+  F.request("{\"id\":1,\"method\":\"analyze\",\"source\":"
+            "\"int main(void) { int x; int *p; p = &x; return 0; }\"}");
+  F.request("{\"id\":2,\"method\":\"invalidate\"}");
+  JsonValue R = F.request("{\"id\":3,\"method\":\"points_to\","
+                          "\"name\":\"p\",\"strategy\":\"demand\"}");
+  EXPECT_FALSE(R.getBool("ok", true));
+  EXPECT_NE(R.getString("error", "").find("source"), std::string::npos);
+}
+
 TEST(ServerTest, DegradationWarningsAreDeduplicated) {
   ServerFixture F;
   // Two analyses degrading the same way: the log gets one warning line

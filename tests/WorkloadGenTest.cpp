@@ -48,6 +48,66 @@ TEST(WorkloadGenTest, GeneratedProgramsTerminate) {
   }
 }
 
+TEST(QueryWorkloadTest, DeterministicAndValid) {
+  QueryWorkloadConfig Cfg;
+  Cfg.Seed = 5;
+  QueryWorkload W = queryWorkload(Cfg);
+  QueryWorkload W2 = queryWorkload(Cfg);
+  EXPECT_EQ(W.Source, W2.Source);
+  ASSERT_EQ(W.Queries.size(), W2.Queries.size());
+  for (size_t I = 0; I < W.Queries.size(); ++I) {
+    EXPECT_EQ(W.Queries[I].Name, W2.Queries[I].Name);
+    EXPECT_EQ(W.Queries[I].A, W2.Queries[I].A);
+    EXPECT_EQ(W.Queries[I].Hot, W2.Queries[I].Hot);
+  }
+  EXPECT_EQ(W.Queries.size(), static_cast<size_t>(Cfg.NumQueries));
+
+  Pipeline P = Pipeline::analyzeSource(W.Source);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump() << W.Source;
+  EXPECT_TRUE(P.Analysis.Analyzed);
+}
+
+TEST(QueryWorkloadTest, HotColdSkewTracksConfig) {
+  QueryWorkloadConfig Cfg;
+  Cfg.Seed = 11;
+  Cfg.NumQueries = 64;
+  Cfg.HotPercent = 75;
+  QueryWorkload W = queryWorkload(Cfg);
+  size_t Hot = 0;
+  for (const QuerySpec &Q : W.Queries) {
+    Hot += Q.Hot;
+    // Hot queries touch main's m-prefixed frame; cold ones globals.
+    const std::string &Base = Q.K == QuerySpec::Kind::PointsTo ? Q.Name : Q.A;
+    size_t Star = Base.find_first_not_of('*');
+    ASSERT_NE(Star, std::string::npos);
+    if (Q.Hot)
+      EXPECT_EQ(Base[Star], 'm') << Base;
+    else
+      EXPECT_EQ(Base[Star], 'g') << Base;
+  }
+  // Binomial(64, 0.75): the deterministic draw lands well inside this.
+  EXPECT_GT(Hot, 32u);
+  EXPECT_LT(Hot, 64u);
+
+  Cfg.HotPercent = 0;
+  for (const QuerySpec &Q : queryWorkload(Cfg).Queries)
+    EXPECT_FALSE(Q.Hot);
+}
+
+TEST(QueryWorkloadTest, GatedShapesStillGenerateValidPrograms) {
+  for (int Mode = 0; Mode < 2; ++Mode) {
+    QueryWorkloadConfig Cfg;
+    Cfg.Seed = 3;
+    Cfg.UseFunctionPointers = Mode == 0;
+    Cfg.UseRecursion = Mode == 1;
+    QueryWorkload W = queryWorkload(Cfg);
+    Pipeline P = Pipeline::analyzeSource(W.Source);
+    EXPECT_FALSE(P.Diags.hasErrors())
+        << "mode " << Mode << ":\n" << P.Diags.dump() << W.Source;
+    EXPECT_TRUE(P.Analysis.Analyzed);
+  }
+}
+
 TEST(WorkloadGenTest, PathologicalSourceIsValidAndTerminating) {
   // Hostile to the analyzer, but still a well-formed terminating
   // program: small shapes must parse, analyze cleanly ungoverned, and
