@@ -30,6 +30,14 @@ latency gates: they read mcpta-demand-bench-v1 exports (bench_demand's
 demand_ms on incrstress against the recorded budget, under the same
 wall-time tolerance.
 
+Gates carrying a min_speedup field are parallel-speedup floors: they
+read mcpta-par-bench-v1 exports (bench_parallel's --par-bench-json
+output) and require the named section's T=4-vs-T=1 speedup to reach
+the floor. Unlike latency gates these are fixed requirements, not
+recorded measurements, so --record leaves them untouched. The gate is
+skipped (with a note) when every export reports fewer host cores than
+bench threads — a 4-thread run cannot speed up on a 1-core runner.
+
 --record rewrites the baseline's total_us/peak_rss_kb (and query_us)
 fields from the measured minimums (keeping the gate list and
 tolerances), for refreshing after an intentional perf change.
@@ -75,16 +83,30 @@ def demand_query_us(doc):
     return int(vals[len(vals) // 2] * 1000)
 
 
+def par_speedup(doc, program):
+    """The measured speedup of one mcpta-par-bench-v1 section
+    ('incrstress' or 'batch')."""
+    sec = doc.get(program)
+    if not isinstance(sec, dict) or "speedup" not in sec:
+        raise KeyError(f"section '{program}' missing from parallel bench "
+                       f"export")
+    return float(sec["speedup"])
+
+
 def load_measurements(paths):
     """Maps bench name -> list of parsed stats documents. Demand bench
     exports (mcpta-demand-bench-v1) land under the 'demand-query' key,
-    which is the bench name demand-latency gates use."""
+    parallel bench exports (mcpta-par-bench-v1) under 'parallel' —
+    the bench names their gate kinds use."""
     by_bench = {}
     for path in paths:
         with open(path) as f:
             doc = json.load(f)
         if doc.get("format") == "mcpta-demand-bench-v1":
             by_bench.setdefault("demand-query", []).append(doc)
+            continue
+        if doc.get("format") == "mcpta-par-bench-v1":
+            by_bench.setdefault("parallel", []).append(doc)
             continue
         if doc.get("schema") != "mcpta-bench-stats-v1":
             sys.exit(f"error: {path}: not an mcpta-bench-stats-v1 export "
@@ -127,6 +149,31 @@ def main():
         if not docs:
             failures.append(f"{bench}/{program}: no measured stats export "
                             f"for bench '{bench}'")
+            continue
+
+        if "min_speedup" in gate:
+            # Fixed floor, not a recorded measurement: nothing to
+            # rewrite under --record.
+            if args.record:
+                print(f"record {bench}/{program}: min_speedup="
+                      f"{gate['min_speedup']} kept (fixed floor)")
+                continue
+            capable = [d for d in docs
+                       if int(d.get("cores", 0)) >= int(d.get("threads", 0))]
+            if not capable:
+                cores = max(int(d.get("cores", 0)) for d in docs)
+                threads = max(int(d.get("threads", 0)) for d in docs)
+                print(f"--  {bench}/{program}: skipped — host has {cores} "
+                      f"core(s), bench ran {threads} threads")
+                continue
+            measured = max(par_speedup(d, program) for d in capable)
+            floor = gate["min_speedup"]
+            verdict = "ok" if measured >= floor else "FAIL"
+            print(f"{verdict} {bench}/{program}: speedup {measured:.2f}x "
+                  f"vs required {floor}x (n={len(capable)})")
+            if measured < floor:
+                failures.append(f"{bench}/{program}: speedup "
+                                f"{measured:.2f}x below the {floor}x floor")
             continue
 
         if "query_us" in gate:

@@ -25,6 +25,16 @@
 //   --trace-json FILE write Chrome trace_event JSON (chrome://tracing,
 //                     Perfetto)
 //
+// Parallel engine (docs/PARALLEL.md):
+//   --analysis-threads=N  width of the parallel fixed-point engine
+//                         (default 1 = classic sequential engine).
+//                         Single file: offloads the per-statement set
+//                         folding onto a work-stealing pool. --batch:
+//                         analyzes N files concurrently in-process
+//                         (replacing the fork-per-file isolation) with
+//                         output replayed in input order. Results are
+//                         byte-identical at any N.
+//
 // Resource governance (docs/ROBUSTNESS.md):
 //   --timeout-ms=N        wall-clock deadline for the analysis
 //   --max-stmt-visits=N   statement-visit budget
@@ -97,6 +107,7 @@
 #include "serve/Serialize.h"
 #include "serve/Server.h"
 #include "serve/SummaryCache.h"
+#include "support/ThreadPool.h"
 #include "support/Version.h"
 #include "wlgen/WorkloadGen.h"
 
@@ -104,6 +115,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <mutex>
 #include <set>
 #include <cstdio>
 #include <cstdlib>
@@ -139,6 +151,7 @@ int usage() {
       "                [--fnptr=precise|all|address-taken] "
       "[--context-insensitive]\n"
       "                [--profile] [--json FILE] [--trace-json FILE]\n"
+      "                [--analysis-threads=N]\n"
       "                [--timeout-ms=N] [--max-stmt-visits=N] "
       "[--max-locations=N]\n"
       "                [--max-ig-nodes=N] [--max-rec-passes=N] [--strict]\n"
@@ -177,8 +190,17 @@ bool parseU64Flag(const std::string &Arg, const char *Name, uint64_t &Out,
 /// exit code (0 clean, 1 error, 2 degraded under --strict). When
 /// \p CaptureOut is non-null and the analysis ran, the result snapshot
 /// is captured into it (for the batch-mode summary cache).
+///
+/// Output goes to \p OutF / \p ErrF rather than stdout/stderr directly:
+/// the parallel batch runs several of these concurrently, each writing
+/// into a private memory stream that is replayed in input order. When
+/// \p BatchTelem is set (parallel batch with an observability flag),
+/// the per-file telemetry is folded into it under \p BatchTelemMu via
+/// Telemetry::mergeFrom instead of being written per file.
 int runOne(const std::string &Source, const ToolConfig &Cfg,
-           serve::ResultSnapshot *CaptureOut = nullptr) {
+           serve::ResultSnapshot *CaptureOut = nullptr, FILE *OutF = stdout,
+           FILE *ErrF = stderr, support::Telemetry *BatchTelem = nullptr,
+           std::mutex *BatchTelemMu = nullptr) {
   pta::Analyzer::Options Opts = Cfg.Opts;
   // Any observability flag turns on the instrumented pipeline; the
   // default path stays uninstrumented (no telemetry overhead at all).
@@ -187,7 +209,7 @@ int runOne(const std::string &Source, const ToolConfig &Cfg,
   Pipeline P = WantTelemetry ? Pipeline::analyzeSourceTraced(Source, Opts)
                              : Pipeline::analyzeSource(Source, Opts);
   if (P.Diags.hasErrors()) {
-    std::fputs(P.Diags.dump().c_str(), stderr);
+    std::fputs(P.Diags.dump().c_str(), ErrF);
     return 1;
   }
   // Analysis warnings (e.g. a MaxLoopIterations safety-valve trip or an
@@ -195,7 +217,7 @@ int runOne(const std::string &Source, const ToolConfig &Cfg,
   // engine; never drop them silently.
   for (const Diagnostic &D : P.Diags.diagnostics())
     if (D.Level == DiagLevel::Warning)
-      std::fprintf(stderr, "warning: %s\n", D.Message.c_str());
+      std::fprintf(ErrF, "warning: %s\n", D.Message.c_str());
 
   // Budget degradations: one structured line per distinct (kind,
   // context category), plus a headline so batch logs stay greppable.
@@ -213,62 +235,72 @@ int runOne(const std::string &Source, const ToolConfig &Cfg,
         ++Suppressed;
         continue;
       }
-      std::fprintf(stderr, "degraded: [%s] %s: %s\n",
+      std::fprintf(ErrF, "degraded: [%s] %s: %s\n",
                    support::limitKindName(D.Kind), D.Context.c_str(),
                    D.Action.c_str());
     }
     if (Suppressed)
-      std::fprintf(stderr,
+      std::fprintf(ErrF,
                    "note: %u similar degradation line(s) suppressed (see "
                    "pta.degraded.* counters for full counts)\n",
                    Suppressed);
-    std::fprintf(stderr,
+    std::fprintf(ErrF,
                  "note: analysis degraded (%zu fallback(s)); results are "
                  "conservative but less precise\n",
                  P.Analysis.Degradations.size());
   }
 
   if (Cfg.DumpSimple)
-    std::fputs(P.Prog->str().c_str(), stdout);
+    std::fputs(P.Prog->str().c_str(), OutF);
   if (Cfg.DumpIG && P.Analysis.IG)
-    std::fputs(P.Analysis.IG->str().c_str(), stdout);
+    std::fputs(P.Analysis.IG->str().c_str(), OutF);
   if (Cfg.DumpPointsTo && P.Analysis.MainOut)
-    std::printf("%s\n", P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
+    std::fprintf(OutF, "%s\n",
+                 P.Analysis.MainOut->str(*P.Analysis.Locs).c_str());
 
   if (Cfg.Stats) {
     support::Telemetry::Span ClientsSpan(P.Telem.get(), "clients");
     auto IR = clients::IndirectRefAnalysis::compute(*P.Prog, P.Analysis);
     auto GS = clients::GeneralStats::compute(*P.Prog, P.Analysis);
     auto IS = clients::IGStats::compute(*P.Prog, P.Analysis);
-    std::printf("SIMPLE stmts:        %u\n", P.Prog->numBasicStmts());
-    std::printf("indirect refs:       %u (avg targets %.2f)\n",
-                IR.Stats.IndirectRefs, IR.Stats.average());
-    std::printf("  1D=%u 1P=%u 2=%u 3=%u 4+=%u replaceable=%u\n",
-                IR.Stats.OneD.total(), IR.Stats.OneP.total(),
-                IR.Stats.TwoP.total(), IR.Stats.ThreeP.total(),
-                IR.Stats.FourPlusP.total(), IR.Stats.ScalarReplaceable);
-    std::printf("pairs: SS=%llu SH=%llu HH=%llu HS=%llu avg=%.1f max=%u\n",
-                GS.StackToStack, GS.StackToHeap, GS.HeapToHeap,
-                GS.HeapToStack, GS.average(), GS.MaxPerStmt);
-    std::printf("IG: nodes=%u callsites=%u fns=%u R=%u A=%u "
-                "avgc=%.2f avgf=%.2f\n",
-                IS.Nodes, IS.CallSites, IS.Functions, IS.Recursive,
-                IS.Approximate, IS.avgPerCallSite(), IS.avgPerFunction());
+    std::fprintf(OutF, "SIMPLE stmts:        %u\n", P.Prog->numBasicStmts());
+    std::fprintf(OutF, "indirect refs:       %u (avg targets %.2f)\n",
+                 IR.Stats.IndirectRefs, IR.Stats.average());
+    std::fprintf(OutF, "  1D=%u 1P=%u 2=%u 3=%u 4+=%u replaceable=%u\n",
+                 IR.Stats.OneD.total(), IR.Stats.OneP.total(),
+                 IR.Stats.TwoP.total(), IR.Stats.ThreeP.total(),
+                 IR.Stats.FourPlusP.total(), IR.Stats.ScalarReplaceable);
+    std::fprintf(OutF,
+                 "pairs: SS=%llu SH=%llu HH=%llu HS=%llu avg=%.1f max=%u\n",
+                 GS.StackToStack, GS.StackToHeap, GS.HeapToHeap,
+                 GS.HeapToStack, GS.average(), GS.MaxPerStmt);
+    std::fprintf(OutF,
+                 "IG: nodes=%u callsites=%u fns=%u R=%u A=%u "
+                 "avgc=%.2f avgf=%.2f\n",
+                 IS.Nodes, IS.CallSites, IS.Functions, IS.Recursive,
+                 IS.Approximate, IS.avgPerCallSite(), IS.avgPerFunction());
   }
 
-  if (Cfg.Profile && P.Telem)
-    std::fputs(P.Telem->profileTable().c_str(), stdout);
-  if (!Cfg.StatsJsonPath.empty() && P.Telem &&
-      !P.Telem->writeStatsJsonFile(Cfg.StatsJsonPath)) {
-    std::fprintf(stderr, "error: cannot write stats JSON to '%s'\n",
-                 Cfg.StatsJsonPath.c_str());
-    return 1;
-  }
-  if (!Cfg.TraceJsonPath.empty() && P.Telem &&
-      !P.Telem->writeTraceJsonFile(Cfg.TraceJsonPath)) {
-    std::fprintf(stderr, "error: cannot write trace JSON to '%s'\n",
-                 Cfg.TraceJsonPath.c_str());
-    return 1;
+  if (BatchTelem && P.Telem) {
+    // Parallel batch: fold this file's quiescent telemetry into the
+    // batch aggregate; the batch writes the profile/JSON exports once.
+    std::lock_guard<std::mutex> Lock(*BatchTelemMu);
+    BatchTelem->mergeFrom(*P.Telem);
+  } else {
+    if (Cfg.Profile && P.Telem)
+      std::fputs(P.Telem->profileTable().c_str(), OutF);
+    if (!Cfg.StatsJsonPath.empty() && P.Telem &&
+        !P.Telem->writeStatsJsonFile(Cfg.StatsJsonPath)) {
+      std::fprintf(ErrF, "error: cannot write stats JSON to '%s'\n",
+                   Cfg.StatsJsonPath.c_str());
+      return 1;
+    }
+    if (!Cfg.TraceJsonPath.empty() && P.Telem &&
+        !P.Telem->writeTraceJsonFile(Cfg.TraceJsonPath)) {
+      std::fprintf(ErrF, "error: cannot write trace JSON to '%s'\n",
+                   Cfg.TraceJsonPath.c_str());
+      return 1;
+    }
   }
   if (CaptureOut)
     *CaptureOut = serve::ResultSnapshot::capture(
@@ -288,6 +320,160 @@ bool readFile(const std::string &Path, std::string &Out) {
 
 int runIncremental(const std::string &Source, const ToolConfig &Cfg,
                    const std::string &BaselinePath);
+
+/// In-process parallel batch (--analysis-threads=N with --batch): the
+/// files are dispatched as file-granularity tasks onto one shared
+/// work-stealing pool; each task analyzes sequentially (nesting pools
+/// would oversubscribe) into private memory streams, and the captured
+/// output is replayed in input order afterwards, so stdout/stderr are
+/// byte-identical to the sequential batch at any thread count. The
+/// summary cache is shared across workers (its locking makes concurrent
+/// lookup/store safe), and per-file telemetry folds into one batch
+/// aggregate via Telemetry::mergeFrom. Trade-off vs. the fork-per-file
+/// path: no process isolation — a crashing input takes the batch down —
+/// in exchange for near-linear throughput (docs/PARALLEL.md).
+int runBatchParallel(const std::vector<std::string> &Files,
+                     const ToolConfig &Cfg, serve::SummaryCache *Cache,
+                     const std::string &FP) {
+  struct FileOutcome {
+    int Code = 1;
+    bool Cached = false;
+    bool CachedDegraded = false;
+    bool OpenFailed = false;
+    std::string Out, Err;
+  };
+  std::vector<FileOutcome> Outcomes(Files.size());
+
+  const bool WantTelemetry = Cfg.Profile || !Cfg.StatsJsonPath.empty() ||
+                             !Cfg.TraceJsonPath.empty();
+  support::Telemetry BatchTelem(WantTelemetry);
+  std::mutex BatchTelemMu;
+
+  ToolConfig FileCfg = Cfg;
+  FileCfg.Opts.AnalysisThreads = 1; // file-granularity parallelism only
+  FileCfg.Opts.Pool = nullptr;
+
+  support::ThreadPool Pool(Cfg.Opts.AnalysisThreads);
+  for (size_t I = 0; I < Files.size(); ++I) {
+    Pool.submit([&, I] {
+      FileOutcome &O = Outcomes[I];
+      std::string Source;
+      if (!readFile(Files[I], Source)) {
+        O.OpenFailed = true;
+        O.Code = 1;
+        return;
+      }
+      std::string Key;
+      if (Cache) {
+        Key = serve::SummaryCache::key(Source, FP);
+        std::string Warning;
+        if (auto Snap = Cache->lookup(Key, &Warning)) {
+          O.Cached = true;
+          O.CachedDegraded = Snap->degraded();
+          O.Code = (Cfg.Strict && O.CachedDegraded) ? 2 : 0;
+          return;
+        }
+        if (!Warning.empty())
+          O.Err += "warning: " + Warning + "\n";
+      }
+      char *OutBuf = nullptr, *ErrBuf = nullptr;
+      size_t OutLen = 0, ErrLen = 0;
+      FILE *OutF = open_memstream(&OutBuf, &OutLen);
+      FILE *ErrF = open_memstream(&ErrBuf, &ErrLen);
+      if (!OutF || !ErrF) {
+        if (OutF)
+          std::fclose(OutF);
+        if (ErrF)
+          std::fclose(ErrF);
+        std::free(OutBuf);
+        std::free(ErrBuf);
+        O.Err += "error: cannot allocate output buffer\n";
+        O.Code = 1;
+        return;
+      }
+      serve::ResultSnapshot Snap;
+      try {
+        O.Code = runOne(Source, FileCfg, Cache ? &Snap : nullptr, OutF, ErrF,
+                        WantTelemetry ? &BatchTelem : nullptr, &BatchTelemMu);
+      } catch (const std::exception &E) {
+        std::fprintf(ErrF, "error: %s\n", E.what());
+        O.Code = 1;
+      }
+      std::fclose(OutF);
+      std::fclose(ErrF);
+      O.Out.assign(OutBuf, OutLen);
+      O.Err.append(ErrBuf, ErrLen);
+      std::free(OutBuf);
+      std::free(ErrBuf);
+      if (Cache && O.Code != 1) {
+        std::string StoreWarning;
+        Cache->store(Key, std::move(Snap), &StoreWarning);
+        if (!StoreWarning.empty())
+          O.Err += "warning: " + StoreWarning + "\n";
+      }
+    });
+  }
+  Pool.wait();
+
+  // Replay in input order: same lines, same order, as the sequential
+  // fork-per-file batch.
+  bool AnyError = false, AnyDegraded = false;
+  uint64_t CacheHits = 0;
+  for (size_t I = 0; I < Files.size(); ++I) {
+    const FileOutcome &O = Outcomes[I];
+    if (!O.Err.empty())
+      std::fwrite(O.Err.data(), 1, O.Err.size(), stderr);
+    if (O.OpenFailed) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Files[I].c_str());
+      std::printf("%s: error\n", Files[I].c_str());
+      AnyError = true;
+      continue;
+    }
+    if (!O.Out.empty())
+      std::fwrite(O.Out.data(), 1, O.Out.size(), stdout);
+    if (O.Cached) {
+      ++CacheHits;
+      if (Cfg.Strict && O.CachedDegraded) {
+        std::printf("%s: degraded (cached)\n", Files[I].c_str());
+        AnyDegraded = true;
+      } else {
+        std::printf("%s: ok (cached)\n", Files[I].c_str());
+      }
+      continue;
+    }
+    if (O.Code == 0)
+      std::printf("%s: ok\n", Files[I].c_str());
+    else if (O.Code == 2) {
+      std::printf("%s: degraded\n", Files[I].c_str());
+      AnyDegraded = true;
+    } else {
+      std::printf("%s: error\n", Files[I].c_str());
+      AnyError = true;
+    }
+  }
+  std::printf("batch: %zu file(s), %llu cache hit(s)\n", Files.size(),
+              static_cast<unsigned long long>(CacheHits));
+
+  if (WantTelemetry) {
+    if (Cfg.Profile)
+      std::fputs(BatchTelem.profileTable().c_str(), stdout);
+    if (!Cfg.StatsJsonPath.empty() &&
+        !BatchTelem.writeStatsJsonFile(Cfg.StatsJsonPath)) {
+      std::fprintf(stderr, "error: cannot write stats JSON to '%s'\n",
+                   Cfg.StatsJsonPath.c_str());
+      return 1;
+    }
+    if (!Cfg.TraceJsonPath.empty() &&
+        !BatchTelem.writeTraceJsonFile(Cfg.TraceJsonPath)) {
+      std::fprintf(stderr, "error: cannot write trace JSON to '%s'\n",
+                   Cfg.TraceJsonPath.c_str());
+      return 1;
+    }
+  }
+  if (AnyError)
+    return 1;
+  return AnyDegraded ? 2 : 0;
+}
 
 /// Batch mode: analyzes every *.c file under \p Dir, each in a forked
 /// child so one pathological or crashing input cannot take down the
@@ -336,6 +522,12 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg,
     Cache = std::make_unique<serve::SummaryCache>(CacheCfg, nullptr);
   }
   const std::string FP = serve::optionsFingerprint(Cfg.Opts);
+
+  // Parallel in-process batch. Incremental batch keeps the sequential
+  // fork path: each file mutates its own baseline snapshot and the
+  // engine's output interleaves with the parent's prefix lines.
+  if (Cfg.Opts.AnalysisThreads > 1 && !Incremental)
+    return runBatchParallel(Files, Cfg, Cache.get(), FP);
 
   // Worst outcome across the batch: error (1) beats degraded-under-
   // strict (2) beats clean (0).
@@ -406,9 +598,18 @@ int runBatch(const std::string &Dir, const ToolConfig &Cfg,
           if (!StoreWarning.empty())
             std::fprintf(stderr, "warning: %s\n", StoreWarning.c_str());
         }
+        // _exit skips stdio teardown; flush or the child's dump/stats
+        // output is silently dropped whenever stdout is not a tty.
+        std::fflush(stdout);
+        std::fflush(stderr);
         _exit(Code);
       }
-      _exit(runOne(Source, Cfg));
+      {
+        int Code = runOne(Source, Cfg);
+        std::fflush(stdout);
+        std::fflush(stderr);
+        _exit(Code);
+      }
     }
     int Status = 0;
     if (waitpid(Pid, &Status, 0) < 0) {
@@ -646,6 +847,7 @@ int main(int argc, char **argv) {
   // (flag or environment), never through the silent default.
   bool CacheDirRequested = EnvCacheDir != nullptr;
   bool BadNumber = false;
+  uint64_t AnalysisThreads = 0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -703,7 +905,14 @@ int main(int argc, char **argv) {
       Cfg.Opts.FnPtr = pta::FnPtrMode::AddressTaken;
     else if (Arg == "--context-insensitive")
       Cfg.Opts.ContextSensitive = false;
-    else if (parseU64Flag(Arg, "--timeout-ms", Cfg.Opts.Limits.TimeoutMs,
+    else if (parseU64Flag(Arg, "--analysis-threads", AnalysisThreads,
+                          BadNumber)) {
+      if (BadNumber)
+        return 1;
+      // 0 and 1 both mean the sequential engine.
+      Cfg.Opts.AnalysisThreads =
+          static_cast<unsigned>(std::min<uint64_t>(AnalysisThreads, 256));
+    } else if (parseU64Flag(Arg, "--timeout-ms", Cfg.Opts.Limits.TimeoutMs,
                           BadNumber) ||
              parseU64Flag(Arg, "--max-stmt-visits",
                           Cfg.Opts.Limits.MaxStmtVisits, BadNumber) ||

@@ -1,6 +1,19 @@
 //===- Analyzer.cpp - Context-sensitive points-to analysis -------------------===//
+//
+// The interprocedural driver: Figures 3/4 (map, memoized evaluate,
+// unmap; recursion via pending-list fixed points) and Figure 5
+// (function-pointer invocation-graph growth). The intraprocedural
+// compositional rules live in the extracted body-transfer kernel
+// (BodyKernel.cpp); the parallel engine's scheduler and StmtIn folder
+// live in Scheduler.cpp (see docs/PARALLEL.md).
+//
+//===----------------------------------------------------------------------===//
 
 #include "pointsto/Analyzer.h"
+
+#include "pointsto/BodyKernel.h"
+#include "pointsto/Scheduler.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,37 +27,6 @@ namespace cf = mcpta::cfront;
 
 namespace {
 
-using OptSet = std::optional<PointsToSet>;
-
-/// Bottom-aware merge: merging with an unreachable state keeps the other
-/// operand unchanged (Bottom is the identity of Merge, Figure 4).
-void mergeInto(OptSet &A, const OptSet &B) {
-  if (!B)
-    return;
-  if (!A) {
-    A = *B;
-    return;
-  }
-  A->mergeWith(*B);
-}
-
-bool subsetOfOpt(const OptSet &A, const OptSet &B) {
-  if (!A)
-    return true; // bottom is contained in everything
-  if (!B)
-    return false;
-  return A->subsetOf(*B);
-}
-
-/// Flow state threaded through the compositional rules: the normal
-/// continuation plus the abrupt-completion channels of [13].
-struct FlowState {
-  OptSet Normal;
-  OptSet Brk;
-  OptSet Cont;
-  OptSet Ret;
-};
-
 /// Per-function summary used by the context-insensitive baseline.
 struct FnSummary {
   OptSet StoredInput;
@@ -55,32 +37,7 @@ struct FnSummary {
   bool Valid = false;
 };
 
-/// Unified hot-path counters. One plain struct replaces the old ad-hoc
-/// ++Res.X plumbing; Result's legacy fields and the telemetry counters
-/// are both published from here once, in publishTelemetry().
-struct HotCounters {
-  uint64_t BodyAnalyses = 0;
-  uint64_t MemoHits = 0;
-  uint64_t MemoMisses = 0;
-  uint64_t LoopIterations = 0;
-  uint64_t PendingEnqueues = 0;
-  uint64_t FixpointRestarts = 0;
-  uint64_t IndirectCallsResolved = 0;
-  uint64_t IndirectTargetsTotal = 0;
-  uint64_t ExternCalls = 0;
-  /// process() dispatches that ran a statement's transfer function, and
-  /// dispatches short-circuited by Options::LiveStmts. Their sum is the
-  /// statement coverage of the run; the demand engine's visited-statement
-  /// ratio is its StmtVisits over the exhaustive run's.
-  uint64_t StmtVisits = 0;
-  uint64_t StmtSkips = 0;
-  /// Loops whose fixed point was stopped by MaxLoopIterations.
-  uint64_t LoopLimitHits = 0;
-  /// Degradation occurrences per LimitKind (pta.degraded.*).
-  uint64_t DegradedByKind[support::NumLimitKinds] = {};
-};
-
-class AnalyzerImpl {
+class AnalyzerImpl : public BodyKernel::Env {
 public:
   AnalyzerImpl(const Program &Prog, const Analyzer::Options &Opts,
                Analyzer::Result &Res)
@@ -92,13 +49,30 @@ public:
         Telem(Opts.Telem && Opts.Telem->enabled() ? Opts.Telem : nullptr),
         HStmtIn(Telem ? &Telem->histogram("pta.stmt_in_size") : nullptr),
         HLoopIters(Telem ? &Telem->histogram("pta.loop_fixpoint_iters")
-                         : nullptr) {
+                         : nullptr),
+        Kernel(Opts, Locs, Eval, Meter, *this, C, HLoopIters) {
     Locs.setSymbolicLevelLimit(Opts.SymbolicLevelLimit);
     // pta.set.* counters are process-wide; publishTelemetry() reports
-    // this run's deltas. The peaks are per-run high-water marks.
-    PointsToSet::stats().PeakPairs = 0;
-    PointsToSet::stats().HeapBytesPeak = PointsToSet::stats().HeapBytes;
-    SetStatsBegin = PointsToSet::stats();
+    // this run's deltas. The peaks are per-run high-water marks (and,
+    // under in-process batch parallelism, per-process approximations —
+    // see docs/PARALLEL.md).
+    PointsToSet::stats().PeakPairs.store(0, std::memory_order_relaxed);
+    PointsToSet::stats().HeapBytesPeak.store(
+        PointsToSet::stats().HeapBytes.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    SetStatsBegin = PointsToSet::stats().snapshot();
+
+    // Parallel engine wiring: an external pool (batch/serve provide a
+    // shared one) or a private pool for this run. The analysis itself
+    // stays on the calling thread; the pool carries the StmtIn folding
+    // (docs/PARALLEL.md). An inline pool means the classic sequential
+    // engine, untouched.
+    Pool = Opts.Pool;
+    if (!Pool && Opts.AnalysisThreads > 1) {
+      PoolStorage = std::make_unique<support::ThreadPool>(Opts.AnalysisThreads);
+      Pool = PoolStorage.get();
+    }
+    PoolStatsBegin = Pool ? Pool->stats() : support::ThreadPool::Stats();
   }
 
   void run();
@@ -109,34 +83,20 @@ public:
 
 private:
   //===--------------------------------------------------------------------===//
-  // Compositional rules (Figure 1 + channels)
+  // BodyKernel::Env (the intraprocedural kernel's seam back into the
+  // interprocedural driver)
   //===--------------------------------------------------------------------===//
-  FlowState process(const Stmt *S, OptSet In, IGNode *Ign);
-  FlowState processBlock(const BlockStmt *B, OptSet In, IGNode *Ign);
-  FlowState processIf(const IfStmt *I, OptSet In, IGNode *Ign);
-  FlowState processLoop(const LoopStmt *L, OptSet In, IGNode *Ign);
-  FlowState processSwitch(const SwitchStmt *Sw, OptSet In, IGNode *Ign);
-  FlowState processAssign(const AssignStmt *A, OptSet In, IGNode *Ign);
-  FlowState processReturn(const ReturnStmt *R, OptSet In, IGNode *Ign);
-
-  /// Applies the basic kill/change/gen rule of Figure 1.
-  void applyAssignRule(PointsToSet &S, const std::vector<LocDef> &Llocs,
-                       const std::vector<LocDef> &Rlocs);
-
-  /// Structure assignment: broken into per-pointer-component assignments
-  /// (the paper's note below Figure 1). \p RhsStorage are the locations
-  /// of the source aggregate.
-  void applyStructCopy(PointsToSet &S, const std::vector<LocDef> &LhsStorage,
-                       const std::vector<LocDef> &RhsStorage,
-                       const cf::Type *Ty);
-
-  void recordStmtIn(const Stmt *S, const OptSet &In);
+  OptSet processCall(const CallInfo &CI, const Reference *LhsRef, OptSet In,
+                     IGNode *Ign) override;
+  void recordStmtIn(const Stmt *S, const OptSet &In) override;
+  void warnOnce(const cf::FunctionDecl *Owner, const std::string &Key,
+                const std::string &Msg) override;
+  void recordDegradation(support::LimitKind K, const std::string &Context,
+                         const std::string &Action) override;
 
   //===--------------------------------------------------------------------===//
   // Interprocedural rules (Figures 4 & 5)
   //===--------------------------------------------------------------------===//
-  OptSet processCall(const CallInfo &CI, const Reference *LhsRef, OptSet In,
-                     IGNode *Ign);
   OptSet processCallTarget(const cf::FunctionDecl *Callee,
                            const CallInfo &CI, const Reference *LhsRef,
                            const PointsToSet &S, IGNode *Ign);
@@ -166,12 +126,6 @@ private:
   static bool memoDepsValid(const IGNode *Node);
   static void recordMemoDeps(IGNode *Node);
 
-  /// \p Owner is the function whose evaluation raised the warning (null
-  /// when outside any body); it feeds Result::WarningsByFn, which the
-  /// incremental engine uses to restore skipped functions' warnings.
-  void warnOnce(const cf::FunctionDecl *Owner, const std::string &Key,
-                const std::string &Msg);
-
   //===--------------------------------------------------------------------===//
   // Resource governance (docs/ROBUSTNESS.md)
   //===--------------------------------------------------------------------===//
@@ -194,12 +148,6 @@ private:
   /// deadline cut of an in-flight fixed point) are recorded at their
   /// sites instead.
   void noteTrips();
-
-  /// Records a degradation event: bumps the per-kind occurrence
-  /// counter, and on first sight of this (kind, context) appends a
-  /// Result::Degradations entry and a warning.
-  void recordDegradation(support::LimitKind K, const std::string &Context,
-                         const std::string &Action);
 
   /// First tripped global budget, for attributing secondary fallbacks.
   support::LimitKind primaryTrippedKind() const;
@@ -240,7 +188,19 @@ private:
   support::Histogram *HLoopIters;
   HotCounters C;
   /// Process-wide PointsToSet traffic at run start (pta.set.* deltas).
-  PointsToSet::Stats SetStatsBegin;
+  PointsToSet::StatsSnapshot SetStatsBegin;
+
+  /// The extracted intraprocedural kernel (Figure 1 rules).
+  BodyKernel Kernel;
+
+  /// Parallel engine (docs/PARALLEL.md): the pool carrying offloaded
+  /// work, the StmtIn folder feeding it, and the pta.par.* counters.
+  /// All null/inert for the sequential engine.
+  std::unique_ptr<support::ThreadPool> PoolStorage; ///< owned iff private
+  support::ThreadPool *Pool = nullptr;
+  support::ThreadPool::Stats PoolStatsBegin;
+  std::unique_ptr<StmtInFolder> Folder;
+  ParCounters Par;
 };
 
 //===----------------------------------------------------------------------===//
@@ -342,390 +302,15 @@ void AnalyzerImpl::recordStmtIn(const Stmt *S, const OptSet &In) {
     return;
   if (Res.StmtIn.size() <= S->id())
     Res.StmtIn.resize(Prog.numStmts());
+  // Parallel engine: the fold is the dominant per-visit cost; route it
+  // to the pool. Order per slot is preserved by the folder's exclusive
+  // shard drains (and Merge is a commutative join besides), so the
+  // accumulated sets are identical to the sequential engine's.
+  if (Folder && In) {
+    Folder->record(S->id(), *In);
+    return;
+  }
   mergeInto(Res.StmtIn[S->id()], In);
-}
-
-void AnalyzerImpl::applyAssignRule(PointsToSet &S,
-                                   const std::vector<LocDef> &Llocs,
-                                   const std::vector<LocDef> &Rlocs) {
-  // kill_set: all relationships of definite L-locations.
-  for (const LocDef &L : Llocs)
-    if (L.D == Def::D)
-      S.killFrom(L.Loc);
-  // change_set: definite relationships of possible L-locations weaken.
-  for (const LocDef &L : Llocs)
-    if (L.D == Def::P)
-      S.demoteFrom(L.Loc);
-  // gen_set: cross product; definite only when both sides are definite
-  // and the target can be definite at all.
-  for (const LocDef &L : Llocs)
-    for (const LocDef &R : Rlocs) {
-      Def D = meet(L.D, R.D);
-      if (R.Loc->isSummary())
-        D = Def::P;
-      S.insert(L.Loc, R.Loc, D);
-    }
-}
-
-/// Enumerates the relative paths of all pointer components of a type.
-static void pointerSuffixPaths(const cf::Type *Ty,
-                               std::vector<PathElem> &Prefix,
-                               std::vector<std::vector<PathElem>> &Out) {
-  if (!Ty)
-    return;
-  switch (Ty->kind()) {
-  case cf::Type::Kind::Pointer:
-    Out.push_back(Prefix);
-    return;
-  case cf::Type::Kind::Record:
-    for (const cf::FieldDecl *F : cf::cast<cf::RecordType>(Ty)->decl()->fields()) {
-      if (!F->type()->isPointerBearing())
-        continue;
-      Prefix.push_back(PathElem::field(F));
-      pointerSuffixPaths(F->type(), Prefix, Out);
-      Prefix.pop_back();
-    }
-    return;
-  case cf::Type::Kind::Array: {
-    const auto *AT = cf::cast<cf::ArrayType>(Ty);
-    if (!AT->element()->isPointerBearing())
-      return;
-    Prefix.push_back(PathElem::head());
-    pointerSuffixPaths(AT->element(), Prefix, Out);
-    Prefix.pop_back();
-    Prefix.push_back(PathElem::tail());
-    pointerSuffixPaths(AT->element(), Prefix, Out);
-    Prefix.pop_back();
-    return;
-  }
-  default:
-    return;
-  }
-}
-
-static const Location *applyPath(LocationTable &Locs, const Location *L,
-                                 const std::vector<PathElem> &Path) {
-  for (const PathElem &PE : Path) {
-    switch (PE.K) {
-    case PathElem::Kind::Field:
-      L = Locs.withField(L, PE.Field);
-      break;
-    case PathElem::Kind::Head:
-      L = Locs.withElem(L, true);
-      break;
-    case PathElem::Kind::Tail:
-      L = Locs.withElem(L, false);
-      break;
-    }
-  }
-  return L;
-}
-
-void AnalyzerImpl::applyStructCopy(PointsToSet &S,
-                                   const std::vector<LocDef> &LhsStorage,
-                                   const std::vector<LocDef> &RhsStorage,
-                                   const cf::Type *Ty) {
-  std::vector<std::vector<PathElem>> Suffixes;
-  std::vector<PathElem> Prefix;
-  pointerSuffixPaths(Ty, Prefix, Suffixes);
-  for (const std::vector<PathElem> &P : Suffixes) {
-    std::vector<LocDef> Llocs, Rlocs;
-    for (const LocDef &L : LhsStorage) {
-      const Location *LL = applyPath(Locs, L.Loc, P);
-      Def D = (L.D == Def::D && !LL->isSummary()) ? Def::D : Def::P;
-      Llocs.push_back({LL, D});
-    }
-    for (const LocDef &R : RhsStorage) {
-      const Location *RL = applyPath(Locs, R.Loc, P);
-      for (const LocDef &T : S.targetsOf(RL, Locs))
-        Rlocs.push_back({T.Loc, meet(R.D, T.D)});
-    }
-    applyAssignRule(S, normalizeLocDefs(std::move(Llocs)),
-                    normalizeLocDefs(std::move(Rlocs)));
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// Compositional rules
-//===----------------------------------------------------------------------===//
-
-FlowState AnalyzerImpl::process(const Stmt *S, OptSet In, IGNode *Ign) {
-  if (!S || !In)
-    return {};
-  if (Opts.LiveStmts) {
-    const std::vector<uint8_t> &Live = *Opts.LiveStmts;
-    unsigned Id = S->id();
-    if (Id < Live.size() && !Live[Id]) {
-      // Demand-driven pruning: a dead statement is an identity transfer.
-      // The demand engine only marks a statement dead when its effect
-      // cannot touch the query's relevant roots, so passing the input
-      // through unchanged reproduces the exhaustive result's projection.
-      ++C.StmtSkips;
-      FlowState FS;
-      FS.Normal = std::move(In);
-      return FS;
-    }
-  }
-  ++C.StmtVisits;
-  switch (S->kind()) {
-  case Stmt::Kind::Block:
-    return processBlock(castStmt<BlockStmt>(S), std::move(In), Ign);
-  case Stmt::Kind::If:
-    return processIf(castStmt<IfStmt>(S), std::move(In), Ign);
-  case Stmt::Kind::Loop:
-    return processLoop(castStmt<LoopStmt>(S), std::move(In), Ign);
-  case Stmt::Kind::Switch:
-    return processSwitch(castStmt<SwitchStmt>(S), std::move(In), Ign);
-  case Stmt::Kind::Assign:
-    return processAssign(castStmt<AssignStmt>(S), std::move(In), Ign);
-  case Stmt::Kind::Call: {
-    recordStmtIn(S, In);
-    const auto *C = castStmt<CallStmt>(S);
-    FlowState FS;
-    FS.Normal = processCall(C->Call, nullptr, std::move(In), Ign);
-    return FS;
-  }
-  case Stmt::Kind::Return:
-    return processReturn(castStmt<ReturnStmt>(S), std::move(In), Ign);
-  case Stmt::Kind::Break: {
-    FlowState FS;
-    FS.Brk = std::move(In);
-    return FS;
-  }
-  case Stmt::Kind::Continue: {
-    FlowState FS;
-    FS.Cont = std::move(In);
-    return FS;
-  }
-  }
-  return {};
-}
-
-FlowState AnalyzerImpl::processBlock(const BlockStmt *B, OptSet In,
-                                     IGNode *Ign) {
-  FlowState Acc;
-  Acc.Normal = std::move(In);
-  for (const Stmt *S : B->Body) {
-    if (!Acc.Normal)
-      break; // the rest of the block is unreachable
-    FlowState FS = process(S, std::move(Acc.Normal), Ign);
-    Acc.Normal = std::move(FS.Normal);
-    mergeInto(Acc.Brk, FS.Brk);
-    mergeInto(Acc.Cont, FS.Cont);
-    mergeInto(Acc.Ret, FS.Ret);
-  }
-  return Acc;
-}
-
-FlowState AnalyzerImpl::processIf(const IfStmt *I, OptSet In, IGNode *Ign) {
-  recordStmtIn(I, In);
-  FlowState Th = process(I->Then, In, Ign);
-  FlowState El;
-  if (I->Else)
-    El = process(I->Else, In, Ign);
-  else
-    El.Normal = In;
-
-  FlowState Out;
-  Out.Normal = std::move(Th.Normal);
-  mergeInto(Out.Normal, El.Normal);
-  Out.Brk = std::move(Th.Brk);
-  mergeInto(Out.Brk, El.Brk);
-  Out.Cont = std::move(Th.Cont);
-  mergeInto(Out.Cont, El.Cont);
-  Out.Ret = std::move(Th.Ret);
-  mergeInto(Out.Ret, El.Ret);
-  return Out;
-}
-
-FlowState AnalyzerImpl::processLoop(const LoopStmt *L, OptSet In,
-                                    IGNode *Ign) {
-  recordStmtIn(L, In);
-  // Figure 1's while rule: generalize the loop-head state until a fixed
-  // point, accumulating the abrupt-exit channels across iterations.
-  OptSet X = In;
-  OptSet BreakAcc, RetAcc;
-  OptSet LastTrailOut; // state after body+trailer of the last iteration
-  unsigned Iters = 0;
-  unsigned Passes = 0;
-  while (true) {
-    ++C.LoopIterations;
-    ++Passes;
-    OptSet Prev = X;
-    FlowState B = process(L->Body, X, Ign);
-    mergeInto(BreakAcc, B.Brk);
-    mergeInto(RetAcc, B.Ret);
-    OptSet TIn = std::move(B.Normal);
-    mergeInto(TIn, B.Cont);
-    OptSet TOut;
-    if (L->Trailer) {
-      FlowState T = process(L->Trailer, std::move(TIn), Ign);
-      mergeInto(RetAcc, T.Ret); // trailers are straight-line code
-      TOut = std::move(T.Normal);
-    } else {
-      TOut = std::move(TIn);
-    }
-    LastTrailOut = TOut;
-    mergeInto(X, TOut);
-    if ((!X && !Prev) || (X && Prev && *X == *Prev))
-      break;
-    // Governed cut: a run well past its deadline stops generalizing the
-    // loop head. The partial state is kept but fully demoted — none of
-    // the un-reached iterations' kills is trusted as definite.
-    if (Meter && Passes >= 2 && Meter->hardDeadline()) {
-      if (X)
-        X->demoteAll();
-      if (BreakAcc)
-        BreakAcc->demoteAll();
-      if (RetAcc)
-        RetAcc->demoteAll();
-      if (LastTrailOut)
-        LastTrailOut->demoteAll();
-      recordDegradation(support::LimitKind::Deadline, "loop fixed point",
-                        "cut short past the hard deadline before "
-                        "convergence; definiteness dropped");
-      break;
-    }
-    if (++Iters > Opts.MaxLoopIterations) {
-      ++C.LoopLimitHits;
-      warnOnce(ownerName(Ign), "loop-fixpoint",
-               "loop fixed point did not converge within the iteration "
-               "limit; results remain safe but may be imprecise");
-      break;
-    }
-  }
-  if (HLoopIters)
-    HLoopIters->record(Passes);
-
-  FlowState Out;
-  if (L->PostTest)
-    Out.Normal = L->CondVar ? LastTrailOut : OptSet();
-  else
-    Out.Normal = L->CondVar ? X : OptSet();
-  mergeInto(Out.Normal, BreakAcc);
-  Out.Ret = std::move(RetAcc);
-  return Out;
-}
-
-FlowState AnalyzerImpl::processSwitch(const SwitchStmt *Sw, OptSet In,
-                                      IGNode *Ign) {
-  recordStmtIn(Sw, In);
-  FlowState Out;
-  OptSet Fall; // flows from one case into the next
-  for (const SwitchStmt::Case &C : Sw->Cases) {
-    OptSet Entry = In;
-    mergeInto(Entry, Fall);
-    FlowState CS;
-    CS.Normal = std::move(Entry);
-    for (const Stmt *S : C.Body) {
-      if (!CS.Normal)
-        break;
-      FlowState FS = process(S, std::move(CS.Normal), Ign);
-      CS.Normal = std::move(FS.Normal);
-      mergeInto(CS.Brk, FS.Brk);
-      mergeInto(CS.Cont, FS.Cont);
-      mergeInto(CS.Ret, FS.Ret);
-    }
-    Fall = std::move(CS.Normal);
-    mergeInto(Out.Brk, CS.Brk);
-    mergeInto(Out.Cont, CS.Cont);
-    mergeInto(Out.Ret, CS.Ret);
-  }
-  Out.Normal = std::move(Fall);
-  if (!Sw->hasDefault())
-    mergeInto(Out.Normal, In); // no case may match
-  mergeInto(Out.Normal, Out.Brk);
-  Out.Brk.reset(); // breaks bind to the switch
-  return Out;
-}
-
-FlowState AnalyzerImpl::processAssign(const AssignStmt *A, OptSet In,
-                                      IGNode *Ign) {
-  recordStmtIn(A, In);
-  FlowState FS;
-  PointsToSet S = std::move(*In);
-  const cf::Type *LhsTy = A->Lhs.Ty;
-
-  // Calls must be evaluated for their side effects whatever the lhs is.
-  if (A->RK == AssignStmt::RhsKind::Call) {
-    const Reference *LhsRef =
-        (LhsTy && (LhsTy->isPointerBearing() || LhsTy->isRecord()))
-            ? &A->Lhs
-            : nullptr;
-    FS.Normal = processCall(A->Call, LhsRef, std::move(S), Ign);
-    return FS;
-  }
-
-  if (!LhsTy || (!LhsTy->isPointerBearing() && !LhsTy->isRecord() &&
-                 !LhsTy->isArray())) {
-    FS.Normal = std::move(S);
-    return FS; // not a pointer assignment (Figure 1's first case)
-  }
-
-  if (LhsTy->isRecord() || LhsTy->isArray()) {
-    // Aggregate copy: s1 = s2 decomposes into pointer components.
-    if (A->RK == AssignStmt::RhsKind::Operand && A->A.isRef() &&
-        LhsTy->isPointerBearing()) {
-      std::vector<LocDef> LhsStorage = Eval.lvalLocations(A->Lhs, S);
-      std::vector<LocDef> RhsStorage = Eval.refLocations(A->A.Ref, S);
-      applyStructCopy(S, LhsStorage, RhsStorage, LhsTy);
-    }
-    FS.Normal = std::move(S);
-    return FS;
-  }
-
-  // Scalar pointer assignment.
-  std::vector<LocDef> Rlocs;
-  switch (A->RK) {
-  case AssignStmt::RhsKind::Operand:
-    Rlocs = Eval.operandRLocations(A->A, S);
-    break;
-  case AssignStmt::RhsKind::Binary:
-    Rlocs = Eval.binaryRLocations(A->A, A->BOp, A->B, S);
-    break;
-  case AssignStmt::RhsKind::Unary:
-    Rlocs.clear(); // unary ops never produce pointers
-    break;
-  case AssignStmt::RhsKind::Alloc:
-    Rlocs = {{Locs.heap(), Def::P}}; // Table 1's malloc() row
-    break;
-  case AssignStmt::RhsKind::Call:
-    // Handled at the top of this function; reaching here means the
-    // lowering produced an inconsistent statement. Recover with an
-    // unknown right-hand side instead of dying on malformed input.
-    warnOnce(ownerName(Ign), "assign-call-rhs",
-             "internal: call rhs reached the scalar assignment path; "
-             "right-hand side treated as unknown");
-    Rlocs.clear();
-    break;
-  }
-
-  std::vector<LocDef> Llocs = Eval.lvalLocations(A->Lhs, S);
-  applyAssignRule(S, Llocs, Rlocs);
-  FS.Normal = std::move(S);
-  return FS;
-}
-
-FlowState AnalyzerImpl::processReturn(const ReturnStmt *R, OptSet In,
-                                      IGNode *Ign) {
-  recordStmtIn(R, In);
-  PointsToSet S = std::move(*In);
-  const cf::FunctionDecl *F = Ign->function();
-  if (R->Value && F && F->returnType()->isRecord()) {
-    // Struct return: copy the aggregate into retval component-wise.
-    if (R->Value->isRef() && F->returnType()->isPointerBearing()) {
-      const Location *Ret = Locs.get(Locs.retval(F));
-      std::vector<LocDef> RhsStorage = Eval.refLocations(R->Value->Ref, S);
-      applyStructCopy(S, {{Ret, Def::D}}, RhsStorage, F->returnType());
-    }
-  } else if (R->Value && F && F->returnType()->isPointerBearing()) {
-    const Location *Ret = Locs.get(Locs.retval(F));
-    std::vector<LocDef> Rlocs = Eval.operandRLocations(*R->Value, S);
-    applyAssignRule(S, {{Ret, Def::D}}, Rlocs);
-  }
-  FlowState FS;
-  FS.Ret = std::move(S);
-  return FS;
 }
 
 //===----------------------------------------------------------------------===//
@@ -874,9 +459,9 @@ OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
       std::vector<LocDef> LhsStorage = Eval.lvalLocations(*LhsRef, OutCaller);
       std::vector<std::vector<PathElem>> Suffixes;
       std::vector<PathElem> Prefix;
-      pointerSuffixPaths(Callee->returnType(), Prefix, Suffixes);
+      BodyKernel::pointerSuffixPaths(Callee->returnType(), Prefix, Suffixes);
       for (const std::vector<PathElem> &P : Suffixes) {
-        const Location *RetP = applyPath(Locs, Ret, P);
+        const Location *RetP = BodyKernel::applyPath(Locs, Ret, P);
         std::vector<LocDef> Rlocs;
         for (const LocDef &T : CalleeOut->targetsOf(RetP, Locs))
           for (const Location *CT :
@@ -884,12 +469,12 @@ OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
             Rlocs.push_back({CT, T.D});
         std::vector<LocDef> Llocs;
         for (const LocDef &L : LhsStorage) {
-          const Location *LL = applyPath(Locs, L.Loc, P);
+          const Location *LL = BodyKernel::applyPath(Locs, L.Loc, P);
           Def D = (L.D == Def::D && !LL->isSummary()) ? Def::D : Def::P;
           Llocs.push_back({LL, D});
         }
-        applyAssignRule(OutCaller, normalizeLocDefs(std::move(Llocs)),
-                        normalizeLocDefs(std::move(Rlocs)));
+        Kernel.applyAssignRule(OutCaller, normalizeLocDefs(std::move(Llocs)),
+                               normalizeLocDefs(std::move(Rlocs)));
       }
     } else {
       std::vector<LocDef> Rlocs;
@@ -901,7 +486,8 @@ OptSet AnalyzerImpl::processCallTarget(const cf::FunctionDecl *Callee,
           Rlocs.push_back({CT, D});
       }
       std::vector<LocDef> Llocs = Eval.lvalLocations(*LhsRef, OutCaller);
-      applyAssignRule(OutCaller, Llocs, normalizeLocDefs(std::move(Rlocs)));
+      Kernel.applyAssignRule(OutCaller, Llocs,
+                             normalizeLocDefs(std::move(Rlocs)));
     }
   }
   return OptSet(std::move(OutCaller));
@@ -1143,7 +729,7 @@ OptSet AnalyzerImpl::processBody(IGNode *Node,
       S.insert(Sub, Locs.null(), Sub->isSummary() ? Def::P : Def::D);
   }
 
-  FlowState FS = process(FIR->Body, OptSet(std::move(S)), Node);
+  FlowState FS = Kernel.process(FIR->Body, OptSet(std::move(S)), Node);
   OptSet Out = std::move(FS.Normal);
   mergeInto(Out, FS.Ret);
   return Out;
@@ -1180,7 +766,7 @@ OptSet AnalyzerImpl::applyExtern(const cf::FunctionDecl *Callee,
       Rlocs = {{Locs.heap(), Def::P}};
     }
     std::vector<LocDef> Llocs = Eval.lvalLocations(*LhsRef, S);
-    applyAssignRule(S, Llocs, normalizeLocDefs(std::move(Rlocs)));
+    Kernel.applyAssignRule(S, Llocs, normalizeLocDefs(std::move(Rlocs)));
   }
 
   // Known pointer-neutral library functions need no warning; anything
@@ -1214,8 +800,16 @@ void AnalyzerImpl::run() {
   if (Opts.Seeder)
     Opts.Seeder->begin(Prog, *Res.IG, Locs);
   support::Telemetry::Span PtaSpan(Telem, "pointsto");
-  if (Opts.RecordStmtSets)
+  if (Opts.RecordStmtSets) {
     Res.StmtIn.resize(Prog.numStmts());
+    // The folder engages only now: StmtIn must be at its final size
+    // before worker threads hold references into it. A seeded
+    // (incremental) run keeps the sequential fold — the seeder grafts
+    // baseline StmtIn rows directly into Res.StmtIn from the analysis
+    // thread, which must not race with worker-side merges.
+    if (Pool && Pool->parallel() && !Opts.Seeder)
+      Folder = std::make_unique<StmtInFolder>(*Pool, Res.StmtIn, Par);
+  }
 
   // Startup state: globals' pointer components are NULL unless
   // initialized; then the lowered global initializers run.
@@ -1229,7 +823,7 @@ void AnalyzerImpl::run() {
 
   IGNode *Root = Res.IG->root();
   FlowState InitFS =
-      process(Prog.globalInit(), OptSet(std::move(S)), Root);
+      Kernel.process(Prog.globalInit(), OptSet(std::move(S)), Root);
   OptSet MainIn = std::move(InitFS.Normal);
   if (!MainIn)
     MainIn.emplace();
@@ -1239,6 +833,8 @@ void AnalyzerImpl::run() {
   if (!MainIR) {
     Res.Warnings.push_back(
         "invocation-graph root has no analyzable body; nothing to do");
+    if (Folder)
+      Folder->finish();
     return;
   }
   PointsToSet S2 = std::move(*MainIn);
@@ -1250,11 +846,15 @@ void AnalyzerImpl::run() {
   }
   ++C.BodyAnalyses;
   ++Root->EvalCount; // main is processed directly, bypassing evaluateCall
-  FlowState FS = process(MainIR->Body, OptSet(std::move(S2)), Root);
+  FlowState FS = Kernel.process(MainIR->Body, OptSet(std::move(S2)), Root);
   OptSet Out = std::move(FS.Normal);
   mergeInto(Out, FS.Ret);
   Res.MainOut = std::move(Out);
   Res.Analyzed = true;
+  // The parallel barrier: every offloaded StmtIn fold lands before the
+  // Result is read (or serialized).
+  if (Folder)
+    Folder->finish();
 }
 
 void AnalyzerImpl::publishTelemetry() {
@@ -1286,13 +886,29 @@ void AnalyzerImpl::publishTelemetry() {
   if (Res.MainOut)
     Telem->add("pta.main_out_pairs", Res.MainOut->size());
 
-  const PointsToSet::Stats &SS = PointsToSet::stats();
+  PointsToSet::StatsSnapshot SS = PointsToSet::stats().snapshot();
   Telem->add("pta.set.peak_pairs", SS.PeakPairs);
   Telem->add("pta.set.cow_shares", SS.CowShares - SetStatsBegin.CowShares);
   Telem->add("pta.set.cow_detaches",
              SS.CowDetaches - SetStatsBegin.CowDetaches);
   Telem->add("pta.set.kernel_calls",
              SS.KernelCalls - SetStatsBegin.KernelCalls);
+
+  // The parallel engine's observability surface (docs/PARALLEL.md):
+  // published only when a pool actually carried work, so sequential
+  // stats exports are unchanged.
+  if (Pool && Pool->parallel()) {
+    support::ThreadPool::Stats PS = Pool->stats();
+    Telem->add("pta.par.tasks", PS.TasksExecuted - PoolStatsBegin.TasksExecuted);
+    Telem->add("pta.par.steals", PS.Steals - PoolStatsBegin.Steals);
+    Telem->add("pta.par.fold_records",
+               Par.FoldRecords.load(std::memory_order_relaxed));
+    Telem->add("pta.par.barrier_waits",
+               Par.BarrierWaits.load(std::memory_order_relaxed));
+    if (Res.IG)
+      Telem->add("pta.par.memo_races", Res.IG->buildCounters().MemoRaces);
+    Telem->gauge("pta.par.threads", Pool->width());
+  }
 
   const MapUnmap::Counters &MC = MU.counters();
   Telem->add("mu.map_calls", MC.MapCalls);

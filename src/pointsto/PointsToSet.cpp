@@ -27,9 +27,9 @@ const Def *PointsToSet::findKey(PairKey K) const {
 PointsToSet::Entry *PointsToSet::detachForWrite() {
   if (!Heap)
     return InlineBuf;
-  if (Heap.use_count() > 1) {
-    Heap = std::make_shared<Rep>(*Heap);
-    ++stats().CowDetaches;
+  if (!Heap.unique()) {
+    Heap = RepPtr(new Rep(*Heap));
+    stats().CowDetaches.fetch_add(1, std::memory_order_relaxed);
   }
   return Heap->E.data();
 }
@@ -41,11 +41,11 @@ void PointsToSet::adopt(std::vector<Entry> V) {
     std::copy(V.begin(), V.end(), InlineBuf);
     return;
   }
-  if (Heap && Heap.use_count() == 1) {
+  if (Heap && Heap.unique()) {
     Heap->E = std::move(V); // reuse the private block's capacity
     Heap->sync();
   } else {
-    Heap = std::make_shared<Rep>(std::move(V));
+    Heap = RepPtr(new Rep(std::move(V)));
   }
   InlineN = 0;
 }
@@ -74,7 +74,7 @@ bool PointsToSet::insertKey(PairKey K, Def D) {
       return true;
     }
     // Inline tier is full: promote to a heap block.
-    auto R = std::make_shared<Rep>();
+    RepPtr R(new Rep());
     R->E.reserve(InlineN + 1);
     R->E.assign(InlineBuf, InlineBuf + InlineN);
     R->E.insert(R->E.begin() + static_cast<ptrdiff_t>(Pos), {K, D});
@@ -91,7 +91,7 @@ bool PointsToSet::insertKey(PairKey K, Def D) {
 }
 
 bool PointsToSet::killFrom(const Location *Src) {
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
   PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
   PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
   const Entry *B = entries();
@@ -112,7 +112,7 @@ bool PointsToSet::killFrom(const Location *Src) {
 }
 
 bool PointsToSet::killFromAll(const std::vector<LocationId> &SortedSrcIds) {
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
   if (SortedSrcIds.empty() || empty())
     return false;
   const Entry *B = entries();
@@ -142,7 +142,7 @@ bool PointsToSet::killFromAll(const std::vector<LocationId> &SortedSrcIds) {
 }
 
 void PointsToSet::demoteFrom(const Location *Src) {
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
   PairKey Lo = static_cast<uint64_t>(Src->id()) << 32;
   PairKey Hi = (static_cast<uint64_t>(Src->id()) + 1) << 32;
   const Entry *B = entries();
@@ -162,7 +162,7 @@ void PointsToSet::demoteFrom(const Location *Src) {
 }
 
 void PointsToSet::demoteFromAll(const std::vector<LocationId> &SortedSrcIds) {
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
   if (SortedSrcIds.empty() || empty())
     return;
   const Entry *B = entries();
@@ -226,7 +226,7 @@ bool PointsToSet::hasTargets(const Location *Src) const {
 }
 
 bool PointsToSet::mergeWith(const PointsToSet &Other) {
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
   // Merging with the very same entries is the fixed-point steady state:
   // a pair present (and definite) in both operands keeps its flag, so
   // nothing changes.
@@ -284,7 +284,7 @@ PointsToSet::mergeAll(const std::vector<const PointsToSet *> &Sets) {
     return PointsToSet();
   if (Sets.size() == 1)
     return *Sets[0]; // shares the operand's heap block
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
 
   // K-way merge over the sorted runs: each output pair is the union
   // member at the minimal outstanding key, definite iff present and
@@ -328,7 +328,7 @@ PointsToSet::mergeAll(const std::vector<const PointsToSet *> &Sets) {
 }
 
 bool PointsToSet::subsetOf(const PointsToSet &Other) const {
-  ++stats().KernelCalls;
+  stats().KernelCalls.fetch_add(1, std::memory_order_relaxed);
   if (Heap && Heap == Other.Heap)
     return true;
   if (size() > Other.size())

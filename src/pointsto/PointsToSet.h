@@ -39,6 +39,7 @@
 #include "pointsto/Location.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -89,23 +90,49 @@ public:
     bool operator==(const Entry &O) const { return K == O.K && D == O.D; }
   };
 
+  /// Plain-value copy of the process-wide traffic counters, for
+  /// run-start snapshots and delta arithmetic (see Stats::snapshot).
+  struct StatsSnapshot {
+    uint64_t PeakPairs = 0;
+    uint64_t CowShares = 0;
+    uint64_t CowDetaches = 0;
+    uint64_t KernelCalls = 0;
+    uint64_t HeapBytes = 0;
+    uint64_t HeapBytesPeak = 0;
+  };
+
   /// Process-wide representation traffic, published per analysis run as
   /// the pta.set.* telemetry counters (the analyzer snapshots them at
-  /// run start and reports the deltas; PeakPairs is reset per run). The
-  /// analysis is single-threaded, so plain counters suffice.
+  /// run start and reports the deltas; PeakPairs is reset per run).
+  /// Relaxed atomics: sets are shared and mutated across the scheduler's
+  /// worker threads, and these counters only need to count — no
+  /// cross-counter consistency, no ordering with the set data itself
+  /// (the CoW shared_ptr control block provides that).
   struct Stats {
-    uint64_t PeakPairs = 0;   ///< largest single set materialized
-    uint64_t CowShares = 0;   ///< copies answered by sharing (avoided)
-    uint64_t CowDetaches = 0; ///< shared blocks copied on first mutation
-    uint64_t KernelCalls = 0; ///< batch kernel invocations
+    std::atomic<uint64_t> PeakPairs{0};   ///< largest single set materialized
+    std::atomic<uint64_t> CowShares{0};   ///< copies answered by sharing
+    std::atomic<uint64_t> CowDetaches{0}; ///< shared blocks copied on mutation
+    std::atomic<uint64_t> KernelCalls{0}; ///< batch kernel invocations
     /// Live heap-tier footprint: the sum of every Rep block's vector
     /// capacity in bytes. Maintained by Rep's constructors/destructor
     /// and re-synced after capacity-changing mutations.
-    uint64_t HeapBytes = 0;
+    std::atomic<uint64_t> HeapBytes{0};
     /// High-water mark of HeapBytes; the analyzer resets it to the
     /// current HeapBytes at run start and publishes the per-run peak as
-    /// the `mem.set_heap_bytes_peak` gauge.
-    uint64_t HeapBytesPeak = 0;
+    /// the `mem.set_heap_bytes_peak` gauge. Maintained with a CAS max,
+    /// so concurrent syncs can only raise it.
+    std::atomic<uint64_t> HeapBytesPeak{0};
+
+    StatsSnapshot snapshot() const {
+      StatsSnapshot S;
+      S.PeakPairs = PeakPairs.load(std::memory_order_relaxed);
+      S.CowShares = CowShares.load(std::memory_order_relaxed);
+      S.CowDetaches = CowDetaches.load(std::memory_order_relaxed);
+      S.KernelCalls = KernelCalls.load(std::memory_order_relaxed);
+      S.HeapBytes = HeapBytes.load(std::memory_order_relaxed);
+      S.HeapBytesPeak = HeapBytesPeak.load(std::memory_order_relaxed);
+      return S;
+    }
   };
   static Stats &stats() {
     static Stats S;
@@ -115,7 +142,7 @@ public:
   PointsToSet() = default;
   PointsToSet(const PointsToSet &O) : Heap(O.Heap), InlineN(O.InlineN) {
     if (Heap)
-      ++stats().CowShares;
+      stats().CowShares.fetch_add(1, std::memory_order_relaxed);
     else
       std::copy_n(O.InlineBuf, InlineN, InlineBuf);
   }
@@ -123,7 +150,6 @@ public:
       : Heap(std::move(O.Heap)), InlineN(O.InlineN) {
     if (!Heap)
       std::copy_n(O.InlineBuf, InlineN, InlineBuf);
-    O.Heap = nullptr;
     O.InlineN = 0;
   }
   PointsToSet &operator=(const PointsToSet &O) {
@@ -132,7 +158,7 @@ public:
     Heap = O.Heap;
     InlineN = O.InlineN;
     if (Heap)
-      ++stats().CowShares;
+      stats().CowShares.fetch_add(1, std::memory_order_relaxed);
     else
       std::copy_n(O.InlineBuf, InlineN, InlineBuf);
     return *this;
@@ -144,7 +170,6 @@ public:
     InlineN = O.InlineN;
     if (!Heap)
       std::copy_n(O.InlineBuf, InlineN, InlineBuf);
-    O.Heap = nullptr;
     O.InlineN = 0;
     return *this;
   }
@@ -240,23 +265,89 @@ private:
     std::vector<Entry> E;
     /// Bytes this block currently contributes to Stats::HeapBytes.
     uint64_t TrackedBytes = 0;
+    /// Intrusive share count. shared_ptr's use_count() is a relaxed
+    /// read, which cannot order an in-place mutation after another
+    /// thread's reads of the shared block — the CoW unique-owner check
+    /// needs an acquire load paired with the release half of the last
+    /// other owner's decrement (the parallel engine ships CoW shares
+    /// across threads, docs/PARALLEL.md). RepPtr spells those orders
+    /// out.
+    std::atomic<uint32_t> RC{1};
 
     Rep() = default;
     Rep(const Rep &O) : E(O.E) { sync(); }
     explicit Rep(std::vector<Entry> V) : E(std::move(V)) { sync(); }
     Rep &operator=(const Rep &) = delete;
-    ~Rep() { stats().HeapBytes -= TrackedBytes; }
+    ~Rep() {
+      stats().HeapBytes.fetch_sub(TrackedBytes, std::memory_order_relaxed);
+    }
 
     /// Reconciles HeapBytes with this block's current capacity; call
     /// after any mutation that may have reallocated.
     void sync() {
       Stats &S = stats();
       uint64_t Now = E.capacity() * sizeof(Entry);
-      S.HeapBytes = S.HeapBytes - TrackedBytes + Now;
+      uint64_t Total = S.HeapBytes.fetch_add(Now - TrackedBytes,
+                                             std::memory_order_relaxed) +
+                       (Now - TrackedBytes);
       TrackedBytes = Now;
-      if (S.HeapBytes > S.HeapBytesPeak)
-        S.HeapBytesPeak = S.HeapBytes;
+      uint64_t Peak = S.HeapBytesPeak.load(std::memory_order_relaxed);
+      while (Total > Peak && !S.HeapBytesPeak.compare_exchange_weak(
+                                 Peak, Total, std::memory_order_relaxed))
+        ;
     }
+  };
+
+  /// Minimal intrusive owner of a Rep. Copy bumps the count (relaxed —
+  /// acquiring a share needs no ordering), drop is a release decrement
+  /// (acq_rel: the deleter must also observe every other owner's
+  /// writes), and unique() is the acquire load that makes
+  /// mutate-in-place safe after concurrent readers dropped out.
+  class RepPtr {
+  public:
+    RepPtr() = default;
+    /// Adopts a freshly allocated block (RC already 1).
+    explicit RepPtr(Rep *R) : P(R) {}
+    RepPtr(const RepPtr &O) : P(O.P) {
+      if (P)
+        P->RC.fetch_add(1, std::memory_order_relaxed);
+    }
+    RepPtr(RepPtr &&O) noexcept : P(O.P) { O.P = nullptr; }
+    RepPtr &operator=(const RepPtr &O) {
+      if (P != O.P) {
+        reset();
+        P = O.P;
+        if (P)
+          P->RC.fetch_add(1, std::memory_order_relaxed);
+      }
+      return *this;
+    }
+    RepPtr &operator=(RepPtr &&O) noexcept {
+      if (this != &O) {
+        reset();
+        P = O.P;
+        O.P = nullptr;
+      }
+      return *this;
+    }
+    ~RepPtr() { reset(); }
+
+    Rep *operator->() const { return P; }
+    Rep &operator*() const { return *P; }
+    explicit operator bool() const { return P != nullptr; }
+    bool operator==(const RepPtr &O) const { return P == O.P; }
+    /// True iff this is the only owner — and, via acquire, every read a
+    /// departed owner made of the block happens-before what the caller
+    /// does to it next.
+    bool unique() const { return P->RC.load(std::memory_order_acquire) == 1; }
+
+  private:
+    void reset() {
+      if (P && P->RC.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        delete P;
+      P = nullptr;
+    }
+    Rep *P = nullptr;
   };
 
   static constexpr uint32_t InlineCap = 4;
@@ -269,15 +360,17 @@ private:
   void adopt(std::vector<Entry> V);
   void notePeak(size_t N) {
     Stats &S = stats();
-    if (N > S.PeakPairs)
-      S.PeakPairs = N;
+    uint64_t Peak = S.PeakPairs.load(std::memory_order_relaxed);
+    while (N > Peak && !S.PeakPairs.compare_exchange_weak(
+                           Peak, N, std::memory_order_relaxed))
+      ;
   }
 
   /// Heap tier: engaged once the set outgrows InlineCap (and kept from
   /// then on — a shrunk set stays heap; logical content is what the
   /// entry run says, not which tier holds it). Shared between copies
   /// until one side mutates.
-  std::shared_ptr<Rep> Heap;
+  RepPtr Heap;
   /// Inline tier: the first InlineN of InlineBuf, valid iff !Heap.
   Entry InlineBuf[InlineCap];
   uint32_t InlineN = 0;

@@ -1,0 +1,145 @@
+//===- Scheduler.cpp - Parallel fixed-point scheduler ---------------------===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Scheduler.h"
+
+#include <stdexcept>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+Scheduler::UnitId Scheduler::addUnit(std::function<void()> Work,
+                                     std::vector<UnitId> Deps) {
+  UnitId Id = Units.size();
+  auto U = std::make_unique<Unit>();
+  U->Work = std::move(Work);
+  Units.push_back(std::move(U));
+  unsigned Pending = 0;
+  for (UnitId D : Deps) {
+    if (D >= Id)
+      throw std::logic_error("scheduler: dependency on a later unit");
+    Units[D]->Dependents.push_back(Id);
+    ++Pending;
+  }
+  Units[Id]->PendingDeps.store(Pending, std::memory_order_relaxed);
+  Units[Id]->InitialDeps = Pending;
+  return Id;
+}
+
+void Scheduler::dispatch(UnitId Id) {
+  Par.Tasks.fetch_add(1, std::memory_order_relaxed);
+  Pool.submit([this, Id] {
+    Units[Id]->Work();
+    Executed.fetch_add(1, std::memory_order_relaxed);
+    // Release dependents; whoever drops a unit's last dependency
+    // dispatches it (exactly-once by the fetch_sub).
+    for (UnitId Dep : Units[Id]->Dependents)
+      if (Units[Dep]->PendingDeps.fetch_sub(1, std::memory_order_acq_rel) ==
+          1)
+        dispatch(Dep);
+  });
+}
+
+void Scheduler::run() {
+  if (Units.empty())
+    return;
+  for (UnitId Id = 0; Id < Units.size(); ++Id)
+    if (Units[Id]->InitialDeps == 0)
+      dispatch(Id);
+  Par.BarrierWaits.fetch_add(1, std::memory_order_relaxed);
+  Pool.wait();
+  uint64_t Ran = Executed.load(std::memory_order_relaxed);
+  size_t Total = Units.size();
+  Units.clear();
+  Executed.store(0, std::memory_order_relaxed);
+  if (Ran < Total)
+    throw std::logic_error("scheduler: dependency cycle left " +
+                           std::to_string(Total - Ran) +
+                           " unit(s) unscheduled");
+}
+
+//===----------------------------------------------------------------------===//
+// StmtInFolder
+//===----------------------------------------------------------------------===//
+
+StmtInFolder::StmtInFolder(support::ThreadPool &Pool,
+                           std::vector<OptSet> &Slots, ParCounters &Par,
+                           unsigned NumShards)
+    : Pool(Pool), Slots(Slots), Par(Par) {
+  if (NumShards == 0)
+    NumShards = 1;
+  Shards.reserve(NumShards);
+  for (unsigned I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+void StmtInFolder::record(unsigned StmtId, const PointsToSet &In) {
+  Par.FoldRecords.fetch_add(1, std::memory_order_relaxed);
+  PendingRecords.fetch_add(1, std::memory_order_acq_rel);
+  Shard &S = *Shards[StmtId % Shards.size()];
+  bool Spawn = false;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Q.emplace_back(StmtId, In); // CoW share, no deep copy
+    if (!S.Scheduled) {
+      S.Scheduled = true;
+      Spawn = true;
+    }
+  }
+  if (Spawn) {
+    ActiveDrains.fetch_add(1, std::memory_order_acq_rel);
+    Pool.submit([this, &S] { drain(S); });
+  }
+}
+
+void StmtInFolder::drain(Shard &S) {
+  for (;;) {
+    std::deque<std::pair<unsigned, PointsToSet>> Batch;
+    {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      if (S.Q.empty()) {
+        S.Scheduled = false;
+        break;
+      }
+      Batch.swap(S.Q);
+    }
+    // Exclusive claim: this task is the only drainer of the shard, so
+    // the batch applies in FIFO order — the order the analysis thread
+    // recorded, which is the sequential engine's fold order per slot.
+    for (auto &[Id, Set] : Batch) {
+      OptSet &Slot = Slots[Id];
+      if (!Slot)
+        Slot = std::move(Set);
+      else
+        Slot->mergeWith(Set);
+    }
+    PendingRecords.fetch_sub(Batch.size(), std::memory_order_acq_rel);
+  }
+  // Task exit. The decrement and the notification happen under FinishMu
+  // so finish() cannot observe ActiveDrains == 0 while this task still
+  // has folder state left to touch: once a waiter holding FinishMu sees
+  // 0, this critical section — the task's last access — has completed,
+  // and destroying the folder immediately after finish() is safe.
+  std::lock_guard<std::mutex> Lock(FinishMu);
+  ActiveDrains.fetch_sub(1, std::memory_order_acq_rel);
+  FinishCv.notify_all();
+}
+
+void StmtInFolder::finish() {
+  std::unique_lock<std::mutex> Lock(FinishMu);
+  auto Done = [this] {
+    return PendingRecords.load(std::memory_order_acquire) == 0 &&
+           ActiveDrains.load(std::memory_order_acquire) == 0;
+  };
+  if (Done())
+    return;
+  Par.BarrierWaits.fetch_add(1, std::memory_order_relaxed);
+  FinishCv.wait(Lock, Done);
+}

@@ -1,0 +1,159 @@
+//===- Scheduler.h - Parallel fixed-point scheduler -------------*- C++ -*-===//
+//
+// Part of the mcpta project (PLDI'94 points-to analysis reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduler layer of the parallel fixed-point engine (see
+/// docs/PARALLEL.md): sits between the sequential body-transfer kernel
+/// (BodyKernel.h) and the work-stealing pool (support/ThreadPool.h).
+/// Two pieces:
+///
+///  - Scheduler: a dependency-tracked dispatcher of work units. A unit
+///    becomes ready when every unit it depends on has finished —
+///    exactly the invocation-graph discipline where sibling subtrees
+///    whose IN maps are computed are independent — and ready units are
+///    dispatched onto the pool in submission order. The batch driver
+///    schedules one unit per translation unit; tests exercise ordering,
+///    exception propagation, and the empty/degenerate edge cases.
+///
+///  - StmtInFolder: offloads the per-statement-visit StmtIn fold — the
+///    `StmtIn[id] ← merge(StmtIn[id], IN)` accumulation that dominates
+///    large runs — from the analysis thread onto the pool. Records are
+///    sharded by statement id; each shard drains FIFO under exclusive
+///    claim, so the merges of one slot are applied in exactly the order
+///    the sequential engine would have applied them (and Merge is a
+///    commutative, associative lattice join besides — see PARALLEL.md
+///    for the two-layer determinism argument). finish() is the barrier
+///    the analyzer crosses before the Result is read.
+///
+/// ParCounters aggregates the pta.par.* observability surface
+/// (docs/OBSERVABILITY.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MCPTA_POINTSTO_SCHEDULER_H
+#define MCPTA_POINTSTO_SCHEDULER_H
+
+#include "pointsto/BodyKernel.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mcpta {
+namespace pta {
+
+/// The pta.par.* counter block. Relaxed atomics: worker threads bump
+/// them concurrently; the analyzer publishes one consistent-enough
+/// reading after the final barrier.
+struct ParCounters {
+  std::atomic<uint64_t> Tasks{0};        ///< work units dispatched
+  std::atomic<uint64_t> FoldRecords{0};  ///< StmtIn merges routed via pool
+  std::atomic<uint64_t> BarrierWaits{0}; ///< finish()/run() calls that blocked
+};
+
+/// Dependency-tracked dispatcher over a work-stealing pool.
+class Scheduler {
+public:
+  using UnitId = size_t;
+
+  /// \p Pool is not owned; an inline (1-thread) pool degrades run() to
+  /// sequential in-order execution.
+  explicit Scheduler(support::ThreadPool &Pool) : Pool(Pool) {}
+
+  /// Registers a unit. \p Deps are UnitIds returned by earlier addUnit
+  /// calls; the unit runs only after all of them finished. Units with
+  /// no dependencies are dispatched in registration order.
+  UnitId addUnit(std::function<void()> Work, std::vector<UnitId> Deps = {});
+
+  /// Dispatches every registered unit respecting dependencies, blocks
+  /// until all have finished, then rethrows the first unit exception if
+  /// any. A dependency cycle is reported as std::logic_error. The
+  /// scheduler is single-shot: run() consumes the registered units.
+  void run();
+
+  const ParCounters &counters() const { return Par; }
+  support::ThreadPool &pool() { return Pool; }
+
+private:
+  struct Unit {
+    std::function<void()> Work;
+    std::vector<UnitId> Dependents;
+    std::atomic<unsigned> PendingDeps{0};
+    /// Registered dependency count. run() seeds only units that never
+    /// had dependencies: a dependent whose deps all finished during the
+    /// seeding loop has PendingDeps == 0 too, but its last-finishing
+    /// dependency already dispatched it (the fetch_sub handoff) —
+    /// seeding by the live counter would run it twice.
+    unsigned InitialDeps = 0;
+  };
+
+  void dispatch(UnitId Id);
+
+  support::ThreadPool &Pool;
+  std::vector<std::unique_ptr<Unit>> Units;
+  std::atomic<uint64_t> Executed{0};
+  ParCounters Par;
+};
+
+/// Pool-offloaded accumulator for the per-statement IN sets.
+///
+/// The analysis thread calls record() at every statement visit; worker
+/// threads drain shards and apply the merges into \p Slots. Shard
+/// claiming guarantees at most one drainer per shard, so each slot sees
+/// its merges FIFO — the sequential fold order. finish() blocks until
+/// every queued record is folded; afterwards record() may be used again
+/// (the incremental engine re-enters the analyzer on the same Result).
+class StmtInFolder {
+public:
+  /// \p Slots must outlive the folder and must not be resized between
+  /// record() and finish() (the analyzer sizes it once, up front).
+  StmtInFolder(support::ThreadPool &Pool, std::vector<OptSet> &Slots,
+               ParCounters &Par, unsigned NumShards = 32);
+
+  /// Queues `Slots[StmtId] ← merge(Slots[StmtId], In)`. Called from the
+  /// analysis thread only. The set is shared CoW, not deep-copied.
+  void record(unsigned StmtId, const PointsToSet &In);
+
+  /// Barrier: returns once every queued record has been folded in AND
+  /// every drain task has exited. The second half is what makes it safe
+  /// to destroy the folder right after: a drain task touches the shard
+  /// and the finish mutex after folding its last record, so waiting on
+  /// the record count alone would race task teardown.
+  void finish();
+
+private:
+  struct Shard {
+    std::mutex Mu;
+    std::deque<std::pair<unsigned, PointsToSet>> Q;
+    bool Scheduled = false; ///< a drain task is live for this shard
+  };
+
+  void drain(Shard &S);
+
+  support::ThreadPool &Pool;
+  std::vector<OptSet> &Slots;
+  ParCounters &Par;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  std::mutex FinishMu;
+  std::condition_variable FinishCv;
+  std::atomic<uint64_t> PendingRecords{0};
+  /// Drain tasks submitted but not yet exited. A task's final action is
+  /// decrementing this under FinishMu; once finish() observes 0 under
+  /// the same mutex, no task will touch the folder again.
+  std::atomic<uint64_t> ActiveDrains{0};
+};
+
+} // namespace pta
+} // namespace mcpta
+
+#endif // MCPTA_POINTSTO_SCHEDULER_H

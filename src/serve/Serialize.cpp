@@ -22,6 +22,11 @@ namespace cf = mcpta::cfront;
 //===----------------------------------------------------------------------===//
 
 std::string serve::optionsFingerprint(const pta::Analyzer::Options &Opts) {
+  // Deliberately an explicit field list: per-run plumbing that cannot
+  // change the result — Telem, Seeder, LiveStmts, and the parallel
+  // engine's AnalysisThreads/Pool (byte-identical at any width, see
+  // docs/PARALLEL.md) — is not identity, so cached results are shared
+  // across thread counts.
   const support::AnalysisLimits &L = Opts.Limits;
   std::string FP = "fnptr=";
   FP += std::to_string(static_cast<int>(Opts.FnPtr));

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
@@ -104,8 +105,12 @@ void SummaryCache::quarantineBlob(const std::string &Key,
   fs::rename(blobPath(Key), blobPath(Key) + ".bad", EC);
   if (EC)
     fs::remove(blobPath(Key), EC);
-  QuarantinedKeys.insert(Key);
-  ++S.Quarantined;
+  {
+    Shard &Sh = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    Sh.Quarantined.insert(Key);
+  }
+  S.Quarantined.fetch_add(1, std::memory_order_relaxed);
   bump("cache.quarantined", 1, Req);
   event("cache.quarantine", Req, "key=" + Key);
 }
@@ -114,70 +119,99 @@ std::string SummaryCache::blobPath(const std::string &Key) const {
   return Cfg.Dir + "/" + Key + ".mcpta";
 }
 
-void SummaryCache::touch(Entry &E, const std::string &Key) {
-  Lru.erase(E.LruIt);
-  Lru.push_front(Key);
-  E.LruIt = Lru.begin();
-}
-
 void SummaryCache::evictToFit(const RequestScope &Req) {
-  while (!Lru.empty() && (Mem.size() > Cfg.MaxMemEntries ||
-                          S.MemBytes > Cfg.MaxMemBytes)) {
-    const std::string &Victim = Lru.back();
-    event("cache.eviction", Req, "key=" + Victim);
-    auto It = Mem.find(Victim);
-    if (It != Mem.end()) {
-      S.MemBytes -= It->second.Bytes;
-      Mem.erase(It);
+  // Fast path: bounds hold, no eviction lock taken.
+  if (S.MemEntries.load(std::memory_order_relaxed) <= Cfg.MaxMemEntries &&
+      S.MemBytes.load(std::memory_order_relaxed) <= Cfg.MaxMemBytes)
+    return;
+
+  std::lock_guard<std::mutex> EvictLock(EvictMu);
+  while (S.MemEntries.load(std::memory_order_relaxed) > Cfg.MaxMemEntries ||
+         S.MemBytes.load(std::memory_order_relaxed) > Cfg.MaxMemBytes) {
+    // Pick the globally-oldest entry: smallest recency stamp across all
+    // shards. The scan is O(entries) but the LRU is bounded and small
+    // (default 64 entries) and eviction is the cold path — the trade
+    // buys a contention-free, list-free hit path.
+    Shard *VictimShard = nullptr;
+    std::string VictimKey;
+    uint64_t VictimStamp = std::numeric_limits<uint64_t>::max();
+    for (Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.Mu);
+      for (const auto &[Key, E] : Sh.Mem) {
+        if (E.Stamp < VictimStamp) {
+          VictimStamp = E.Stamp;
+          VictimKey = Key;
+          VictimShard = &Sh;
+        }
+      }
     }
-    Lru.pop_back();
-    ++S.Evictions;
+    if (!VictimShard)
+      return; // nothing left to evict
+
+    std::lock_guard<std::mutex> Lock(VictimShard->Mu);
+    auto It = VictimShard->Mem.find(VictimKey);
+    if (It == VictimShard->Mem.end() || It->second.Stamp != VictimStamp)
+      continue; // touched or replaced between scan and erase: re-pick
+    event("cache.eviction", Req, "key=" + VictimKey);
+    S.MemBytes.fetch_sub(It->second.Bytes, std::memory_order_relaxed);
+    S.MemEntries.fetch_sub(1, std::memory_order_relaxed);
+    VictimShard->Mem.erase(It);
+    S.Evictions.fetch_add(1, std::memory_order_relaxed);
     bump("cache.evictions", 1, Req);
   }
-  S.MemEntries = Mem.size();
 }
 
 void SummaryCache::insertMem(const std::string &Key,
                              std::shared_ptr<const ResultSnapshot> Snap,
                              uint64_t Bytes, const RequestScope &Req) {
-  auto It = Mem.find(Key);
-  if (It != Mem.end()) {
-    S.MemBytes -= It->second.Bytes;
-    Lru.erase(It->second.LruIt);
-    Mem.erase(It);
+  Shard &Sh = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    auto It = Sh.Mem.find(Key);
+    if (It != Sh.Mem.end()) {
+      S.MemBytes.fetch_sub(It->second.Bytes, std::memory_order_relaxed);
+      It->second = Entry{std::move(Snap), Bytes, nextStamp()};
+    } else {
+      Sh.Mem[Key] = Entry{std::move(Snap), Bytes, nextStamp()};
+      S.MemEntries.fetch_add(1, std::memory_order_relaxed);
+    }
+    S.MemBytes.fetch_add(Bytes, std::memory_order_relaxed);
   }
-  Lru.push_front(Key);
-  Mem[Key] = Entry{std::move(Snap), Bytes, Lru.begin()};
-  S.MemBytes += Bytes;
   evictToFit(Req);
 }
 
 std::shared_ptr<const ResultSnapshot>
 SummaryCache::lookup(const std::string &Key, std::string *Warning,
                      RequestScope Req) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Mem.find(Key);
-  if (It != Mem.end()) {
-    touch(It->second, Key);
-    ++S.Hits;
-    ++S.MemHits;
-    bump("cache.hits", 1, Req);
-    bump("cache.mem_hits", 1, Req);
-    event("cache.hit", Req, "tier=mem key=" + Key);
-    return It->second.Snapshot;
+  Shard &Sh = shardFor(Key);
+  {
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    auto It = Sh.Mem.find(Key);
+    if (It != Sh.Mem.end()) {
+      It->second.Stamp = nextStamp();
+      S.Hits.fetch_add(1, std::memory_order_relaxed);
+      S.MemHits.fetch_add(1, std::memory_order_relaxed);
+      bump("cache.hits", 1, Req);
+      bump("cache.mem_hits", 1, Req);
+      event("cache.hit", Req, "tier=mem key=" + Key);
+      return It->second.Snapshot;
+    }
+
+    // Negative cache: a quarantined key was already reported once; skip
+    // the disk (the carcass lives at <key>.mcpta.bad) until a store
+    // republishes it.
+    if (Sh.Quarantined.count(Key)) {
+      S.Misses.fetch_add(1, std::memory_order_relaxed);
+      bump("cache.misses", 1, Req);
+      bump("cache.quarantine_skips", 1, Req);
+      event("cache.miss", Req, "key=" + Key + " quarantined=1");
+      return nullptr;
+    }
   }
 
-  // Negative cache: a quarantined key was already reported once; skip
-  // the disk (the carcass lives at <key>.mcpta.bad) until a store
-  // republishes it.
-  if (QuarantinedKeys.count(Key)) {
-    ++S.Misses;
-    bump("cache.misses", 1, Req);
-    bump("cache.quarantine_skips", 1, Req);
-    event("cache.miss", Req, "key=" + Key + " quarantined=1");
-    return nullptr;
-  }
-
+  // Disk tier — no locks held across the read or the deserialize. Two
+  // threads racing on the same cold key may both read the blob; the
+  // second insertMem replaces the first with identical content.
   if (!Cfg.Dir.empty()) {
     std::ifstream In(blobPath(Key), std::ios::binary);
     if (In) {
@@ -185,7 +219,7 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
       if (FI && FI->shouldFire("cache.read_io")) {
         // Injected transient read failure: a miss with a warning, no
         // quarantine — the blob itself is presumed fine.
-        ++S.ReadIoErrors;
+        S.ReadIoErrors.fetch_add(1, std::memory_order_relaxed);
         bump("cache.read_io_errors", 1, Req);
         event("cache.read_error", Req, "key=" + Key + " injected=1");
         if (Warning)
@@ -196,7 +230,7 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
         SS << In.rdbuf();
         std::string Blob = SS.str();
         if (In.bad()) {
-          ++S.ReadIoErrors;
+          S.ReadIoErrors.fetch_add(1, std::memory_order_relaxed);
           bump("cache.read_io_errors", 1, Req);
           event("cache.read_error", Req, "key=" + Key);
           if (Warning)
@@ -215,7 +249,7 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
             auto Shared =
                 std::make_shared<const ResultSnapshot>(std::move(Snap));
             insertMem(Key, Shared, Blob.size(), Req);
-            ++S.Hits;
+            S.Hits.fetch_add(1, std::memory_order_relaxed);
             bump("cache.hits", 1, Req);
             bump("cache.disk_hits", 1, Req);
             event("cache.hit", Req, "tier=disk key=" + Key);
@@ -223,7 +257,7 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
           }
           // Bad blob: tolerate as a miss, report once, and quarantine
           // so the next lookup neither re-reads nor re-warns.
-          ++S.BadBlobs;
+          S.BadBlobs.fetch_add(1, std::memory_order_relaxed);
           bump("cache.bad_blobs", 1, Req);
           event("cache.bad_blob", Req, "key=" + Key);
           if (Warning)
@@ -235,7 +269,7 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
     }
   }
 
-  ++S.Misses;
+  S.Misses.fetch_add(1, std::memory_order_relaxed);
   bump("cache.misses", 1, Req);
   event("cache.miss", Req, "key=" + Key);
   return nullptr;
@@ -244,34 +278,41 @@ SummaryCache::lookup(const std::string &Key, std::string *Warning,
 std::shared_ptr<const ResultSnapshot>
 SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
                     std::string *Warning, RequestScope Req) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  // Serialization and all disk IO run lock-free; only the shard-map
+  // mutations below take a mutex.
   std::string Blob = serialize(Snapshot);
-  S.BytesStored += Blob.size();
+  S.BytesStored.fetch_add(Blob.size(), std::memory_order_relaxed);
   bump("cache.bytes", Blob.size(), Req);
   bump("cache.stores", 1, Req);
   event("cache.store", Req,
         "key=" + Key + " bytes=" + std::to_string(Blob.size()));
   // A fresh blob under this key lifts any quarantine: the key is
   // addressable again.
-  QuarantinedKeys.erase(Key);
+  {
+    Shard &Sh = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    Sh.Quarantined.erase(Key);
+  }
 
   if (!Cfg.Dir.empty()) {
     std::error_code EC;
     fs::create_directories(Cfg.Dir, EC);
     // Atomic publish: write a temp file, then rename into place, so a
     // concurrent reader (or a crash mid-write) never sees a torn blob.
-    // Transient write failures (disk pressure, injected cache.write_io)
-    // retry with bounded exponential backoff plus a deterministic
-    // per-key jitter; total worst-case sleep is ~3ms, short enough to
-    // hold the cache lock across it.
+    // The temp name carries a process-wide sequence number so two
+    // threads storing the same key never share a temp file. Transient
+    // write failures (disk pressure, injected cache.write_io) retry
+    // with bounded exponential backoff plus a deterministic per-key
+    // jitter; no lock is held across the sleeps.
     const std::string Tmp =
-        blobPath(Key) + ".tmp." + std::to_string(::getpid());
+        blobPath(Key) + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(TmpSeq.fetch_add(1, std::memory_order_relaxed));
     support::FaultInjection *FI = faults(Req);
     constexpr unsigned MaxAttempts = 3;
     bool Written = false;
     for (unsigned Attempt = 0; Attempt < MaxAttempts && !Written; ++Attempt) {
       if (Attempt) {
-        ++S.WriteRetries;
+        S.WriteRetries.fetch_add(1, std::memory_order_relaxed);
         bump("cache.write_retries", 1, Req);
         event("cache.write_retry", Req,
               "key=" + Key + " attempt=" + std::to_string(Attempt + 1));
@@ -310,14 +351,19 @@ SummaryCache::store(const std::string &Key, ResultSnapshot Snapshot,
 }
 
 uint64_t SummaryCache::invalidate() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  for (const auto &[Key, E] : Mem)
-    S.MemBytes -= E.Bytes;
-  Mem.clear();
-  Lru.clear();
-  QuarantinedKeys.clear();
-  S.MemBytes = 0;
-  S.MemEntries = 0;
+  // EvictMu keeps a concurrent eviction from racing the teardown; shard
+  // locks are taken one at a time, so a concurrent store lands either
+  // before the sweep of its shard (dropped) or after (kept).
+  std::lock_guard<std::mutex> EvictLock(EvictMu);
+  for (Shard &Sh : Shards) {
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    for (const auto &[Key, E] : Sh.Mem) {
+      S.MemBytes.fetch_sub(E.Bytes, std::memory_order_relaxed);
+      S.MemEntries.fetch_sub(1, std::memory_order_relaxed);
+    }
+    Sh.Mem.clear();
+    Sh.Quarantined.clear();
+  }
 
   uint64_t Removed = 0;
   if (!Cfg.Dir.empty()) {

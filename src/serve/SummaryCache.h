@@ -26,13 +26,20 @@
 /// store under the same key republishes it. Disk writes retry with
 /// bounded, jittered backoff before degrading to memory-only.
 ///
-/// Thread-safe: every public operation serializes on an internal
-/// mutex, so the cache can be shared by a serve worker pool without
-/// external locking.
+/// Thread-safe, with striped locking: the entry map and negative cache
+/// are split into NumShards shards keyed by the content hash, each
+/// behind its own mutex, so lookups for different keys never contend.
+/// Recency is a per-entry stamp from a global monotonic clock rather
+/// than a shared intrusive list — eviction selects the globally
+/// smallest stamp, which preserves *exact* LRU order (identical to the
+/// old single-list implementation) while keeping the hot hit path
+/// shard-local. Serialization, disk reads/writes, and the write-retry
+/// backoff all run outside every lock; only the map mutations are
+/// covered.
 ///
 /// Telemetry: hits/misses/evictions/stored-bytes are kept in a local
-/// Stats block and mirrored to `cache.*` counters when a Telemetry sink
-/// is attached (see docs/OBSERVABILITY.md).
+/// Stats block (atomic counters) and mirrored to `cache.*` counters
+/// when a Telemetry sink is attached (see docs/OBSERVABILITY.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -43,8 +50,9 @@
 #include "support/FlightRecorder.h"
 #include "support/Telemetry.h"
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -151,11 +159,22 @@ public:
   /// cache. Returns the number of disk blobs removed.
   uint64_t invalidate();
 
-  /// Consistent copy of the counters (the cache is internally
-  /// synchronized, so a reference into live state would race).
+  /// Copy of the counters. Each counter is individually coherent
+  /// (atomic); at quiescence the copy is exact.
   Stats stats() const {
-    std::lock_guard<std::mutex> Lock(Mu);
-    return S;
+    Stats Out;
+    Out.Hits = S.Hits.load(std::memory_order_relaxed);
+    Out.MemHits = S.MemHits.load(std::memory_order_relaxed);
+    Out.Misses = S.Misses.load(std::memory_order_relaxed);
+    Out.Evictions = S.Evictions.load(std::memory_order_relaxed);
+    Out.BytesStored = S.BytesStored.load(std::memory_order_relaxed);
+    Out.MemBytes = S.MemBytes.load(std::memory_order_relaxed);
+    Out.MemEntries = S.MemEntries.load(std::memory_order_relaxed);
+    Out.BadBlobs = S.BadBlobs.load(std::memory_order_relaxed);
+    Out.Quarantined = S.Quarantined.load(std::memory_order_relaxed);
+    Out.WriteRetries = S.WriteRetries.load(std::memory_order_relaxed);
+    Out.ReadIoErrors = S.ReadIoErrors.load(std::memory_order_relaxed);
+    return Out;
   }
   const Config &config() const { return Cfg; }
 
@@ -163,15 +182,39 @@ private:
   struct Entry {
     std::shared_ptr<const ResultSnapshot> Snapshot;
     uint64_t Bytes = 0; ///< serialized size (the LRU's byte accounting)
-    std::list<std::string>::iterator LruIt;
+    /// Global recency stamp from Clock; larger = more recently used.
+    /// Eviction removes the entry with the smallest stamp cache-wide,
+    /// which is exactly the least recently used one.
+    uint64_t Stamp = 0;
   };
 
-  // The helpers below assume Mu is held by the caller.
+  /// One lock stripe: a slice of the entry map plus the matching slice
+  /// of the negative cache, both guarded by the shard mutex. Keys land
+  /// in a shard by content-hash, so the hit path for distinct keys is
+  /// contention-free. Padded to a cache line to avoid false sharing.
+  static constexpr unsigned NumShards = 16;
+  struct Shard {
+    alignas(64) mutable std::mutex Mu;
+    std::map<std::string, Entry> Mem;
+    /// Negative cache of quarantined keys: a corrupt blob is reported
+    /// once, then reads skip the disk until a store republishes it.
+    std::set<std::string> Quarantined;
+  };
+
+  Shard &shardFor(const std::string &Key) {
+    return Shards[std::hash<std::string>{}(Key) % NumShards];
+  }
+  uint64_t nextStamp() { return Clock.fetch_add(1, std::memory_order_relaxed) + 1; }
+
   std::string blobPath(const std::string &Key) const;
+  /// Inserts (or replaces) the entry in its shard, then evicts to the
+  /// configured bounds. Takes the shard lock internally.
   void insertMem(const std::string &Key,
                  std::shared_ptr<const ResultSnapshot> Snap, uint64_t Bytes,
                  const RequestScope &Req);
-  void touch(Entry &E, const std::string &Key);
+  /// Evicts globally-least-recently-used entries until the bounds hold.
+  /// Serialized on EvictMu; takes shard locks one at a time (never two
+  /// at once — lock order is EvictMu, then a single Shard::Mu).
   void evictToFit(const RequestScope &Req);
   void bump(const char *Name, uint64_t Delta = 1,
             const RequestScope &Req = RequestScope());
@@ -181,23 +224,30 @@ private:
   /// the cache-wide one. Null when neither is attached.
   support::FaultInjection *faults(const RequestScope &Req) const;
   /// Moves the corrupt blob aside (rename to <key>.mcpta.bad, delete on
-  /// rename failure) and negative-caches the key.
+  /// rename failure) and negative-caches the key. Takes the shard lock
+  /// for the negative-cache insert; the rename runs outside it.
   void quarantineBlob(const std::string &Key, const RequestScope &Req);
 
   Config Cfg;
   support::Telemetry *Telem;
   support::FlightRecorder *Recorder = nullptr;
   support::FaultInjection *Faults = nullptr;
-  /// Serializes all cache state below. Public entry points lock it;
-  /// private helpers expect it held.
-  mutable std::mutex Mu;
-  Stats S;
-  /// LRU list front = most recent. Map values hold list iterators.
-  std::list<std::string> Lru;
-  std::map<std::string, Entry> Mem;
-  /// Negative cache of quarantined keys: a corrupt blob is reported
-  /// once, then reads skip the disk until a store republishes the key.
-  std::set<std::string> QuarantinedKeys;
+
+  /// Counters are atomics so shards update them without a global lock.
+  struct Counters {
+    std::atomic<uint64_t> Hits{0}, MemHits{0}, Misses{0}, Evictions{0},
+        BytesStored{0}, MemBytes{0}, MemEntries{0}, BadBlobs{0},
+        Quarantined{0}, WriteRetries{0}, ReadIoErrors{0};
+  };
+  Counters S;
+  /// Monotonic recency clock; every hit/insert stamps the entry.
+  std::atomic<uint64_t> Clock{0};
+  /// Disambiguates temp-file names of concurrent stores in one process.
+  std::atomic<uint64_t> TmpSeq{0};
+  /// Serializes evictions (and invalidate) so two threads never race to
+  /// pick victims; individual shard operations do not take it.
+  std::mutex EvictMu;
+  std::array<Shard, NumShards> Shards;
 };
 
 } // namespace serve

@@ -122,12 +122,16 @@ public:
   const AnalysisLimits &limits() const { return Limits; }
 
   /// Per-statement-visit tick. Returns false once any budget is
-  /// tripped. Deadline is re-checked every 64 visits.
+  /// tripped. Deadline is re-checked every 64 visits. Thread-safe: the
+  /// visit counter is a single atomic shared by every worker thread, so
+  /// MaxStmtVisits is a per-run budget counted once — not once per
+  /// thread — and the amortized deadline check keys off the returned
+  /// (unique) count so exactly one thread performs each check.
   bool tick() {
-    ++StmtVisits;
-    if (Limits.MaxStmtVisits && StmtVisits > Limits.MaxStmtVisits)
+    uint64_t N = StmtVisits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (Limits.MaxStmtVisits && N > Limits.MaxStmtVisits)
       trip(LimitKind::StmtVisits);
-    if ((StmtVisits & DeadlineCheckMask) == 0)
+    if ((N & DeadlineCheckMask) == 0)
       checkDeadline();
     return !tripped();
   }
@@ -191,11 +195,19 @@ public:
            Limits.CancelFlag->load(std::memory_order_relaxed);
   }
 
-  void trip(LimitKind K) { TrippedMask |= bit(K); }
-  bool tripped() const { return TrippedMask != 0; }
-  bool tripped(LimitKind K) const { return (TrippedMask & bit(K)) != 0; }
+  void trip(LimitKind K) {
+    TrippedMask.fetch_or(bit(K), std::memory_order_relaxed);
+  }
+  bool tripped() const {
+    return TrippedMask.load(std::memory_order_relaxed) != 0;
+  }
+  bool tripped(LimitKind K) const {
+    return (TrippedMask.load(std::memory_order_relaxed) & bit(K)) != 0;
+  }
 
-  uint64_t stmtVisits() const { return StmtVisits; }
+  uint64_t stmtVisits() const {
+    return StmtVisits.load(std::memory_order_relaxed);
+  }
 
   double elapsedMs() const {
     return std::chrono::duration<double, std::milli>(
@@ -211,8 +223,10 @@ private:
 
   AnalysisLimits Limits;
   std::chrono::steady_clock::time_point Start;
-  uint64_t StmtVisits = 0;
-  uint8_t TrippedMask = 0;
+  /// Shared across worker threads (see tick()); relaxed is enough — the
+  /// budgets are quantity caps, not synchronization points.
+  std::atomic<uint64_t> StmtVisits{0};
+  std::atomic<uint8_t> TrippedMask{0};
 };
 
 } // namespace support

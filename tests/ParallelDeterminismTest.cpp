@@ -1,0 +1,93 @@
+//===- ParallelDeterminismTest.cpp - threads-N byte equivalence ----------------===//
+//
+// The parallel engine's core contract (docs/PARALLEL.md): the analysis
+// result is byte-identical at any --analysis-threads width. Every
+// corpus program is analyzed at widths 1, 2, and 8 with statement-set
+// recording on, captured to a ResultSnapshot, and serialized; the
+// mcpta-result-v3 blobs must match the sequential baseline exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "driver/Pipeline.h"
+#include "serve/Serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace mcpta;
+
+namespace {
+
+std::string analyzeToBlob(const std::string &Source, unsigned Threads) {
+  pta::Analyzer::Options Opts;
+  Opts.RecordStmtSets = true;
+  Opts.AnalysisThreads = Threads;
+  Pipeline P = Pipeline::analyzeSource(Source, Opts);
+  EXPECT_FALSE(P.Diags.hasErrors()) << P.Diags.dump();
+  EXPECT_TRUE(P.Analysis.Analyzed);
+  serve::ResultSnapshot Snap = serve::ResultSnapshot::capture(
+      *P.Prog, P.Analysis, serve::optionsFingerprint(Opts));
+  return serve::serialize(Snap);
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(ParallelDeterminism, ByteIdenticalAcrossThreadCounts) {
+  const corpus::CorpusProgram *CP = corpus::find(GetParam());
+  ASSERT_NE(CP, nullptr);
+  std::string Sequential = analyzeToBlob(CP->Source, 1);
+  ASSERT_FALSE(Sequential.empty());
+  for (unsigned Threads : {2u, 8u}) {
+    std::string Parallel = analyzeToBlob(CP->Source, Threads);
+    // EXPECT_EQ on the blobs would dump megabytes on failure; compare
+    // and report only the verdict plus the first divergence offset.
+    if (Parallel == Sequential)
+      continue;
+    size_t Off = 0;
+    while (Off < Parallel.size() && Off < Sequential.size() &&
+           Parallel[Off] == Sequential[Off])
+      ++Off;
+    ADD_FAILURE() << GetParam() << ": threads=" << Threads
+                  << " blob diverges from sequential at byte " << Off
+                  << " (sizes " << Parallel.size() << " vs "
+                  << Sequential.size() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCorpus, ParallelDeterminism,
+    ::testing::Values("genetic", "dry", "clinpack", "config", "toplev",
+                      "compress", "mway", "hash", "misr", "xref", "stanford",
+                      "fixoutput", "sim", "travel", "csuite", "msc", "lws",
+                      "incrstress"),
+    [](const ::testing::TestParamInfo<const char *> &Info) {
+      return std::string(Info.param);
+    });
+
+// The fnptr resolution policies drive different IG growth; the
+// determinism bar holds under each of them.
+TEST(ParallelDeterminism, HoldsAcrossFnptrPolicies) {
+  const corpus::CorpusProgram *CP = corpus::find("toplev");
+  ASSERT_NE(CP, nullptr);
+  for (pta::FnPtrMode Mode :
+       {pta::FnPtrMode::Precise, pta::FnPtrMode::AllFunctions,
+        pta::FnPtrMode::AddressTaken}) {
+    pta::Analyzer::Options Seq, Par;
+    Seq.FnPtr = Mode;
+    Par.FnPtr = Mode;
+    Par.AnalysisThreads = 4;
+    Pipeline PS = Pipeline::analyzeSource(CP->Source, Seq);
+    Pipeline PP = Pipeline::analyzeSource(CP->Source, Par);
+    ASSERT_FALSE(PS.Diags.hasErrors());
+    ASSERT_FALSE(PP.Diags.hasErrors());
+    std::string BS = serve::serialize(serve::ResultSnapshot::capture(
+        *PS.Prog, PS.Analysis, serve::optionsFingerprint(Seq)));
+    std::string BP = serve::serialize(serve::ResultSnapshot::capture(
+        *PP.Prog, PP.Analysis, serve::optionsFingerprint(Par)));
+    EXPECT_TRUE(BS == BP) << "fnptr mode " << int(Mode);
+  }
+}
+
+} // namespace

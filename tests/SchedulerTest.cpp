@@ -1,0 +1,228 @@
+//===- SchedulerTest.cpp - scheduler layer unit tests --------------------------===//
+//
+// The dependency-tracked dispatcher and the StmtIn fold offload that
+// form the scheduler layer of the parallel engine (docs/PARALLEL.md):
+// dependency ordering, exception propagation, cycle/degenerate inputs,
+// and the folder's sequential-equivalence per slot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pointsto/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+using namespace mcpta;
+using namespace mcpta::pta;
+using mcpta::support::ThreadPool;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulerTest, EmptySchedulerRunsToCompletion) {
+  ThreadPool Pool(4);
+  Scheduler S(Pool);
+  EXPECT_NO_THROW(S.run());
+  EXPECT_EQ(S.counters().Tasks.load(), 0u);
+}
+
+TEST(SchedulerTest, IndependentUnitsAllRun) {
+  ThreadPool Pool(4);
+  Scheduler S(Pool);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 64; ++I)
+    S.addUnit([&] { Count.fetch_add(1, std::memory_order_relaxed); });
+  S.run();
+  EXPECT_EQ(Count.load(), 64);
+  EXPECT_EQ(S.counters().Tasks.load(), 64u);
+}
+
+TEST(SchedulerTest, DependenciesRunBeforeDependents) {
+  ThreadPool Pool(4);
+  Scheduler S(Pool);
+  // A diamond: Tail observes both Left and Right, which observe Head.
+  std::atomic<int> HeadDone{0}, LeftDone{0}, RightDone{0};
+  std::atomic<bool> OrderOk{true};
+  Scheduler::UnitId Head = S.addUnit([&] { HeadDone.store(1); });
+  Scheduler::UnitId Left = S.addUnit(
+      [&] {
+        if (!HeadDone.load())
+          OrderOk.store(false);
+        LeftDone.store(1);
+      },
+      {Head});
+  Scheduler::UnitId Right = S.addUnit(
+      [&] {
+        if (!HeadDone.load())
+          OrderOk.store(false);
+        RightDone.store(1);
+      },
+      {Head});
+  S.addUnit(
+      [&] {
+        if (!LeftDone.load() || !RightDone.load())
+          OrderOk.store(false);
+      },
+      {Left, Right});
+  S.run();
+  EXPECT_TRUE(OrderOk.load());
+}
+
+TEST(SchedulerTest, ChainRunsInOrderOnInlinePool) {
+  ThreadPool Pool(1);
+  Scheduler S(Pool);
+  std::vector<int> Order;
+  Scheduler::UnitId Prev = S.addUnit([&] { Order.push_back(0); });
+  for (int I = 1; I < 10; ++I)
+    Prev = S.addUnit([&, I] { Order.push_back(I); }, {Prev});
+  S.run();
+  ASSERT_EQ(Order.size(), 10u);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(SchedulerTest, ForwardDependencyIsRejected) {
+  ThreadPool Pool(1);
+  Scheduler S(Pool);
+  // Dependencies must name earlier units; a dep on the unit itself (or
+  // a later one) can never be satisfied.
+  EXPECT_THROW(S.addUnit([] {}, {0}), std::logic_error);
+}
+
+TEST(SchedulerTest, UnitExceptionPropagatesFromRun) {
+  ThreadPool Pool(4);
+  Scheduler S(Pool);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 16; ++I)
+    S.addUnit([&, I] {
+      if (I == 5)
+        throw std::runtime_error("unit failed");
+      Count.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_THROW(S.run(), std::runtime_error);
+  EXPECT_EQ(Count.load(), 15);
+}
+
+TEST(SchedulerTest, SchedulerIsSingleShot) {
+  ThreadPool Pool(2);
+  Scheduler S(Pool);
+  std::atomic<int> Count{0};
+  S.addUnit([&] { Count.fetch_add(1); });
+  S.run();
+  EXPECT_EQ(Count.load(), 1);
+  // run() consumed the units; a second run has nothing to do.
+  EXPECT_NO_THROW(S.run());
+  EXPECT_EQ(Count.load(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// StmtInFolder
+//===----------------------------------------------------------------------===//
+
+PointsToSet makeSet(std::initializer_list<std::pair<uint32_t, uint32_t>> Pairs,
+                    Def D = Def::P) {
+  PointsToSet S;
+  for (auto &[Src, Dst] : Pairs)
+    S.insertKey(PointsToSet::keyIds(Src, Dst), D);
+  return S;
+}
+
+TEST(StmtInFolderTest, FinishWithNoRecordsReturnsImmediately) {
+  ThreadPool Pool(4);
+  ParCounters Par;
+  std::vector<OptSet> Slots(4);
+  StmtInFolder Folder(Pool, Slots, Par);
+  EXPECT_NO_THROW(Folder.finish());
+  for (const OptSet &S : Slots)
+    EXPECT_FALSE(S.has_value());
+}
+
+TEST(StmtInFolderTest, RecordsFoldIntoSlots) {
+  ThreadPool Pool(4);
+  ParCounters Par;
+  std::vector<OptSet> Slots(8);
+  StmtInFolder Folder(Pool, Slots, Par);
+  Folder.record(3, makeSet({{1, 2}}));
+  Folder.record(3, makeSet({{5, 6}}));
+  Folder.record(5, makeSet({{7, 8}}, Def::D));
+  Folder.finish();
+  ASSERT_TRUE(Slots[3].has_value());
+  EXPECT_TRUE(*Slots[3] == makeSet({{1, 2}, {5, 6}}));
+  ASSERT_TRUE(Slots[5].has_value());
+  EXPECT_TRUE(*Slots[5] == makeSet({{7, 8}}, Def::D));
+  EXPECT_FALSE(Slots[0].has_value());
+}
+
+TEST(StmtInFolderTest, MatchesSequentialFoldUnderLoad) {
+  // The determinism contract: after finish(), every slot holds exactly
+  // what the sequential `StmtIn[id] ← merge(StmtIn[id], IN)` loop would
+  // have produced.
+  constexpr unsigned NumSlots = 64;
+  constexpr unsigned NumRecords = 5000;
+  ThreadPool Pool(4);
+  ParCounters Par;
+  std::vector<OptSet> Slots(NumSlots);
+  std::vector<OptSet> Reference(NumSlots);
+  StmtInFolder Folder(Pool, Slots, Par);
+  uint64_t Seed = 0x9e3779b97f4a7c15ull;
+  for (unsigned I = 0; I < NumRecords; ++I) {
+    Seed = Seed * 6364136223846793005ull + 1442695040888963407ull;
+    unsigned Id = unsigned(Seed >> 33) % NumSlots;
+    uint32_t Src = uint32_t(Seed % 16);
+    uint32_t Dst = uint32_t((Seed >> 8) % 16);
+    Def D = (Seed & 1) ? Def::D : Def::P;
+    PointsToSet S = makeSet({{Src, Dst}}, D);
+    Folder.record(Id, S);
+    if (!Reference[Id])
+      Reference[Id] = S;
+    else
+      Reference[Id]->mergeWith(S);
+  }
+  Folder.finish();
+  EXPECT_EQ(Par.FoldRecords.load(), uint64_t(NumRecords));
+  for (unsigned I = 0; I < NumSlots; ++I) {
+    ASSERT_EQ(Slots[I].has_value(), Reference[I].has_value()) << "slot " << I;
+    if (Slots[I])
+      EXPECT_TRUE(*Slots[I] == *Reference[I]) << "slot " << I;
+  }
+}
+
+TEST(StmtInFolderTest, ReusableAfterFinish) {
+  // The incremental engine re-enters the analyzer on the same Result;
+  // the folder must accept records again after a barrier.
+  ThreadPool Pool(2);
+  ParCounters Par;
+  std::vector<OptSet> Slots(2);
+  StmtInFolder Folder(Pool, Slots, Par);
+  Folder.record(0, makeSet({{1, 2}}));
+  Folder.finish();
+  Folder.record(0, makeSet({{3, 4}}));
+  Folder.record(1, makeSet({{5, 6}}));
+  Folder.finish();
+  ASSERT_TRUE(Slots[0].has_value());
+  EXPECT_EQ(Slots[0]->size(), 2u);
+  ASSERT_TRUE(Slots[1].has_value());
+  EXPECT_EQ(Slots[1]->size(), 1u);
+}
+
+TEST(StmtInFolderTest, InlinePoolFoldsSynchronously) {
+  ThreadPool Pool(1);
+  ParCounters Par;
+  std::vector<OptSet> Slots(2);
+  StmtInFolder Folder(Pool, Slots, Par);
+  Folder.record(1, makeSet({{9, 9}}));
+  // Inline pools run the drain inside record(); the slot is already
+  // folded before the barrier.
+  ASSERT_TRUE(Slots[1].has_value());
+  Folder.finish();
+  EXPECT_EQ(Slots[1]->size(), 1u);
+}
+
+} // namespace
